@@ -1,0 +1,94 @@
+//! Benchmarks of the C&C timing detectors (Table II machinery) and the
+//! detector ablation: dynamic histogram vs std-dev vs autocorrelation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use earlybird_logmodel::Timestamp;
+use earlybird_timing::{AutocorrelationDetector, AutomationDetector, StdDevDetector};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn beacon_series(n: u64, period: u64, jitter: u64, seed: u64) -> Vec<Timestamp> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = 0i64;
+    (0..n)
+        .map(|_| {
+            let out = Timestamp::from_secs(t as u64);
+            let j = if jitter == 0 { 0 } else { rng.gen_range(0..=2 * jitter) as i64 - jitter as i64 };
+            t += period as i64 + j;
+            out
+        })
+        .collect()
+}
+
+fn random_series(n: u64, seed: u64) -> Vec<Timestamp> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut v: Vec<u64> = (0..n).map(|_| rng.gen_range(0..86_400)).collect();
+    v.sort_unstable();
+    v.into_iter().map(Timestamp::from_secs).collect()
+}
+
+fn bench_histogram(c: &mut Criterion) {
+    let beacon = beacon_series(144, 600, 3, 1);
+    let noise = random_series(144, 2);
+    let det = AutomationDetector::paper_default();
+    let mut group = c.benchmark_group("dynamic_histogram");
+    group.bench_function("beacon_144", |b| b.iter(|| det.evaluate(std::hint::black_box(&beacon))));
+    group.bench_function("noise_144", |b| b.iter(|| det.evaluate(std::hint::black_box(&noise))));
+    group.finish();
+}
+
+fn bench_detector_ablation(c: &mut Criterion) {
+    // One outlier in an otherwise perfect beacon: the case that motivated
+    // the dynamic histogram (§IV-C). The bench reports the relative cost;
+    // the assertions document the accuracy difference.
+    let mut series = beacon_series(40, 600, 0, 3);
+    for t in series.iter_mut().skip(20) {
+        *t = *t + 4_000;
+    }
+    let dynamic = AutomationDetector::paper_default();
+    let stddev = StdDevDetector::new(30.0, 4);
+    let autocorr = AutocorrelationDetector::new(10, 0.4, 4);
+    assert!(dynamic.is_automated(&series), "dynamic histogram survives the outlier");
+    assert!(!stddev.is_automated(&series), "std-dev baseline breaks (paper's observation)");
+
+    let mut group = c.benchmark_group("detector_ablation_outlier_series");
+    group.bench_function("dynamic_histogram", |b| {
+        b.iter(|| dynamic.evaluate(std::hint::black_box(&series)))
+    });
+    group.bench_function("stddev_baseline", |b| {
+        b.iter(|| stddev.interval_std(std::hint::black_box(&series)))
+    });
+    group.bench_function("autocorrelation_baseline", |b| {
+        b.iter(|| autocorr.peak_autocorrelation(std::hint::black_box(&series)))
+    });
+    group.finish();
+}
+
+fn bench_table2_sweep(c: &mut Criterion) {
+    // The Table II computation: evaluate every (W, J_T) cell over a bundle
+    // of series.
+    let series: Vec<Vec<Timestamp>> = (0..50)
+        .map(|i| if i % 2 == 0 { beacon_series(100, 300 + i, 3, i) } else { random_series(100, i) })
+        .collect();
+    c.bench_function("table2_grid_50_series", |b| {
+        b.iter(|| {
+            let mut detected = 0usize;
+            for &(w, jt) in &[(5u64, 0.06f64), (10, 0.06), (20, 0.06), (5, 0.35)] {
+                let det = AutomationDetector::new(w, jt, 4);
+                for s in &series {
+                    if det.is_automated(s) {
+                        detected += 1;
+                    }
+                }
+            }
+            detected
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_histogram, bench_detector_ablation, bench_table2_sweep
+}
+criterion_main!(benches);

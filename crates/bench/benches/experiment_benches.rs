@@ -1,0 +1,63 @@
+//! End-to-end benchmarks: the cost of regenerating each paper experiment at
+//! test scale (one per table/figure family).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use earlybird_core::{train_cc_model, CcSample};
+use earlybird_eval::lanl::{table2_grid, LanlRun};
+use earlybird_features::CcFeatures;
+
+fn bench_lanl_challenge(c: &mut Criterion) {
+    // Table III end to end (pipeline run amortized outside the loop: the
+    // bench isolates the 20-campaign solve).
+    let challenge = earlybird_bench::lanl_world();
+    let run = LanlRun::new(&challenge);
+    c.bench_function("table3_solve_all_20_campaigns", |b| b.iter(|| run.table3()));
+}
+
+fn bench_table2(c: &mut Criterion) {
+    let challenge = earlybird_bench::lanl_world();
+    let run = LanlRun::new(&challenge);
+    let grid = table2_grid();
+    c.bench_function("table2_parameter_grid", |b| b.iter(|| run.table2(&grid)));
+}
+
+fn bench_fig2_fig3(c: &mut Criterion) {
+    let challenge = earlybird_bench::lanl_world();
+    let run = LanlRun::new(&challenge);
+    c.bench_function("fig2_reduction_series", |b| b.iter(|| run.figure2(4, 10)));
+    c.bench_function("fig3_gap_cdfs", |b| b.iter(|| run.figure3()));
+}
+
+fn bench_regression_fit(c: &mut Criterion) {
+    // Model-training cost as a function of the training population size.
+    let make = |n: usize| -> Vec<CcSample> {
+        (0..n)
+            .map(|k| CcSample {
+                features: CcFeatures {
+                    no_hosts: 1.0 + (k % 5) as f64,
+                    auto_hosts: 1.0 + (k % 3) as f64,
+                    no_ref: (k % 10) as f64 / 10.0,
+                    rare_ua: ((k + 3) % 10) as f64 / 10.0,
+                    dom_age: 10.0 + (k % 900) as f64,
+                    dom_validity: 30.0 + (k % 700) as f64,
+                },
+                reported: k % 3 == 0,
+            })
+            .collect()
+    };
+    let mut group = c.benchmark_group("cc_regression_fit");
+    for n in [100usize, 1_000, 10_000] {
+        let samples = make(n);
+        group.bench_function(format!("n_{n}"), |b| {
+            b.iter(|| train_cc_model(std::hint::black_box(&samples), 0.4).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_lanl_challenge, bench_table2, bench_fig2_fig3, bench_regression_fit
+}
+criterion_main!(benches);

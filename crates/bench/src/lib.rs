@@ -1,0 +1,27 @@
+//! Shared fixtures for the benchmarks and the `experiments` binary.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use earlybird_synthgen::ac::{AcConfig, AcGenerator, AcWorld};
+use earlybird_synthgen::lanl::{LanlChallenge, LanlConfig, LanlGenerator};
+
+/// Generates the benchmark-scale LANL challenge (deterministic).
+pub fn lanl_world() -> LanlChallenge {
+    LanlGenerator::new(LanlConfig::small()).generate()
+}
+
+/// Generates the full-scale LANL challenge used by the experiments binary.
+pub fn lanl_world_full() -> LanlChallenge {
+    LanlGenerator::new(LanlConfig::new(7)).generate()
+}
+
+/// Generates the benchmark-scale AC world (deterministic).
+pub fn ac_world() -> AcWorld {
+    AcGenerator::new(AcConfig::small()).generate()
+}
+
+/// Generates the full-scale AC world used by the experiments binary.
+pub fn ac_world_full() -> AcWorld {
+    AcGenerator::new(AcConfig::new(11)).generate()
+}

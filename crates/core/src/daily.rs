@@ -1,0 +1,279 @@
+//! Daily pipeline orchestration: the "operation" loop of §III-E.
+//!
+//! [`DailyPipeline`] owns the cross-day state — domain/UA histories, the
+//! fold table, the rare sieve — and turns each raw day batch into a
+//! [`DayProduct`]: the reduced contacts indexed for detection, plus every
+//! per-step counter the Fig. 2 reproduction needs. Bootstrap days only feed
+//! the histories; operation days are compared against the profiles *before*
+//! the profiles are updated.
+
+use crate::context::DayContext;
+use earlybird_intel::WhoisRegistry;
+use earlybird_logmodel::{
+    DatasetMeta, Day, DhcpLog, DnsDayLog, DomainInterner, DomainSym, Ipv4, ProxyDayLog,
+};
+use earlybird_pipeline::{
+    normalize_proxy_day, reduce_dns_day, reduce_proxy_day, DayIndex, DnsReductionCounts,
+    DomainHistory, FoldTable, NormalizationCounts, ProxyReductionCounts, RareSieve,
+    ReductionConfig, UaHistory,
+};
+use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Pipeline configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PipelineConfig {
+    /// Domain fold level (2 for enterprise names, 3 for anonymized LANL).
+    pub fold_level: usize,
+    /// Rare-destination unpopularity threshold (10 hosts in the paper).
+    pub unpopular_threshold: usize,
+    /// Rare-UA host threshold (10 hosts in the paper).
+    pub rare_ua_threshold: usize,
+}
+
+impl PipelineConfig {
+    /// Enterprise (AC) configuration: fold to second level.
+    pub fn enterprise() -> Self {
+        PipelineConfig { fold_level: 2, unpopular_threshold: 10, rare_ua_threshold: 10 }
+    }
+
+    /// LANL configuration: fold anonymized names to third level.
+    pub fn lanl() -> Self {
+        PipelineConfig { fold_level: 3, unpopular_threshold: 10, rare_ua_threshold: 10 }
+    }
+}
+
+/// The per-day output of the pipeline.
+#[derive(Debug)]
+pub struct DayProduct {
+    /// The processed day.
+    pub day: Day,
+    /// Index over the day's reduced contacts.
+    pub index: DayIndex,
+    /// Folded-name interner (shared with the pipeline).
+    pub folded: Arc<DomainInterner>,
+    /// DNS reduction counters, for DNS days.
+    pub dns_counts: Option<DnsReductionCounts>,
+    /// Proxy reduction counters, for proxy days.
+    pub proxy_counts: Option<ProxyReductionCounts>,
+    /// Normalization counters, for proxy days.
+    pub norm_counts: Option<NormalizationCounts>,
+}
+
+impl DayProduct {
+    /// Builds the detector-facing context for this day.
+    pub fn context<'a>(
+        &'a self,
+        whois: Option<&'a WhoisRegistry>,
+        whois_defaults: (f64, f64),
+    ) -> DayContext<'a> {
+        DayContext { day: self.day, index: &self.index, folded: &self.folded, whois, whois_defaults }
+    }
+}
+
+/// Cross-day pipeline state.
+#[derive(Debug)]
+pub struct DailyPipeline {
+    cfg: PipelineConfig,
+    fold: FoldTable,
+    history: DomainHistory,
+    ua_history: UaHistory,
+    sieve: RareSieve,
+    ip_literal_cache: RefCell<HashMap<DomainSym, bool>>,
+}
+
+impl DailyPipeline {
+    /// Creates a pipeline over the dataset's raw-name interner.
+    pub fn new(raw: Arc<DomainInterner>, cfg: PipelineConfig) -> Self {
+        DailyPipeline {
+            cfg,
+            fold: FoldTable::new(raw, cfg.fold_level),
+            history: DomainHistory::new(),
+            ua_history: UaHistory::new(cfg.rare_ua_threshold),
+            sieve: RareSieve::new(cfg.unpopular_threshold),
+            ip_literal_cache: RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.cfg
+    }
+
+    /// The folded-name interner (shared with every [`DayProduct`]).
+    pub fn folded_interner(&self) -> &Arc<DomainInterner> {
+        self.fold.folded_interner()
+    }
+
+    /// Interns a seed domain name (IOC) into the folded namespace.
+    pub fn intern_seed(&self, name: &str) -> DomainSym {
+        self.fold.intern_folded(name)
+    }
+
+    /// The destination history (for inspection).
+    pub fn history(&self) -> &DomainHistory {
+        &self.history
+    }
+
+    /// The UA history (for inspection).
+    pub fn ua_history(&self) -> &UaHistory {
+        &self.ua_history
+    }
+
+    /// Ingests a bootstrap DNS day: reduction + history update, no
+    /// detection.
+    pub fn bootstrap_dns_day(&mut self, day: &DnsDayLog, meta: &DatasetMeta) -> DnsReductionCounts {
+        let cfg = ReductionConfig::from_meta(meta);
+        let (contacts, counts) = reduce_dns_day(day, meta, &mut self.fold, &cfg);
+        self.history.update(&contacts);
+        self.ua_history.update(&contacts);
+        counts
+    }
+
+    /// Ingests a bootstrap proxy day.
+    pub fn bootstrap_proxy_day(
+        &mut self,
+        day: &ProxyDayLog,
+        dhcp: &DhcpLog,
+        meta: &DatasetMeta,
+    ) -> (NormalizationCounts, ProxyReductionCounts) {
+        let (normalized, norm_counts) =
+            normalize_proxy_day(day, dhcp, |r| self.is_ip_literal(r.domain));
+        let cfg = ReductionConfig::from_meta(meta);
+        let (contacts, counts) = reduce_proxy_day(&normalized, meta, &mut self.fold, &cfg);
+        self.history.update(&contacts);
+        self.ua_history.update(&contacts);
+        (norm_counts, counts)
+    }
+
+    /// Processes an operation DNS day: reduce, extract rares against the
+    /// *pre-update* history, index, then update the profiles.
+    pub fn process_dns_day(&mut self, day: &DnsDayLog, meta: &DatasetMeta) -> DayProduct {
+        let cfg = ReductionConfig::from_meta(meta);
+        let (contacts, counts) = reduce_dns_day(day, meta, &mut self.fold, &cfg);
+        let rare = self.sieve.extract(&contacts, &self.history);
+        let index = DayIndex::build(day.day, &contacts, rare, Some(&self.ua_history));
+        self.history.update(&contacts);
+        self.ua_history.update(&contacts);
+        DayProduct {
+            day: day.day,
+            index,
+            folded: Arc::clone(self.fold.folded_interner()),
+            dns_counts: Some(counts),
+            proxy_counts: None,
+            norm_counts: None,
+        }
+    }
+
+    /// Processes an operation proxy day.
+    pub fn process_proxy_day(
+        &mut self,
+        day: &ProxyDayLog,
+        dhcp: &DhcpLog,
+        meta: &DatasetMeta,
+    ) -> DayProduct {
+        let (normalized, norm_counts) =
+            normalize_proxy_day(day, dhcp, |r| self.is_ip_literal(r.domain));
+        let cfg = ReductionConfig::from_meta(meta);
+        let (contacts, counts) = reduce_proxy_day(&normalized, meta, &mut self.fold, &cfg);
+        let rare = self.sieve.extract(&contacts, &self.history);
+        let index = DayIndex::build(day.day, &contacts, rare, Some(&self.ua_history));
+        self.history.update(&contacts);
+        self.ua_history.update(&contacts);
+        DayProduct {
+            day: day.day,
+            index,
+            folded: Arc::clone(self.fold.folded_interner()),
+            dns_counts: None,
+            proxy_counts: Some(counts),
+            norm_counts: Some(norm_counts),
+        }
+    }
+
+    /// Whether a raw destination "domain" is an IP literal (§IV-A drops
+    /// those); memoized per symbol.
+    fn is_ip_literal(&self, raw: DomainSym) -> bool {
+        if let Some(&v) = self.ip_literal_cache.borrow().get(&raw) {
+            return v;
+        }
+        let name = self.fold.raw_interner().resolve(raw);
+        let v = name.parse::<Ipv4>().is_ok();
+        self.ip_literal_cache.borrow_mut().insert(raw, v);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use earlybird_synthgen::lanl::{LanlConfig, LanlGenerator};
+
+    #[test]
+    fn bootstrap_then_operation_classifies_rares() {
+        let gen = LanlGenerator::new(LanlConfig::tiny());
+        let challenge = gen.generate();
+        let meta = &challenge.dataset.meta;
+        let mut pipeline =
+            DailyPipeline::new(Arc::clone(&challenge.dataset.domains), PipelineConfig::lanl());
+
+        for day in &challenge.dataset.days[..5] {
+            pipeline.bootstrap_dns_day(day, meta);
+        }
+        assert!(pipeline.history().len() > 50, "history populated");
+
+        let product = pipeline.process_dns_day(&challenge.dataset.days[5], meta);
+        assert!(product.index.rare_count() > 0, "fresh domains appear daily");
+        let counts = product.dns_counts.unwrap();
+        assert!(counts.domains_all >= counts.domains_after_internal_filter);
+        assert!(counts.domains_after_internal_filter >= counts.domains_after_server_filter);
+        assert!(product.index.rare_count() <= counts.domains_after_server_filter);
+    }
+
+    #[test]
+    fn campaign_domains_are_rare_on_their_day() {
+        let gen = LanlGenerator::new(LanlConfig::tiny());
+        let challenge = gen.generate();
+        let meta = &challenge.dataset.meta;
+        let mut pipeline =
+            DailyPipeline::new(Arc::clone(&challenge.dataset.domains), PipelineConfig::lanl());
+
+        let campaign = &challenge.campaigns[0];
+        for day in &challenge.dataset.days {
+            if day.day < campaign.day {
+                pipeline.bootstrap_dns_day(day, meta);
+            }
+        }
+        let product =
+            pipeline.process_dns_day(challenge.dataset.day(campaign.day).unwrap(), meta);
+        for name in campaign.answer_domains() {
+            let sym = pipeline.folded_interner().get(name).expect("campaign domain indexed");
+            assert!(product.index.is_rare(sym), "{name} must be rare on its campaign day");
+        }
+    }
+
+    #[test]
+    fn context_carries_whois_defaults() {
+        let gen = LanlGenerator::new(LanlConfig::tiny());
+        let challenge = gen.generate();
+        let meta = &challenge.dataset.meta;
+        let mut pipeline =
+            DailyPipeline::new(Arc::clone(&challenge.dataset.domains), PipelineConfig::lanl());
+        let product = pipeline.process_dns_day(&challenge.dataset.days[0], meta);
+        let ctx = product.context(None, (123.0, 456.0));
+        let any = product.index.rare_domains().next().expect("some rare domain");
+        assert_eq!(ctx.whois_features(any), (123.0, 456.0));
+    }
+
+    #[test]
+    fn seed_interning_folds() {
+        let gen = LanlGenerator::new(LanlConfig::tiny());
+        let challenge = gen.generate();
+        let pipeline =
+            DailyPipeline::new(Arc::clone(&challenge.dataset.domains), PipelineConfig::lanl());
+        let a = pipeline.intern_seed("deep.sub.rainbow.c3");
+        let b = pipeline.intern_seed("sub.rainbow.c3");
+        assert_eq!(a, b, "seeds fold to the pipeline's level");
+    }
+}

@@ -1,0 +1,240 @@
+//! Feature extraction against a [`DayContext`]: the six C&C features of
+//! §IV-C and the eight domain-similarity features of §IV-D.
+
+use crate::context::DayContext;
+use earlybird_features::{CcFeatures, SimFeatures};
+use earlybird_logmodel::DomainSym;
+use std::collections::BTreeSet;
+
+/// Extracts the C&C feature vector of a rare automated `domain`.
+///
+/// `auto_hosts` is the number of hosts with automated connections to the
+/// domain, as established by the caller's automation pass.
+pub fn cc_features(ctx: &DayContext<'_>, domain: DomainSym, auto_hosts: usize) -> CcFeatures {
+    let (dom_age, dom_validity) = ctx.whois_features(domain);
+    CcFeatures {
+        no_hosts: ctx.index.connectivity(domain) as f64,
+        auto_hosts: auto_hosts as f64,
+        no_ref: ctx.index.no_ref_fraction(domain).unwrap_or(0.0),
+        rare_ua: ctx.index.rare_ua_fraction(domain).unwrap_or(0.0),
+        dom_age,
+        dom_validity,
+    }
+}
+
+/// Extracts the similarity feature vector of candidate `domain` relative to
+/// the malicious set `malicious` of the current belief-propagation state.
+pub fn sim_features(
+    ctx: &DayContext<'_>,
+    domain: DomainSym,
+    malicious: &BTreeSet<DomainSym>,
+) -> SimFeatures {
+    let (dom_age, dom_validity) = ctx.whois_features(domain);
+    SimFeatures {
+        no_hosts: ctx.index.connectivity(domain) as f64,
+        min_interval_secs: min_interval_to_malicious(ctx, domain, malicious),
+        ip24: shares_subnet(ctx, domain, malicious, SubnetLevel::S24),
+        ip16: shares_subnet(ctx, domain, malicious, SubnetLevel::S16),
+        no_ref: ctx.index.no_ref_fraction(domain).unwrap_or(0.0),
+        rare_ua: ctx.index.rare_ua_fraction(domain).unwrap_or(0.0),
+        dom_age,
+        dom_validity,
+    }
+}
+
+/// Minimum gap in seconds between any host's first visit to `domain` and its
+/// first visit to any malicious domain ("the minimum timing difference
+/// between a host visit to domain D and other malicious domains in set S",
+/// §IV-D). `None` when no host visited both sides.
+pub fn min_interval_to_malicious(
+    ctx: &DayContext<'_>,
+    domain: DomainSym,
+    malicious: &BTreeSet<DomainSym>,
+) -> Option<f64> {
+    let hosts = ctx.index.hosts_of(domain)?;
+    let mut best: Option<u64> = None;
+    for &host in hosts {
+        let Some(t_dom) = ctx.index.first_contact(host, domain) else {
+            continue;
+        };
+        for &m in malicious {
+            if m == domain {
+                continue;
+            }
+            if let Some(t_mal) = ctx.index.first_contact(host, m) {
+                let gap = t_dom.abs_diff(t_mal);
+                best = Some(best.map_or(gap, |b| b.min(gap)));
+            }
+        }
+    }
+    best.map(|b| b as f64)
+}
+
+#[derive(Clone, Copy)]
+enum SubnetLevel {
+    S24,
+    S16,
+}
+
+fn shares_subnet(
+    ctx: &DayContext<'_>,
+    domain: DomainSym,
+    malicious: &BTreeSet<DomainSym>,
+    level: SubnetLevel,
+) -> bool {
+    let Some(ips) = ctx.index.ips_of(domain) else {
+        return false;
+    };
+    malicious.iter().filter(|&&m| m != domain).any(|&m| {
+        ctx.index.ips_of(m).is_some_and(|mips| {
+            ips.iter().any(|a| {
+                mips.iter().any(|b| match level {
+                    SubnetLevel::S24 => a.subnet24() == b.subnet24(),
+                    SubnetLevel::S16 => a.subnet16() == b.subnet16(),
+                })
+            })
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use earlybird_logmodel::{Day, DomainInterner, HostId, Ipv4, Timestamp};
+    use earlybird_pipeline::{Contact, DayIndex, DomainHistory, HttpContext, RareSieve};
+
+    struct World {
+        folded: DomainInterner,
+        contacts: Vec<Contact>,
+    }
+
+    impl World {
+        fn new() -> Self {
+            World { folded: DomainInterner::new(), contacts: Vec::new() }
+        }
+
+        fn push(&mut self, ts: u64, host: u32, name: &str, ip: Option<Ipv4>, http: Option<HttpContext>) {
+            self.contacts.push(Contact {
+                ts: Timestamp::from_secs(ts),
+                host: HostId::new(host),
+                domain: self.folded.intern(name),
+                dest_ip: ip,
+                http,
+            });
+        }
+
+        fn index(&mut self) -> DayIndex {
+            self.contacts.sort_by_key(|c| c.ts);
+            let rare = RareSieve::paper_default().extract(&self.contacts, &DomainHistory::new());
+            DayIndex::build(Day::new(0), &self.contacts, rare, None)
+        }
+    }
+
+    #[test]
+    fn cc_features_without_http_or_whois() {
+        let mut w = World::new();
+        w.push(0, 1, "cc.ru", None, None);
+        w.push(600, 1, "cc.ru", None, None);
+        w.push(5, 2, "cc.ru", None, None);
+        let index = w.index();
+        let ctx = DayContext {
+            day: Day::new(0),
+            index: &index,
+            folded: &w.folded,
+            whois: None,
+            whois_defaults: (100.0, 200.0),
+        };
+        let f = cc_features(&ctx, w.folded.get("cc.ru").unwrap(), 1);
+        assert_eq!(f.no_hosts, 2.0);
+        assert_eq!(f.auto_hosts, 1.0);
+        assert_eq!(f.no_ref, 0.0, "no HTTP data -> 0");
+        assert_eq!((f.dom_age, f.dom_validity), (100.0, 200.0));
+    }
+
+    #[test]
+    fn min_interval_uses_first_contacts_of_shared_hosts() {
+        let mut w = World::new();
+        // host 1 visits mal at t=100 and cand at t=160; host 2 visits cand
+        // only — no contribution.
+        w.push(100, 1, "mal.c3", None, None);
+        w.push(160, 1, "cand.c3", None, None);
+        w.push(500, 2, "cand.c3", None, None);
+        let index = w.index();
+        let ctx = DayContext {
+            day: Day::new(0),
+            index: &index,
+            folded: &w.folded,
+            whois: None,
+            whois_defaults: (0.0, 0.0),
+        };
+        let mal: BTreeSet<DomainSym> = [w.folded.get("mal.c3").unwrap()].into_iter().collect();
+        let cand = w.folded.get("cand.c3").unwrap();
+        assert_eq!(min_interval_to_malicious(&ctx, cand, &mal), Some(60.0));
+        // A domain visited by no host that also visited `mal` has no interval.
+        let lonely: BTreeSet<DomainSym> = [cand].into_iter().collect();
+        assert_eq!(min_interval_to_malicious(&ctx, w.folded.get("mal.c3").unwrap(), &lonely), Some(60.0));
+    }
+
+    #[test]
+    fn subnet_sharing_levels() {
+        let mut w = World::new();
+        w.push(1, 1, "mal.c3", Some(Ipv4::new(191, 146, 166, 145)), None);
+        w.push(2, 1, "same24.c3", Some(Ipv4::new(191, 146, 166, 31)), None);
+        w.push(3, 1, "same16.c3", Some(Ipv4::new(191, 146, 224, 111)), None);
+        w.push(4, 1, "far.c3", Some(Ipv4::new(93, 31, 34, 158)), None);
+        let index = w.index();
+        let ctx = DayContext {
+            day: Day::new(0),
+            index: &index,
+            folded: &w.folded,
+            whois: None,
+            whois_defaults: (0.0, 0.0),
+        };
+        let mal: BTreeSet<DomainSym> = [w.folded.get("mal.c3").unwrap()].into_iter().collect();
+        let f24 = sim_features(&ctx, w.folded.get("same24.c3").unwrap(), &mal);
+        assert!(f24.ip24 && f24.ip16, "/24 implies /16");
+        let f16 = sim_features(&ctx, w.folded.get("same16.c3").unwrap(), &mal);
+        assert!(!f16.ip24 && f16.ip16);
+        let far = sim_features(&ctx, w.folded.get("far.c3").unwrap(), &mal);
+        assert!(!far.ip24 && !far.ip16);
+    }
+
+    #[test]
+    fn candidate_never_matches_itself() {
+        let mut w = World::new();
+        w.push(1, 1, "self.c3", Some(Ipv4::new(9, 9, 9, 9)), None);
+        let index = w.index();
+        let ctx = DayContext {
+            day: Day::new(0),
+            index: &index,
+            folded: &w.folded,
+            whois: None,
+            whois_defaults: (0.0, 0.0),
+        };
+        let d = w.folded.get("self.c3").unwrap();
+        let mal: BTreeSet<DomainSym> = [d].into_iter().collect();
+        let f = sim_features(&ctx, d, &mal);
+        assert!(!f.ip24 && !f.ip16);
+        assert_eq!(f.min_interval_secs, None);
+    }
+
+    #[test]
+    fn sim_features_use_http_fractions_when_present() {
+        let mut w = World::new();
+        w.push(1, 1, "mal.c3", None, None);
+        w.push(30, 1, "cand.c3", None, Some(HttpContext { ua: None, referer_present: false }));
+        let index = w.index();
+        let ctx = DayContext {
+            day: Day::new(0),
+            index: &index,
+            folded: &w.folded,
+            whois: None,
+            whois_defaults: (0.0, 0.0),
+        };
+        let mal: BTreeSet<DomainSym> = [w.folded.get("mal.c3").unwrap()].into_iter().collect();
+        let f = sim_features(&ctx, w.folded.get("cand.c3").unwrap(), &mal);
+        assert_eq!(f.no_ref, 1.0);
+        assert_eq!(f.rare_ua, 1.0, "absent UA counts as rare");
+        assert_eq!(f.min_interval_secs, Some(29.0));
+    }
+}

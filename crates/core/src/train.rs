@@ -1,0 +1,206 @@
+//! Training-phase model fitting (§III-E steps 3–4): the C&C scoring model
+//! and the domain-similarity model, each a linear regression on a labeled
+//! two-week population with min-max feature scaling.
+//!
+//! Labels come from VirusTotal: a domain is a positive example when "at
+//! least one anti-virus engine reports it" (§IV-C). Near-collinear features
+//! (AutoHosts vs. NoHosts; IP16 vs. IP24 — exactly the pairs the paper
+//! found insignificant) can make the normal equations singular on synthetic
+//! populations, so fitting falls back to a tiny ridge penalty when needed.
+
+use earlybird_features::{
+    CcFeatures, FeatureScaler, Fit, FitError, LinearRegression, RegressionModel, SimFeatures,
+    CC_FEATURE_NAMES, SIM_FEATURE_NAMES,
+};
+
+/// A labeled C&C training sample.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CcSample {
+    /// Extracted features of a rare automated domain.
+    pub features: CcFeatures,
+    /// Whether VirusTotal reported the domain at training time.
+    pub reported: bool,
+}
+
+/// A labeled domain-similarity training sample.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SimSample {
+    /// Extracted features of a rare (non-automated) domain relative to the
+    /// compromised-host seed set.
+    pub features: SimFeatures,
+    /// Whether VirusTotal reported the domain at training time.
+    pub reported: bool,
+}
+
+fn fit_with_fallback(rows: &[Vec<f64>], y: &[f64]) -> Result<Fit, FitError> {
+    match LinearRegression::fit(rows, y) {
+        Err(FitError::Singular) => LinearRegression::fit_ridge(rows, y, 1e-6),
+        other => other,
+    }
+}
+
+/// Fits the six-feature C&C model with decision threshold `T_c`.
+///
+/// # Errors
+///
+/// Propagates [`FitError`] when the population is too small or degenerate.
+pub fn train_cc_model(
+    samples: &[CcSample],
+    threshold: f64,
+) -> Result<(RegressionModel, FeatureScaler), FitError> {
+    let raw: Vec<Vec<f64>> = samples.iter().map(|s| s.features.to_row()).collect();
+    let scaler = FeatureScaler::fit(&raw).ok_or(FitError::DimensionMismatch)?;
+    let rows = scaler.transform_all(&raw);
+    let y: Vec<f64> = samples.iter().map(|s| if s.reported { 1.0 } else { 0.0 }).collect();
+    let fit = fit_with_fallback(&rows, &y)?;
+    Ok((RegressionModel::new(&CC_FEATURE_NAMES, fit, threshold), scaler))
+}
+
+/// Fits the eight-feature domain-similarity model with decision threshold
+/// `T_s`.
+///
+/// # Errors
+///
+/// Propagates [`FitError`] when the population is too small or degenerate.
+pub fn train_sim_model(
+    samples: &[SimSample],
+    threshold: f64,
+) -> Result<(RegressionModel, FeatureScaler), FitError> {
+    let raw: Vec<Vec<f64>> = samples.iter().map(|s| s.features.to_row()).collect();
+    let scaler = FeatureScaler::fit(&raw).ok_or(FitError::DimensionMismatch)?;
+    let rows = scaler.transform_all(&raw);
+    let y: Vec<f64> = samples.iter().map(|s| if s.reported { 1.0 } else { 0.0 }).collect();
+    let fit = fit_with_fallback(&rows, &y)?;
+    Ok((RegressionModel::new(&SIM_FEATURE_NAMES, fit, threshold), scaler))
+}
+
+/// Population-average `(DomAge, DomValidity)` over known WHOIS answers —
+/// the defaults substituted for unparseable records (§VI-C).
+pub fn whois_defaults(known: impl IntoIterator<Item = (f64, f64)>) -> (f64, f64) {
+    let mut n = 0usize;
+    let (mut age, mut validity) = (0.0, 0.0);
+    for (a, v) in known {
+        age += a;
+        validity += v;
+        n += 1;
+    }
+    if n == 0 {
+        (0.0, 0.0)
+    } else {
+        (age / n as f64, validity / n as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cc_sample(no_ref: f64, dom_age: f64, reported: bool, k: usize) -> CcSample {
+        CcSample {
+            features: CcFeatures {
+                no_hosts: 1.0 + (k % 3) as f64,
+                auto_hosts: 1.0 + (k % 2) as f64,
+                no_ref,
+                rare_ua: if reported { 0.8 } else { 0.2 },
+                dom_age,
+                dom_validity: if reported { 60.0 } else { 800.0 + k as f64 },
+            },
+            reported,
+        }
+    }
+
+    fn population() -> Vec<CcSample> {
+        let mut v = Vec::new();
+        for k in 0..30 {
+            v.push(cc_sample(0.9, 10.0 + k as f64, true, k));
+            v.push(cc_sample(0.1, 1_500.0 + k as f64, false, k));
+        }
+        v
+    }
+
+    #[test]
+    fn cc_model_separates_reported_from_legitimate() {
+        let (model, scaler) = train_cc_model(&population(), 0.5).unwrap();
+        let hot = cc_sample(0.95, 5.0, true, 1).features;
+        let cold = cc_sample(0.05, 2_000.0, false, 1).features;
+        let s_hot = model.score(&scaler.transform(&hot.to_row()));
+        let s_cold = model.score(&scaler.transform(&cold.to_row()));
+        assert!(s_hot > s_cold, "hot {s_hot} vs cold {s_cold}");
+        assert!(model.is_positive(&scaler.transform(&hot.to_row())));
+        assert!(!model.is_positive(&scaler.transform(&cold.to_row())));
+    }
+
+    #[test]
+    fn dom_age_weight_is_negative() {
+        // Reported domains are younger, so the (scaled) DomAge weight must
+        // come out negative — the paper's observation in §VI-A.
+        let (model, _) = train_cc_model(&population(), 0.4).unwrap();
+        let idx = CC_FEATURE_NAMES.iter().position(|n| *n == "DomAge").unwrap();
+        assert!(model.fit().coefficient(idx) < 0.0);
+    }
+
+    #[test]
+    fn collinear_population_falls_back_to_ridge() {
+        // Make AutoHosts identical to NoHosts -> perfectly collinear.
+        let samples: Vec<CcSample> = (0..40)
+            .map(|k| {
+                let reported = k % 2 == 0;
+                CcSample {
+                    features: CcFeatures {
+                        no_hosts: 1.0 + (k % 4) as f64,
+                        auto_hosts: 1.0 + (k % 4) as f64,
+                        no_ref: if reported { 0.9 } else { 0.1 },
+                        rare_ua: 0.5,
+                        dom_age: 100.0,
+                        dom_validity: 100.0,
+                    },
+                    reported,
+                }
+            })
+            .collect();
+        let result = train_cc_model(&samples, 0.4);
+        assert!(result.is_ok(), "ridge fallback must handle collinearity: {result:?}");
+    }
+
+    #[test]
+    fn sim_model_fits_and_scores() {
+        let samples: Vec<SimSample> = (0..40)
+            .map(|k| {
+                let reported = k % 2 == 0;
+                SimSample {
+                    features: SimFeatures {
+                        no_hosts: 1.0 + (k % 3) as f64,
+                        min_interval_secs: Some(if reported { 30.0 } else { 20_000.0 + k as f64 }),
+                        ip24: reported && k % 4 == 0,
+                        ip16: reported,
+                        no_ref: if reported { 0.8 } else { 0.3 },
+                        rare_ua: if reported { 0.7 } else { 0.1 },
+                        dom_age: if reported { 12.0 } else { 900.0 + k as f64 },
+                        dom_validity: if reported { 90.0 } else { 1_000.0 },
+                    },
+                    reported,
+                }
+            })
+            .collect();
+        let (model, scaler) = train_sim_model(&samples, 0.4).unwrap();
+        let hot = samples[0].features;
+        let cold = samples[1].features;
+        assert!(
+            model.score(&scaler.transform(&hot.to_row()))
+                > model.score(&scaler.transform(&cold.to_row()))
+        );
+        assert_eq!(model.feature_names().count(), SIM_FEATURE_NAMES.len());
+    }
+
+    #[test]
+    fn too_few_samples_error() {
+        let samples: Vec<CcSample> = (0..3).map(|k| cc_sample(0.5, 10.0, k % 2 == 0, k)).collect();
+        assert!(train_cc_model(&samples, 0.4).is_err());
+    }
+
+    #[test]
+    fn whois_defaults_average() {
+        assert_eq!(whois_defaults([(10.0, 100.0), (30.0, 300.0)]), (20.0, 200.0));
+        assert_eq!(whois_defaults([]), (0.0, 0.0));
+    }
+}

@@ -1,0 +1,483 @@
+//! The enterprise (AC) evaluation harness (§VI): trains the C&C and
+//! similarity regression models on the first two February weeks, scores all
+//! automated domains, and regenerates Fig. 5, Fig. 6(a)/(b)/(c) and the
+//! Fig. 7/8 community case studies.
+
+use earlybird_core::{
+    belief_propagation, cc_features, sim_features, train_cc_model, train_sim_model,
+    whois_defaults, BpConfig, BpOutcome, CcDetector, CcModel, CcSample, DailyPipeline,
+    DayProduct, LabelReason, PipelineConfig, Seeds, SimSample, SimScorer,
+};
+use earlybird_features::FitError;
+use earlybird_intel::{DetectionCategory, TrueClass, WhoisAnswer};
+use earlybird_logmodel::{Day, DomainSym};
+use earlybird_synthgen::ac::AcWorld;
+use earlybird_timing::AutomationDetector;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Fig. 5 data: training-set scores of VT-reported vs. legitimate automated
+/// domains, sorted ascending.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Fig5 {
+    /// Scores of domains reported by VirusTotal at training time.
+    pub reported: Vec<f64>,
+    /// Scores of the remaining (presumed legitimate) automated domains.
+    pub legitimate: Vec<f64>,
+}
+
+/// One stacked bar of Fig. 6: category counts at one threshold.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Fig6Row {
+    /// The score threshold.
+    pub threshold: f64,
+    /// Detections known to VirusTotal or the SOC at validation time.
+    pub known: usize,
+    /// Truly malicious detections unknown to both (new discoveries).
+    pub new_malicious: usize,
+    /// Suspicious detections.
+    pub suspicious: usize,
+    /// Benign detections (false positives).
+    pub legitimate: usize,
+}
+
+impl Fig6Row {
+    /// All detections at this threshold.
+    pub fn total(&self) -> usize {
+        self.known + self.new_malicious + self.suspicious + self.legitimate
+    }
+
+    /// True detection rate (malicious + suspicious over all).
+    pub fn tdr(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            (self.known + self.new_malicious + self.suspicious) as f64 / self.total() as f64
+        }
+    }
+
+    /// New-discovery rate.
+    pub fn ndr(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            (self.new_malicious + self.suspicious) as f64 / self.total() as f64
+        }
+    }
+}
+
+/// A detected community for the Fig. 7/8 case studies.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CaseStudy {
+    /// February day-of-month.
+    pub feb_day: u32,
+    /// The raw outcome with iteration traces.
+    pub outcome: BpOutcome,
+    /// `(domain name, reason, score, category)` per labeled domain.
+    pub domains: Vec<(String, LabelReason, f64, DetectionCategory)>,
+    /// Number of compromised hosts in the community.
+    pub host_count: usize,
+    /// Graphviz rendering of the community.
+    pub dot: String,
+}
+
+/// The trained enterprise harness.
+pub struct AcHarness<'a> {
+    world: &'a AcWorld,
+    products: BTreeMap<Day, DayProduct>,
+    cc_detector: CcDetector,
+    sim_scorer: SimScorer,
+    whois_defaults: (f64, f64),
+    /// Per-day raw scores of every rare automated domain: `(day, sym, score)`.
+    cc_scores: Vec<(Day, DomainSym, f64)>,
+    /// Training-population scores with VT labels (Fig. 5).
+    training_scores: Vec<(f64, bool)>,
+}
+
+impl<'a> AcHarness<'a> {
+    /// Bootstraps on January, processes February, trains both models on the
+    /// first two February weeks, and scores every automated domain.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`FitError`] when the synthetic population is
+    /// too small to fit the regressions (use a larger [`earlybird_synthgen::ac::AcConfig`]).
+    pub fn build(world: &'a AcWorld) -> Result<Self, FitError> {
+        let meta = &world.dataset.meta;
+        let mut pipeline =
+            DailyPipeline::new(std::sync::Arc::clone(&world.dataset.domains), PipelineConfig::enterprise());
+        let mut products = BTreeMap::new();
+        for day_log in &world.dataset.days {
+            if day_log.day.index() < meta.bootstrap_days {
+                pipeline.bootstrap_proxy_day(day_log, &world.dataset.dhcp, meta);
+            } else {
+                let p = pipeline.process_proxy_day(day_log, &world.dataset.dhcp, meta);
+                products.insert(day_log.day, p);
+            }
+        }
+
+        let automation = AutomationDetector::paper_default();
+        let train_end = world.config.feb_day(14);
+
+        // Pass 1: WHOIS defaults over the automated-domain population.
+        let mut known_whois = Vec::new();
+        for (day, product) in &products {
+            for (dom, _) in automated_domains(&automation, product) {
+                let name = product.folded.resolve(dom);
+                if let WhoisAnswer::Known { age_days, validity_days } =
+                    world.intel.whois.lookup(&name, *day)
+                {
+                    known_whois.push((age_days, validity_days));
+                }
+            }
+        }
+        let defaults = whois_defaults(known_whois);
+
+        // Pass 2: training samples from the first two weeks.
+        let mut cc_samples = Vec::new();
+        for (_day, product) in products.range(..=train_end) {
+            let ctx = product.context(Some(&world.intel.whois), defaults);
+            for (dom, auto_hosts) in automated_domains(&automation, product) {
+                let features = cc_features(&ctx, dom, auto_hosts);
+                let name = product.folded.resolve(dom);
+                let reported = world.intel.vt.is_reported(&name, train_end);
+                cc_samples.push(CcSample { features, reported });
+            }
+        }
+        let (cc_model, cc_scaler) = train_cc_model(&cc_samples, 0.4)?;
+
+        // Similarity training: rare non-automated domains contacted by hosts
+        // that also contact VT-confirmed automated domains (§VI-A).
+        let mut sim_samples = Vec::new();
+        for (_day, product) in products.range(..=train_end) {
+            let ctx = product.context(Some(&world.intel.whois), defaults);
+            let mut confirmed: BTreeSet<DomainSym> = BTreeSet::new();
+            let mut hosts = BTreeSet::new();
+            for (dom, _) in automated_domains(&automation, product) {
+                let name = product.folded.resolve(dom);
+                if world.intel.vt.is_reported(&name, train_end) {
+                    confirmed.insert(dom);
+                    if let Some(hs) = product.index.hosts_of(dom) {
+                        hosts.extend(hs.iter().copied());
+                    }
+                }
+            }
+            if confirmed.is_empty() {
+                continue;
+            }
+            let mut seen = BTreeSet::new();
+            for &h in &hosts {
+                let Some(rdoms) = product.index.rare_domains_of(h) else { continue };
+                for &d in rdoms {
+                    if confirmed.contains(&d) || !seen.insert(d) {
+                        continue;
+                    }
+                    let features = sim_features(&ctx, d, &confirmed);
+                    let name = product.folded.resolve(d);
+                    let reported = world.intel.vt.is_reported(&name, train_end);
+                    sim_samples.push(SimSample { features, reported });
+                }
+            }
+        }
+        let (sim_model, sim_scaler) = train_sim_model(&sim_samples, 0.4)?;
+
+        // Pass 3: score every automated domain over the whole month.
+        let mut cc_scores = Vec::new();
+        let mut training_scores = Vec::new();
+        for (day, product) in &products {
+            let ctx = product.context(Some(&world.intel.whois), defaults);
+            for (dom, auto_hosts) in automated_domains(&automation, product) {
+                let features = cc_features(&ctx, dom, auto_hosts);
+                let score = cc_model.score(&cc_scaler.transform(&features.to_row()));
+                cc_scores.push((*day, dom, score));
+                if *day <= train_end {
+                    let name = product.folded.resolve(dom);
+                    training_scores.push((score, world.intel.vt.is_reported(&name, train_end)));
+                }
+            }
+        }
+
+        Ok(AcHarness {
+            world,
+            products,
+            cc_detector: CcDetector::new(
+                automation,
+                CcModel::Regression { model: cc_model, scaler: cc_scaler },
+            ),
+            sim_scorer: SimScorer::Regression { model: sim_model, scaler: sim_scaler },
+            whois_defaults: defaults,
+            cc_scores,
+            training_scores,
+        })
+    }
+
+    /// The world the harness was built over.
+    pub fn world(&self) -> &'a AcWorld {
+        self.world
+    }
+
+    /// The trained C&C detector.
+    pub fn cc_detector(&self) -> &CcDetector {
+        &self.cc_detector
+    }
+
+    /// The trained similarity scorer.
+    pub fn sim_scorer(&self) -> &SimScorer {
+        &self.sim_scorer
+    }
+
+    /// The per-day products (February).
+    pub fn products(&self) -> &BTreeMap<Day, DayProduct> {
+        &self.products
+    }
+
+    /// The WHOIS population defaults `(DomAge, DomValidity)`.
+    pub fn whois_defaults(&self) -> (f64, f64) {
+        self.whois_defaults
+    }
+
+    /// Validation category of a folded domain name, using the paper's
+    /// months-later semantics (VT and IOC knowledge with full catch-up).
+    pub fn categorize(&self, name: &str) -> DetectionCategory {
+        let intel = &self.world.intel;
+        if intel.vt.is_ever_reported(name) || intel.ioc.contains_ever(name) {
+            return DetectionCategory::KnownMalicious;
+        }
+        match intel.truth.class_of(name) {
+            TrueClass::Malicious(_) => DetectionCategory::NewMalicious,
+            TrueClass::Suspicious => DetectionCategory::Suspicious,
+            TrueClass::Benign => DetectionCategory::Legitimate,
+        }
+    }
+
+    fn tally(&self, threshold: f64, names: impl IntoIterator<Item = String>) -> Fig6Row {
+        let mut row =
+            Fig6Row { threshold, known: 0, new_malicious: 0, suspicious: 0, legitimate: 0 };
+        for name in names {
+            match self.categorize(&name) {
+                DetectionCategory::KnownMalicious => row.known += 1,
+                DetectionCategory::NewMalicious => row.new_malicious += 1,
+                DetectionCategory::Suspicious => row.suspicious += 1,
+                DetectionCategory::Legitimate => row.legitimate += 1,
+            }
+        }
+        row
+    }
+
+    /// Fig. 5: training-population score CDFs.
+    pub fn figure5(&self) -> Fig5 {
+        let mut fig = Fig5::default();
+        for &(score, reported) in &self.training_scores {
+            if reported {
+                fig.reported.push(score);
+            } else {
+                fig.legitimate.push(score);
+            }
+        }
+        fig.reported.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        fig.legitimate.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        fig
+    }
+
+    /// Fig. 6(a): distinct domains labeled C&C at each threshold, by
+    /// validation category.
+    pub fn figure6a(&self, thresholds: &[f64]) -> Vec<Fig6Row> {
+        thresholds
+            .iter()
+            .map(|&t| {
+                let mut names: BTreeSet<String> = BTreeSet::new();
+                for (day, dom, score) in &self.cc_scores {
+                    if *score >= t {
+                        let product = &self.products[day];
+                        names.insert(product.folded.resolve(*dom).to_string());
+                    }
+                }
+                self.tally(t, names)
+            })
+            .collect()
+    }
+
+    /// Fig. 6(b): the no-hint mode. C&C domains at threshold `tc` seed
+    /// belief propagation; the similarity threshold `T_s` sweeps
+    /// `ts_values`. Detected C&C seeds count as detections (they are this
+    /// mode's own output).
+    pub fn figure6b(&self, tc: f64, ts_values: &[f64]) -> Vec<Fig6Row> {
+        ts_values
+            .iter()
+            .map(|&ts| {
+                let mut sim = self.sim_scorer.clone();
+                sim.set_threshold(ts);
+                let mut names: BTreeSet<String> = BTreeSet::new();
+                for (day, product) in &self.products {
+                    let ctx = product.context(Some(&self.world.intel.whois), self.whois_defaults);
+                    let seeds_syms: Vec<DomainSym> = self
+                        .cc_scores
+                        .iter()
+                        .filter(|(d, _, s)| d == day && *s >= tc)
+                        .map(|(_, dom, _)| *dom)
+                        .collect();
+                    if seeds_syms.is_empty() {
+                        continue;
+                    }
+                    let seeds = Seeds::from_domains_with_hosts(&ctx, seeds_syms);
+                    let out = belief_propagation(
+                        &ctx,
+                        Some(&self.cc_detector),
+                        &sim,
+                        &seeds,
+                        &BpConfig::enterprise_default(),
+                    );
+                    for d in &out.labeled {
+                        names.insert(product.folded.resolve(d.domain).to_string());
+                    }
+                }
+                self.tally(ts, names)
+            })
+            .collect()
+    }
+
+    /// Fig. 6(c): the SOC-hints mode, seeded with the IOC feed; seeds are
+    /// *not* counted as detections.
+    pub fn figure6c(&self, ts_values: &[f64]) -> Vec<Fig6Row> {
+        ts_values
+            .iter()
+            .map(|&ts| {
+                let mut sim = self.sim_scorer.clone();
+                sim.set_threshold(ts);
+                let mut names: BTreeSet<String> = BTreeSet::new();
+                for (day, product) in &self.products {
+                    let ctx = product.context(Some(&self.world.intel.whois), self.whois_defaults);
+                    let seeds_syms: Vec<DomainSym> = self
+                        .world
+                        .intel
+                        .ioc
+                        .visible(*day)
+                        .filter_map(|name| product.folded.get(name))
+                        .filter(|&d| product.index.connectivity(d) > 0)
+                        .collect();
+                    if seeds_syms.is_empty() {
+                        continue;
+                    }
+                    let seeds = Seeds::from_domains_with_hosts(&ctx, seeds_syms);
+                    let out = belief_propagation(
+                        &ctx,
+                        Some(&self.cc_detector),
+                        &sim,
+                        &seeds,
+                        &BpConfig::enterprise_default(),
+                    );
+                    for d in out.detected() {
+                        names.insert(product.folded.resolve(d.domain).to_string());
+                    }
+                }
+                self.tally(ts, names)
+            })
+            .collect()
+    }
+
+    /// The Fig. 7 case study: the no-hint community on a February day
+    /// (2/13 in the paper).
+    pub fn case_study_nohint(&self, feb_day: u32, tc: f64, ts: f64) -> Option<CaseStudy> {
+        let day = self.world.config.feb_day(feb_day);
+        let product = self.products.get(&day)?;
+        let ctx = product.context(Some(&self.world.intel.whois), self.whois_defaults);
+        let seeds_syms: Vec<DomainSym> = self
+            .cc_scores
+            .iter()
+            .filter(|(d, _, s)| *d == day && *s >= tc)
+            .map(|(_, dom, _)| *dom)
+            .collect();
+        let seeds = Seeds::from_domains_with_hosts(&ctx, seeds_syms);
+        let mut sim = self.sim_scorer.clone();
+        sim.set_threshold(ts);
+        let out = belief_propagation(
+            &ctx,
+            Some(&self.cc_detector),
+            &sim,
+            &seeds,
+            &BpConfig::enterprise_default(),
+        );
+        Some(self.finish_case_study(feb_day, product, out))
+    }
+
+    /// The Fig. 8 case study: the SOC-hints community on a February day
+    /// (2/10 in the paper).
+    pub fn case_study_hints(&self, feb_day: u32, ts: f64) -> Option<CaseStudy> {
+        let day = self.world.config.feb_day(feb_day);
+        let product = self.products.get(&day)?;
+        let ctx = product.context(Some(&self.world.intel.whois), self.whois_defaults);
+        let seeds_syms: Vec<DomainSym> = self
+            .world
+            .intel
+            .ioc
+            .visible(day)
+            .filter_map(|name| product.folded.get(name))
+            .filter(|&d| product.index.connectivity(d) > 0)
+            .collect();
+        let seeds = Seeds::from_domains_with_hosts(&ctx, seeds_syms);
+        let mut sim = self.sim_scorer.clone();
+        sim.set_threshold(ts);
+        let out = belief_propagation(
+            &ctx,
+            Some(&self.cc_detector),
+            &sim,
+            &seeds,
+            &BpConfig::enterprise_default(),
+        );
+        Some(self.finish_case_study(feb_day, product, out))
+    }
+
+    fn finish_case_study(&self, feb_day: u32, product: &DayProduct, out: BpOutcome) -> CaseStudy {
+        let domains: Vec<(String, LabelReason, f64, DetectionCategory)> = out
+            .labeled
+            .iter()
+            .map(|d| {
+                let name = product.folded.resolve(d.domain).to_string();
+                let cat = self.categorize(&name);
+                (name, d.reason, d.score, cat)
+            })
+            .collect();
+        let ctx = product.context(Some(&self.world.intel.whois), self.whois_defaults);
+        let dot = crate::dot::community_dot("community", &ctx, &out, |name| {
+            match self.categorize(name) {
+                DetectionCategory::KnownMalicious => "mediumpurple1",
+                DetectionCategory::NewMalicious => "gray80",
+                DetectionCategory::Suspicious => "khaki1",
+                DetectionCategory::Legitimate => "palegreen",
+            }
+        });
+        CaseStudy {
+            feb_day,
+            host_count: out.compromised_hosts.len(),
+            outcome: out,
+            domains,
+            dot,
+        }
+    }
+}
+
+/// Rare domains with automated connections in a day product:
+/// `(domain, automated host count)`.
+fn automated_domains(
+    automation: &AutomationDetector,
+    product: &DayProduct,
+) -> Vec<(DomainSym, usize)> {
+    let mut out = Vec::new();
+    for dom in product.index.rare_domains() {
+        let Some(hosts) = product.index.hosts_of(dom) else { continue };
+        let n = hosts
+            .iter()
+            .filter(|&&h| {
+                product
+                    .index
+                    .beacon_series(h, dom)
+                    .is_some_and(|series| automation.is_automated(series))
+            })
+            .count();
+        if n > 0 {
+            out.push((dom, n));
+        }
+    }
+    out.sort_by_key(|(d, _)| *d);
+    out
+}

@@ -1,0 +1,94 @@
+//! Graphviz (DOT) export of detected communities — the rendering behind the
+//! paper's Fig. 4, 7 and 8 community diagrams.
+
+use earlybird_core::{BpOutcome, DayContext, LabelReason};
+
+/// Renders a labeled community as a Graphviz digraph: box nodes for hosts,
+/// ellipse nodes for domains (filled by `category_color`), and an edge for
+/// every compromised-host→labeled-domain contact in the day's index.
+///
+/// Seed domains are drawn as diamonds, mirroring the paper's Fig. 8 legend.
+pub fn community_dot(
+    title: &str,
+    ctx: &DayContext<'_>,
+    outcome: &BpOutcome,
+    category_color: impl Fn(&str) -> &'static str,
+) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("digraph \"{title}\" {{\n"));
+    out.push_str("  rankdir=LR;\n  node [fontsize=10];\n");
+
+    for host in &outcome.compromised_hosts {
+        out.push_str(&format!("  \"{host}\" [shape=box, style=filled, fillcolor=lightcoral];\n"));
+    }
+    for d in &outcome.labeled {
+        let name = ctx.folded.resolve(d.domain);
+        let shape = if d.reason == LabelReason::Seed { "diamond" } else { "ellipse" };
+        let color = category_color(&name);
+        out.push_str(&format!(
+            "  \"{name}\" [shape={shape}, style=filled, fillcolor={color}, label=\"{name}\\nscore={score:.2}\"];\n",
+            score = d.score,
+        ));
+    }
+    for d in &outcome.labeled {
+        let name = ctx.folded.resolve(d.domain);
+        if let Some(hosts) = ctx.index.hosts_of(d.domain) {
+            for host in hosts {
+                if outcome.compromised_hosts.contains(host) {
+                    out.push_str(&format!("  \"{host}\" -> \"{name}\";\n"));
+                }
+            }
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use earlybird_core::{belief_propagation, BpConfig, Seeds, SimScorer};
+    use earlybird_logmodel::{Day, DomainInterner, HostId, Timestamp};
+    use earlybird_pipeline::{Contact, DayIndex, DomainHistory, RareSieve};
+
+    #[test]
+    fn dot_contains_hosts_domains_and_edges() {
+        let folded = DomainInterner::new();
+        let mut contacts = vec![
+            Contact {
+                ts: Timestamp::from_secs(100),
+                host: HostId::new(1),
+                domain: folded.intern("seed.ru"),
+                dest_ip: None,
+                http: None,
+            },
+            Contact {
+                ts: Timestamp::from_secs(130),
+                host: HostId::new(1),
+                domain: folded.intern("related.ru"),
+                dest_ip: None,
+                http: None,
+            },
+        ];
+        contacts.sort_by_key(|c| c.ts);
+        let rare = RareSieve::paper_default().extract(&contacts, &DomainHistory::new());
+        let index = DayIndex::build(Day::new(0), &contacts, rare, None);
+        let ctx = DayContext {
+            day: Day::new(0),
+            index: &index,
+            folded: &folded,
+            whois: None,
+            whois_defaults: (0.0, 0.0),
+        };
+        let seeds = Seeds::from_domains_with_hosts(&ctx, [folded.get("seed.ru").unwrap()]);
+        let out = belief_propagation(&ctx, None, &SimScorer::lanl_default(), &seeds, &BpConfig::lanl_default());
+
+        let dot = community_dot("test", &ctx, &out, |_| "gray80");
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("\"host-1\""), "{dot}");
+        assert!(dot.contains("\"seed.ru\""));
+        assert!(dot.contains("shape=diamond"), "seed drawn as diamond");
+        assert!(dot.contains("\"host-1\" -> \"seed.ru\""));
+        assert!(dot.ends_with("}\n"));
+    }
+}

@@ -1,0 +1,32 @@
+//! Evaluation harnesses reproducing every table and figure of the DSN'15
+//! paper on the synthetic LANL and AC datasets.
+//!
+//! * [`metrics`] — TDR / FDR / FNR / NDR (§V-C, §VI-B).
+//! * [`lanl`] — the LANL challenge: pipeline run, Table II parameter sweep,
+//!   Table III per-case results, Fig. 2 reduction series, Fig. 3 timing
+//!   CDFs, and the Fig. 4 belief-propagation trace.
+//! * [`ac`] — the enterprise evaluation: C&C model training, Fig. 5 score
+//!   CDFs, the Fig. 6(a)/(b)/(c) threshold sweeps, and the Fig. 7/8
+//!   community case studies.
+//! * [`evasion`] — the §VIII evasion study: beacon jitter vs detection
+//!   rate across the paper detector, a wide-parameter variant, and the
+//!   baselines.
+//! * [`report`] — fixed-width table rendering for experiment output.
+//! * [`dot`] — Graphviz export of detected communities.
+//! * [`export`] — JSON artifact export.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ac;
+pub mod dot;
+pub mod evasion;
+pub mod export;
+pub mod lanl;
+pub mod metrics;
+pub mod report;
+
+pub use ac::{AcHarness, CaseStudy, Fig5, Fig6Row};
+pub use evasion::{evasion_study, EvasionRow};
+pub use lanl::{CampaignResult, Fig2Row, Fig3Data, LanlRun, Table2Row, Table3};
+pub use metrics::{DetectionTally, Rates};

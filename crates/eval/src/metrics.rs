@@ -1,0 +1,120 @@
+//! Detection metrics (§V-C, §VI-B).
+//!
+//! * **TDR** — true detection rate: true positives over all detections.
+//! * **FDR** — false detection rate: `1 - TDR`.
+//! * **FNR** — false negative rate: missed malicious domains over all
+//!   malicious domains.
+//! * **NDR** — new-discovery rate: detections unknown to both VirusTotal
+//!   and the SOC over all detections.
+
+use serde::{Deserialize, Serialize};
+
+/// Aggregated detection counts.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DetectionTally {
+    /// Detected and truly malicious/suspicious.
+    pub true_positives: usize,
+    /// Detected but benign.
+    pub false_positives: usize,
+    /// Malicious but not detected.
+    pub false_negatives: usize,
+    /// Detected, truly positive, and unknown to VT/SOC (new discoveries).
+    pub new_discoveries: usize,
+}
+
+impl DetectionTally {
+    /// Accumulates another tally.
+    pub fn add(&mut self, other: DetectionTally) {
+        self.true_positives += other.true_positives;
+        self.false_positives += other.false_positives;
+        self.false_negatives += other.false_negatives;
+        self.new_discoveries += other.new_discoveries;
+    }
+
+    /// All detections (TP + FP).
+    pub fn detected(&self) -> usize {
+        self.true_positives + self.false_positives
+    }
+
+    /// Derived rates.
+    pub fn rates(&self) -> Rates {
+        let detected = self.detected();
+        let tdr = if detected == 0 { 0.0 } else { self.true_positives as f64 / detected as f64 };
+        let malicious = self.true_positives + self.false_negatives;
+        let fnr =
+            if malicious == 0 { 0.0 } else { self.false_negatives as f64 / malicious as f64 };
+        let ndr = if detected == 0 { 0.0 } else { self.new_discoveries as f64 / detected as f64 };
+        Rates { tdr, fdr: 1.0 - tdr, fnr, ndr }
+    }
+}
+
+/// Derived detection rates, each in `[0, 1]`.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Rates {
+    /// True detection rate.
+    pub tdr: f64,
+    /// False detection rate (`1 - tdr`).
+    pub fdr: f64,
+    /// False negative rate.
+    pub fnr: f64,
+    /// New-discovery rate.
+    pub ndr: f64,
+}
+
+impl Rates {
+    /// Formats a rate as a percentage with two decimals (paper style).
+    pub fn pct(x: f64) -> String {
+        format!("{:.2}%", x * 100.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_overall_numbers_reproduce() {
+        // Table III totals: 59 TP, 1 FP, 4 FN -> TDR 98.33%, FDR 1.67%,
+        // FNR 6.35%.
+        let t = DetectionTally {
+            true_positives: 59,
+            false_positives: 1,
+            false_negatives: 4,
+            new_discoveries: 0,
+        };
+        let r = t.rates();
+        assert!((r.tdr - 0.9833).abs() < 1e-3, "tdr = {}", r.tdr);
+        assert!((r.fdr - 0.0167).abs() < 1e-3);
+        assert!((r.fnr - 0.0635).abs() < 1e-3);
+        assert_eq!(Rates::pct(r.tdr), "98.33%");
+    }
+
+    #[test]
+    fn ndr_counts_unknown_positives() {
+        // Fig. 6(b) at threshold 0.33: 265 detected, 70 new -> NDR 26.4%.
+        let t = DetectionTally {
+            true_positives: 202,
+            false_positives: 63,
+            false_negatives: 0,
+            new_discoveries: 70,
+        };
+        assert!((t.rates().ndr - 0.264).abs() < 1e-3);
+    }
+
+    #[test]
+    fn empty_tally_has_zero_rates() {
+        let r = DetectionTally::default().rates();
+        assert_eq!(r.tdr, 0.0);
+        assert_eq!(r.fnr, 0.0);
+        assert_eq!(r.ndr, 0.0);
+    }
+
+    #[test]
+    fn add_accumulates() {
+        let mut a = DetectionTally { true_positives: 1, false_positives: 2, false_negatives: 3, new_discoveries: 0 };
+        a.add(DetectionTally { true_positives: 10, false_positives: 0, false_negatives: 1, new_discoveries: 4 });
+        assert_eq!(a.true_positives, 11);
+        assert_eq!(a.detected(), 13);
+        assert_eq!(a.false_negatives, 4);
+    }
+}

@@ -1,0 +1,184 @@
+//! The LANL additive domain score (§V-B).
+//!
+//! The anonymized LANL data offers too few labeled samples to train a
+//! regression, so the paper scores a candidate domain as the *normalized sum*
+//! of three components relative to the already-labeled malicious set:
+//! domain connectivity, timing correlation (0/1), and IP-space proximity
+//! (2 for a shared /24, 1 for a shared /16, 0 otherwise), with threshold
+//! `T_s = 0.25`.
+
+use serde::{Deserialize, Serialize};
+
+/// IP-space proximity of a candidate domain to the labeled-malicious set.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum IpProximity {
+    /// No shared subnet.
+    #[default]
+    None,
+    /// Shares a /16 subnet with a malicious domain (component value 1).
+    SameSubnet16,
+    /// Shares a /24 subnet with a malicious domain (component value 2).
+    SameSubnet24,
+}
+
+impl IpProximity {
+    /// The paper's component value: 2 for /24, 1 for /16, 0 otherwise.
+    pub fn component(self) -> f64 {
+        match self {
+            IpProximity::None => 0.0,
+            IpProximity::SameSubnet16 => 1.0,
+            IpProximity::SameSubnet24 => 2.0,
+        }
+    }
+}
+
+/// A scored breakdown of the additive function.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AdditiveScore {
+    /// Connectivity component in `[0, 1]`.
+    pub connectivity: f64,
+    /// Timing-correlation component in `{0, 1}`.
+    pub timing: f64,
+    /// IP-proximity component in `[0, 1]` (normalized from `{0, 1, 2}`).
+    pub ip: f64,
+    /// Normalized total in `[0, 1]`: the mean of the three components.
+    pub total: f64,
+}
+
+/// The additive scorer with its connectivity cap.
+///
+/// Connectivity saturates at `conn_cap` hosts: a rare domain contacted by
+/// `conn_cap` or more distinct hosts carries full connectivity weight.
+///
+/// # Example
+///
+/// ```
+/// use earlybird_features::{AdditiveScorer, IpProximity};
+/// let scorer = AdditiveScorer::paper_default();
+/// let s = scorer.score(2, true, IpProximity::SameSubnet24);
+/// assert!(s.total >= 0.25, "timing + /24 proximity clears T_s");
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AdditiveScorer {
+    conn_cap: u32,
+}
+
+impl AdditiveScorer {
+    /// Creates a scorer saturating connectivity at `conn_cap` hosts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `conn_cap` is zero.
+    pub fn new(conn_cap: u32) -> Self {
+        assert!(conn_cap > 0, "connectivity cap must be positive");
+        AdditiveScorer { conn_cap }
+    }
+
+    /// The configuration used for the LANL challenge (cap of 3 hosts,
+    /// matching the multi-victim campaigns of the simulations).
+    pub fn paper_default() -> Self {
+        AdditiveScorer::new(3)
+    }
+
+    /// The LANL threshold `T_s = 0.25` chosen on the training campaigns.
+    pub const PAPER_THRESHOLD: f64 = 0.25;
+
+    /// Scores a candidate domain.
+    ///
+    /// `connectivity` is the number of distinct internal hosts contacting
+    /// the domain; `timing_correlated` is whether some host visited the
+    /// domain close in time to a labeled malicious domain; `ip` is the
+    /// IP-space proximity.
+    pub fn score(&self, connectivity: u32, timing_correlated: bool, ip: IpProximity) -> AdditiveScore {
+        let connectivity = connectivity.min(self.conn_cap) as f64 / self.conn_cap as f64;
+        let timing = if timing_correlated { 1.0 } else { 0.0 };
+        let ip = ip.component() / 2.0;
+        AdditiveScore { connectivity, timing, ip, total: (connectivity + timing + ip) / 3.0 }
+    }
+}
+
+impl Default for AdditiveScorer {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn ip_component_values_match_paper() {
+        assert_eq!(IpProximity::None.component(), 0.0);
+        assert_eq!(IpProximity::SameSubnet16.component(), 1.0);
+        assert_eq!(IpProximity::SameSubnet24.component(), 2.0);
+    }
+
+    #[test]
+    fn all_components_zero_scores_zero() {
+        let s = AdditiveScorer::paper_default().score(0, false, IpProximity::None);
+        assert_eq!(s.total, 0.0);
+    }
+
+    #[test]
+    fn all_components_max_scores_one() {
+        let s = AdditiveScorer::paper_default().score(5, true, IpProximity::SameSubnet24);
+        assert_eq!(s.total, 1.0);
+    }
+
+    #[test]
+    fn timing_alone_clears_lanl_threshold() {
+        let s = AdditiveScorer::paper_default().score(1, true, IpProximity::None);
+        assert!(s.total >= AdditiveScorer::PAPER_THRESHOLD, "total = {}", s.total);
+    }
+
+    #[test]
+    fn lone_host_without_correlation_stays_below_threshold() {
+        let s = AdditiveScorer::paper_default().score(1, false, IpProximity::None);
+        assert!(s.total < AdditiveScorer::PAPER_THRESHOLD, "total = {}", s.total);
+    }
+
+    #[test]
+    fn shared_16_alone_stays_below_threshold_but_24_does_not() {
+        let scorer = AdditiveScorer::paper_default();
+        let s16 = scorer.score(0, false, IpProximity::SameSubnet16);
+        let s24 = scorer.score(0, false, IpProximity::SameSubnet24);
+        assert!(s16.total < AdditiveScorer::PAPER_THRESHOLD);
+        assert!(s24.total >= AdditiveScorer::PAPER_THRESHOLD);
+        assert!(s24.total > s16.total, "/24 must outweigh /16 (different weights, §V-B)");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_cap_rejected() {
+        let _ = AdditiveScorer::new(0);
+    }
+
+    proptest! {
+        #[test]
+        fn total_is_mean_of_components_and_bounded(
+            conn in 0u32..20,
+            timing in proptest::bool::ANY,
+            ip_kind in 0u8..3,
+        ) {
+            let ip = match ip_kind {
+                0 => IpProximity::None,
+                1 => IpProximity::SameSubnet16,
+                _ => IpProximity::SameSubnet24,
+            };
+            let s = AdditiveScorer::paper_default().score(conn, timing, ip);
+            prop_assert!((0.0..=1.0).contains(&s.total));
+            let mean = (s.connectivity + s.timing + s.ip) / 3.0;
+            prop_assert!((s.total - mean).abs() < 1e-12);
+        }
+
+        #[test]
+        fn score_is_monotone_in_connectivity(conn in 0u32..10) {
+            let scorer = AdditiveScorer::paper_default();
+            let lo = scorer.score(conn, false, IpProximity::None);
+            let hi = scorer.score(conn + 1, false, IpProximity::None);
+            prop_assert!(hi.total >= lo.total);
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! Feature vectors and linear-regression scoring for the DSN'15 detector.
+//!
+//! The paper trains two linear regression models (R's `lm`) during the
+//! one-month bootstrap:
+//!
+//! * a **C&C model** over six features of rare *automated* domains
+//!   ([`CcFeatures`], §IV-C) — threshold `T_c`;
+//! * a **domain-similarity model** over eight features of rare
+//!   non-automated domains relative to the already-labeled malicious set
+//!   ([`SimFeatures`], §IV-D) — threshold `T_s`.
+//!
+//! Both are ordinary least squares on a 0/1 label (VirusTotal-reported vs.
+//! legitimate), so fitted scores live roughly in `[0, 1]` and thresholds such
+//! as 0.4 are meaningful. [`regress::LinearRegression`] implements OLS via
+//! normal equations with per-coefficient t-statistics, reproducing the
+//! paper's feature-significance pruning (AutoHosts and IP16 dropped).
+//!
+//! For the anonymized LANL data — too few samples to regress — the paper
+//! falls back to a "simple additive function" ([`additive::AdditiveScorer`],
+//! §V-B).
+//!
+//! # Example
+//!
+//! ```
+//! use earlybird_features::regress::LinearRegression;
+//!
+//! // y = 2x (plus an intercept of zero), recovered exactly.
+//! let xs = vec![vec![0.0], vec![1.0], vec![2.0], vec![3.0]];
+//! let y = vec![0.0, 2.0, 4.0, 6.0];
+//! let fit = LinearRegression::fit(&xs, &y)?;
+//! assert!((fit.coefficient(0) - 2.0).abs() < 1e-9);
+//! assert!(fit.intercept().abs() < 1e-9);
+//! # Ok::<(), earlybird_features::regress::FitError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod additive;
+pub mod linalg;
+pub mod regress;
+pub mod scale;
+pub mod vectors;
+
+pub use additive::{AdditiveScore, AdditiveScorer, IpProximity};
+pub use regress::{Fit, FitError, LinearRegression, RegressionModel};
+pub use scale::FeatureScaler;
+pub use vectors::{CcFeatures, SimFeatures, CC_FEATURE_NAMES, SIM_FEATURE_NAMES};

@@ -1,0 +1,201 @@
+//! Minimal dense linear algebra for ordinary least squares: Gaussian
+//! elimination with partial pivoting for solving and inverting small
+//! symmetric systems (the normal equations are `(p+1) x (p+1)` with `p <= 8`
+//! in this system).
+
+// Index-based loops mirror the textbook elimination formulas; iterator
+// rewrites obscure the row/column structure here.
+#![allow(clippy::needless_range_loop)]
+
+/// Solves `A x = b` by Gaussian elimination with partial pivoting.
+///
+/// Returns `None` when the matrix is (numerically) singular.
+///
+/// # Panics
+///
+/// Panics if `a` is not square or `b`'s length does not match.
+pub fn solve(a: &[Vec<f64>], b: &[f64]) -> Option<Vec<f64>> {
+    let n = a.len();
+    assert!(a.iter().all(|row| row.len() == n), "matrix must be square");
+    assert_eq!(b.len(), n, "rhs length must match matrix dimension");
+    // Augmented matrix.
+    let mut m: Vec<Vec<f64>> = a
+        .iter()
+        .zip(b)
+        .map(|(row, &bi)| {
+            let mut r = row.clone();
+            r.push(bi);
+            r
+        })
+        .collect();
+    for col in 0..n {
+        // Partial pivot.
+        let pivot = (col..n).max_by(|&i, &j| {
+            m[i][col].abs().partial_cmp(&m[j][col].abs()).expect("NaN in matrix")
+        })?;
+        if m[pivot][col].abs() < 1e-12 {
+            return None;
+        }
+        m.swap(col, pivot);
+        let diag = m[col][col];
+        for j in col..=n {
+            m[col][j] /= diag;
+        }
+        for row in 0..n {
+            if row != col {
+                let factor = m[row][col];
+                if factor != 0.0 {
+                    for j in col..=n {
+                        m[row][j] -= factor * m[col][j];
+                    }
+                }
+            }
+        }
+    }
+    Some(m.into_iter().map(|row| row[n]).collect())
+}
+
+/// Inverts a square matrix by solving against the identity.
+///
+/// Returns `None` when the matrix is singular.
+///
+/// # Panics
+///
+/// Panics if `a` is not square.
+pub fn invert(a: &[Vec<f64>]) -> Option<Vec<Vec<f64>>> {
+    let n = a.len();
+    let mut cols = Vec::with_capacity(n);
+    for j in 0..n {
+        let mut e = vec![0.0; n];
+        e[j] = 1.0;
+        cols.push(solve(a, &e)?);
+    }
+    // cols[j] is the j-th column of the inverse; transpose into rows.
+    let mut inv = vec![vec![0.0; n]; n];
+    for (j, col) in cols.iter().enumerate() {
+        for (i, &v) in col.iter().enumerate() {
+            inv[i][j] = v;
+        }
+    }
+    Some(inv)
+}
+
+/// `A^T A` for a row-major design matrix (rows = samples).
+pub fn gram(rows: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    let p = rows.first().map_or(0, Vec::len);
+    let mut g = vec![vec![0.0; p]; p];
+    for row in rows {
+        debug_assert_eq!(row.len(), p, "ragged design matrix");
+        for i in 0..p {
+            for j in i..p {
+                g[i][j] += row[i] * row[j];
+            }
+        }
+    }
+    for i in 0..p {
+        for j in 0..i {
+            g[i][j] = g[j][i];
+        }
+    }
+    g
+}
+
+/// `A^T y` for a row-major design matrix.
+pub fn gram_rhs(rows: &[Vec<f64>], y: &[f64]) -> Vec<f64> {
+    let p = rows.first().map_or(0, Vec::len);
+    let mut v = vec![0.0; p];
+    for (row, &yi) in rows.iter().zip(y) {
+        for i in 0..p {
+            v[i] += row[i] * yi;
+        }
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn solves_identity() {
+        let a = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        assert_eq!(solve(&a, &[3.0, 4.0]).unwrap(), vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn solves_requiring_pivot() {
+        // First pivot is zero; requires row swap.
+        let a = vec![vec![0.0, 1.0], vec![1.0, 0.0]];
+        let x = solve(&a, &[5.0, 7.0]).unwrap();
+        assert_eq!(x, vec![7.0, 5.0]);
+    }
+
+    #[test]
+    fn detects_singular() {
+        let a = vec![vec![1.0, 2.0], vec![2.0, 4.0]];
+        assert!(solve(&a, &[1.0, 2.0]).is_none());
+        assert!(invert(&a).is_none());
+    }
+
+    #[test]
+    fn inverts_3x3() {
+        let a = vec![
+            vec![2.0, 0.0, 0.0],
+            vec![0.0, 4.0, 0.0],
+            vec![1.0, 0.0, 1.0],
+        ];
+        let inv = invert(&a).unwrap();
+        // A * A^-1 = I
+        for i in 0..3 {
+            for j in 0..3 {
+                let mut s = 0.0;
+                for k in 0..3 {
+                    s += a[i][k] * inv[k][j];
+                }
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((s - expect).abs() < 1e-9, "A*inv[{i}][{j}] = {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn gram_is_symmetric() {
+        let rows = vec![vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]];
+        let g = gram(&rows);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(g[i][j], g[j][i]);
+            }
+        }
+        assert_eq!(g[0][0], 1.0 + 16.0);
+        assert_eq!(g[0][1], 2.0 + 20.0);
+    }
+
+    #[test]
+    fn gram_rhs_matches_manual() {
+        let rows = vec![vec![1.0, 0.0], vec![0.0, 2.0]];
+        assert_eq!(gram_rhs(&rows, &[3.0, 4.0]), vec![3.0, 8.0]);
+    }
+
+    proptest! {
+        #[test]
+        fn solve_then_multiply_roundtrips(
+            d in proptest::collection::vec(0.5f64..5.0, 3),
+            off in proptest::collection::vec(-0.4f64..0.4, 3),
+            b in proptest::collection::vec(-10.0f64..10.0, 3),
+        ) {
+            // Diagonally dominant => well-conditioned.
+            let a = vec![
+                vec![d[0], off[0], off[1]],
+                vec![off[0], d[1], off[2]],
+                vec![off[1], off[2], d[2]],
+            ];
+            let x = solve(&a, &b).expect("diag-dominant is nonsingular");
+            for i in 0..3 {
+                let s: f64 = (0..3).map(|k| a[i][k] * x[k]).sum();
+                prop_assert!((s - b[i]).abs() < 1e-6);
+            }
+        }
+    }
+}

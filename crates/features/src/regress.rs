@@ -1,0 +1,359 @@
+//! Ordinary-least-squares linear regression with per-coefficient
+//! significance, standing in for R's `lm` (§IV-C: "we train a linear
+//! regression model, implemented using the function lm in the R package. The
+//! regression model outputs a weight for each feature, as well as the
+//! significance of that feature.").
+
+use crate::linalg::{gram, gram_rhs, invert};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Error returned when a regression cannot be fit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FitError {
+    /// Fewer samples than coefficients (including the intercept).
+    NotEnoughSamples,
+    /// The normal-equation matrix is singular (collinear features).
+    Singular,
+    /// Rows of the design matrix have inconsistent lengths, or `y` does not
+    /// match.
+    DimensionMismatch,
+}
+
+impl fmt::Display for FitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FitError::NotEnoughSamples => f.write_str("not enough samples to fit the model"),
+            FitError::Singular => f.write_str("design matrix is singular (collinear features)"),
+            FitError::DimensionMismatch => f.write_str("design matrix dimensions are inconsistent"),
+        }
+    }
+}
+
+impl std::error::Error for FitError {}
+
+/// A fitted OLS model: `y ≈ β₀ + Σᵢ βᵢ·xᵢ`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Fit {
+    /// `[β₀, β₁, .., β_p]` — intercept first.
+    beta: Vec<f64>,
+    /// Standard error of each coefficient (same layout as `beta`).
+    std_errors: Vec<f64>,
+    /// Coefficient of determination.
+    r_squared: f64,
+    /// Number of training samples.
+    n: usize,
+}
+
+impl Fit {
+    /// The intercept `β₀`.
+    pub fn intercept(&self) -> f64 {
+        self.beta[0]
+    }
+
+    /// The weight of feature `i` (zero-based, excluding the intercept).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn coefficient(&self, i: usize) -> f64 {
+        self.beta[i + 1]
+    }
+
+    /// All feature weights (excluding the intercept).
+    pub fn coefficients(&self) -> &[f64] {
+        &self.beta[1..]
+    }
+
+    /// t-statistic of feature `i` (`βᵢ / se(βᵢ)`); infinite for a zero
+    /// standard error, zero when both are zero.
+    pub fn t_stat(&self, i: usize) -> f64 {
+        let b = self.beta[i + 1];
+        let se = self.std_errors[i + 1];
+        if se == 0.0 {
+            if b == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY * b.signum()
+            }
+        } else {
+            b / se
+        }
+    }
+
+    /// Whether feature `i` is significant at the conventional `|t| >= 2`
+    /// rule of thumb (≈ p < 0.05 for the sample sizes involved). The paper
+    /// drops low-significance features (AutoHosts; IP16).
+    pub fn is_significant(&self, i: usize) -> bool {
+        self.t_stat(i).abs() >= 2.0
+    }
+
+    /// Coefficient of determination R².
+    pub fn r_squared(&self) -> f64 {
+        self.r_squared
+    }
+
+    /// Number of training samples.
+    pub fn n_samples(&self) -> usize {
+        self.n
+    }
+
+    /// Number of features (excluding the intercept).
+    pub fn n_features(&self) -> usize {
+        self.beta.len() - 1
+    }
+
+    /// Predicted value for a feature vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.n_features()`.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.n_features(), "feature count mismatch");
+        self.beta[0] + x.iter().zip(&self.beta[1..]).map(|(a, b)| a * b).sum::<f64>()
+    }
+}
+
+/// OLS fitting entry point.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LinearRegression;
+
+impl LinearRegression {
+    /// Fits `y ≈ β₀ + Σ βᵢ xᵢ` by ordinary least squares.
+    ///
+    /// `xs` holds one feature row per sample (without the intercept column,
+    /// which is added internally).
+    ///
+    /// # Errors
+    ///
+    /// * [`FitError::DimensionMismatch`] for ragged rows or `xs.len() != y.len()`,
+    /// * [`FitError::NotEnoughSamples`] when `n <= p`,
+    /// * [`FitError::Singular`] for collinear features.
+    pub fn fit(xs: &[Vec<f64>], y: &[f64]) -> Result<Fit, FitError> {
+        Self::fit_ridge(xs, y, 0.0)
+    }
+
+    /// Fits with an L2 (ridge) penalty `lambda` on the non-intercept
+    /// coefficients — used as a fallback when perfectly collinear features
+    /// (e.g. `AutoHosts` ≡ `NoHosts`) make plain OLS singular.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Self::fit`]; [`FitError::Singular`] only when
+    /// even the penalized system is degenerate.
+    pub fn fit_ridge(xs: &[Vec<f64>], y: &[f64], lambda: f64) -> Result<Fit, FitError> {
+        let n = xs.len();
+        if n != y.len() || n == 0 {
+            return Err(FitError::DimensionMismatch);
+        }
+        let p = xs[0].len();
+        if xs.iter().any(|r| r.len() != p) {
+            return Err(FitError::DimensionMismatch);
+        }
+        if n <= p + 1 {
+            return Err(FitError::NotEnoughSamples);
+        }
+        // Design matrix with intercept column.
+        let rows: Vec<Vec<f64>> = xs
+            .iter()
+            .map(|r| {
+                let mut row = Vec::with_capacity(p + 1);
+                row.push(1.0);
+                row.extend_from_slice(r);
+                row
+            })
+            .collect();
+        let mut xtx = gram(&rows);
+        for (i, row) in xtx.iter_mut().enumerate().skip(1) {
+            row[i] += lambda;
+        }
+        let xty = gram_rhs(&rows, y);
+        let xtx_inv = invert(&xtx).ok_or(FitError::Singular)?;
+        let beta: Vec<f64> = xtx_inv
+            .iter()
+            .map(|row| row.iter().zip(&xty).map(|(a, b)| a * b).sum())
+            .collect();
+
+        // Residual variance and standard errors.
+        let mut rss = 0.0;
+        let mut tss = 0.0;
+        let y_mean = y.iter().sum::<f64>() / n as f64;
+        for (row, &yi) in rows.iter().zip(y) {
+            let pred: f64 = row.iter().zip(&beta).map(|(a, b)| a * b).sum();
+            rss += (yi - pred).powi(2);
+            tss += (yi - y_mean).powi(2);
+        }
+        let dof = (n - p - 1) as f64;
+        let sigma2 = rss / dof;
+        let std_errors: Vec<f64> = (0..=p).map(|i| (sigma2 * xtx_inv[i][i]).max(0.0).sqrt()).collect();
+        let r_squared = if tss > 0.0 { 1.0 - rss / tss } else { 1.0 };
+
+        Ok(Fit { beta, std_errors, r_squared, n })
+    }
+}
+
+/// A fitted model bound to named features — what the training phase stores
+/// and the operation phase applies (§III-E "feature weights").
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RegressionModel {
+    feature_names: Vec<String>,
+    fit: Fit,
+    threshold: f64,
+}
+
+impl RegressionModel {
+    /// Binds a [`Fit`] to feature names and a decision threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name count differs from the fit's feature count.
+    pub fn new(feature_names: &[&str], fit: Fit, threshold: f64) -> Self {
+        assert_eq!(feature_names.len(), fit.n_features(), "one name per feature");
+        RegressionModel {
+            feature_names: feature_names.iter().map(|s| s.to_string()).collect(),
+            fit,
+            threshold,
+        }
+    }
+
+    /// The decision threshold (`T_c` or `T_s`).
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Replaces the decision threshold (SOCs tune this to their capacity,
+    /// §VI).
+    pub fn set_threshold(&mut self, threshold: f64) {
+        self.threshold = threshold;
+    }
+
+    /// The underlying fit.
+    pub fn fit(&self) -> &Fit {
+        &self.fit
+    }
+
+    /// Feature names in design-matrix order.
+    pub fn feature_names(&self) -> impl Iterator<Item = &str> {
+        self.feature_names.iter().map(String::as_str)
+    }
+
+    /// Scores a feature vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the model's feature count.
+    pub fn score(&self, x: &[f64]) -> f64 {
+        self.fit.predict(x)
+    }
+
+    /// Whether a feature vector scores at or above the threshold.
+    pub fn is_positive(&self, x: &[f64]) -> bool {
+        self.score(x) >= self.threshold
+    }
+
+    /// `(name, weight, t-stat, significant)` per feature — the paper's
+    /// regression summary (§VI-A).
+    pub fn summary(&self) -> Vec<(String, f64, f64, bool)> {
+        self.feature_names
+            .iter()
+            .enumerate()
+            .map(|(i, name)| {
+                (name.clone(), self.fit.coefficient(i), self.fit.t_stat(i), self.fit.is_significant(i))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_exact_linear_relationship() {
+        let xs: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64, (i * i) as f64]).collect();
+        let y: Vec<f64> = xs.iter().map(|r| 3.0 + 2.0 * r[0] - 0.5 * r[1]).collect();
+        let fit = LinearRegression::fit(&xs, &y).unwrap();
+        assert!((fit.intercept() - 3.0).abs() < 1e-8);
+        assert!((fit.coefficient(0) - 2.0).abs() < 1e-8);
+        assert!((fit.coefficient(1) + 0.5).abs() < 1e-8);
+        assert!((fit.r_squared() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn predict_matches_training_data_on_exact_fit() {
+        let xs: Vec<Vec<f64>> = (0..8).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = xs.iter().map(|r| 1.0 + 4.0 * r[0]).collect();
+        let fit = LinearRegression::fit(&xs, &y).unwrap();
+        for (x, yi) in xs.iter().zip(&y) {
+            assert!((fit.predict(x) - yi).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn irrelevant_noise_feature_is_insignificant() {
+        // y depends on x0 strongly; x1 is a fixed pseudo-random sequence
+        // uncorrelated with y.
+        let noise = [0.3, -0.7, 0.1, 0.9, -0.2, 0.5, -0.9, 0.05, -0.4, 0.7, 0.2, -0.6, 0.8, -0.1, 0.45, -0.35];
+        let xs: Vec<Vec<f64>> = (0..16).map(|i| vec![i as f64, noise[i]]).collect();
+        let y: Vec<f64> = (0..16)
+            .map(|i| 5.0 * i as f64 + if i % 2 == 0 { 0.1 } else { -0.1 })
+            .collect();
+        let fit = LinearRegression::fit(&xs, &y).unwrap();
+        assert!(fit.is_significant(0), "true driver must be significant");
+        assert!(!fit.is_significant(1), "noise must be insignificant, t = {}", fit.t_stat(1));
+    }
+
+    #[test]
+    fn collinear_features_are_singular() {
+        let xs: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64, 2.0 * i as f64]).collect();
+        let y: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        assert_eq!(LinearRegression::fit(&xs, &y), Err(FitError::Singular));
+    }
+
+    #[test]
+    fn too_few_samples_rejected() {
+        let xs = vec![vec![1.0, 2.0], vec![2.0, 1.0]];
+        let y = vec![1.0, 2.0];
+        assert_eq!(LinearRegression::fit(&xs, &y), Err(FitError::NotEnoughSamples));
+    }
+
+    #[test]
+    fn ragged_input_rejected() {
+        let xs = vec![vec![1.0], vec![1.0, 2.0]];
+        let y = vec![1.0, 2.0];
+        assert_eq!(LinearRegression::fit(&xs, &y), Err(FitError::DimensionMismatch));
+        assert_eq!(LinearRegression::fit(&xs[..1], &y), Err(FitError::DimensionMismatch));
+    }
+
+    #[test]
+    fn model_threshold_decision() {
+        let xs: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64 / 10.0]).collect();
+        let y: Vec<f64> = xs.iter().map(|r| r[0]).collect();
+        let fit = LinearRegression::fit(&xs, &y).unwrap();
+        let model = RegressionModel::new(&["NoHosts"], fit, 0.4);
+        assert!(model.is_positive(&[0.9]));
+        assert!(!model.is_positive(&[0.1]));
+        assert_eq!(model.threshold(), 0.4);
+        let summary = model.summary();
+        assert_eq!(summary.len(), 1);
+        assert_eq!(summary[0].0, "NoHosts");
+    }
+
+    #[test]
+    fn zero_variance_target_has_unit_r2() {
+        let xs: Vec<Vec<f64>> = (0..6).map(|i| vec![i as f64]).collect();
+        let y = vec![2.0; 6];
+        let fit = LinearRegression::fit(&xs, &y).unwrap();
+        assert!((fit.predict(&[3.0]) - 2.0).abs() < 1e-9);
+        assert_eq!(fit.r_squared(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "feature count mismatch")]
+    fn predict_validates_arity() {
+        let xs: Vec<Vec<f64>> = (0..6).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..6).map(|i| i as f64).collect();
+        let fit = LinearRegression::fit(&xs, &y).unwrap();
+        let _ = fit.predict(&[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,136 @@
+//! Min-max feature scaling.
+//!
+//! The raw features mix very different ranges (host counts, fractions in
+//! `[0,1]`, domain ages in days). Scaling each feature to `[0, 1]` over the
+//! training population keeps the linear-probability scores in a comparable
+//! range across enterprises, which is what makes thresholds like `T_c = 0.4`
+//! transferable (§VI-A).
+
+use serde::{Deserialize, Serialize};
+
+/// Per-feature min-max scaler fitted on a training population.
+///
+/// # Example
+///
+/// ```
+/// use earlybird_features::FeatureScaler;
+/// let rows = vec![vec![0.0, 10.0], vec![4.0, 30.0]];
+/// let scaler = FeatureScaler::fit(&rows).unwrap();
+/// assert_eq!(scaler.transform(&[2.0, 20.0]), vec![0.5, 0.5]);
+/// ```
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FeatureScaler {
+    mins: Vec<f64>,
+    maxs: Vec<f64>,
+}
+
+impl FeatureScaler {
+    /// Fits the scaler to a training population (one row per sample).
+    ///
+    /// Returns `None` for an empty population or ragged rows.
+    pub fn fit(rows: &[Vec<f64>]) -> Option<Self> {
+        let p = rows.first()?.len();
+        if rows.iter().any(|r| r.len() != p) {
+            return None;
+        }
+        let mut mins = vec![f64::INFINITY; p];
+        let mut maxs = vec![f64::NEG_INFINITY; p];
+        for row in rows {
+            for (i, &v) in row.iter().enumerate() {
+                mins[i] = mins[i].min(v);
+                maxs[i] = maxs[i].max(v);
+            }
+        }
+        Some(FeatureScaler { mins, maxs })
+    }
+
+    /// Identity scaler for `p` features (useful when features are already
+    /// normalized).
+    pub fn identity(p: usize) -> Self {
+        FeatureScaler { mins: vec![0.0; p], maxs: vec![1.0; p] }
+    }
+
+    /// Number of features.
+    pub fn n_features(&self) -> usize {
+        self.mins.len()
+    }
+
+    /// Scales a single row to `[0, 1]` per feature, clamping values outside
+    /// the training range. Constant features map to `0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len()` differs from the fitted feature count.
+    pub fn transform(&self, row: &[f64]) -> Vec<f64> {
+        assert_eq!(row.len(), self.mins.len(), "feature count mismatch");
+        row.iter()
+            .enumerate()
+            .map(|(i, &v)| {
+                let range = self.maxs[i] - self.mins[i];
+                if range <= 0.0 {
+                    0.0
+                } else {
+                    ((v - self.mins[i]) / range).clamp(0.0, 1.0)
+                }
+            })
+            .collect()
+    }
+
+    /// Scales many rows.
+    pub fn transform_all(&self, rows: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        rows.iter().map(|r| self.transform(r)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn scales_training_extremes_to_unit_interval() {
+        let rows = vec![vec![1.0, -5.0], vec![3.0, 5.0], vec![2.0, 0.0]];
+        let s = FeatureScaler::fit(&rows).unwrap();
+        assert_eq!(s.transform(&[1.0, -5.0]), vec![0.0, 0.0]);
+        assert_eq!(s.transform(&[3.0, 5.0]), vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn clamps_out_of_range_values() {
+        let s = FeatureScaler::fit(&[vec![0.0], vec![10.0]]).unwrap();
+        assert_eq!(s.transform(&[-5.0]), vec![0.0]);
+        assert_eq!(s.transform(&[15.0]), vec![1.0]);
+    }
+
+    #[test]
+    fn constant_feature_maps_to_zero() {
+        let s = FeatureScaler::fit(&[vec![7.0], vec![7.0]]).unwrap();
+        assert_eq!(s.transform(&[7.0]), vec![0.0]);
+    }
+
+    #[test]
+    fn rejects_empty_and_ragged() {
+        assert!(FeatureScaler::fit(&[]).is_none());
+        assert!(FeatureScaler::fit(&[vec![1.0], vec![1.0, 2.0]]).is_none());
+    }
+
+    #[test]
+    fn identity_scaler_passes_unit_values() {
+        let s = FeatureScaler::identity(2);
+        assert_eq!(s.transform(&[0.25, 0.75]), vec![0.25, 0.75]);
+        assert_eq!(s.n_features(), 2);
+    }
+
+    proptest! {
+        #[test]
+        fn output_always_in_unit_interval(
+            rows in proptest::collection::vec(proptest::collection::vec(-100.0f64..100.0, 3), 2..20),
+            probe in proptest::collection::vec(-200.0f64..200.0, 3),
+        ) {
+            let s = FeatureScaler::fit(&rows).unwrap();
+            for v in s.transform(&probe) {
+                prop_assert!((0.0..=1.0).contains(&v));
+            }
+        }
+    }
+}

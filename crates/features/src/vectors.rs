@@ -1,0 +1,158 @@
+//! The paper's two feature vectors.
+//!
+//! * [`CcFeatures`] — six features of a rare *automated* domain (§IV-C),
+//!   consumed by the C&C regression model.
+//! * [`SimFeatures`] — eight features of a rare domain relative to the set
+//!   of already-labeled malicious domains (§IV-D), consumed by the
+//!   domain-similarity regression model during belief propagation.
+
+use serde::{Deserialize, Serialize};
+
+/// Feature names of the C&C model, in design-matrix order.
+pub const CC_FEATURE_NAMES: [&str; 6] =
+    ["NoHosts", "AutoHosts", "NoRef", "RareUA", "DomAge", "DomValidity"];
+
+/// Feature names of the domain-similarity model, in design-matrix order.
+pub const SIM_FEATURE_NAMES: [&str; 8] = [
+    "NoHosts",
+    "DomInterval",
+    "IP24",
+    "IP16",
+    "NoRef",
+    "RareUA",
+    "DomAge",
+    "DomValidity",
+];
+
+/// Decay constant (seconds) for turning the minimum inter-domain visit gap
+/// into a bounded closeness value: Fig. 3 shows 56% of malicious-to-malicious
+/// first visits within 160 s, so an hour-scale exponential keeps the feature
+/// informative over the relevant range.
+const INTERVAL_DECAY_SECS: f64 = 3_600.0;
+
+/// The six C&C-detection features of a rare automated domain.
+#[derive(Clone, Copy, Debug, PartialEq, Default, Serialize, Deserialize)]
+pub struct CcFeatures {
+    /// Domain connectivity: number of internal hosts contacting the domain.
+    pub no_hosts: f64,
+    /// Number of hosts with *automated* connections to the domain.
+    pub auto_hosts: f64,
+    /// Fraction of contacting hosts that send no Referer header.
+    pub no_ref: f64,
+    /// Fraction of contacting hosts using no or a rare user-agent string.
+    pub rare_ua: f64,
+    /// Days since the domain was registered (WHOIS); average-filled when
+    /// WHOIS is unparseable (§VI-C).
+    pub dom_age: f64,
+    /// Days until the registration expires (WHOIS); average-filled likewise.
+    pub dom_validity: f64,
+}
+
+impl CcFeatures {
+    /// The feature row in [`CC_FEATURE_NAMES`] order.
+    pub fn to_row(&self) -> Vec<f64> {
+        vec![self.no_hosts, self.auto_hosts, self.no_ref, self.rare_ua, self.dom_age, self.dom_validity]
+    }
+}
+
+/// The eight domain-similarity features of a rare domain `D` relative to the
+/// malicious set `S` of the current belief-propagation state.
+#[derive(Clone, Copy, Debug, PartialEq, Default, Serialize, Deserialize)]
+pub struct SimFeatures {
+    /// Domain connectivity: number of internal hosts contacting `D`.
+    pub no_hosts: f64,
+    /// Minimum gap (seconds) between a host's visit to `D` and its visit to
+    /// any domain in `S`; `None` when no host visited both.
+    pub min_interval_secs: Option<f64>,
+    /// `D` shares a /24 subnet with some domain in `S`.
+    pub ip24: bool,
+    /// `D` shares a /16 subnet with some domain in `S`.
+    pub ip16: bool,
+    /// Fraction of contacting hosts that send no Referer header.
+    pub no_ref: f64,
+    /// Fraction of contacting hosts using no or a rare user-agent string.
+    pub rare_ua: f64,
+    /// Days since registration (WHOIS), average-filled when missing.
+    pub dom_age: f64,
+    /// Days until registration expiry (WHOIS), average-filled when missing.
+    pub dom_validity: f64,
+}
+
+impl SimFeatures {
+    /// Bounded closeness transform of the minimum visit gap: `1` when `D` is
+    /// visited simultaneously with a malicious domain, decaying toward `0`
+    /// over hours, `0` when no co-visiting host exists ("the shorter this
+    /// interval, the more suspicious D is", §IV-D).
+    pub fn interval_closeness(&self) -> f64 {
+        match self.min_interval_secs {
+            Some(dt) => (-dt / INTERVAL_DECAY_SECS).exp(),
+            None => 0.0,
+        }
+    }
+
+    /// The feature row in [`SIM_FEATURE_NAMES`] order.
+    pub fn to_row(&self) -> Vec<f64> {
+        vec![
+            self.no_hosts,
+            self.interval_closeness(),
+            self.ip24 as u8 as f64,
+            self.ip16 as u8 as f64,
+            self.no_ref,
+            self.rare_ua,
+            self.dom_age,
+            self.dom_validity,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cc_row_matches_name_order() {
+        let f = CcFeatures {
+            no_hosts: 3.0,
+            auto_hosts: 2.0,
+            no_ref: 0.5,
+            rare_ua: 0.25,
+            dom_age: 12.0,
+            dom_validity: 180.0,
+        };
+        let row = f.to_row();
+        assert_eq!(row.len(), CC_FEATURE_NAMES.len());
+        assert_eq!(row, vec![3.0, 2.0, 0.5, 0.25, 12.0, 180.0]);
+    }
+
+    #[test]
+    fn sim_row_matches_name_order() {
+        let f = SimFeatures {
+            no_hosts: 2.0,
+            min_interval_secs: Some(0.0),
+            ip24: true,
+            ip16: false,
+            no_ref: 1.0,
+            rare_ua: 0.0,
+            dom_age: 5.0,
+            dom_validity: 30.0,
+        };
+        let row = f.to_row();
+        assert_eq!(row.len(), SIM_FEATURE_NAMES.len());
+        assert_eq!(row[1], 1.0, "zero gap is maximal closeness");
+        assert_eq!(row[2], 1.0);
+        assert_eq!(row[3], 0.0);
+    }
+
+    #[test]
+    fn interval_closeness_decays_monotonically() {
+        let mk = |dt| SimFeatures { min_interval_secs: Some(dt), ..SimFeatures::default() };
+        let c0 = mk(0.0).interval_closeness();
+        let c160 = mk(160.0).interval_closeness();
+        let c3600 = mk(3_600.0).interval_closeness();
+        assert_eq!(c0, 1.0);
+        assert!(c0 > c160 && c160 > c3600);
+        assert!(c160 > 0.9, "160 s (the Fig. 3 knee) stays close to 1");
+        let none = SimFeatures::default().interval_closeness();
+        assert_eq!(none, 0.0);
+    }
+}

@@ -1,0 +1,97 @@
+//! The SOC's Indicator-of-Compromise feed.
+//!
+//! "SOC security analysts manually investigate incidents starting from IOCs"
+//! (§I); the SOC-hints mode seeds belief propagation with "domains from the
+//! IOC list provided by SOC" (§VI-B, 28 seed domains in the paper's run).
+
+use earlybird_logmodel::Day;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A feed of SOC-confirmed malicious domains, each with the day it entered
+/// the feed, keyed by folded domain name.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct IocFeed {
+    domains: BTreeMap<String, Day>,
+}
+
+impl IocFeed {
+    /// Creates an empty feed.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `domain` to the feed as of `day` (keeps the earliest day on
+    /// duplicates).
+    pub fn add(&mut self, domain: &str, day: Day) {
+        self.domains
+            .entry(domain.to_owned())
+            .and_modify(|d| {
+                if day < *d {
+                    *d = day;
+                }
+            })
+            .or_insert(day);
+    }
+
+    /// Whether `domain` is a known IOC as of `as_of`.
+    pub fn contains(&self, domain: &str, as_of: Day) -> bool {
+        self.domains.get(domain).is_some_and(|&d| d <= as_of)
+    }
+
+    /// Whether `domain` ever appears in the feed.
+    pub fn contains_ever(&self, domain: &str) -> bool {
+        self.domains.contains_key(domain)
+    }
+
+    /// Domains visible in the feed as of `as_of`, in lexicographic order.
+    pub fn visible(&self, as_of: Day) -> impl Iterator<Item = &str> {
+        self.domains
+            .iter()
+            .filter(move |(_, &d)| d <= as_of)
+            .map(|(name, _)| name.as_str())
+    }
+
+    /// Number of indicators in the feed (any day).
+    pub fn len(&self) -> usize {
+        self.domains.len()
+    }
+
+    /// Whether the feed is empty.
+    pub fn is_empty(&self) -> bool {
+        self.domains.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn visibility_by_day() {
+        let mut feed = IocFeed::new();
+        feed.add("zeus-cc.ru", Day::new(10));
+        feed.add("ramdo.org", Day::new(20));
+        assert!(feed.contains("zeus-cc.ru", Day::new(10)));
+        assert!(!feed.contains("ramdo.org", Day::new(15)));
+        let visible: Vec<&str> = feed.visible(Day::new(15)).collect();
+        assert_eq!(visible, vec!["zeus-cc.ru"]);
+        assert_eq!(feed.visible(Day::new(30)).count(), 2);
+    }
+
+    #[test]
+    fn duplicates_keep_earliest_day() {
+        let mut feed = IocFeed::new();
+        feed.add("x.org", Day::new(20));
+        feed.add("x.org", Day::new(5));
+        assert!(feed.contains("x.org", Day::new(6)));
+        assert_eq!(feed.len(), 1);
+    }
+
+    #[test]
+    fn empty_feed_contains_nothing() {
+        let feed = IocFeed::new();
+        assert!(!feed.contains_ever("a.b"));
+        assert!(feed.is_empty());
+    }
+}

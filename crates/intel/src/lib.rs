@@ -1,0 +1,46 @@
+//! Threat-intelligence substrates for the DSN'15 reproduction.
+//!
+//! The paper depends on three external sources that cannot be called from a
+//! reproduction: WHOIS (domain age / registration validity, §IV-C),
+//! VirusTotal (training labels and validation, §VI), and the enterprise
+//! SOC's IOC feed (seeds for the SOC-hints mode, §III-B). This crate
+//! implements deterministic simulators with the same observable behaviour:
+//!
+//! * [`WhoisRegistry`] — registrations with creation/expiry days, a
+//!   configurable unparseable fraction, and *future* registrations (the DGA
+//!   domains of §VI-D that were registered only after detection);
+//! * [`VirusTotalOracle`] — per-domain first-report days, so a domain can be
+//!   unknown at detection time and "caught up" months later, exactly like
+//!   the paper's three-month re-validation;
+//! * [`IocFeed`] — the SOC's confirmed-indicator list;
+//! * [`GroundTruth`] — per-domain true classes for computing TDR/FDR/FNR/NDR.
+//!
+//! # Example
+//!
+//! ```
+//! use earlybird_intel::{WhoisRegistry, WhoisAnswer};
+//! use earlybird_logmodel::Day;
+//!
+//! let mut whois = WhoisRegistry::new();
+//! whois.register("badcdn.info", Day::new(25), Day::new(60));
+//! match whois.lookup("badcdn.info", Day::new(31)) {
+//!     WhoisAnswer::Known { age_days, validity_days } => {
+//!         assert_eq!(age_days, 6.0);
+//!         assert_eq!(validity_days, 29.0);
+//!     }
+//!     other => panic!("unexpected {other:?}"),
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ioc;
+pub mod labels;
+pub mod virustotal;
+pub mod whois;
+
+pub use ioc::IocFeed;
+pub use labels::{CampaignId, DetectionCategory, GroundTruth, TrueClass};
+pub use virustotal::VirusTotalOracle;
+pub use whois::{Registration, WhoisAnswer, WhoisRegistry};

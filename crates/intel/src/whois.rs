@@ -1,0 +1,202 @@
+//! Simulated WHOIS registry.
+//!
+//! The paper queries WHOIS for two features of each rare automated domain:
+//! `DomAge` (days since registration) and `DomValidity` (days until the
+//! registration expires). "Attacker-controlled sites tend to use more
+//! recently registered domains ... attackers register their domains for
+//! shorter periods of time" (§IV-C). Domains "whose WHOIS information can
+//! not be parsed" receive population-average defaults (§VI-C); the registry
+//! models those as [`WhoisAnswer::Unparseable`].
+
+use earlybird_logmodel::Day;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A domain registration interval, in window days.
+///
+/// `created` may lie *before day 0* conceptually; long-lived benign domains
+/// should be registered with `created = Day::new(0)` and a large prior age
+/// encoded by generators through [`WhoisRegistry::register_aged`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Registration {
+    /// Day the domain was registered (window-relative; see
+    /// [`WhoisRegistry::register_aged`] for domains older than the window).
+    pub created: Day,
+    /// Day the registration expires.
+    pub expires: Day,
+    /// Extra age in days to add on top of `created` for domains registered
+    /// before the observation window.
+    pub prior_age_days: u32,
+}
+
+/// Result of a WHOIS lookup on a given day.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum WhoisAnswer {
+    /// Registration data parsed successfully.
+    Known {
+        /// Days since registration.
+        age_days: f64,
+        /// Days until the registration expires (0 when already expired).
+        validity_days: f64,
+    },
+    /// WHOIS record exists but cannot be parsed (the paper substitutes
+    /// population averages).
+    Unparseable,
+    /// No registration as of the query day — includes DGA domains whose
+    /// registration postdates the query (§VI-D).
+    NotFound,
+}
+
+/// Deterministic WHOIS registry keyed by folded domain name.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct WhoisRegistry {
+    records: HashMap<String, Option<Registration>>,
+}
+
+impl WhoisRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `domain` created on `created`, expiring on `expires`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `expires <= created`.
+    pub fn register(&mut self, domain: &str, created: Day, expires: Day) {
+        assert!(expires > created, "registration must have positive validity");
+        self.records.insert(
+            domain.to_owned(),
+            Some(Registration { created, expires, prior_age_days: 0 }),
+        );
+    }
+
+    /// Registers a domain that predates the observation window by
+    /// `prior_age_days` (so its age on day `d` is `d + prior_age_days`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `expires` is day 0.
+    pub fn register_aged(&mut self, domain: &str, prior_age_days: u32, expires: Day) {
+        assert!(expires.index() > 0, "aged registration must not expire on day 0");
+        self.records.insert(
+            domain.to_owned(),
+            Some(Registration { created: Day::new(0), expires, prior_age_days }),
+        );
+    }
+
+    /// Marks a domain's WHOIS record as present but unparseable.
+    pub fn register_unparseable(&mut self, domain: &str) {
+        self.records.insert(domain.to_owned(), None);
+    }
+
+    /// Looks up `domain` as of `today`.
+    pub fn lookup(&self, domain: &str, today: Day) -> WhoisAnswer {
+        match self.records.get(domain) {
+            None => WhoisAnswer::NotFound,
+            Some(None) => WhoisAnswer::Unparseable,
+            Some(Some(reg)) => {
+                if reg.prior_age_days == 0 && today < reg.created {
+                    // Registered only in the future (post-detection DGA).
+                    WhoisAnswer::NotFound
+                } else {
+                    let age = today.days_since(reg.created) + reg.prior_age_days;
+                    WhoisAnswer::Known {
+                        age_days: age as f64,
+                        validity_days: reg.expires.days_since(today) as f64,
+                    }
+                }
+            }
+        }
+    }
+
+    /// Raw registration record, if any (None for unparseable entries).
+    pub fn registration(&self, domain: &str) -> Option<Registration> {
+        self.records.get(domain).copied().flatten()
+    }
+
+    /// Number of domains with any record (parseable or not).
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn age_and_validity_computed_from_days() {
+        let mut w = WhoisRegistry::new();
+        w.register("evil.ru", Day::new(10), Day::new(40));
+        match w.lookup("evil.ru", Day::new(25)) {
+            WhoisAnswer::Known { age_days, validity_days } => {
+                assert_eq!(age_days, 15.0);
+                assert_eq!(validity_days, 15.0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_domain_is_not_found() {
+        let w = WhoisRegistry::new();
+        assert_eq!(w.lookup("nosuch.com", Day::new(5)), WhoisAnswer::NotFound);
+    }
+
+    #[test]
+    fn unparseable_is_reported_as_such() {
+        let mut w = WhoisRegistry::new();
+        w.register_unparseable("weird.tk");
+        assert_eq!(w.lookup("weird.tk", Day::new(5)), WhoisAnswer::Unparseable);
+        assert!(w.registration("weird.tk").is_none());
+    }
+
+    #[test]
+    fn future_registration_is_not_found_until_created() {
+        // The §VI-D DGA case: detected on 2/13, registered on 2/18.
+        let mut w = WhoisRegistry::new();
+        w.register("f0371288e0a20a541328.info", Day::new(48), Day::new(100));
+        assert_eq!(w.lookup("f0371288e0a20a541328.info", Day::new(43)), WhoisAnswer::NotFound);
+        assert!(matches!(
+            w.lookup("f0371288e0a20a541328.info", Day::new(50)),
+            WhoisAnswer::Known { .. }
+        ));
+    }
+
+    #[test]
+    fn aged_registration_accumulates_prior_age() {
+        let mut w = WhoisRegistry::new();
+        w.register_aged("nbc.com", 3_000, Day::new(400));
+        match w.lookup("nbc.com", Day::new(31)) {
+            WhoisAnswer::Known { age_days, validity_days } => {
+                assert_eq!(age_days, 3_031.0);
+                assert_eq!(validity_days, 369.0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn expired_registration_has_zero_validity() {
+        let mut w = WhoisRegistry::new();
+        w.register("old.biz", Day::new(0), Day::new(5));
+        match w.lookup("old.biz", Day::new(9)) {
+            WhoisAnswer::Known { validity_days, .. } => assert_eq!(validity_days, 0.0),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive validity")]
+    fn rejects_empty_registration() {
+        let mut w = WhoisRegistry::new();
+        w.register("x.com", Day::new(5), Day::new(5));
+    }
+}

@@ -1,0 +1,117 @@
+//! Domain-name helpers: folding to a registrable level and label inspection.
+//!
+//! The paper "folds" domain names to the second level (`news.nbc.com` →
+//! `nbc.com`), "assuming that this captures the entity or organization
+//! responsible for the domain"; for the anonymized LANL data it conservatively
+//! folds to the third level (§IV-A).
+
+/// Number of dot-separated labels in `name`.
+///
+/// # Example
+///
+/// ```
+/// use earlybird_logmodel::label_count;
+/// assert_eq!(label_count("news.nbc.com"), 3);
+/// assert_eq!(label_count("localhost"), 1);
+/// ```
+pub fn label_count(name: &str) -> usize {
+    if name.is_empty() {
+        0
+    } else {
+        name.split('.').count()
+    }
+}
+
+/// Folds `name` to its trailing `levels` labels.
+///
+/// Names with `levels` labels or fewer are returned unchanged. Folding to
+/// zero levels yields the empty string.
+///
+/// # Example
+///
+/// ```
+/// use earlybird_logmodel::fold_domain;
+/// assert_eq!(fold_domain("news.nbc.com", 2), "nbc.com");
+/// assert_eq!(fold_domain("a.b.rainbow.c3", 3), "b.rainbow.c3");
+/// assert_eq!(fold_domain("nbc.com", 2), "nbc.com");
+/// ```
+pub fn fold_domain(name: &str, levels: usize) -> &str {
+    if levels == 0 {
+        return "";
+    }
+    let mut dots_seen = 0;
+    for (i, b) in name.bytes().enumerate().rev() {
+        if b == b'.' {
+            dots_seen += 1;
+            if dots_seen == levels {
+                return &name[i + 1..];
+            }
+        }
+    }
+    name
+}
+
+/// The final (top-level) label of `name`, e.g. `"info"` for `mgwg.info`.
+///
+/// Returns the whole name when it has a single label.
+///
+/// # Example
+///
+/// ```
+/// use earlybird_logmodel::top_level_domain;
+/// assert_eq!(top_level_domain("mgwg.info"), "info");
+/// ```
+pub fn top_level_domain(name: &str) -> &str {
+    fold_domain(name, 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn folds_to_second_level() {
+        assert_eq!(fold_domain("news.nbc.com", 2), "nbc.com");
+        assert_eq!(fold_domain("a.b.c.d.e", 2), "d.e");
+    }
+
+    #[test]
+    fn folds_to_third_level_for_anonymized_names() {
+        assert_eq!(fold_domain("x.y.fluttershy.c3", 3), "y.fluttershy.c3");
+        assert_eq!(fold_domain("fluttershy.c3", 3), "fluttershy.c3");
+    }
+
+    #[test]
+    fn short_names_unchanged() {
+        assert_eq!(fold_domain("com", 2), "com");
+        assert_eq!(fold_domain("", 2), "");
+    }
+
+    #[test]
+    fn zero_levels_is_empty() {
+        assert_eq!(fold_domain("a.b.c", 0), "");
+    }
+
+    #[test]
+    fn tld_extraction() {
+        assert_eq!(top_level_domain("f03712.info"), "info");
+        assert_eq!(top_level_domain("localhost"), "localhost");
+    }
+
+    #[test]
+    fn label_counts() {
+        assert_eq!(label_count(""), 0);
+        assert_eq!(label_count("a"), 1);
+        assert_eq!(label_count("a.b.c"), 3);
+    }
+
+    #[test]
+    fn folding_is_idempotent() {
+        for name in ["news.nbc.com", "a.b.c.d", "x.y", "z"] {
+            for levels in 1..5 {
+                let once = fold_domain(name, levels);
+                assert_eq!(fold_domain(once, levels), once);
+            }
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Internal hosts of the monitored enterprise.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of an internal host (workstation or server).
+///
+/// Raw logs identify hosts by IP; normalization resolves DHCP/VPN assignments
+/// to stable host identities (§IV-A), which this type represents.
+///
+/// # Example
+///
+/// ```
+/// use earlybird_logmodel::HostId;
+/// let h = HostId::new(42);
+/// assert_eq!(h.to_string(), "host-42");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct HostId(u32);
+
+impl HostId {
+    /// Creates a host identifier from a raw index.
+    pub const fn new(index: u32) -> Self {
+        HostId(index)
+    }
+
+    /// The raw index of this host.
+    pub const fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Debug for HostId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "HostId({})", self.0)
+    }
+}
+
+impl fmt::Display for HostId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "host-{}", self.0)
+    }
+}
+
+/// Whether a host is an end-user workstation or an internal server.
+///
+/// The paper filters out "queries initiated by internal servers (since we aim
+/// at detecting compromised hosts)" during reduction; generators tag each
+/// host so the reduction step can be exercised.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default, Serialize, Deserialize)]
+pub enum HostKind {
+    /// An end-user workstation; the population we defend.
+    #[default]
+    Workstation,
+    /// An internal server (DNS resolver, mail relay, proxy, ...); its queries
+    /// are dropped during data reduction.
+    Server,
+}
+
+impl fmt::Display for HostKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HostKind::Workstation => f.write_str("workstation"),
+            HostKind::Server => f.write_str("server"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn host_id_display_and_index() {
+        let h = HostId::new(7);
+        assert_eq!(h.index(), 7);
+        assert_eq!(h.to_string(), "host-7");
+        assert_eq!(format!("{h:?}"), "HostId(7)");
+    }
+
+    #[test]
+    fn host_kind_default_is_workstation() {
+        assert_eq!(HostKind::default(), HostKind::Workstation);
+        assert_eq!(HostKind::Server.to_string(), "server");
+    }
+
+    #[test]
+    fn host_id_is_ordered_and_hashable() {
+        use std::collections::HashSet;
+        let mut s = HashSet::new();
+        s.insert(HostId::new(1));
+        s.insert(HostId::new(1));
+        assert_eq!(s.len(), 1);
+        assert!(HostId::new(1) < HostId::new(2));
+    }
+}

@@ -1,0 +1,146 @@
+//! Web-proxy log records (AC-style dataset).
+
+use crate::intern::{DomainSym, PathSym, UaSym};
+use crate::ip::Ipv4;
+use crate::time::{Timestamp, TzOffset};
+use crate::HostId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// HTTP request methods recorded by border proxies.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default, Serialize, Deserialize)]
+pub enum HttpMethod {
+    /// GET request (the overwhelming majority of both benign and beacon traffic).
+    #[default]
+    Get,
+    /// POST request (uploads, form submissions, some C&C check-ins).
+    Post,
+    /// HEAD request.
+    Head,
+    /// CONNECT tunnel (HTTPS interception point).
+    Connect,
+    /// PUT request.
+    Put,
+}
+
+impl fmt::Display for HttpMethod {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            HttpMethod::Get => "GET",
+            HttpMethod::Post => "POST",
+            HttpMethod::Head => "HEAD",
+            HttpMethod::Connect => "CONNECT",
+            HttpMethod::Put => "PUT",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An HTTP status code.
+///
+/// The AC validation workflow treats `504` responses as "unknown" (server
+/// error) and removes them from the final tallies (§VI-B).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct HttpStatus(pub u16);
+
+impl HttpStatus {
+    /// 200 OK.
+    pub const OK: HttpStatus = HttpStatus(200);
+    /// 404 Not Found.
+    pub const NOT_FOUND: HttpStatus = HttpStatus(404);
+    /// 504 Gateway Timeout — the paper's "unknown" marker.
+    pub const GATEWAY_TIMEOUT: HttpStatus = HttpStatus(504);
+
+    /// Whether this is a success (2xx) status.
+    pub const fn is_success(self) -> bool {
+        self.0 >= 200 && self.0 < 300
+    }
+}
+
+impl fmt::Display for HttpStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// One HTTP(S) connection crossing the enterprise border, as logged by a web
+/// proxy (§III-A: timestamp, source and destination, full URL, method, status
+/// code, user-agent string, web referer, ...).
+///
+/// Raw records carry a *local* timestamp plus the collector's timezone, and a
+/// source IP that may be a short-lived DHCP or VPN lease; normalization
+/// (`earlybird-pipeline`) converts to UTC and resolves [`Self::host`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct ProxyRecord {
+    /// Local timestamp at the collecting proxy.
+    pub ts_local: Timestamp,
+    /// Timezone of the collecting proxy.
+    pub tz: TzOffset,
+    /// Source IP as seen by the proxy (DHCP/VPN lease, not a stable identity).
+    pub src_ip: Ipv4,
+    /// Stable host identity; `None` until normalization resolves the lease,
+    /// and possibly `None` afterwards for unresolvable records.
+    pub host: Option<HostId>,
+    /// Destination domain from the Host header / URL (interned, full name).
+    pub domain: DomainSym,
+    /// Destination server address.
+    pub dest_ip: Ipv4,
+    /// Request method.
+    pub method: HttpMethod,
+    /// Response status code.
+    pub status: HttpStatus,
+    /// URL path + query component (interned).
+    pub url_path: PathSym,
+    /// User-agent header, when present.
+    pub user_agent: Option<UaSym>,
+    /// Referer header's domain, when present. Beacon processes typically
+    /// send none (the `NoRef` feature, §IV-C).
+    pub referer: Option<DomainSym>,
+}
+
+impl ProxyRecord {
+    /// The record's timestamp converted to UTC.
+    pub fn ts_utc(&self) -> Timestamp {
+        self.tz.to_utc(self.ts_local)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DomainInterner, PathInterner};
+
+    #[test]
+    fn status_classification() {
+        assert!(HttpStatus::OK.is_success());
+        assert!(!HttpStatus::NOT_FOUND.is_success());
+        assert_eq!(HttpStatus::GATEWAY_TIMEOUT.to_string(), "504");
+    }
+
+    #[test]
+    fn method_display() {
+        assert_eq!(HttpMethod::Get.to_string(), "GET");
+        assert_eq!(HttpMethod::Connect.to_string(), "CONNECT");
+        assert_eq!(HttpMethod::default(), HttpMethod::Get);
+    }
+
+    #[test]
+    fn utc_conversion_uses_tz() {
+        let domains = DomainInterner::new();
+        let paths = PathInterner::new();
+        let rec = ProxyRecord {
+            ts_local: Timestamp::from_secs(7_200),
+            tz: TzOffset::from_minutes(60),
+            src_ip: Ipv4::new(10, 0, 0, 1),
+            host: None,
+            domain: domains.intern("nbc.com"),
+            dest_ip: Ipv4::new(93, 184, 216, 34),
+            method: HttpMethod::Get,
+            status: HttpStatus::OK,
+            url_path: paths.intern("/"),
+            user_agent: None,
+            referer: None,
+        };
+        assert_eq!(rec.ts_utc(), Timestamp::from_secs(3_600));
+    }
+}

@@ -1,0 +1,275 @@
+//! Type-safe string interning.
+//!
+//! Enterprise logs repeat the same domain names, user-agent strings, and URL
+//! paths millions of times; interning collapses them to 4-byte symbols. The
+//! interner is append-only and internally synchronized, so datasets can share
+//! one interner across analysis threads.
+//!
+//! [`Symbol<T>`] is parameterized by a tag type so that a [`DomainSym`] can
+//! never be confused with a [`UaSym`] at compile time (C-NEWTYPE).
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::marker::PhantomData;
+use std::sync::{Arc, RwLock};
+
+/// Tag for domain-name symbols.
+#[derive(Debug)]
+pub enum DomainTag {}
+/// Tag for user-agent-string symbols.
+#[derive(Debug)]
+pub enum UaTag {}
+/// Tag for URL-path symbols.
+#[derive(Debug)]
+pub enum PathTag {}
+
+/// An interned domain name.
+pub type DomainSym = Symbol<DomainTag>;
+/// An interned user-agent string.
+pub type UaSym = Symbol<UaTag>;
+/// An interned URL path.
+pub type PathSym = Symbol<PathTag>;
+
+/// Interner for domain names.
+pub type DomainInterner = TypedInterner<DomainTag>;
+/// Interner for user-agent strings.
+pub type UaInterner = TypedInterner<UaTag>;
+/// Interner for URL paths.
+pub type PathInterner = TypedInterner<PathTag>;
+
+/// A compact handle to a string interned in a [`TypedInterner<T>`].
+///
+/// Symbols are only meaningful together with the interner that produced them.
+#[derive(Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Symbol<T> {
+    raw: u32,
+    #[serde(skip)]
+    _tag: PhantomData<fn() -> T>,
+}
+
+impl<T> Symbol<T> {
+    fn new(raw: u32) -> Self {
+        Symbol { raw, _tag: PhantomData }
+    }
+
+    /// The raw index of this symbol within its interner.
+    pub const fn raw(self) -> u32 {
+        self.raw
+    }
+}
+
+// Manual impls: deriving would wrongly bound `T`.
+impl<T> Clone for Symbol<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for Symbol<T> {}
+impl<T> PartialEq for Symbol<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.raw == other.raw
+    }
+}
+impl<T> Eq for Symbol<T> {}
+impl<T> PartialOrd for Symbol<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Symbol<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.raw.cmp(&other.raw)
+    }
+}
+impl<T> Hash for Symbol<T> {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.raw.hash(state);
+    }
+}
+impl<T> fmt::Debug for Symbol<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Symbol({})", self.raw)
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    map: HashMap<Arc<str>, u32>,
+    strings: Vec<Arc<str>>,
+}
+
+/// An append-only, internally synchronized string interner whose symbols are
+/// tagged with `T`.
+///
+/// # Example
+///
+/// ```
+/// use earlybird_logmodel::DomainInterner;
+/// let i = DomainInterner::new();
+/// let a = i.intern("nbc.com");
+/// let b = i.intern("nbc.com");
+/// assert_eq!(a, b);
+/// assert_eq!(&*i.resolve(a), "nbc.com");
+/// assert_eq!(i.len(), 1);
+/// ```
+pub struct TypedInterner<T> {
+    inner: RwLock<Inner>,
+    _tag: PhantomData<fn() -> T>,
+}
+
+impl<T> TypedInterner<T> {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        TypedInterner { inner: RwLock::new(Inner::default()), _tag: PhantomData }
+    }
+
+    /// Interns `s`, returning its symbol. Repeated calls with equal strings
+    /// return equal symbols.
+    pub fn intern(&self, s: &str) -> Symbol<T> {
+        if let Some(&raw) = self.inner.read().expect("interner poisoned").map.get(s) {
+            return Symbol::new(raw);
+        }
+        let mut inner = self.inner.write().expect("interner poisoned");
+        if let Some(&raw) = inner.map.get(s) {
+            return Symbol::new(raw);
+        }
+        let raw = u32::try_from(inner.strings.len()).expect("interner full");
+        let arc: Arc<str> = Arc::from(s);
+        inner.strings.push(Arc::clone(&arc));
+        inner.map.insert(arc, raw);
+        Symbol::new(raw)
+    }
+
+    /// Looks up a string without interning it.
+    pub fn get(&self, s: &str) -> Option<Symbol<T>> {
+        self.inner
+            .read()
+            .expect("interner poisoned")
+            .map
+            .get(s)
+            .map(|&raw| Symbol::new(raw))
+    }
+
+    /// Resolves a symbol back to its string.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sym` was produced by a different interner and is out of
+    /// range for this one.
+    pub fn resolve(&self, sym: Symbol<T>) -> Arc<str> {
+        Arc::clone(
+            self.inner
+                .read()
+                .expect("interner poisoned")
+                .strings
+                .get(sym.raw as usize)
+                .expect("symbol from foreign interner"),
+        )
+    }
+
+    /// Number of distinct strings interned.
+    pub fn len(&self) -> usize {
+        self.inner.read().expect("interner poisoned").strings.len()
+    }
+
+    /// Whether no strings have been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of all interned strings, indexed by raw symbol.
+    pub fn snapshot(&self) -> Vec<Arc<str>> {
+        self.inner.read().expect("interner poisoned").strings.clone()
+    }
+}
+
+impl<T> Default for TypedInterner<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> fmt::Debug for TypedInterner<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TypedInterner").field("len", &self.len()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let i = DomainInterner::new();
+        let a = i.intern("x.com");
+        let b = i.intern("x.com");
+        let c = i.intern("y.com");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn resolve_returns_original() {
+        let i = UaInterner::new();
+        let s = i.intern("Mozilla/5.0 (X11; Linux)");
+        assert_eq!(&*i.resolve(s), "Mozilla/5.0 (X11; Linux)");
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let i = PathInterner::new();
+        assert!(i.get("/logo.gif").is_none());
+        let s = i.intern("/logo.gif");
+        assert_eq!(i.get("/logo.gif"), Some(s));
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn snapshot_preserves_order() {
+        let i = DomainInterner::new();
+        let a = i.intern("a");
+        let b = i.intern("b");
+        let snap = i.snapshot();
+        assert_eq!(&*snap[a.raw() as usize], "a");
+        assert_eq!(&*snap[b.raw() as usize], "b");
+    }
+
+    #[test]
+    fn symbols_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DomainSym>();
+        assert_send_sync::<DomainInterner>();
+    }
+
+    #[test]
+    fn concurrent_interning_agrees() {
+        let i = std::sync::Arc::new(DomainInterner::new());
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let i = std::sync::Arc::clone(&i);
+            handles.push(std::thread::spawn(move || {
+                (0..100).map(|k| i.intern(&format!("d{k}.com")).raw()).collect::<Vec<_>>()
+            }));
+        }
+        let results: Vec<Vec<u32>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for w in results.windows(2) {
+            assert_eq!(w[0], w[1], "all threads must observe identical symbols");
+        }
+        assert_eq!(i.len(), 100);
+    }
+
+    #[test]
+    fn serde_roundtrip_is_transparent() {
+        let i = DomainInterner::new();
+        let s = i.intern("roundtrip.net");
+        let json = serde_json::to_string(&s).unwrap();
+        assert_eq!(json, s.raw().to_string());
+        let back: DomainSym = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+}

@@ -1,0 +1,298 @@
+//! Simulation time: seconds-resolution timestamps, day indices, and timezone
+//! offsets.
+//!
+//! The paper processes logs in daily batches ("the system is run daily"), so
+//! [`Day`] is a first-class unit. Timestamps count seconds from the start of
+//! the simulated observation window (day 0, 00:00 UTC); real datasets would
+//! map their epoch onto this axis during normalization.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// Number of seconds in a day.
+pub const SECONDS_PER_DAY: u64 = 86_400;
+
+/// A second-resolution instant on the simulation time axis (UTC).
+///
+/// # Example
+///
+/// ```
+/// use earlybird_logmodel::{Day, Timestamp};
+/// let t = Timestamp::from_day_secs(Day::new(2), 120);
+/// assert_eq!(t.as_secs(), 2 * 86_400 + 120);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Timestamp(u64);
+
+impl Timestamp {
+    /// Creates a timestamp from raw seconds since the window origin.
+    pub const fn from_secs(secs: u64) -> Self {
+        Timestamp(secs)
+    }
+
+    /// Creates a timestamp from a day index and seconds within that day.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs >= SECONDS_PER_DAY` in debug builds.
+    pub fn from_day_secs(day: Day, secs: u64) -> Self {
+        debug_assert!(secs < SECONDS_PER_DAY, "secs-of-day out of range: {secs}");
+        Timestamp(day.index() as u64 * SECONDS_PER_DAY + secs)
+    }
+
+    /// Seconds since the window origin.
+    pub const fn as_secs(self) -> u64 {
+        self.0
+    }
+
+    /// The day this instant falls on.
+    pub const fn day(self) -> Day {
+        Day((self.0 / SECONDS_PER_DAY) as u32)
+    }
+
+    /// Seconds elapsed since the start of [`Self::day`].
+    pub const fn secs_of_day(self) -> u64 {
+        self.0 % SECONDS_PER_DAY
+    }
+
+    /// Absolute distance in seconds between two instants.
+    pub fn abs_diff(self, other: Timestamp) -> u64 {
+        self.0.abs_diff(other.0)
+    }
+
+    /// Saturating addition of a signed offset in seconds.
+    pub fn offset(self, secs: i64) -> Timestamp {
+        Timestamp(self.0.saturating_add_signed(secs))
+    }
+}
+
+impl fmt::Debug for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Timestamp({})", self)
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.secs_of_day();
+        write!(
+            f,
+            "d{:02} {:02}:{:02}:{:02}",
+            self.day().index(),
+            s / 3600,
+            (s % 3600) / 60,
+            s % 60
+        )
+    }
+}
+
+impl Add<u64> for Timestamp {
+    type Output = Timestamp;
+    fn add(self, rhs: u64) -> Timestamp {
+        Timestamp(self.0 + rhs)
+    }
+}
+
+impl AddAssign<u64> for Timestamp {
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub<Timestamp> for Timestamp {
+    type Output = u64;
+    /// Seconds from `rhs` to `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs` is later than `self`.
+    fn sub(self, rhs: Timestamp) -> u64 {
+        self.0
+            .checked_sub(rhs.0)
+            .expect("timestamp subtraction underflow")
+    }
+}
+
+/// A day index within the observation window (day 0 = first bootstrap day).
+///
+/// # Example
+///
+/// ```
+/// use earlybird_logmodel::Day;
+/// let d = Day::new(30);
+/// assert_eq!(d.next(), Day::new(31));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Day(u32);
+
+impl Day {
+    /// Creates a day from its zero-based index.
+    pub const fn new(index: u32) -> Self {
+        Day(index)
+    }
+
+    /// Zero-based index of this day.
+    pub const fn index(self) -> u32 {
+        self.0
+    }
+
+    /// The following day.
+    pub const fn next(self) -> Day {
+        Day(self.0 + 1)
+    }
+
+    /// The timestamp at 00:00:00 of this day.
+    pub const fn start(self) -> Timestamp {
+        Timestamp(self.0 as u64 * SECONDS_PER_DAY)
+    }
+
+    /// Number of days from `earlier` to `self` (0 if `earlier` is later).
+    pub fn days_since(self, earlier: Day) -> u32 {
+        self.0.saturating_sub(earlier.0)
+    }
+
+    /// Iterator over `self, self+1, .., end-1`.
+    pub fn range_to(self, end: Day) -> impl Iterator<Item = Day> {
+        (self.0..end.0).map(Day)
+    }
+}
+
+impl fmt::Debug for Day {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Day({})", self.0)
+    }
+}
+
+impl fmt::Display for Day {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "day {}", self.0)
+    }
+}
+
+impl Add<u32> for Day {
+    type Output = Day;
+    fn add(self, rhs: u32) -> Day {
+        Day(self.0 + rhs)
+    }
+}
+
+/// A timezone offset in minutes east of UTC, as carried by raw proxy records
+/// collected from devices in different geographies (§IV-A of the paper).
+///
+/// # Example
+///
+/// ```
+/// use earlybird_logmodel::{Timestamp, TzOffset};
+/// let tz = TzOffset::from_minutes(-300); // UTC-5
+/// let local = Timestamp::from_secs(10_000);
+/// assert_eq!(tz.to_utc(local).as_secs(), 10_000 + 300 * 60);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Debug, Serialize, Deserialize)]
+pub struct TzOffset(i32);
+
+impl TzOffset {
+    /// UTC itself.
+    pub const UTC: TzOffset = TzOffset(0);
+
+    /// Creates an offset from minutes east of UTC.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the offset exceeds +-18 hours (the IANA bound).
+    pub fn from_minutes(minutes: i32) -> Self {
+        assert!(minutes.abs() <= 18 * 60, "timezone offset out of range");
+        TzOffset(minutes)
+    }
+
+    /// Minutes east of UTC.
+    pub const fn minutes(self) -> i32 {
+        self.0
+    }
+
+    /// Converts a local timestamp carrying this offset to UTC.
+    pub fn to_utc(self, local: Timestamp) -> Timestamp {
+        local.offset(-(self.0 as i64) * 60)
+    }
+
+    /// Converts a UTC timestamp to local time in this offset.
+    pub fn to_local(self, utc: Timestamp) -> Timestamp {
+        utc.offset(self.0 as i64 * 60)
+    }
+}
+
+impl fmt::Display for TzOffset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let sign = if self.0 < 0 { '-' } else { '+' };
+        let m = self.0.unsigned_abs();
+        write!(f, "UTC{}{:02}:{:02}", sign, m / 60, m % 60)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timestamp_day_roundtrip() {
+        let t = Timestamp::from_day_secs(Day::new(5), 4_000);
+        assert_eq!(t.day(), Day::new(5));
+        assert_eq!(t.secs_of_day(), 4_000);
+    }
+
+    #[test]
+    fn timestamp_display_formats_day_and_time() {
+        let t = Timestamp::from_day_secs(Day::new(3), 3_661);
+        assert_eq!(t.to_string(), "d03 01:01:01");
+    }
+
+    #[test]
+    fn timestamp_arithmetic() {
+        let a = Timestamp::from_secs(100);
+        let b = a + 20;
+        assert_eq!(b - a, 20);
+        assert_eq!(a.abs_diff(b), 20);
+        assert_eq!(b.abs_diff(a), 20);
+    }
+
+    #[test]
+    fn timestamp_offset_saturates_at_zero() {
+        let a = Timestamp::from_secs(10);
+        assert_eq!(a.offset(-100).as_secs(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn timestamp_subtraction_underflow_panics() {
+        let _ = Timestamp::from_secs(1) - Timestamp::from_secs(2);
+    }
+
+    #[test]
+    fn day_range_and_ordering() {
+        let days: Vec<Day> = Day::new(2).range_to(Day::new(5)).collect();
+        assert_eq!(days, vec![Day::new(2), Day::new(3), Day::new(4)]);
+        assert!(Day::new(1) < Day::new(2));
+        assert_eq!(Day::new(7).days_since(Day::new(3)), 4);
+        assert_eq!(Day::new(3).days_since(Day::new(7)), 0);
+    }
+
+    #[test]
+    fn day_start_is_midnight() {
+        assert_eq!(Day::new(2).start(), Timestamp::from_secs(2 * SECONDS_PER_DAY));
+    }
+
+    #[test]
+    fn tz_roundtrip() {
+        let tz = TzOffset::from_minutes(330); // UTC+5:30
+        let utc = Timestamp::from_secs(50_000);
+        assert_eq!(tz.to_utc(tz.to_local(utc)), utc);
+        assert_eq!(tz.to_string(), "UTC+05:30");
+        assert_eq!(TzOffset::from_minutes(-300).to_string(), "UTC-05:00");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn tz_out_of_range_panics() {
+        let _ = TzOffset::from_minutes(19 * 60);
+    }
+}

@@ -1,0 +1,52 @@
+//! The uniform post-reduction record consumed by the detection layer.
+
+use earlybird_logmodel::{DomainSym, HostId, Ipv4, Timestamp, UaSym};
+use serde::{Deserialize, Serialize};
+
+/// HTTP-specific context available when the source dataset is a web proxy
+/// log; absent for DNS datasets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HttpContext {
+    /// User-agent of the request, when the header was present.
+    pub ua: Option<UaSym>,
+    /// Whether the request carried a Referer header (beacon processes
+    /// typically do not, §IV-C).
+    pub referer_present: bool,
+}
+
+/// One host→domain contact after normalization and reduction: UTC timestamp,
+/// resolved host, *folded* destination domain, and optional HTTP context.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Contact {
+    /// UTC time of the contact.
+    pub ts: Timestamp,
+    /// The internal workstation that made the contact.
+    pub host: HostId,
+    /// Folded destination domain (symbol in the pipeline's folded interner).
+    pub domain: DomainSym,
+    /// Destination / resolved address, when the record carried one.
+    pub dest_ip: Option<Ipv4>,
+    /// HTTP context for proxy-derived contacts; `None` for DNS.
+    pub http: Option<HttpContext>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use earlybird_logmodel::DomainInterner;
+
+    #[test]
+    fn contact_is_copy_and_comparable() {
+        let domains = DomainInterner::new();
+        let c = Contact {
+            ts: Timestamp::from_secs(10),
+            host: HostId::new(1),
+            domain: domains.intern("nbc.com"),
+            dest_ip: None,
+            http: Some(HttpContext { ua: None, referer_present: true }),
+        };
+        let d = c;
+        assert_eq!(c, d);
+        assert!(c.http.unwrap().referer_present);
+    }
+}

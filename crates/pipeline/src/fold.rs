@@ -1,0 +1,119 @@
+//! Domain folding with a dedicated interner for folded names.
+//!
+//! "We first 'fold' the domain names to second-level (e.g., news.nbc.com is
+//! folded to nbc.com) ... Since domain names are anonymized in the LANL
+//! dataset, we conservatively fold to third-level domains" (§IV-A).
+
+use earlybird_logmodel::{fold_domain, DomainInterner, DomainSym};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Memoized folding from raw domain symbols to folded domain symbols.
+///
+/// The folded names live in their own [`DomainInterner`] so the rest of the
+/// pipeline never mixes raw and folded symbols by accident.
+#[derive(Debug)]
+pub struct FoldTable {
+    raw: Arc<DomainInterner>,
+    folded: Arc<DomainInterner>,
+    level: usize,
+    cache: HashMap<DomainSym, DomainSym>,
+}
+
+impl FoldTable {
+    /// Creates a fold table over `raw` names, folding to `level` labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is zero.
+    pub fn new(raw: Arc<DomainInterner>, level: usize) -> Self {
+        assert!(level > 0, "fold level must be positive");
+        FoldTable { raw, folded: Arc::new(DomainInterner::new()), level, cache: HashMap::new() }
+    }
+
+    /// The fold level (2 for enterprise data, 3 for anonymized LANL names).
+    pub fn level(&self) -> usize {
+        self.level
+    }
+
+    /// Folds a raw symbol, memoizing the mapping.
+    pub fn fold(&mut self, raw_sym: DomainSym) -> DomainSym {
+        if let Some(&f) = self.cache.get(&raw_sym) {
+            return f;
+        }
+        let name = self.raw.resolve(raw_sym);
+        let folded_sym = self.folded.intern(fold_domain(&name, self.level));
+        self.cache.insert(raw_sym, folded_sym);
+        folded_sym
+    }
+
+    /// Interns an already-folded name directly (used when seeding from IOC
+    /// lists, which carry folded names).
+    pub fn intern_folded(&self, name: &str) -> DomainSym {
+        self.folded.intern(fold_domain(name, self.level))
+    }
+
+    /// The interner holding folded names.
+    pub fn folded_interner(&self) -> &Arc<DomainInterner> {
+        &self.folded
+    }
+
+    /// The interner holding raw names.
+    pub fn raw_interner(&self) -> &Arc<DomainInterner> {
+        &self.raw
+    }
+
+    /// Resolves a *folded* symbol to its name.
+    pub fn folded_name(&self, sym: DomainSym) -> Arc<str> {
+        self.folded.resolve(sym)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn folds_and_memoizes() {
+        let raw = Arc::new(DomainInterner::new());
+        let a = raw.intern("news.nbc.com");
+        let b = raw.intern("video.nbc.com");
+        let c = raw.intern("evil.ru");
+        let mut t = FoldTable::new(Arc::clone(&raw), 2);
+        let fa = t.fold(a);
+        let fb = t.fold(b);
+        let fc = t.fold(c);
+        assert_eq!(fa, fb, "same second-level entity");
+        assert_ne!(fa, fc);
+        assert_eq!(&*t.folded_name(fa), "nbc.com");
+        assert_eq!(t.fold(a), fa, "memoized");
+    }
+
+    #[test]
+    fn third_level_for_anonymized_names() {
+        let raw = Arc::new(DomainInterner::new());
+        let a = raw.intern("x.sub.rainbow.c3");
+        let mut t = FoldTable::new(Arc::clone(&raw), 3);
+        let fa = t.fold(a);
+        assert_eq!(&*t.folded_name(fa), "sub.rainbow.c3");
+    }
+
+    #[test]
+    fn intern_folded_matches_fold_of_same_entity() {
+        let raw = Arc::new(DomainInterner::new());
+        let a = raw.intern("www.ramdo.org");
+        let mut t = FoldTable::new(Arc::clone(&raw), 2);
+        let via_fold = t.fold(a);
+        let via_seed = t.intern_folded("ramdo.org");
+        assert_eq!(via_fold, via_seed);
+        // Seeding with a deeper name folds it first.
+        assert_eq!(t.intern_folded("cdn.ramdo.org"), via_seed);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_level_rejected() {
+        let raw = Arc::new(DomainInterner::new());
+        let _ = FoldTable::new(raw, 0);
+    }
+}

@@ -1,0 +1,354 @@
+//! The per-day index over reduced contacts: the bipartite host↔domain view,
+//! per-edge timestamp series for beacon detection, per-domain destination
+//! IPs for the proximity features, and per-domain HTTP statistics for the
+//! `NoRef` / `RareUA` features.
+//!
+//! This materializes the `dom_host` and `host_rdom` maps of Algorithm 1 plus
+//! every per-day lookup the C&C detector and domain-similarity scorer need.
+
+use crate::contact::Contact;
+use crate::history::UaHistory;
+use crate::rare::RareDomains;
+use earlybird_logmodel::{Day, DomainSym, HostId, Ipv4, Timestamp};
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+/// A host→domain edge key.
+pub type EdgeKey = (HostId, DomainSym);
+
+#[derive(Clone, Copy, Debug, Default)]
+struct EdgeHttp {
+    connections: u32,
+    with_referer: u32,
+    with_common_ua: u32,
+}
+
+/// Immutable per-day index over one day of reduced [`Contact`]s.
+#[derive(Debug)]
+pub struct DayIndex {
+    day: Day,
+    http_available: bool,
+    rare: HashSet<DomainSym>,
+    new_count: usize,
+    domain_hosts: HashMap<DomainSym, BTreeSet<HostId>>,
+    host_rare_domains: HashMap<HostId, BTreeSet<DomainSym>>,
+    /// Sorted connection timestamps per rare-domain edge.
+    edge_series: HashMap<EdgeKey, Vec<Timestamp>>,
+    /// First contact per edge, for **all** domains (timing correlation must
+    /// reach seed domains that are not rare).
+    first_contact: HashMap<EdgeKey, Timestamp>,
+    /// Destination IPs per domain, for all domains with known addresses.
+    domain_ips: HashMap<DomainSym, BTreeSet<Ipv4>>,
+    /// HTTP statistics per rare-domain edge.
+    edge_http: HashMap<EdgeKey, EdgeHttp>,
+}
+
+impl DayIndex {
+    /// Builds the index for `day` from reduced contacts and the day's rare
+    /// set. `ua_history` classifies user agents as common or rare; pass
+    /// `None` for DNS datasets.
+    ///
+    /// `contacts` must be sorted by timestamp (reduction guarantees this).
+    pub fn build(
+        day: Day,
+        contacts: &[Contact],
+        rare: RareDomains,
+        ua_history: Option<&UaHistory>,
+    ) -> Self {
+        let new_count = rare.new_count();
+        let rare_set: HashSet<DomainSym> = rare.iter().collect();
+        let domain_hosts = rare.domain_hosts().clone();
+
+        let mut host_rare_domains: HashMap<HostId, BTreeSet<DomainSym>> = HashMap::new();
+        let mut edge_series: HashMap<EdgeKey, Vec<Timestamp>> = HashMap::new();
+        let mut first_contact: HashMap<EdgeKey, Timestamp> = HashMap::new();
+        let mut domain_ips: HashMap<DomainSym, BTreeSet<Ipv4>> = HashMap::new();
+        let mut edge_http: HashMap<EdgeKey, EdgeHttp> = HashMap::new();
+        let mut http_available = false;
+
+        for c in contacts {
+            let edge = (c.host, c.domain);
+            first_contact.entry(edge).or_insert(c.ts);
+            if let Some(ip) = c.dest_ip {
+                domain_ips.entry(c.domain).or_default().insert(ip);
+            }
+            if rare_set.contains(&c.domain) {
+                host_rare_domains.entry(c.host).or_default().insert(c.domain);
+                edge_series.entry(edge).or_default().push(c.ts);
+                let stats = edge_http.entry(edge).or_default();
+                stats.connections += 1;
+                if let Some(http) = &c.http {
+                    http_available = true;
+                    if http.referer_present {
+                        stats.with_referer += 1;
+                    }
+                    let common_ua = match (http.ua, ua_history) {
+                        (Some(ua), Some(hist)) => !hist.is_rare(ua),
+                        (Some(_), None) => true, // no history: assume common
+                        (None, _) => false,      // missing UA counts as rare
+                    };
+                    if common_ua {
+                        stats.with_common_ua += 1;
+                    }
+                }
+            }
+        }
+
+        DayIndex {
+            day,
+            http_available,
+            rare: rare_set,
+            new_count,
+            domain_hosts,
+            host_rare_domains,
+            edge_series,
+            first_contact,
+            domain_ips,
+            edge_http,
+        }
+    }
+
+    /// The indexed day.
+    pub fn day(&self) -> Day {
+        self.day
+    }
+
+    /// Whether the underlying dataset carried HTTP context.
+    pub fn has_http(&self) -> bool {
+        self.http_available
+    }
+
+    /// Whether `domain` is rare today.
+    pub fn is_rare(&self, domain: DomainSym) -> bool {
+        self.rare.contains(&domain)
+    }
+
+    /// The day's rare domains (unordered).
+    pub fn rare_domains(&self) -> impl Iterator<Item = DomainSym> + '_ {
+        self.rare.iter().copied()
+    }
+
+    /// Number of rare domains today.
+    pub fn rare_count(&self) -> usize {
+        self.rare.len()
+    }
+
+    /// Number of *new* domains today (pre-unpopularity filter, Fig. 2).
+    pub fn new_count(&self) -> usize {
+        self.new_count
+    }
+
+    /// Distinct hosts contacting `domain` today.
+    pub fn hosts_of(&self, domain: DomainSym) -> Option<&BTreeSet<HostId>> {
+        self.domain_hosts.get(&domain)
+    }
+
+    /// Number of distinct hosts contacting `domain` (the `NoHosts` feature).
+    pub fn connectivity(&self, domain: DomainSym) -> usize {
+        self.domain_hosts.get(&domain).map_or(0, BTreeSet::len)
+    }
+
+    /// The rare domains `host` visited today (Algorithm 1's `host_rdom`).
+    pub fn rare_domains_of(&self, host: HostId) -> Option<&BTreeSet<DomainSym>> {
+        self.host_rare_domains.get(&host)
+    }
+
+    /// Sorted connection timestamps from `host` to rare `domain`.
+    pub fn beacon_series(&self, host: HostId, domain: DomainSym) -> Option<&[Timestamp]> {
+        self.edge_series.get(&(host, domain)).map(Vec::as_slice)
+    }
+
+    /// First contact time from `host` to `domain` (any domain).
+    pub fn first_contact(&self, host: HostId, domain: DomainSym) -> Option<Timestamp> {
+        self.first_contact.get(&(host, domain)).copied()
+    }
+
+    /// Destination IPs observed for `domain`.
+    pub fn ips_of(&self, domain: DomainSym) -> Option<&BTreeSet<Ipv4>> {
+        self.domain_ips.get(&domain)
+    }
+
+    /// Fraction of hosts contacting rare `domain` that never sent a Referer
+    /// to it (the `NoRef` feature). `None` when HTTP context is unavailable
+    /// or the domain was not contacted.
+    pub fn no_ref_fraction(&self, domain: DomainSym) -> Option<f64> {
+        if !self.http_available {
+            return None;
+        }
+        self.host_fraction(domain, |stats| stats.with_referer == 0)
+    }
+
+    /// Fraction of hosts contacting rare `domain` that used no or only rare
+    /// user agents toward it (the `RareUA` feature). `None` when HTTP
+    /// context is unavailable or the domain was not contacted.
+    pub fn rare_ua_fraction(&self, domain: DomainSym) -> Option<f64> {
+        if !self.http_available {
+            return None;
+        }
+        self.host_fraction(domain, |stats| stats.with_common_ua == 0)
+    }
+
+    fn host_fraction(&self, domain: DomainSym, pred: impl Fn(&EdgeHttp) -> bool) -> Option<f64> {
+        let hosts = self.domain_hosts.get(&domain)?;
+        if hosts.is_empty() {
+            return None;
+        }
+        let matching = hosts
+            .iter()
+            .filter(|&&h| self.edge_http.get(&(h, domain)).is_some_and(&pred))
+            .count();
+        Some(matching as f64 / hosts.len() as f64)
+    }
+
+    /// Number of rare-domain edges (host, domain) in the day.
+    pub fn rare_edge_count(&self) -> usize {
+        self.edge_series.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::contact::HttpContext;
+    use crate::history::DomainHistory;
+    use crate::rare::RareSieve;
+    use earlybird_logmodel::{DomainInterner, UaInterner};
+
+    struct Fixture {
+        domains: DomainInterner,
+        uas: UaInterner,
+        contacts: Vec<Contact>,
+    }
+
+    impl Fixture {
+        fn new() -> Self {
+            Fixture { domains: DomainInterner::new(), uas: UaInterner::new(), contacts: Vec::new() }
+        }
+
+        fn push(&mut self, ts: u64, host: u32, domain: &str, ip: Option<Ipv4>, http: Option<HttpContext>) {
+            self.contacts.push(Contact {
+                ts: Timestamp::from_secs(ts),
+                host: HostId::new(host),
+                domain: self.domains.intern(domain),
+                dest_ip: ip,
+                http,
+            });
+        }
+
+        fn index(&mut self, ua_history: Option<&UaHistory>) -> DayIndex {
+            self.contacts.sort_by_key(|c| c.ts);
+            let rare = RareSieve::new(10).extract(&self.contacts, &DomainHistory::new());
+            DayIndex::build(Day::new(0), &self.contacts, rare, ua_history)
+        }
+    }
+
+    #[test]
+    fn bipartite_maps_are_consistent() {
+        let mut f = Fixture::new();
+        f.push(10, 1, "a.com", None, None);
+        f.push(20, 1, "b.com", None, None);
+        f.push(30, 2, "a.com", None, None);
+        let idx = f.index(None);
+        let a = f.domains.get("a.com").unwrap();
+        let b = f.domains.get("b.com").unwrap();
+        assert_eq!(idx.connectivity(a), 2);
+        assert_eq!(idx.connectivity(b), 1);
+        assert_eq!(idx.rare_domains_of(HostId::new(1)).unwrap().len(), 2);
+        assert!(idx.rare_domains_of(HostId::new(1)).unwrap().contains(&a));
+        assert_eq!(idx.rare_count(), 2);
+        assert_eq!(idx.rare_edge_count(), 3);
+    }
+
+    #[test]
+    fn beacon_series_is_sorted_per_edge() {
+        let mut f = Fixture::new();
+        for i in 0..5 {
+            f.push(i * 600, 1, "cc.ru", None, None);
+        }
+        f.push(42, 2, "cc.ru", None, None);
+        let idx = f.index(None);
+        let cc = f.domains.get("cc.ru").unwrap();
+        let series = idx.beacon_series(HostId::new(1), cc).unwrap();
+        assert_eq!(series.len(), 5);
+        assert!(series.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(idx.first_contact(HostId::new(1), cc), Some(Timestamp::from_secs(0)));
+        assert_eq!(idx.first_contact(HostId::new(2), cc), Some(Timestamp::from_secs(42)));
+    }
+
+    #[test]
+    fn domain_ips_accumulate() {
+        let mut f = Fixture::new();
+        f.push(1, 1, "multi.net", Some(Ipv4::new(5, 5, 5, 1)), None);
+        f.push(2, 1, "multi.net", Some(Ipv4::new(5, 5, 5, 2)), None);
+        f.push(3, 1, "noip.net", None, None);
+        let idx = f.index(None);
+        let m = f.domains.get("multi.net").unwrap();
+        assert_eq!(idx.ips_of(m).unwrap().len(), 2);
+        assert!(idx.ips_of(f.domains.get("noip.net").unwrap()).is_none());
+    }
+
+    #[test]
+    fn http_fractions_require_http_data() {
+        let mut f = Fixture::new();
+        f.push(1, 1, "a.com", None, None);
+        let idx = f.index(None);
+        let a = f.domains.get("a.com").unwrap();
+        assert!(!idx.has_http());
+        assert_eq!(idx.no_ref_fraction(a), None);
+        assert_eq!(idx.rare_ua_fraction(a), None);
+    }
+
+    #[test]
+    fn no_ref_fraction_counts_hosts_without_any_referer() {
+        let mut f = Fixture::new();
+        // host 1: never a referer; host 2: one of two connections has one.
+        f.push(1, 1, "x.io", None, Some(HttpContext { ua: None, referer_present: false }));
+        f.push(2, 2, "x.io", None, Some(HttpContext { ua: None, referer_present: false }));
+        f.push(3, 2, "x.io", None, Some(HttpContext { ua: None, referer_present: true }));
+        let idx = f.index(None);
+        let x = f.domains.get("x.io").unwrap();
+        assert_eq!(idx.no_ref_fraction(x), Some(0.5));
+    }
+
+    #[test]
+    fn rare_ua_fraction_uses_history() {
+        let mut f = Fixture::new();
+        let common = f.uas.intern("Mozilla/5.0");
+        let weird = f.uas.intern("Backdoor/1.0");
+        // Build a history where `common` is popular and `weird` is not.
+        let mut hist = UaHistory::new(3);
+        {
+            let d = f.domains.intern("warmup.com");
+            let mk = |host: u32, ua| Contact {
+                ts: Timestamp::from_secs(0),
+                host: HostId::new(host),
+                domain: d,
+                dest_ip: None,
+                http: Some(HttpContext { ua: Some(ua), referer_present: true }),
+            };
+            let warm: Vec<Contact> = (0..5).map(|h| mk(h, common)).collect();
+            hist.update(&warm);
+        }
+        // host 1 uses the rare UA, host 2 the common one, host 3 none at all.
+        f.push(1, 1, "x.io", None, Some(HttpContext { ua: Some(weird), referer_present: false }));
+        f.push(2, 2, "x.io", None, Some(HttpContext { ua: Some(common), referer_present: false }));
+        f.push(3, 3, "x.io", None, Some(HttpContext { ua: None, referer_present: false }));
+        let idx = f.index(Some(&hist));
+        let x = f.domains.get("x.io").unwrap();
+        let frac = idx.rare_ua_fraction(x).unwrap();
+        assert!((frac - 2.0 / 3.0).abs() < 1e-12, "hosts 1 and 3 are rare-UA: {frac}");
+    }
+
+    #[test]
+    fn first_contact_tracked_for_non_rare_domains_too() {
+        let mut f = Fixture::new();
+        // popular.com is contacted by 12 hosts -> not rare under threshold 10.
+        for h in 0..12 {
+            f.push(h as u64, h, "popular.com", None, None);
+        }
+        let idx = f.index(None);
+        let p = f.domains.get("popular.com").unwrap();
+        assert!(!idx.is_rare(p));
+        assert_eq!(idx.first_contact(HostId::new(3), p), Some(Timestamp::from_secs(3)));
+        assert!(idx.beacon_series(HostId::new(3), p).is_none(), "series kept only for rare edges");
+    }
+}

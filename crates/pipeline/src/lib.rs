@@ -1,0 +1,53 @@
+//! Log normalization, reduction, profiling, and per-day indexing (§IV-A and
+//! the profiling steps of §III-E).
+//!
+//! The pipeline turns raw dataset records into a uniform stream of
+//! [`Contact`]s — `(UTC timestamp, host, folded domain, destination IP,
+//! optional HTTP context)` — so the detection layer is agnostic to whether
+//! the input was DNS or web-proxy logs ("We focus on general patterns of
+//! infections that is common in various types of network data", §II-C):
+//!
+//! * [`normalize`] — timezone conversion to UTC and DHCP/VPN lease
+//!   resolution for proxy records; IP-literal destination filtering.
+//! * [`fold`] — domain folding to the paper's second level (third level for
+//!   anonymized LANL names) with a dedicated folded-name interner.
+//! * [`reduce`] — A-record / internal-query / internal-server filters with
+//!   the per-step distinct-domain counters that Fig. 2 plots.
+//! * [`history`] — incrementally updated histories of external destinations
+//!   and user-agent strings.
+//! * [`rare`] — "new + unpopular" rare-destination extraction.
+//! * [`index`] — the per-day [`DayIndex`] over contacts: host↔domain edges,
+//!   per-edge timestamp series, per-domain IPs and HTTP statistics.
+//!
+//! # Example
+//!
+//! ```
+//! use earlybird_logmodel::{Day, DomainInterner};
+//! use earlybird_pipeline::fold::FoldTable;
+//! use std::sync::Arc;
+//!
+//! let raw = Arc::new(DomainInterner::new());
+//! let sym = raw.intern("news.nbc.com");
+//! let mut fold = FoldTable::new(Arc::clone(&raw), 2);
+//! let folded = fold.fold(sym);
+//! assert_eq!(&*fold.folded_interner().resolve(folded), "nbc.com");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod contact;
+pub mod fold;
+pub mod history;
+pub mod index;
+pub mod normalize;
+pub mod rare;
+pub mod reduce;
+
+pub use contact::{Contact, HttpContext};
+pub use fold::FoldTable;
+pub use history::{DomainHistory, UaHistory};
+pub use index::{DayIndex, EdgeKey};
+pub use normalize::{normalize_proxy_day, NormalizationCounts};
+pub use rare::{RareDomains, RareSieve};
+pub use reduce::{reduce_dns_day, reduce_proxy_day, DnsReductionCounts, ProxyReductionCounts, ReductionConfig};

@@ -1,0 +1,185 @@
+//! Proxy-record normalization: UTC conversion, DHCP/VPN lease resolution,
+//! and IP-literal destination filtering (§IV-A).
+//!
+//! "we converted all timestamps into UTC and DHCP and VPN IP addresses to
+//! hostnames (by parsing the DHCP and VPN logs collected by the
+//! organization) ... We do not consider destinations that are IP addresses."
+
+use earlybird_logmodel::{DhcpLog, ProxyDayLog, ProxyRecord};
+use serde::{Deserialize, Serialize};
+
+/// Per-day normalization statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NormalizationCounts {
+    /// Records in the raw day batch.
+    pub input: usize,
+    /// Records surviving normalization.
+    pub output: usize,
+    /// Records whose source IP had no covering DHCP/VPN lease.
+    pub dropped_unresolvable: usize,
+    /// Records whose destination "domain" was an IP literal.
+    pub dropped_ip_literal: usize,
+}
+
+/// Normalizes one day of proxy records: converts timestamps to UTC, resolves
+/// `src_ip` to a stable [`earlybird_logmodel::HostId`] through the lease
+/// log, and drops records with IP-literal destinations or unresolvable
+/// sources.
+///
+/// Records that already carry a resolved `host` are passed through without a
+/// lease lookup. The output is sorted by UTC timestamp.
+pub fn normalize_proxy_day(
+    day: &ProxyDayLog,
+    dhcp: &DhcpLog,
+    is_ip_literal: impl Fn(&ProxyRecord) -> bool,
+) -> (Vec<ProxyRecord>, NormalizationCounts) {
+    let mut counts = NormalizationCounts { input: day.records.len(), ..Default::default() };
+    let mut out = Vec::with_capacity(day.records.len());
+    for rec in &day.records {
+        if is_ip_literal(rec) {
+            counts.dropped_ip_literal += 1;
+            continue;
+        }
+        let ts_utc = rec.ts_utc();
+        let host = match rec.host {
+            Some(h) => Some(h),
+            None => dhcp.resolve(rec.src_ip, ts_utc),
+        };
+        let Some(host) = host else {
+            counts.dropped_unresolvable += 1;
+            continue;
+        };
+        let mut normalized = *rec;
+        normalized.host = Some(host);
+        // Store UTC in ts_local with a zero offset so downstream consumers
+        // can use ts_local uniformly.
+        normalized.ts_local = ts_utc;
+        normalized.tz = earlybird_logmodel::TzOffset::UTC;
+        out.push(normalized);
+    }
+    out.sort_by_key(|r| r.ts_local);
+    counts.output = out.len();
+    (out, counts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use earlybird_logmodel::{
+        Day, DhcpLease, DomainInterner, HostId, HttpMethod, HttpStatus, Ipv4, PathInterner,
+        Timestamp, TzOffset,
+    };
+
+    fn record(
+        domains: &DomainInterner,
+        paths: &PathInterner,
+        ts_local: u64,
+        tz_minutes: i32,
+        src_ip: Ipv4,
+        domain: &str,
+    ) -> ProxyRecord {
+        ProxyRecord {
+            ts_local: Timestamp::from_secs(ts_local),
+            tz: TzOffset::from_minutes(tz_minutes),
+            src_ip,
+            host: None,
+            domain: domains.intern(domain),
+            dest_ip: Ipv4::new(93, 184, 216, 34),
+            method: HttpMethod::Get,
+            status: HttpStatus::OK,
+            url_path: paths.intern("/"),
+            user_agent: None,
+            referer: None,
+        }
+    }
+
+    fn lease(ip: Ipv4, host: u32, start: u64, end: u64) -> DhcpLease {
+        DhcpLease {
+            ip,
+            host: HostId::new(host),
+            start: Timestamp::from_secs(start),
+            end: Timestamp::from_secs(end),
+        }
+    }
+
+    #[test]
+    fn resolves_leases_and_converts_to_utc() {
+        let domains = DomainInterner::new();
+        let paths = PathInterner::new();
+        let ip = Ipv4::new(10, 0, 0, 9);
+        let mut dhcp = DhcpLog::new();
+        dhcp.add(lease(ip, 7, 0, 100_000));
+        let day = ProxyDayLog {
+            day: Day::new(0),
+            records: vec![record(&domains, &paths, 7_200, 60, ip, "nbc.com")],
+        };
+        let (out, counts) = normalize_proxy_day(&day, &dhcp, |_| false);
+        assert_eq!(counts.output, 1);
+        assert_eq!(out[0].host, Some(HostId::new(7)));
+        // UTC-1h applied, offset reset.
+        assert_eq!(out[0].ts_local, Timestamp::from_secs(3_600));
+        assert_eq!(out[0].tz, TzOffset::UTC);
+    }
+
+    #[test]
+    fn drops_unresolvable_sources() {
+        let domains = DomainInterner::new();
+        let paths = PathInterner::new();
+        let dhcp = DhcpLog::new();
+        let day = ProxyDayLog {
+            day: Day::new(0),
+            records: vec![record(&domains, &paths, 100, 0, Ipv4::new(10, 0, 0, 1), "nbc.com")],
+        };
+        let (out, counts) = normalize_proxy_day(&day, &dhcp, |_| false);
+        assert!(out.is_empty());
+        assert_eq!(counts.dropped_unresolvable, 1);
+    }
+
+    #[test]
+    fn drops_ip_literal_destinations() {
+        let domains = DomainInterner::new();
+        let paths = PathInterner::new();
+        let ip = Ipv4::new(10, 0, 0, 9);
+        let mut dhcp = DhcpLog::new();
+        dhcp.add(lease(ip, 7, 0, 1_000));
+        let day = ProxyDayLog {
+            day: Day::new(0),
+            records: vec![record(&domains, &paths, 10, 0, ip, "8.8.8.8")],
+        };
+        let domains_ref = day.records[0].domain;
+        let (out, counts) = normalize_proxy_day(&day, &dhcp, |r| {
+            r.domain == domains_ref // pretend the resolver flagged it
+        });
+        assert!(out.is_empty());
+        assert_eq!(counts.dropped_ip_literal, 1);
+    }
+
+    #[test]
+    fn preexisting_host_is_passed_through() {
+        let domains = DomainInterner::new();
+        let paths = PathInterner::new();
+        let dhcp = DhcpLog::new(); // empty — would fail lease resolution
+        let mut rec = record(&domains, &paths, 10, 0, Ipv4::new(10, 0, 0, 2), "nbc.com");
+        rec.host = Some(HostId::new(3));
+        let day = ProxyDayLog { day: Day::new(0), records: vec![rec] };
+        let (out, counts) = normalize_proxy_day(&day, &dhcp, |_| false);
+        assert_eq!(counts.output, 1);
+        assert_eq!(out[0].host, Some(HostId::new(3)));
+    }
+
+    #[test]
+    fn output_is_sorted_by_utc() {
+        let domains = DomainInterner::new();
+        let paths = PathInterner::new();
+        let ip = Ipv4::new(10, 0, 0, 9);
+        let mut dhcp = DhcpLog::new();
+        dhcp.add(lease(ip, 7, 0, 1_000_000));
+        // Two records whose local order differs from UTC order because of
+        // different collector timezones.
+        let r1 = record(&domains, &paths, 10_000, 300, ip, "a.com"); // UTC 10_000-18_000 -> early
+        let r2 = record(&domains, &paths, 9_000, -60, ip, "b.com"); // UTC 9_000+3_600 = 12_600
+        let day = ProxyDayLog { day: Day::new(0), records: vec![r2, r1] };
+        let (out, _) = normalize_proxy_day(&day, &dhcp, |_| false);
+        assert!(out[0].ts_local <= out[1].ts_local);
+    }
+}

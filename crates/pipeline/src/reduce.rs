@@ -1,0 +1,303 @@
+//! Data reduction (§IV-A): A-record restriction, internal-query and
+//! internal-server filtering, folding — with the per-step distinct-domain
+//! counters plotted in Fig. 2.
+
+use crate::contact::{Contact, HttpContext};
+use crate::fold::FoldTable;
+use earlybird_logmodel::{
+    DatasetMeta, DnsDayLog, DnsRecordType, DomainSym, HostKind, ProxyRecord,
+};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// Configuration of the reduction filters.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct ReductionConfig {
+    /// Suffixes of internal (enterprise-owned) namespaces; queries to these
+    /// are dropped ("we filter out queries for internal LANL resources").
+    pub internal_suffixes: Vec<String>,
+}
+
+impl ReductionConfig {
+    /// Builds the config from dataset metadata.
+    pub fn from_meta(meta: &DatasetMeta) -> Self {
+        ReductionConfig { internal_suffixes: meta.internal_suffixes.clone() }
+    }
+
+    fn is_internal(&self, name: &str) -> bool {
+        self.internal_suffixes.iter().any(|s| {
+            name == s.as_str() || (name.len() > s.len() && name.ends_with(s.as_str()) && name.as_bytes()[name.len() - s.len() - 1] == b'.')
+        })
+    }
+}
+
+/// Distinct-domain counts after each DNS reduction step (the Fig. 2 series;
+/// "new" and "rare" are computed downstream by the history and sieve).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DnsReductionCounts {
+    /// Raw records in the day.
+    pub records_all: usize,
+    /// Records surviving the A-record restriction.
+    pub records_a_only: usize,
+    /// Distinct folded domains before any filtering ("All").
+    pub domains_all: usize,
+    /// Distinct folded domains after dropping internal queries.
+    pub domains_after_internal_filter: usize,
+    /// Distinct folded domains after additionally dropping internal-server
+    /// sources.
+    pub domains_after_server_filter: usize,
+}
+
+/// Reduces one day of DNS logs to [`Contact`]s.
+///
+/// Applies, in order: A-record restriction, internal-namespace filter,
+/// internal-server source filter; folds surviving names through `fold`.
+pub fn reduce_dns_day(
+    day: &DnsDayLog,
+    meta: &DatasetMeta,
+    fold: &mut FoldTable,
+    cfg: &ReductionConfig,
+) -> (Vec<Contact>, DnsReductionCounts) {
+    let mut counts = DnsReductionCounts { records_all: day.queries.len(), ..Default::default() };
+    let mut all: HashSet<DomainSym> = HashSet::new();
+    let mut after_internal: HashSet<DomainSym> = HashSet::new();
+    let mut after_server: HashSet<DomainSym> = HashSet::new();
+    let mut contacts = Vec::new();
+
+    for q in &day.queries {
+        let folded = fold.fold(q.qname);
+        all.insert(folded);
+        if q.qtype != DnsRecordType::A {
+            continue;
+        }
+        counts.records_a_only += 1;
+        let name = fold.raw_interner().resolve(q.qname);
+        if cfg.is_internal(&name) {
+            continue;
+        }
+        after_internal.insert(folded);
+        if meta.kind(q.src) == HostKind::Server {
+            continue;
+        }
+        after_server.insert(folded);
+        contacts.push(Contact {
+            ts: q.ts,
+            host: q.src,
+            domain: folded,
+            dest_ip: q.answer,
+            http: None,
+        });
+    }
+    contacts.sort_by_key(|c| c.ts);
+    counts.domains_all = all.len();
+    counts.domains_after_internal_filter = after_internal.len();
+    counts.domains_after_server_filter = after_server.len();
+    (contacts, counts)
+}
+
+/// Distinct-domain counts after each proxy reduction step.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProxyReductionCounts {
+    /// Normalized records in the day.
+    pub records_all: usize,
+    /// Distinct folded domains before filtering.
+    pub domains_all: usize,
+    /// Distinct folded domains after dropping internal destinations.
+    pub domains_after_internal_filter: usize,
+    /// Distinct folded domains after additionally dropping server sources.
+    pub domains_after_server_filter: usize,
+}
+
+/// Reduces one day of *normalized* proxy records (see
+/// [`crate::normalize::normalize_proxy_day`]) to [`Contact`]s.
+///
+/// # Panics
+///
+/// Panics if a record has no resolved host (normalization must run first).
+pub fn reduce_proxy_day(
+    records: &[ProxyRecord],
+    meta: &DatasetMeta,
+    fold: &mut FoldTable,
+    cfg: &ReductionConfig,
+) -> (Vec<Contact>, ProxyReductionCounts) {
+    let mut counts = ProxyReductionCounts { records_all: records.len(), ..Default::default() };
+    let mut all: HashSet<DomainSym> = HashSet::new();
+    let mut after_internal: HashSet<DomainSym> = HashSet::new();
+    let mut after_server: HashSet<DomainSym> = HashSet::new();
+    let mut contacts = Vec::new();
+
+    for rec in records {
+        let host = rec.host.expect("proxy records must be normalized before reduction");
+        let folded = fold.fold(rec.domain);
+        all.insert(folded);
+        let name = fold.raw_interner().resolve(rec.domain);
+        if cfg.is_internal(&name) {
+            continue;
+        }
+        after_internal.insert(folded);
+        if meta.kind(host) == HostKind::Server {
+            continue;
+        }
+        after_server.insert(folded);
+        contacts.push(Contact {
+            ts: rec.ts_utc(),
+            host,
+            domain: folded,
+            dest_ip: Some(rec.dest_ip),
+            http: Some(HttpContext { ua: rec.user_agent, referer_present: rec.referer.is_some() }),
+        });
+    }
+    contacts.sort_by_key(|c| c.ts);
+    counts.domains_all = all.len();
+    counts.domains_after_internal_filter = after_internal.len();
+    counts.domains_after_server_filter = after_server.len();
+    (contacts, counts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use earlybird_logmodel::{
+        Day, DnsQuery, DomainInterner, HostId, HttpMethod, HttpStatus, Ipv4, PathInterner,
+        Timestamp, TzOffset,
+    };
+    use std::sync::Arc;
+
+    fn meta_with_server(n: u32, server: u32) -> DatasetMeta {
+        let mut kinds = vec![HostKind::Workstation; n as usize];
+        kinds[server as usize] = HostKind::Server;
+        DatasetMeta {
+            n_hosts: n,
+            host_kinds: kinds,
+            internal_suffixes: vec!["corp.local".into()],
+            bootstrap_days: 0,
+            total_days: 1,
+        }
+    }
+
+    fn dns_query(domains: &DomainInterner, ts: u64, src: u32, name: &str, qtype: DnsRecordType) -> DnsQuery {
+        DnsQuery {
+            ts: Timestamp::from_secs(ts),
+            src: HostId::new(src),
+            src_ip: Ipv4::new(10, 0, 0, src as u8),
+            qname: domains.intern(name),
+            qtype,
+            answer: Some(Ipv4::new(93, 1, 2, 3)),
+        }
+    }
+
+    #[test]
+    fn dns_reduction_filters_in_paper_order() {
+        let raw = Arc::new(DomainInterner::new());
+        let day = DnsDayLog {
+            day: Day::new(0),
+            queries: vec![
+                dns_query(&raw, 1, 0, "www.nbc.com", DnsRecordType::A),
+                dns_query(&raw, 2, 0, "mail.corp.local", DnsRecordType::A), // internal
+                dns_query(&raw, 3, 1, "evil.ru", DnsRecordType::A),          // server source
+                dns_query(&raw, 4, 0, "txt.example.org", DnsRecordType::Txt), // non-A
+                dns_query(&raw, 5, 2, "cdn.nbc.com", DnsRecordType::A),
+            ],
+        };
+        let meta = meta_with_server(3, 1);
+        let mut fold = FoldTable::new(Arc::clone(&raw), 2);
+        let cfg = ReductionConfig::from_meta(&meta);
+        let (contacts, counts) = reduce_dns_day(&day, &meta, &mut fold, &cfg);
+
+        assert_eq!(counts.records_all, 5);
+        assert_eq!(counts.records_a_only, 4);
+        // Folded distinct: nbc.com, corp.local, evil.ru, example.org
+        assert_eq!(counts.domains_all, 4);
+        // internal filter drops corp.local (and the non-A record never reaches it)
+        assert_eq!(counts.domains_after_internal_filter, 2);
+        // server filter drops evil.ru (only contacted by the server)
+        assert_eq!(counts.domains_after_server_filter, 1);
+        assert_eq!(contacts.len(), 2, "www.nbc.com + cdn.nbc.com fold together but are two contacts");
+        assert!(contacts.iter().all(|c| c.http.is_none()));
+    }
+
+    #[test]
+    fn internal_suffix_requires_label_boundary() {
+        let cfg = ReductionConfig { internal_suffixes: vec!["corp.local".into()] };
+        assert!(cfg.is_internal("corp.local"));
+        assert!(cfg.is_internal("mail.corp.local"));
+        assert!(!cfg.is_internal("evilcorp.local"), "no label boundary");
+        assert!(!cfg.is_internal("corp.local.evil.com"));
+    }
+
+    #[test]
+    fn counts_are_monotonically_decreasing() {
+        let raw = Arc::new(DomainInterner::new());
+        let mut queries = Vec::new();
+        for i in 0..50u32 {
+            queries.push(dns_query(&raw, i as u64, i % 5, &format!("d{i}.example{}.com", i % 7), DnsRecordType::A));
+        }
+        queries.push(dns_query(&raw, 99, 0, "x.corp.local", DnsRecordType::A));
+        let day = DnsDayLog { day: Day::new(0), queries };
+        let meta = meta_with_server(5, 2);
+        let mut fold = FoldTable::new(Arc::clone(&raw), 2);
+        let cfg = ReductionConfig::from_meta(&meta);
+        let (_, c) = reduce_dns_day(&day, &meta, &mut fold, &cfg);
+        assert!(c.domains_all >= c.domains_after_internal_filter);
+        assert!(c.domains_after_internal_filter >= c.domains_after_server_filter);
+        assert!(c.records_all >= c.records_a_only);
+    }
+
+    fn proxy_record(
+        domains: &DomainInterner,
+        paths: &PathInterner,
+        ts: u64,
+        host: u32,
+        name: &str,
+        referer: Option<&str>,
+    ) -> ProxyRecord {
+        ProxyRecord {
+            ts_local: Timestamp::from_secs(ts),
+            tz: TzOffset::UTC,
+            src_ip: Ipv4::new(10, 0, 0, host as u8),
+            host: Some(HostId::new(host)),
+            domain: domains.intern(name),
+            dest_ip: Ipv4::new(93, 1, 2, 3),
+            method: HttpMethod::Get,
+            status: HttpStatus::OK,
+            url_path: paths.intern("/"),
+            user_agent: None,
+            referer: referer.map(|r| domains.intern(r)),
+        }
+    }
+
+    #[test]
+    fn proxy_reduction_preserves_http_context() {
+        let raw = Arc::new(DomainInterner::new());
+        let paths = PathInterner::new();
+        let recs = vec![
+            proxy_record(&raw, &paths, 1, 0, "cdn.evil.ru", None),
+            proxy_record(&raw, &paths, 2, 0, "www.nbc.com", Some("google.com")),
+            proxy_record(&raw, &paths, 3, 0, "wiki.corp.local", None),
+        ];
+        let meta = meta_with_server(2, 1);
+        let mut fold = FoldTable::new(Arc::clone(&raw), 2);
+        let cfg = ReductionConfig::from_meta(&meta);
+        let (contacts, counts) = reduce_proxy_day(&recs, &meta, &mut fold, &cfg);
+        assert_eq!(counts.domains_all, 3);
+        assert_eq!(counts.domains_after_internal_filter, 2);
+        assert_eq!(contacts.len(), 2);
+        let evil = contacts.iter().find(|c| &*fold.folded_name(c.domain) == "evil.ru").unwrap();
+        assert!(!evil.http.unwrap().referer_present);
+        let nbc = contacts.iter().find(|c| &*fold.folded_name(c.domain) == "nbc.com").unwrap();
+        assert!(nbc.http.unwrap().referer_present);
+    }
+
+    #[test]
+    #[should_panic(expected = "normalized")]
+    fn proxy_reduction_requires_resolved_hosts() {
+        let raw = Arc::new(DomainInterner::new());
+        let paths = PathInterner::new();
+        let mut rec = proxy_record(&raw, &paths, 1, 0, "a.com", None);
+        rec.host = None;
+        let meta = meta_with_server(2, 1);
+        let mut fold = FoldTable::new(Arc::clone(&raw), 2);
+        let cfg = ReductionConfig::default();
+        let _ = reduce_proxy_day(&[rec], &meta, &mut fold, &cfg);
+    }
+}

@@ -1,0 +1,916 @@
+//! The AC-style web-proxy dataset generator (§VI).
+//!
+//! Produces two months of border-proxy logs — January for bootstrap,
+//! February for operation — together with the simulated intelligence the
+//! enterprise evaluation needs: WHOIS registrations, a VirusTotal oracle
+//! with reporting lag, the SOC's IOC feed, and per-domain ground truth.
+//!
+//! The generator reproduces the traffic phenomena the paper's features key
+//! on:
+//!
+//! * DHCP/VPN address churn and multi-timezone collectors (normalization);
+//! * benign browsing with referers and a common user-agent pool, plus
+//!   *benign automated* services — ad rotators, toolbars, niche updaters —
+//!   that are new, rare, sometimes young-registered and referer-less: the
+//!   false-positive pressure visible as the "Legitimate" bars of Fig. 6;
+//! * malicious campaigns: generic malware, a beaconing C&C + delivery pair
+//!   (the Fig. 7 community), a Zeus-like SOC-seeded cluster with `.org`
+//!   second stages (Fig. 8), a short-name `.info` DGA cluster (§VI-C), a
+//!   hex `.info` DGA cluster registered only *after* detection (§VI-D), and
+//!   a Sality-style cluster sharing the `/logo.gif?` URL pattern.
+
+use crate::campaign::{CampaignPlan, CampaignShape};
+use crate::names::{benign_domain, dga_hex_info, dga_short_info, malware_ru, pronounceable, ramdo_org};
+use crate::rng::derive_rng;
+use earlybird_intel::{CampaignId, GroundTruth, IocFeed, TrueClass, VirusTotalOracle, WhoisRegistry};
+use earlybird_logmodel::{
+    DatasetMeta, Day, DhcpLease, DhcpLog, DomainInterner, HostId, HostKind, HttpMethod,
+    HttpStatus, Ipv4, PathInterner, ProxyDataset, ProxyDayLog, ProxyRecord, Timestamp, TzOffset,
+    UaInterner, SECONDS_PER_DAY,
+};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// The malicious campaign families injected into February.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AcCampaignKind {
+    /// Generic single/few-domain malware (the bulk).
+    Generic,
+    /// Fig. 7: beaconing `.ru` C&C plus a delivery pair, several victims.
+    BeaconPair,
+    /// Fig. 8: Zeus-like C&C (IOC-seeded) with a `.org` second-stage cluster.
+    SocCluster,
+    /// §VI-C: ten 4–5-character `.info` DGA domains.
+    DgaShort,
+    /// §VI-D: ten 20-character hex `.info` DGA domains, registered after
+    /// their detection day.
+    DgaHex,
+    /// Sality-style cluster sharing the `/logo.gif?` URL pattern.
+    Sality,
+}
+
+/// One injected AC campaign.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct AcCampaign {
+    /// Campaign identifier.
+    pub id: CampaignId,
+    /// Family.
+    pub kind: AcCampaignKind,
+    /// February day-of-month (1–28) the campaign runs.
+    pub feb_day: u32,
+    /// Window day index.
+    pub day: Day,
+    /// The plan (domains, victims, contacts).
+    pub plan: CampaignPlan,
+    /// Whether VirusTotal ever reports the campaign's domains.
+    pub vt_reported: bool,
+    /// Whether the C&C domain is in the SOC IOC feed.
+    pub in_ioc: bool,
+}
+
+/// The simulated intelligence bundle accompanying the dataset.
+#[derive(Clone, Debug, Default)]
+pub struct AcIntel {
+    /// WHOIS registrations for benign and malicious domains.
+    pub whois: WhoisRegistry,
+    /// VirusTotal oracle with per-domain report lag.
+    pub vt: VirusTotalOracle,
+    /// The SOC's IOC feed (seeds for the SOC-hints mode).
+    pub ioc: IocFeed,
+    /// Ground-truth classes for evaluation.
+    pub truth: GroundTruth,
+}
+
+/// The generated AC world: dataset + intelligence + campaign answer key.
+#[derive(Debug)]
+pub struct AcWorld {
+    /// Two months of proxy logs with DHCP leases.
+    pub dataset: ProxyDataset,
+    /// Simulated intelligence.
+    pub intel: AcIntel,
+    /// All injected campaigns, ordered by day.
+    pub campaigns: Vec<AcCampaign>,
+    /// The generating configuration.
+    pub config: AcConfig,
+}
+
+impl AcWorld {
+    /// Campaigns running on `day`.
+    pub fn campaigns_on(&self, day: Day) -> impl Iterator<Item = &AcCampaign> {
+        self.campaigns.iter().filter(move |c| c.day == day)
+    }
+}
+
+/// Configuration of the AC-style generator.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct AcConfig {
+    /// Base seed.
+    pub seed: u64,
+    /// Internal hosts (workstations + servers).
+    pub n_hosts: u32,
+    /// Internal servers (ids `0..n_servers`).
+    pub n_servers: u32,
+    /// Popular benign domain pool size.
+    pub popular_domains: usize,
+    /// Per-host benign requests per day (uniform range).
+    pub requests_per_host_day: (u32, u32),
+    /// Fresh benign domains per day.
+    pub new_benign_per_day: usize,
+    /// Fresh benign *automated* domains per day (ad/toolbar/updater churn).
+    pub benign_auto_per_day: usize,
+    /// Fraction of benign automated domains with young registrations.
+    pub benign_auto_young_frac: f64,
+    /// Fresh suspicious (parked/unresolvable) domains per day.
+    pub suspicious_per_day: usize,
+    /// Generic malicious campaigns per February day (uniform range).
+    pub campaigns_per_day: (u32, u32),
+    /// Fraction of malicious campaigns VirusTotal ever reports.
+    pub vt_known_frac: f64,
+    /// VT report lag after campaign day, in days (uniform range).
+    pub vt_lag_days: (u32, u32),
+    /// Number of IOC seed domains the SOC knows (the paper used 28).
+    pub ioc_seed_count: usize,
+    /// Common user-agent pool size.
+    pub n_common_uas: usize,
+    /// User agents per host (uniform range; the paper observed 7–9).
+    pub uas_per_host: (usize, usize),
+    /// Collector timezone offsets in minutes east of UTC.
+    pub tz_offsets: Vec<i32>,
+    /// Bootstrap days (January).
+    pub bootstrap_days: u32,
+    /// Total days (January + February).
+    pub total_days: u32,
+}
+
+impl AcConfig {
+    /// Full default scale (≈1.5 M records over the two months).
+    pub fn new(seed: u64) -> Self {
+        AcConfig {
+            seed,
+            n_hosts: 1_000,
+            n_servers: 25,
+            popular_domains: 3_000,
+            requests_per_host_day: (10, 40),
+            new_benign_per_day: 220,
+            benign_auto_per_day: 15,
+            benign_auto_young_frac: 0.2,
+            suspicious_per_day: 4,
+            campaigns_per_day: (2, 4),
+            vt_known_frac: 0.8,
+            vt_lag_days: (1, 5),
+            ioc_seed_count: 28,
+            n_common_uas: 40,
+            uas_per_host: (7, 9),
+            tz_offsets: vec![0, -300, 60],
+            bootstrap_days: 31,
+            total_days: 59,
+        }
+    }
+
+    /// Reduced scale for integration tests.
+    pub fn small() -> Self {
+        AcConfig {
+            n_hosts: 300,
+            n_servers: 8,
+            popular_domains: 900,
+            requests_per_host_day: (6, 18),
+            new_benign_per_day: 60,
+            benign_auto_per_day: 8,
+            suspicious_per_day: 2,
+            ..AcConfig::new(11)
+        }
+    }
+
+    /// Minimal scale for unit tests.
+    pub fn tiny() -> Self {
+        AcConfig {
+            n_hosts: 80,
+            n_servers: 4,
+            popular_domains: 250,
+            requests_per_host_day: (3, 8),
+            new_benign_per_day: 15,
+            benign_auto_per_day: 4,
+            suspicious_per_day: 1,
+            campaigns_per_day: (1, 2),
+            ioc_seed_count: 8,
+            ..AcConfig::new(11)
+        }
+    }
+
+    /// Maps a February day-of-month to a window day index.
+    ///
+    /// # Panics
+    ///
+    /// Panics for days outside `1..=28`.
+    pub fn feb_day(&self, day_of_month: u32) -> Day {
+        assert!((1..=28).contains(&day_of_month), "invalid February day");
+        Day::new(self.bootstrap_days + day_of_month - 1)
+    }
+}
+
+impl Default for AcConfig {
+    fn default() -> Self {
+        AcConfig::new(11)
+    }
+}
+
+/// The AC-style generator.
+#[derive(Debug)]
+pub struct AcGenerator {
+    cfg: AcConfig,
+    popular: Vec<String>,
+    common_uas: Vec<String>,
+    /// Updater/ad-SDK user agents shared across the fleet: individual
+    /// automated *domains* churn daily, but the software contacting them is
+    /// the same, so these UAs become common during bootstrap (a key
+    /// difference from campaign-specific malware UAs).
+    updater_uas: Vec<String>,
+    host_uas: Vec<Vec<usize>>,
+    campaigns: Vec<AcCampaign>,
+}
+
+impl AcGenerator {
+    /// Prepares the generator: benign pools, per-host UA assignments, and
+    /// all February campaigns, deterministically from the seed.
+    pub fn new(cfg: AcConfig) -> Self {
+        let mut pool_rng = derive_rng(cfg.seed, &[30]);
+        let popular: Vec<String> = (0..cfg.popular_domains).map(|_| benign_domain(&mut pool_rng)).collect();
+        let common_uas: Vec<String> = (0..cfg.n_common_uas)
+            .map(|i| format!("Mozilla/5.0 (Corp{}; rv:{}) Gecko", i % 7, 80 + i))
+            .collect();
+        let updater_uas: Vec<String> =
+            (0..8).map(|k| format!("AutoUpdate/{k}.0 (compatible; fleet)")).collect();
+        let mut host_uas = Vec::with_capacity(cfg.n_hosts as usize);
+        for h in 0..cfg.n_hosts {
+            let mut rng = derive_rng(cfg.seed, &[31, h as u64]);
+            let n = rng.gen_range(cfg.uas_per_host.0..=cfg.uas_per_host.1);
+            let mut set: Vec<usize> = (0..common_uas.len()).collect();
+            set.shuffle(&mut rng);
+            set.truncate(n);
+            host_uas.push(set);
+        }
+        let campaigns = Self::plan_campaigns(&cfg);
+        AcGenerator { cfg, popular, common_uas, updater_uas, host_uas, campaigns }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &AcConfig {
+        &self.cfg
+    }
+
+    /// The planned campaigns.
+    pub fn campaigns(&self) -> &[AcCampaign] {
+        &self.campaigns
+    }
+
+    fn plan_campaigns(cfg: &AcConfig) -> Vec<AcCampaign> {
+        let mut campaigns = Vec::new();
+        let mut next_id = 0u32;
+        let mut push = |campaigns: &mut Vec<AcCampaign>,
+                        kind: AcCampaignKind,
+                        feb_day: u32,
+                        victims_override: Option<Vec<HostId>>,
+                        rng: &mut rand::rngs::StdRng| {
+            let id = CampaignId(next_id);
+            next_id += 1;
+            let day = cfg.feb_day(feb_day);
+            let workstations: Vec<HostId> = (cfg.n_servers..cfg.n_hosts).map(HostId::new).collect();
+            let (names, n_victims, period): (Vec<String>, usize, u64) = match kind {
+                AcCampaignKind::Generic => {
+                    let extras = rng.gen_range(0..=2usize);
+                    let mut names = vec![malware_ru(rng)];
+                    for _ in 0..extras {
+                        let syllables = rng.gen_range(4..7);
+                        names.push(format!("{}.in", pronounceable(rng, syllables)));
+                    }
+                    (names, rng.gen_range(1..=3), *[300u64, 600, 1_200, 3_600].choose(rng).expect("non-empty"))
+                }
+                AcCampaignKind::BeaconPair => {
+                    // usteeptyshehoaboochu.ru + parfumonline.in pair (Fig. 7).
+                    let cc = malware_ru(rng);
+                    let stem = pronounceable(rng, 4);
+                    (vec![cc, format!("{stem}online.in"), format!("neo{stem}online.in")], 3, 120)
+                }
+                AcCampaignKind::SocCluster => {
+                    // xtremesoftnow.ru-like C&C + .org Ramdo cluster (Fig. 8).
+                    let mut names = vec![format!("{}softnow.ru", pronounceable(rng, 3))];
+                    for _ in 0..7 {
+                        names.push(ramdo_org(rng));
+                    }
+                    (names, rng.gen_range(4..=7), 600)
+                }
+                AcCampaignKind::DgaShort => {
+                    let names: Vec<String> = (0..10).map(|_| dga_short_info(rng)).collect();
+                    (names, rng.gen_range(1..=2), 900)
+                }
+                AcCampaignKind::DgaHex => {
+                    let names: Vec<String> = (0..10).map(|_| dga_hex_info(rng)).collect();
+                    (names, rng.gen_range(1..=2), 1_200)
+                }
+                AcCampaignKind::Sality => {
+                    let names: Vec<String> = (0..5)
+                        .map(|_| {
+                            let syllables = rng.gen_range(3..5);
+                            format!("{}.biz", pronounceable(rng, syllables))
+                        })
+                        .collect();
+                    (names, rng.gen_range(2..=3), 600)
+                }
+            };
+            let victims: Vec<HostId> = match victims_override {
+                Some(v) => v,
+                None => workstations.choose_multiple(rng, n_victims).copied().collect(),
+            };
+            let shape = CampaignShape {
+                extra_domains: names.len() - 1,
+                beacon_period: period,
+                beacon_jitter: 3,
+                ..CampaignShape::default()
+            };
+            let plan = CampaignPlan::plan(rng, id, day, victims, names, shape);
+            let vt_reported = match kind {
+                AcCampaignKind::DgaShort | AcCampaignKind::DgaHex => false,
+                AcCampaignKind::SocCluster | AcCampaignKind::Sality => true,
+                _ => rng.gen_bool(cfg.vt_known_frac),
+            };
+            let in_ioc = matches!(kind, AcCampaignKind::SocCluster);
+            campaigns.push(AcCampaign { id, kind, feb_day, day, plan, vt_reported, in_ioc });
+        };
+
+        // Showcase campaigns pinned to the paper's case-study days.
+        let mut rng = derive_rng(cfg.seed, &[40]);
+        push(&mut campaigns, AcCampaignKind::SocCluster, 10, None, &mut rng);
+        // The hex-DGA cluster infects (a subset of) the same machines as the
+        // IOC-seeded cluster, which is how the SOC-hints mode discovers it.
+        let soc_victims = campaigns[0].plan.victims.clone();
+        let hex_victims: Vec<HostId> = soc_victims.iter().take(2).copied().collect();
+        push(&mut campaigns, AcCampaignKind::BeaconPair, 13, None, &mut rng);
+        push(&mut campaigns, AcCampaignKind::Sality, 6, None, &mut rng);
+        push(&mut campaigns, AcCampaignKind::DgaShort, 17, None, &mut rng);
+        push(&mut campaigns, AcCampaignKind::DgaHex, 10, Some(hex_victims), &mut rng);
+        push(&mut campaigns, AcCampaignKind::DgaShort, 24, None, &mut rng);
+
+        // Generic background campaigns every February day.
+        for feb in 1..=28u32 {
+            let mut rng = derive_rng(cfg.seed, &[41, feb as u64]);
+            let n = rng.gen_range(cfg.campaigns_per_day.0..=cfg.campaigns_per_day.1);
+            for _ in 0..n {
+                push(&mut campaigns, AcCampaignKind::Generic, feb, None, &mut rng);
+            }
+        }
+        campaigns.sort_by_key(|c| (c.day, c.id));
+        campaigns
+    }
+
+    /// Dataset metadata.
+    pub fn meta(&self) -> DatasetMeta {
+        let mut kinds = vec![HostKind::Workstation; self.cfg.n_hosts as usize];
+        for k in kinds.iter_mut().take(self.cfg.n_servers as usize) {
+            *k = HostKind::Server;
+        }
+        DatasetMeta {
+            n_hosts: self.cfg.n_hosts,
+            host_kinds: kinds,
+            internal_suffixes: vec!["corp.internal".into()],
+            bootstrap_days: self.cfg.bootstrap_days,
+            total_days: self.cfg.total_days,
+        }
+    }
+
+    /// Generates the whole world: dataset, DHCP log, and intelligence.
+    pub fn generate(&self) -> AcWorld {
+        let cfg = &self.cfg;
+        let domains = Arc::new(DomainInterner::new());
+        let uas = Arc::new(UaInterner::new());
+        let paths = Arc::new(PathInterner::new());
+        let mut intel = AcIntel::default();
+
+        // Register the benign popular pool: old, long-validity domains.
+        {
+            let mut rng = derive_rng(cfg.seed, &[50]);
+            for name in &self.popular {
+                intel.whois.register_aged(
+                    name,
+                    rng.gen_range(800..8_000),
+                    Day::new(cfg.total_days + rng.gen_range(200..2_000)),
+                );
+                intel.truth.set(name, TrueClass::Benign);
+            }
+        }
+
+        // Register campaign intelligence.
+        for c in &self.campaigns {
+            let mut rng = derive_rng(cfg.seed, &[51, c.id.0 as u64]);
+            for d in &c.plan.domains {
+                intel.truth.set(&d.name, TrueClass::Malicious(c.id));
+                match c.kind {
+                    AcCampaignKind::DgaHex => {
+                        // Registered only days after the campaign ran (§VI-D).
+                        let created = c.day + rng.gen_range(3..8u32);
+                        intel.whois.register(&d.name, created, created + rng.gen_range(30..90u32));
+                    }
+                    _ => {
+                        if rng.gen_bool(0.1) {
+                            intel.whois.register_unparseable(&d.name);
+                        } else {
+                            let age = rng.gen_range(2..30u32);
+                            let created = Day::new(c.day.index().saturating_sub(age));
+                            intel.whois.register(&d.name, created, created + rng.gen_range(30..365u32));
+                        }
+                    }
+                }
+                if c.vt_reported {
+                    let lag = rng.gen_range(cfg.vt_lag_days.0..=cfg.vt_lag_days.1);
+                    intel.vt.add_report(&d.name, c.day + lag);
+                }
+            }
+            if c.in_ioc {
+                intel.ioc.add(c.plan.cc_domain(), c.day);
+            }
+        }
+
+        // Fill the IOC feed up to the configured seed count with VT-known
+        // C&C domains (the SOC learns them from external intelligence).
+        {
+            let mut candidates: Vec<&AcCampaign> =
+                self.campaigns.iter().filter(|c| c.vt_reported && !c.in_ioc).collect();
+            let mut rng = derive_rng(cfg.seed, &[52]);
+            candidates.shuffle(&mut rng);
+            let have = intel.ioc.len();
+            for c in candidates.into_iter().take(cfg.ioc_seed_count.saturating_sub(have)) {
+                intel.ioc.add(c.plan.cc_domain(), c.day);
+            }
+        }
+
+        // DHCP: every workstation gets a one-day lease per day, with the
+        // IP pool rotating so the same address serves different hosts on
+        // different days.
+        let mut dhcp = DhcpLog::new();
+        for day in 0..cfg.total_days {
+            for h in 0..cfg.n_hosts {
+                let slot = (h as u64 + day as u64 * 17) % cfg.n_hosts as u64;
+                let ip = Ipv4::new(10, 8 + (slot >> 8) as u8, (slot & 0xFF) as u8, 1 + (h % 250) as u8);
+                dhcp.add(DhcpLease {
+                    ip,
+                    host: HostId::new(h),
+                    start: Day::new(day).start(),
+                    end: Day::new(day + 1).start(),
+                });
+            }
+        }
+
+        let mut days = Vec::with_capacity(cfg.total_days as usize);
+        for d in 0..cfg.total_days {
+            days.push(self.generate_day(&domains, &uas, &paths, &dhcp, &mut intel, Day::new(d)));
+        }
+
+        AcWorld {
+            dataset: ProxyDataset { domains, uas, paths, days, dhcp, meta: self.meta() },
+            intel,
+            campaigns: self.campaigns.clone(),
+            config: cfg.clone(),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn generate_day(
+        &self,
+        domains: &DomainInterner,
+        uas: &UaInterner,
+        paths: &PathInterner,
+        dhcp: &DhcpLog,
+        intel: &mut AcIntel,
+        day: Day,
+    ) -> ProxyDayLog {
+        let cfg = &self.cfg;
+        let mut rng = derive_rng(cfg.seed, &[2, day.index() as u64]);
+        let mut records = Vec::new();
+
+        let root_path = paths.intern("/");
+        let browse_paths: Vec<_> =
+            ["/index.html", "/news", "/api/v1/items", "/assets/app.js", "/search?q=x"]
+                .iter()
+                .map(|p| paths.intern(p))
+                .collect();
+
+        // Benign browsing.
+        for host in 0..cfg.n_hosts {
+            let n = rng.gen_range(cfg.requests_per_host_day.0..=cfg.requests_per_host_day.1);
+            for _ in 0..n {
+                let ts = Timestamp::from_day_secs(day, browse_second(&mut rng));
+                let dom_name = self.zipf_popular(&mut rng).to_owned();
+                let referer = rng
+                    .gen_bool(0.85)
+                    .then(|| domains.intern(self.zipf_popular(&mut rng)));
+                let ua_pool = &self.host_uas[host as usize];
+                let ua = uas.intern(&self.common_uas[ua_pool[rng.gen_range(0..ua_pool.len())]]);
+                records.push(self.record(
+                    domains,
+                    dhcp,
+                    ts,
+                    host,
+                    &dom_name,
+                    stable_ip(&dom_name),
+                    *browse_paths.choose(&mut rng).expect("non-empty"),
+                    Some(ua),
+                    referer,
+                    HttpStatus::OK,
+                ));
+            }
+        }
+
+        // Fresh benign domains.
+        for i in 0..cfg.new_benign_per_day {
+            let name = format!("{}{}{}.net", pronounceable(&mut rng, 3), day.index(), i);
+            self.register_benign_new(&mut rng, intel, &name, day);
+            for _ in 0..rng.gen_range(1..=2u32) {
+                let host = rng.gen_range(cfg.n_servers..cfg.n_hosts);
+                let ts = Timestamp::from_day_secs(day, browse_second(&mut rng));
+                let ua_pool = &self.host_uas[host as usize];
+                let ua = uas.intern(&self.common_uas[ua_pool[rng.gen_range(0..ua_pool.len())]]);
+                let referer = rng.gen_bool(0.7).then(|| domains.intern(self.zipf_popular(&mut rng)));
+                records.push(self.record(
+                    domains, dhcp, ts, host, &name, stable_ip(&name), root_path, Some(ua), referer,
+                    HttpStatus::OK,
+                ));
+            }
+        }
+
+        // Fresh benign automated domains (ad rotators / toolbars / niche
+        // updaters) — the false-positive pressure of Fig. 6.
+        for i in 0..cfg.benign_auto_per_day {
+            let name = format!("cdn{}{}{}.com", pronounceable(&mut rng, 2), day.index(), i);
+            let ua_roll: f64 = rng.gen();
+            let niche = (0.72..0.92).contains(&ua_roll);
+            // Niche ad-SDK domains skew young (freshly spun-up ad networks);
+            // fleet updaters skew old.
+            let young_p = if niche { 0.5 } else { cfg.benign_auto_young_frac };
+            let young = rng.gen_bool(young_p);
+            if young {
+                let created = Day::new(day.index().saturating_sub(rng.gen_range(3..40)));
+                intel.whois.register(&name, created, created + rng.gen_range(60..400u32));
+            } else {
+                intel
+                    .whois
+                    .register_aged(&name, rng.gen_range(200..4_000), Day::new(cfg.total_days + rng.gen_range(100..1_500)));
+            }
+            intel.truth.set(&name, TrueClass::Benign);
+            let updater_ua = if ua_roll < 0.72 {
+                // Fleet-wide updater UA: common after bootstrap.
+                Some(uas.intern(&self.updater_uas[rng.gen_range(0..self.updater_uas.len())]))
+            } else if niche {
+                // Niche software on 1-2 machines: a genuinely rare UA — the
+                // false-positive lookalikes behind Fig. 6's Legitimate bars.
+                Some(uas.intern(&format!("NicheAgent/{}.{}", day.index(), i)))
+            } else {
+                None // per-host browser UA below
+            };
+            let n_subs = rng.gen_range(1..=2u32);
+            let period = *[300u64, 600, 1_800, 3_600].choose(&mut rng).expect("non-empty");
+            for _ in 0..n_subs {
+                let host = rng.gen_range(cfg.n_servers..cfg.n_hosts);
+                let ua = match updater_ua {
+                    Some(u) => Some(u),
+                    None => {
+                        let pool = &self.host_uas[host as usize];
+                        Some(uas.intern(&self.common_uas[pool[rng.gen_range(0..pool.len())]]))
+                    }
+                };
+                // Niche background agents rarely send referers.
+                let referer_p = if niche { 0.15 } else { 0.7 };
+                let referer =
+                    rng.gen_bool(referer_p).then(|| domains.intern(self.zipf_popular(&mut rng)));
+                self.emit_beacon(
+                    domains, dhcp, &mut records, &mut rng, day, host, &name, period, 2, ua, referer,
+                    root_path,
+                );
+            }
+        }
+
+        // Suspicious (parked / unresolvable) domains. Half ride along a
+        // campaign victim's infection burst (redirect chains through parked
+        // infrastructure) — these are the "Suspicious" detections of Fig. 6.
+        let burst_anchors: Vec<(u32, u64)> = self
+            .campaigns
+            .iter()
+            .filter(|c| c.day == day)
+            .flat_map(|c| {
+                c.plan
+                    .contacts
+                    .iter()
+                    .filter(|ct| !ct.beacon)
+                    .map(|ct| (ct.host.index(), ct.ts.secs_of_day()))
+            })
+            .collect();
+        for i in 0..cfg.suspicious_per_day {
+            let name = format!("{}{}{}.top", pronounceable(&mut rng, 4), day.index(), i);
+            let created = Day::new(day.index().saturating_sub(rng.gen_range(1..20)));
+            intel.whois.register(&name, created, created + rng.gen_range(30..120u32));
+            intel.truth.set(&name, TrueClass::Suspicious);
+            let riders: Vec<(u32, Option<u64>)> = if !burst_anchors.is_empty() && rng.gen_bool(0.5) {
+                let n = rng.gen_range(1..=2usize).min(burst_anchors.len());
+                (0..n)
+                    .map(|_| {
+                        let (h, t) = burst_anchors[rng.gen_range(0..burst_anchors.len())];
+                        (h, Some(t))
+                    })
+                    .collect()
+            } else {
+                vec![(rng.gen_range(cfg.n_servers..cfg.n_hosts), None)]
+            };
+            for (host, anchor) in riders {
+                for _ in 0..rng.gen_range(1..=3u32) {
+                    let sec = match anchor {
+                        Some(t) => (t + rng.gen_range(5..90)).min(SECONDS_PER_DAY - 1),
+                        None => browse_second(&mut rng),
+                    };
+                    let ts = Timestamp::from_day_secs(day, sec);
+                    records.push(self.record(
+                        domains,
+                        dhcp,
+                        ts,
+                        host,
+                        &name,
+                        stable_ip(&name),
+                        root_path,
+                        None,
+                        None,
+                        if rng.gen_bool(0.5) { HttpStatus::NOT_FOUND } else { HttpStatus::OK },
+                    ));
+                }
+            }
+        }
+
+        // Campaign traffic.
+        let mut mal_rng = derive_rng(cfg.seed, &[3, day.index() as u64]);
+        for campaign in self.campaigns.iter().filter(|c| c.day == day) {
+            let mal_path = match campaign.kind {
+                AcCampaignKind::Sality => paths.intern("/logo.gif?"),
+                AcCampaignKind::DgaShort => paths.intern("/tan2.html"),
+                _ => paths.intern("/gate.php"),
+            };
+            // Generic malware varies its cover story (common browser UA,
+            // occasional referer); the targeted clusters stay high-signal.
+            let (mal_ua, mal_referer) = if campaign.kind == AcCampaignKind::Generic {
+                let roll: f64 = mal_rng.gen();
+                let ua = if roll < 0.2 {
+                    Some(uas.intern(&self.common_uas[mal_rng.gen_range(0..self.common_uas.len())]))
+                } else if roll < 0.35 {
+                    None
+                } else {
+                    Some(uas.intern(&format!("WinHttp/{}.{}", campaign.id.0, mal_rng.gen_range(1..9))))
+                };
+                let referer = mal_rng
+                    .gen_bool(0.15)
+                    .then(|| domains.intern(self.zipf_popular(&mut mal_rng)));
+                (ua, referer)
+            } else {
+                let ua = mal_rng
+                    .gen_bool(0.7)
+                    .then(|| uas.intern(&format!("WinHttp/{}.{}", campaign.id.0, mal_rng.gen_range(1..9))));
+                (ua, None)
+            };
+            for contact in &campaign.plan.contacts {
+                let dom = &campaign.plan.domains[contact.domain_idx];
+                records.push(self.record(
+                    domains,
+                    dhcp,
+                    contact.ts,
+                    contact.host.index(),
+                    &dom.name,
+                    dom.ips[0],
+                    mal_path,
+                    mal_ua,
+                    mal_referer,
+                    HttpStatus::OK,
+                ));
+            }
+        }
+
+        records.sort_by_key(|r| r.ts_local);
+        ProxyDayLog { day, records }
+    }
+
+    fn register_benign_new(&self, rng: &mut impl Rng, intel: &mut AcIntel, name: &str, day: Day) {
+        if rng.gen_bool(0.3) {
+            let created = Day::new(day.index().saturating_sub(rng.gen_range(5..60)));
+            intel.whois.register(name, created, created + rng.gen_range(90..700u32));
+        } else {
+            intel.whois.register_aged(
+                name,
+                rng.gen_range(100..3_000),
+                Day::new(self.cfg.total_days + rng.gen_range(100..1_500)),
+            );
+        }
+        intel.truth.set(name, TrueClass::Benign);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn record(
+        &self,
+        domains: &DomainInterner,
+        dhcp: &DhcpLog,
+        ts_utc: Timestamp,
+        host: u32,
+        domain: &str,
+        dest_ip: Ipv4,
+        url_path: earlybird_logmodel::PathSym,
+        user_agent: Option<earlybird_logmodel::UaSym>,
+        referer: Option<earlybird_logmodel::DomainSym>,
+        status: HttpStatus,
+    ) -> ProxyRecord {
+        let tz = TzOffset::from_minutes(self.cfg.tz_offsets[host as usize % self.cfg.tz_offsets.len()]);
+        let src_ip = self.lease_ip(dhcp, host, ts_utc);
+        ProxyRecord {
+            ts_local: tz.to_local(ts_utc),
+            tz,
+            src_ip,
+            host: None, // normalization resolves via the lease log
+            domain: domains.intern(domain),
+            dest_ip,
+            method: HttpMethod::Get,
+            status,
+            url_path,
+            user_agent,
+            referer,
+        }
+    }
+
+    fn lease_ip(&self, _dhcp: &DhcpLog, host: u32, ts: Timestamp) -> Ipv4 {
+        // Mirror of the lease-construction formula in `generate`.
+        let day = ts.day().index() as u64;
+        let slot = (host as u64 + day * 17) % self.cfg.n_hosts as u64;
+        Ipv4::new(10, 8 + (slot >> 8) as u8, (slot & 0xFF) as u8, 1 + (host % 250) as u8)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn emit_beacon(
+        &self,
+        domains: &DomainInterner,
+        dhcp: &DhcpLog,
+        records: &mut Vec<ProxyRecord>,
+        rng: &mut impl Rng,
+        day: Day,
+        host: u32,
+        name: &str,
+        period: u64,
+        jitter: u64,
+        ua: Option<earlybird_logmodel::UaSym>,
+        referer: Option<earlybird_logmodel::DomainSym>,
+        path: earlybird_logmodel::PathSym,
+    ) {
+        let start = rng.gen_range(0..6 * 3_600u64);
+        let duration = rng.gen_range(3..=12) * 3_600;
+        let mut t = start;
+        while t < (start + duration).min(SECONDS_PER_DAY) {
+            let ts = Timestamp::from_day_secs(day, t);
+            records.push(self.record(
+                domains,
+                dhcp,
+                ts,
+                host,
+                name,
+                stable_ip(name),
+                path,
+                ua,
+                referer,
+                HttpStatus::OK,
+            ));
+            let j = if jitter == 0 { 0 } else { rng.gen_range(0..=2 * jitter) as i64 - jitter as i64 };
+            t = (t as i64 + period as i64 + j).max(t as i64 + 1) as u64;
+        }
+    }
+
+    fn zipf_popular(&self, rng: &mut impl Rng) -> &str {
+        let u: f64 = rng.gen();
+        let idx = ((u * u * u) * self.popular.len() as f64) as usize;
+        &self.popular[idx.min(self.popular.len() - 1)]
+    }
+}
+
+fn browse_second(rng: &mut impl Rng) -> u64 {
+    if rng.gen_bool(0.8) {
+        rng.gen_range(8 * 3_600..18 * 3_600)
+    } else {
+        rng.gen_range(0..SECONDS_PER_DAY)
+    }
+}
+
+/// Stable pseudo-random public IP for a benign domain name.
+fn stable_ip(name: &str) -> Ipv4 {
+    let mut h = DefaultHasher::new();
+    name.hash(&mut h);
+    let v = h.finish();
+    Ipv4::new(20 + ((v >> 24) % 200) as u8, (v >> 16) as u8, (v >> 8) as u8, v as u8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn showcase_campaigns_are_planned() {
+        let gen = AcGenerator::new(AcConfig::tiny());
+        let kinds: Vec<AcCampaignKind> = gen.campaigns().iter().map(|c| c.kind).collect();
+        assert!(kinds.contains(&AcCampaignKind::SocCluster));
+        assert!(kinds.contains(&AcCampaignKind::BeaconPair));
+        assert!(kinds.contains(&AcCampaignKind::Sality));
+        assert!(kinds.contains(&AcCampaignKind::DgaHex));
+        assert!(kinds.iter().filter(|k| **k == AcCampaignKind::DgaShort).count() >= 2);
+    }
+
+    #[test]
+    fn soc_cluster_is_ioc_seeded_on_feb_10() {
+        let gen = AcGenerator::new(AcConfig::tiny());
+        let soc = gen.campaigns().iter().find(|c| c.kind == AcCampaignKind::SocCluster).unwrap();
+        assert_eq!(soc.feb_day, 10);
+        assert!(soc.in_ioc);
+        assert_eq!(soc.plan.domains.len(), 8, "C&C + 7 .org domains");
+        assert!(soc.plan.domains[1..].iter().all(|d| d.name.ends_with(".org")));
+    }
+
+    #[test]
+    fn dga_clusters_are_never_vt_reported() {
+        let gen = AcGenerator::new(AcConfig::tiny());
+        for c in gen.campaigns() {
+            if matches!(c.kind, AcCampaignKind::DgaShort | AcCampaignKind::DgaHex) {
+                assert!(!c.vt_reported);
+            }
+        }
+    }
+
+    #[test]
+    fn world_has_consistent_intel() {
+        let world = AcGenerator::new(AcConfig::tiny()).generate();
+        // Every campaign domain is labeled malicious.
+        for c in &world.campaigns {
+            for d in &c.plan.domains {
+                assert!(matches!(world.intel.truth.class_of(&d.name), TrueClass::Malicious(_)));
+            }
+            // VT reporting matches the flag.
+            if c.vt_reported {
+                assert!(world.intel.vt.is_ever_reported(c.plan.cc_domain()));
+            }
+        }
+        // Hex DGA domains are registered after their campaign day.
+        let hex = world.campaigns.iter().find(|c| c.kind == AcCampaignKind::DgaHex).unwrap();
+        for d in &hex.plan.domains {
+            let reg = world.intel.whois.registration(&d.name).unwrap();
+            assert!(reg.created > hex.day, "registered after detection");
+        }
+        // The IOC feed is non-trivial.
+        assert!(world.intel.ioc.len() >= 1);
+    }
+
+    #[test]
+    fn records_resolve_through_dhcp() {
+        let world = AcGenerator::new(AcConfig::tiny()).generate();
+        let day = &world.dataset.days[35];
+        let mut resolved = 0;
+        for r in day.records.iter().take(200) {
+            if world.dataset.dhcp.resolve(r.src_ip, r.ts_utc()).is_some() {
+                resolved += 1;
+            }
+        }
+        assert!(resolved > 150, "most records must resolve: {resolved}/200");
+    }
+
+    #[test]
+    fn sality_cluster_shares_url_pattern() {
+        let world = AcGenerator::new(AcConfig::tiny()).generate();
+        let sality = world.campaigns.iter().find(|c| c.kind == AcCampaignKind::Sality).unwrap();
+        let day = world.dataset.day(sality.day).unwrap();
+        let logo = world.dataset.paths.get("/logo.gif?").expect("pattern interned");
+        let cc = world.dataset.domains.get(sality.plan.cc_domain()).expect("domain seen");
+        assert!(
+            day.records.iter().any(|r| r.domain == cc && r.url_path == logo),
+            "sality contacts use /logo.gif?"
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let w1 = AcGenerator::new(AcConfig::tiny()).generate();
+        let w2 = AcGenerator::new(AcConfig::tiny()).generate();
+        assert_eq!(w1.dataset.total_records(), w2.dataset.total_records());
+        let d1 = &w1.dataset.days[40].records;
+        let d2 = &w2.dataset.days[40].records;
+        for (a, b) in d1.iter().zip(d2) {
+            assert_eq!(a.ts_local, b.ts_local);
+            assert_eq!(a.src_ip, b.src_ip);
+            assert_eq!(a.status, b.status);
+        }
+    }
+
+    #[test]
+    fn bootstrap_days_have_no_campaign_traffic() {
+        let world = AcGenerator::new(AcConfig::tiny()).generate();
+        for c in &world.campaigns {
+            assert!(c.day.index() >= world.config.bootstrap_days);
+        }
+    }
+}

@@ -1,0 +1,343 @@
+//! Abstract multi-stage campaign planning, shared by both dataset
+//! generators.
+//!
+//! A plan captures the infection pattern of §II-A: per victim, a *delivery*
+//! contact, a *payload* download shortly after, then regular *C&C* beaconing
+//! for the rest of the day, with any *second-stage* domains visited inside
+//! the same short window — "a host visits several domains under the
+//! attacker's control within a relatively short time period".
+
+use earlybird_intel::CampaignId;
+use earlybird_logmodel::{Day, HostId, Ipv4, Timestamp, SECONDS_PER_DAY};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The infection-stage role a campaign domain plays.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CampaignDomainRole {
+    /// Front-end delivery site (spear-phishing link, exploit kit).
+    Delivery,
+    /// Second-stage payload host.
+    Payload,
+    /// Command-and-control server (beaconed).
+    CommandAndControl,
+    /// Additional attacker infrastructure visited during infection.
+    SecondStage,
+}
+
+/// A campaign domain with its serving addresses.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlannedDomain {
+    /// Folded domain name.
+    pub name: String,
+    /// Stage role.
+    pub role: CampaignDomainRole,
+    /// Serving IPs (campaign domains cluster in subnets, §IV-D).
+    pub ips: Vec<Ipv4>,
+}
+
+/// One planned malicious contact.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlannedContact {
+    /// UTC time of the contact.
+    pub ts: Timestamp,
+    /// The victim making the contact.
+    pub host: HostId,
+    /// Index into [`CampaignPlan::domains`].
+    pub domain_idx: usize,
+    /// Whether this contact belongs to the automated beacon train.
+    pub beacon: bool,
+}
+
+/// A fully planned campaign: domains, victims, and every malicious contact.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CampaignPlan {
+    /// Campaign identifier.
+    pub id: CampaignId,
+    /// The day the infection runs.
+    pub day: Day,
+    /// Campaign domains; index 0 is always the C&C domain.
+    pub domains: Vec<PlannedDomain>,
+    /// Compromised hosts.
+    pub victims: Vec<HostId>,
+    /// All malicious contacts, sorted by time.
+    pub contacts: Vec<PlannedContact>,
+    /// Beacon period in seconds.
+    pub beacon_period: u64,
+}
+
+/// Tunable shape of a campaign.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct CampaignShape {
+    /// Number of non-C&C domains (delivery / payload / second stage).
+    pub extra_domains: usize,
+    /// Beacon period in seconds.
+    pub beacon_period: u64,
+    /// Maximum absolute jitter added to each beacon interval, in seconds
+    /// (keep below the detector's bin width to model the paper's "small
+    /// variation between connections").
+    pub beacon_jitter: u64,
+    /// Window (seconds) within which a victim visits the non-C&C domains
+    /// after first infection (Fig. 3: malicious-to-malicious gaps are short).
+    pub burst_window: u64,
+    /// Earliest infection second-of-day.
+    pub start_earliest: u64,
+    /// Latest infection second-of-day.
+    pub start_latest: u64,
+}
+
+impl Default for CampaignShape {
+    fn default() -> Self {
+        CampaignShape {
+            extra_domains: 2,
+            beacon_period: 600,
+            beacon_jitter: 3,
+            burst_window: 120,
+            start_earliest: 9 * 3_600,
+            start_latest: 13 * 3_600,
+        }
+    }
+}
+
+impl CampaignPlan {
+    /// Plans a campaign on `day` for the given victims.
+    ///
+    /// Domain index 0 is the C&C domain; indices `1..` are delivery /
+    /// payload / second-stage domains. The delivery and payload domains
+    /// share a /24 subnet and the remaining infrastructure shares their /16
+    /// (the locality the IP-proximity features key on).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `victims` is empty or the shape's start window is invalid.
+    pub fn plan(
+        rng: &mut impl Rng,
+        id: CampaignId,
+        day: Day,
+        victims: Vec<HostId>,
+        domain_names: Vec<String>,
+        shape: CampaignShape,
+    ) -> CampaignPlan {
+        assert!(!victims.is_empty(), "campaign needs at least one victim");
+        assert!(shape.start_earliest < shape.start_latest, "invalid start window");
+        assert_eq!(
+            domain_names.len(),
+            shape.extra_domains + 1,
+            "one name per domain (C&C + extras)"
+        );
+
+        // Attacker infrastructure: the C&C anchors a /16; delivery and
+        // payload share a /24 that lies inside that /16 only sometimes, and
+        // second-stage domains scatter — the paper measured *partial*
+        // subnet locality (§V-B), not a single shared prefix.
+        let net_a = rng.gen_range(60u32..220);
+        let net_b = rng.gen_range(1u32..250);
+        let mk_ip = |c: u32, d: u32| Ipv4::new(net_a as u8, net_b as u8, c as u8, d as u8);
+        let rand_ip = |rng: &mut dyn rand::RngCore| {
+            Ipv4::new(
+                rng.gen_range(60u32..220) as u8,
+                rng.gen_range(1u32..250) as u8,
+                rng.gen_range(1u32..250) as u8,
+                rng.gen_range(1u32..250) as u8,
+            )
+        };
+        let delivery24_in16 = rng.gen_bool(0.4);
+        let delivery24 = if delivery24_in16 {
+            mk_ip(rng.gen_range(1..250), 0).subnet24()
+        } else {
+            rand_ip(rng).subnet24()
+        };
+        let in_delivery24 = |rng: &mut dyn rand::RngCore, s: earlybird_logmodel::Subnet24| {
+            let base = s.to_string();
+            let prefix: Vec<u8> = base
+                .trim_end_matches("/24")
+                .split('.')
+                .take(3)
+                .map(|p| p.parse().expect("subnet octet"))
+                .collect();
+            Ipv4::new(prefix[0], prefix[1], prefix[2], rng.gen_range(1u32..250) as u8)
+        };
+
+        let mut domains = Vec::with_capacity(domain_names.len());
+        for (i, name) in domain_names.into_iter().enumerate() {
+            let role = match i {
+                0 => CampaignDomainRole::CommandAndControl,
+                1 => CampaignDomainRole::Delivery,
+                2 => CampaignDomainRole::Payload,
+                _ => CampaignDomainRole::SecondStage,
+            };
+            let ip = match role {
+                // Delivery and payload always share their /24.
+                CampaignDomainRole::Delivery | CampaignDomainRole::Payload => {
+                    in_delivery24(rng, delivery24)
+                }
+                // C&C anchors the campaign /16.
+                CampaignDomainRole::CommandAndControl => {
+                    mk_ip(rng.gen_range(1..250), rng.gen_range(1..250))
+                }
+                // Second-stage infrastructure shares the C&C /16 only
+                // sometimes.
+                CampaignDomainRole::SecondStage => {
+                    if rng.gen_bool(0.3) {
+                        mk_ip(rng.gen_range(1..250), rng.gen_range(1..250))
+                    } else {
+                        rand_ip(rng)
+                    }
+                }
+            };
+            domains.push(PlannedDomain { name, role, ips: vec![ip] });
+        }
+
+        let mut contacts = Vec::new();
+        let day_end = SECONDS_PER_DAY - 1;
+        for &victim in &victims {
+            let t0 = rng.gen_range(shape.start_earliest..shape.start_latest);
+            // Delivery, payload, and second-stage visits inside the burst
+            // window, in stage order.
+            let mut cursor = t0;
+            for idx in 1..domains.len() {
+                cursor += rng.gen_range(5..=shape.burst_window.max(6) / domains.len().max(1) as u64);
+                contacts.push(PlannedContact {
+                    ts: Timestamp::from_day_secs(day, cursor.min(day_end)),
+                    host: victim,
+                    domain_idx: idx,
+                    beacon: false,
+                });
+            }
+            // First C&C contact shortly after foothold, then the beacon
+            // train with bounded jitter until end of day.
+            let mut t = cursor + rng.gen_range(10..=30);
+            while t < SECONDS_PER_DAY {
+                contacts.push(PlannedContact {
+                    ts: Timestamp::from_day_secs(day, t),
+                    host: victim,
+                    domain_idx: 0,
+                    beacon: true,
+                });
+                let jitter = if shape.beacon_jitter == 0 {
+                    0
+                } else {
+                    rng.gen_range(0..=2 * shape.beacon_jitter) as i64 - shape.beacon_jitter as i64
+                };
+                t = (t as i64 + shape.beacon_period as i64 + jitter).max(t as i64 + 1) as u64;
+            }
+        }
+        contacts.sort_by_key(|c| c.ts);
+
+        CampaignPlan { id, day, domains, victims, contacts, beacon_period: shape.beacon_period }
+    }
+
+    /// The C&C domain's name.
+    pub fn cc_domain(&self) -> &str {
+        &self.domains[0].name
+    }
+
+    /// All domain names.
+    pub fn domain_names(&self) -> impl Iterator<Item = &str> {
+        self.domains.iter().map(|d| d.name.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::derive_rng;
+
+    fn plan_one(seed: u64) -> CampaignPlan {
+        let mut rng = derive_rng(seed, &[9]);
+        CampaignPlan::plan(
+            &mut rng,
+            CampaignId(1),
+            Day::new(30),
+            vec![HostId::new(5), HostId::new(9)],
+            vec!["cc.c3".into(), "deliver.c3".into(), "payload.c3".into()],
+            CampaignShape::default(),
+        )
+    }
+
+    #[test]
+    fn first_domain_is_cc() {
+        let p = plan_one(1);
+        assert_eq!(p.domains[0].role, CampaignDomainRole::CommandAndControl);
+        assert_eq!(p.cc_domain(), "cc.c3");
+        assert_eq!(p.domains[1].role, CampaignDomainRole::Delivery);
+        assert_eq!(p.domains[2].role, CampaignDomainRole::Payload);
+    }
+
+    #[test]
+    fn delivery_and_payload_share_slash24() {
+        let p = plan_one(2);
+        let d = p.domains[1].ips[0];
+        let pay = p.domains[2].ips[0];
+        assert_eq!(d.subnet24(), pay.subnet24(), "delivery and payload share a /24");
+
+    }
+
+    #[test]
+    fn every_victim_beacons_regularly() {
+        let p = plan_one(3);
+        for &victim in &p.victims {
+            let beacons: Vec<Timestamp> = p
+                .contacts
+                .iter()
+                .filter(|c| c.host == victim && c.beacon)
+                .map(|c| c.ts)
+                .collect();
+            assert!(beacons.len() > 20, "a day of 600 s beacons: {}", beacons.len());
+            for w in beacons.windows(2) {
+                let gap = w[1] - w[0];
+                assert!(
+                    gap.abs_diff(600) <= 3,
+                    "beacon gap {gap} outside jitter bound"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn burst_contacts_precede_beacons_within_window() {
+        let p = plan_one(4);
+        for &victim in &p.victims {
+            let mut stage: Vec<&PlannedContact> =
+                p.contacts.iter().filter(|c| c.host == victim && !c.beacon).collect();
+            stage.sort_by_key(|c| c.ts);
+            let first = stage.first().unwrap().ts;
+            let last = stage.last().unwrap().ts;
+            assert!(last - first <= 120, "burst confined to the window");
+            let first_beacon = p
+                .contacts
+                .iter()
+                .filter(|c| c.host == victim && c.beacon)
+                .map(|c| c.ts)
+                .min()
+                .unwrap();
+            assert!(first_beacon > last, "C&C follows the delivery burst");
+        }
+    }
+
+    #[test]
+    fn contacts_are_time_sorted_and_on_day() {
+        let p = plan_one(5);
+        assert!(p.contacts.windows(2).all(|w| w[0].ts <= w[1].ts));
+        assert!(p.contacts.iter().all(|c| c.ts.day() == Day::new(30)));
+    }
+
+    #[test]
+    fn planning_is_deterministic() {
+        assert_eq!(plan_one(6), plan_one(6));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one victim")]
+    fn empty_victims_rejected() {
+        let mut rng = derive_rng(0, &[0]);
+        let _ = CampaignPlan::plan(
+            &mut rng,
+            CampaignId(0),
+            Day::new(0),
+            vec![],
+            vec!["cc.c3".into()],
+            CampaignShape { extra_domains: 0, ..CampaignShape::default() },
+        );
+    }
+}

@@ -1,0 +1,635 @@
+//! The LANL-style DNS dataset generator and challenge schedule (§V).
+//!
+//! Reproduces the *structure* of the LANL "APT Infection Discovery using DNS
+//! Data" challenge: two months of anonymized DNS logs (February for
+//! bootstrap, March for operation) with 20 independent simulated infection
+//! campaigns in the four hint cases of Table I.
+
+use crate::campaign::{CampaignPlan, CampaignShape};
+use crate::names::{lanl_domain, pronounceable};
+use crate::rng::derive_rng;
+use earlybird_intel::{CampaignId, GroundTruth, TrueClass};
+use earlybird_logmodel::{
+    DatasetMeta, Day, DnsDataset, DnsDayLog, DnsQuery, DnsRecordType, DomainInterner, HostId,
+    HostKind, Ipv4, Timestamp, SECONDS_PER_DAY,
+};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// The four hint cases of Table I.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ChallengeCase {
+    /// One hint host per day; detect the contacted malicious domains.
+    One,
+    /// Three or four hint hosts per day.
+    Two,
+    /// One hint host; detect domains *and* other compromised hosts.
+    Three,
+    /// No hints at all.
+    Four,
+}
+
+impl ChallengeCase {
+    /// Table I's case number.
+    pub fn number(self) -> u32 {
+        match self {
+            ChallengeCase::One => 1,
+            ChallengeCase::Two => 2,
+            ChallengeCase::Three => 3,
+            ChallengeCase::Four => 4,
+        }
+    }
+}
+
+/// The challenge schedule of Table I: `(March day, case)`.
+pub const CHALLENGE_SCHEDULE: [(u32, ChallengeCase); 20] = [
+    (2, ChallengeCase::One),
+    (3, ChallengeCase::One),
+    (4, ChallengeCase::One),
+    (5, ChallengeCase::Two),
+    (6, ChallengeCase::Two),
+    (7, ChallengeCase::Two),
+    (8, ChallengeCase::Two),
+    (9, ChallengeCase::One),
+    (10, ChallengeCase::One),
+    (11, ChallengeCase::Two),
+    (12, ChallengeCase::Two),
+    (13, ChallengeCase::Two),
+    (14, ChallengeCase::Three),
+    (15, ChallengeCase::Three),
+    (17, ChallengeCase::Three),
+    (18, ChallengeCase::Three),
+    (19, ChallengeCase::Three),
+    (20, ChallengeCase::Three),
+    (21, ChallengeCase::Three),
+    (22, ChallengeCase::Four),
+];
+
+/// The paper's training split (§V-B): campaigns on these March days tune
+/// parameters; the rest are the testing set.
+pub const TRAIN_MARCH_DAYS: [u32; 10] = [2, 3, 4, 5, 7, 12, 14, 15, 17, 18];
+
+/// Configuration of the LANL-style generator.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LanlConfig {
+    /// Base seed; every derived stream is deterministic in it.
+    pub seed: u64,
+    /// Total internal hosts (workstations + servers).
+    pub n_hosts: u32,
+    /// Internal servers (host ids `0..n_servers`); their queries are
+    /// filtered during reduction.
+    pub n_servers: u32,
+    /// Size of the popular benign domain pool.
+    pub popular_domains: usize,
+    /// Per-host benign queries per day, sampled uniformly in this range.
+    pub queries_per_host_day: (u32, u32),
+    /// Fresh benign domains appearing each day (the rare-destination noise
+    /// floor).
+    pub new_benign_per_day: usize,
+    /// Fresh benign domains with *automated* (periodic) queries each day.
+    pub benign_auto_per_day: usize,
+    /// Popular domains that receive automated queries from many hosts
+    /// (site refreshes — the non-rare automated bulk of §V-B).
+    pub popular_auto_domains: usize,
+    /// Fraction of benign queries aimed at internal resources.
+    pub internal_query_frac: f64,
+    /// Fraction of benign queries using non-A record types.
+    pub non_a_frac: f64,
+    /// Bootstrap (profiling) days — February.
+    pub bootstrap_days: u32,
+    /// Total days — February + March.
+    pub total_days: u32,
+}
+
+impl LanlConfig {
+    /// Full default scale (≈1.2 M queries over the two months).
+    pub fn new(seed: u64) -> Self {
+        LanlConfig {
+            seed,
+            n_hosts: 800,
+            n_servers: 30,
+            popular_domains: 2_500,
+            queries_per_host_day: (8, 30),
+            new_benign_per_day: 250,
+            benign_auto_per_day: 20,
+            popular_auto_domains: 10,
+            internal_query_frac: 0.08,
+            non_a_frac: 0.05,
+            bootstrap_days: 28,
+            total_days: 59,
+        }
+    }
+
+    /// Reduced scale for integration tests.
+    pub fn small() -> Self {
+        LanlConfig {
+            n_hosts: 250,
+            n_servers: 10,
+            popular_domains: 800,
+            queries_per_host_day: (5, 15),
+            new_benign_per_day: 60,
+            benign_auto_per_day: 8,
+            popular_auto_domains: 5,
+            ..LanlConfig::new(7)
+        }
+    }
+
+    /// Minimal scale for unit tests (still the full 59-day window, which
+    /// the challenge schedule requires).
+    pub fn tiny() -> Self {
+        LanlConfig {
+            n_hosts: 60,
+            n_servers: 4,
+            popular_domains: 200,
+            queries_per_host_day: (3, 8),
+            new_benign_per_day: 15,
+            benign_auto_per_day: 4,
+            popular_auto_domains: 2,
+            ..LanlConfig::new(7)
+        }
+    }
+
+    /// Maps a March day-of-month to a window day index.
+    ///
+    /// # Panics
+    ///
+    /// Panics for March days outside `1..=31`.
+    pub fn march_day(&self, day_of_month: u32) -> Day {
+        assert!((1..=31).contains(&day_of_month), "invalid March day");
+        Day::new(self.bootstrap_days + day_of_month - 1)
+    }
+}
+
+impl Default for LanlConfig {
+    fn default() -> Self {
+        LanlConfig::new(7)
+    }
+}
+
+/// One simulated challenge campaign with its hints and answer key.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LanlCampaign {
+    /// Campaign identifier (index into the schedule, day-ordered).
+    pub id: CampaignId,
+    /// Hint case.
+    pub case: ChallengeCase,
+    /// March day-of-month the infection runs.
+    pub march_day: u32,
+    /// Window day index.
+    pub day: Day,
+    /// Hosts revealed as hints (empty in case 4).
+    pub hint_hosts: Vec<HostId>,
+    /// The full plan (domains, victims, contacts).
+    pub plan: CampaignPlan,
+}
+
+impl LanlCampaign {
+    /// Whether the campaign belongs to the paper's training split.
+    pub fn is_training(&self) -> bool {
+        TRAIN_MARCH_DAYS.contains(&self.march_day)
+    }
+
+    /// The campaign's malicious domains (the challenge "answer").
+    pub fn answer_domains(&self) -> Vec<&str> {
+        self.plan.domain_names().collect()
+    }
+}
+
+/// The generated challenge: dataset + campaigns + ground truth.
+#[derive(Debug)]
+pub struct LanlChallenge {
+    /// The DNS dataset (both months).
+    pub dataset: DnsDataset,
+    /// All 20 campaigns, ordered by day.
+    pub campaigns: Vec<LanlCampaign>,
+    /// Ground-truth labels for every campaign domain.
+    pub truth: GroundTruth,
+    /// The generating configuration.
+    pub config: LanlConfig,
+}
+
+impl LanlChallenge {
+    /// Campaigns running on `day`.
+    pub fn campaigns_on(&self, day: Day) -> impl Iterator<Item = &LanlCampaign> {
+        self.campaigns.iter().filter(move |c| c.day == day)
+    }
+
+    /// Campaigns in the training split.
+    pub fn training(&self) -> impl Iterator<Item = &LanlCampaign> {
+        self.campaigns.iter().filter(|c| c.is_training())
+    }
+
+    /// Campaigns in the testing split.
+    pub fn testing(&self) -> impl Iterator<Item = &LanlCampaign> {
+        self.campaigns.iter().filter(|c| !c.is_training())
+    }
+}
+
+/// The LANL-style dataset generator.
+#[derive(Debug)]
+pub struct LanlGenerator {
+    cfg: LanlConfig,
+    popular: Vec<String>,
+    internal: Vec<String>,
+    campaigns: Vec<LanlCampaign>,
+}
+
+impl LanlGenerator {
+    /// Prepares a generator: builds the benign pools and plans all 20
+    /// campaigns deterministically from the seed.
+    pub fn new(cfg: LanlConfig) -> Self {
+        let mut pool_rng = derive_rng(cfg.seed, &[10]);
+        let popular: Vec<String> =
+            (0..cfg.popular_domains).map(|i| lanl_domain(&mut pool_rng, i as u64)).collect();
+        let internal: Vec<String> = (0..40).map(|i| format!("svc{i}.internal.c3")).collect();
+
+        let mut campaigns = Vec::with_capacity(CHALLENGE_SCHEDULE.len());
+        let mut schedule = CHALLENGE_SCHEDULE;
+        schedule.sort_by_key(|(d, _)| *d);
+        for (idx, (march_day, case)) in schedule.into_iter().enumerate() {
+            let mut rng = derive_rng(cfg.seed, &[20, idx as u64]);
+            let (n_victims, extras) = match case {
+                ChallengeCase::One => (2, rng.gen_range(1..=2)),
+                ChallengeCase::Two => (rng.gen_range(3..=4), 2),
+                ChallengeCase::Three => (rng.gen_range(2..=4), 3),
+                ChallengeCase::Four => (3, 4),
+            };
+            let workstations: Vec<HostId> =
+                (cfg.n_servers..cfg.n_hosts).map(HostId::new).collect();
+            let victims: Vec<HostId> =
+                workstations.choose_multiple(&mut rng, n_victims).copied().collect();
+            let names: Vec<String> = (0..=extras)
+                .map(|k| format!("{}x{}{}.c3", pronounceable(&mut rng, 3), idx, k))
+                .collect();
+            let shape = CampaignShape {
+                extra_domains: extras,
+                beacon_period: *[300u64, 600, 900, 1200].choose(&mut rng).expect("non-empty"),
+                beacon_jitter: 3,
+                ..CampaignShape::default()
+            };
+            let day = cfg.march_day(march_day);
+            let plan = CampaignPlan::plan(
+                &mut rng,
+                CampaignId(idx as u32),
+                day,
+                victims.clone(),
+                names,
+                shape,
+            );
+            let hint_hosts = match case {
+                ChallengeCase::One | ChallengeCase::Three => vec![victims[0]],
+                ChallengeCase::Two => victims.clone(),
+                ChallengeCase::Four => vec![],
+            };
+            campaigns.push(LanlCampaign {
+                id: CampaignId(idx as u32),
+                case,
+                march_day,
+                day,
+                hint_hosts,
+                plan,
+            });
+        }
+
+        LanlGenerator { cfg, popular, internal, campaigns }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &LanlConfig {
+        &self.cfg
+    }
+
+    /// The planned campaigns (available before generating any traffic).
+    pub fn campaigns(&self) -> &[LanlCampaign] {
+        &self.campaigns
+    }
+
+    /// Dataset metadata.
+    pub fn meta(&self) -> DatasetMeta {
+        let mut kinds = vec![HostKind::Workstation; self.cfg.n_hosts as usize];
+        for k in kinds.iter_mut().take(self.cfg.n_servers as usize) {
+            *k = HostKind::Server;
+        }
+        DatasetMeta {
+            n_hosts: self.cfg.n_hosts,
+            host_kinds: kinds,
+            internal_suffixes: vec!["internal.c3".into()],
+            bootstrap_days: self.cfg.bootstrap_days,
+            total_days: self.cfg.total_days,
+        }
+    }
+
+    /// Generates the whole two-month dataset plus ground truth.
+    pub fn generate(&self) -> LanlChallenge {
+        let domains = Arc::new(DomainInterner::new());
+        let days: Vec<DnsDayLog> = (0..self.cfg.total_days)
+            .map(|d| self.generate_day(&domains, Day::new(d)))
+            .collect();
+        let mut truth = GroundTruth::new();
+        for c in &self.campaigns {
+            for name in c.plan.domain_names() {
+                truth.set(name, TrueClass::Malicious(c.id));
+            }
+        }
+        LanlChallenge {
+            dataset: DnsDataset { domains, days, meta: self.meta() },
+            campaigns: self.campaigns.clone(),
+            truth,
+            config: self.cfg.clone(),
+        }
+    }
+
+    /// Generates a single day's query batch (streaming entry point; the
+    /// batch is identical to the one [`Self::generate`] would produce for
+    /// that day).
+    pub fn generate_day(&self, domains: &DomainInterner, day: Day) -> DnsDayLog {
+        let cfg = &self.cfg;
+        let mut rng = derive_rng(cfg.seed, &[1, day.index() as u64]);
+        let mut queries = Vec::new();
+
+        // Benign browsing, internal queries, and non-A noise.
+        for host in 0..cfg.n_hosts {
+            let is_server = host < cfg.n_servers;
+            let n = rng.gen_range(cfg.queries_per_host_day.0..=cfg.queries_per_host_day.1);
+            for _ in 0..n {
+                let ts = Timestamp::from_day_secs(day, browse_second(&mut rng));
+                let roll: f64 = rng.gen();
+                let (name, qtype): (&str, DnsRecordType) = if roll < cfg.internal_query_frac {
+                    (&self.internal[rng.gen_range(0..self.internal.len())], DnsRecordType::A)
+                } else if roll < cfg.internal_query_frac + cfg.non_a_frac {
+                    (self.zipf_popular(&mut rng), non_a_type(&mut rng))
+                } else {
+                    (self.zipf_popular(&mut rng), DnsRecordType::A)
+                };
+                queries.push(self.query(domains, ts, host, name, qtype));
+            }
+            if is_server {
+                // Servers additionally hammer popular destinations.
+                for _ in 0..rng.gen_range(20..60) {
+                    let ts = Timestamp::from_day_secs(day, rng.gen_range(0..SECONDS_PER_DAY));
+                    let name = self.zipf_popular(&mut rng).to_owned();
+                    queries.push(self.query(domains, ts, host, &name, DnsRecordType::A));
+                }
+            }
+        }
+
+        // Popular automated destinations: many hosts refresh periodically.
+        for d in 0..cfg.popular_auto_domains.min(self.popular.len()) {
+            let name = self.popular[d].clone();
+            let n_subscribers = rng.gen_range(15..25u32);
+            for _ in 0..n_subscribers {
+                let host = rng.gen_range(cfg.n_servers..cfg.n_hosts);
+                let period = *[1_800u64, 3_600].choose(&mut rng).expect("non-empty");
+                self.emit_beacon(domains, &mut queries, &mut rng, day, host, &name, period, 2);
+            }
+        }
+
+        // Fresh benign domains (the rare-destination noise floor).
+        for i in 0..cfg.new_benign_per_day {
+            let name = lanl_domain(&mut rng, 1_000_000 + day.index() as u64 * 10_000 + i as u64);
+            for _ in 0..rng.gen_range(1..=2u32) {
+                let host = rng.gen_range(cfg.n_servers..cfg.n_hosts);
+                for _ in 0..rng.gen_range(1..=3u32) {
+                    let ts = Timestamp::from_day_secs(day, browse_second(&mut rng));
+                    queries.push(self.query(domains, ts, host, &name, DnsRecordType::A));
+                }
+            }
+        }
+
+        // Fresh benign *automated* domains (niche updaters).
+        for i in 0..cfg.benign_auto_per_day {
+            let name = lanl_domain(&mut rng, 5_000_000 + day.index() as u64 * 10_000 + i as u64);
+            let period = *[300u64, 600, 1_800, 3_600].choose(&mut rng).expect("non-empty");
+            let host = rng.gen_range(cfg.n_servers..cfg.n_hosts);
+            self.emit_beacon(domains, &mut queries, &mut rng, day, host, &name, period, 2);
+            // Occasionally a second host runs the same updater, usually at a
+            // different cadence (same-period pairs are the realistic
+            // false-positive pressure on the LANL C&C heuristic).
+            if rng.gen_bool(0.15) {
+                let other = rng.gen_range(cfg.n_servers..cfg.n_hosts);
+                let other_period =
+                    if rng.gen_bool(0.25) { period } else { period.saturating_mul(2).max(600) };
+                self.emit_beacon(domains, &mut queries, &mut rng, day, other, &name, other_period, 2);
+            }
+        }
+
+        // Campaign traffic.
+        for campaign in self.campaigns.iter().filter(|c| c.day == day) {
+            for contact in &campaign.plan.contacts {
+                let dom = &campaign.plan.domains[contact.domain_idx];
+                let qname = domains.intern(&dom.name);
+                queries.push(DnsQuery {
+                    ts: contact.ts,
+                    src: contact.host,
+                    src_ip: host_ip(contact.host),
+                    qname,
+                    qtype: DnsRecordType::A,
+                    answer: Some(dom.ips[0]),
+                });
+            }
+        }
+
+        queries.sort_by_key(|q| q.ts);
+        DnsDayLog { day, queries }
+    }
+
+    fn query(
+        &self,
+        domains: &DomainInterner,
+        ts: Timestamp,
+        host: u32,
+        name: &str,
+        qtype: DnsRecordType,
+    ) -> DnsQuery {
+        DnsQuery {
+            ts,
+            src: HostId::new(host),
+            src_ip: host_ip(HostId::new(host)),
+            qname: domains.intern(name),
+            qtype,
+            answer: (qtype == DnsRecordType::A).then(|| stable_ip(name)),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn emit_beacon(
+        &self,
+        domains: &DomainInterner,
+        queries: &mut Vec<DnsQuery>,
+        rng: &mut impl Rng,
+        day: Day,
+        host: u32,
+        name: &str,
+        period: u64,
+        jitter: u64,
+    ) {
+        let start = rng.gen_range(0..4 * 3_600u64);
+        let duration = rng.gen_range(4..=14) * 3_600;
+        let mut t = start;
+        while t < (start + duration).min(SECONDS_PER_DAY) {
+            let ts = Timestamp::from_day_secs(day, t);
+            queries.push(self.query(domains, ts, host, name, DnsRecordType::A));
+            let j = if jitter == 0 { 0 } else { rng.gen_range(0..=2 * jitter) as i64 - jitter as i64 };
+            t = (t as i64 + period as i64 + j).max(t as i64 + 1) as u64;
+        }
+    }
+
+    fn zipf_popular(&self, rng: &mut impl Rng) -> &str {
+        // Approximate Zipf: u^3 concentrates mass on low indices.
+        let u: f64 = rng.gen();
+        let idx = ((u * u * u) * self.popular.len() as f64) as usize;
+        &self.popular[idx.min(self.popular.len() - 1)]
+    }
+}
+
+fn browse_second(rng: &mut impl Rng) -> u64 {
+    // Working-hours bias: 80% of browsing in 8:00-18:00.
+    if rng.gen_bool(0.8) {
+        rng.gen_range(8 * 3_600..18 * 3_600)
+    } else {
+        rng.gen_range(0..SECONDS_PER_DAY)
+    }
+}
+
+fn non_a_type(rng: &mut impl Rng) -> DnsRecordType {
+    *[DnsRecordType::Aaaa, DnsRecordType::Txt, DnsRecordType::Mx, DnsRecordType::Ptr, DnsRecordType::Srv]
+        .choose(rng)
+        .expect("non-empty")
+}
+
+fn host_ip(host: HostId) -> Ipv4 {
+    let i = host.index();
+    Ipv4::new(10, ((i >> 16) & 0xFF) as u8, ((i >> 8) & 0xFF) as u8, (i & 0xFF) as u8)
+}
+
+/// Stable pseudo-random public IP for a benign domain name.
+fn stable_ip(name: &str) -> Ipv4 {
+    let mut h = DefaultHasher::new();
+    name.hash(&mut h);
+    let v = h.finish();
+    // Avoid the 10/8 internal space.
+    Ipv4::new(
+        20 + ((v >> 24) % 200) as u8,
+        (v >> 16) as u8,
+        (v >> 8) as u8,
+        v as u8,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_has_twenty_campaigns_in_four_cases() {
+        assert_eq!(CHALLENGE_SCHEDULE.len(), 20);
+        let count = |c: ChallengeCase| CHALLENGE_SCHEDULE.iter().filter(|(_, k)| *k == c).count();
+        assert_eq!(count(ChallengeCase::One), 5);
+        assert_eq!(count(ChallengeCase::Two), 7);
+        assert_eq!(count(ChallengeCase::Three), 7);
+        assert_eq!(count(ChallengeCase::Four), 1);
+    }
+
+    #[test]
+    fn march_day_mapping() {
+        let cfg = LanlConfig::tiny();
+        assert_eq!(cfg.march_day(1), Day::new(28));
+        assert_eq!(cfg.march_day(22), Day::new(49));
+    }
+
+    #[test]
+    fn hints_follow_case_semantics() {
+        let gen = LanlGenerator::new(LanlConfig::tiny());
+        for c in gen.campaigns() {
+            match c.case {
+                ChallengeCase::One | ChallengeCase::Three => assert_eq!(c.hint_hosts.len(), 1),
+                ChallengeCase::Two => assert!((3..=4).contains(&c.hint_hosts.len())),
+                ChallengeCase::Four => assert!(c.hint_hosts.is_empty()),
+            }
+            assert!(c.plan.victims.len() >= 2, "all LANL campaigns have multiple victims");
+            for h in &c.hint_hosts {
+                assert!(c.plan.victims.contains(h), "hints are real victims");
+            }
+        }
+    }
+
+    #[test]
+    fn campaign_days_match_schedule() {
+        let gen = LanlGenerator::new(LanlConfig::tiny());
+        let days: Vec<u32> = gen.campaigns().iter().map(|c| c.march_day).collect();
+        let mut expected: Vec<u32> = CHALLENGE_SCHEDULE.iter().map(|(d, _)| *d).collect();
+        expected.sort_unstable();
+        assert_eq!(days, expected);
+    }
+
+    #[test]
+    fn campaign_traffic_present_on_campaign_day_only() {
+        let gen = LanlGenerator::new(LanlConfig::tiny());
+        let domains = DomainInterner::new();
+        let c = &gen.campaigns()[0];
+        let cc_name = c.plan.cc_domain().to_owned();
+
+        let on_day = gen.generate_day(&domains, c.day);
+        let cc_sym = domains.get(&cc_name).expect("C&C domain queried on its day");
+        let n_on = on_day.queries.iter().filter(|q| q.qname == cc_sym).count();
+        assert!(n_on > 10, "beacon train expected, saw {n_on}");
+
+        let other = gen.generate_day(&domains, Day::new(5));
+        assert!(
+            other.queries.iter().all(|q| q.qname != cc_sym),
+            "campaign domain must not appear on other days"
+        );
+    }
+
+    #[test]
+    fn day_generation_is_deterministic() {
+        let gen = LanlGenerator::new(LanlConfig::tiny());
+        let d1 = gen.generate_day(&DomainInterner::new(), Day::new(30));
+        let d2 = gen.generate_day(&DomainInterner::new(), Day::new(30));
+        assert_eq!(d1.queries.len(), d2.queries.len());
+        for (a, b) in d1.queries.iter().zip(&d2.queries) {
+            assert_eq!(a.ts, b.ts);
+            assert_eq!(a.src, b.src);
+            assert_eq!(a.qtype, b.qtype);
+        }
+    }
+
+    #[test]
+    fn generate_labels_all_campaign_domains() {
+        let challenge = LanlGenerator::new(LanlConfig::tiny()).generate();
+        assert_eq!(challenge.campaigns.len(), 20);
+        for c in &challenge.campaigns {
+            for name in c.answer_domains() {
+                assert!(
+                    matches!(challenge.truth.class_of(name), TrueClass::Malicious(id) if id == c.id),
+                    "{name} must be labeled for {:?}",
+                    c.id
+                );
+            }
+        }
+        let train = challenge.training().count();
+        let test = challenge.testing().count();
+        assert_eq!(train, 10);
+        assert_eq!(test, 10);
+    }
+
+    #[test]
+    fn queries_are_sorted_and_within_day() {
+        let gen = LanlGenerator::new(LanlConfig::tiny());
+        let day = gen.generate_day(&DomainInterner::new(), Day::new(29));
+        assert!(day.queries.windows(2).all(|w| w[0].ts <= w[1].ts));
+        assert!(day.queries.iter().all(|q| q.ts.day() == Day::new(29)));
+    }
+
+    #[test]
+    fn servers_are_first_host_ids() {
+        let gen = LanlGenerator::new(LanlConfig::tiny());
+        let meta = gen.meta();
+        assert_eq!(meta.kind(HostId::new(0)), HostKind::Server);
+        assert_eq!(meta.kind(HostId::new(gen.config().n_servers)), HostKind::Workstation);
+    }
+}

@@ -1,0 +1,130 @@
+//! Deterministic domain-name generators: pronounceable benign names,
+//! anonymized LANL-style tokens, and the DGA families described in §VI-C/D
+//! (4–5-character `.info` names, 20-character hex `.info` names, and random
+//! `.org` words).
+
+use rand::Rng;
+
+const CONSONANTS: &[u8] = b"bcdfghjklmnpqrstvwz";
+const VOWELS: &[u8] = b"aeiou";
+const HEX: &[u8] = b"0123456789abcdef";
+
+/// A pronounceable lowercase token of `syllables` consonant-vowel pairs.
+pub fn pronounceable(rng: &mut impl Rng, syllables: usize) -> String {
+    let mut s = String::with_capacity(syllables * 2);
+    for _ in 0..syllables {
+        s.push(CONSONANTS[rng.gen_range(0..CONSONANTS.len())] as char);
+        s.push(VOWELS[rng.gen_range(0..VOWELS.len())] as char);
+    }
+    s
+}
+
+/// A benign-looking second-level domain, e.g. `kotuvi.com`.
+pub fn benign_domain(rng: &mut impl Rng) -> String {
+    let tld = ["com", "net", "org", "io", "co"][rng.gen_range(0..5)];
+    let syllables = rng.gen_range(2..5);
+    format!("{}.{}", pronounceable(rng, syllables), tld)
+}
+
+/// An anonymized LANL-style name: an opaque token under the `.c3` zone
+/// (mirroring the anonymized names like `fluttershy.c3` in the paper's
+/// Fig. 4).
+pub fn lanl_domain(rng: &mut impl Rng, index: u64) -> String {
+    format!("{}{}.c3", pronounceable(rng, 3), index)
+}
+
+/// A 4–5-character `.info` DGA name (the no-hint cluster of §VI-C, e.g.
+/// `mgwg.info`).
+pub fn dga_short_info(rng: &mut impl Rng) -> String {
+    let len = rng.gen_range(4..=5);
+    let mut s = String::with_capacity(len);
+    for _ in 0..len {
+        s.push(CONSONANTS[rng.gen_range(0..CONSONANTS.len())] as char);
+    }
+    format!("{s}.info")
+}
+
+/// A 20-character hex `.info` DGA name (the SOC-hints cluster of §VI-D,
+/// e.g. `f0371288e0a20a541328.info`).
+pub fn dga_hex_info(rng: &mut impl Rng) -> String {
+    let mut s = String::with_capacity(20);
+    for _ in 0..20 {
+        s.push(HEX[rng.gen_range(0..HEX.len())] as char);
+    }
+    format!("{s}.info")
+}
+
+/// A random-word `.org` name (the Ramdo-style cluster of Fig. 8, e.g.
+/// `kuqcuqmaggguqum.org`).
+pub fn ramdo_org(rng: &mut impl Rng) -> String {
+    let len = rng.gen_range(14..=16);
+    let mut s = String::with_capacity(len);
+    for i in 0..len {
+        let set = if i % 3 == 2 { VOWELS } else { CONSONANTS };
+        s.push(set[rng.gen_range(0..set.len())] as char);
+    }
+    format!("{s}.org")
+}
+
+/// A Russian-zone malware-delivery name (the `.ru` domains of Fig. 7/8).
+pub fn malware_ru(rng: &mut impl Rng) -> String {
+    let syllables = rng.gen_range(5..9);
+    format!("{}.ru", pronounceable(rng, syllables))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::derive_rng;
+
+    #[test]
+    fn names_are_deterministic_per_stream() {
+        let a = benign_domain(&mut derive_rng(1, &[0]));
+        let b = benign_domain(&mut derive_rng(1, &[0]));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn dga_short_shape() {
+        let mut rng = derive_rng(2, &[1]);
+        for _ in 0..50 {
+            let name = dga_short_info(&mut rng);
+            let stem = name.strip_suffix(".info").unwrap();
+            assert!(stem.len() == 4 || stem.len() == 5, "bad stem {stem}");
+        }
+    }
+
+    #[test]
+    fn dga_hex_shape() {
+        let mut rng = derive_rng(2, &[2]);
+        let name = dga_hex_info(&mut rng);
+        let stem = name.strip_suffix(".info").unwrap();
+        assert_eq!(stem.len(), 20);
+        assert!(stem.bytes().all(|b| b.is_ascii_hexdigit()));
+    }
+
+    #[test]
+    fn ramdo_is_org() {
+        let mut rng = derive_rng(2, &[3]);
+        assert!(ramdo_org(&mut rng).ends_with(".org"));
+    }
+
+    #[test]
+    fn lanl_names_are_unique_by_index() {
+        let mut rng = derive_rng(3, &[0]);
+        let a = lanl_domain(&mut rng, 1);
+        let mut rng = derive_rng(3, &[0]);
+        let b = lanl_domain(&mut rng, 2);
+        assert_ne!(a, b);
+        assert!(a.ends_with(".c3"));
+    }
+
+    #[test]
+    fn benign_domains_have_two_labels() {
+        let mut rng = derive_rng(4, &[0]);
+        for _ in 0..20 {
+            let d = benign_domain(&mut rng);
+            assert_eq!(d.split('.').count(), 2, "{d}");
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! Baseline periodicity detectors, implemented for ablation benchmarks.
+//!
+//! * [`StdDevDetector`] — the approach the paper *initially tested and
+//!   rejected*: label a series automated when the standard deviation of its
+//!   inter-connection intervals is small. "A single outlier could result in
+//!   high standard deviation" (§IV-C); the ablation bench demonstrates this.
+//! * [`AutocorrelationDetector`] — BotSniffer-style (§VII cites
+//!   autocorrelation in BotSniffer): bucket connections into a fixed-width
+//!   time series and look for a strong autocorrelation peak at a non-zero
+//!   lag.
+
+use crate::histogram::intervals_of;
+use earlybird_logmodel::Timestamp;
+use serde::{Deserialize, Serialize};
+
+/// Standard-deviation-based automation detector (rejected baseline).
+///
+/// Labels a series automated when the inter-connection intervals' standard
+/// deviation is at most `max_std` seconds.
+///
+/// # Example
+///
+/// ```
+/// use earlybird_timing::StdDevDetector;
+/// use earlybird_logmodel::Timestamp;
+/// let det = StdDevDetector::new(10.0, 4);
+/// let beacon: Vec<Timestamp> = (0..6).map(|i| Timestamp::from_secs(i * 60)).collect();
+/// assert!(det.is_automated(&beacon));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct StdDevDetector {
+    max_std: f64,
+    min_connections: usize,
+}
+
+impl StdDevDetector {
+    /// Creates a detector labeling series with interval std-dev `<= max_std`
+    /// seconds as automated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_std` is negative or `min_connections < 2`.
+    pub fn new(max_std: f64, min_connections: usize) -> Self {
+        assert!(max_std >= 0.0, "std-dev bound must be non-negative");
+        assert!(min_connections >= 2, "need at least two connections");
+        StdDevDetector { max_std, min_connections }
+    }
+
+    /// Sample standard deviation of the series' intervals, or `None` for
+    /// series shorter than the minimum.
+    pub fn interval_std(&self, timestamps: &[Timestamp]) -> Option<f64> {
+        if timestamps.len() < self.min_connections {
+            return None;
+        }
+        let intervals = intervals_of(timestamps);
+        let n = intervals.len() as f64;
+        let mean = intervals.iter().sum::<u64>() as f64 / n;
+        let var = intervals.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / n;
+        Some(var.sqrt())
+    }
+
+    /// Whether the series is automated under the std-dev criterion.
+    pub fn is_automated(&self, timestamps: &[Timestamp]) -> bool {
+        self.interval_std(timestamps).is_some_and(|s| s <= self.max_std)
+    }
+}
+
+/// Autocorrelation-based periodicity detector (BotSniffer-style baseline).
+///
+/// Connections are bucketed into a binary presence series with
+/// `bucket_secs`-wide buckets; the series is automated when the maximum
+/// normalized autocorrelation over non-zero lags exceeds `threshold`.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AutocorrelationDetector {
+    bucket_secs: u64,
+    threshold: f64,
+    min_connections: usize,
+}
+
+impl AutocorrelationDetector {
+    /// Creates a detector with the given bucket width, correlation threshold
+    /// in `[0, 1]`, and minimum series length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket_secs == 0`, the threshold is outside `[0, 1]`, or
+    /// `min_connections < 3`.
+    pub fn new(bucket_secs: u64, threshold: f64, min_connections: usize) -> Self {
+        assert!(bucket_secs > 0, "bucket width must be positive");
+        assert!((0.0..=1.0).contains(&threshold), "threshold must be in [0, 1]");
+        assert!(min_connections >= 3, "autocorrelation needs at least three points");
+        AutocorrelationDetector { bucket_secs, threshold, min_connections }
+    }
+
+    /// Maximum normalized autocorrelation over non-zero lags, or `None` for
+    /// short/degenerate series.
+    pub fn peak_autocorrelation(&self, timestamps: &[Timestamp]) -> Option<f64> {
+        if timestamps.len() < self.min_connections {
+            return None;
+        }
+        let start = timestamps.first()?.as_secs();
+        let end = timestamps.last()?.as_secs();
+        let len = ((end - start) / self.bucket_secs + 1) as usize;
+        if len < 4 {
+            return None;
+        }
+        let mut series = vec![0.0f64; len];
+        for t in timestamps {
+            series[((t.as_secs() - start) / self.bucket_secs) as usize] = 1.0;
+        }
+        let n = series.len();
+        let mean = series.iter().sum::<f64>() / n as f64;
+        let denom: f64 = series.iter().map(|x| (x - mean).powi(2)).sum();
+        if denom == 0.0 {
+            return None;
+        }
+        let mut best = f64::NEG_INFINITY;
+        for lag in 1..=(n / 2) {
+            let num: f64 = (0..n - lag).map(|i| (series[i] - mean) * (series[i + lag] - mean)).sum();
+            best = best.max(num / denom);
+        }
+        Some(best)
+    }
+
+    /// Whether the series is automated under the autocorrelation criterion.
+    pub fn is_automated(&self, timestamps: &[Timestamp]) -> bool {
+        self.peak_autocorrelation(timestamps).is_some_and(|c| c >= self.threshold)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn secs(v: &[u64]) -> Vec<Timestamp> {
+        v.iter().map(|&s| Timestamp::from_secs(s)).collect()
+    }
+
+    #[test]
+    fn stddev_detects_perfect_beacon() {
+        let det = StdDevDetector::new(5.0, 4);
+        let ts: Vec<Timestamp> = (0..10).map(|i| Timestamp::from_secs(i * 300)).collect();
+        assert!(det.is_automated(&ts));
+        assert_eq!(det.interval_std(&ts), Some(0.0));
+    }
+
+    #[test]
+    fn stddev_breaks_on_single_outlier() {
+        // The failure mode that motivated the dynamic-histogram method: one
+        // 4000 s gap blows up the standard deviation.
+        let det = StdDevDetector::new(30.0, 4);
+        let mut t = 0;
+        let mut ts = vec![Timestamp::from_secs(0)];
+        for i in 0..12 {
+            t += if i == 6 { 4000 } else { 600 };
+            ts.push(Timestamp::from_secs(t));
+        }
+        assert!(!det.is_automated(&ts), "std-dev detector must fail here");
+        // ... while the paper's detector survives:
+        assert!(crate::AutomationDetector::paper_default().is_automated(&ts));
+    }
+
+    #[test]
+    fn stddev_short_series_is_none() {
+        let det = StdDevDetector::new(5.0, 4);
+        assert_eq!(det.interval_std(&secs(&[0, 10])), None);
+    }
+
+    #[test]
+    fn autocorr_detects_beacon() {
+        let det = AutocorrelationDetector::new(10, 0.5, 4);
+        let ts: Vec<Timestamp> = (0..30).map(|i| Timestamp::from_secs(i * 100)).collect();
+        assert!(det.is_automated(&ts));
+    }
+
+    #[test]
+    fn autocorr_rejects_irregular_series() {
+        let det = AutocorrelationDetector::new(10, 0.5, 4);
+        let ts = secs(&[0, 17, 430, 431, 2951, 4000, 4003, 9001]);
+        assert!(!det.is_automated(&ts));
+    }
+
+    #[test]
+    fn autocorr_degenerate_series_is_none() {
+        let det = AutocorrelationDetector::new(10, 0.5, 3);
+        // All connections land in one bucket.
+        assert_eq!(det.peak_autocorrelation(&secs(&[0, 1, 2])), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn autocorr_rejects_zero_bucket() {
+        let _ = AutocorrelationDetector::new(0, 0.5, 3);
+    }
+}

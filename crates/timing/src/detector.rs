@@ -1,0 +1,287 @@
+//! The automated-connection detector: dynamic histogram + Jeffrey divergence
+//! against a periodic reference, parameterized by `(W, J_T)` (§IV-C, Table II).
+
+use crate::distance::{jeffrey_divergence, l1_distance};
+use crate::histogram::{dynamic_bins, intervals_of, periodic_reference, Histogram};
+use earlybird_logmodel::Timestamp;
+use serde::{Deserialize, Serialize};
+
+/// The statistical distance used to compare the observed inter-connection
+/// histogram to the periodic reference.
+///
+/// The paper chose Jeffrey divergence for numerical stability but notes "We
+/// experimented with other statistical metrics (e.g., L1 distance), but the
+/// results were very similar" (§IV-C); both are provided so the ablation
+/// bench can verify that claim.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DistanceMetric {
+    /// Jeffrey divergence (the paper's choice).
+    #[default]
+    Jeffrey,
+    /// L1 distance.
+    L1,
+}
+
+impl DistanceMetric {
+    /// Evaluates the metric on aligned frequency vectors.
+    pub fn distance(self, h: &[f64], k: &[f64]) -> f64 {
+        match self {
+            DistanceMetric::Jeffrey => jeffrey_divergence(h, k),
+            DistanceMetric::L1 => l1_distance(h, k),
+        }
+    }
+}
+
+/// Evidence that a (host, domain) connection series is automated.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AutomationEvidence {
+    /// Estimated beacon period in seconds (the highest-frequency cluster hub).
+    pub period: u64,
+    /// Jeffrey divergence between the observed histogram and the periodic
+    /// reference (lower = more regular).
+    pub divergence: f64,
+    /// Number of connections in the series.
+    pub connections: usize,
+}
+
+/// Detector for automated (beacon-like) connection timing.
+///
+/// `bin_width` (`W`) controls resilience to attacker-introduced jitter;
+/// `jt_threshold` (`J_T`) controls resilience to outliers; the paper selects
+/// `W = 10 s`, `J_T = 0.06` on the LANL training campaigns (Table II).
+///
+/// # Example
+///
+/// ```
+/// use earlybird_timing::AutomationDetector;
+/// use earlybird_logmodel::Timestamp;
+/// let det = AutomationDetector::new(10, 0.06, 4);
+/// let beacon: Vec<Timestamp> = (0..8).map(|i| Timestamp::from_secs(i * 120)).collect();
+/// assert!(det.is_automated(&beacon));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AutomationDetector {
+    bin_width: u64,
+    jt_threshold: f64,
+    min_connections: usize,
+    metric: DistanceMetric,
+}
+
+impl AutomationDetector {
+    /// Creates a detector with bin width `W` seconds, Jeffrey threshold
+    /// `J_T`, and a minimum number of connections per day below which a
+    /// series is never labeled automated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `jt_threshold` is negative or `min_connections < 2`.
+    pub fn new(bin_width: u64, jt_threshold: f64, min_connections: usize) -> Self {
+        assert!(jt_threshold >= 0.0, "threshold must be non-negative");
+        assert!(min_connections >= 2, "need at least two connections for an interval");
+        AutomationDetector { bin_width, jt_threshold, min_connections, metric: DistanceMetric::Jeffrey }
+    }
+
+    /// Replaces the distance metric (the §IV-C "we experimented with other
+    /// statistical metrics" ablation).
+    pub fn with_metric(mut self, metric: DistanceMetric) -> Self {
+        self.metric = metric;
+        self
+    }
+
+    /// The distance metric in use.
+    pub fn metric(&self) -> DistanceMetric {
+        self.metric
+    }
+
+    /// The paper's selected parameterization: `W = 10 s`, `J_T = 0.06`,
+    /// minimum 4 connections.
+    pub fn paper_default() -> Self {
+        AutomationDetector::new(10, 0.06, 4)
+    }
+
+    /// Bin width `W` in seconds.
+    pub fn bin_width(&self) -> u64 {
+        self.bin_width
+    }
+
+    /// Jeffrey divergence threshold `J_T`.
+    pub fn jt_threshold(&self) -> f64 {
+        self.jt_threshold
+    }
+
+    /// Minimum connections per day for a series to qualify.
+    pub fn min_connections(&self) -> usize {
+        self.min_connections
+    }
+
+    /// Evaluates a chronologically sorted series of connection timestamps,
+    /// returning automation evidence if the series is beacon-like.
+    ///
+    /// Returns `None` for series shorter than the minimum, or whose
+    /// histogram diverges from periodic by more than `J_T`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `timestamps` is not sorted (see
+    /// [`intervals_of`] for details).
+    pub fn evaluate(&self, timestamps: &[Timestamp]) -> Option<AutomationEvidence> {
+        if timestamps.len() < self.min_connections {
+            return None;
+        }
+        let intervals = intervals_of(timestamps);
+        let hist = Histogram::from_bins(dynamic_bins(&intervals, self.bin_width));
+        let (obs, reference) = periodic_reference(&hist)?;
+        let divergence = self.metric.distance(&obs, &reference);
+        if divergence <= self.jt_threshold {
+            Some(AutomationEvidence {
+                period: hist.dominant_period().expect("non-empty histogram"),
+                divergence,
+                connections: timestamps.len(),
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Whether the series is automated (shorthand for
+    /// [`evaluate`](Self::evaluate)`.is_some()`).
+    pub fn is_automated(&self, timestamps: &[Timestamp]) -> bool {
+        self.evaluate(timestamps).is_some()
+    }
+}
+
+impl Default for AutomationDetector {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn secs(v: &[u64]) -> Vec<Timestamp> {
+        v.iter().map(|&s| Timestamp::from_secs(s)).collect()
+    }
+
+    #[test]
+    fn perfect_beacon_has_zero_divergence() {
+        let det = AutomationDetector::paper_default();
+        let ts = secs(&[0, 600, 1200, 1800, 2400]);
+        let ev = det.evaluate(&ts).unwrap();
+        assert_eq!(ev.period, 600);
+        assert_eq!(ev.divergence, 0.0);
+        assert_eq!(ev.connections, 5);
+    }
+
+    #[test]
+    fn jitter_within_bin_width_is_tolerated() {
+        let det = AutomationDetector::paper_default();
+        // +-8 s jitter around a 300 s beacon stays inside W = 10.
+        let ts = secs(&[0, 300, 608, 905, 1207, 1498, 1805]);
+        assert!(det.is_automated(&ts), "small randomization must survive");
+    }
+
+    #[test]
+    fn single_large_gap_is_tolerated() {
+        let det = AutomationDetector::paper_default();
+        // 12 regular intervals + one 4000 s gap (host asleep).
+        let mut t = 0;
+        let mut ts = vec![Timestamp::from_secs(0)];
+        for i in 0..12 {
+            t += if i == 6 { 4000 } else { 600 };
+            ts.push(Timestamp::from_secs(t));
+        }
+        assert!(det.is_automated(&ts), "one outlier in 12 intervals must survive");
+    }
+
+    #[test]
+    fn user_browsing_pattern_is_rejected() {
+        let det = AutomationDetector::paper_default();
+        // Irregular, human-like gaps.
+        let ts = secs(&[0, 13, 430, 445, 2210, 2215, 7601, 9000]);
+        assert!(!det.is_automated(&ts));
+    }
+
+    #[test]
+    fn short_series_never_automated() {
+        let det = AutomationDetector::paper_default();
+        assert!(!det.is_automated(&secs(&[0, 600, 1200])));
+        assert!(!det.is_automated(&secs(&[])));
+    }
+
+    #[test]
+    fn larger_threshold_admits_more_series() {
+        // Two outliers in 15 intervals: rejected at 0.06, admitted at 0.35
+        // (the paper's 5-second-bin threshold).
+        let mut t = 0;
+        let mut ts = vec![Timestamp::from_secs(0)];
+        for i in 0..15 {
+            t += if i == 5 || i == 11 { 3000 } else { 60 };
+            ts.push(Timestamp::from_secs(t));
+        }
+        assert!(!AutomationDetector::new(10, 0.06, 4).is_automated(&ts));
+        assert!(AutomationDetector::new(10, 0.35, 4).is_automated(&ts));
+    }
+
+    #[test]
+    fn wider_bins_absorb_more_jitter() {
+        // Intervals spread up to 20 s from the first hub: outside W = 10,
+        // inside W = 20.
+        let ts = secs(&[0, 315, 615, 910, 1220, 1525, 1825]);
+        assert!(!AutomationDetector::new(10, 0.06, 4).is_automated(&ts));
+        assert!(AutomationDetector::new(20, 0.06, 4).is_automated(&ts));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn constructor_validates_min_connections() {
+        let _ = AutomationDetector::new(10, 0.06, 1);
+    }
+
+    #[test]
+    fn l1_metric_behaves_like_jeffrey_on_clear_cases() {
+        // The paper's observation: "the results were very similar".
+        let jeffrey = AutomationDetector::paper_default();
+        let l1 = AutomationDetector::new(10, 0.2, 4).with_metric(DistanceMetric::L1);
+        let beacon: Vec<Timestamp> = (0..20).map(|i| Timestamp::from_secs(i * 300)).collect();
+        let noise = secs(&[0, 13, 430, 445, 2_210, 2_215, 7_601, 9_000]);
+        assert!(jeffrey.is_automated(&beacon) && l1.is_automated(&beacon));
+        assert!(!jeffrey.is_automated(&noise) && !l1.is_automated(&noise));
+        assert_eq!(l1.metric(), DistanceMetric::L1);
+        assert_eq!(jeffrey.metric(), DistanceMetric::Jeffrey);
+    }
+
+    #[test]
+    fn l1_tolerates_single_outlier_at_matched_threshold() {
+        // One outlier in 13 intervals: L1 distance = 2/13 ≈ 0.154, so a
+        // threshold of 0.2 matches Jeffrey's 0.06 operating point.
+        let mut t = 0;
+        let mut ts = vec![Timestamp::from_secs(0)];
+        for i in 0..13 {
+            t += if i == 6 { 4_000 } else { 600 };
+            ts.push(Timestamp::from_secs(t));
+        }
+        let l1 = AutomationDetector::new(10, 0.2, 4).with_metric(DistanceMetric::L1);
+        assert!(l1.is_automated(&ts));
+    }
+
+    proptest! {
+        #[test]
+        fn any_exact_beacon_is_detected(period in 1u64..100_000, n in 4usize..50) {
+            let ts: Vec<Timestamp> = (0..n as u64).map(|i| Timestamp::from_secs(i * period)).collect();
+            let ev = AutomationDetector::paper_default().evaluate(&ts);
+            prop_assert!(ev.is_some());
+            prop_assert_eq!(ev.unwrap().period, period);
+        }
+
+        #[test]
+        fn detection_is_invariant_to_time_shift(shift in 0u64..1_000_000) {
+            let base: Vec<Timestamp> = (0..10u64).map(|i| Timestamp::from_secs(i * 120)).collect();
+            let shifted: Vec<Timestamp> = base.iter().map(|t| *t + shift).collect();
+            let det = AutomationDetector::paper_default();
+            prop_assert_eq!(det.evaluate(&base), det.evaluate(&shifted));
+        }
+    }
+}

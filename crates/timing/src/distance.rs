@@ -1,0 +1,134 @@
+//! Statistical distances between aligned histograms.
+//!
+//! The paper chooses the **Jeffrey divergence** because it is "numerically
+//! stable and robust to noise and size of histogram bins" (quoting Rubner et
+//! al.), and notes L1 gave "very similar" results; both are provided.
+
+/// Jeffrey divergence between two aligned frequency vectors.
+///
+/// For histograms `H = [(b_i, h_i)]` and `K = [(b_i, k_i)]` with
+/// `m_i = (h_i + k_i) / 2`:
+///
+/// ```text
+/// d_J(H, K) = Σ_i ( h_i·ln(h_i/m_i) + k_i·ln(k_i/m_i) )
+/// ```
+///
+/// Terms with a zero numerator contribute zero (the `x·ln x → 0` limit). The
+/// divergence is symmetric, non-negative, zero exactly for equal inputs, and
+/// bounded by `2·ln 2` for probability vectors.
+///
+/// # Panics
+///
+/// Panics if the vectors have different lengths or contain negative values.
+///
+/// # Example
+///
+/// ```
+/// use earlybird_timing::jeffrey_divergence;
+/// assert_eq!(jeffrey_divergence(&[1.0], &[1.0]), 0.0);
+/// let d = jeffrey_divergence(&[0.9, 0.1], &[1.0, 0.0]);
+/// assert!(d > 0.0 && d < 2.0 * std::f64::consts::LN_2);
+/// ```
+pub fn jeffrey_divergence(h: &[f64], k: &[f64]) -> f64 {
+    assert_eq!(h.len(), k.len(), "histograms must share a bin layout");
+    let mut d = 0.0;
+    for (&hi, &ki) in h.iter().zip(k) {
+        assert!(hi >= 0.0 && ki >= 0.0, "frequencies must be non-negative");
+        let mi = (hi + ki) / 2.0;
+        if hi > 0.0 {
+            d += hi * (hi / mi).ln();
+        }
+        if ki > 0.0 {
+            d += ki * (ki / mi).ln();
+        }
+    }
+    // Clamp tiny negative round-off.
+    d.max(0.0)
+}
+
+/// L1 (total variation style) distance between aligned frequency vectors.
+///
+/// # Panics
+///
+/// Panics if the vectors have different lengths.
+pub fn l1_distance(h: &[f64], k: &[f64]) -> f64 {
+    assert_eq!(h.len(), k.len(), "histograms must share a bin layout");
+    h.iter().zip(k).map(|(a, b)| (a - b).abs()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn zero_for_identical() {
+        assert_eq!(jeffrey_divergence(&[0.5, 0.5], &[0.5, 0.5]), 0.0);
+        assert_eq!(l1_distance(&[0.3, 0.7], &[0.3, 0.7]), 0.0);
+    }
+
+    #[test]
+    fn maximal_for_disjoint_support() {
+        // Disjoint mass: each term contributes ln 2.
+        let d = jeffrey_divergence(&[1.0, 0.0], &[0.0, 1.0]);
+        assert!((d - 2.0 * std::f64::consts::LN_2).abs() < 1e-12);
+        assert_eq!(l1_distance(&[1.0, 0.0], &[0.0, 1.0]), 2.0);
+    }
+
+    #[test]
+    fn single_outlier_among_thirteen_is_under_paper_threshold() {
+        // 12 beacon intervals + 1 outlier (the resiliency case from §IV-C):
+        // should stay below the paper's chosen J_T = 0.06.
+        let h = [12.0 / 13.0, 1.0 / 13.0];
+        let k = [1.0, 0.0];
+        let d = jeffrey_divergence(&h, &k);
+        assert!(d < 0.06, "one outlier in 13 must survive: d = {d}");
+    }
+
+    #[test]
+    fn two_outliers_among_fifteen_exceed_paper_threshold() {
+        let h = [13.0 / 15.0, 1.0 / 15.0, 1.0 / 15.0];
+        let k = [1.0, 0.0, 0.0];
+        let d = jeffrey_divergence(&h, &k);
+        assert!(d > 0.06, "two outliers in 15 should be rejected: d = {d}");
+    }
+
+    #[test]
+    #[should_panic(expected = "bin layout")]
+    fn mismatched_lengths_panic() {
+        let _ = jeffrey_divergence(&[1.0], &[0.5, 0.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_frequency_panics() {
+        let _ = jeffrey_divergence(&[-0.1, 1.1], &[0.5, 0.5]);
+    }
+
+    proptest! {
+        #[test]
+        fn symmetric_and_nonnegative(v in proptest::collection::vec(0.0f64..1.0, 1..8)) {
+            let total: f64 = v.iter().sum::<f64>().max(1e-9);
+            let h: Vec<f64> = v.iter().map(|x| x / total).collect();
+            let mut k = h.clone();
+            k.rotate_right(1);
+            let d1 = jeffrey_divergence(&h, &k);
+            let d2 = jeffrey_divergence(&k, &h);
+            prop_assert!((d1 - d2).abs() < 1e-12);
+            prop_assert!(d1 >= 0.0);
+            prop_assert!(d1 <= 2.0 * std::f64::consts::LN_2 + 1e-12);
+        }
+
+        #[test]
+        fn l1_triangle_inequality(
+            a in proptest::collection::vec(0.0f64..1.0, 4),
+            b in proptest::collection::vec(0.0f64..1.0, 4),
+            c in proptest::collection::vec(0.0f64..1.0, 4),
+        ) {
+            let ab = l1_distance(&a, &b);
+            let bc = l1_distance(&b, &c);
+            let ac = l1_distance(&a, &c);
+            prop_assert!(ac <= ab + bc + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! Dynamic histogram binning of inter-connection intervals (§IV-C).
+//!
+//! Static bins make the distance metric "highly sensitive to the histogram
+//! bin size and alignment"; the paper instead *clusters* the intervals: the
+//! first interval becomes the first cluster hub, and each subsequent interval
+//! joins a cluster if it lies within `W` of that cluster's hub, otherwise it
+//! founds a new cluster with itself as hub.
+
+use earlybird_logmodel::Timestamp;
+use serde::{Deserialize, Serialize};
+
+/// One dynamic-histogram bin: a cluster hub and the number of intervals that
+/// joined it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Bin {
+    /// The founding interval of the cluster, in seconds.
+    pub hub: u64,
+    /// Number of intervals assigned to the cluster.
+    pub count: u64,
+}
+
+/// A normalized histogram over dynamic bins.
+///
+/// Frequencies sum to 1 (up to floating-point error) whenever at least one
+/// interval was binned.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    bins: Vec<Bin>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Builds a histogram from raw bins.
+    pub fn from_bins(bins: Vec<Bin>) -> Self {
+        let total = bins.iter().map(|b| b.count).sum();
+        Histogram { bins, total }
+    }
+
+    /// The underlying bins.
+    pub fn bins(&self) -> &[Bin] {
+        &self.bins
+    }
+
+    /// Total number of binned intervals.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Relative frequency of bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the histogram is empty or `i` is out of range.
+    pub fn frequency(&self, i: usize) -> f64 {
+        assert!(self.total > 0, "empty histogram has no frequencies");
+        self.bins[i].count as f64 / self.total as f64
+    }
+
+    /// Frequencies of all bins, in bin order.
+    pub fn frequencies(&self) -> Vec<f64> {
+        (0..self.bins.len()).map(|i| self.frequency(i)).collect()
+    }
+
+    /// Index of the highest-count bin (ties broken toward the earlier bin).
+    pub fn mode(&self) -> Option<usize> {
+        if self.bins.is_empty() {
+            return None;
+        }
+        let mut best = 0;
+        for (i, b) in self.bins.iter().enumerate().skip(1) {
+            if b.count > self.bins[best].count {
+                best = i;
+            }
+        }
+        Some(best)
+    }
+
+    /// The hub of the highest-count bin — the paper's beacon-period estimate.
+    pub fn dominant_period(&self) -> Option<u64> {
+        self.mode().map(|i| self.bins[i].hub)
+    }
+}
+
+/// Inter-connection intervals (in seconds) of a chronologically sorted
+/// timestamp sequence.
+///
+/// Returns an empty vector for fewer than two timestamps.
+///
+/// # Panics
+///
+/// Panics if timestamps are not sorted in non-decreasing order.
+///
+/// # Example
+///
+/// ```
+/// use earlybird_logmodel::Timestamp;
+/// use earlybird_timing::intervals_of;
+/// let ts: Vec<Timestamp> = [0u64, 600, 1205].iter().map(|&s| Timestamp::from_secs(s)).collect();
+/// assert_eq!(intervals_of(&ts), vec![600, 605]);
+/// ```
+pub fn intervals_of(timestamps: &[Timestamp]) -> Vec<u64> {
+    timestamps
+        .windows(2)
+        .map(|w| {
+            assert!(w[1] >= w[0], "timestamps must be sorted");
+            w[1] - w[0]
+        })
+        .collect()
+}
+
+/// Clusters `intervals` (in encounter order) into dynamic bins of width `W =
+/// bin_width`, exactly as §IV-C prescribes: an interval joins the first
+/// existing cluster whose *hub* is within `bin_width`, else founds a new
+/// cluster.
+///
+/// # Example
+///
+/// ```
+/// use earlybird_timing::dynamic_bins;
+/// let bins = dynamic_bins(&[600, 603, 598, 4000], 10);
+/// assert_eq!(bins.len(), 2);
+/// assert_eq!(bins[0].hub, 600);
+/// assert_eq!(bins[0].count, 3);
+/// assert_eq!(bins[1].hub, 4000);
+/// ```
+pub fn dynamic_bins(intervals: &[u64], bin_width: u64) -> Vec<Bin> {
+    let mut bins: Vec<Bin> = Vec::new();
+    for &t in intervals {
+        match bins.iter_mut().find(|b| b.hub.abs_diff(t) <= bin_width) {
+            Some(bin) => bin.count += 1,
+            None => bins.push(Bin { hub: t, count: 1 }),
+        }
+    }
+    bins
+}
+
+/// The perfectly periodic reference histogram over the same bin layout as
+/// `observed`: all probability mass on the highest-frequency cluster hub
+/// (§IV-C: "compared to that of the periodic distribution with period equal
+/// to the highest-frequency cluster hub").
+///
+/// Returns frequency vectors `(observed, reference)` aligned bin-by-bin, or
+/// `None` when the histogram is empty.
+pub fn periodic_reference(observed: &Histogram) -> Option<(Vec<f64>, Vec<f64>)> {
+    let mode = observed.mode()?;
+    let h = observed.frequencies();
+    let mut k = vec![0.0; h.len()];
+    k[mode] = 1.0;
+    Some((h, k))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_interval_founds_first_cluster() {
+        let bins = dynamic_bins(&[100, 105, 300], 10);
+        assert_eq!(bins, vec![Bin { hub: 100, count: 2 }, Bin { hub: 300, count: 1 }]);
+    }
+
+    #[test]
+    fn membership_is_relative_to_hub_not_last_member() {
+        // 100, 109 join hub=100 (within 10); 118 is 18 from hub -> new cluster,
+        // even though it is within 10 of the previous member 109.
+        let bins = dynamic_bins(&[100, 109, 118], 10);
+        assert_eq!(bins.len(), 2);
+        assert_eq!(bins[0], Bin { hub: 100, count: 2 });
+        assert_eq!(bins[1], Bin { hub: 118, count: 1 });
+    }
+
+    #[test]
+    fn empty_input_gives_empty_bins() {
+        assert!(dynamic_bins(&[], 10).is_empty());
+        assert!(Histogram::from_bins(vec![]).mode().is_none());
+    }
+
+    #[test]
+    fn histogram_frequencies_sum_to_one() {
+        let h = Histogram::from_bins(dynamic_bins(&[60, 61, 59, 240, 62], 5));
+        let sum: f64 = h.frequencies().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert_eq!(h.total(), 5);
+    }
+
+    #[test]
+    fn mode_prefers_earlier_bin_on_tie() {
+        let h = Histogram::from_bins(vec![Bin { hub: 10, count: 2 }, Bin { hub: 99, count: 2 }]);
+        assert_eq!(h.mode(), Some(0));
+        assert_eq!(h.dominant_period(), Some(10));
+    }
+
+    #[test]
+    fn periodic_reference_puts_all_mass_on_mode() {
+        let h = Histogram::from_bins(dynamic_bins(&[600, 602, 601, 4000], 10));
+        let (obs, refv) = periodic_reference(&h).unwrap();
+        assert_eq!(obs.len(), refv.len());
+        assert_eq!(refv.iter().filter(|&&x| x == 1.0).count(), 1);
+        assert_eq!(refv[0], 1.0, "mode is the 600s cluster");
+    }
+
+    #[test]
+    fn intervals_from_sorted_timestamps() {
+        let ts: Vec<Timestamp> = [10u64, 20, 35].iter().map(|&s| Timestamp::from_secs(s)).collect();
+        assert_eq!(intervals_of(&ts), vec![10, 15]);
+        assert!(intervals_of(&ts[..1]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn intervals_panic_on_unsorted() {
+        let ts = vec![Timestamp::from_secs(20), Timestamp::from_secs(10)];
+        let _ = intervals_of(&ts);
+    }
+
+    #[test]
+    fn zero_bin_width_means_exact_matching() {
+        let bins = dynamic_bins(&[5, 5, 6], 0);
+        assert_eq!(bins.len(), 2);
+        assert_eq!(bins[0], Bin { hub: 5, count: 2 });
+    }
+}

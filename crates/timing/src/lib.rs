@@ -1,0 +1,45 @@
+//! Timing analysis for C&C beacon detection (§IV-C of the DSN'15 paper).
+//!
+//! Backdoors "connect regularly to the command-and-control center"; this
+//! crate detects that regularity from the inter-connection intervals between
+//! a host and a domain:
+//!
+//! 1. [`dynamic_bins`] clusters the intervals with the paper's dynamic
+//!    histogram binning (bin width `W`),
+//! 2. [`jeffrey_divergence`] compares the resulting histogram to a perfectly
+//!    periodic reference ([`periodic_reference`]),
+//! 3. [`AutomationDetector`] wraps both behind the `(W, J_T)` parameterization
+//!    evaluated in Table II.
+//!
+//! [`StdDevDetector`] (the approach the paper tried and rejected — "a single
+//! outlier could result in high standard deviation") and
+//! [`AutocorrelationDetector`] (BotSniffer-style) are included as ablation
+//! baselines.
+//!
+//! # Example
+//!
+//! ```
+//! use earlybird_timing::AutomationDetector;
+//! use earlybird_logmodel::Timestamp;
+//!
+//! // A 10-minute beacon with +-3 s of jitter.
+//! let ts: Vec<Timestamp> = (0..12)
+//!     .map(|i| Timestamp::from_secs(600 * i + (i % 3)))
+//!     .collect();
+//! let det = AutomationDetector::paper_default();
+//! let ev = det.evaluate(&ts).expect("beacon detected");
+//! assert!(ev.period.abs_diff(600) <= det.bin_width());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baselines;
+pub mod detector;
+pub mod distance;
+pub mod histogram;
+
+pub use baselines::{AutocorrelationDetector, StdDevDetector};
+pub use detector::{AutomationDetector, AutomationEvidence, DistanceMetric};
+pub use distance::{jeffrey_divergence, l1_distance};
+pub use histogram::{dynamic_bins, intervals_of, periodic_reference, Bin, Histogram};

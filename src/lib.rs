@@ -1,0 +1,49 @@
+//! # earlybird
+//!
+//! A production-quality Rust reproduction of **"Detection of Early-Stage
+//! Enterprise Infection by Mining Large-Scale Log Data"** (Oprea, Li, Yen,
+//! Chin, Alrwais — DSN 2015, arXiv:1411.5005): belief propagation over
+//! host↔domain graphs seeded by SOC hints or by a timing-based C&C
+//! detector, together with the full log-mining substrate the paper depends
+//! on (normalization, reduction, profiling, rare-destination extraction,
+//! dynamic-histogram beacon detection, linear-regression scoring) and the
+//! synthetic LANL / enterprise dataset generators used to evaluate it.
+//!
+//! This crate is a facade re-exporting the workspace members:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`logmodel`] | `earlybird-logmodel` | timestamps, hosts, interned domains/UAs, DNS & proxy records |
+//! | [`timing`] | `earlybird-timing` | dynamic histograms, Jeffrey divergence, automation detectors |
+//! | [`features`] | `earlybird-features` | feature vectors, OLS regression, additive LANL score |
+//! | [`intel`] | `earlybird-intel` | WHOIS / VirusTotal / IOC / ground-truth simulators |
+//! | [`pipeline`] | `earlybird-pipeline` | normalization, reduction, histories, rare sieve, day index |
+//! | [`synthgen`] | `earlybird-synthgen` | LANL & AC dataset generators with injected campaigns |
+//! | [`core`] | `earlybird-core` | C&C detector, Algorithm 1 belief propagation, daily pipeline |
+//! | [`eval`] | `earlybird-eval` | harnesses regenerating every table and figure of the paper |
+//!
+//! # Quickstart
+//!
+//! Detect the LANL challenge campaigns end to end:
+//!
+//! ```
+//! use earlybird::eval::lanl::LanlRun;
+//! use earlybird::synthgen::lanl::{LanlConfig, LanlGenerator};
+//!
+//! let challenge = LanlGenerator::new(LanlConfig::tiny()).generate();
+//! let run = LanlRun::new(&challenge);
+//! let (table3, _results) = run.table3();
+//! let rates = table3.overall_rates();
+//! assert!(rates.tdr > 0.5, "most campaign domains detected");
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use earlybird_core as core;
+pub use earlybird_eval as eval;
+pub use earlybird_features as features;
+pub use earlybird_intel as intel;
+pub use earlybird_logmodel as logmodel;
+pub use earlybird_pipeline as pipeline;
+pub use earlybird_synthgen as synthgen;
+pub use earlybird_timing as timing;

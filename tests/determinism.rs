@@ -1,0 +1,93 @@
+//! Determinism and reproducibility: identical seeds produce identical
+//! datasets, detections, and experiment outputs; different seeds differ.
+
+use earlybird::core::{belief_propagation, BpConfig, CcDetector, Seeds, SimScorer};
+use earlybird::eval::lanl::LanlRun;
+use earlybird::synthgen::ac::{AcConfig, AcGenerator};
+use earlybird::synthgen::lanl::{ChallengeCase, LanlConfig, LanlGenerator};
+
+#[test]
+fn lanl_generation_is_reproducible() {
+    let a = LanlGenerator::new(LanlConfig::tiny()).generate();
+    let b = LanlGenerator::new(LanlConfig::tiny()).generate();
+    assert_eq!(a.dataset.total_queries(), b.dataset.total_queries());
+    for (da, db) in a.dataset.days.iter().zip(&b.dataset.days) {
+        assert_eq!(da.queries.len(), db.queries.len(), "{:?}", da.day);
+    }
+    for (ca, cb) in a.campaigns.iter().zip(&b.campaigns) {
+        assert_eq!(ca.plan.victims, cb.plan.victims);
+        assert_eq!(ca.answer_domains(), cb.answer_domains());
+    }
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a = LanlGenerator::new(LanlConfig::tiny()).generate();
+    let mut cfg = LanlConfig::tiny();
+    cfg.seed = 99;
+    let b = LanlGenerator::new(cfg).generate();
+    let a_domains: Vec<_> = a.campaigns[0].answer_domains().iter().map(|s| s.to_string()).collect();
+    let b_domains: Vec<_> = b.campaigns[0].answer_domains().iter().map(|s| s.to_string()).collect();
+    assert_ne!(a_domains, b_domains, "campaign infrastructure must depend on the seed");
+}
+
+#[test]
+fn ac_generation_is_reproducible() {
+    let a = AcGenerator::new(AcConfig::tiny()).generate();
+    let b = AcGenerator::new(AcConfig::tiny()).generate();
+    assert_eq!(a.dataset.total_records(), b.dataset.total_records());
+    assert_eq!(a.intel.ioc.len(), b.intel.ioc.len());
+    let day = a.config.feb_day(10);
+    let ra = &a.dataset.day(day).unwrap().records;
+    let rb = &b.dataset.day(day).unwrap().records;
+    for (x, y) in ra.iter().zip(rb) {
+        assert_eq!(x.ts_local, y.ts_local);
+        assert_eq!(x.src_ip, y.src_ip);
+        assert_eq!(x.dest_ip, y.dest_ip);
+    }
+}
+
+#[test]
+fn detection_results_are_reproducible() {
+    let challenge = LanlGenerator::new(LanlConfig::tiny()).generate();
+    let run1 = LanlRun::new(&challenge);
+    let run2 = LanlRun::new(&challenge);
+    let (t1, _) = run1.table3();
+    let (t2, _) = run2.table3();
+    assert_eq!(t1.total(), t2.total());
+    assert_eq!(t1.rows.len(), t2.rows.len());
+    for (a, b) in t1.rows.iter().zip(&t2.rows) {
+        assert_eq!(a, b);
+    }
+}
+
+#[test]
+fn bp_outcome_is_order_independent_of_seed_host_listing() {
+    // Seeds given in different orders must label the same community.
+    let challenge = LanlGenerator::new(LanlConfig::tiny()).generate();
+    let run = LanlRun::new(&challenge);
+    let campaign = challenge
+        .campaigns
+        .iter()
+        .find(|c| c.case == ChallengeCase::Two)
+        .expect("case 2 exists");
+    let product = &run.products()[&campaign.day];
+    let ctx = product.context(None, (0.0, 0.0));
+    let cc = CcDetector::lanl_default();
+    let sim = SimScorer::lanl_default();
+
+    let forward = Seeds::from_hosts(campaign.hint_hosts.iter().copied());
+    let mut reversed_hosts = campaign.hint_hosts.clone();
+    reversed_hosts.reverse();
+    let reversed = Seeds::from_hosts(reversed_hosts);
+
+    let out1 = belief_propagation(&ctx, Some(&cc), &sim, &forward, &BpConfig::lanl_default());
+    let out2 = belief_propagation(&ctx, Some(&cc), &sim, &reversed, &BpConfig::lanl_default());
+
+    let mut d1: Vec<u32> = out1.labeled.iter().map(|d| d.domain.raw()).collect();
+    let mut d2: Vec<u32> = out2.labeled.iter().map(|d| d.domain.raw()).collect();
+    d1.sort_unstable();
+    d2.sort_unstable();
+    assert_eq!(d1, d2);
+    assert_eq!(out1.compromised_hosts, out2.compromised_hosts);
+}

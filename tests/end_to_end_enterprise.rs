@@ -1,0 +1,143 @@
+//! End-to-end integration on the enterprise (AC) dataset: training the
+//! regression models, the Fig. 5/6 sweeps, and the case-study communities.
+
+use earlybird::eval::AcHarness;
+use earlybird::intel::DetectionCategory;
+use earlybird::synthgen::ac::{AcCampaignKind, AcConfig, AcGenerator};
+use std::sync::OnceLock;
+
+/// The harness is expensive to build (full two-month pipeline + training),
+/// so all tests share one instance.
+fn harness() -> &'static AcHarness<'static> {
+    static HARNESS: OnceLock<AcHarness<'static>> = OnceLock::new();
+    HARNESS.get_or_init(|| {
+        let world = Box::leak(Box::new(AcGenerator::new(AcConfig::small()).generate()));
+        AcHarness::build(world).expect("training population suffices")
+    })
+}
+
+#[test]
+fn enterprise_harness_trains_and_scores() {
+    let harness = harness();
+
+    // Fig. 5: the score distributions must separate — reported automated
+    // domains score higher than legitimate ones on average.
+    let fig5 = harness.figure5();
+    assert!(fig5.reported.len() >= 10, "reported population: {}", fig5.reported.len());
+    assert!(fig5.legitimate.len() >= 10);
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    assert!(
+        mean(&fig5.reported) > mean(&fig5.legitimate) + 0.1,
+        "reported {:.3} vs legitimate {:.3}",
+        mean(&fig5.reported),
+        mean(&fig5.legitimate)
+    );
+}
+
+#[test]
+fn figure6a_tradeoff_shape() {
+    let harness = harness();
+    let rows = harness.figure6a(&[0.4, 0.42, 0.44, 0.45, 0.46, 0.48]);
+    assert_eq!(rows.len(), 6);
+    // Raising the threshold shrinks the detection set...
+    for pair in rows.windows(2) {
+        assert!(pair[0].total() >= pair[1].total());
+    }
+    // ...and the paper's headline shape: at 0.4 the TDR is already well
+    // above chance and detections exist.
+    assert!(rows[0].total() > 10, "C&C detections at 0.4: {}", rows[0].total());
+    assert!(rows[0].tdr() > 0.6, "TDR at 0.4: {:.3}", rows[0].tdr());
+    // New discoveries exist (the DGA clusters are VT-invisible).
+    assert!(rows[0].new_malicious > 0);
+}
+
+#[test]
+fn figure6b_no_hint_mode_expands_cc_seeds() {
+    let harness = harness();
+    let rows = harness.figure6b(0.4, &[0.33, 0.5, 0.65, 0.75, 0.85]);
+    for pair in rows.windows(2) {
+        assert!(
+            pair[0].total() >= pair[1].total(),
+            "larger T_s cannot detect more: {pair:?}"
+        );
+    }
+    let cc_only = harness.figure6a(&[0.4]);
+    assert!(
+        rows[0].total() > cc_only[0].total(),
+        "BP at T_s=0.33 ({}) must expand beyond the C&C seeds ({})",
+        rows[0].total(),
+        cc_only[0].total()
+    );
+    assert!(rows[0].tdr() > 0.6, "no-hint TDR at 0.33: {:.3}", rows[0].tdr());
+    assert!(rows[0].ndr() > 0.0, "new discoveries expected");
+}
+
+#[test]
+fn figure6c_soc_hints_mode_finds_related_domains() {
+    let harness = harness();
+    let rows = harness.figure6c(&[0.33, 0.37, 0.4, 0.41, 0.45]);
+    for pair in rows.windows(2) {
+        assert!(pair[0].total() >= pair[1].total());
+    }
+    assert!(rows[0].total() > 0, "IOC seeds must lead to detections");
+    assert!(rows[0].tdr() > 0.6, "SOC-hints TDR at 0.33: {:.3}", rows[0].tdr());
+}
+
+#[test]
+fn fig8_case_study_discovers_org_cluster() {
+    let harness = harness();
+    let soc = harness.world()
+        .campaigns
+        .iter()
+        .find(|c| c.kind == AcCampaignKind::SocCluster)
+        .expect("pinned on 2/10");
+    let study = harness.case_study_hints(soc.feb_day, 0.33).expect("day processed");
+    // The seeded C&C must pull in at least part of the .org second stage.
+    let org_hits = study
+        .domains
+        .iter()
+        .filter(|(name, _, _, _)| name.ends_with(".org"))
+        .count();
+    assert!(org_hits >= 2, "expected .org cluster members, got {:?}", study.domains);
+    assert!(study.host_count >= 1);
+    assert!(study.dot.contains("digraph"));
+}
+
+#[test]
+fn fig7_case_study_no_hint_community() {
+    let harness = harness();
+    let pair = harness.world()
+        .campaigns
+        .iter()
+        .find(|c| c.kind == AcCampaignKind::BeaconPair)
+        .expect("pinned on 2/13");
+    let study = harness.case_study_nohint(pair.feb_day, 0.4, 0.33).expect("day processed");
+    let campaign_hits = study
+        .domains
+        .iter()
+        .filter(|(name, _, _, _)| pair.plan.domain_names().any(|d| d == name.as_str()))
+        .count();
+    assert!(
+        campaign_hits >= 2,
+        "no-hint community must contain the beacon pair campaign: {:?}",
+        study.domains
+    );
+}
+
+#[test]
+fn dga_clusters_are_new_discoveries() {
+    let harness = harness();
+    // Every DGA domain the harness would ever report must categorize as a
+    // new discovery (VT never reports them).
+    for c in harness.world().campaigns.iter().filter(|c| {
+        matches!(c.kind, AcCampaignKind::DgaShort | AcCampaignKind::DgaHex)
+    }) {
+        for name in c.plan.domain_names() {
+            assert_eq!(
+                harness.categorize(name),
+                DetectionCategory::NewMalicious,
+                "{name} must be a new discovery"
+            );
+        }
+    }
+}

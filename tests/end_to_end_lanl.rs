@@ -1,0 +1,143 @@
+//! End-to-end integration: generate the synthetic LANL challenge, run the
+//! full pipeline + belief propagation, and check the paper's qualitative
+//! results — high TDR, low FDR/FNR across all four hint cases (Table III).
+
+use earlybird::eval::lanl::{table2_grid, LanlRun};
+use earlybird::synthgen::lanl::{ChallengeCase, LanlConfig, LanlGenerator};
+use std::sync::OnceLock;
+
+/// Generation plus the month-long pipeline run are expensive; all tests
+/// share one completed run.
+fn shared_run() -> &'static LanlRun<'static> {
+    static RUN: OnceLock<LanlRun<'static>> = OnceLock::new();
+    RUN.get_or_init(|| {
+        let challenge = Box::leak(Box::new(LanlGenerator::new(LanlConfig::small()).generate()));
+        LanlRun::new(challenge)
+    })
+}
+
+#[test]
+fn lanl_challenge_detection_quality() {
+    let run = shared_run();
+    let (table3, results) = run.table3();
+
+    let rates = table3.overall_rates();
+    assert!(
+        rates.tdr >= 0.9,
+        "paper: 98.33% TDR; shape requires >= 90%, got {:.4}",
+        rates.tdr
+    );
+    assert!(rates.fdr <= 0.1, "paper: 1.67% FDR, got {:.4}", rates.fdr);
+    assert!(rates.fnr <= 0.15, "paper: 6.35% FNR, got {:.4}", rates.fnr);
+
+    // Every case must produce at least some detections.
+    for case in [ChallengeCase::One, ChallengeCase::Two, ChallengeCase::Three, ChallengeCase::Four] {
+        let tp: usize = results
+            .iter()
+            .filter(|r| r.case == case)
+            .map(|r| r.true_positives)
+            .sum();
+        assert!(tp > 0, "case {case:?} found nothing");
+    }
+}
+
+#[test]
+fn lanl_case3_discovers_other_compromised_hosts() {
+    let run = shared_run();
+    let challenge = run.challenge();
+    let mut any_expansion = false;
+    for campaign in challenge.campaigns.iter().filter(|c| c.case == ChallengeCase::Three) {
+        let result = run.evaluate_campaign(campaign);
+        // Case 3 starts from a single hint host; campaigns have >= 2
+        // victims, so host expansion must discover the rest.
+        let discovered: Vec<_> = result
+            .outcome
+            .compromised_hosts
+            .iter()
+            .filter(|h| !campaign.hint_hosts.contains(h))
+            .collect();
+        if !discovered.is_empty() {
+            any_expansion = true;
+        }
+        // All discovered hosts must be actual victims (no innocent hosts).
+        for host in &result.outcome.compromised_hosts {
+            assert!(
+                campaign.plan.victims.contains(host) || campaign.hint_hosts.contains(host),
+                "host {host} wrongly marked compromised on 3/{}",
+                campaign.march_day
+            );
+        }
+    }
+    assert!(any_expansion, "case 3 must discover non-hint victims");
+}
+
+#[test]
+fn lanl_figure2_series_shape() {
+    let run = shared_run();
+    let rows = run.figure2(4, 10);
+    assert!(!rows.is_empty());
+    for r in &rows {
+        // The Fig. 2 ordering: All >= filter-internal >= filter-servers
+        // >= new >= rare.
+        assert!(r.all >= r.filter_internal, "{r:?}");
+        assert!(r.filter_internal >= r.filter_servers, "{r:?}");
+        assert!(r.filter_servers >= r.new_destinations, "{r:?}");
+        assert!(r.new_destinations >= r.rare_destinations, "{r:?}");
+        assert!(r.rare_destinations > 0, "fresh domains appear daily: {r:?}");
+    }
+}
+
+#[test]
+fn lanl_table2_monotonicity() {
+    let run = shared_run();
+    let rows = run.table2(&table2_grid());
+    assert_eq!(rows.len(), 10);
+
+    // Fixing W, a larger J_T admits at least as many pairs (of every kind).
+    for w in [5u64, 10, 20] {
+        let mut of_w: Vec<_> = rows.iter().filter(|r| r.bin_width == w).collect();
+        of_w.sort_by(|a, b| a.jt.partial_cmp(&b.jt).unwrap());
+        for pair in of_w.windows(2) {
+            assert!(pair[0].all_pairs_testing <= pair[1].all_pairs_testing);
+            assert!(pair[0].malicious_pairs_training <= pair[1].malicious_pairs_training);
+            assert!(pair[0].malicious_pairs_testing <= pair[1].malicious_pairs_testing);
+        }
+    }
+
+    // The paper's chosen operating point (W=10, JT=0.06) captures all
+    // malicious beacon pairs of the simulation.
+    let chosen = rows.iter().find(|r| r.bin_width == 10 && (r.jt - 0.06).abs() < 1e-9).unwrap();
+    let max_train = rows.iter().map(|r| r.malicious_pairs_training).max().unwrap();
+    let max_test = rows.iter().map(|r| r.malicious_pairs_testing).max().unwrap();
+    assert_eq!(chosen.malicious_pairs_training, max_train, "W=10/JT=0.06 captures training beacons");
+    assert_eq!(chosen.malicious_pairs_testing, max_test, "W=10/JT=0.06 captures testing beacons");
+}
+
+#[test]
+fn lanl_figure3_malicious_gaps_are_shorter() {
+    let run = shared_run();
+    let fig3 = run.figure3();
+    assert!(!fig3.malicious_malicious.is_empty());
+    assert!(!fig3.malicious_legitimate.is_empty());
+    let mm_below = earlybird::eval::lanl::Fig3Data::fraction_below(&fig3.malicious_malicious, 160.0);
+    let ml_below = earlybird::eval::lanl::Fig3Data::fraction_below(&fig3.malicious_legitimate, 160.0);
+    // Paper: 56% of malicious-malicious gaps < 160 s vs 3.8% for
+    // malicious-legitimate. Require the qualitative separation.
+    assert!(
+        mm_below > 2.0 * ml_below,
+        "mal-mal {mm_below:.3} must dominate mal-legit {ml_below:.3}"
+    );
+    assert!(mm_below > 0.5, "burst visits are close in time: {mm_below:.3}");
+}
+
+#[test]
+fn lanl_figure4_trace_is_reconstructible() {
+    let run = shared_run();
+    let result = run.figure4(19).expect("3/19 hosts a case-3 campaign");
+    assert!(result.true_positives > 0);
+    // The trace must show iteration-by-iteration provenance.
+    assert!(!result.outcome.iterations.is_empty());
+    let first = &result.outcome.iterations[0];
+    assert_eq!(first.iteration, 1);
+    assert!(!first.labeled.is_empty(), "iteration 1 labels the C&C domain");
+}

@@ -1,0 +1,164 @@
+//! Cross-crate property-based tests: invariants that must hold for *any*
+//! traffic, not just the synthetic scenarios.
+
+use earlybird::core::{belief_propagation, BpConfig, CcDetector, DayContext, Seeds, SimScorer};
+use earlybird::logmodel::{Day, DomainInterner, HostId, Ipv4, Timestamp};
+use earlybird::pipeline::{Contact, DayIndex, DomainHistory, RareSieve};
+use earlybird::logmodel::{format_dns_line, parse_dns_line, DnsQuery, DnsRecordType, HostMapper};
+use earlybird::timing::{dynamic_bins, intervals_of, AutomationDetector};
+use proptest::prelude::*;
+
+/// Random small traffic days: up to 12 hosts x 16 domains x ~200 contacts.
+fn arb_contacts() -> impl Strategy<Value = Vec<(u64, u32, u8)>> {
+    proptest::collection::vec((0u64..86_400, 0u32..12, 0u8..16), 1..200)
+}
+
+fn build_day(raw: &[(u64, u32, u8)]) -> (DomainInterner, Vec<Contact>) {
+    let folded = DomainInterner::new();
+    let mut contacts: Vec<Contact> = raw
+        .iter()
+        .map(|&(ts, host, dom)| Contact {
+            ts: Timestamp::from_secs(ts),
+            host: HostId::new(host),
+            domain: folded.intern(&format!("d{dom}.example")),
+            dest_ip: Some(Ipv4::new(50, dom, dom, 1)),
+            http: None,
+        })
+        .collect();
+    contacts.sort_by_key(|c| c.ts);
+    (folded, contacts)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The index is a faithful bipartite view of the contacts.
+    #[test]
+    fn index_is_consistent_with_contacts(raw in arb_contacts()) {
+        let (folded, contacts) = build_day(&raw);
+        let rare = RareSieve::paper_default().extract(&contacts, &DomainHistory::new());
+        let index = DayIndex::build(Day::new(0), &contacts, rare, None);
+
+        for c in &contacts {
+            // Every contact's host appears in its domain's host set.
+            prop_assert!(index.hosts_of(c.domain).unwrap().contains(&c.host));
+            // First contact is never later than any contact.
+            prop_assert!(index.first_contact(c.host, c.domain).unwrap() <= c.ts);
+        }
+        // Connectivity sums match: every rare edge appears in both maps.
+        for dom in index.rare_domains() {
+            for host in index.hosts_of(dom).unwrap() {
+                prop_assert!(index.rare_domains_of(*host).unwrap().contains(&dom));
+                let series = index.beacon_series(*host, dom).unwrap();
+                prop_assert!(series.windows(2).all(|w| w[0] <= w[1]));
+            }
+        }
+        let _ = folded;
+    }
+
+    /// Belief propagation only ever labels rare domains (plus the seeds),
+    /// never shrinks the seed sets, and terminates within the cap.
+    #[test]
+    fn bp_invariants(raw in arb_contacts(), seed_host in 0u32..12) {
+        let (folded, contacts) = build_day(&raw);
+        let rare = RareSieve::paper_default().extract(&contacts, &DomainHistory::new());
+        let index = DayIndex::build(Day::new(0), &contacts, rare, None);
+        let ctx = DayContext {
+            day: Day::new(0),
+            index: &index,
+            folded: &folded,
+            whois: None,
+            whois_defaults: (0.0, 0.0),
+        };
+        let cc = CcDetector::lanl_default();
+        let sim = SimScorer::lanl_default();
+        let seeds = Seeds::from_hosts([HostId::new(seed_host)]);
+        let cfg = BpConfig { max_iterations: 6 };
+        let out = belief_propagation(&ctx, Some(&cc), &sim, &seeds, &cfg);
+
+        prop_assert!(out.iterations.len() <= cfg.max_iterations);
+        for d in &out.labeled {
+            // Everything labeled (non-seed) must be rare today.
+            prop_assert!(index.is_rare(d.domain), "labeled domain must be rare");
+        }
+        for h in &seeds.hosts {
+            prop_assert!(out.compromised_hosts.contains(h), "seed hosts stay compromised");
+        }
+        // Labeled domains are unique.
+        let mut syms: Vec<u32> = out.labeled.iter().map(|d| d.domain.raw()).collect();
+        syms.sort_unstable();
+        let before = syms.len();
+        syms.dedup();
+        prop_assert_eq!(before, syms.len());
+    }
+
+    /// Dynamic bins conserve mass and keep hubs within distance of members.
+    #[test]
+    fn dynamic_bins_conserve_mass(intervals in proptest::collection::vec(0u64..10_000, 0..200), w in 0u64..60) {
+        let bins = dynamic_bins(&intervals, w);
+        let total: u64 = bins.iter().map(|b| b.count).sum();
+        prop_assert_eq!(total, intervals.len() as u64);
+        // Hubs are distinct beyond the bin width only when later intervals
+        // founded them; at minimum every hub is a real interval value.
+        for b in &bins {
+            prop_assert!(intervals.contains(&b.hub));
+        }
+    }
+
+    /// The automation detector never fires on fewer than min connections
+    /// and is shift-invariant.
+    #[test]
+    fn detector_shift_invariance(times in proptest::collection::vec(0u64..86_000, 2..40), shift in 0u64..1_000_000) {
+        let mut t = times.clone();
+        t.sort_unstable();
+        let base: Vec<Timestamp> = t.iter().map(|&s| Timestamp::from_secs(s)).collect();
+        let shifted: Vec<Timestamp> = t.iter().map(|&s| Timestamp::from_secs(s + shift)).collect();
+        let det = AutomationDetector::paper_default();
+        prop_assert_eq!(det.evaluate(&base), det.evaluate(&shifted));
+        if base.len() < det.min_connections() {
+            prop_assert!(det.evaluate(&base).is_none());
+        }
+        // Intervals are preserved under shift.
+        prop_assert_eq!(intervals_of(&base), intervals_of(&shifted));
+    }
+
+    /// The DNS log codec round-trips arbitrary well-formed records.
+    #[test]
+    fn dns_codec_roundtrip(
+        ts in 0u64..10_000_000,
+        ip_bits in proptest::num::u32::ANY,
+        dom in 0u8..50,
+        qtype_idx in 0usize..7,
+        answer_bits in proptest::option::of(proptest::num::u32::ANY),
+    ) {
+        let domains = DomainInterner::new();
+        let mut hosts = HostMapper::new();
+        let src_ip = Ipv4::from_bits(ip_bits);
+        let original = DnsQuery {
+            ts: Timestamp::from_secs(ts),
+            src: hosts.host_for(src_ip),
+            src_ip,
+            qname: domains.intern(&format!("d{dom}.example.com")),
+            qtype: DnsRecordType::ALL[qtype_idx],
+            answer: answer_bits.map(Ipv4::from_bits),
+        };
+        let line = format_dns_line(&original, &domains);
+        let parsed = parse_dns_line(&line, &domains, &mut hosts).expect("own output parses");
+        prop_assert_eq!(parsed, original);
+    }
+
+    /// Rare extraction never returns domains above the host threshold or
+    /// domains already in the history.
+    #[test]
+    fn rare_sieve_bounds(raw in arb_contacts(), known in 0u8..16) {
+        let (folded, contacts) = build_day(&raw);
+        let mut history = DomainHistory::new();
+        history.update_domains([folded.intern(&format!("d{known}.example"))]);
+        let rare = RareSieve::new(4).extract(&contacts, &history);
+        for dom in rare.iter() {
+            prop_assert!(rare.hosts_of(dom).unwrap().len() < 4);
+            prop_assert!(history.is_new(dom));
+        }
+        prop_assert!(rare.new_count() >= rare.len());
+    }
+}
