@@ -1,8 +1,9 @@
-//! Benchmarks of Algorithm 1: belief propagation in both modes, plus the
-//! threshold-sweep ablation (how `T_s` changes work done per day).
+//! Benchmarks of Algorithm 1 through the Engine facade: belief propagation
+//! in both modes, plus the threshold-sweep ablation (how `T_s` changes work
+//! done per day).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use earlybird_core::{belief_propagation, BpConfig, CcDetector, Seeds, SimScorer};
+use earlybird_engine::Investigation;
 use earlybird_eval::lanl::LanlRun;
 use earlybird_synthgen::lanl::ChallengeCase;
 
@@ -19,29 +20,22 @@ fn bench_bp_modes(c: &mut Criterion) {
         .iter()
         .find(|k| k.case == ChallengeCase::Four)
         .expect("schedule has case 4");
-    let cc = CcDetector::lanl_default();
-    let sim = SimScorer::lanl_default();
+    let engine = run.engine();
 
     let mut group = c.benchmark_group("belief_propagation");
-    {
-        let product = &run.products()[&case3.day];
-        let ctx = product.context(None, (0.0, 0.0));
-        let seeds = Seeds::from_hosts(case3.hint_hosts.iter().copied());
-        group.bench_function("soc_hints_case3_day", |b| {
-            b.iter(|| belief_propagation(&ctx, Some(&cc), &sim, &seeds, &BpConfig::lanl_default()))
-        });
-    }
-    {
-        let product = &run.products()[&case4.day];
-        let ctx = product.context(None, (0.0, 0.0));
-        group.bench_function("no_hint_case4_day_incl_cc_pass", |b| {
-            b.iter(|| {
-                let detections = cc.detect_all(&ctx);
-                let seeds = Seeds::from_domains_with_hosts(&ctx, detections.iter().map(|d| d.domain));
-                belief_propagation(&ctx, Some(&cc), &sim, &seeds, &BpConfig::lanl_default())
-            })
-        });
-    }
+    group.bench_function("soc_hints_case3_day", |b| {
+        b.iter(|| {
+            engine
+                .investigate(
+                    case3.day,
+                    Investigation::from_hint_hosts(case3.hint_hosts.iter().copied()),
+                )
+                .expect("retained day")
+        })
+    });
+    group.bench_function("no_hint_case4_day_incl_cc_pass", |b| {
+        b.iter(|| engine.investigate(case4.day, Investigation::no_hint()).expect("retained day"))
+    });
     group.finish();
 }
 
@@ -54,17 +48,20 @@ fn bench_bp_threshold_sweep(c: &mut Criterion) {
         .iter()
         .find(|k| k.case == ChallengeCase::Three)
         .expect("schedule has case 3");
-    let product = &run.products()[&case3.day];
-    let ctx = product.context(None, (0.0, 0.0));
-    let cc = CcDetector::lanl_default();
-    let seeds = Seeds::from_hosts(case3.hint_hosts.iter().copied());
+    let engine = run.engine();
 
     let mut group = c.benchmark_group("bp_threshold_sweep");
     for ts in [0.15f64, 0.25, 0.5] {
-        let mut sim = SimScorer::lanl_default();
-        sim.set_threshold(ts);
         group.bench_function(format!("ts_{ts}"), |b| {
-            b.iter(|| belief_propagation(&ctx, Some(&cc), &sim, &seeds, &BpConfig::lanl_default()))
+            b.iter(|| {
+                engine
+                    .investigate(
+                        case3.day,
+                        Investigation::from_hint_hosts(case3.hint_hosts.iter().copied())
+                            .sim_threshold(ts),
+                    )
+                    .expect("retained day")
+            })
         });
     }
     group.finish();
@@ -79,10 +76,10 @@ fn bench_cc_daily_pass(c: &mut Criterion) {
         .iter()
         .find(|k| k.case == ChallengeCase::Four)
         .expect("schedule has case 4");
-    let product = &run.products()[&case4.day];
-    let ctx = product.context(None, (0.0, 0.0));
-    let cc = CcDetector::lanl_default();
-    c.bench_function("cc_detect_all_rare_domains", |b| b.iter(|| cc.detect_all(&ctx)));
+    let engine = run.engine();
+    c.bench_function("cc_score_all_rare_domains", |b| {
+        b.iter(|| engine.cc_scores(case4.day).expect("retained day"))
+    });
 }
 
 criterion_group! {

@@ -13,7 +13,8 @@ fn beacon_series(n: u64, period: u64, jitter: u64, seed: u64) -> Vec<Timestamp> 
     (0..n)
         .map(|_| {
             let out = Timestamp::from_secs(t as u64);
-            let j = if jitter == 0 { 0 } else { rng.gen_range(0..=2 * jitter) as i64 - jitter as i64 };
+            let j =
+                if jitter == 0 { 0 } else { rng.gen_range(0..=2 * jitter) as i64 - jitter as i64 };
             t += period as i64 + j;
             out
         })
@@ -43,7 +44,7 @@ fn bench_detector_ablation(c: &mut Criterion) {
     // the assertions document the accuracy difference.
     let mut series = beacon_series(40, 600, 0, 3);
     for t in series.iter_mut().skip(20) {
-        *t = *t + 4_000;
+        *t += 4_000;
     }
     let dynamic = AutomationDetector::paper_default();
     let stddev = StdDevDetector::new(30.0, 4);

@@ -1,0 +1,99 @@
+//! End-to-end `Engine::ingest_day` throughput (records/sec): the baseline
+//! later perf PRs are measured against. Covers both dataset scales
+//! (`LanlConfig::tiny()` and the benchmark-scale small config), both
+//! sources (DNS and proxy), and sequential vs sharded C&C scoring.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use earlybird_engine::{DayBatch, Engine, EngineBuilder};
+use earlybird_synthgen::lanl::{LanlConfig, LanlGenerator};
+use std::sync::Arc;
+
+fn lanl_engine(challenge: &earlybird_synthgen::lanl::LanlChallenge, workers: usize) -> Engine {
+    let mut engine = EngineBuilder::lanl()
+        .parallelism(workers)
+        .parallel_threshold(if workers > 1 { 1 } else { 512 })
+        .build(Arc::clone(&challenge.dataset.domains), challenge.dataset.meta.clone())
+        .expect("valid config");
+    // Warm the profiles with one bootstrap day so the rare sieve and
+    // history lookups do representative work.
+    engine.ingest_day(DayBatch::Dns(&challenge.dataset.days[0]));
+    engine
+}
+
+fn bench_dns_ingest(c: &mut Criterion) {
+    let scales: [(&str, earlybird_synthgen::lanl::LanlChallenge); 2] = [
+        ("lanl_tiny", LanlGenerator::new(LanlConfig::tiny()).generate()),
+        ("lanl_small", earlybird_bench::lanl_world()),
+    ];
+    for (label, challenge) in &scales {
+        let day = challenge
+            .dataset
+            .day(challenge.dataset.meta.first_operation_day())
+            .expect("operation day exists")
+            .clone();
+        let mut group = c.benchmark_group(format!("engine_ingest/{label}"));
+        group.throughput(Throughput::Elements(day.queries.len() as u64));
+        group.bench_function("dns_day", |b| {
+            b.iter_batched(
+                || lanl_engine(challenge, 4),
+                |mut engine| engine.ingest_day(DayBatch::Dns(&day)),
+                BatchSize::LargeInput,
+            )
+        });
+        group.finish();
+    }
+}
+
+fn bench_proxy_ingest(c: &mut Criterion) {
+    let world = earlybird_bench::ac_world();
+    let day = world
+        .dataset
+        .day(world.dataset.meta.first_operation_day())
+        .expect("operation day exists")
+        .clone();
+    let mut group = c.benchmark_group("engine_ingest/ac_small");
+    group.throughput(Throughput::Elements(day.records.len() as u64));
+    group.bench_function("proxy_day", |b| {
+        b.iter_batched(
+            || {
+                let mut engine = EngineBuilder::enterprise()
+                    .build(Arc::clone(&world.dataset.domains), world.dataset.meta.clone())
+                    .expect("valid config");
+                engine.ingest_day(DayBatch::Proxy {
+                    day: &world.dataset.days[0],
+                    dhcp: &world.dataset.dhcp,
+                });
+                engine
+            },
+            |mut engine| {
+                engine.ingest_day(DayBatch::Proxy { day: &day, dhcp: &world.dataset.dhcp })
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_scoring_parallelism(c: &mut Criterion) {
+    // Sequential vs sharded C&C scoring on the same retained day.
+    let challenge = earlybird_bench::lanl_world();
+    let day = challenge.dataset.meta.first_operation_day();
+    for workers in [1usize, 4] {
+        let mut engine = lanl_engine(&challenge, workers);
+        let batch = challenge.dataset.day(day).expect("operation day exists");
+        engine.ingest_day(DayBatch::Dns(batch));
+        let mut group = c.benchmark_group(format!("engine_cc_scoring/workers_{workers}"));
+        group.throughput(Throughput::Elements(batch.queries.len() as u64));
+        group.bench_function("rescore_day", |b| {
+            b.iter(|| engine.cc_scores(day).expect("retained day"))
+        });
+        group.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_dns_ingest, bench_proxy_ingest, bench_scoring_parallelism
+}
+criterion_main!(benches);

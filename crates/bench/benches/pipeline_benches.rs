@@ -1,29 +1,29 @@
 //! Throughput benchmarks for the data-reduction pipeline (the Fig. 2
-//! machinery): normalization, reduction, rare extraction, and indexing.
+//! machinery) driven through the Engine facade: normalization, reduction,
+//! rare extraction, and indexing.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use earlybird_core::{DailyPipeline, PipelineConfig};
+use earlybird_core::PipelineConfig;
+use earlybird_engine::{DayBatch, EngineBuilder};
 use earlybird_logmodel::Day;
 use std::sync::Arc;
 
 fn bench_reduction(c: &mut Criterion) {
     let challenge = earlybird_bench::lanl_world();
-    let meta = &challenge.dataset.meta;
     let day = challenge.dataset.day(Day::new(32)).unwrap().clone();
 
     c.bench_function("dns_day_reduce_and_index", |b| {
         b.iter_batched(
             || {
-                let mut p = DailyPipeline::new(
-                    Arc::clone(&challenge.dataset.domains),
-                    PipelineConfig::lanl(),
-                );
+                let mut engine = EngineBuilder::lanl()
+                    .build(Arc::clone(&challenge.dataset.domains), challenge.dataset.meta.clone())
+                    .expect("valid config");
                 // Warm the history with one bootstrap day so the rare sieve
                 // does non-trivial work.
-                p.bootstrap_dns_day(&challenge.dataset.days[0], meta);
-                p
+                engine.ingest_day(DayBatch::Dns(&challenge.dataset.days[0]));
+                engine
             },
-            |mut p| p.process_dns_day(&day, meta),
+            |mut engine| engine.ingest_day(DayBatch::Dns(&day)),
             BatchSize::LargeInput,
         )
     });
@@ -31,20 +31,23 @@ fn bench_reduction(c: &mut Criterion) {
 
 fn bench_proxy_day(c: &mut Criterion) {
     let world = earlybird_bench::ac_world();
-    let meta = &world.dataset.meta;
     let day = world.dataset.day(Day::new(40)).unwrap().clone();
 
     c.bench_function("proxy_day_normalize_reduce_index", |b| {
         b.iter_batched(
             || {
-                let mut p = DailyPipeline::new(
-                    Arc::clone(&world.dataset.domains),
-                    PipelineConfig::enterprise(),
-                );
-                p.bootstrap_proxy_day(&world.dataset.days[0], &world.dataset.dhcp, meta);
-                p
+                let mut engine = EngineBuilder::enterprise()
+                    .build(Arc::clone(&world.dataset.domains), world.dataset.meta.clone())
+                    .expect("valid config");
+                engine.ingest_day(DayBatch::Proxy {
+                    day: &world.dataset.days[0],
+                    dhcp: &world.dataset.dhcp,
+                });
+                engine
             },
-            |mut p| p.process_proxy_day(&day, &world.dataset.dhcp, meta),
+            |mut engine| {
+                engine.ingest_day(DayBatch::Proxy { day: &day, dhcp: &world.dataset.dhcp })
+            },
             BatchSize::LargeInput,
         )
     });
@@ -54,19 +57,21 @@ fn bench_fold_level(c: &mut Criterion) {
     // Ablation: folding depth changes how many distinct entities the
     // history tracks.
     let challenge = earlybird_bench::lanl_world();
-    let meta = &challenge.dataset.meta;
     let day = challenge.dataset.day(Day::new(30)).unwrap().clone();
     let mut group = c.benchmark_group("fold_level_ablation");
     for level in [2usize, 3] {
         group.bench_function(format!("fold_to_{level}"), |b| {
             b.iter_batched(
                 || {
-                    DailyPipeline::new(
-                        Arc::clone(&challenge.dataset.domains),
-                        PipelineConfig { fold_level: level, ..PipelineConfig::lanl() },
-                    )
+                    EngineBuilder::lanl()
+                        .pipeline(PipelineConfig { fold_level: level, ..PipelineConfig::lanl() })
+                        .build(
+                            Arc::clone(&challenge.dataset.domains),
+                            challenge.dataset.meta.clone(),
+                        )
+                        .expect("valid config")
                 },
-                |mut p| p.process_dns_day(&day, meta),
+                |mut engine| engine.ingest_day(DayBatch::Dns(&day)),
                 BatchSize::LargeInput,
             )
         });

@@ -27,11 +27,8 @@ fn main() {
     if let Some(dir) = &json_dir {
         std::fs::create_dir_all(dir).expect("create JSON output dir");
     }
-    let consumed_by_json: Vec<usize> = args
-        .iter()
-        .position(|a| a == "--json")
-        .map(|i| vec![i, i + 1])
-        .unwrap_or_default();
+    let consumed_by_json: Vec<usize> =
+        args.iter().position(|a| a == "--json").map(|i| vec![i, i + 1]).unwrap_or_default();
     let wanted: Vec<&str> = args
         .iter()
         .enumerate()
@@ -45,12 +42,14 @@ fn main() {
         }
     };
 
-    let lanl_needed = ["table1", "table2", "table3", "fig2", "fig3", "fig4"].iter().any(|e| want(e));
+    let lanl_needed =
+        ["table1", "table2", "table3", "fig2", "fig3", "fig4"].iter().any(|e| want(e));
     if want("evasion") {
         let rows = evasion();
         dump("evasion", &rows);
     }
-    let ac_needed = ["fig5", "fig6a", "fig6b", "fig6c", "fig7", "fig8", "regression"].iter().any(|e| want(e));
+    let ac_needed =
+        ["fig5", "fig6a", "fig6b", "fig6c", "fig7", "fig8", "regression"].iter().any(|e| want(e));
 
     if want("table1") {
         table1();
@@ -58,7 +57,8 @@ fn main() {
 
     if lanl_needed {
         eprintln!("[experiments] generating LANL dataset...");
-        let challenge = if small { earlybird_bench::lanl_world() } else { earlybird_bench::lanl_world_full() };
+        let challenge =
+            if small { earlybird_bench::lanl_world() } else { earlybird_bench::lanl_world_full() };
         eprintln!(
             "[experiments] {} DNS queries / {} days",
             challenge.dataset.total_queries(),
@@ -88,7 +88,8 @@ fn main() {
 
     if ac_needed {
         eprintln!("[experiments] generating AC dataset...");
-        let world = if small { earlybird_bench::ac_world() } else { earlybird_bench::ac_world_full() };
+        let world =
+            if small { earlybird_bench::ac_world() } else { earlybird_bench::ac_world_full() };
         eprintln!(
             "[experiments] {} proxy records / {} days",
             world.dataset.total_records(),
@@ -178,7 +179,13 @@ fn evasion() -> Vec<earlybird_eval::EvasionRow> {
     println!(
         "{}",
         render_table(
-            &["jitter", "paper (W=10, JT=.06)", "wide (W=30, JT=.35)", "stddev baseline", "autocorr baseline"],
+            &[
+                "jitter",
+                "paper (W=10, JT=.06)",
+                "wide (W=30, JT=.35)",
+                "stddev baseline",
+                "autocorr baseline"
+            ],
             &table
         )
     );
@@ -231,7 +238,9 @@ fn fig2(run: &LanlRun<'_>) {
 
 fn table2(run: &LanlRun<'_>) {
     println!("\n== Table II — automated (host, domain) pairs vs (W, J_T) ==");
-    println!("paper: W=10s/J_T=0.06 captures all 33 malicious pairs; larger J_T admits more legit pairs");
+    println!(
+        "paper: W=10s/J_T=0.06 captures all 33 malicious pairs; larger J_T admits more legit pairs"
+    );
     let rows: Vec<Vec<String>> = run
         .table2(&table2_grid())
         .iter()
@@ -248,7 +257,13 @@ fn table2(run: &LanlRun<'_>) {
     println!(
         "{}",
         render_table(
-            &["W", "J_T", "malicious pairs (train)", "malicious pairs (test)", "all pairs (test days)"],
+            &[
+                "W",
+                "J_T",
+                "malicious pairs (train)",
+                "malicious pairs (test)",
+                "all pairs (test days)"
+            ],
             &rows
         )
     );
@@ -354,17 +369,17 @@ fn fig4(run: &LanlRun<'_>) {
 fn regression(harness: &AcHarness<'_>) {
     println!("\n== Regression models (§VI-A) ==");
     println!("paper: DomAge negatively correlated; RareUA & DomAge most relevant; AutoHosts and IP16 insignificant");
-    if let earlybird_core::CcModel::Regression { model, .. } = harness.cc_detector().model() {
-        println!("C&C model (R² = {:.3}, n = {}):", model.fit().r_squared(), model.fit().n_samples());
-        for (name, w, t, sig) in model.summary() {
-            println!("  {name:<12} weight {w:+.3}  t {t:+.2}  significant: {sig}");
-        }
+    let training = harness.training();
+    println!("C&C model (R² = {:.3}, n = {}):", training.cc_r_squared, training.cc_samples);
+    for (name, w, t, sig) in &training.cc_summary {
+        println!("  {name:<12} weight {w:+.3}  t {t:+.2}  significant: {sig}");
     }
-    if let earlybird_core::SimScorer::Regression { model, .. } = harness.sim_scorer() {
-        println!("similarity model (R² = {:.3}, n = {}):", model.fit().r_squared(), model.fit().n_samples());
-        for (name, w, t, sig) in model.summary() {
-            println!("  {name:<12} weight {w:+.3}  t {t:+.2}  significant: {sig}");
-        }
+    println!(
+        "similarity model (R² = {:.3}, n = {}):",
+        training.sim_r_squared, training.sim_samples
+    );
+    for (name, w, t, sig) in &training.sim_summary {
+        println!("  {name:<12} weight {w:+.3}  t {t:+.2}  significant: {sig}");
     }
 }
 
@@ -373,7 +388,11 @@ fn fig5(harness: &AcHarness<'_>) {
     println!("paper: reported domains score higher; threshold 0.4 -> 57.18% TDR / 10.59% FPR on training");
     let fig = harness.figure5();
     let frac_above = |v: &[f64], t: f64| {
-        if v.is_empty() { 0.0 } else { v.iter().filter(|&&x| x >= t).count() as f64 / v.len() as f64 }
+        if v.is_empty() {
+            0.0
+        } else {
+            v.iter().filter(|&&x| x >= t).count() as f64 / v.len() as f64
+        }
     };
     println!(
         "measured at 0.4: {:.1}% of {} reported above; {:.1}% of {} legitimate above",
@@ -412,7 +431,10 @@ fn fig6(title: &str, reference: &str, rows: &[Fig6Row]) {
         .collect();
     println!(
         "{}",
-        render_table(&["thresh", "total", "VT+SOC", "new-mal", "susp", "legit", "TDR", "NDR"], &table)
+        render_table(
+            &["thresh", "total", "VT+SOC", "new-mal", "susp", "legit", "TDR", "NDR"],
+            &table
+        )
     );
 }
 

@@ -75,7 +75,10 @@ impl Seeds {
 
     /// Seeds from domains plus the hosts contacting them (no-hint mode and
     /// SOC-hints mode with IOC domains).
-    pub fn from_domains_with_hosts(ctx: &DayContext<'_>, domains: impl IntoIterator<Item = DomainSym>) -> Self {
+    pub fn from_domains_with_hosts(
+        ctx: &DayContext<'_>,
+        domains: impl IntoIterator<Item = DomainSym>,
+    ) -> Self {
         let domains: Vec<DomainSym> = domains.into_iter().collect();
         let mut hosts = BTreeSet::new();
         for &d in &domains {
@@ -140,6 +143,10 @@ impl BpOutcome {
 /// `cc` implements `Detect_C&C`; pass `None` to disable the per-iteration
 /// C&C sweep (pure similarity expansion). `sim` implements
 /// `Compute_SimScore` with its threshold `T_s`.
+///
+/// Internal plumbing: applications run this through `earlybird-engine`'s
+/// `Engine::investigate` (explicit hint modes) or the engine's
+/// auto-investigation during ingest.
 pub fn belief_propagation(
     ctx: &DayContext<'_>,
     cc: Option<&CcDetector>,
@@ -314,11 +321,8 @@ mod tests {
         let seeds = Seeds::from_hosts([HostId::new(1)]);
         let out = belief_propagation(&ctx, Some(&cc), &sim, &seeds, &BpConfig::lanl_default());
 
-        let names: Vec<String> = out
-            .labeled
-            .iter()
-            .map(|d| w.folded.resolve(d.domain).to_string())
-            .collect();
+        let names: Vec<String> =
+            out.labeled.iter().map(|d| w.folded.resolve(d.domain).to_string()).collect();
         assert!(names.contains(&"rainbow.c3".to_string()), "C&C found: {names:?}");
         assert!(names.contains(&"fluttershy.c3".to_string()));
         assert!(names.contains(&"pinkiepie.c3".to_string()));
@@ -346,10 +350,8 @@ mod tests {
         assert_eq!(seeds.hosts.len(), 2, "both beaconing victims seed H");
 
         let out = belief_propagation(&ctx, Some(&cc), &sim, &seeds, &BpConfig::lanl_default());
-        let detected: Vec<String> = out
-            .detected()
-            .map(|d| w.folded.resolve(d.domain).to_string())
-            .collect();
+        let detected: Vec<String> =
+            out.detected().map(|d| w.folded.resolve(d.domain).to_string()).collect();
         assert!(detected.contains(&"fluttershy.c3".to_string()), "{detected:?}");
         assert!(detected.contains(&"pinkiepie.c3".to_string()));
         assert!(!detected.contains(&"rainbow.c3".to_string()), "seed not re-counted");

@@ -15,6 +15,7 @@ use crate::context::DayContext;
 use crate::extract::cc_features;
 use earlybird_features::{FeatureScaler, RegressionModel};
 use earlybird_logmodel::{DomainSym, HostId};
+use earlybird_pipeline::DayIndex;
 use earlybird_timing::{AutomationDetector, AutomationEvidence};
 use serde::{Deserialize, Serialize};
 
@@ -59,6 +60,10 @@ pub enum CcModel {
 }
 
 /// The complete C&C detector: automation pass + scoring model.
+///
+/// Internal plumbing: the daily C&C sweep runs inside
+/// `earlybird-engine`'s `Engine::ingest_day` / `Engine::cc_scores`, which
+/// also shard it across worker threads.
 #[derive(Clone, Debug)]
 pub struct CcDetector {
     automation: AutomationDetector,
@@ -107,6 +112,43 @@ impl CcDetector {
             .collect()
     }
 
+    /// Model score for a domain whose automated hosts are already known
+    /// (no threshold applied): the regression score, or the automated-host
+    /// count under the LANL heuristic.
+    pub fn score_with(
+        &self,
+        ctx: &DayContext<'_>,
+        domain: DomainSym,
+        auto_hosts: &[(HostId, AutomationEvidence)],
+    ) -> f64 {
+        match &self.model {
+            CcModel::Regression { model, scaler } => {
+                let features = cc_features(ctx, domain, auto_hosts.len());
+                model.score(&scaler.transform(&features.to_row()))
+            }
+            CcModel::LanlHeuristic { .. } => auto_hosts.len() as f64,
+        }
+    }
+
+    /// The model's detection decision given a score and the automated-host
+    /// evidence: threshold for the regression, the agreeing-period cluster
+    /// rule for the LANL heuristic.
+    pub fn is_detection(&self, score: f64, auto_hosts: &[(HostId, AutomationEvidence)]) -> bool {
+        match &self.model {
+            CcModel::Regression { model, .. } => score >= model.threshold(),
+            CcModel::LanlHeuristic { min_hosts, period_tolerance_secs } => {
+                if auto_hosts.len() < *min_hosts {
+                    return false;
+                }
+                // Require a cluster of >= min_hosts hosts with agreeing
+                // periods.
+                let mut periods: Vec<u64> = auto_hosts.iter().map(|(_, ev)| ev.period).collect();
+                periods.sort_unstable();
+                periods.windows(*min_hosts).any(|w| w[w.len() - 1] - w[0] <= *period_tolerance_secs)
+            }
+        }
+    }
+
     /// Evaluates a single rare domain, returning a detection if it is
     /// automated *and* its score clears the model's threshold. This is the
     /// `Detect_C&C` function of Algorithm 1.
@@ -115,30 +157,8 @@ impl CcDetector {
         if auto_hosts.is_empty() {
             return None;
         }
-        match &self.model {
-            CcModel::Regression { model, scaler } => {
-                let features = cc_features(ctx, domain, auto_hosts.len());
-                let score = model.score(&scaler.transform(&features.to_row()));
-                (score >= model.threshold()).then_some(CcDetection { domain, score, auto_hosts })
-            }
-            CcModel::LanlHeuristic { min_hosts, period_tolerance_secs } => {
-                if auto_hosts.len() < *min_hosts {
-                    return None;
-                }
-                // Require a cluster of >= min_hosts hosts with agreeing
-                // periods.
-                let mut periods: Vec<u64> = auto_hosts.iter().map(|(_, ev)| ev.period).collect();
-                periods.sort_unstable();
-                let agrees = periods
-                    .windows(*min_hosts)
-                    .any(|w| w[w.len() - 1] - w[0] <= *period_tolerance_secs);
-                agrees.then_some(CcDetection {
-                    domain,
-                    score: auto_hosts.len() as f64,
-                    auto_hosts,
-                })
-            }
-        }
+        let score = self.score_with(ctx, domain, &auto_hosts);
+        self.is_detection(score, &auto_hosts).then_some(CcDetection { domain, score, auto_hosts })
     }
 
     /// Scores every rare domain of the day, returning all detections sorted
@@ -152,15 +172,36 @@ impl CcDetector {
 
     /// All automated (host, domain) pairs among the day's rare domains —
     /// the population Table II counts.
-    pub fn automated_pairs(&self, ctx: &DayContext<'_>) -> Vec<(HostId, DomainSym, AutomationEvidence)> {
-        let mut out = Vec::new();
-        for d in ctx.index.rare_domains() {
-            for (h, ev) in self.automated_hosts(ctx, d) {
-                out.push((h, d, ev));
+    pub fn automated_pairs(
+        &self,
+        ctx: &DayContext<'_>,
+    ) -> Vec<(HostId, DomainSym, AutomationEvidence)> {
+        automated_pairs_with(ctx.index, &self.automation)
+    }
+}
+
+/// All automated `(host, domain, evidence)` pairs among a day's rare
+/// domains under an arbitrary beacon detector, sorted by `(domain, host)` —
+/// the Table II parameter-sweep population. Model-independent: only the
+/// automation detector matters, so sweeps need not construct a full
+/// [`CcDetector`].
+pub fn automated_pairs_with(
+    index: &DayIndex,
+    automation: &AutomationDetector,
+) -> Vec<(HostId, DomainSym, AutomationEvidence)> {
+    let mut out = Vec::new();
+    for domain in index.rare_domains() {
+        let Some(hosts) = index.hosts_of(domain) else { continue };
+        for &host in hosts {
+            if let Some(series) = index.beacon_series(host, domain) {
+                if let Some(ev) = automation.evaluate(series) {
+                    out.push((host, domain, ev));
+                }
             }
         }
-        out
     }
+    out.sort_by_key(|&(h, d, _)| (d, h));
+    out
 }
 
 #[cfg(test)]

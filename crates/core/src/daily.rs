@@ -18,9 +18,8 @@ use earlybird_pipeline::{
     ReductionConfig, UaHistory,
 };
 use serde::{Deserialize, Serialize};
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Pipeline configuration.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -69,11 +68,21 @@ impl DayProduct {
         whois: Option<&'a WhoisRegistry>,
         whois_defaults: (f64, f64),
     ) -> DayContext<'a> {
-        DayContext { day: self.day, index: &self.index, folded: &self.folded, whois, whois_defaults }
+        DayContext {
+            day: self.day,
+            index: &self.index,
+            folded: &self.folded,
+            whois,
+            whois_defaults,
+        }
     }
 }
 
 /// Cross-day pipeline state.
+///
+/// Internal plumbing: callers should drive the daily cycle through
+/// `earlybird-engine`'s `Engine::ingest_day` instead of calling the
+/// `bootstrap_*` / `process_*` methods directly.
 #[derive(Debug)]
 pub struct DailyPipeline {
     cfg: PipelineConfig,
@@ -81,7 +90,7 @@ pub struct DailyPipeline {
     history: DomainHistory,
     ua_history: UaHistory,
     sieve: RareSieve,
-    ip_literal_cache: RefCell<HashMap<DomainSym, bool>>,
+    ip_literal_cache: Mutex<HashMap<DomainSym, bool>>,
 }
 
 impl DailyPipeline {
@@ -93,7 +102,7 @@ impl DailyPipeline {
             history: DomainHistory::new(),
             ua_history: UaHistory::new(cfg.rare_ua_threshold),
             sieve: RareSieve::new(cfg.unpopular_threshold),
-            ip_literal_cache: RefCell::new(HashMap::new()),
+            ip_literal_cache: Mutex::new(HashMap::new()),
         }
     }
 
@@ -195,12 +204,14 @@ impl DailyPipeline {
     /// Whether a raw destination "domain" is an IP literal (§IV-A drops
     /// those); memoized per symbol.
     fn is_ip_literal(&self, raw: DomainSym) -> bool {
-        if let Some(&v) = self.ip_literal_cache.borrow().get(&raw) {
+        let cache = self.ip_literal_cache.lock().expect("ip-literal cache poisoned");
+        if let Some(&v) = cache.get(&raw) {
             return v;
         }
+        drop(cache);
         let name = self.fold.raw_interner().resolve(raw);
         let v = name.parse::<Ipv4>().is_ok();
-        self.ip_literal_cache.borrow_mut().insert(raw, v);
+        self.ip_literal_cache.lock().expect("ip-literal cache poisoned").insert(raw, v);
         v
     }
 }
@@ -245,8 +256,7 @@ mod tests {
                 pipeline.bootstrap_dns_day(day, meta);
             }
         }
-        let product =
-            pipeline.process_dns_day(challenge.dataset.day(campaign.day).unwrap(), meta);
+        let product = pipeline.process_dns_day(challenge.dataset.day(campaign.day).unwrap(), meta);
         for name in campaign.answer_domains() {
             let sym = pipeline.folded_interner().get(name).expect("campaign domain indexed");
             assert!(product.index.is_rare(sym), "{name} must be rare on its campaign day");

@@ -113,7 +113,14 @@ mod tests {
             World { folded: DomainInterner::new(), contacts: Vec::new() }
         }
 
-        fn push(&mut self, ts: u64, host: u32, name: &str, ip: Option<Ipv4>, http: Option<HttpContext>) {
+        fn push(
+            &mut self,
+            ts: u64,
+            host: u32,
+            name: &str,
+            ip: Option<Ipv4>,
+            http: Option<HttpContext>,
+        ) {
             self.contacts.push(Contact {
                 ts: Timestamp::from_secs(ts),
                 host: HostId::new(host),
@@ -172,7 +179,10 @@ mod tests {
         assert_eq!(min_interval_to_malicious(&ctx, cand, &mal), Some(60.0));
         // A domain visited by no host that also visited `mal` has no interval.
         let lonely: BTreeSet<DomainSym> = [cand].into_iter().collect();
-        assert_eq!(min_interval_to_malicious(&ctx, w.folded.get("mal.c3").unwrap(), &lonely), Some(60.0));
+        assert_eq!(
+            min_interval_to_malicious(&ctx, w.folded.get("mal.c3").unwrap(), &lonely),
+            Some(60.0)
+        );
     }
 
     #[test]

@@ -15,6 +15,16 @@
 //!   SOC-hints or no-hint mode and returns the labeled communities with full
 //!   per-iteration traces (the provenance shown in Fig. 4/7/8).
 //!
+//! # This crate is internal plumbing
+//!
+//! [`DailyPipeline`], [`CcDetector`] and [`belief_propagation`] are the raw
+//! building blocks of the daily cycle. Application code should not thread
+//! them together by hand: the `earlybird-engine` crate (re-exported as
+//! `earlybird::engine`) runs the whole ingest → detect → alert loop behind
+//! one validated API, parallelizes the C&C scoring pass, and delivers typed
+//! alerts. Reach for these types directly only when building new detector
+//! variants or experiments below the engine.
+//!
 //! # Example
 //!
 //! ```
@@ -38,8 +48,10 @@ pub mod extract;
 pub mod similarity;
 pub mod train;
 
-pub use bp::{belief_propagation, BpConfig, BpOutcome, IterationTrace, LabelReason, ScoredDomain, Seeds};
-pub use cc::{CcDetection, CcDetector, CcModel};
+pub use bp::{
+    belief_propagation, BpConfig, BpOutcome, IterationTrace, LabelReason, ScoredDomain, Seeds,
+};
+pub use cc::{automated_pairs_with, CcDetection, CcDetector, CcModel};
 pub use context::DayContext;
 pub use daily::{DailyPipeline, DayProduct, PipelineConfig};
 pub use extract::{cc_features, min_interval_to_malicious, sim_features};

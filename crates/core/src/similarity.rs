@@ -76,9 +76,8 @@ impl SimScorer {
             }
             SimScorer::Additive { scorer, correlation_window_secs, .. } => {
                 let f = sim_features(ctx, domain, malicious);
-                let timing = f
-                    .min_interval_secs
-                    .is_some_and(|dt| dt <= *correlation_window_secs as f64);
+                let timing =
+                    f.min_interval_secs.is_some_and(|dt| dt <= *correlation_window_secs as f64);
                 let ip = if f.ip24 {
                     IpProximity::SameSubnet24
                 } else if f.ip16 {
@@ -112,16 +111,19 @@ mod tests {
     use earlybird_logmodel::{Day, DomainInterner, HostId, Ipv4, Timestamp};
     use earlybird_pipeline::{Contact, DayIndex, DomainHistory, RareSieve};
 
-    fn build<'a>(
-        folded: &'a DomainInterner,
-        contacts: &mut Vec<Contact>,
-    ) -> DayIndex {
+    fn build(_folded: &DomainInterner, contacts: &mut [Contact]) -> DayIndex {
         contacts.sort_by_key(|c| c.ts);
         let rare = RareSieve::paper_default().extract(contacts, &DomainHistory::new());
         DayIndex::build(Day::new(0), contacts, rare, None)
     }
 
-    fn contact(folded: &DomainInterner, ts: u64, host: u32, name: &str, ip: Option<Ipv4>) -> Contact {
+    fn contact(
+        folded: &DomainInterner,
+        ts: u64,
+        host: u32,
+        name: &str,
+        ip: Option<Ipv4>,
+    ) -> Contact {
         Contact {
             ts: Timestamp::from_secs(ts),
             host: HostId::new(host),

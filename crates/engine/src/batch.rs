@@ -1,0 +1,40 @@
+//! Source-agnostic daily input batches.
+
+use earlybird_logmodel::{Day, DhcpLog, DnsDayLog, ProxyDayLog};
+
+/// One day of raw logs from either supported source, handed to
+/// [`crate::Engine::ingest_day`].
+///
+/// The engine normalizes both flavours into the same reduced-contact
+/// representation internally, so detection code never branches on source.
+#[derive(Clone, Copy, Debug)]
+pub enum DayBatch<'a> {
+    /// A day of DNS queries (the LANL-style source, §V).
+    Dns(&'a DnsDayLog),
+    /// A day of web-proxy records plus the DHCP lease log needed to
+    /// attribute dynamic IPs to hosts (the enterprise source, §VI).
+    Proxy {
+        /// The proxy records.
+        day: &'a ProxyDayLog,
+        /// The lease log covering the day.
+        dhcp: &'a DhcpLog,
+    },
+}
+
+impl DayBatch<'_> {
+    /// The day the batch falls on.
+    pub fn day(&self) -> Day {
+        match self {
+            DayBatch::Dns(d) => d.day,
+            DayBatch::Proxy { day, .. } => day.day,
+        }
+    }
+
+    /// Number of raw records in the batch.
+    pub fn records(&self) -> usize {
+        match self {
+            DayBatch::Dns(d) => d.queries.len(),
+            DayBatch::Proxy { day, .. } => day.records.len(),
+        }
+    }
+}

@@ -1,0 +1,866 @@
+//! The engine itself: state, the daily ingest cycle, and investigations.
+
+use crate::alert::{Alert, AlertSink, Verdict};
+use crate::batch::DayBatch;
+use crate::builder::{EngineConfig, EngineError};
+use crate::report::{CcCandidate, DayReport, InvestigationReport, StageCounters};
+use earlybird_core::{
+    belief_propagation, CcDetector, DailyPipeline, DayContext, DayProduct, Seeds,
+};
+use earlybird_logmodel::{fold_domain, DatasetMeta, Day, DomainInterner, DomainSym, HostId};
+use earlybird_pipeline::{DayIndex, DomainHistory, UaHistory};
+use earlybird_timing::{AutomationDetector, AutomationEvidence};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Seed selection for an [`Investigation`].
+#[derive(Clone, Debug)]
+pub enum SeedSpec {
+    /// SOC hint hosts (LANL cases 1–3).
+    Hosts(Vec<HostId>),
+    /// Seed domains, already folded.
+    Domains(Vec<DomainSym>),
+    /// Seed domain names (folded by the engine; names absent from the day
+    /// are harmless).
+    Names(Vec<String>),
+    /// The day's C&C detections under the engine's current model (no-hint
+    /// mode).
+    TodaysDetections,
+}
+
+/// A belief-propagation request against one retained day.
+#[derive(Clone, Debug)]
+pub struct Investigation {
+    seeds: SeedSpec,
+    sim_threshold: Option<f64>,
+    count_seeds: bool,
+}
+
+impl Investigation {
+    /// SOC-hints mode from known compromised hosts; hints are not
+    /// re-counted as detections.
+    pub fn from_hint_hosts(hosts: impl IntoIterator<Item = HostId>) -> Self {
+        Investigation {
+            seeds: SeedSpec::Hosts(hosts.into_iter().collect()),
+            sim_threshold: None,
+            count_seeds: false,
+        }
+    }
+
+    /// SOC-hints mode from seed domains (IOC symbols); seeds are not
+    /// re-counted as detections.
+    pub fn from_seed_domains(domains: impl IntoIterator<Item = DomainSym>) -> Self {
+        Investigation {
+            seeds: SeedSpec::Domains(domains.into_iter().collect()),
+            sim_threshold: None,
+            count_seeds: false,
+        }
+    }
+
+    /// SOC-hints mode from seed domain names.
+    pub fn from_seed_names<I: IntoIterator<Item = S>, S: Into<String>>(names: I) -> Self {
+        Investigation {
+            seeds: SeedSpec::Names(names.into_iter().map(Into::into).collect()),
+            sim_threshold: None,
+            count_seeds: false,
+        }
+    }
+
+    /// No-hint mode: today's C&C detections seed the expansion and count
+    /// as detections themselves.
+    pub fn no_hint() -> Self {
+        Investigation { seeds: SeedSpec::TodaysDetections, sim_threshold: None, count_seeds: true }
+    }
+
+    /// Overrides the similarity threshold `T_s` for this run only (the SOC
+    /// capacity knob of §VI).
+    pub fn sim_threshold(mut self, threshold: f64) -> Self {
+        self.sim_threshold = Some(threshold);
+        self
+    }
+
+    /// Overrides whether seeds count as detections.
+    pub fn count_seeds(mut self, count: bool) -> Self {
+        self.count_seeds = count;
+        self
+    }
+}
+
+/// The unified streaming engine: feed daily [`DayBatch`]es, receive typed
+/// [`DayReport`]s and [`Alert`]s; see the crate docs for the full tour.
+pub struct Engine {
+    cfg: EngineConfig,
+    meta: DatasetMeta,
+    pipeline: DailyPipeline,
+    products: BTreeMap<Day, DayProduct>,
+    reports: BTreeMap<Day, DayReport>,
+    sinks: Mutex<Vec<Box<dyn AlertSink + Send>>>,
+    sequence: AtomicU64,
+    soc_seed_syms: Vec<DomainSym>,
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("days_retained", &self.products.len())
+            .field("parallelism", &self.cfg.parallelism)
+            .finish()
+    }
+}
+
+impl Engine {
+    pub(crate) fn from_parts(
+        cfg: EngineConfig,
+        sinks: Vec<Box<dyn AlertSink + Send>>,
+        raw: Arc<DomainInterner>,
+        meta: DatasetMeta,
+    ) -> Self {
+        let pipeline = DailyPipeline::new(raw, cfg.pipeline);
+        let soc_seed_syms = cfg.soc_seed_domains.iter().map(|n| pipeline.intern_seed(n)).collect();
+        Engine {
+            cfg,
+            meta,
+            pipeline,
+            products: BTreeMap::new(),
+            reports: BTreeMap::new(),
+            sinks: Mutex::new(sinks),
+            sequence: AtomicU64::new(0),
+            soc_seed_syms,
+        }
+    }
+
+    // -- accessors ---------------------------------------------------------
+
+    /// The validated configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// The dataset metadata the engine was built over.
+    pub fn meta(&self) -> &DatasetMeta {
+        &self.meta
+    }
+
+    /// First day treated as an operation (detection) day.
+    pub fn bootstrap_days(&self) -> u32 {
+        self.cfg.bootstrap_days.unwrap_or(self.meta.bootstrap_days)
+    }
+
+    /// Retained operation days, in order.
+    pub fn days(&self) -> impl Iterator<Item = Day> + '_ {
+        self.products.keys().copied()
+    }
+
+    /// The stored report for an ingested day (bootstrap days included).
+    ///
+    /// Stored reports carry the per-stage counters only; the heavy
+    /// payloads (scored candidates, alerts, BP traces) live in the
+    /// [`DayReport`] returned by [`Engine::ingest_day`] and are not
+    /// retained. Use [`Engine::cc_scores`] to recompute candidates for a
+    /// retained day.
+    pub fn report(&self, day: Day) -> Option<&DayReport> {
+        self.reports.get(&day)
+    }
+
+    /// All stored (counters-only) reports in day order.
+    pub fn reports(&self) -> impl Iterator<Item = &DayReport> {
+        self.reports.values()
+    }
+
+    /// The contact index of a retained operation day.
+    pub fn day_index(&self, day: Day) -> Option<&DayIndex> {
+        self.products.get(&day).map(|p| &p.index)
+    }
+
+    /// The detector-facing context of a retained operation day.
+    pub fn context(&self, day: Day) -> Option<DayContext<'_>> {
+        self.products.get(&day).map(|p| p.context(self.cfg.whois.as_ref(), self.cfg.whois_defaults))
+    }
+
+    /// The folded-name interner shared with every retained day.
+    pub fn folded(&self) -> &Arc<DomainInterner> {
+        self.pipeline.folded_interner()
+    }
+
+    /// Resolves a folded domain symbol to its name.
+    pub fn resolve(&self, domain: DomainSym) -> Arc<str> {
+        self.pipeline.folded_interner().resolve(domain)
+    }
+
+    /// Interns a domain name into the folded namespace (for seeds).
+    pub fn intern_domain(&self, name: &str) -> DomainSym {
+        self.pipeline.intern_seed(name)
+    }
+
+    /// The cross-day destination history (profiles).
+    pub fn history(&self) -> &DomainHistory {
+        self.pipeline.history()
+    }
+
+    /// The cross-day user-agent history.
+    pub fn ua_history(&self) -> &UaHistory {
+        self.pipeline.ua_history()
+    }
+
+    /// The `(DomAge, DomValidity)` defaults currently in force.
+    pub fn whois_defaults(&self) -> (f64, f64) {
+        self.cfg.whois_defaults
+    }
+
+    pub(crate) fn set_whois_defaults(&mut self, defaults: (f64, f64)) {
+        self.cfg.whois_defaults = defaults;
+    }
+
+    pub(crate) fn set_models(
+        &mut self,
+        cc_model: earlybird_core::CcModel,
+        sim: earlybird_core::SimScorer,
+    ) {
+        self.cfg.cc_model = cc_model;
+        self.cfg.sim = sim;
+    }
+
+    pub(crate) fn operation_products(&self) -> &BTreeMap<Day, DayProduct> {
+        &self.products
+    }
+
+    fn detector(&self) -> CcDetector {
+        CcDetector::new(self.cfg.automation, self.cfg.cc_model.clone())
+    }
+
+    // -- the daily cycle ---------------------------------------------------
+
+    /// Ingests one day: bootstrap days update the profiles only; operation
+    /// days run the full reduce → profile → rare-sieve → C&C →
+    /// (optional) belief-propagation cycle, emit alerts, and are retained
+    /// for later [`Engine::investigate`] calls.
+    pub fn ingest_day(&mut self, batch: DayBatch<'_>) -> DayReport {
+        let started = Instant::now();
+        let day = batch.day();
+        // At-least-once delivery safety: re-feeding an already-ingested day
+        // must not double-count the cross-day popularity profiles (which
+        // would silently push rare destinations over the unpopularity
+        // threshold). Replays are a no-op returning the stored counters.
+        if let Some(stored) = self.reports.get(&day) {
+            let mut replay = stored.clone();
+            replay.duplicate = true;
+            return replay;
+        }
+        let mut report = DayReport {
+            day,
+            bootstrap: day.index() < self.bootstrap_days(),
+            stages: StageCounters { records_in: batch.records(), ..StageCounters::default() },
+            ..DayReport::default()
+        };
+
+        if report.bootstrap {
+            match batch {
+                DayBatch::Dns(d) => {
+                    report.dns_counts = Some(self.pipeline.bootstrap_dns_day(d, &self.meta));
+                }
+                DayBatch::Proxy { day: d, dhcp } => {
+                    let (norm, counts) = self.pipeline.bootstrap_proxy_day(d, dhcp, &self.meta);
+                    report.norm_counts = Some(norm);
+                    report.proxy_counts = Some(counts);
+                }
+            }
+            self.fill_reduction_counters(&mut report);
+            report.stages.wall_micros = started.elapsed().as_micros() as u64;
+            self.reports.insert(day, Self::counters_only(&report));
+            return report;
+        }
+
+        let product = match batch {
+            DayBatch::Dns(d) => self.pipeline.process_dns_day(d, &self.meta),
+            DayBatch::Proxy { day: d, dhcp } => {
+                self.pipeline.process_proxy_day(d, dhcp, &self.meta)
+            }
+        };
+        report.dns_counts = product.dns_counts;
+        report.proxy_counts = product.proxy_counts;
+        report.norm_counts = product.norm_counts;
+        self.fill_reduction_counters(&mut report);
+        report.stages.new_destinations = product.index.new_count();
+        report.stages.rare_destinations = product.index.rare_count();
+
+        // C&C stage: score every rare domain, sharded across workers.
+        let detector = self.detector();
+        let ctx = product.context(self.cfg.whois.as_ref(), self.cfg.whois_defaults);
+        let candidates = self.score_rare_domains(&ctx, &detector);
+        report.stages.automated_domains = candidates.len();
+        report.stages.cc_detections = candidates.iter().filter(|c| c.detected).count();
+
+        let mut alerts = Vec::new();
+        for c in candidates.iter().filter(|c| c.detected) {
+            alerts.push(Alert {
+                sequence: 0,
+                day,
+                domain: c.domain,
+                name: c.name.clone(),
+                score: c.score,
+                verdict: Verdict::CommandAndControl,
+                iteration: 0,
+                period_secs: c.period_secs,
+                hosts: ctx
+                    .index
+                    .hosts_of(c.domain)
+                    .map(|hs| hs.iter().copied().collect())
+                    .unwrap_or_default(),
+            });
+        }
+
+        // Optional belief-propagation expansion from today's detections
+        // plus any SOC seeds that appear today.
+        if self.cfg.auto_investigate {
+            let mut seed_domains: Vec<DomainSym> =
+                candidates.iter().filter(|c| c.detected).map(|c| c.domain).collect();
+            let soc_present: Vec<DomainSym> = self
+                .soc_seed_syms
+                .iter()
+                .copied()
+                .filter(|&d| {
+                    ctx.index.connectivity(d) > 0 && !seed_domains.contains(&d) // not already alerted as C&C
+                })
+                .collect();
+            // A live IOC hit is alert-worthy on its own, before any
+            // expansion (the C&C detections were alerted above already).
+            for &d in &soc_present {
+                alerts.push(Alert {
+                    sequence: 0,
+                    day,
+                    domain: d,
+                    name: ctx.folded.resolve(d).to_string(),
+                    score: 1.0,
+                    verdict: Verdict::SeedConfirmed,
+                    iteration: 0,
+                    period_secs: None,
+                    hosts: ctx
+                        .index
+                        .hosts_of(d)
+                        .map(|hs| hs.iter().copied().collect())
+                        .unwrap_or_default(),
+                });
+            }
+            seed_domains.extend(soc_present);
+            seed_domains.sort_unstable();
+            seed_domains.dedup();
+            if !seed_domains.is_empty() {
+                let seeds = Seeds::from_domains_with_hosts(&ctx, seed_domains);
+                let outcome =
+                    belief_propagation(&ctx, Some(&detector), &self.cfg.sim, &seeds, &self.cfg.bp);
+                report.stages.bp_iterations = outcome.iterations.len();
+                report.stages.bp_labeled = outcome.labeled.len();
+                // Every seed is already alerted above; alert on the
+                // expansion only.
+                for d in outcome.detected() {
+                    alerts.push(self.bp_alert(&ctx, day, d));
+                }
+                report.outcome = Some(outcome);
+            }
+        }
+
+        self.assign_and_emit(&mut alerts);
+        report.stages.alerts_emitted = alerts.len();
+        report.cc_candidates = candidates;
+        report.alerts = alerts;
+        report.stages.wall_micros = started.elapsed().as_micros() as u64;
+
+        self.reports.insert(day, Self::counters_only(&report));
+        self.products.insert(day, product);
+        // Retention window: evict the oldest contact indexes (the dominant
+        // memory cost) once past the configured bound; their counters-only
+        // reports remain.
+        if let Some(limit) = self.cfg.retain_days {
+            while self.products.len() > limit {
+                self.products.pop_first();
+            }
+        }
+        report
+    }
+
+    /// The slim copy retained per day: counters only, so a months-long
+    /// stream does not accumulate per-domain names, alerts, and BP traces.
+    fn counters_only(report: &DayReport) -> DayReport {
+        DayReport {
+            day: report.day,
+            bootstrap: report.bootstrap,
+            duplicate: report.duplicate,
+            stages: report.stages,
+            dns_counts: report.dns_counts,
+            proxy_counts: report.proxy_counts,
+            norm_counts: report.norm_counts,
+            cc_candidates: Vec::new(),
+            alerts: Vec::new(),
+            outcome: None,
+        }
+    }
+
+    /// Runs belief propagation for any hint mode on a retained day,
+    /// emitting alerts for the reported domains.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::UnknownDay`] when the day was never processed as an
+    /// operation day.
+    pub fn investigate(
+        &self,
+        day: Day,
+        investigation: Investigation,
+    ) -> Result<InvestigationReport, EngineError> {
+        let product = self.products.get(&day).ok_or(EngineError::UnknownDay(day))?;
+        let ctx = product.context(self.cfg.whois.as_ref(), self.cfg.whois_defaults);
+        let detector = self.detector();
+
+        // In no-hint mode the seeds are the day's own C&C detections;
+        // remember their real scores/evidence so their alerts keep the
+        // CommandAndControl shape instead of degrading to generic seeds.
+        let mut detection_evidence: BTreeMap<DomainSym, (f64, Option<u64>)> = BTreeMap::new();
+        let seeds = match &investigation.seeds {
+            SeedSpec::Hosts(hosts) => Seeds::from_hosts(hosts.iter().copied()),
+            SeedSpec::Domains(domains) => {
+                Seeds::from_domains_with_hosts(&ctx, domains.iter().copied())
+            }
+            SeedSpec::Names(names) => {
+                // Fold raw names the same way the reduction pipeline folds
+                // traffic, so e.g. "x.cc.alpha.c3" resolves to the folded
+                // "cc.alpha.c3" entity — without interning probes into the
+                // shared namespace.
+                let syms: Vec<DomainSym> = names
+                    .iter()
+                    .filter_map(|n| ctx.folded.get(fold_domain(n, self.cfg.pipeline.fold_level)))
+                    .collect();
+                Seeds::from_domains_with_hosts(&ctx, syms)
+            }
+            SeedSpec::TodaysDetections => {
+                let detections: Vec<DomainSym> = self
+                    .score_rare_domains(&ctx, &detector)
+                    .into_iter()
+                    .filter(|c| c.detected)
+                    .map(|c| {
+                        detection_evidence.insert(c.domain, (c.score, c.period_secs));
+                        c.domain
+                    })
+                    .collect();
+                Seeds::from_domains_with_hosts(&ctx, detections)
+            }
+        };
+
+        let sim = match investigation.sim_threshold {
+            Some(t) => {
+                let mut sim = self.cfg.sim.clone();
+                sim.set_threshold(t);
+                sim
+            }
+            None => self.cfg.sim.clone(),
+        };
+
+        let outcome = belief_propagation(&ctx, Some(&detector), &sim, &seeds, &self.cfg.bp);
+        let mut alerts: Vec<Alert> = outcome
+            .labeled
+            .iter()
+            .filter(|d| investigation.count_seeds || d.reason != earlybird_core::LabelReason::Seed)
+            .map(|d| {
+                let mut alert = self.bp_alert(&ctx, day, d);
+                if let Some(&(score, period_secs)) = detection_evidence.get(&d.domain) {
+                    alert.verdict = Verdict::CommandAndControl;
+                    alert.score = score;
+                    alert.period_secs = period_secs;
+                }
+                alert
+            })
+            .collect();
+        self.assign_and_emit(&mut alerts);
+
+        Ok(InvestigationReport { day, outcome, count_seeds: investigation.count_seeds, alerts })
+    }
+
+    /// Scores every automated rare domain of a retained day with the
+    /// engine's *current* model (parallelized like the ingest pass).
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::UnknownDay`] when the day is not retained.
+    pub fn cc_scores(&self, day: Day) -> Result<Vec<CcCandidate>, EngineError> {
+        let product = self.products.get(&day).ok_or(EngineError::UnknownDay(day))?;
+        let ctx = product.context(self.cfg.whois.as_ref(), self.cfg.whois_defaults);
+        Ok(self.score_rare_domains(&ctx, &self.detector()))
+    }
+
+    /// All automated `(host, domain, evidence)` pairs among a retained
+    /// day's rare domains under an arbitrary beacon detector — the Table II
+    /// parameter-sweep primitive.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::UnknownDay`] when the day is not retained.
+    pub fn automated_pairs_sweep(
+        &self,
+        day: Day,
+        automation: &AutomationDetector,
+    ) -> Result<Vec<(HostId, DomainSym, AutomationEvidence)>, EngineError> {
+        let product = self.products.get(&day).ok_or(EngineError::UnknownDay(day))?;
+        Ok(earlybird_core::automated_pairs_with(&product.index, automation))
+    }
+
+    // -- internals ---------------------------------------------------------
+
+    fn fill_reduction_counters(&self, report: &mut DayReport) {
+        if let Some(c) = report.dns_counts {
+            report.stages.domains_all = c.domains_all;
+            report.stages.domains_after_internal_filter = c.domains_after_internal_filter;
+            report.stages.domains_after_server_filter = c.domains_after_server_filter;
+        }
+        if let Some(c) = report.proxy_counts {
+            report.stages.domains_all = c.domains_all;
+            report.stages.domains_after_internal_filter = c.domains_after_internal_filter;
+            report.stages.domains_after_server_filter = c.domains_after_server_filter;
+        }
+    }
+
+    fn bp_alert(&self, ctx: &DayContext<'_>, day: Day, d: &earlybird_core::ScoredDomain) -> Alert {
+        Alert {
+            sequence: 0,
+            day,
+            domain: d.domain,
+            name: ctx.folded.resolve(d.domain).to_string(),
+            score: d.score,
+            verdict: Verdict::from_reason(d.reason),
+            iteration: d.iteration,
+            period_secs: None,
+            hosts: ctx
+                .index
+                .hosts_of(d.domain)
+                .map(|hs| hs.iter().copied().collect())
+                .unwrap_or_default(),
+        }
+    }
+
+    /// Assigns engine-wide sequence numbers and fans the alerts out to
+    /// every sink, preserving order. Sequence allocation happens under the
+    /// sink lock so concurrent `investigate` calls cannot interleave a
+    /// later-numbered batch ahead of an earlier one.
+    fn assign_and_emit(&self, alerts: &mut [Alert]) {
+        if alerts.is_empty() {
+            return;
+        }
+        let mut sinks = self.sinks.lock().expect("sink registry poisoned");
+        let start = self.sequence.fetch_add(alerts.len() as u64, Ordering::SeqCst);
+        for (i, alert) in alerts.iter_mut().enumerate() {
+            alert.sequence = start + i as u64;
+            for sink in sinks.iter_mut() {
+                sink.emit(alert);
+            }
+        }
+    }
+
+    /// Evaluates every rare domain of the day — automation evidence plus
+    /// model score — sharding the work across the configured thread pool.
+    /// Results are deterministic: sorted by descending score, then domain.
+    fn score_rare_domains(&self, ctx: &DayContext<'_>, detector: &CcDetector) -> Vec<CcCandidate> {
+        let mut domains: Vec<DomainSym> = ctx.index.rare_domains().collect();
+        domains.sort_unstable();
+
+        let evaluate = |domain: DomainSym| -> Option<CcCandidate> {
+            let auto_hosts = detector.automated_hosts(ctx, domain);
+            if auto_hosts.is_empty() {
+                return None;
+            }
+            let score = detector.score_with(ctx, domain, &auto_hosts);
+            Some(CcCandidate {
+                domain,
+                name: ctx.folded.resolve(domain).to_string(),
+                score,
+                auto_hosts: auto_hosts.len(),
+                period_secs: auto_hosts.first().map(|(_, ev)| ev.period),
+                detected: detector.is_detection(score, &auto_hosts),
+            })
+        };
+
+        // Shard only when each worker gets enough domains to amortize the
+        // spawn cost; small days run sequentially.
+        let workers = self.cfg.parallelism.min(domains.len() / self.cfg.parallel_threshold).max(1);
+        let mut candidates: Vec<CcCandidate> = if workers <= 1 {
+            domains.iter().copied().filter_map(evaluate).collect()
+        } else {
+            let chunk = domains.len().div_ceil(workers);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = domains
+                    .chunks(chunk)
+                    .map(|shard| {
+                        scope.spawn(move || {
+                            shard.iter().copied().filter_map(&evaluate).collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("C&C scoring worker panicked"))
+                    .collect()
+            })
+        };
+        candidates.sort_by(|a, b| {
+            b.score.partial_cmp(&a.score).expect("scores are finite").then(a.domain.cmp(&b.domain))
+        });
+        candidates
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alert::CollectingSink;
+    use crate::builder::EngineBuilder;
+    use earlybird_synthgen::lanl::{LanlConfig, LanlGenerator};
+
+    fn engine_over_tiny(
+        parallelism: usize,
+    ) -> (Engine, Vec<DayReport>, crate::alert::CollectedAlerts) {
+        let challenge = LanlGenerator::new(LanlConfig::tiny()).generate();
+        let sink = CollectingSink::new();
+        let handle = sink.handle();
+        let mut engine = EngineBuilder::lanl()
+            .parallelism(parallelism)
+            .parallel_threshold(1) // force sharding even on tiny days
+            .auto_investigate(true)
+            .sink(sink)
+            .build(Arc::clone(&challenge.dataset.domains), challenge.dataset.meta.clone())
+            .unwrap();
+        let reports: Vec<DayReport> = challenge
+            .dataset
+            .days
+            .iter()
+            .map(|day| engine.ingest_day(DayBatch::Dns(day)))
+            .collect();
+        (engine, reports, handle)
+    }
+
+    #[test]
+    fn parallel_and_sequential_scoring_agree() {
+        let (par, reports_par, alerts_par) = engine_over_tiny(4);
+        let (seq, reports_seq, alerts_seq) = engine_over_tiny(1);
+        assert_eq!(par.days().collect::<Vec<_>>(), seq.days().collect::<Vec<_>>());
+        assert!(reports_par.iter().any(|r| !r.cc_candidates.is_empty()), "candidates observed");
+        for (a, b) in reports_par.iter().zip(&reports_seq) {
+            assert_eq!(a.cc_candidates, b.cc_candidates, "{:?}", a.day);
+            let strip = |s: &StageCounters| StageCounters { wall_micros: 0, ..*s };
+            assert_eq!(strip(&a.stages), strip(&b.stages), "{:?}", a.day);
+        }
+        assert_eq!(alerts_par.snapshot(), alerts_seq.snapshot());
+    }
+
+    #[test]
+    fn stored_reports_are_counters_only() {
+        let (engine, reports, _) = engine_over_tiny(2);
+        let heavy = reports.iter().find(|r| !r.alerts.is_empty()).expect("some day alerts");
+        let stored = engine.report(heavy.day).expect("stored");
+        assert!(stored.alerts.is_empty() && stored.cc_candidates.is_empty());
+        assert_eq!(stored.stages, heavy.stages, "counters retained verbatim");
+    }
+
+    #[test]
+    fn bootstrap_days_are_not_retained() {
+        let (engine, _, _) = engine_over_tiny(2);
+        let bootstrap = Day::new(0);
+        assert!(engine.report(bootstrap).is_some(), "bootstrap report stored");
+        assert!(engine.report(bootstrap).unwrap().bootstrap);
+        assert!(engine.day_index(bootstrap).is_none(), "no product for bootstrap days");
+        assert!(engine.investigate(bootstrap, Investigation::no_hint()).is_err());
+    }
+
+    #[test]
+    fn alerts_are_sequenced_monotonically() {
+        let (_, _, alerts) = engine_over_tiny(2);
+        let snapshot = alerts.snapshot();
+        assert!(!snapshot.is_empty(), "campaigns must raise alerts");
+        assert!(snapshot.windows(2).all(|w| w[0].sequence < w[1].sequence));
+    }
+
+    /// The facade must reproduce exactly what the pre-redesign call
+    /// sequence (CcDetector::detect_all → Seeds → belief_propagation)
+    /// produced, for both hint modes, on every campaign day.
+    #[test]
+    fn investigate_matches_raw_call_sequence() {
+        use earlybird_core::{belief_propagation, CcDetector, SimScorer};
+        use earlybird_synthgen::lanl::ChallengeCase;
+
+        let challenge = LanlGenerator::new(LanlConfig::tiny()).generate();
+        let mut engine = EngineBuilder::lanl()
+            .build(Arc::clone(&challenge.dataset.domains), challenge.dataset.meta.clone())
+            .unwrap();
+        for day in &challenge.dataset.days {
+            engine.ingest_day(DayBatch::Dns(day));
+        }
+
+        let cc = CcDetector::lanl_default();
+        let sim = SimScorer::lanl_default();
+        let bp_cfg = earlybird_core::BpConfig::lanl_default();
+        for campaign in &challenge.campaigns {
+            let ctx = engine.context(campaign.day).expect("campaign day retained");
+            let (raw, investigation) = match campaign.case {
+                ChallengeCase::Four => {
+                    let detections = cc.detect_all(&ctx);
+                    let seeds =
+                        Seeds::from_domains_with_hosts(&ctx, detections.iter().map(|d| d.domain));
+                    (
+                        belief_propagation(&ctx, Some(&cc), &sim, &seeds, &bp_cfg),
+                        Investigation::no_hint(),
+                    )
+                }
+                _ => {
+                    let seeds = Seeds::from_hosts(campaign.hint_hosts.iter().copied());
+                    (
+                        belief_propagation(&ctx, Some(&cc), &sim, &seeds, &bp_cfg),
+                        Investigation::from_hint_hosts(campaign.hint_hosts.iter().copied()),
+                    )
+                }
+            };
+            let facade = engine.investigate(campaign.day, investigation).unwrap().outcome;
+            assert_eq!(facade, raw, "campaign on 3/{} must agree", campaign.march_day);
+        }
+    }
+
+    #[test]
+    fn replayed_day_is_a_noop_with_duplicate_flag() {
+        let challenge = LanlGenerator::new(LanlConfig::tiny()).generate();
+        let mut engine = EngineBuilder::lanl()
+            .bootstrap_days(0)
+            .build(Arc::clone(&challenge.dataset.domains), challenge.dataset.meta.clone())
+            .unwrap();
+        let first = engine.ingest_day(DayBatch::Dns(&challenge.dataset.days[0]));
+        let history_len = engine.history().len();
+        let replay = engine.ingest_day(DayBatch::Dns(&challenge.dataset.days[0]));
+        assert!(!first.duplicate);
+        assert!(replay.duplicate, "re-fed day must be flagged");
+        assert_eq!(engine.history().len(), history_len, "profiles not double-counted");
+        assert_eq!(replay.stages.rare_destinations, first.stages.rare_destinations);
+    }
+
+    #[test]
+    fn retention_window_evicts_oldest_days() {
+        let challenge = LanlGenerator::new(LanlConfig::tiny()).generate();
+        let mut engine = EngineBuilder::lanl()
+            .retain_days(3)
+            .build(Arc::clone(&challenge.dataset.domains), challenge.dataset.meta.clone())
+            .unwrap();
+        for day in &challenge.dataset.days {
+            engine.ingest_day(DayBatch::Dns(day));
+        }
+        let retained: Vec<Day> = engine.days().collect();
+        assert_eq!(retained.len(), 3, "only the newest window is investigable");
+        let newest = *retained.last().unwrap();
+        assert_eq!(newest.index(), challenge.dataset.meta.total_days - 1);
+        let evicted = retained[0].index() - 1;
+        assert!(engine.investigate(Day::new(evicted), Investigation::no_hint()).is_err());
+        assert!(engine.report(Day::new(evicted)).is_some(), "counters survive eviction");
+    }
+
+    #[test]
+    fn seed_names_are_folded_before_lookup() {
+        // A deep subdomain of a folded entity must seed the same
+        // investigation as the folded symbol itself. Build one day whose
+        // C&C domain already has three labels (the LANL fold level), so
+        // "deep.cc.alpha.c3" folds back onto it.
+        use earlybird_logmodel::{DnsDayLog, DnsQuery, DnsRecordType, HostKind, Ipv4, Timestamp};
+
+        let domains = Arc::new(DomainInterner::new());
+        let mut queries = Vec::new();
+        for host in [1u32, 2] {
+            for beat in 0..20 {
+                queries.push(DnsQuery {
+                    ts: Timestamp::from_secs(30_000 + host as u64 * 7 + beat * 600),
+                    src: HostId::new(host),
+                    src_ip: Ipv4::new(10, 0, 0, host as u8),
+                    qname: domains.intern("cc.alpha.c3"),
+                    qtype: DnsRecordType::A,
+                    answer: Some(Ipv4::new(198, 51, 100, 99)),
+                });
+            }
+        }
+        queries.sort_by_key(|q| q.ts);
+        let meta = DatasetMeta {
+            n_hosts: 4,
+            host_kinds: vec![HostKind::Workstation; 4],
+            internal_suffixes: vec![],
+            bootstrap_days: 0,
+            total_days: 1,
+        };
+        let mut engine = EngineBuilder::lanl().build(Arc::clone(&domains), meta).unwrap();
+        engine.ingest_day(DayBatch::Dns(&DnsDayLog { day: Day::new(0), queries }));
+
+        let by_name = engine
+            .investigate(
+                Day::new(0),
+                Investigation::from_seed_names(["deep.cc.alpha.c3"]).count_seeds(true),
+            )
+            .unwrap();
+        let by_sym = engine
+            .investigate(
+                Day::new(0),
+                Investigation::from_seed_domains([engine.intern_domain("cc.alpha.c3")])
+                    .count_seeds(true),
+            )
+            .unwrap();
+        assert_eq!(by_name.outcome, by_sym.outcome, "unfolded seed names must fold");
+        assert!(!by_name.outcome.labeled.is_empty());
+    }
+
+    #[test]
+    fn live_soc_seed_raises_seed_confirmed_alert() {
+        use earlybird_logmodel::{DnsDayLog, DnsQuery, DnsRecordType, HostKind, Ipv4, Timestamp};
+
+        let domains = Arc::new(DomainInterner::new());
+        let queries: Vec<DnsQuery> = [10_000u64, 55_000]
+            .iter()
+            .map(|&ts| DnsQuery {
+                ts: Timestamp::from_secs(ts),
+                src: HostId::new(1),
+                src_ip: Ipv4::new(10, 0, 0, 1),
+                qname: domains.intern("ioc.evil.c3"),
+                qtype: DnsRecordType::A,
+                answer: Some(Ipv4::new(203, 0, 113, 9)),
+            })
+            .collect();
+        let meta = DatasetMeta {
+            n_hosts: 4,
+            host_kinds: vec![HostKind::Workstation; 4],
+            internal_suffixes: vec![],
+            bootstrap_days: 0,
+            total_days: 1,
+        };
+        let sink = CollectingSink::new();
+        let alerts = sink.handle();
+        let mut engine = EngineBuilder::lanl()
+            .soc_seed("ioc.evil.c3")
+            .auto_investigate(true)
+            .sink(sink)
+            .build(Arc::clone(&domains), meta)
+            .unwrap();
+        let report = engine.ingest_day(DayBatch::Dns(&DnsDayLog { day: Day::new(0), queries }));
+
+        // Not automated, so no C&C detection -- but the live IOC hit itself
+        // must reach the alert stream.
+        assert_eq!(report.stages.cc_detections, 0);
+        let stream = alerts.snapshot();
+        assert!(
+            stream
+                .iter()
+                .any(|a| a.name == "ioc.evil.c3" && a.verdict == crate::Verdict::SeedConfirmed),
+            "live IOC hit must alert: {stream:?}"
+        );
+    }
+
+    #[test]
+    fn builder_rejects_invalid_config() {
+        let raw = Arc::new(DomainInterner::new());
+        let bad = EngineBuilder::lanl()
+            .pipeline(earlybird_core::PipelineConfig {
+                fold_level: 0,
+                unpopular_threshold: 10,
+                rare_ua_threshold: 10,
+            })
+            .build(raw, DatasetMeta::default());
+        assert!(bad.is_err());
+    }
+}

@@ -1,0 +1,60 @@
+//! The unified streaming facade over the DSN'15 pipeline: one
+//! ingest → detect → alert API.
+//!
+//! The paper's operational loop (§III-E) is a single daily cycle —
+//! normalize, reduce, profile, extract rare destinations, detect C&C
+//! communication, expand by belief propagation — yet the lower-level crates
+//! expose it as several entry points that every caller must re-assemble by
+//! hand. [`Engine`] owns that choreography:
+//!
+//! * [`EngineBuilder`] unifies the scattered knobs (pipeline configuration,
+//!   C&C model, similarity scorer, belief-propagation limits, WHOIS
+//!   registry and defaults, SOC hint seeds, parallelism, alert sinks) into
+//!   one validated [`EngineConfig`].
+//! * [`DayBatch`] abstracts DNS days and proxy+DHCP days behind a single
+//!   [`Engine::ingest_day`] that runs the full daily cycle internally,
+//!   parallelizing per-domain C&C scoring across a sharded thread pool, and
+//!   returns a typed [`DayReport`] with per-stage counters.
+//! * Typed [`Alert`]s flow through pluggable [`AlertSink`]s (collecting,
+//!   JSON-lines, callback) in a deterministic order.
+//! * [`Engine::investigate`] runs belief propagation for any hint mode
+//!   (SOC hint hosts, seed domains, today's C&C detections) on any retained
+//!   day, and [`Engine::train_enterprise`] fits the §IV-C/§IV-D regression
+//!   models from ingested history, upgrading the engine in place.
+//!
+//! # Example
+//!
+//! ```
+//! use earlybird_engine::{DayBatch, EngineBuilder};
+//! use earlybird_synthgen::lanl::{LanlConfig, LanlGenerator};
+//! use std::sync::Arc;
+//!
+//! let challenge = LanlGenerator::new(LanlConfig::tiny()).generate();
+//! let mut engine = EngineBuilder::lanl()
+//!     .build(Arc::clone(&challenge.dataset.domains), challenge.dataset.meta.clone())
+//!     .unwrap();
+//! for day in &challenge.dataset.days[..30] {
+//!     let report = engine.ingest_day(DayBatch::Dns(day));
+//!     assert_eq!(report.day, day.day);
+//! }
+//! assert!(engine.days().count() > 0, "operation days retained");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod alert;
+mod batch;
+mod builder;
+mod core_loop;
+mod report;
+mod train;
+
+pub use alert::{
+    Alert, AlertSink, CallbackSink, CollectedAlerts, CollectingSink, JsonLinesSink, Verdict,
+    WriteErrors,
+};
+pub use batch::DayBatch;
+pub use builder::{EngineBuilder, EngineConfig, EngineError};
+pub use core_loop::{Engine, Investigation, SeedSpec};
+pub use report::{CcCandidate, DayReport, InvestigationReport, StageCounters, TrainingReport};

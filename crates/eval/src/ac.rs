@@ -1,20 +1,16 @@
-//! The enterprise (AC) evaluation harness (§VI): trains the C&C and
-//! similarity regression models on the first two February weeks, scores all
-//! automated domains, and regenerates Fig. 5, Fig. 6(a)/(b)/(c) and the
-//! Fig. 7/8 community case studies.
+//! The enterprise (AC) evaluation harness (§VI): drives the unified
+//! [`Engine`] facade over two months of proxy logs, trains the C&C and
+//! similarity regression models on the first two February weeks, and
+//! regenerates Fig. 5, Fig. 6(a)/(b)/(c) and the Fig. 7/8 case studies.
 
-use earlybird_core::{
-    belief_propagation, cc_features, sim_features, train_cc_model, train_sim_model,
-    whois_defaults, BpConfig, BpOutcome, CcDetector, CcModel, CcSample, DailyPipeline,
-    DayProduct, LabelReason, PipelineConfig, Seeds, SimSample, SimScorer,
-};
+use earlybird_core::{BpOutcome, LabelReason};
+use earlybird_engine::{DayBatch, Engine, EngineBuilder, Investigation, TrainingReport};
 use earlybird_features::FitError;
-use earlybird_intel::{DetectionCategory, TrueClass, WhoisAnswer};
+use earlybird_intel::{DetectionCategory, TrueClass};
 use earlybird_logmodel::{Day, DomainSym};
 use earlybird_synthgen::ac::AcWorld;
-use earlybird_timing::AutomationDetector;
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
 
 /// Fig. 5 data: training-set scores of VT-reported vs. legitimate automated
 /// domains, sorted ascending.
@@ -84,10 +80,8 @@ pub struct CaseStudy {
 /// The trained enterprise harness.
 pub struct AcHarness<'a> {
     world: &'a AcWorld,
-    products: BTreeMap<Day, DayProduct>,
-    cc_detector: CcDetector,
-    sim_scorer: SimScorer,
-    whois_defaults: (f64, f64),
+    engine: Engine,
+    training: TrainingReport,
     /// Per-day raw scores of every rare automated domain: `(day, sym, score)`.
     cc_scores: Vec<(Day, DomainSym, f64)>,
     /// Training-population scores with VT labels (Fig. 5).
@@ -95,120 +89,43 @@ pub struct AcHarness<'a> {
 }
 
 impl<'a> AcHarness<'a> {
-    /// Bootstraps on January, processes February, trains both models on the
-    /// first two February weeks, and scores every automated domain.
+    /// Bootstraps on January, processes February through the engine, trains
+    /// both models on the first two February weeks, and scores every
+    /// automated domain with the trained model.
     ///
     /// # Errors
     ///
     /// Returns the underlying [`FitError`] when the synthetic population is
-    /// too small to fit the regressions (use a larger [`earlybird_synthgen::ac::AcConfig`]).
+    /// too small to fit the regressions (use a larger
+    /// [`earlybird_synthgen::ac::AcConfig`]).
     pub fn build(world: &'a AcWorld) -> Result<Self, FitError> {
-        let meta = &world.dataset.meta;
-        let mut pipeline =
-            DailyPipeline::new(std::sync::Arc::clone(&world.dataset.domains), PipelineConfig::enterprise());
-        let mut products = BTreeMap::new();
+        let mut engine = EngineBuilder::enterprise()
+            .whois(world.intel.whois.clone())
+            .build(std::sync::Arc::clone(&world.dataset.domains), world.dataset.meta.clone())
+            .expect("enterprise engine config is valid");
         for day_log in &world.dataset.days {
-            if day_log.day.index() < meta.bootstrap_days {
-                pipeline.bootstrap_proxy_day(day_log, &world.dataset.dhcp, meta);
-            } else {
-                let p = pipeline.process_proxy_day(day_log, &world.dataset.dhcp, meta);
-                products.insert(day_log.day, p);
-            }
+            engine.ingest_day(DayBatch::Proxy { day: day_log, dhcp: &world.dataset.dhcp });
         }
 
-        let automation = AutomationDetector::paper_default();
         let train_end = world.config.feb_day(14);
+        let training = engine.train_enterprise(train_end, &world.intel.vt, 0.4, 0.4)?;
 
-        // Pass 1: WHOIS defaults over the automated-domain population.
-        let mut known_whois = Vec::new();
-        for (day, product) in &products {
-            for (dom, _) in automated_domains(&automation, product) {
-                let name = product.folded.resolve(dom);
-                if let WhoisAnswer::Known { age_days, validity_days } =
-                    world.intel.whois.lookup(&name, *day)
-                {
-                    known_whois.push((age_days, validity_days));
-                }
-            }
-        }
-        let defaults = whois_defaults(known_whois);
-
-        // Pass 2: training samples from the first two weeks.
-        let mut cc_samples = Vec::new();
-        for (_day, product) in products.range(..=train_end) {
-            let ctx = product.context(Some(&world.intel.whois), defaults);
-            for (dom, auto_hosts) in automated_domains(&automation, product) {
-                let features = cc_features(&ctx, dom, auto_hosts);
-                let name = product.folded.resolve(dom);
-                let reported = world.intel.vt.is_reported(&name, train_end);
-                cc_samples.push(CcSample { features, reported });
-            }
-        }
-        let (cc_model, cc_scaler) = train_cc_model(&cc_samples, 0.4)?;
-
-        // Similarity training: rare non-automated domains contacted by hosts
-        // that also contact VT-confirmed automated domains (§VI-A).
-        let mut sim_samples = Vec::new();
-        for (_day, product) in products.range(..=train_end) {
-            let ctx = product.context(Some(&world.intel.whois), defaults);
-            let mut confirmed: BTreeSet<DomainSym> = BTreeSet::new();
-            let mut hosts = BTreeSet::new();
-            for (dom, _) in automated_domains(&automation, product) {
-                let name = product.folded.resolve(dom);
-                if world.intel.vt.is_reported(&name, train_end) {
-                    confirmed.insert(dom);
-                    if let Some(hs) = product.index.hosts_of(dom) {
-                        hosts.extend(hs.iter().copied());
-                    }
-                }
-            }
-            if confirmed.is_empty() {
-                continue;
-            }
-            let mut seen = BTreeSet::new();
-            for &h in &hosts {
-                let Some(rdoms) = product.index.rare_domains_of(h) else { continue };
-                for &d in rdoms {
-                    if confirmed.contains(&d) || !seen.insert(d) {
-                        continue;
-                    }
-                    let features = sim_features(&ctx, d, &confirmed);
-                    let name = product.folded.resolve(d);
-                    let reported = world.intel.vt.is_reported(&name, train_end);
-                    sim_samples.push(SimSample { features, reported });
-                }
-            }
-        }
-        let (sim_model, sim_scaler) = train_sim_model(&sim_samples, 0.4)?;
-
-        // Pass 3: score every automated domain over the whole month.
+        // Score every automated domain over the whole month with the
+        // trained model.
         let mut cc_scores = Vec::new();
         let mut training_scores = Vec::new();
-        for (day, product) in &products {
-            let ctx = product.context(Some(&world.intel.whois), defaults);
-            for (dom, auto_hosts) in automated_domains(&automation, product) {
-                let features = cc_features(&ctx, dom, auto_hosts);
-                let score = cc_model.score(&cc_scaler.transform(&features.to_row()));
-                cc_scores.push((*day, dom, score));
-                if *day <= train_end {
-                    let name = product.folded.resolve(dom);
-                    training_scores.push((score, world.intel.vt.is_reported(&name, train_end)));
+        let days: Vec<Day> = engine.days().collect();
+        for day in days {
+            for cand in engine.cc_scores(day).expect("retained day") {
+                cc_scores.push((day, cand.domain, cand.score));
+                if day <= train_end {
+                    training_scores
+                        .push((cand.score, world.intel.vt.is_reported(&cand.name, train_end)));
                 }
             }
         }
 
-        Ok(AcHarness {
-            world,
-            products,
-            cc_detector: CcDetector::new(
-                automation,
-                CcModel::Regression { model: cc_model, scaler: cc_scaler },
-            ),
-            sim_scorer: SimScorer::Regression { model: sim_model, scaler: sim_scaler },
-            whois_defaults: defaults,
-            cc_scores,
-            training_scores,
-        })
+        Ok(AcHarness { world, engine, training, cc_scores, training_scores })
     }
 
     /// The world the harness was built over.
@@ -216,24 +133,19 @@ impl<'a> AcHarness<'a> {
         self.world
     }
 
-    /// The trained C&C detector.
-    pub fn cc_detector(&self) -> &CcDetector {
-        &self.cc_detector
+    /// The engine holding the processed days and trained models.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
     }
 
-    /// The trained similarity scorer.
-    pub fn sim_scorer(&self) -> &SimScorer {
-        &self.sim_scorer
-    }
-
-    /// The per-day products (February).
-    pub fn products(&self) -> &BTreeMap<Day, DayProduct> {
-        &self.products
+    /// The training summary (fitted C&C model statistics).
+    pub fn training(&self) -> &TrainingReport {
+        &self.training
     }
 
     /// The WHOIS population defaults `(DomAge, DomValidity)`.
     pub fn whois_defaults(&self) -> (f64, f64) {
-        self.whois_defaults
+        self.engine.whois_defaults()
     }
 
     /// Validation category of a folded domain name, using the paper's
@@ -286,10 +198,9 @@ impl<'a> AcHarness<'a> {
             .iter()
             .map(|&t| {
                 let mut names: BTreeSet<String> = BTreeSet::new();
-                for (day, dom, score) in &self.cc_scores {
+                for (_day, dom, score) in &self.cc_scores {
                     if *score >= t {
-                        let product = &self.products[day];
-                        names.insert(product.folded.resolve(*dom).to_string());
+                        names.insert(self.engine.resolve(*dom).to_string());
                     }
                 }
                 self.tally(t, names)
@@ -305,30 +216,28 @@ impl<'a> AcHarness<'a> {
         ts_values
             .iter()
             .map(|&ts| {
-                let mut sim = self.sim_scorer.clone();
-                sim.set_threshold(ts);
                 let mut names: BTreeSet<String> = BTreeSet::new();
-                for (day, product) in &self.products {
-                    let ctx = product.context(Some(&self.world.intel.whois), self.whois_defaults);
+                for day in self.engine.days().collect::<Vec<_>>() {
                     let seeds_syms: Vec<DomainSym> = self
                         .cc_scores
                         .iter()
-                        .filter(|(d, _, s)| d == day && *s >= tc)
+                        .filter(|(d, _, s)| *d == day && *s >= tc)
                         .map(|(_, dom, _)| *dom)
                         .collect();
                     if seeds_syms.is_empty() {
                         continue;
                     }
-                    let seeds = Seeds::from_domains_with_hosts(&ctx, seeds_syms);
-                    let out = belief_propagation(
-                        &ctx,
-                        Some(&self.cc_detector),
-                        &sim,
-                        &seeds,
-                        &BpConfig::enterprise_default(),
-                    );
-                    for d in &out.labeled {
-                        names.insert(product.folded.resolve(d.domain).to_string());
+                    let report = self
+                        .engine
+                        .investigate(
+                            day,
+                            Investigation::from_seed_domains(seeds_syms)
+                                .sim_threshold(ts)
+                                .count_seeds(true),
+                        )
+                        .expect("retained day");
+                    for d in &report.outcome.labeled {
+                        names.insert(self.engine.resolve(d.domain).to_string());
                     }
                 }
                 self.tally(ts, names)
@@ -342,32 +251,21 @@ impl<'a> AcHarness<'a> {
         ts_values
             .iter()
             .map(|&ts| {
-                let mut sim = self.sim_scorer.clone();
-                sim.set_threshold(ts);
                 let mut names: BTreeSet<String> = BTreeSet::new();
-                for (day, product) in &self.products {
-                    let ctx = product.context(Some(&self.world.intel.whois), self.whois_defaults);
-                    let seeds_syms: Vec<DomainSym> = self
-                        .world
-                        .intel
-                        .ioc
-                        .visible(*day)
-                        .filter_map(|name| product.folded.get(name))
-                        .filter(|&d| product.index.connectivity(d) > 0)
-                        .collect();
+                for day in self.engine.days().collect::<Vec<_>>() {
+                    let seeds_syms = self.ioc_seeds_on(day);
                     if seeds_syms.is_empty() {
                         continue;
                     }
-                    let seeds = Seeds::from_domains_with_hosts(&ctx, seeds_syms);
-                    let out = belief_propagation(
-                        &ctx,
-                        Some(&self.cc_detector),
-                        &sim,
-                        &seeds,
-                        &BpConfig::enterprise_default(),
-                    );
-                    for d in out.detected() {
-                        names.insert(product.folded.resolve(d.domain).to_string());
+                    let report = self
+                        .engine
+                        .investigate(
+                            day,
+                            Investigation::from_seed_domains(seeds_syms).sim_threshold(ts),
+                        )
+                        .expect("retained day");
+                    for d in report.outcome.detected() {
+                        names.insert(self.engine.resolve(d.domain).to_string());
                     }
                 }
                 self.tally(ts, names)
@@ -375,69 +273,64 @@ impl<'a> AcHarness<'a> {
             .collect()
     }
 
+    /// IOC-feed seed domains visible on `day` that were actually contacted.
+    fn ioc_seeds_on(&self, day: Day) -> Vec<DomainSym> {
+        let Some(index) = self.engine.day_index(day) else { return Vec::new() };
+        let folded = self.engine.folded();
+        self.world
+            .intel
+            .ioc
+            .visible(day)
+            .filter_map(|name| folded.get(name))
+            .filter(|&d| index.connectivity(d) > 0)
+            .collect()
+    }
+
     /// The Fig. 7 case study: the no-hint community on a February day
     /// (2/13 in the paper).
     pub fn case_study_nohint(&self, feb_day: u32, tc: f64, ts: f64) -> Option<CaseStudy> {
         let day = self.world.config.feb_day(feb_day);
-        let product = self.products.get(&day)?;
-        let ctx = product.context(Some(&self.world.intel.whois), self.whois_defaults);
+        self.engine.day_index(day)?;
         let seeds_syms: Vec<DomainSym> = self
             .cc_scores
             .iter()
             .filter(|(d, _, s)| *d == day && *s >= tc)
             .map(|(_, dom, _)| *dom)
             .collect();
-        let seeds = Seeds::from_domains_with_hosts(&ctx, seeds_syms);
-        let mut sim = self.sim_scorer.clone();
-        sim.set_threshold(ts);
-        let out = belief_propagation(
-            &ctx,
-            Some(&self.cc_detector),
-            &sim,
-            &seeds,
-            &BpConfig::enterprise_default(),
-        );
-        Some(self.finish_case_study(feb_day, product, out))
+        let report = self
+            .engine
+            .investigate(
+                day,
+                Investigation::from_seed_domains(seeds_syms).sim_threshold(ts).count_seeds(true),
+            )
+            .ok()?;
+        Some(self.finish_case_study(feb_day, day, report.outcome))
     }
 
     /// The Fig. 8 case study: the SOC-hints community on a February day
     /// (2/10 in the paper).
     pub fn case_study_hints(&self, feb_day: u32, ts: f64) -> Option<CaseStudy> {
         let day = self.world.config.feb_day(feb_day);
-        let product = self.products.get(&day)?;
-        let ctx = product.context(Some(&self.world.intel.whois), self.whois_defaults);
-        let seeds_syms: Vec<DomainSym> = self
-            .world
-            .intel
-            .ioc
-            .visible(day)
-            .filter_map(|name| product.folded.get(name))
-            .filter(|&d| product.index.connectivity(d) > 0)
-            .collect();
-        let seeds = Seeds::from_domains_with_hosts(&ctx, seeds_syms);
-        let mut sim = self.sim_scorer.clone();
-        sim.set_threshold(ts);
-        let out = belief_propagation(
-            &ctx,
-            Some(&self.cc_detector),
-            &sim,
-            &seeds,
-            &BpConfig::enterprise_default(),
-        );
-        Some(self.finish_case_study(feb_day, product, out))
+        self.engine.day_index(day)?;
+        let seeds_syms = self.ioc_seeds_on(day);
+        let report = self
+            .engine
+            .investigate(day, Investigation::from_seed_domains(seeds_syms).sim_threshold(ts))
+            .ok()?;
+        Some(self.finish_case_study(feb_day, day, report.outcome))
     }
 
-    fn finish_case_study(&self, feb_day: u32, product: &DayProduct, out: BpOutcome) -> CaseStudy {
+    fn finish_case_study(&self, feb_day: u32, day: Day, out: BpOutcome) -> CaseStudy {
         let domains: Vec<(String, LabelReason, f64, DetectionCategory)> = out
             .labeled
             .iter()
             .map(|d| {
-                let name = product.folded.resolve(d.domain).to_string();
+                let name = self.engine.resolve(d.domain).to_string();
                 let cat = self.categorize(&name);
                 (name, d.reason, d.score, cat)
             })
             .collect();
-        let ctx = product.context(Some(&self.world.intel.whois), self.whois_defaults);
+        let ctx = self.engine.context(day).expect("retained day");
         let dot = crate::dot::community_dot("community", &ctx, &out, |name| {
             match self.categorize(name) {
                 DetectionCategory::KnownMalicious => "mediumpurple1",
@@ -446,38 +339,6 @@ impl<'a> AcHarness<'a> {
                 DetectionCategory::Legitimate => "palegreen",
             }
         });
-        CaseStudy {
-            feb_day,
-            host_count: out.compromised_hosts.len(),
-            outcome: out,
-            domains,
-            dot,
-        }
+        CaseStudy { feb_day, host_count: out.compromised_hosts.len(), outcome: out, domains, dot }
     }
-}
-
-/// Rare domains with automated connections in a day product:
-/// `(domain, automated host count)`.
-fn automated_domains(
-    automation: &AutomationDetector,
-    product: &DayProduct,
-) -> Vec<(DomainSym, usize)> {
-    let mut out = Vec::new();
-    for dom in product.index.rare_domains() {
-        let Some(hosts) = product.index.hosts_of(dom) else { continue };
-        let n = hosts
-            .iter()
-            .filter(|&&h| {
-                product
-                    .index
-                    .beacon_series(h, dom)
-                    .is_some_and(|series| automation.is_automated(series))
-            })
-            .count();
-        if n > 0 {
-            out.push((dom, n));
-        }
-    }
-    out.sort_by_key(|(d, _)| *d);
-    out
 }

@@ -81,7 +81,13 @@ mod tests {
             whois_defaults: (0.0, 0.0),
         };
         let seeds = Seeds::from_domains_with_hosts(&ctx, [folded.get("seed.ru").unwrap()]);
-        let out = belief_propagation(&ctx, None, &SimScorer::lanl_default(), &seeds, &BpConfig::lanl_default());
+        let out = belief_propagation(
+            &ctx,
+            None,
+            &SimScorer::lanl_default(),
+            &seeds,
+            &BpConfig::lanl_default(),
+        );
 
         let dot = community_dot("test", &ctx, &out, |_| "gray80");
         assert!(dot.starts_with("digraph"));

@@ -37,12 +37,7 @@ pub const JITTER_LEVELS: [u64; 8] = [0, 2, 5, 10, 20, 60, 180, u64::MAX];
 
 /// Generates one beacon series with the given period and maximum jitter;
 /// `u64::MAX` jitter produces fully random intervals in `[1, 2·period]`.
-pub fn jittered_beacon(
-    rng: &mut impl Rng,
-    period: u64,
-    jitter: u64,
-    n: usize,
-) -> Vec<Timestamp> {
+pub fn jittered_beacon(rng: &mut impl Rng, period: u64, jitter: u64, n: usize) -> Vec<Timestamp> {
     let mut t: i64 = rng.gen_range(0..3_600) as i64;
     let mut out = Vec::with_capacity(n);
     for _ in 0..n {
@@ -50,7 +45,8 @@ pub fn jittered_beacon(
         let step = if jitter == u64::MAX {
             rng.gen_range(1..=2 * period) as i64
         } else {
-            let j = if jitter == 0 { 0 } else { rng.gen_range(0..=2 * jitter) as i64 - jitter as i64 };
+            let j =
+                if jitter == 0 { 0 } else { rng.gen_range(0..=2 * jitter) as i64 - jitter as i64 };
             (period as i64 + j).max(1)
         };
         t += step;

@@ -62,9 +62,13 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("earlybird-test-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("fig6.json");
-        let rows = vec![
-            crate::ac::Fig6Row { threshold: 0.4, known: 10, new_malicious: 2, suspicious: 1, legitimate: 1 },
-        ];
+        let rows = vec![crate::ac::Fig6Row {
+            threshold: 0.4,
+            known: 10,
+            new_malicious: 2,
+            suspicious: 1,
+            legitimate: 1,
+        }];
         write_json(&path, &rows).unwrap();
         let text = std::fs::read_to_string(&path).unwrap();
         assert!(text.contains("\"threshold\": 0.4"));

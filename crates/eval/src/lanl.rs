@@ -1,17 +1,15 @@
-//! The LANL challenge harness (§V): runs the full pipeline over the
-//! two-month synthetic DNS dataset, solves all four challenge cases, and
-//! regenerates Table II, Table III, Fig. 2, Fig. 3 and Fig. 4.
+//! The LANL challenge harness (§V): drives the unified [`Engine`] facade
+//! over the two-month synthetic DNS dataset, solves all four challenge
+//! cases, and regenerates Table II, Table III, Fig. 2, Fig. 3 and Fig. 4.
 
 use crate::metrics::{DetectionTally, Rates};
-use earlybird_core::{
-    belief_propagation, BpConfig, BpOutcome, CcDetector, DailyPipeline, DayProduct,
-    PipelineConfig, Seeds, SimScorer,
-};
+use earlybird_core::BpOutcome;
+use earlybird_engine::{DayBatch, Engine, EngineBuilder, Investigation};
 use earlybird_logmodel::{Day, Timestamp};
 use earlybird_synthgen::lanl::{ChallengeCase, LanlCampaign, LanlChallenge};
 use earlybird_timing::AutomationDetector;
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, BTreeSet, HashSet};
+use std::collections::{BTreeSet, HashSet};
 
 /// One row of the Fig. 2 reproduction: distinct domains surviving each
 /// reduction step on one day.
@@ -113,34 +111,31 @@ impl Table3 {
     }
 }
 
-/// A completed pipeline run over the challenge dataset: per-day products for
-/// the operation month plus Fig. 2 counters.
+/// A completed engine run over the challenge dataset: February bootstraps
+/// the profiles, every March day is retained for investigation.
 pub struct LanlRun<'a> {
     challenge: &'a LanlChallenge,
-    products: BTreeMap<Day, DayProduct>,
+    engine: Engine,
 }
 
 impl<'a> LanlRun<'a> {
-    /// Bootstraps on February and processes every March day.
+    /// Streams the whole challenge through one [`Engine`].
     pub fn new(challenge: &'a LanlChallenge) -> Self {
-        let meta = &challenge.dataset.meta;
-        let mut pipeline =
-            DailyPipeline::new(std::sync::Arc::clone(&challenge.dataset.domains), PipelineConfig::lanl());
-        let mut products = BTreeMap::new();
+        let mut engine = EngineBuilder::lanl()
+            .build(
+                std::sync::Arc::clone(&challenge.dataset.domains),
+                challenge.dataset.meta.clone(),
+            )
+            .expect("LANL engine config is valid");
         for day_log in &challenge.dataset.days {
-            if day_log.day.index() < meta.bootstrap_days {
-                pipeline.bootstrap_dns_day(day_log, meta);
-            } else {
-                let product = pipeline.process_dns_day(day_log, meta);
-                products.insert(day_log.day, product);
-            }
+            engine.ingest_day(DayBatch::Dns(day_log));
         }
-        LanlRun { challenge, products }
+        LanlRun { challenge, engine }
     }
 
-    /// The processed day products (March only).
-    pub fn products(&self) -> &BTreeMap<Day, DayProduct> {
-        &self.products
+    /// The engine holding the processed days.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
     }
 
     /// The underlying challenge.
@@ -153,15 +148,14 @@ impl<'a> LanlRun<'a> {
         let mut rows = Vec::new();
         for m in from..=to {
             let day = self.challenge.config.march_day(m);
-            let Some(p) = self.products.get(&day) else { continue };
-            let c = p.dns_counts.expect("LANL products carry DNS counts");
+            let Some(report) = self.engine.report(day) else { continue };
             rows.push(Fig2Row {
                 march_day: m,
-                all: c.domains_all,
-                filter_internal: c.domains_after_internal_filter,
-                filter_servers: c.domains_after_server_filter,
-                new_destinations: p.index.new_count(),
-                rare_destinations: p.index.rare_count(),
+                all: report.stages.domains_all,
+                filter_internal: report.stages.domains_after_internal_filter,
+                filter_servers: report.stages.domains_after_server_filter,
+                new_destinations: report.stages.new_destinations,
+                rare_destinations: report.stages.rare_destinations,
             });
         }
         rows
@@ -180,17 +174,12 @@ impl<'a> LanlRun<'a> {
                 set.insert((v.index(), c.plan.cc_domain().to_owned()));
             }
         }
-        let testing_days: BTreeSet<Day> =
-            self.challenge.testing().map(|c| c.day).collect();
+        let testing_days: BTreeSet<Day> = self.challenge.testing().map(|c| c.day).collect();
 
         configs
             .iter()
             .map(|&(w, jt)| {
-                let det = AutomationDetector::new(w, jt, 4);
-                let cc = CcDetector::new(det, earlybird_core::CcModel::LanlHeuristic {
-                    min_hosts: 2,
-                    period_tolerance_secs: 10,
-                });
+                let automation = AutomationDetector::new(w, jt, 4);
                 let mut row = Table2Row {
                     bin_width: w,
                     jt,
@@ -198,12 +187,12 @@ impl<'a> LanlRun<'a> {
                     malicious_pairs_testing: 0,
                     all_pairs_testing: 0,
                 };
-                for (day, product) in &self.products {
-                    let ctx = product.context(None, (0.0, 0.0));
-                    let pairs = cc.automated_pairs(&ctx);
-                    let in_testing = testing_days.contains(day);
+                for day in self.engine.days() {
+                    let pairs =
+                        self.engine.automated_pairs_sweep(day, &automation).expect("retained day");
+                    let in_testing = testing_days.contains(&day);
                     for (h, d, _) in pairs {
-                        let name = product.folded.resolve(d).to_string();
+                        let name = self.engine.resolve(d).to_string();
                         let key = (h.index(), name);
                         if truth_train.contains(&key) {
                             row.malicious_pairs_training += 1;
@@ -224,30 +213,26 @@ impl<'a> LanlRun<'a> {
     pub fn figure3(&self) -> Fig3Data {
         let mut data = Fig3Data::default();
         for c in self.challenge.training() {
-            let Some(product) = self.products.get(&c.day) else { continue };
-            let mal_syms: Vec<_> = c
-                .answer_domains()
-                .iter()
-                .filter_map(|n| product.folded.get(n))
-                .collect();
+            let Some(index) = self.engine.day_index(c.day) else { continue };
+            let folded = self.engine.folded();
+            let mal_syms: Vec<_> =
+                c.answer_domains().iter().filter_map(|n| folded.get(n)).collect();
             for &victim in &c.plan.victims {
                 // First-contact times to malicious domains.
-                let mal_firsts: Vec<Timestamp> = mal_syms
-                    .iter()
-                    .filter_map(|&m| product.index.first_contact(victim, m))
-                    .collect();
+                let mal_firsts: Vec<Timestamp> =
+                    mal_syms.iter().filter_map(|&m| index.first_contact(victim, m)).collect();
                 for (i, &a) in mal_firsts.iter().enumerate() {
                     for &b in &mal_firsts[i + 1..] {
                         data.malicious_malicious.push(a.abs_diff(b) as f64);
                     }
                 }
                 // Gaps to the victim's rare legitimate domains.
-                if let Some(rdoms) = product.index.rare_domains_of(victim) {
+                if let Some(rdoms) = index.rare_domains_of(victim) {
                     for &r in rdoms {
                         if mal_syms.contains(&r) {
                             continue;
                         }
-                        let Some(t_leg) = product.index.first_contact(victim, r) else { continue };
+                        let Some(t_leg) = index.first_contact(victim, r) else { continue };
                         for &a in &mal_firsts {
                             data.malicious_legitimate.push(a.abs_diff(t_leg) as f64);
                         }
@@ -263,33 +248,16 @@ impl<'a> LanlRun<'a> {
     /// Solves one campaign with the paper's per-case protocol and scores
     /// the result against the answer key.
     pub fn evaluate_campaign(&self, campaign: &LanlCampaign) -> CampaignResult {
-        let product = self.products.get(&campaign.day).expect("campaign day processed");
-        let ctx = product.context(None, (0.0, 0.0));
-        let cc = CcDetector::lanl_default();
-        let sim = SimScorer::lanl_default();
-        let cfg = BpConfig::lanl_default();
-
-        let (outcome, count_seeds) = match campaign.case {
-            ChallengeCase::Four => {
-                // No hints: the daily C&C pass seeds belief propagation, and
-                // the C&C domains count as detections.
-                let detections = cc.detect_all(&ctx);
-                let seeds =
-                    Seeds::from_domains_with_hosts(&ctx, detections.iter().map(|d| d.domain));
-                (belief_propagation(&ctx, Some(&cc), &sim, &seeds, &cfg), true)
-            }
-            _ => {
-                let seeds = Seeds::from_hosts(campaign.hint_hosts.iter().copied());
-                (belief_propagation(&ctx, Some(&cc), &sim, &seeds, &cfg), false)
-            }
+        let investigation = match campaign.case {
+            // No hints: the daily C&C pass seeds belief propagation, and
+            // the C&C domains count as detections.
+            ChallengeCase::Four => Investigation::no_hint(),
+            _ => Investigation::from_hint_hosts(campaign.hint_hosts.iter().copied()),
         };
+        let report =
+            self.engine.investigate(campaign.day, investigation).expect("campaign day processed");
 
-        let detected: Vec<String> = outcome
-            .labeled
-            .iter()
-            .filter(|d| count_seeds || d.reason != earlybird_core::LabelReason::Seed)
-            .map(|d| product.folded.resolve(d.domain).to_string())
-            .collect();
+        let detected: Vec<String> = report.reported_names();
         let answer: BTreeSet<&str> = campaign.answer_domains().into_iter().collect();
         let detected_set: BTreeSet<&str> = detected.iter().map(String::as_str).collect();
         let true_positives = detected_set.iter().filter(|d| answer.contains(*d)).count();
@@ -304,7 +272,7 @@ impl<'a> LanlRun<'a> {
             false_positives,
             false_negatives,
             detected,
-            outcome,
+            outcome: report.outcome,
         }
     }
 

@@ -41,8 +41,7 @@ impl DetectionTally {
         let detected = self.detected();
         let tdr = if detected == 0 { 0.0 } else { self.true_positives as f64 / detected as f64 };
         let malicious = self.true_positives + self.false_negatives;
-        let fnr =
-            if malicious == 0 { 0.0 } else { self.false_negatives as f64 / malicious as f64 };
+        let fnr = if malicious == 0 { 0.0 } else { self.false_negatives as f64 / malicious as f64 };
         let ndr = if detected == 0 { 0.0 } else { self.new_discoveries as f64 / detected as f64 };
         Rates { tdr, fdr: 1.0 - tdr, fnr, ndr }
     }
@@ -111,8 +110,18 @@ mod tests {
 
     #[test]
     fn add_accumulates() {
-        let mut a = DetectionTally { true_positives: 1, false_positives: 2, false_negatives: 3, new_discoveries: 0 };
-        a.add(DetectionTally { true_positives: 10, false_positives: 0, false_negatives: 1, new_discoveries: 4 });
+        let mut a = DetectionTally {
+            true_positives: 1,
+            false_positives: 2,
+            false_negatives: 3,
+            new_discoveries: 0,
+        };
+        a.add(DetectionTally {
+            true_positives: 10,
+            false_positives: 0,
+            false_negatives: 1,
+            new_discoveries: 4,
+        });
         assert_eq!(a.true_positives, 11);
         assert_eq!(a.detected(), 13);
         assert_eq!(a.false_negatives, 4);

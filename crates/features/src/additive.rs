@@ -89,7 +89,12 @@ impl AdditiveScorer {
     /// the domain; `timing_correlated` is whether some host visited the
     /// domain close in time to a labeled malicious domain; `ip` is the
     /// IP-space proximity.
-    pub fn score(&self, connectivity: u32, timing_correlated: bool, ip: IpProximity) -> AdditiveScore {
+    pub fn score(
+        &self,
+        connectivity: u32,
+        timing_correlated: bool,
+        ip: IpProximity,
+    ) -> AdditiveScore {
         let connectivity = connectivity.min(self.conn_cap) as f64 / self.conn_cap as f64;
         let timing = if timing_correlated { 1.0 } else { 0.0 };
         let ip = ip.component() / 2.0;

@@ -140,11 +140,7 @@ mod tests {
 
     #[test]
     fn inverts_3x3() {
-        let a = vec![
-            vec![2.0, 0.0, 0.0],
-            vec![0.0, 4.0, 0.0],
-            vec![1.0, 0.0, 1.0],
-        ];
+        let a = vec![vec![2.0, 0.0, 0.0], vec![0.0, 4.0, 0.0], vec![1.0, 0.0, 1.0]];
         let inv = invert(&a).unwrap();
         // A * A^-1 = I
         for i in 0..3 {

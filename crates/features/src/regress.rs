@@ -169,10 +169,8 @@ impl LinearRegression {
         }
         let xty = gram_rhs(&rows, y);
         let xtx_inv = invert(&xtx).ok_or(FitError::Singular)?;
-        let beta: Vec<f64> = xtx_inv
-            .iter()
-            .map(|row| row.iter().zip(&xty).map(|(a, b)| a * b).sum())
-            .collect();
+        let beta: Vec<f64> =
+            xtx_inv.iter().map(|row| row.iter().zip(&xty).map(|(a, b)| a * b).sum()).collect();
 
         // Residual variance and standard errors.
         let mut rss = 0.0;
@@ -185,7 +183,8 @@ impl LinearRegression {
         }
         let dof = (n - p - 1) as f64;
         let sigma2 = rss / dof;
-        let std_errors: Vec<f64> = (0..=p).map(|i| (sigma2 * xtx_inv[i][i]).max(0.0).sqrt()).collect();
+        let std_errors: Vec<f64> =
+            (0..=p).map(|i| (sigma2 * xtx_inv[i][i]).max(0.0).sqrt()).collect();
         let r_squared = if tss > 0.0 { 1.0 - rss / tss } else { 1.0 };
 
         Ok(Fit { beta, std_errors, r_squared, n })
@@ -258,7 +257,12 @@ impl RegressionModel {
             .iter()
             .enumerate()
             .map(|(i, name)| {
-                (name.clone(), self.fit.coefficient(i), self.fit.t_stat(i), self.fit.is_significant(i))
+                (
+                    name.clone(),
+                    self.fit.coefficient(i),
+                    self.fit.t_stat(i),
+                    self.fit.is_significant(i),
+                )
             })
             .collect()
     }
@@ -293,11 +297,13 @@ mod tests {
     fn irrelevant_noise_feature_is_insignificant() {
         // y depends on x0 strongly; x1 is a fixed pseudo-random sequence
         // uncorrelated with y.
-        let noise = [0.3, -0.7, 0.1, 0.9, -0.2, 0.5, -0.9, 0.05, -0.4, 0.7, 0.2, -0.6, 0.8, -0.1, 0.45, -0.35];
+        let noise = [
+            0.3, -0.7, 0.1, 0.9, -0.2, 0.5, -0.9, 0.05, -0.4, 0.7, 0.2, -0.6, 0.8, -0.1, 0.45,
+            -0.35,
+        ];
         let xs: Vec<Vec<f64>> = (0..16).map(|i| vec![i as f64, noise[i]]).collect();
-        let y: Vec<f64> = (0..16)
-            .map(|i| 5.0 * i as f64 + if i % 2 == 0 { 0.1 } else { -0.1 })
-            .collect();
+        let y: Vec<f64> =
+            (0..16).map(|i| 5.0 * i as f64 + if i % 2 == 0 { 0.1 } else { -0.1 }).collect();
         let fit = LinearRegression::fit(&xs, &y).unwrap();
         assert!(fit.is_significant(0), "true driver must be significant");
         assert!(!fit.is_significant(1), "noise must be insignificant, t = {}", fit.t_stat(1));

@@ -13,16 +13,8 @@ pub const CC_FEATURE_NAMES: [&str; 6] =
     ["NoHosts", "AutoHosts", "NoRef", "RareUA", "DomAge", "DomValidity"];
 
 /// Feature names of the domain-similarity model, in design-matrix order.
-pub const SIM_FEATURE_NAMES: [&str; 8] = [
-    "NoHosts",
-    "DomInterval",
-    "IP24",
-    "IP16",
-    "NoRef",
-    "RareUA",
-    "DomAge",
-    "DomValidity",
-];
+pub const SIM_FEATURE_NAMES: [&str; 8] =
+    ["NoHosts", "DomInterval", "IP24", "IP16", "NoRef", "RareUA", "DomAge", "DomValidity"];
 
 /// Decay constant (seconds) for turning the minimum inter-domain visit gap
 /// into a bounded closeness value: Fig. 3 shows 56% of malicious-to-malicious
@@ -51,7 +43,14 @@ pub struct CcFeatures {
 impl CcFeatures {
     /// The feature row in [`CC_FEATURE_NAMES`] order.
     pub fn to_row(&self) -> Vec<f64> {
-        vec![self.no_hosts, self.auto_hosts, self.no_ref, self.rare_ua, self.dom_age, self.dom_validity]
+        vec![
+            self.no_hosts,
+            self.auto_hosts,
+            self.no_ref,
+            self.rare_ua,
+            self.dom_age,
+            self.dom_validity,
+        ]
     }
 }
 

@@ -46,10 +46,7 @@ impl IocFeed {
 
     /// Domains visible in the feed as of `as_of`, in lexicographic order.
     pub fn visible(&self, as_of: Day) -> impl Iterator<Item = &str> {
-        self.domains
-            .iter()
-            .filter(move |(_, &d)| d <= as_of)
-            .map(|(name, _)| name.as_str())
+        self.domains.iter().filter(move |(_, &d)| d <= as_of).map(|(name, _)| name.as_str())
     }
 
     /// Number of indicators in the feed (any day).

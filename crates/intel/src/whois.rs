@@ -66,10 +66,8 @@ impl WhoisRegistry {
     /// Panics if `expires <= created`.
     pub fn register(&mut self, domain: &str, created: Day, expires: Day) {
         assert!(expires > created, "registration must have positive validity");
-        self.records.insert(
-            domain.to_owned(),
-            Some(Registration { created, expires, prior_age_days: 0 }),
-        );
+        self.records
+            .insert(domain.to_owned(), Some(Registration { created, expires, prior_age_days: 0 }));
     }
 
     /// Registers a domain that predates the observation window by

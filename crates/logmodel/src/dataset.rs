@@ -32,10 +32,7 @@ pub struct DatasetMeta {
 impl DatasetMeta {
     /// Kind of `host`, defaulting to workstation for out-of-range ids.
     pub fn kind(&self, host: HostId) -> HostKind {
-        self.host_kinds
-            .get(host.index() as usize)
-            .copied()
-            .unwrap_or(HostKind::Workstation)
+        self.host_kinds.get(host.index() as usize).copied().unwrap_or(HostKind::Workstation)
     }
 
     /// First day of the operation (post-bootstrap) period.

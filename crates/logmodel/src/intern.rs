@@ -145,12 +145,7 @@ impl<T> TypedInterner<T> {
 
     /// Looks up a string without interning it.
     pub fn get(&self, s: &str) -> Option<Symbol<T>> {
-        self.inner
-            .read()
-            .expect("interner poisoned")
-            .map
-            .get(s)
-            .map(|&raw| Symbol::new(raw))
+        self.inner.read().expect("interner poisoned").map.get(s).map(|&raw| Symbol::new(raw))
     }
 
     /// Resolves a symbol back to its string.

@@ -36,12 +36,20 @@ pub mod intern;
 pub mod ip;
 pub mod time;
 
-pub use codec::{format_dns_line, format_proxy_line, parse_dns_line, parse_dns_log, parse_proxy_line, parse_proxy_log, HostMapper, ParseLogError};
-pub use dataset::{DatasetMeta, DhcpLease, DhcpLog, DnsDataset, DnsDayLog, ProxyDataset, ProxyDayLog};
+pub use codec::{
+    format_dns_line, format_proxy_line, parse_dns_line, parse_dns_log, parse_proxy_line,
+    parse_proxy_log, HostMapper, ParseLogError,
+};
+pub use dataset::{
+    DatasetMeta, DhcpLease, DhcpLog, DnsDataset, DnsDayLog, ProxyDataset, ProxyDayLog,
+};
 pub use dns::{DnsQuery, DnsRecordType};
 pub use domain::{fold_domain, label_count, top_level_domain};
 pub use host::{HostId, HostKind};
 pub use http::{HttpMethod, HttpStatus, ProxyRecord};
-pub use intern::{DomainInterner, DomainSym, DomainTag, PathInterner, PathSym, PathTag, Symbol, TypedInterner, UaInterner, UaSym, UaTag};
+pub use intern::{
+    DomainInterner, DomainSym, DomainTag, PathInterner, PathSym, PathTag, Symbol, TypedInterner,
+    UaInterner, UaSym, UaTag,
+};
 pub use ip::{Ipv4, ParseIpv4Error, Subnet16, Subnet24};
 pub use time::{Day, Timestamp, TzOffset, SECONDS_PER_DAY};

@@ -76,14 +76,7 @@ impl fmt::Debug for Timestamp {
 impl fmt::Display for Timestamp {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let s = self.secs_of_day();
-        write!(
-            f,
-            "d{:02} {:02}:{:02}:{:02}",
-            self.day().index(),
-            s / 3600,
-            (s % 3600) / 60,
-            s % 60
-        )
+        write!(f, "d{:02} {:02}:{:02}:{:02}", self.day().index(), s / 3600, (s % 3600) / 60, s % 60)
     }
 }
 
@@ -108,9 +101,7 @@ impl Sub<Timestamp> for Timestamp {
     ///
     /// Panics if `rhs` is later than `self`.
     fn sub(self, rhs: Timestamp) -> u64 {
-        self.0
-            .checked_sub(rhs.0)
-            .expect("timestamp subtraction underflow")
+        self.0.checked_sub(rhs.0).expect("timestamp subtraction underflow")
     }
 }
 
@@ -188,7 +179,9 @@ impl Add<u32> for Day {
 /// let local = Timestamp::from_secs(10_000);
 /// assert_eq!(tz.to_utc(local).as_secs(), 10_000 + 300 * 60);
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Debug, Serialize, Deserialize)]
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Debug, Serialize, Deserialize,
+)]
 pub struct TzOffset(i32);
 
 impl TzOffset {

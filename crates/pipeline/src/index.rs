@@ -192,10 +192,8 @@ impl DayIndex {
         if hosts.is_empty() {
             return None;
         }
-        let matching = hosts
-            .iter()
-            .filter(|&&h| self.edge_http.get(&(h, domain)).is_some_and(&pred))
-            .count();
+        let matching =
+            hosts.iter().filter(|&&h| self.edge_http.get(&(h, domain)).is_some_and(&pred)).count();
         Some(matching as f64 / hosts.len() as f64)
     }
 
@@ -224,7 +222,14 @@ mod tests {
             Fixture { domains: DomainInterner::new(), uas: UaInterner::new(), contacts: Vec::new() }
         }
 
-        fn push(&mut self, ts: u64, host: u32, domain: &str, ip: Option<Ipv4>, http: Option<HttpContext>) {
+        fn push(
+            &mut self,
+            ts: u64,
+            host: u32,
+            domain: &str,
+            ip: Option<Ipv4>,
+            http: Option<HttpContext>,
+        ) {
             self.contacts.push(Contact {
                 ts: Timestamp::from_secs(ts),
                 host: HostId::new(host),

@@ -50,4 +50,6 @@ pub use history::{DomainHistory, UaHistory};
 pub use index::{DayIndex, EdgeKey};
 pub use normalize::{normalize_proxy_day, NormalizationCounts};
 pub use rare::{RareDomains, RareSieve};
-pub use reduce::{reduce_dns_day, reduce_proxy_day, DnsReductionCounts, ProxyReductionCounts, ReductionConfig};
+pub use reduce::{
+    reduce_dns_day, reduce_proxy_day, DnsReductionCounts, ProxyReductionCounts, ReductionConfig,
+};

@@ -170,7 +170,10 @@ mod tests {
         let d = domains.intern("edge.case");
         let history = DomainHistory::new();
         let contacts: Vec<Contact> = (0..10).map(|h| contact(d, h)).collect();
-        assert!(!RareSieve::new(10).extract(&contacts, &history).contains(d), "exactly 10 hosts is not rare");
+        assert!(
+            !RareSieve::new(10).extract(&contacts, &history).contains(d),
+            "exactly 10 hosts is not rare"
+        );
         assert!(RareSieve::new(11).extract(&contacts, &history).contains(d));
     }
 

@@ -4,9 +4,7 @@
 
 use crate::contact::{Contact, HttpContext};
 use crate::fold::FoldTable;
-use earlybird_logmodel::{
-    DatasetMeta, DnsDayLog, DnsRecordType, DomainSym, HostKind, ProxyRecord,
-};
+use earlybird_logmodel::{DatasetMeta, DnsDayLog, DnsRecordType, DomainSym, HostKind, ProxyRecord};
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 
@@ -26,7 +24,10 @@ impl ReductionConfig {
 
     fn is_internal(&self, name: &str) -> bool {
         self.internal_suffixes.iter().any(|s| {
-            name == s.as_str() || (name.len() > s.len() && name.ends_with(s.as_str()) && name.as_bytes()[name.len() - s.len() - 1] == b'.')
+            name == s.as_str()
+                || (name.len() > s.len()
+                    && name.ends_with(s.as_str())
+                    && name.as_bytes()[name.len() - s.len() - 1] == b'.')
         })
     }
 }
@@ -175,7 +176,13 @@ mod tests {
         }
     }
 
-    fn dns_query(domains: &DomainInterner, ts: u64, src: u32, name: &str, qtype: DnsRecordType) -> DnsQuery {
+    fn dns_query(
+        domains: &DomainInterner,
+        ts: u64,
+        src: u32,
+        name: &str,
+        qtype: DnsRecordType,
+    ) -> DnsQuery {
         DnsQuery {
             ts: Timestamp::from_secs(ts),
             src: HostId::new(src),
@@ -194,7 +201,7 @@ mod tests {
             queries: vec![
                 dns_query(&raw, 1, 0, "www.nbc.com", DnsRecordType::A),
                 dns_query(&raw, 2, 0, "mail.corp.local", DnsRecordType::A), // internal
-                dns_query(&raw, 3, 1, "evil.ru", DnsRecordType::A),          // server source
+                dns_query(&raw, 3, 1, "evil.ru", DnsRecordType::A),         // server source
                 dns_query(&raw, 4, 0, "txt.example.org", DnsRecordType::Txt), // non-A
                 dns_query(&raw, 5, 2, "cdn.nbc.com", DnsRecordType::A),
             ],
@@ -212,7 +219,11 @@ mod tests {
         assert_eq!(counts.domains_after_internal_filter, 2);
         // server filter drops evil.ru (only contacted by the server)
         assert_eq!(counts.domains_after_server_filter, 1);
-        assert_eq!(contacts.len(), 2, "www.nbc.com + cdn.nbc.com fold together but are two contacts");
+        assert_eq!(
+            contacts.len(),
+            2,
+            "www.nbc.com + cdn.nbc.com fold together but are two contacts"
+        );
         assert!(contacts.iter().all(|c| c.http.is_none()));
     }
 
@@ -230,7 +241,13 @@ mod tests {
         let raw = Arc::new(DomainInterner::new());
         let mut queries = Vec::new();
         for i in 0..50u32 {
-            queries.push(dns_query(&raw, i as u64, i % 5, &format!("d{i}.example{}.com", i % 7), DnsRecordType::A));
+            queries.push(dns_query(
+                &raw,
+                i as u64,
+                i % 5,
+                &format!("d{i}.example{}.com", i % 7),
+                DnsRecordType::A,
+            ));
         }
         queries.push(dns_query(&raw, 99, 0, "x.corp.local", DnsRecordType::A));
         let day = DnsDayLog { day: Day::new(0), queries };

@@ -20,13 +20,17 @@
 //!   a Sality-style cluster sharing the `/logo.gif?` URL pattern.
 
 use crate::campaign::{CampaignPlan, CampaignShape};
-use crate::names::{benign_domain, dga_hex_info, dga_short_info, malware_ru, pronounceable, ramdo_org};
+use crate::names::{
+    benign_domain, dga_hex_info, dga_short_info, malware_ru, pronounceable, ramdo_org,
+};
 use crate::rng::derive_rng;
-use earlybird_intel::{CampaignId, GroundTruth, IocFeed, TrueClass, VirusTotalOracle, WhoisRegistry};
+use earlybird_intel::{
+    CampaignId, GroundTruth, IocFeed, TrueClass, VirusTotalOracle, WhoisRegistry,
+};
 use earlybird_logmodel::{
-    DatasetMeta, Day, DhcpLease, DhcpLog, DomainInterner, HostId, HostKind, HttpMethod,
-    HttpStatus, Ipv4, PathInterner, ProxyDataset, ProxyDayLog, ProxyRecord, Timestamp, TzOffset,
-    UaInterner, SECONDS_PER_DAY,
+    DatasetMeta, Day, DhcpLease, DhcpLog, DomainInterner, HostId, HostKind, HttpMethod, HttpStatus,
+    Ipv4, PathInterner, ProxyDataset, ProxyDayLog, ProxyRecord, Timestamp, TzOffset, UaInterner,
+    SECONDS_PER_DAY,
 };
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -238,7 +242,8 @@ impl AcGenerator {
     /// all February campaigns, deterministically from the seed.
     pub fn new(cfg: AcConfig) -> Self {
         let mut pool_rng = derive_rng(cfg.seed, &[30]);
-        let popular: Vec<String> = (0..cfg.popular_domains).map(|_| benign_domain(&mut pool_rng)).collect();
+        let popular: Vec<String> =
+            (0..cfg.popular_domains).map(|_| benign_domain(&mut pool_rng)).collect();
         let common_uas: Vec<String> = (0..cfg.n_common_uas)
             .map(|i| format!("Mozilla/5.0 (Corp{}; rv:{}) Gecko", i % 7, 80 + i))
             .collect();
@@ -287,7 +292,11 @@ impl AcGenerator {
                         let syllables = rng.gen_range(4..7);
                         names.push(format!("{}.in", pronounceable(rng, syllables)));
                     }
-                    (names, rng.gen_range(1..=3), *[300u64, 600, 1_200, 3_600].choose(rng).expect("non-empty"))
+                    (
+                        names,
+                        rng.gen_range(1..=3),
+                        *[300u64, 600, 1_200, 3_600].choose(rng).expect("non-empty"),
+                    )
                 }
                 AcCampaignKind::BeaconPair => {
                     // usteeptyshehoaboochu.ru + parfumonline.in pair (Fig. 7).
@@ -419,7 +428,11 @@ impl AcGenerator {
                         } else {
                             let age = rng.gen_range(2..30u32);
                             let created = Day::new(c.day.index().saturating_sub(age));
-                            intel.whois.register(&d.name, created, created + rng.gen_range(30..365u32));
+                            intel.whois.register(
+                                &d.name,
+                                created,
+                                created + rng.gen_range(30..365u32),
+                            );
                         }
                     }
                 }
@@ -453,7 +466,8 @@ impl AcGenerator {
         for day in 0..cfg.total_days {
             for h in 0..cfg.n_hosts {
                 let slot = (h as u64 + day as u64 * 17) % cfg.n_hosts as u64;
-                let ip = Ipv4::new(10, 8 + (slot >> 8) as u8, (slot & 0xFF) as u8, 1 + (h % 250) as u8);
+                let ip =
+                    Ipv4::new(10, 8 + (slot >> 8) as u8, (slot & 0xFF) as u8, 1 + (h % 250) as u8);
                 dhcp.add(DhcpLease {
                     ip,
                     host: HostId::new(h),
@@ -503,9 +517,8 @@ impl AcGenerator {
             for _ in 0..n {
                 let ts = Timestamp::from_day_secs(day, browse_second(&mut rng));
                 let dom_name = self.zipf_popular(&mut rng).to_owned();
-                let referer = rng
-                    .gen_bool(0.85)
-                    .then(|| domains.intern(self.zipf_popular(&mut rng)));
+                let referer =
+                    rng.gen_bool(0.85).then(|| domains.intern(self.zipf_popular(&mut rng)));
                 let ua_pool = &self.host_uas[host as usize];
                 let ua = uas.intern(&self.common_uas[ua_pool[rng.gen_range(0..ua_pool.len())]]);
                 records.push(self.record(
@@ -532,9 +545,18 @@ impl AcGenerator {
                 let ts = Timestamp::from_day_secs(day, browse_second(&mut rng));
                 let ua_pool = &self.host_uas[host as usize];
                 let ua = uas.intern(&self.common_uas[ua_pool[rng.gen_range(0..ua_pool.len())]]);
-                let referer = rng.gen_bool(0.7).then(|| domains.intern(self.zipf_popular(&mut rng)));
+                let referer =
+                    rng.gen_bool(0.7).then(|| domains.intern(self.zipf_popular(&mut rng)));
                 records.push(self.record(
-                    domains, dhcp, ts, host, &name, stable_ip(&name), root_path, Some(ua), referer,
+                    domains,
+                    dhcp,
+                    ts,
+                    host,
+                    &name,
+                    stable_ip(&name),
+                    root_path,
+                    Some(ua),
+                    referer,
                     HttpStatus::OK,
                 ));
             }
@@ -554,9 +576,11 @@ impl AcGenerator {
                 let created = Day::new(day.index().saturating_sub(rng.gen_range(3..40)));
                 intel.whois.register(&name, created, created + rng.gen_range(60..400u32));
             } else {
-                intel
-                    .whois
-                    .register_aged(&name, rng.gen_range(200..4_000), Day::new(cfg.total_days + rng.gen_range(100..1_500)));
+                intel.whois.register_aged(
+                    &name,
+                    rng.gen_range(200..4_000),
+                    Day::new(cfg.total_days + rng.gen_range(100..1_500)),
+                );
             }
             intel.truth.set(&name, TrueClass::Benign);
             let updater_ua = if ua_roll < 0.72 {
@@ -585,7 +609,17 @@ impl AcGenerator {
                 let referer =
                     rng.gen_bool(referer_p).then(|| domains.intern(self.zipf_popular(&mut rng)));
                 self.emit_beacon(
-                    domains, dhcp, &mut records, &mut rng, day, host, &name, period, 2, ua, referer,
+                    domains,
+                    dhcp,
+                    &mut records,
+                    &mut rng,
+                    day,
+                    host,
+                    &name,
+                    period,
+                    2,
+                    ua,
+                    referer,
                     root_path,
                 );
             }
@@ -611,7 +645,8 @@ impl AcGenerator {
             let created = Day::new(day.index().saturating_sub(rng.gen_range(1..20)));
             intel.whois.register(&name, created, created + rng.gen_range(30..120u32));
             intel.truth.set(&name, TrueClass::Suspicious);
-            let riders: Vec<(u32, Option<u64>)> = if !burst_anchors.is_empty() && rng.gen_bool(0.5) {
+            let riders: Vec<(u32, Option<u64>)> = if !burst_anchors.is_empty() && rng.gen_bool(0.5)
+            {
                 let n = rng.gen_range(1..=2usize).min(burst_anchors.len());
                 (0..n)
                     .map(|_| {
@@ -662,16 +697,19 @@ impl AcGenerator {
                 } else if roll < 0.35 {
                     None
                 } else {
-                    Some(uas.intern(&format!("WinHttp/{}.{}", campaign.id.0, mal_rng.gen_range(1..9))))
+                    Some(uas.intern(&format!(
+                        "WinHttp/{}.{}",
+                        campaign.id.0,
+                        mal_rng.gen_range(1..9)
+                    )))
                 };
-                let referer = mal_rng
-                    .gen_bool(0.15)
-                    .then(|| domains.intern(self.zipf_popular(&mut mal_rng)));
+                let referer =
+                    mal_rng.gen_bool(0.15).then(|| domains.intern(self.zipf_popular(&mut mal_rng)));
                 (ua, referer)
             } else {
-                let ua = mal_rng
-                    .gen_bool(0.7)
-                    .then(|| uas.intern(&format!("WinHttp/{}.{}", campaign.id.0, mal_rng.gen_range(1..9))));
+                let ua = mal_rng.gen_bool(0.7).then(|| {
+                    uas.intern(&format!("WinHttp/{}.{}", campaign.id.0, mal_rng.gen_range(1..9)))
+                });
                 (ua, None)
             };
             for contact in &campaign.plan.contacts {
@@ -723,7 +761,8 @@ impl AcGenerator {
         referer: Option<earlybird_logmodel::DomainSym>,
         status: HttpStatus,
     ) -> ProxyRecord {
-        let tz = TzOffset::from_minutes(self.cfg.tz_offsets[host as usize % self.cfg.tz_offsets.len()]);
+        let tz =
+            TzOffset::from_minutes(self.cfg.tz_offsets[host as usize % self.cfg.tz_offsets.len()]);
         let src_ip = self.lease_ip(dhcp, host, ts_utc);
         ProxyRecord {
             ts_local: tz.to_local(ts_utc),
@@ -780,7 +819,8 @@ impl AcGenerator {
                 referer,
                 HttpStatus::OK,
             ));
-            let j = if jitter == 0 { 0 } else { rng.gen_range(0..=2 * jitter) as i64 - jitter as i64 };
+            let j =
+                if jitter == 0 { 0 } else { rng.gen_range(0..=2 * jitter) as i64 - jitter as i64 };
             t = (t as i64 + period as i64 + j).max(t as i64 + 1) as u64;
         }
     }
@@ -863,7 +903,7 @@ mod tests {
             assert!(reg.created > hex.day, "registered after detection");
         }
         // The IOC feed is non-trivial.
-        assert!(world.intel.ioc.len() >= 1);
+        assert!(!world.intel.ioc.is_empty());
     }
 
     #[test]

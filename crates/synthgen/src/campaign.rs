@@ -196,7 +196,8 @@ impl CampaignPlan {
             // window, in stage order.
             let mut cursor = t0;
             for idx in 1..domains.len() {
-                cursor += rng.gen_range(5..=shape.burst_window.max(6) / domains.len().max(1) as u64);
+                cursor +=
+                    rng.gen_range(5..=shape.burst_window.max(6) / domains.len().max(1) as u64);
                 contacts.push(PlannedContact {
                     ts: Timestamp::from_day_secs(day, cursor.min(day_end)),
                     host: victim,
@@ -270,26 +271,18 @@ mod tests {
         let d = p.domains[1].ips[0];
         let pay = p.domains[2].ips[0];
         assert_eq!(d.subnet24(), pay.subnet24(), "delivery and payload share a /24");
-
     }
 
     #[test]
     fn every_victim_beacons_regularly() {
         let p = plan_one(3);
         for &victim in &p.victims {
-            let beacons: Vec<Timestamp> = p
-                .contacts
-                .iter()
-                .filter(|c| c.host == victim && c.beacon)
-                .map(|c| c.ts)
-                .collect();
+            let beacons: Vec<Timestamp> =
+                p.contacts.iter().filter(|c| c.host == victim && c.beacon).map(|c| c.ts).collect();
             assert!(beacons.len() > 20, "a day of 600 s beacons: {}", beacons.len());
             for w in beacons.windows(2) {
                 let gap = w[1] - w[0];
-                assert!(
-                    gap.abs_diff(600) <= 3,
-                    "beacon gap {gap} outside jitter bound"
-                );
+                assert!(gap.abs_diff(600) <= 3, "beacon gap {gap} outside jitter bound");
             }
         }
     }

@@ -258,8 +258,7 @@ impl LanlGenerator {
                 ChallengeCase::Three => (rng.gen_range(2..=4), 3),
                 ChallengeCase::Four => (3, 4),
             };
-            let workstations: Vec<HostId> =
-                (cfg.n_servers..cfg.n_hosts).map(HostId::new).collect();
+            let workstations: Vec<HostId> = (cfg.n_servers..cfg.n_hosts).map(HostId::new).collect();
             let victims: Vec<HostId> =
                 workstations.choose_multiple(&mut rng, n_victims).copied().collect();
             let names: Vec<String> = (0..=extras)
@@ -326,9 +325,8 @@ impl LanlGenerator {
     /// Generates the whole two-month dataset plus ground truth.
     pub fn generate(&self) -> LanlChallenge {
         let domains = Arc::new(DomainInterner::new());
-        let days: Vec<DnsDayLog> = (0..self.cfg.total_days)
-            .map(|d| self.generate_day(&domains, Day::new(d)))
-            .collect();
+        let days: Vec<DnsDayLog> =
+            (0..self.cfg.total_days).map(|d| self.generate_day(&domains, Day::new(d))).collect();
         let mut truth = GroundTruth::new();
         for c in &self.campaigns {
             for name in c.plan.domain_names() {
@@ -413,7 +411,16 @@ impl LanlGenerator {
                 let other = rng.gen_range(cfg.n_servers..cfg.n_hosts);
                 let other_period =
                     if rng.gen_bool(0.25) { period } else { period.saturating_mul(2).max(600) };
-                self.emit_beacon(domains, &mut queries, &mut rng, day, other, &name, other_period, 2);
+                self.emit_beacon(
+                    domains,
+                    &mut queries,
+                    &mut rng,
+                    day,
+                    other,
+                    &name,
+                    other_period,
+                    2,
+                );
             }
         }
 
@@ -473,7 +480,8 @@ impl LanlGenerator {
         while t < (start + duration).min(SECONDS_PER_DAY) {
             let ts = Timestamp::from_day_secs(day, t);
             queries.push(self.query(domains, ts, host, name, DnsRecordType::A));
-            let j = if jitter == 0 { 0 } else { rng.gen_range(0..=2 * jitter) as i64 - jitter as i64 };
+            let j =
+                if jitter == 0 { 0 } else { rng.gen_range(0..=2 * jitter) as i64 - jitter as i64 };
             t = (t as i64 + period as i64 + j).max(t as i64 + 1) as u64;
         }
     }
@@ -496,9 +504,15 @@ fn browse_second(rng: &mut impl Rng) -> u64 {
 }
 
 fn non_a_type(rng: &mut impl Rng) -> DnsRecordType {
-    *[DnsRecordType::Aaaa, DnsRecordType::Txt, DnsRecordType::Mx, DnsRecordType::Ptr, DnsRecordType::Srv]
-        .choose(rng)
-        .expect("non-empty")
+    *[
+        DnsRecordType::Aaaa,
+        DnsRecordType::Txt,
+        DnsRecordType::Mx,
+        DnsRecordType::Ptr,
+        DnsRecordType::Srv,
+    ]
+    .choose(rng)
+    .expect("non-empty")
 }
 
 fn host_ip(host: HostId) -> Ipv4 {
@@ -512,12 +526,7 @@ fn stable_ip(name: &str) -> Ipv4 {
     name.hash(&mut h);
     let v = h.finish();
     // Avoid the 10/8 internal space.
-    Ipv4::new(
-        20 + ((v >> 24) % 200) as u8,
-        (v >> 16) as u8,
-        (v >> 8) as u8,
-        v as u8,
-    )
+    Ipv4::new(20 + ((v >> 24) % 200) as u8, (v >> 16) as u8, (v >> 8) as u8, v as u8)
 }
 
 #[cfg(test)]

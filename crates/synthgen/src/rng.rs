@@ -41,8 +41,10 @@ mod tests {
 
     #[test]
     fn same_path_same_stream() {
-        let xs: Vec<u64> = derive_rng(7, &[3, 1, 4]).sample_iter(rand::distributions::Standard).take(8).collect();
-        let ys: Vec<u64> = derive_rng(7, &[3, 1, 4]).sample_iter(rand::distributions::Standard).take(8).collect();
+        let xs: Vec<u64> =
+            derive_rng(7, &[3, 1, 4]).sample_iter(rand::distributions::Standard).take(8).collect();
+        let ys: Vec<u64> =
+            derive_rng(7, &[3, 1, 4]).sample_iter(rand::distributions::Standard).take(8).collect();
         assert_eq!(xs, ys);
     }
 
@@ -56,9 +58,6 @@ mod tests {
 
     #[test]
     fn path_order_matters() {
-        assert_ne!(
-            derive_rng(1, &[2, 3]).gen::<u64>(),
-            derive_rng(1, &[3, 2]).gen::<u64>()
-        );
+        assert_ne!(derive_rng(1, &[2, 3]).gen::<u64>(), derive_rng(1, &[3, 2]).gen::<u64>());
     }
 }

@@ -116,7 +116,8 @@ impl AutocorrelationDetector {
         }
         let mut best = f64::NEG_INFINITY;
         for lag in 1..=(n / 2) {
-            let num: f64 = (0..n - lag).map(|i| (series[i] - mean) * (series[i + lag] - mean)).sum();
+            let num: f64 =
+                (0..n - lag).map(|i| (series[i] - mean) * (series[i + lag] - mean)).sum();
             best = best.max(num / denom);
         }
         Some(best)

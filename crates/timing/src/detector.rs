@@ -78,7 +78,12 @@ impl AutomationDetector {
     pub fn new(bin_width: u64, jt_threshold: f64, min_connections: usize) -> Self {
         assert!(jt_threshold >= 0.0, "threshold must be non-negative");
         assert!(min_connections >= 2, "need at least two connections for an interval");
-        AutomationDetector { bin_width, jt_threshold, min_connections, metric: DistanceMetric::Jeffrey }
+        AutomationDetector {
+            bin_width,
+            jt_threshold,
+            min_connections,
+            metric: DistanceMetric::Jeffrey,
+        }
     }
 
     /// Replaces the distance metric (the §IV-C "we experimented with other

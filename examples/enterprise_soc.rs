@@ -46,11 +46,13 @@ fn main() {
     println!("bootstrapping on January, training models on Feb 1-14...");
     let harness = AcHarness::build(&world).expect("training population suffices");
 
-    if let earlybird::core::CcModel::Regression { model, .. } = harness.cc_detector().model() {
-        println!("\nC&C regression model (R² = {:.3}):", model.fit().r_squared());
-        for (name, w, t, sig) in model.summary() {
-            println!("  {name:<12} weight {w:+.3}  t {t:+.2}  significant: {sig}");
-        }
+    let training = harness.training();
+    println!(
+        "\nC&C regression model (R² = {:.3}, {} samples):",
+        training.cc_r_squared, training.cc_samples
+    );
+    for (name, w, t, sig) in &training.cc_summary {
+        println!("  {name:<12} weight {w:+.3}  t {t:+.2}  significant: {sig}");
     }
 
     print_rows(

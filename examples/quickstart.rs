@@ -1,27 +1,30 @@
-//! Quickstart: detect a beaconing C&C domain and its infection community in
-//! a hand-built day of contacts.
+//! Quickstart: stream a hand-built day of DNS traffic through the unified
+//! [`Engine`] facade and watch it detect a beaconing C&C domain plus its
+//! infection community, end to end (ingest → detect → alert).
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use earlybird::core::{
-    belief_propagation, BpConfig, CcDetector, DayContext, Seeds, SimScorer,
+use earlybird::engine::{CollectingSink, DayBatch, EngineBuilder};
+use earlybird::logmodel::{
+    DatasetMeta, Day, DnsDayLog, DnsQuery, DnsRecordType, DomainInterner, HostId, HostKind, Ipv4,
+    Timestamp,
 };
-use earlybird::logmodel::{Day, DomainInterner, HostId, Ipv4, Timestamp};
-use earlybird::pipeline::{Contact, DayIndex, DomainHistory, RareSieve};
+use std::sync::Arc;
 
 fn main() {
     // A miniature day of traffic: two compromised workstations beacon to a
     // C&C domain every 10 minutes and touched the delivery site moments
     // after infection; an innocent host browses something unrelated.
-    let folded = DomainInterner::new();
-    let mut contacts = Vec::new();
+    let domains = Arc::new(DomainInterner::new());
+    let mut queries = Vec::new();
     let mut push = |ts: u64, host: u32, name: &str, ip: [u8; 4]| {
-        contacts.push(Contact {
+        queries.push(DnsQuery {
             ts: Timestamp::from_secs(ts),
-            host: HostId::new(host),
-            domain: folded.intern(name),
-            dest_ip: Some(Ipv4::new(ip[0], ip[1], ip[2], ip[3])),
-            http: None,
+            src: HostId::new(host),
+            src_ip: Ipv4::new(10, 0, 0, host as u8),
+            qname: domains.intern(name),
+            qtype: DnsRecordType::A,
+            answer: Some(Ipv4::new(ip[0], ip[1], ip[2], ip[3])),
         });
     };
 
@@ -33,49 +36,58 @@ fn main() {
         }
     }
     push(40_000, 7, "totally-fine.net", [8, 8, 8, 8]);
+    queries.sort_by_key(|q| q.ts);
+    let day = DnsDayLog { day: Day::new(0), queries };
 
-    // Index the day: everything here is "rare" (no history yet).
-    contacts.sort_by_key(|c| c.ts);
-    let rare = RareSieve::paper_default().extract(&contacts, &DomainHistory::new());
-    let index = DayIndex::build(Day::new(0), &contacts, rare, None);
-    let ctx = DayContext {
-        day: Day::new(0),
-        index: &index,
-        folded: &folded,
-        whois: None,
-        whois_defaults: (0.0, 0.0),
+    // One engine, one call: reduce, profile, extract rares, detect C&C,
+    // expand by belief propagation, and alert — all inside ingest_day.
+    let meta = DatasetMeta {
+        n_hosts: 8,
+        host_kinds: vec![HostKind::Workstation; 8],
+        internal_suffixes: vec![],
+        bootstrap_days: 0,
+        total_days: 1,
     };
+    let sink = CollectingSink::new();
+    let alerts = sink.handle();
+    let mut engine = EngineBuilder::lanl()
+        .auto_investigate(true)
+        .sink(sink)
+        .build(Arc::clone(&domains), meta)
+        .expect("valid config");
 
-    // No-hint mode: find C&C communication, then expand by belief
-    // propagation.
-    let cc = CcDetector::lanl_default();
-    let detections = cc.detect_all(&ctx);
+    let report = engine.ingest_day(DayBatch::Dns(&day));
+
     println!("C&C detections:");
-    for d in &detections {
+    for c in report.detections() {
         println!(
-            "  {} (period ~{}s, {} automated hosts)",
-            folded.resolve(d.domain),
-            d.period().unwrap_or(0),
-            d.auto_hosts.len()
+            "  {} (score {:.1}, period ~{}s, {} automated hosts)",
+            c.name,
+            c.score,
+            c.period_secs.unwrap_or(0),
+            c.auto_hosts
         );
     }
-
-    let seeds = Seeds::from_domains_with_hosts(&ctx, detections.iter().map(|d| d.domain));
-    let outcome =
-        belief_propagation(&ctx, Some(&cc), &SimScorer::lanl_default(), &seeds, &BpConfig::lanl_default());
 
     println!("\nBelief propagation community:");
-    for d in &outcome.labeled {
+    if let Some(outcome) = &report.outcome {
+        for d in &outcome.labeled {
+            println!(
+                "  iter {} {:<28} score {:.2} ({:?})",
+                d.iteration,
+                engine.resolve(d.domain),
+                d.score,
+                d.reason
+            );
+        }
         println!(
-            "  iter {} {:<28} score {:.2} ({:?})",
-            d.iteration,
-            folded.resolve(d.domain),
-            d.score,
-            d.reason
+            "\nCompromised hosts: {:?}",
+            outcome.compromised_hosts.iter().map(|h| h.to_string()).collect::<Vec<_>>()
         );
     }
-    println!(
-        "\nCompromised hosts: {:?}",
-        outcome.compromised_hosts.iter().map(|h| h.to_string()).collect::<Vec<_>>()
-    );
+
+    println!("\nAlert stream ({} alerts):", alerts.len());
+    for a in alerts.snapshot() {
+        println!("  #{} {:<28} {:?} score {:.2}", a.sequence, a.name, a.verdict, a.score);
+    }
 }

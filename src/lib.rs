@@ -9,22 +9,61 @@
 //! dynamic-histogram beacon detection, linear-regression scoring) and the
 //! synthetic LANL / enterprise dataset generators used to evaluate it.
 //!
+//! The canonical public API is the unified streaming facade in
+//! [`engine`]: build one [`engine::Engine`] with
+//! [`engine::EngineBuilder`], feed it daily [`engine::DayBatch`]es from
+//! either log source, and consume typed [`engine::DayReport`]s and
+//! [`engine::Alert`]s through pluggable [`engine::AlertSink`]s. The
+//! remaining modules are the substrate the engine composes — useful for
+//! building blocks and experiments, but callers should not re-assemble the
+//! daily detection cycle by hand.
+//!
 //! This crate is a facade re-exporting the workspace members:
 //!
 //! | module | crate | contents |
 //! |---|---|---|
+//! | [`engine`] | `earlybird-engine` | **the unified ingest → detect → alert API** |
 //! | [`logmodel`] | `earlybird-logmodel` | timestamps, hosts, interned domains/UAs, DNS & proxy records |
 //! | [`timing`] | `earlybird-timing` | dynamic histograms, Jeffrey divergence, automation detectors |
 //! | [`features`] | `earlybird-features` | feature vectors, OLS regression, additive LANL score |
 //! | [`intel`] | `earlybird-intel` | WHOIS / VirusTotal / IOC / ground-truth simulators |
 //! | [`pipeline`] | `earlybird-pipeline` | normalization, reduction, histories, rare sieve, day index |
 //! | [`synthgen`] | `earlybird-synthgen` | LANL & AC dataset generators with injected campaigns |
-//! | [`core`] | `earlybird-core` | C&C detector, Algorithm 1 belief propagation, daily pipeline |
+//! | [`core`] | `earlybird-core` | C&C detector, Algorithm 1 belief propagation, daily pipeline (internal plumbing behind [`engine`]) |
 //! | [`eval`] | `earlybird-eval` | harnesses regenerating every table and figure of the paper |
 //!
 //! # Quickstart
 //!
-//! Detect the LANL challenge campaigns end to end:
+//! Stream the LANL challenge through one engine and detect a campaign:
+//!
+//! ```
+//! use earlybird::engine::{DayBatch, EngineBuilder, Investigation};
+//! use earlybird::synthgen::lanl::{LanlConfig, LanlGenerator};
+//! use std::sync::Arc;
+//!
+//! let challenge = LanlGenerator::new(LanlConfig::tiny()).generate();
+//! let mut engine = EngineBuilder::lanl()
+//!     .build(Arc::clone(&challenge.dataset.domains), challenge.dataset.meta.clone())
+//!     .unwrap();
+//! // February bootstraps the profiles; March days are detected on.
+//! for day in &challenge.dataset.days {
+//!     engine.ingest_day(DayBatch::Dns(day));
+//! }
+//! // Investigate a campaign day from its SOC hint host.
+//! let campaign = &challenge.campaigns[0];
+//! let report = engine
+//!     .investigate(
+//!         campaign.day,
+//!         Investigation::from_hint_hosts(campaign.hint_hosts.iter().copied()),
+//!     )
+//!     .unwrap();
+//! assert!(
+//!     report.alerts.iter().any(|a| campaign.answer_domains().contains(&a.name.as_str())),
+//!     "the hinted campaign's domains are detected"
+//! );
+//! ```
+//!
+//! The full paper evaluation lives one level up:
 //!
 //! ```
 //! use earlybird::eval::lanl::LanlRun;
@@ -33,13 +72,13 @@
 //! let challenge = LanlGenerator::new(LanlConfig::tiny()).generate();
 //! let run = LanlRun::new(&challenge);
 //! let (table3, _results) = run.table3();
-//! let rates = table3.overall_rates();
-//! assert!(rates.tdr > 0.5, "most campaign domains detected");
+//! assert!(table3.overall_rates().tdr > 0.5, "most campaign domains detected");
 //! ```
 
 #![forbid(unsafe_code)]
 
 pub use earlybird_core as core;
+pub use earlybird_engine as engine;
 pub use earlybird_eval as eval;
 pub use earlybird_features as features;
 pub use earlybird_intel as intel;

@@ -1,7 +1,7 @@
 //! Determinism and reproducibility: identical seeds produce identical
 //! datasets, detections, and experiment outputs; different seeds differ.
 
-use earlybird::core::{belief_propagation, BpConfig, CcDetector, Seeds, SimScorer};
+use earlybird::engine::Investigation;
 use earlybird::eval::lanl::LanlRun;
 use earlybird::synthgen::ac::{AcConfig, AcGenerator};
 use earlybird::synthgen::lanl::{ChallengeCase, LanlConfig, LanlGenerator};
@@ -66,23 +66,24 @@ fn bp_outcome_is_order_independent_of_seed_host_listing() {
     // Seeds given in different orders must label the same community.
     let challenge = LanlGenerator::new(LanlConfig::tiny()).generate();
     let run = LanlRun::new(&challenge);
-    let campaign = challenge
-        .campaigns
-        .iter()
-        .find(|c| c.case == ChallengeCase::Two)
-        .expect("case 2 exists");
-    let product = &run.products()[&campaign.day];
-    let ctx = product.context(None, (0.0, 0.0));
-    let cc = CcDetector::lanl_default();
-    let sim = SimScorer::lanl_default();
+    let campaign =
+        challenge.campaigns.iter().find(|c| c.case == ChallengeCase::Two).expect("case 2 exists");
+    let engine = run.engine();
 
-    let forward = Seeds::from_hosts(campaign.hint_hosts.iter().copied());
     let mut reversed_hosts = campaign.hint_hosts.clone();
     reversed_hosts.reverse();
-    let reversed = Seeds::from_hosts(reversed_hosts);
 
-    let out1 = belief_propagation(&ctx, Some(&cc), &sim, &forward, &BpConfig::lanl_default());
-    let out2 = belief_propagation(&ctx, Some(&cc), &sim, &reversed, &BpConfig::lanl_default());
+    let out1 = engine
+        .investigate(
+            campaign.day,
+            Investigation::from_hint_hosts(campaign.hint_hosts.iter().copied()),
+        )
+        .expect("campaign day retained")
+        .outcome;
+    let out2 = engine
+        .investigate(campaign.day, Investigation::from_hint_hosts(reversed_hosts))
+        .expect("campaign day retained")
+        .outcome;
 
     let mut d1: Vec<u32> = out1.labeled.iter().map(|d| d.domain.raw()).collect();
     let mut d2: Vec<u32> = out2.labeled.iter().map(|d| d.domain.raw()).collect();

@@ -56,10 +56,7 @@ fn figure6b_no_hint_mode_expands_cc_seeds() {
     let harness = harness();
     let rows = harness.figure6b(0.4, &[0.33, 0.5, 0.65, 0.75, 0.85]);
     for pair in rows.windows(2) {
-        assert!(
-            pair[0].total() >= pair[1].total(),
-            "larger T_s cannot detect more: {pair:?}"
-        );
+        assert!(pair[0].total() >= pair[1].total(), "larger T_s cannot detect more: {pair:?}");
     }
     let cc_only = harness.figure6a(&[0.4]);
     assert!(
@@ -86,18 +83,15 @@ fn figure6c_soc_hints_mode_finds_related_domains() {
 #[test]
 fn fig8_case_study_discovers_org_cluster() {
     let harness = harness();
-    let soc = harness.world()
+    let soc = harness
+        .world()
         .campaigns
         .iter()
         .find(|c| c.kind == AcCampaignKind::SocCluster)
         .expect("pinned on 2/10");
     let study = harness.case_study_hints(soc.feb_day, 0.33).expect("day processed");
     // The seeded C&C must pull in at least part of the .org second stage.
-    let org_hits = study
-        .domains
-        .iter()
-        .filter(|(name, _, _, _)| name.ends_with(".org"))
-        .count();
+    let org_hits = study.domains.iter().filter(|(name, _, _, _)| name.ends_with(".org")).count();
     assert!(org_hits >= 2, "expected .org cluster members, got {:?}", study.domains);
     assert!(study.host_count >= 1);
     assert!(study.dot.contains("digraph"));
@@ -106,7 +100,8 @@ fn fig8_case_study_discovers_org_cluster() {
 #[test]
 fn fig7_case_study_no_hint_community() {
     let harness = harness();
-    let pair = harness.world()
+    let pair = harness
+        .world()
         .campaigns
         .iter()
         .find(|c| c.kind == AcCampaignKind::BeaconPair)
@@ -129,9 +124,12 @@ fn dga_clusters_are_new_discoveries() {
     let harness = harness();
     // Every DGA domain the harness would ever report must categorize as a
     // new discovery (VT never reports them).
-    for c in harness.world().campaigns.iter().filter(|c| {
-        matches!(c.kind, AcCampaignKind::DgaShort | AcCampaignKind::DgaHex)
-    }) {
+    for c in harness
+        .world()
+        .campaigns
+        .iter()
+        .filter(|c| matches!(c.kind, AcCampaignKind::DgaShort | AcCampaignKind::DgaHex))
+    {
         for name in c.plan.domain_names() {
             assert_eq!(
                 harness.categorize(name),

@@ -22,21 +22,14 @@ fn lanl_challenge_detection_quality() {
     let (table3, results) = run.table3();
 
     let rates = table3.overall_rates();
-    assert!(
-        rates.tdr >= 0.9,
-        "paper: 98.33% TDR; shape requires >= 90%, got {:.4}",
-        rates.tdr
-    );
+    assert!(rates.tdr >= 0.9, "paper: 98.33% TDR; shape requires >= 90%, got {:.4}", rates.tdr);
     assert!(rates.fdr <= 0.1, "paper: 1.67% FDR, got {:.4}", rates.fdr);
     assert!(rates.fnr <= 0.15, "paper: 6.35% FNR, got {:.4}", rates.fnr);
 
     // Every case must produce at least some detections.
-    for case in [ChallengeCase::One, ChallengeCase::Two, ChallengeCase::Three, ChallengeCase::Four] {
-        let tp: usize = results
-            .iter()
-            .filter(|r| r.case == case)
-            .map(|r| r.true_positives)
-            .sum();
+    for case in [ChallengeCase::One, ChallengeCase::Two, ChallengeCase::Three, ChallengeCase::Four]
+    {
+        let tp: usize = results.iter().filter(|r| r.case == case).map(|r| r.true_positives).sum();
         assert!(tp > 0, "case {case:?} found nothing");
     }
 }
@@ -109,7 +102,10 @@ fn lanl_table2_monotonicity() {
     let chosen = rows.iter().find(|r| r.bin_width == 10 && (r.jt - 0.06).abs() < 1e-9).unwrap();
     let max_train = rows.iter().map(|r| r.malicious_pairs_training).max().unwrap();
     let max_test = rows.iter().map(|r| r.malicious_pairs_testing).max().unwrap();
-    assert_eq!(chosen.malicious_pairs_training, max_train, "W=10/JT=0.06 captures training beacons");
+    assert_eq!(
+        chosen.malicious_pairs_training, max_train,
+        "W=10/JT=0.06 captures training beacons"
+    );
     assert_eq!(chosen.malicious_pairs_testing, max_test, "W=10/JT=0.06 captures testing beacons");
 }
 
@@ -119,8 +115,10 @@ fn lanl_figure3_malicious_gaps_are_shorter() {
     let fig3 = run.figure3();
     assert!(!fig3.malicious_malicious.is_empty());
     assert!(!fig3.malicious_legitimate.is_empty());
-    let mm_below = earlybird::eval::lanl::Fig3Data::fraction_below(&fig3.malicious_malicious, 160.0);
-    let ml_below = earlybird::eval::lanl::Fig3Data::fraction_below(&fig3.malicious_legitimate, 160.0);
+    let mm_below =
+        earlybird::eval::lanl::Fig3Data::fraction_below(&fig3.malicious_malicious, 160.0);
+    let ml_below =
+        earlybird::eval::lanl::Fig3Data::fraction_below(&fig3.malicious_legitimate, 160.0);
     // Paper: 56% of malicious-malicious gaps < 160 s vs 3.8% for
     // malicious-legitimate. Require the qualitative separation.
     assert!(

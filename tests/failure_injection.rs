@@ -1,10 +1,8 @@
-//! Failure injection: the pipeline and detectors must degrade gracefully
-//! when the environment misbehaves — missing DHCP leases, unparseable
-//! WHOIS, empty days, and degenerate training populations.
+//! Failure injection: the engine must degrade gracefully when the
+//! environment misbehaves — missing DHCP leases, unparseable WHOIS, empty
+//! days, and degenerate training populations.
 
-use earlybird::core::{
-    belief_propagation, BpConfig, CcDetector, DailyPipeline, PipelineConfig, Seeds, SimScorer,
-};
+use earlybird::engine::{DayBatch, EngineBuilder, Investigation};
 use earlybird::intel::WhoisRegistry;
 use earlybird::logmodel::{Day, DhcpLog, DnsDayLog, DomainInterner, HostId, ProxyDayLog};
 use earlybird::synthgen::ac::{AcConfig, AcGenerator};
@@ -14,39 +12,38 @@ use std::sync::Arc;
 #[test]
 fn empty_days_produce_empty_products() {
     let raw = Arc::new(DomainInterner::new());
-    let mut pipeline = DailyPipeline::new(Arc::clone(&raw), PipelineConfig::lanl());
-    let meta = Default::default();
-    let product = pipeline.process_dns_day(&DnsDayLog { day: Day::new(0), queries: vec![] }, &meta);
-    assert_eq!(product.index.rare_count(), 0);
-    assert_eq!(product.dns_counts.unwrap().records_all, 0);
+    let mut engine = EngineBuilder::lanl()
+        .bootstrap_days(0)
+        .build(Arc::clone(&raw), Default::default())
+        .expect("valid config");
+    let report = engine.ingest_day(DayBatch::Dns(&DnsDayLog { day: Day::new(0), queries: vec![] }));
+    assert_eq!(report.stages.rare_destinations, 0);
+    assert_eq!(report.dns_counts.unwrap().records_all, 0);
 
     // Belief propagation on an empty day finds nothing and terminates.
-    let ctx = product.context(None, (0.0, 0.0));
-    let out = belief_propagation(
-        &ctx,
-        Some(&CcDetector::lanl_default()),
-        &SimScorer::lanl_default(),
-        &Seeds::from_hosts([HostId::new(1)]),
-        &BpConfig::lanl_default(),
-    );
+    let out = engine
+        .investigate(Day::new(0), Investigation::from_hint_hosts([HostId::new(1)]))
+        .expect("day retained")
+        .outcome;
     assert!(out.labeled.is_empty());
 }
 
 #[test]
 fn missing_dhcp_leases_drop_records_without_panicking() {
     let world = AcGenerator::new(AcConfig::tiny()).generate();
-    let meta = &world.dataset.meta;
-    let mut pipeline =
-        DailyPipeline::new(Arc::clone(&world.dataset.domains), PipelineConfig::enterprise());
+    let mut engine = EngineBuilder::enterprise()
+        .build(Arc::clone(&world.dataset.domains), world.dataset.meta.clone())
+        .expect("valid config");
 
     // Feed a day through an *empty* lease log: every record is unresolvable.
     let empty_dhcp = DhcpLog::new();
     let day = world.dataset.days[35].clone();
-    let product = pipeline.process_proxy_day(&day, &empty_dhcp, meta);
-    let norm = product.norm_counts.unwrap();
+    let report = engine.ingest_day(DayBatch::Proxy { day: &day, dhcp: &empty_dhcp });
+    assert!(!report.bootstrap, "day 35 is an operation day");
+    let norm = report.norm_counts.unwrap();
     assert_eq!(norm.output, 0, "nothing resolvable");
     assert_eq!(norm.dropped_unresolvable + norm.dropped_ip_literal, norm.input);
-    assert_eq!(product.index.rare_count(), 0);
+    assert_eq!(report.stages.rare_destinations, 0);
 }
 
 #[test]
@@ -73,10 +70,11 @@ fn partial_dhcp_outage_keeps_the_rest_of_the_day() {
             end: day_start + 43_200,
         });
     }
-    let mut pipeline =
-        DailyPipeline::new(Arc::clone(&world.dataset.domains), PipelineConfig::enterprise());
-    let product = pipeline.process_proxy_day(&day, &partial, meta);
-    let norm = product.norm_counts.unwrap();
+    let mut engine = EngineBuilder::enterprise()
+        .build(Arc::clone(&world.dataset.domains), world.dataset.meta.clone())
+        .expect("valid config");
+    let report = engine.ingest_day(DayBatch::Proxy { day: &day, dhcp: &partial });
+    let norm = report.norm_counts.unwrap();
     assert!(norm.output > 0, "morning records survive");
     assert!(norm.dropped_unresolvable > 0, "afternoon records dropped");
 }
@@ -86,26 +84,37 @@ fn whois_outage_falls_back_to_defaults_everywhere() {
     // An entirely unparseable registry must not change *which* domains are
     // automated, only their age/validity features.
     let challenge = LanlGenerator::new(LanlConfig::tiny()).generate();
-    let meta = &challenge.dataset.meta;
-    let mut pipeline =
-        DailyPipeline::new(Arc::clone(&challenge.dataset.domains), PipelineConfig::lanl());
     let campaign = &challenge.campaigns[0];
-    for day_log in &challenge.dataset.days {
-        if day_log.day < campaign.day {
-            pipeline.bootstrap_dns_day(day_log, meta);
-        }
-    }
-    let product = pipeline.process_dns_day(challenge.dataset.day(campaign.day).unwrap(), meta);
 
     let mut broken = WhoisRegistry::new();
     for name in campaign.answer_domains() {
         broken.register_unparseable(name);
     }
-    let ctx_broken = product.context(Some(&broken), (321.0, 123.0));
-    let ctx_missing = product.context(None, (321.0, 123.0));
+
+    let mut with_broken = EngineBuilder::lanl()
+        .whois(broken)
+        .whois_defaults((321.0, 123.0))
+        .bootstrap_days(campaign.day.index())
+        .build(Arc::clone(&challenge.dataset.domains), challenge.dataset.meta.clone())
+        .expect("valid config");
+    let mut without = EngineBuilder::lanl()
+        .whois_defaults((321.0, 123.0))
+        .bootstrap_days(campaign.day.index())
+        .build(Arc::clone(&challenge.dataset.domains), challenge.dataset.meta.clone())
+        .expect("valid config");
+    for day_log in &challenge.dataset.days {
+        if day_log.day <= campaign.day {
+            with_broken.ingest_day(DayBatch::Dns(day_log));
+            without.ingest_day(DayBatch::Dns(day_log));
+        }
+    }
+
+    let ctx_broken = with_broken.context(campaign.day).expect("campaign day retained");
+    let ctx_missing = without.context(campaign.day).expect("campaign day retained");
     for name in campaign.answer_domains() {
-        let sym = pipeline.folded_interner().get(name).unwrap();
+        let sym = with_broken.folded().get(name).unwrap();
         assert_eq!(ctx_broken.whois_features(sym), (321.0, 123.0));
+        let sym = without.folded().get(name).unwrap();
         assert_eq!(ctx_missing.whois_features(sym), (321.0, 123.0));
     }
 }
@@ -115,22 +124,18 @@ fn seeds_absent_from_the_day_are_harmless() {
     // IOC seeds for domains nobody contacted today must not crash BP or
     // inflate results.
     let challenge = LanlGenerator::new(LanlConfig::tiny()).generate();
-    let meta = &challenge.dataset.meta;
-    let mut pipeline =
-        DailyPipeline::new(Arc::clone(&challenge.dataset.domains), PipelineConfig::lanl());
-    let product = pipeline.process_dns_day(&challenge.dataset.days[0], meta);
-    let ctx = product.context(None, (0.0, 0.0));
+    let mut engine = EngineBuilder::lanl()
+        .bootstrap_days(0)
+        .build(Arc::clone(&challenge.dataset.domains), challenge.dataset.meta.clone())
+        .expect("valid config");
+    engine.ingest_day(DayBatch::Dns(&challenge.dataset.days[0]));
 
-    let ghost = pipeline.intern_seed("never-contacted.example.com");
-    let seeds = Seeds::from_domains_with_hosts(&ctx, [ghost]);
-    assert!(seeds.hosts.is_empty(), "no hosts contact a ghost seed");
-    let out = belief_propagation(
-        &ctx,
-        Some(&CcDetector::lanl_default()),
-        &SimScorer::lanl_default(),
-        &seeds,
-        &BpConfig::lanl_default(),
-    );
+    let ghost = engine.intern_domain("never-contacted.example.com");
+    let report = engine
+        .investigate(Day::new(0), Investigation::from_seed_domains([ghost]).count_seeds(true))
+        .expect("day retained");
+    let out = &report.outcome;
+    assert!(out.compromised_hosts.is_empty(), "no hosts contact a ghost seed");
     assert_eq!(out.detected().count(), 0);
     assert_eq!(out.labeled.len(), 1, "only the seed itself is in the labeled list");
 }
@@ -142,9 +147,8 @@ fn training_on_single_class_population_degrades_to_base_rate() {
     // All-positive labels with constant features: no panic; the ridge
     // fallback yields the only sensible model — predict the base rate
     // (1.0) regardless of input.
-    let samples: Vec<CcSample> = (0..30)
-        .map(|_| CcSample { features: CcFeatures::default(), reported: true })
-        .collect();
+    let samples: Vec<CcSample> =
+        (0..30).map(|_| CcSample { features: CcFeatures::default(), reported: true }).collect();
     let (model, scaler) = train_cc_model(&samples, 0.4).expect("degenerate fit still resolves");
     let probe = CcFeatures { no_hosts: 5.0, rare_ua: 1.0, ..CcFeatures::default() };
     let score = model.score(&scaler.transform(&probe.to_row()));
@@ -158,23 +162,22 @@ fn training_on_single_class_population_degrades_to_base_rate() {
 #[test]
 fn hint_host_with_no_rare_domains_terminates_immediately() {
     let challenge = LanlGenerator::new(LanlConfig::tiny()).generate();
-    let meta = &challenge.dataset.meta;
-    let mut pipeline =
-        DailyPipeline::new(Arc::clone(&challenge.dataset.domains), PipelineConfig::lanl());
     // Bootstrap everything so very little is rare, then hint a server host
     // (filtered out of the index entirely).
-    for day_log in &challenge.dataset.days[..10] {
-        pipeline.bootstrap_dns_day(day_log, meta);
+    let mut engine = EngineBuilder::lanl()
+        .bootstrap_days(10)
+        .build(Arc::clone(&challenge.dataset.domains), challenge.dataset.meta.clone())
+        .expect("valid config");
+    for day_log in &challenge.dataset.days[..=10] {
+        engine.ingest_day(DayBatch::Dns(day_log));
     }
-    let product = pipeline.process_dns_day(&challenge.dataset.days[10], meta);
-    let ctx = product.context(None, (0.0, 0.0));
-    let out = belief_propagation(
-        &ctx,
-        Some(&CcDetector::lanl_default()),
-        &SimScorer::lanl_default(),
-        &Seeds::from_hosts([HostId::new(0)]), // host 0 is a server
-        &BpConfig::lanl_default(),
-    );
+    let out = engine
+        .investigate(
+            Day::new(10),
+            Investigation::from_hint_hosts([HostId::new(0)]), // host 0 is a server
+        )
+        .expect("day retained")
+        .outcome;
     assert!(out.labeled.is_empty());
     assert_eq!(out.compromised_hosts.len(), 1, "the seed host only");
 }
@@ -182,12 +185,14 @@ fn hint_host_with_no_rare_domains_terminates_immediately() {
 #[test]
 fn replayed_proxy_day_is_idempotent_for_histories() {
     let world = AcGenerator::new(AcConfig::tiny()).generate();
-    let meta = &world.dataset.meta;
-    let mut pipeline =
-        DailyPipeline::new(Arc::clone(&world.dataset.domains), PipelineConfig::enterprise());
+    let mut engine = EngineBuilder::enterprise()
+        .build(Arc::clone(&world.dataset.domains), world.dataset.meta.clone())
+        .expect("valid config");
     let day = ProxyDayLog { day: Day::new(0), records: world.dataset.days[0].records.clone() };
-    pipeline.bootstrap_proxy_day(&day, &world.dataset.dhcp, meta);
-    let len_once = pipeline.history().len();
-    pipeline.bootstrap_proxy_day(&day, &world.dataset.dhcp, meta);
-    assert_eq!(pipeline.history().len(), len_once, "same domains, same history");
+    let first = engine.ingest_day(DayBatch::Proxy { day: &day, dhcp: &world.dataset.dhcp });
+    let len_once = engine.history().len();
+    let replay = engine.ingest_day(DayBatch::Proxy { day: &day, dhcp: &world.dataset.dhcp });
+    assert!(!first.duplicate);
+    assert!(replay.duplicate, "re-fed day is a flagged no-op");
+    assert_eq!(engine.history().len(), len_once, "same domains, same history");
 }

@@ -1,50 +1,60 @@
-//! Cross-crate pipeline integration: generator → normalization → reduction
-//! → histories → rare sieve → index, checked for internal consistency on
-//! both dataset flavours.
+//! Cross-crate pipeline integration through the Engine facade:
+//! generator → normalization → reduction → histories → rare sieve → index,
+//! checked for internal consistency on both dataset flavours.
 
-use earlybird::core::{DailyPipeline, PipelineConfig};
+use earlybird::engine::{DayBatch, Engine, EngineBuilder};
 use earlybird::logmodel::{Day, HostKind};
 use earlybird::synthgen::ac::{AcConfig, AcGenerator};
 use earlybird::synthgen::lanl::{LanlConfig, LanlGenerator};
 use std::sync::Arc;
 
+fn lanl_engine(challenge: &earlybird::synthgen::lanl::LanlChallenge) -> Engine {
+    EngineBuilder::lanl()
+        .build(Arc::clone(&challenge.dataset.domains), challenge.dataset.meta.clone())
+        .expect("valid config")
+}
+
+fn ac_engine(world: &earlybird::synthgen::ac::AcWorld) -> Engine {
+    EngineBuilder::enterprise()
+        .build(Arc::clone(&world.dataset.domains), world.dataset.meta.clone())
+        .expect("valid config")
+}
+
 #[test]
 fn dns_pipeline_invariants_hold_over_a_month() {
     let challenge = LanlGenerator::new(LanlConfig::tiny()).generate();
-    let meta = &challenge.dataset.meta;
-    let mut pipeline =
-        DailyPipeline::new(Arc::clone(&challenge.dataset.domains), PipelineConfig::lanl());
+    let mut engine = lanl_engine(&challenge);
 
     let mut prev_history = 0usize;
     for day_log in &challenge.dataset.days {
-        if day_log.day.index() < meta.bootstrap_days {
-            let counts = pipeline.bootstrap_dns_day(day_log, meta);
-            assert!(counts.records_a_only <= counts.records_all);
-        } else {
-            let product = pipeline.process_dns_day(day_log, meta);
-            let counts = product.dns_counts.unwrap();
+        let report = engine.ingest_day(DayBatch::Dns(day_log));
+        let counts = report.dns_counts.expect("DNS batches carry DNS counts");
+        assert!(counts.records_a_only <= counts.records_all);
+        if !report.bootstrap {
+            let index = engine.day_index(day_log.day).expect("operation day retained");
             // Rare domains are a subset of post-reduction domains.
-            assert!(product.index.rare_count() <= counts.domains_after_server_filter);
-            assert!(product.index.new_count() >= product.index.rare_count());
+            assert!(index.rare_count() <= counts.domains_after_server_filter);
+            assert!(index.new_count() >= index.rare_count());
+            assert_eq!(report.stages.rare_destinations, index.rare_count());
             // Every rare domain has at least one host and fewer than the
             // unpopularity threshold.
-            for dom in product.index.rare_domains() {
-                let conn = product.index.connectivity(dom);
-                assert!(conn >= 1 && conn < 10, "connectivity {conn} out of rare bounds");
+            for dom in index.rare_domains() {
+                let conn = index.connectivity(dom);
+                assert!((1..10).contains(&conn), "connectivity {conn} out of rare bounds");
             }
             // host_rdom and dom_host agree.
-            for dom in product.index.rare_domains() {
-                for host in product.index.hosts_of(dom).unwrap() {
+            for dom in index.rare_domains() {
+                for host in index.hosts_of(dom).unwrap() {
                     assert!(
-                        product.index.rare_domains_of(*host).unwrap().contains(&dom),
+                        index.rare_domains_of(*host).unwrap().contains(&dom),
                         "bipartite maps inconsistent"
                     );
                 }
             }
         }
         // The history only grows.
-        assert!(pipeline.history().len() >= prev_history);
-        prev_history = pipeline.history().len();
+        assert!(engine.history().len() >= prev_history);
+        prev_history = engine.history().len();
     }
 }
 
@@ -52,25 +62,26 @@ fn dns_pipeline_invariants_hold_over_a_month() {
 fn proxy_pipeline_resolves_hosts_and_tracks_uas() {
     let world = AcGenerator::new(AcConfig::tiny()).generate();
     let meta = &world.dataset.meta;
-    let mut pipeline =
-        DailyPipeline::new(Arc::clone(&world.dataset.domains), PipelineConfig::enterprise());
+    let mut engine = ac_engine(&world);
 
     for day_log in &world.dataset.days[..(meta.bootstrap_days as usize)] {
-        pipeline.bootstrap_proxy_day(day_log, &world.dataset.dhcp, meta);
+        let report = engine.ingest_day(DayBatch::Proxy { day: day_log, dhcp: &world.dataset.dhcp });
+        assert!(report.bootstrap);
     }
-    assert!(!pipeline.ua_history().is_empty(), "UA profiles built during bootstrap");
+    assert!(!engine.ua_history().is_empty(), "UA profiles built during bootstrap");
 
     let feb1 = world.dataset.day(Day::new(meta.bootstrap_days)).unwrap();
-    let product = pipeline.process_proxy_day(feb1, &world.dataset.dhcp, meta);
-    let norm = product.norm_counts.unwrap();
+    let report = engine.ingest_day(DayBatch::Proxy { day: feb1, dhcp: &world.dataset.dhcp });
+    let norm = report.norm_counts.unwrap();
     assert!(norm.output > 0);
     assert_eq!(norm.input, norm.output + norm.dropped_unresolvable + norm.dropped_ip_literal);
-    assert!(product.index.has_http());
+    let index = engine.day_index(feb1.day).expect("operation day retained");
+    assert!(index.has_http());
 
     // HTTP fractions are defined and bounded for rare domains.
-    for dom in product.index.rare_domains() {
-        let no_ref = product.index.no_ref_fraction(dom).unwrap();
-        let rare_ua = product.index.rare_ua_fraction(dom).unwrap();
+    for dom in index.rare_domains() {
+        let no_ref = index.no_ref_fraction(dom).unwrap();
+        let rare_ua = index.rare_ua_fraction(dom).unwrap();
         assert!((0.0..=1.0).contains(&no_ref));
         assert!((0.0..=1.0).contains(&rare_ua));
     }
@@ -80,17 +91,20 @@ fn proxy_pipeline_resolves_hosts_and_tracks_uas() {
 fn server_traffic_never_reaches_the_index() {
     let challenge = LanlGenerator::new(LanlConfig::tiny()).generate();
     let meta = &challenge.dataset.meta;
-    let servers: Vec<u32> = (0..meta.n_hosts)
-        .filter(|&h| meta.host_kinds[h as usize] == HostKind::Server)
-        .collect();
+    let servers: Vec<u32> =
+        (0..meta.n_hosts).filter(|&h| meta.host_kinds[h as usize] == HostKind::Server).collect();
     assert!(!servers.is_empty());
 
-    let mut pipeline =
-        DailyPipeline::new(Arc::clone(&challenge.dataset.domains), PipelineConfig::lanl());
-    let product = pipeline.process_dns_day(&challenge.dataset.days[0], meta);
+    // Treat every day as an operation day so day 0 is indexed.
+    let mut engine = EngineBuilder::lanl()
+        .bootstrap_days(0)
+        .build(Arc::clone(&challenge.dataset.domains), challenge.dataset.meta.clone())
+        .expect("valid config");
+    engine.ingest_day(DayBatch::Dns(&challenge.dataset.days[0]));
+    let index = engine.day_index(Day::new(0)).unwrap();
     for &server in &servers {
         assert!(
-            product.index.rare_domains_of(earlybird::logmodel::HostId::new(server)).is_none(),
+            index.rare_domains_of(earlybird::logmodel::HostId::new(server)).is_none(),
             "server {server} must be filtered"
         );
     }
@@ -99,13 +113,13 @@ fn server_traffic_never_reaches_the_index() {
 #[test]
 fn rare_domains_stop_being_rare_once_seen() {
     let challenge = LanlGenerator::new(LanlConfig::tiny()).generate();
-    let meta = &challenge.dataset.meta;
-    let mut pipeline =
-        DailyPipeline::new(Arc::clone(&challenge.dataset.domains), PipelineConfig::lanl());
+    let mut engine = EngineBuilder::lanl()
+        .bootstrap_days(0)
+        .build(Arc::clone(&challenge.dataset.domains), challenge.dataset.meta.clone())
+        .expect("valid config");
 
-    let day0 = pipeline.process_dns_day(&challenge.dataset.days[0], meta);
-    let rare_day0: Vec<_> = day0.index.rare_domains().collect();
-    assert!(!rare_day0.is_empty());
+    let day0 = engine.ingest_day(DayBatch::Dns(&challenge.dataset.days[0]));
+    assert!(day0.stages.rare_destinations > 0);
 
     // Re-processing the same batch the "next day": every domain is now in
     // the history, so nothing is new.
@@ -114,7 +128,7 @@ fn rare_domains_stop_being_rare_once_seen() {
     for q in &mut replay.queries {
         q.ts = Day::new(1).start() + q.ts.secs_of_day();
     }
-    let day1 = pipeline.process_dns_day(&replay, meta);
-    assert_eq!(day1.index.new_count(), 0, "no domain is new on replay");
-    assert_eq!(day1.index.rare_count(), 0);
+    let day1 = engine.ingest_day(DayBatch::Dns(&replay));
+    assert_eq!(day1.stages.new_destinations, 0, "no domain is new on replay");
+    assert_eq!(day1.stages.rare_destinations, 0);
 }

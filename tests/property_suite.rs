@@ -1,12 +1,16 @@
 //! Cross-crate property-based tests: invariants that must hold for *any*
 //! traffic, not just the synthetic scenarios.
 
-use earlybird::core::{belief_propagation, BpConfig, CcDetector, DayContext, Seeds, SimScorer};
-use earlybird::logmodel::{Day, DomainInterner, HostId, Ipv4, Timestamp};
-use earlybird::pipeline::{Contact, DayIndex, DomainHistory, RareSieve};
+use earlybird::core::BpConfig;
+use earlybird::engine::{DayBatch, Engine, EngineBuilder, Investigation};
 use earlybird::logmodel::{format_dns_line, parse_dns_line, DnsQuery, DnsRecordType, HostMapper};
+use earlybird::logmodel::{
+    DatasetMeta, Day, DnsDayLog, DomainInterner, HostId, HostKind, Ipv4, Timestamp,
+};
+use earlybird::pipeline::{Contact, DayIndex, DomainHistory, RareSieve};
 use earlybird::timing::{dynamic_bins, intervals_of, AutomationDetector};
 use proptest::prelude::*;
+use std::sync::Arc;
 
 /// Random small traffic days: up to 12 hosts x 16 domains x ~200 contacts.
 fn arb_contacts() -> impl Strategy<Value = Vec<(u64, u32, u8)>> {
@@ -27,6 +31,37 @@ fn build_day(raw: &[(u64, u32, u8)]) -> (DomainInterner, Vec<Contact>) {
         .collect();
     contacts.sort_by_key(|c| c.ts);
     (folded, contacts)
+}
+
+/// Streams the same random traffic through the Engine facade: one DNS day,
+/// no bootstrap period, every day an operation day.
+fn build_engine(raw: &[(u64, u32, u8)], max_iterations: usize) -> Engine {
+    let domains = Arc::new(DomainInterner::new());
+    let mut queries: Vec<DnsQuery> = raw
+        .iter()
+        .map(|&(ts, host, dom)| DnsQuery {
+            ts: Timestamp::from_secs(ts),
+            src: HostId::new(host),
+            src_ip: Ipv4::new(10, 0, 0, host as u8),
+            qname: domains.intern(&format!("d{dom}.example")),
+            qtype: DnsRecordType::A,
+            answer: Some(Ipv4::new(50, dom, dom, 1)),
+        })
+        .collect();
+    queries.sort_by_key(|q| q.ts);
+    let meta = DatasetMeta {
+        n_hosts: 12,
+        host_kinds: vec![HostKind::Workstation; 12],
+        internal_suffixes: vec![],
+        bootstrap_days: 0,
+        total_days: 1,
+    };
+    let mut engine = EngineBuilder::lanl()
+        .bp(BpConfig { max_iterations })
+        .build(domains, meta)
+        .expect("valid config");
+    engine.ingest_day(DayBatch::Dns(&DnsDayLog { day: Day::new(0), queries }));
+    engine
 }
 
 proptest! {
@@ -56,34 +91,26 @@ proptest! {
         let _ = folded;
     }
 
-    /// Belief propagation only ever labels rare domains (plus the seeds),
-    /// never shrinks the seed sets, and terminates within the cap.
+    /// Belief propagation (driven through the Engine facade) only ever
+    /// labels rare domains (plus the seeds), never shrinks the seed sets,
+    /// and terminates within the cap.
     #[test]
     fn bp_invariants(raw in arb_contacts(), seed_host in 0u32..12) {
-        let (folded, contacts) = build_day(&raw);
-        let rare = RareSieve::paper_default().extract(&contacts, &DomainHistory::new());
-        let index = DayIndex::build(Day::new(0), &contacts, rare, None);
-        let ctx = DayContext {
-            day: Day::new(0),
-            index: &index,
-            folded: &folded,
-            whois: None,
-            whois_defaults: (0.0, 0.0),
-        };
-        let cc = CcDetector::lanl_default();
-        let sim = SimScorer::lanl_default();
-        let seeds = Seeds::from_hosts([HostId::new(seed_host)]);
-        let cfg = BpConfig { max_iterations: 6 };
-        let out = belief_propagation(&ctx, Some(&cc), &sim, &seeds, &cfg);
+        let max_iterations = 6;
+        let engine = build_engine(&raw, max_iterations);
+        let seed = HostId::new(seed_host);
+        let out = engine
+            .investigate(Day::new(0), Investigation::from_hint_hosts([seed]))
+            .expect("day retained")
+            .outcome;
+        let index = engine.day_index(Day::new(0)).expect("day retained");
 
-        prop_assert!(out.iterations.len() <= cfg.max_iterations);
+        prop_assert!(out.iterations.len() <= max_iterations);
         for d in &out.labeled {
             // Everything labeled (non-seed) must be rare today.
             prop_assert!(index.is_rare(d.domain), "labeled domain must be rare");
         }
-        for h in &seeds.hosts {
-            prop_assert!(out.compromised_hosts.contains(h), "seed hosts stay compromised");
-        }
+        prop_assert!(out.compromised_hosts.contains(&seed), "seed hosts stay compromised");
         // Labeled domains are unique.
         let mut syms: Vec<u32> = out.labeled.iter().map(|d| d.domain.raw()).collect();
         syms.sort_unstable();

@@ -1,0 +1,326 @@
+//! Vendored, offline-buildable stand-in for the `proptest` crate.
+//!
+//! Provides the subset this workspace uses: the [`proptest!`] macro with an
+//! optional `#![proptest_config(...)]` header, range / tuple / vec / option
+//! strategies, `num::*::ANY`, `bool::ANY`, and the `prop_assert*` macros.
+//!
+//! Differences from upstream: no shrinking (a failing case panics with the
+//! generated inputs reachable from the assertion message) and a fixed
+//! deterministic seed sequence, so failures reproduce exactly across runs.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinator types.
+
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// A recipe for generating random values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn new_value(&self, rng: &mut StdRng) -> Self::Value;
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for core::ops::Range<f64> {
+        type Value = f64;
+        fn new_value(&self, rng: &mut StdRng) -> f64 {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($n:tt $s:ident),+)),+) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn new_value(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$n.new_value(rng),)+)
+                }
+            }
+        )+};
+    }
+    tuple_strategy!(
+        (0 A, 1 B),
+        (0 A, 1 B, 2 C),
+        (0 A, 1 B, 2 C, 3 D),
+        (0 A, 1 B, 2 C, 3 D, 4 E)
+    );
+
+    /// Strategy for "any value of `T`" (see `num::*::ANY`, `bool::ANY`).
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any<T>(pub core::marker::PhantomData<T>);
+
+    macro_rules! any_strategy {
+        ($($t:ty => $body:expr),*) => {$(
+            impl Strategy for Any<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut StdRng) -> $t {
+                    let f: fn(&mut StdRng) -> $t = $body;
+                    f(rng)
+                }
+            }
+        )*};
+    }
+    any_strategy!(
+        u8 => |rng| rng.gen(),
+        u16 => |rng| rng.gen(),
+        u32 => |rng| rng.gen(),
+        u64 => |rng| rng.gen(),
+        usize => |rng| rng.gen(),
+        i32 => |rng| rng.gen(),
+        i64 => |rng| rng.gen(),
+        bool => |rng| rng.gen(),
+        f64 => |rng| rng.gen()
+    );
+
+    /// A `Vec` strategy with a size range (see [`crate::collection::vec`]).
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        pub(crate) element: S,
+        pub(crate) min: usize,
+        pub(crate) max: usize,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len =
+                if self.min >= self.max { self.min } else { rng.gen_range(self.min..self.max) };
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+
+    /// An `Option` strategy (see [`crate::option::of`]).
+    #[derive(Clone, Debug)]
+    pub struct OptionStrategy<S> {
+        pub(crate) inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn new_value(&self, rng: &mut StdRng) -> Option<S::Value> {
+            if rng.gen_bool(0.5) {
+                Some(self.inner.new_value(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::{Strategy, VecStrategy};
+
+    /// Size specification for [`vec`]: an exact `usize` or a `Range<usize>`.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            SizeRange { min: r.start, max: r.end }
+        }
+    }
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange { min: *r.start(), max: *r.end() + 1 }
+        }
+    }
+
+    /// A strategy producing `Vec`s of `element` with a size in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        let size = size.into();
+        VecStrategy { element, min: size.min, max: size.max }
+    }
+}
+
+pub mod option {
+    //! `Option` strategies.
+
+    use super::strategy::{OptionStrategy, Strategy};
+
+    /// A strategy producing `Some(inner)` or `None` with equal probability.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+}
+
+pub mod num {
+    //! Numeric `ANY` strategies.
+
+    macro_rules! any_mod {
+        ($($m:ident: $t:ty),*) => {$(
+            pub mod $m {
+                //! Strategies for this primitive type.
+                /// Any value of the type.
+                pub const ANY: crate::strategy::Any<$t> =
+                    crate::strategy::Any(core::marker::PhantomData);
+            }
+        )*};
+    }
+    any_mod!(u8: u8, u16: u16, u32: u32, u64: u64, usize: usize, i32: i32, i64: i64, f64: f64);
+}
+
+pub mod bool {
+    //! Boolean strategies.
+
+    /// Any boolean.
+    pub const ANY: crate::strategy::Any<::core::primitive::bool> =
+        crate::strategy::Any(core::marker::PhantomData);
+}
+
+pub mod test_runner {
+    //! Runner configuration.
+
+    /// Configuration for a `proptest!` block.
+    #[derive(Clone, Copy, Debug)]
+    pub struct ProptestConfig {
+        /// Number of random cases per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per test.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+}
+
+#[doc(hidden)]
+pub mod __private {
+    pub use rand::rngs::StdRng;
+    pub use rand::SeedableRng;
+}
+
+pub mod prelude {
+    //! The glob-import surface: `use proptest::prelude::*;`.
+
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Defines property tests: each `fn name(binding in strategy, ...) { body }`
+/// becomes a `#[test]` running `body` over many generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($parm:pat in $strategy:expr),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                for __case in 0..__config.cases {
+                    let mut __rng = <$crate::__private::StdRng as $crate::__private::SeedableRng>::seed_from_u64(
+                        0x9E37_79B9_7F4A_7C15u64.wrapping_mul(u64::from(__case) + 1),
+                    );
+                    $(
+                        let $parm = $crate::strategy::Strategy::new_value(&($strategy), &mut __rng);
+                    )+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a property; panics (failing the case) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality within a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality within a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn pair() -> impl Strategy<Value = (u64, bool)> {
+        (0u64..100, crate::bool::ANY)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respected(x in 5u32..10, y in 0.0f64..1.0) {
+            prop_assert!((5..10).contains(&x));
+            prop_assert!((0.0..1.0).contains(&y));
+        }
+
+        #[test]
+        fn vec_sizes(v in crate::collection::vec(0u8..4, 2..6)) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|&b| b < 4));
+        }
+
+        #[test]
+        fn composed(p in pair(), o in crate::option::of(crate::num::u32::ANY)) {
+            prop_assert!(p.0 < 100);
+            let _ = o;
+        }
+    }
+}

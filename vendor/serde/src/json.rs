@@ -1,0 +1,126 @@
+//! The JSON-like data model shared by the vendored `serde` and `serde_json`.
+
+use std::fmt;
+
+/// A JSON value tree. Object keys keep insertion order so struct output is
+/// stable and matches field declaration order.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A signed integer.
+    Int(i64),
+    /// An unsigned integer (kept separate so `u64::MAX` round-trips).
+    UInt(u64),
+    /// A float.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object as ordered key/value pairs.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The object pairs, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as `u64`, if numeric and in range.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::UInt(x) => Some(*x),
+            Value::Int(x) => u64::try_from(*x).ok(),
+            Value::Float(x) if x.fract() == 0.0 && *x >= 0.0 && *x <= u64::MAX as f64 => {
+                Some(*x as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as `i64`, if numeric and in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(x) => Some(*x),
+            Value::UInt(x) => i64::try_from(*x).ok(),
+            Value::Float(x) if x.fract() == 0.0 && x.abs() <= i64::MAX as f64 => Some(*x as i64),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64`, if numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Float(x) => Some(*x),
+            Value::Int(x) => Some(*x as f64),
+            Value::UInt(x) => Some(*x as f64),
+            _ => None,
+        }
+    }
+
+    /// Looks up `key` in an object.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()?.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+}
+
+/// Fetches a required object field (used by generated `Deserialize` impls).
+pub fn get_field<'a>(pairs: &'a [(String, Value)], key: &str) -> Result<&'a Value, DeError> {
+    pairs
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| DeError::new(format!("missing field `{key}`")))
+}
+
+/// A deserialization error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeError {
+    message: String,
+}
+
+impl DeError {
+    /// Creates an error with the given message.
+    pub fn new(message: impl Into<String>) -> Self {
+        DeError { message: message.into() }
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "deserialization error: {}", self.message)
+    }
+}
+
+impl std::error::Error for DeError {}

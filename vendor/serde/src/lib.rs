@@ -1,0 +1,299 @@
+//! Vendored, offline-buildable stand-in for the `serde` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace ships
+//! a minimal serialization framework under the same crate name and import
+//! paths the real `serde` would provide (`serde::{Serialize, Deserialize}`
+//! plus the derive macros). The data model is a single JSON-like [`json::Value`]
+//! tree; `serde_json` (also vendored) renders and parses it.
+//!
+//! Only the surface this workspace actually uses is implemented. It is not
+//! wire-compatible with upstream serde and should be replaced by the real
+//! crates whenever a registry is available.
+
+pub mod json;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Types that can render themselves into a [`json::Value`] tree.
+pub trait Serialize {
+    /// Converts `self` into the JSON data model.
+    fn serialize(&self) -> json::Value;
+}
+
+/// Types that can be reconstructed from a [`json::Value`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self`, reporting a [`json::DeError`] on shape mismatch.
+    fn deserialize(v: &json::Value) -> Result<Self, json::DeError>;
+}
+
+/// Mirrors `serde::ser` so fully-qualified paths keep working.
+pub mod ser {
+    pub use crate::Serialize;
+}
+
+/// Mirrors `serde::de` so fully-qualified paths keep working.
+pub mod de {
+    pub use crate::Deserialize;
+}
+
+mod impls {
+    use super::json::{DeError, Value};
+    use super::{Deserialize, Serialize};
+    use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+    use std::hash::Hash;
+
+    macro_rules! uint_impl {
+        ($($t:ty),*) => {$(
+            impl Serialize for $t {
+                fn serialize(&self) -> Value {
+                    Value::UInt(*self as u64)
+                }
+            }
+            impl Deserialize for $t {
+                fn deserialize(v: &Value) -> Result<Self, DeError> {
+                    let raw = v
+                        .as_u64()
+                        .ok_or_else(|| DeError::new(concat!("expected ", stringify!($t))))?;
+                    <$t>::try_from(raw)
+                        .map_err(|_| DeError::new(concat!(stringify!($t), " out of range")))
+                }
+            }
+        )*};
+    }
+    uint_impl!(u8, u16, u32, u64, usize);
+
+    macro_rules! int_impl {
+        ($($t:ty),*) => {$(
+            impl Serialize for $t {
+                fn serialize(&self) -> Value {
+                    Value::Int(*self as i64)
+                }
+            }
+            impl Deserialize for $t {
+                fn deserialize(v: &Value) -> Result<Self, DeError> {
+                    let raw = v
+                        .as_i64()
+                        .ok_or_else(|| DeError::new(concat!("expected ", stringify!($t))))?;
+                    <$t>::try_from(raw)
+                        .map_err(|_| DeError::new(concat!(stringify!($t), " out of range")))
+                }
+            }
+        )*};
+    }
+    int_impl!(i8, i16, i32, i64, isize);
+
+    macro_rules! float_impl {
+        ($($t:ty),*) => {$(
+            impl Serialize for $t {
+                fn serialize(&self) -> Value {
+                    Value::Float(*self as f64)
+                }
+            }
+            impl Deserialize for $t {
+                fn deserialize(v: &Value) -> Result<Self, DeError> {
+                    v.as_f64()
+                        .map(|x| x as $t)
+                        .ok_or_else(|| DeError::new(concat!("expected ", stringify!($t))))
+                }
+            }
+        )*};
+    }
+    float_impl!(f32, f64);
+
+    impl Serialize for bool {
+        fn serialize(&self) -> Value {
+            Value::Bool(*self)
+        }
+    }
+    impl Deserialize for bool {
+        fn deserialize(v: &Value) -> Result<Self, DeError> {
+            v.as_bool().ok_or_else(|| DeError::new("expected bool"))
+        }
+    }
+
+    impl Serialize for String {
+        fn serialize(&self) -> Value {
+            Value::Str(self.clone())
+        }
+    }
+    impl Deserialize for String {
+        fn deserialize(v: &Value) -> Result<Self, DeError> {
+            v.as_str().map(str::to_owned).ok_or_else(|| DeError::new("expected string"))
+        }
+    }
+    impl Serialize for str {
+        fn serialize(&self) -> Value {
+            Value::Str(self.to_owned())
+        }
+    }
+    impl Serialize for std::sync::Arc<str> {
+        fn serialize(&self) -> Value {
+            Value::Str(self.to_string())
+        }
+    }
+    impl Deserialize for std::sync::Arc<str> {
+        fn deserialize(v: &Value) -> Result<Self, DeError> {
+            v.as_str().map(std::sync::Arc::from).ok_or_else(|| DeError::new("expected string"))
+        }
+    }
+
+    impl<T: Serialize + ?Sized> Serialize for &T {
+        fn serialize(&self) -> Value {
+            (**self).serialize()
+        }
+    }
+    impl<T: Serialize + ?Sized> Serialize for Box<T> {
+        fn serialize(&self) -> Value {
+            (**self).serialize()
+        }
+    }
+    impl<T: Deserialize> Deserialize for Box<T> {
+        fn deserialize(v: &Value) -> Result<Self, DeError> {
+            T::deserialize(v).map(Box::new)
+        }
+    }
+
+    impl<T: Serialize> Serialize for Option<T> {
+        fn serialize(&self) -> Value {
+            match self {
+                Some(x) => x.serialize(),
+                None => Value::Null,
+            }
+        }
+    }
+    impl<T: Deserialize> Deserialize for Option<T> {
+        fn deserialize(v: &Value) -> Result<Self, DeError> {
+            match v {
+                Value::Null => Ok(None),
+                other => T::deserialize(other).map(Some),
+            }
+        }
+    }
+
+    impl<T: Serialize> Serialize for Vec<T> {
+        fn serialize(&self) -> Value {
+            Value::Array(self.iter().map(Serialize::serialize).collect())
+        }
+    }
+    impl<T: Deserialize> Deserialize for Vec<T> {
+        fn deserialize(v: &Value) -> Result<Self, DeError> {
+            v.as_array()
+                .ok_or_else(|| DeError::new("expected array"))?
+                .iter()
+                .map(T::deserialize)
+                .collect()
+        }
+    }
+    impl<T: Serialize> Serialize for [T] {
+        fn serialize(&self) -> Value {
+            Value::Array(self.iter().map(Serialize::serialize).collect())
+        }
+    }
+
+    impl<T: Serialize + Ord> Serialize for BTreeSet<T> {
+        fn serialize(&self) -> Value {
+            Value::Array(self.iter().map(Serialize::serialize).collect())
+        }
+    }
+    impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+        fn deserialize(v: &Value) -> Result<Self, DeError> {
+            v.as_array()
+                .ok_or_else(|| DeError::new("expected array"))?
+                .iter()
+                .map(T::deserialize)
+                .collect()
+        }
+    }
+    impl<T: Serialize + Eq + Hash> Serialize for HashSet<T> {
+        fn serialize(&self) -> Value {
+            // Deterministic output: sort the rendered elements.
+            let mut items: Vec<Value> = self.iter().map(Serialize::serialize).collect();
+            items.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+            Value::Array(items)
+        }
+    }
+    impl<T: Deserialize + Eq + Hash> Deserialize for HashSet<T> {
+        fn deserialize(v: &Value) -> Result<Self, DeError> {
+            v.as_array()
+                .ok_or_else(|| DeError::new("expected array"))?
+                .iter()
+                .map(T::deserialize)
+                .collect()
+        }
+    }
+
+    fn map_pairs<'a, K: Serialize + 'a, V: Serialize + 'a>(
+        it: impl Iterator<Item = (&'a K, &'a V)>,
+    ) -> Value {
+        Value::Array(it.map(|(k, v)| Value::Array(vec![k.serialize(), v.serialize()])).collect())
+    }
+
+    fn pairs_back<K: Deserialize, V: Deserialize, M: FromIterator<(K, V)>>(
+        v: &Value,
+    ) -> Result<M, DeError> {
+        v.as_array()
+            .ok_or_else(|| DeError::new("expected array of pairs"))?
+            .iter()
+            .map(|pair| {
+                let items = pair.as_array().ok_or_else(|| DeError::new("expected pair"))?;
+                if items.len() != 2 {
+                    return Err(DeError::new("expected [key, value] pair"));
+                }
+                Ok((K::deserialize(&items[0])?, V::deserialize(&items[1])?))
+            })
+            .collect()
+    }
+
+    impl<K: Serialize + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+        fn serialize(&self) -> Value {
+            map_pairs(self.iter())
+        }
+    }
+    impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+        fn deserialize(v: &Value) -> Result<Self, DeError> {
+            pairs_back(v)
+        }
+    }
+    impl<K: Serialize + Eq + Hash, V: Serialize> Serialize for HashMap<K, V> {
+        fn serialize(&self) -> Value {
+            let mut items: Vec<Value> = self
+                .iter()
+                .map(|(k, v)| Value::Array(vec![k.serialize(), v.serialize()]))
+                .collect();
+            items.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+            Value::Array(items)
+        }
+    }
+    impl<K: Deserialize + Eq + Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+        fn deserialize(v: &Value) -> Result<Self, DeError> {
+            pairs_back(v)
+        }
+    }
+
+    macro_rules! tuple_impl {
+        ($(($($n:tt $t:ident),+)),+) => {$(
+            impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+                fn serialize(&self) -> Value {
+                    Value::Array(vec![$(self.$n.serialize()),+])
+                }
+            }
+            impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+                fn deserialize(v: &Value) -> Result<Self, DeError> {
+                    let items = v.as_array().ok_or_else(|| DeError::new("expected tuple array"))?;
+                    let expected = [$($n),+].len();
+                    if items.len() != expected {
+                        return Err(DeError::new("tuple arity mismatch"));
+                    }
+                    Ok(($($t::deserialize(&items[$n])?,)+))
+                }
+            }
+        )+};
+    }
+    tuple_impl!(
+        (0 A),
+        (0 A, 1 B),
+        (0 A, 1 B, 2 C),
+        (0 A, 1 B, 2 C, 3 D),
+        (0 A, 1 B, 2 C, 3 D, 4 E)
+    );
+}

@@ -1,0 +1,521 @@
+//! Vendored `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! offline serde shim. Parses the item's token stream directly (no `syn`)
+//! and emits impls of the shim's `serde::Serialize` / `serde::Deserialize`
+//! traits over the `serde::json::Value` data model.
+//!
+//! Supported shapes (everything this workspace derives):
+//! structs with named fields, tuple structs, unit structs, and enums with
+//! unit / tuple / struct variants; generic parameters without bounds; the
+//! container attribute `#[serde(transparent)]` and the field attribute
+//! `#[serde(skip)]`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Parsed representation
+// ---------------------------------------------------------------------------
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Kind {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    generics: Vec<String>,
+    transparent: bool,
+    kind: Kind,
+}
+
+// ---------------------------------------------------------------------------
+// Token-stream parsing
+// ---------------------------------------------------------------------------
+
+/// Serde attribute flags found while consuming leading `#[...]` attributes.
+#[derive(Default)]
+struct SerdeAttrs {
+    transparent: bool,
+    skip: bool,
+}
+
+/// Consumes leading attributes from `pos`, returning any serde flags.
+fn take_attrs(tokens: &[TokenTree], pos: &mut usize) -> SerdeAttrs {
+    let mut attrs = SerdeAttrs::default();
+    while *pos < tokens.len() {
+        match &tokens[*pos] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                *pos += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*pos) {
+                    if g.delimiter() == Delimiter::Bracket {
+                        scan_serde_attr(&g.stream(), &mut attrs);
+                        *pos += 1;
+                        continue;
+                    }
+                }
+                panic!("malformed attribute");
+            }
+            _ => break,
+        }
+    }
+    attrs
+}
+
+/// Inspects one attribute body (`serde(...)`, `doc = ...`, ...) for flags.
+fn scan_serde_attr(stream: &TokenStream, attrs: &mut SerdeAttrs) {
+    let toks: Vec<TokenTree> = stream.clone().into_iter().collect();
+    let is_serde = matches!(&toks.first(), Some(TokenTree::Ident(i)) if i.to_string() == "serde");
+    if !is_serde {
+        return;
+    }
+    if let Some(TokenTree::Group(g)) = toks.get(1) {
+        for t in g.stream() {
+            if let TokenTree::Ident(i) = t {
+                match i.to_string().as_str() {
+                    "transparent" => attrs.transparent = true,
+                    "skip" | "skip_serializing" | "skip_deserializing" => attrs.skip = true,
+                    other => panic!("unsupported serde attribute `{other}`"),
+                }
+            }
+        }
+    }
+}
+
+/// Skips an optional `pub` / `pub(...)` visibility.
+fn skip_vis(tokens: &[TokenTree], pos: &mut usize) {
+    if matches!(&tokens.get(*pos), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        *pos += 1;
+        if let Some(TokenTree::Group(g)) = tokens.get(*pos) {
+            if g.delimiter() == Delimiter::Parenthesis {
+                *pos += 1;
+            }
+        }
+    }
+}
+
+/// Skips tokens until a top-level `,` (outside `<...>`), consuming it.
+/// Returns at end of input as well. Handles `->` inside generic args.
+fn skip_type(tokens: &[TokenTree], pos: &mut usize) {
+    let mut angle_depth = 0usize;
+    let mut prev_dash = false;
+    while *pos < tokens.len() {
+        match &tokens[*pos] {
+            TokenTree::Punct(p) => {
+                let c = p.as_char();
+                if c == ',' && angle_depth == 0 {
+                    *pos += 1;
+                    return;
+                }
+                if c == '<' {
+                    angle_depth += 1;
+                } else if c == '>' && !prev_dash {
+                    angle_depth = angle_depth.saturating_sub(1);
+                }
+                prev_dash = c == '-';
+            }
+            _ => prev_dash = false,
+        }
+        *pos += 1;
+    }
+}
+
+/// Parses generic parameter names from `<...>` starting at `pos` (which must
+/// point at `<`), consuming through the matching `>`.
+fn parse_generics(tokens: &[TokenTree], pos: &mut usize) -> Vec<String> {
+    let mut params = Vec::new();
+    let mut depth = 0usize;
+    let mut expecting_param = true;
+    while *pos < tokens.len() {
+        match &tokens[*pos] {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                depth += 1;
+                *pos += 1;
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                depth -= 1;
+                *pos += 1;
+                if depth == 0 {
+                    return params;
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => {
+                expecting_param = true;
+                *pos += 1;
+            }
+            TokenTree::Punct(p) if p.as_char() == ':' && depth == 1 => {
+                expecting_param = false;
+                *pos += 1;
+            }
+            TokenTree::Ident(i) if depth == 1 && expecting_param => {
+                params.push(i.to_string());
+                expecting_param = false;
+                *pos += 1;
+            }
+            _ => *pos += 1,
+        }
+    }
+    params
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0usize;
+    let mut fields = Vec::new();
+    while pos < tokens.len() {
+        let attrs = take_attrs(&tokens, &mut pos);
+        skip_vis(&tokens, &mut pos);
+        let name = match &tokens.get(pos) {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => break,
+            other => panic!("expected field name, found {other:?}"),
+        };
+        pos += 1;
+        match &tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            other => panic!("expected `:` after field `{name}`, found {other:?}"),
+        }
+        skip_type(&tokens, &mut pos);
+        fields.push(Field { name, skip: attrs.skip });
+    }
+    fields
+}
+
+/// Counts top-level comma-separated entries in a tuple-struct body.
+fn tuple_arity(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut pos = 0usize;
+    let mut arity = 0usize;
+    while pos < tokens.len() {
+        let _ = take_attrs(&tokens, &mut pos);
+        skip_vis(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        skip_type(&tokens, &mut pos);
+        arity += 1;
+    }
+    arity
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0usize;
+    let mut variants = Vec::new();
+    while pos < tokens.len() {
+        let _ = take_attrs(&tokens, &mut pos);
+        let name = match &tokens.get(pos) {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => break,
+            other => panic!("expected variant name, found {other:?}"),
+        };
+        pos += 1;
+        let kind = match &tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = tuple_arity(g.stream());
+                pos += 1;
+                VariantKind::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let names = parse_named_fields(g.stream()).into_iter().map(|f| f.name).collect();
+                pos += 1;
+                VariantKind::Named(names)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an optional `= discriminant` and the separating comma.
+        while pos < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[pos] {
+                if p.as_char() == ',' {
+                    pos += 1;
+                    break;
+                }
+            }
+            pos += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0usize;
+    let attrs = take_attrs(&tokens, &mut pos);
+    skip_vis(&tokens, &mut pos);
+
+    let is_enum = match &tokens.get(pos) {
+        Some(TokenTree::Ident(i)) if i.to_string() == "struct" => false,
+        Some(TokenTree::Ident(i)) if i.to_string() == "enum" => true,
+        other => panic!("expected struct or enum, found {other:?}"),
+    };
+    pos += 1;
+    let name = match &tokens.get(pos) {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("expected type name, found {other:?}"),
+    };
+    pos += 1;
+
+    let generics = match &tokens.get(pos) {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => parse_generics(&tokens, &mut pos),
+        _ => Vec::new(),
+    };
+
+    // Scan forward (over any `where` clause) to the body.
+    let kind = loop {
+        match &tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                break if is_enum {
+                    Kind::Enum(parse_variants(g.stream()))
+                } else {
+                    Kind::NamedStruct(parse_named_fields(g.stream()))
+                };
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis && !is_enum => {
+                break Kind::TupleStruct(tuple_arity(g.stream()));
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' && !is_enum => {
+                break Kind::UnitStruct;
+            }
+            Some(_) => pos += 1,
+            None => panic!("missing body for `{name}`"),
+        }
+    };
+
+    Item { name, generics, transparent: attrs.transparent, kind }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn impl_header(item: &Item, trait_path: &str) -> String {
+    if item.generics.is_empty() {
+        format!("impl {trait_path} for {}", item.name)
+    } else {
+        let params = item.generics.join(", ");
+        format!("impl<{params}> {trait_path} for {}<{params}>", item.name)
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let body = match &item.kind {
+        Kind::NamedStruct(fields) => {
+            let live: Vec<&Field> = fields.iter().filter(|f| !f.skip).collect();
+            if item.transparent {
+                assert_eq!(live.len(), 1, "transparent requires exactly one live field");
+                format!("::serde::Serialize::serialize(&self.{})", live[0].name)
+            } else {
+                let mut s = String::from(
+                    "let mut fields: ::std::vec::Vec<(::std::string::String, ::serde::json::Value)> = ::std::vec::Vec::new();\n",
+                );
+                for f in &live {
+                    s.push_str(&format!(
+                        "fields.push((::std::string::String::from(\"{0}\"), ::serde::Serialize::serialize(&self.{0})));\n",
+                        f.name
+                    ));
+                }
+                s.push_str("::serde::json::Value::Object(fields)");
+                s
+            }
+        }
+        Kind::TupleStruct(1) => "::serde::Serialize::serialize(&self.0)".to_string(),
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> =
+                (0..*n).map(|i| format!("::serde::Serialize::serialize(&self.{i})")).collect();
+            format!("::serde::json::Value::Array(::std::vec![{}])", items.join(", "))
+        }
+        Kind::UnitStruct => "::serde::json::Value::Null".to_string(),
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                let ty = &item.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{ty}::{vn} => ::serde::json::Value::Str(::std::string::String::from(\"{vn}\")),\n"
+                    )),
+                    VariantKind::Tuple(1) => arms.push_str(&format!(
+                        "{ty}::{vn}(f0) => ::serde::json::Value::Object(::std::vec![(::std::string::String::from(\"{vn}\"), ::serde::Serialize::serialize(f0))]),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::serialize({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{ty}::{vn}({}) => ::serde::json::Value::Object(::std::vec![(::std::string::String::from(\"{vn}\"), ::serde::json::Value::Array(::std::vec![{}]))]),\n",
+                            binds.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                    VariantKind::Named(names) => {
+                        let binds = names.join(", ");
+                        let items: Vec<String> = names
+                            .iter()
+                            .map(|n| {
+                                format!(
+                                    "(::std::string::String::from(\"{n}\"), ::serde::Serialize::serialize({n}))"
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{ty}::{vn} {{ {binds} }} => ::serde::json::Value::Object(::std::vec![(::std::string::String::from(\"{vn}\"), ::serde::json::Value::Object(::std::vec![{}]))]),\n",
+                            items.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "{} {{\n fn serialize(&self) -> ::serde::json::Value {{\n {body}\n }}\n}}",
+        impl_header(item, "::serde::Serialize")
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::NamedStruct(fields) => {
+            let live: Vec<&Field> = fields.iter().filter(|f| !f.skip).collect();
+            let build = |source: &dyn Fn(&str) -> String| -> String {
+                let mut inits = Vec::new();
+                for f in fields {
+                    if f.skip {
+                        inits.push(format!("{}: ::std::default::Default::default()", f.name));
+                    } else {
+                        inits.push(format!("{}: {}", f.name, source(&f.name)));
+                    }
+                }
+                format!("::std::result::Result::Ok({name} {{ {} }})", inits.join(", "))
+            };
+            if item.transparent {
+                assert_eq!(live.len(), 1, "transparent requires exactly one live field");
+                build(&|_field: &str| "::serde::Deserialize::deserialize(v)?".to_string())
+            } else {
+                let mut s = String::from(
+                    "let obj = v.as_object().ok_or_else(|| ::serde::json::DeError::new(\"expected object\"))?;\n",
+                );
+                s.push_str(&build(&|field: &str| {
+                    format!(
+                        "::serde::Deserialize::deserialize(::serde::json::get_field(obj, \"{field}\")?)?"
+                    )
+                }));
+                s
+            }
+        }
+        Kind::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::deserialize(v)?))")
+        }
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::deserialize(&items[{i}])?"))
+                .collect();
+            format!(
+                "let items = v.as_array().ok_or_else(|| ::serde::json::DeError::new(\"expected array\"))?;\n\
+                 if items.len() != {n} {{ return ::std::result::Result::Err(::serde::json::DeError::new(\"tuple struct arity mismatch\")); }}\n\
+                 ::std::result::Result::Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Kind::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Kind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => unit_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"
+                    )),
+                    VariantKind::Tuple(1) => tagged_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(::serde::Deserialize::deserialize(payload)?)),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::deserialize(&items[{i}])?"))
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let items = payload.as_array().ok_or_else(|| ::serde::json::DeError::new(\"expected variant array\"))?;\n\
+                             if items.len() != {n} {{ return ::std::result::Result::Err(::serde::json::DeError::new(\"variant arity mismatch\")); }}\n\
+                             ::std::result::Result::Ok({name}::{vn}({}))\n}},\n",
+                            items.join(", ")
+                        ));
+                    }
+                    VariantKind::Named(names) => {
+                        let inits: Vec<String> = names
+                            .iter()
+                            .map(|fname| {
+                                format!(
+                                    "{fname}: ::serde::Deserialize::deserialize(::serde::json::get_field(obj, \"{fname}\")?)?"
+                                )
+                            })
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let obj = payload.as_object().ok_or_else(|| ::serde::json::DeError::new(\"expected variant object\"))?;\n\
+                             ::std::result::Result::Ok({name}::{vn} {{ {} }})\n}},\n",
+                            inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            let tagged_fallback = if tagged_arms.is_empty() {
+                "_ => ::std::result::Result::Err(::serde::json::DeError::new(\"expected string variant\")),\n".to_string()
+            } else {
+                format!(
+                    "other => {{\n\
+                     let pairs = other.as_object().ok_or_else(|| ::serde::json::DeError::new(\"expected enum value\"))?;\n\
+                     let (tag, payload) = pairs.first().ok_or_else(|| ::serde::json::DeError::new(\"empty enum object\"))?;\n\
+                     match tag.as_str() {{\n{tagged_arms}\
+                     _ => ::std::result::Result::Err(::serde::json::DeError::new(\"unknown variant\")),\n}}\n}}\n"
+                )
+            };
+            format!(
+                "match v {{\n\
+                 ::serde::json::Value::Str(s) => match s.as_str() {{\n{unit_arms}\
+                 _ => ::std::result::Result::Err(::serde::json::DeError::new(\"unknown variant\")),\n}},\n\
+                 {tagged_fallback}}}"
+            )
+        }
+    };
+    format!(
+        "{} {{\n fn deserialize(v: &::serde::json::Value) -> ::std::result::Result<Self, ::serde::json::DeError> {{\n {body}\n }}\n}}",
+        impl_header(item, "::serde::Deserialize")
+    )
+}
