@@ -4,7 +4,8 @@
 //! sources (DNS and proxy), and sequential vs sharded C&C scoring.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
-use earlybird_engine::{DayBatch, Engine, EngineBuilder};
+use earlybird_engine::{DayBatch, Engine, EngineBuilder, IngestSource};
+use earlybird_logmodel::format_dns_line;
 use earlybird_synthgen::lanl::{LanlConfig, LanlGenerator};
 use std::sync::Arc;
 
@@ -42,6 +43,56 @@ fn bench_dns_ingest(c: &mut Criterion) {
         });
         group.finish();
     }
+}
+
+/// The streaming ingest path against the `ingest_day` baseline: the same
+/// operation day pushed through `begin_day` in bounded chunks (records and
+/// raw interchange lines), with parallel parse+reduce workers.
+fn bench_streaming_ingest(c: &mut Criterion) {
+    let challenge = earlybird_bench::lanl_world();
+    let day = challenge
+        .dataset
+        .day(challenge.dataset.meta.first_operation_day())
+        .expect("operation day exists")
+        .clone();
+
+    let mut group = c.benchmark_group("engine_ingest_streaming/lanl_small");
+    group.throughput(Throughput::Elements(day.queries.len() as u64));
+    group.bench_function("dns_day_chunked_records", |b| {
+        b.iter_batched(
+            || lanl_engine(&challenge, 4),
+            |mut engine| {
+                let mut ingest = engine.begin_day(day.day, IngestSource::Dns);
+                for span in day.queries.chunks(8_192) {
+                    ingest.push_dns_records(span);
+                }
+                ingest.finish()
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+
+    // Raw-line ingestion: parse + intern + reduce from text blocks.
+    let lines: Vec<String> =
+        day.queries.iter().map(|q| format_dns_line(q, &challenge.dataset.domains)).collect();
+    let blocks: Vec<String> = lines.chunks(8_192).map(|block| block.join("\n")).collect();
+    let mut group = c.benchmark_group("engine_ingest_streaming/lanl_small");
+    group.throughput(Throughput::Elements(day.queries.len() as u64));
+    group.bench_function("dns_day_raw_lines", |b| {
+        b.iter_batched(
+            || lanl_engine(&challenge, 4),
+            |mut engine| {
+                let mut ingest = engine.begin_day(day.day, IngestSource::Dns);
+                for block in &blocks {
+                    ingest.push_lines(block);
+                }
+                ingest.finish()
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
 }
 
 fn bench_proxy_ingest(c: &mut Criterion) {
@@ -94,6 +145,6 @@ fn bench_scoring_parallelism(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_dns_ingest, bench_proxy_ingest, bench_scoring_parallelism
+    targets = bench_dns_ingest, bench_streaming_ingest, bench_proxy_ingest, bench_scoring_parallelism
 }
 criterion_main!(benches);

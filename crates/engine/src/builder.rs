@@ -4,7 +4,7 @@ use crate::alert::AlertSink;
 use crate::core_loop::Engine;
 use earlybird_core::{BpConfig, CcModel, PipelineConfig, SimScorer};
 use earlybird_intel::WhoisRegistry;
-use earlybird_logmodel::{DatasetMeta, DomainInterner};
+use earlybird_logmodel::{DatasetMeta, DomainInterner, PathInterner, UaInterner};
 use earlybird_timing::AutomationDetector;
 use std::fmt;
 use std::sync::Arc;
@@ -62,6 +62,10 @@ pub struct EngineConfig {
     /// across threads; below `parallelism * parallel_threshold` domains the
     /// pass runs sequentially (thread spawn would dominate).
     pub parallel_threshold: usize,
+    /// Minimum records per parse/reduce worker when a pushed ingest span is
+    /// split across the pool (`Engine::begin_day` and the `ingest_day`
+    /// wrapper); spans shorter than this run inline.
+    pub ingest_chunk_records: usize,
     /// Override for the bootstrap/operation split; `None` uses
     /// [`DatasetMeta::bootstrap_days`].
     pub bootstrap_days: Option<u32>,
@@ -77,6 +81,8 @@ pub struct EngineConfig {
 pub struct EngineBuilder {
     cfg: EngineConfig,
     sinks: Vec<Box<dyn AlertSink + Send>>,
+    uas: Option<Arc<UaInterner>>,
+    paths: Option<Arc<PathInterner>>,
 }
 
 impl EngineBuilder {
@@ -97,10 +103,13 @@ impl EngineBuilder {
                 auto_investigate: false,
                 parallelism: default_parallelism(),
                 parallel_threshold: 512,
+                ingest_chunk_records: 8_192,
                 bootstrap_days: None,
                 retain_days: None,
             },
             sinks: Vec::new(),
+            uas: None,
+            paths: None,
         }
     }
 
@@ -189,6 +198,23 @@ impl EngineBuilder {
         self
     }
 
+    /// Sets the minimum records per parse/reduce worker for streaming
+    /// ingest spans (clamped to at least 1).
+    pub fn ingest_chunk_records(mut self, min_records_per_worker: usize) -> Self {
+        self.cfg.ingest_chunk_records = min_records_per_worker;
+        self
+    }
+
+    /// Installs the user-agent / URL-path interners used when parsing raw
+    /// proxy log lines, so symbols stay consistent with records produced
+    /// elsewhere (e.g. a `ProxyDataset`'s own interners). Fresh interners
+    /// are created when omitted.
+    pub fn proxy_interners(mut self, uas: Arc<UaInterner>, paths: Arc<PathInterner>) -> Self {
+        self.uas = Some(uas);
+        self.paths = Some(paths);
+        self
+    }
+
     /// Overrides the bootstrap/operation split from the dataset metadata.
     pub fn bootstrap_days(mut self, days: u32) -> Self {
         self.cfg.bootstrap_days = Some(days);
@@ -255,7 +281,8 @@ impl EngineBuilder {
         }
         cfg.parallelism = cfg.parallelism.max(1);
         cfg.parallel_threshold = cfg.parallel_threshold.max(1);
-        Ok(Engine::from_parts(self.cfg, self.sinks, raw, meta))
+        cfg.ingest_chunk_records = cfg.ingest_chunk_records.max(1);
+        Ok(Engine::from_parts(self.cfg, self.sinks, raw, meta, self.uas, self.paths))
     }
 }
 

@@ -3,11 +3,15 @@
 use crate::alert::{Alert, AlertSink, Verdict};
 use crate::batch::DayBatch;
 use crate::builder::{EngineConfig, EngineError};
-use crate::report::{CcCandidate, DayReport, InvestigationReport, StageCounters};
+use crate::ingest::IngestSource;
+use crate::report::{CcCandidate, DayReport, InvestigationReport};
 use earlybird_core::{
     belief_propagation, CcDetector, DailyPipeline, DayContext, DayProduct, Seeds,
 };
-use earlybird_logmodel::{fold_domain, DatasetMeta, Day, DomainInterner, DomainSym, HostId};
+use earlybird_logmodel::{
+    fold_domain, DatasetMeta, Day, DomainInterner, DomainSym, HostId, HostMapper, PathInterner,
+    UaInterner,
+};
 use earlybird_pipeline::{DayIndex, DomainHistory, UaHistory};
 use earlybird_timing::{AutomationDetector, AutomationEvidence};
 use std::collections::BTreeMap;
@@ -88,17 +92,24 @@ impl Investigation {
     }
 }
 
-/// The unified streaming engine: feed daily [`DayBatch`]es, receive typed
+/// The unified streaming engine: feed daily [`DayBatch`]es (or stream a day
+/// chunk by chunk through [`Engine::begin_day`]), receive typed
 /// [`DayReport`]s and [`Alert`]s; see the crate docs for the full tour.
 pub struct Engine {
-    cfg: EngineConfig,
-    meta: DatasetMeta,
-    pipeline: DailyPipeline,
-    products: BTreeMap<Day, DayProduct>,
-    reports: BTreeMap<Day, DayReport>,
+    pub(crate) cfg: EngineConfig,
+    pub(crate) meta: DatasetMeta,
+    pub(crate) pipeline: DailyPipeline,
+    pub(crate) products: BTreeMap<Day, DayProduct>,
+    pub(crate) reports: BTreeMap<Day, DayReport>,
     sinks: Mutex<Vec<Box<dyn AlertSink + Send>>>,
     sequence: AtomicU64,
     soc_seed_syms: Vec<DomainSym>,
+    /// Interner for user agents parsed from raw proxy log lines.
+    pub(crate) uas: Arc<UaInterner>,
+    /// Interner for URL paths parsed from raw proxy log lines.
+    pub(crate) paths: Arc<PathInterner>,
+    /// Stable host-id assignment for raw DNS log lines, shared across days.
+    pub(crate) line_hosts: HostMapper,
 }
 
 impl std::fmt::Debug for Engine {
@@ -116,6 +127,8 @@ impl Engine {
         sinks: Vec<Box<dyn AlertSink + Send>>,
         raw: Arc<DomainInterner>,
         meta: DatasetMeta,
+        uas: Option<Arc<UaInterner>>,
+        paths: Option<Arc<PathInterner>>,
     ) -> Self {
         let pipeline = DailyPipeline::new(raw, cfg.pipeline);
         let soc_seed_syms = cfg.soc_seed_domains.iter().map(|n| pipeline.intern_seed(n)).collect();
@@ -128,6 +141,9 @@ impl Engine {
             sinks: Mutex::new(sinks),
             sequence: AtomicU64::new(0),
             soc_seed_syms,
+            uas: uas.unwrap_or_default(),
+            paths: paths.unwrap_or_default(),
+            line_hosts: HostMapper::new(),
         }
     }
 
@@ -209,6 +225,18 @@ impl Engine {
         self.cfg.whois_defaults
     }
 
+    /// The user-agent interner used when parsing raw proxy log lines
+    /// (dataset-driven callers can install their own via
+    /// [`crate::EngineBuilder::proxy_interners`]).
+    pub fn ua_interner(&self) -> &Arc<UaInterner> {
+        &self.uas
+    }
+
+    /// The URL-path interner used when parsing raw proxy log lines.
+    pub fn path_interner(&self) -> &Arc<PathInterner> {
+        &self.paths
+    }
+
     pub(crate) fn set_whois_defaults(&mut self, defaults: (f64, f64)) {
         self.cfg.whois_defaults = defaults;
     }
@@ -236,48 +264,37 @@ impl Engine {
     /// days run the full reduce → profile → rare-sieve → C&C →
     /// (optional) belief-propagation cycle, emit alerts, and are retained
     /// for later [`Engine::investigate`] calls.
+    ///
+    /// This is a thin wrapper over the streaming path: the whole batch is
+    /// pushed through [`Engine::begin_day`] as one span (which the ingest
+    /// handle parallelizes into parse+reduce chunks internally), so batch
+    /// and chunked callers exercise identical machinery. Feeding a day in
+    /// pieces via [`Engine::begin_day`] yields the same [`DayReport`].
     pub fn ingest_day(&mut self, batch: DayBatch<'_>) -> DayReport {
-        let started = Instant::now();
-        let day = batch.day();
-        // At-least-once delivery safety: re-feeding an already-ingested day
-        // must not double-count the cross-day popularity profiles (which
-        // would silently push rare destinations over the unpopularity
-        // threshold). Replays are a no-op returning the stored counters.
-        if let Some(stored) = self.reports.get(&day) {
-            let mut replay = stored.clone();
-            replay.duplicate = true;
-            return replay;
-        }
-        let mut report = DayReport {
-            day,
-            bootstrap: day.index() < self.bootstrap_days(),
-            stages: StageCounters { records_in: batch.records(), ..StageCounters::default() },
-            ..DayReport::default()
-        };
-
-        if report.bootstrap {
-            match batch {
-                DayBatch::Dns(d) => {
-                    report.dns_counts = Some(self.pipeline.bootstrap_dns_day(d, &self.meta));
-                }
-                DayBatch::Proxy { day: d, dhcp } => {
-                    let (norm, counts) = self.pipeline.bootstrap_proxy_day(d, dhcp, &self.meta);
-                    report.norm_counts = Some(norm);
-                    report.proxy_counts = Some(counts);
-                }
+        match batch {
+            DayBatch::Dns(d) => {
+                let mut ingest = self.begin_day(d.day, IngestSource::Dns);
+                ingest.push_dns_records(&d.queries);
+                ingest.finish()
             }
-            self.fill_reduction_counters(&mut report);
-            report.stages.wall_micros = started.elapsed().as_micros() as u64;
-            self.reports.insert(day, Self::counters_only(&report));
-            return report;
-        }
-
-        let product = match batch {
-            DayBatch::Dns(d) => self.pipeline.process_dns_day(d, &self.meta),
-            DayBatch::Proxy { day: d, dhcp } => {
-                self.pipeline.process_proxy_day(d, dhcp, &self.meta)
+            DayBatch::Proxy { day, dhcp } => {
+                let mut ingest = self.begin_day(day.day, IngestSource::Proxy { dhcp });
+                ingest.push_proxy_records(&day.records);
+                ingest.finish()
             }
-        };
+        }
+    }
+
+    /// The detection half of the daily cycle, shared by every ingest path:
+    /// C&C scoring over the day's rare domains, alerting, optional
+    /// belief-propagation expansion, and retention.
+    pub(crate) fn run_detection_tail(
+        &mut self,
+        mut report: DayReport,
+        product: DayProduct,
+        started: Instant,
+    ) -> DayReport {
+        let day = report.day;
         report.dns_counts = product.dns_counts;
         report.proxy_counts = product.proxy_counts;
         report.norm_counts = product.norm_counts;
@@ -382,7 +399,7 @@ impl Engine {
 
     /// The slim copy retained per day: counters only, so a months-long
     /// stream does not accumulate per-domain names, alerts, and BP traces.
-    fn counters_only(report: &DayReport) -> DayReport {
+    pub(crate) fn counters_only(report: &DayReport) -> DayReport {
         DayReport {
             day: report.day,
             bootstrap: report.bootstrap,
@@ -506,7 +523,7 @@ impl Engine {
 
     // -- internals ---------------------------------------------------------
 
-    fn fill_reduction_counters(&self, report: &mut DayReport) {
+    pub(crate) fn fill_reduction_counters(&self, report: &mut DayReport) {
         if let Some(c) = report.dns_counts {
             report.stages.domains_all = c.domains_all;
             report.stages.domains_after_internal_filter = c.domains_after_internal_filter;
@@ -612,6 +629,7 @@ mod tests {
     use super::*;
     use crate::alert::CollectingSink;
     use crate::builder::EngineBuilder;
+    use crate::report::StageCounters;
     use earlybird_synthgen::lanl::{LanlConfig, LanlGenerator};
 
     fn engine_over_tiny(

@@ -1,0 +1,353 @@
+//! Streaming day ingestion: the [`Engine::begin_day`] push handle.
+//!
+//! The paper's histories are "updated incrementally daily" over billions of
+//! log lines (§III-E, §IV-A) — no enterprise deployment can afford to
+//! materialize a whole day of parsed records before work starts.
+//! [`DayIngest`] is the constant-memory alternative to
+//! [`crate::DayBatch`]-based ingestion: open a day with
+//! [`Engine::begin_day`], feed it any mix of [`DayIngest::push_lines`] /
+//! [`DayIngest::push_dns_records`] / [`DayIngest::push_proxy_records`]
+//! spans in any chunking, and seal it with [`DayIngest::finish`] to run the
+//! unchanged detection tail (C&C scoring, alerting, belief propagation).
+//!
+//! Each pushed span is split across the engine's worker pool: parsing and
+//! chunk reduction run in parallel, while the two order-sensitive steps —
+//! host-id assignment for raw DNS lines and first-fold interning of domain
+//! names — run sequentially in arrival order, which makes every result
+//! (alerts, counters, candidate ordering, sink sequence) independent of how
+//! the day was chunked. `Engine::ingest_day` is itself a wrapper that
+//! pushes the whole batch as one span.
+
+use crate::core_loop::Engine;
+use crate::report::{DayReport, StageCounters};
+use earlybird_core::{DayAccum, DayOutcome};
+use earlybird_logmodel::{
+    parse_dns_line_unassigned, parse_proxy_line, payload_line, Day, DhcpLog, DnsQuery,
+    ParseLogError, ProxyRecord,
+};
+use earlybird_pipeline::NormalizationCounts;
+use std::time::Instant;
+
+/// Which log source a streamed day reads from.
+#[derive(Clone, Copy, Debug)]
+pub enum IngestSource<'a> {
+    /// DNS query lines/records (the LANL-style source, §V).
+    Dns,
+    /// Web-proxy lines/records plus the DHCP lease log needed to attribute
+    /// dynamic IPs to hosts (the enterprise source, §VI).
+    Proxy {
+        /// The lease log covering the day.
+        dhcp: &'a DhcpLog,
+    },
+}
+
+impl IngestSource<'_> {
+    fn is_dns(&self) -> bool {
+        matches!(self, IngestSource::Dns)
+    }
+}
+
+/// Push handle for one streaming day; created by [`Engine::begin_day`].
+///
+/// Records may be pushed in chunks of any size and (across parallel
+/// producers upstream) any arrival order within a chunk; the final
+/// [`DayReport`] is identical to ingesting the whole day at once. Replayed
+/// days (already ingested) accept pushes as no-ops and return the stored
+/// counters with the `duplicate` flag, preserving at-least-once delivery
+/// safety.
+#[derive(Debug)]
+pub struct DayIngest<'e, 'a> {
+    engine: &'e mut Engine,
+    source: IngestSource<'a>,
+    day: Day,
+    /// `None` when the day is a replay (nothing accumulates).
+    accum: Option<DayAccum>,
+    parse_errors: usize,
+    started: Instant,
+}
+
+impl Engine {
+    /// Opens a streaming ingest for `day`. Push records or raw log lines in
+    /// chunks, then call [`DayIngest::finish`] to run detection and obtain
+    /// the day's report. See the [module docs](crate::ingest) for the
+    /// execution model.
+    pub fn begin_day<'a>(&mut self, day: Day, source: IngestSource<'a>) -> DayIngest<'_, 'a> {
+        let started = Instant::now();
+        // At-least-once delivery safety: re-feeding an already-ingested day
+        // must not double-count the cross-day popularity profiles (which
+        // would silently push rare destinations over the unpopularity
+        // threshold). Replays accumulate nothing.
+        let accum = if self.reports.contains_key(&day) {
+            None
+        } else {
+            let bootstrap = day.index() < self.bootstrap_days();
+            Some(match source {
+                IngestSource::Dns => self.pipeline.begin_dns_day(day, &self.meta, bootstrap),
+                IngestSource::Proxy { .. } => {
+                    self.pipeline.begin_proxy_day(day, &self.meta, bootstrap)
+                }
+            })
+        };
+        DayIngest { engine: self, source, day, accum, parse_errors: 0, started }
+    }
+}
+
+impl DayIngest<'_, '_> {
+    /// The day being ingested.
+    pub fn day(&self) -> Day {
+        self.day
+    }
+
+    /// Whether this day was already ingested (pushes are no-ops).
+    pub fn is_duplicate(&self) -> bool {
+        self.accum.is_none()
+    }
+
+    /// Whether the day falls in the bootstrap (profiling-only) period.
+    pub fn bootstrap(&self) -> bool {
+        self.day.index() < self.engine.bootstrap_days()
+    }
+
+    /// Raw records pushed so far (parsed records for line pushes;
+    /// pre-normalization records for proxy pushes).
+    pub fn records_pushed(&self) -> usize {
+        self.accum.as_ref().map_or(0, DayAccum::records_in)
+    }
+
+    /// Parse errors accumulated by [`DayIngest::push_lines`] so far.
+    pub fn parse_errors(&self) -> usize {
+        self.parse_errors
+    }
+
+    /// Pushes a span of DNS queries, splitting it across the engine's
+    /// parallel reduce workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ingest was opened with a proxy source.
+    pub fn push_dns_records(&mut self, records: &[DnsQuery]) {
+        assert!(self.source.is_dns(), "DNS records pushed into a proxy-source day");
+        let Some(accum) = &mut self.accum else { return };
+        accum.count_raw_records(records.len());
+        let engine = &*self.engine;
+        let shards = shard_spans(records, engine.cfg.parallelism, engine.cfg.ingest_chunk_records);
+        let reductions = if shards.len() > 1 {
+            // First folds must happen in record order, not in a worker
+            // race, so folded-symbol numbering (and thus every tie-break
+            // downstream) is chunk-split invariant.
+            engine.pipeline.warm_dns_folds(records);
+            map_shards(&shards, |shard| {
+                engine.pipeline.reduce_dns_records(accum, shard, &engine.meta)
+            })
+        } else {
+            shards
+                .iter()
+                .map(|shard| engine.pipeline.reduce_dns_records(accum, shard, &engine.meta))
+                .collect()
+        };
+        for chunk in reductions {
+            engine.pipeline.absorb_chunk(accum, chunk);
+        }
+    }
+
+    /// Pushes a span of raw proxy records (normalization — UTC conversion,
+    /// lease resolution, IP-literal filtering — happens inside, in
+    /// parallel).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ingest was opened with the DNS source.
+    pub fn push_proxy_records(&mut self, records: &[ProxyRecord]) {
+        let IngestSource::Proxy { dhcp } = self.source else {
+            panic!("proxy records pushed into a DNS-source day");
+        };
+        let Some(accum) = &mut self.accum else { return };
+        accum.count_raw_records(records.len());
+        let engine = &*self.engine;
+        let shards = shard_spans(records, engine.cfg.parallelism, engine.cfg.ingest_chunk_records);
+        let normalized: Vec<(Vec<ProxyRecord>, NormalizationCounts)> =
+            map_shards(&shards, |shard| engine.pipeline.normalize_proxy_records(shard, dhcp));
+        for (_, counts) in &normalized {
+            accum.merge_norm(counts);
+        }
+        if normalized.len() > 1 {
+            for (recs, _) in &normalized {
+                engine.pipeline.warm_proxy_folds(recs);
+            }
+        }
+        let spans: Vec<&[ProxyRecord]> = normalized.iter().map(|(r, _)| r.as_slice()).collect();
+        let reductions = if spans.len() > 1 {
+            map_shards(&spans, |span| {
+                engine.pipeline.reduce_proxy_records(accum, span, &engine.meta)
+            })
+        } else {
+            spans
+                .iter()
+                .map(|span| engine.pipeline.reduce_proxy_records(accum, span, &engine.meta))
+                .collect()
+        };
+        for chunk in reductions {
+            engine.pipeline.absorb_chunk(accum, chunk);
+        }
+    }
+
+    /// Pushes a block of raw log lines in the tab-separated interchange
+    /// format of `earlybird_logmodel::codec` (empty lines and `#` comments
+    /// are skipped). Lines are parsed on the worker pool with parse-time
+    /// interning — no per-line `String` allocation — and the parsed records
+    /// flow through the same chunked reduce path as record pushes.
+    ///
+    /// Returns this block's parse failures as `(1-based line number within
+    /// the block, error)`; they are also tallied in the day report's
+    /// `parse_errors` counter.
+    pub fn push_lines(&mut self, text: &str) -> Vec<(usize, ParseLogError)> {
+        if self.accum.is_none() {
+            return Vec::new();
+        }
+        let lines: Vec<(usize, &str)> = text
+            .lines()
+            .enumerate()
+            .filter_map(|(i, line)| payload_line(line).map(|l| (i + 1, l)))
+            .collect();
+        let engine = &*self.engine;
+        let shards = shard_spans(&lines, engine.cfg.parallelism, engine.cfg.ingest_chunk_records);
+
+        let mut errors: Vec<(usize, ParseLogError)> = Vec::new();
+        match self.source {
+            IngestSource::Dns => {
+                let domains = engine.pipeline.raw_interner();
+                let parsed = map_shards(&shards, |shard| {
+                    let mut records = Vec::with_capacity(shard.len());
+                    let mut errs = Vec::new();
+                    for &(lineno, line) in shard {
+                        match parse_dns_line_unassigned(line, domains) {
+                            Ok(q) => records.push(q),
+                            Err(e) => errs.push((lineno, e)),
+                        }
+                    }
+                    (records, errs)
+                });
+                let mut records: Vec<DnsQuery> = Vec::with_capacity(lines.len());
+                for (recs, errs) in parsed {
+                    records.extend(recs);
+                    errors.extend(errs);
+                }
+                // Host ids depend on first-seen order: assign sequentially.
+                self.engine.line_hosts.assign(&mut records);
+                self.push_dns_records(&records);
+            }
+            IngestSource::Proxy { .. } => {
+                let domains = engine.pipeline.raw_interner();
+                let (uas, paths) = (&engine.uas, &engine.paths);
+                let parsed = map_shards(&shards, |shard| {
+                    let mut records = Vec::with_capacity(shard.len());
+                    let mut errs = Vec::new();
+                    for &(lineno, line) in shard {
+                        match parse_proxy_line(line, domains, uas, paths) {
+                            Ok(r) => records.push(r),
+                            Err(e) => errs.push((lineno, e)),
+                        }
+                    }
+                    (records, errs)
+                });
+                let mut records: Vec<ProxyRecord> = Vec::with_capacity(lines.len());
+                for (recs, errs) in parsed {
+                    records.extend(recs);
+                    errors.extend(errs);
+                }
+                self.push_proxy_records(&records);
+            }
+        }
+        errors.sort_by_key(|(lineno, _)| *lineno);
+        self.parse_errors += errors.len();
+        errors
+    }
+
+    /// Seals the day: finalizes the incremental index, folds the day into
+    /// the cross-day histories, and (for operation days) runs the unchanged
+    /// detection tail — C&C scoring, alerting, optional belief-propagation
+    /// expansion — emitting alerts to every sink.
+    pub fn finish(self) -> DayReport {
+        let DayIngest { engine, day, accum, parse_errors, started, .. } = self;
+        let Some(accum) = accum else {
+            let mut replay =
+                engine.reports.get(&day).cloned().expect("duplicate day must have a stored report");
+            replay.duplicate = true;
+            return replay;
+        };
+        let mut report = DayReport {
+            day,
+            bootstrap: accum.bootstrap(),
+            stages: StageCounters {
+                records_in: accum.records_in(),
+                parse_errors,
+                ..StageCounters::default()
+            },
+            ..DayReport::default()
+        };
+        match engine.pipeline.finish_day(accum) {
+            DayOutcome::Bootstrap { dns_counts, proxy_counts, norm_counts } => {
+                report.dns_counts = dns_counts;
+                report.proxy_counts = proxy_counts;
+                report.norm_counts = norm_counts;
+                engine.fill_reduction_counters(&mut report);
+                report.stages.wall_micros = started.elapsed().as_micros() as u64;
+                engine.reports.insert(day, Engine::counters_only(&report));
+                report
+            }
+            DayOutcome::Operation(product) => engine.run_detection_tail(report, *product, started),
+        }
+    }
+}
+
+/// Splits a span into at most `workers` contiguous shards of at least
+/// `chunk_records` items each (short spans stay whole — thread spawn would
+/// dominate).
+fn shard_spans<T>(items: &[T], workers: usize, chunk_records: usize) -> Vec<&[T]> {
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let shards = workers.clamp(1, items.len().div_ceil(chunk_records.max(1)));
+    items.chunks(items.len().div_ceil(shards)).collect()
+}
+
+/// Maps `f` over the shards on scoped threads, preserving shard order; a
+/// single shard runs inline.
+fn map_shards<T: Sync, R: Send>(shards: &[&[T]], f: impl Fn(&[T]) -> R + Sync) -> Vec<R> {
+    if shards.len() <= 1 {
+        return shards.iter().map(|shard| f(shard)).collect();
+    }
+    std::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = shards.iter().map(|&shard| scope.spawn(move || f(shard))).collect();
+        handles.into_iter().map(|h| h.join().expect("ingest worker panicked")).collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_spans_respects_worker_and_chunk_bounds() {
+        let items: Vec<u32> = (0..100).collect();
+        assert_eq!(shard_spans(&items, 4, 10).len(), 4, "enough records for every worker");
+        assert_eq!(shard_spans(&items, 4, 60).len(), 2, "chunk floor limits shard count");
+        assert_eq!(shard_spans(&items, 1, 10).len(), 1);
+        assert_eq!(shard_spans(&items, 4, 1000).len(), 1, "short spans stay whole");
+        assert!(shard_spans::<u32>(&[], 4, 10).is_empty());
+        // Shards are a partition in order.
+        let shards = shard_spans(&items, 3, 5);
+        let rejoined: Vec<u32> = shards.iter().flat_map(|s| s.iter().copied()).collect();
+        assert_eq!(rejoined, items);
+    }
+
+    #[test]
+    fn map_shards_preserves_order() {
+        let items: Vec<u32> = (0..64).collect();
+        let shards = shard_spans(&items, 4, 4);
+        let sums = map_shards(&shards, |s| s.iter().sum::<u32>());
+        let expected: Vec<u32> = shards.iter().map(|s| s.iter().sum()).collect();
+        assert_eq!(sums, expected);
+    }
+}

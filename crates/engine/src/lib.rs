@@ -11,10 +11,14 @@
 //!   C&C model, similarity scorer, belief-propagation limits, WHOIS
 //!   registry and defaults, SOC hint seeds, parallelism, alert sinks) into
 //!   one validated [`EngineConfig`].
-//! * [`DayBatch`] abstracts DNS days and proxy+DHCP days behind a single
-//!   [`Engine::ingest_day`] that runs the full daily cycle internally,
-//!   parallelizing per-domain C&C scoring across a sharded thread pool, and
-//!   returns a typed [`DayReport`] with per-stage counters.
+//! * [`Engine::begin_day`] opens a streaming [`DayIngest`] handle: push raw
+//!   log lines ([`DayIngest::push_lines`]) or parsed records in chunks of
+//!   any size — parsing and reduction fan out across the engine's worker
+//!   pool while memory stays bounded by the chunk size — then
+//!   [`DayIngest::finish`] runs the detection tail. [`DayBatch`] +
+//!   [`Engine::ingest_day`] remain as a one-call wrapper over the same
+//!   path, parallelizing per-domain C&C scoring across a sharded thread
+//!   pool and returning a typed [`DayReport`] with per-stage counters.
 //! * Typed [`Alert`]s flow through pluggable [`AlertSink`]s (collecting,
 //!   JSON-lines, callback) in a deterministic order.
 //! * [`Engine::investigate`] runs belief propagation for any hint mode
@@ -47,6 +51,7 @@ mod alert;
 mod batch;
 mod builder;
 mod core_loop;
+mod ingest;
 mod report;
 mod train;
 
@@ -57,4 +62,5 @@ pub use alert::{
 pub use batch::DayBatch;
 pub use builder::{EngineBuilder, EngineConfig, EngineError};
 pub use core_loop::{Engine, Investigation, SeedSpec};
+pub use ingest::{DayIngest, IngestSource};
 pub use report::{CcCandidate, DayReport, InvestigationReport, StageCounters, TrainingReport};

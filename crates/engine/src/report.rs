@@ -12,6 +12,8 @@ use serde::{Deserialize, Serialize};
 pub struct StageCounters {
     /// Raw records in the batch.
     pub records_in: usize,
+    /// Log lines that failed to parse during streaming line ingestion.
+    pub parse_errors: usize,
     /// Distinct folded domains before filtering ("All" in Fig. 2).
     pub domains_all: usize,
     /// After dropping internal destinations.

@@ -37,8 +37,9 @@ pub mod ip;
 pub mod time;
 
 pub use codec::{
-    format_dns_line, format_proxy_line, parse_dns_line, parse_dns_log, parse_proxy_line,
-    parse_proxy_log, HostMapper, ParseLogError,
+    format_dns_line, format_proxy_line, parse_dns_line, parse_dns_line_unassigned, parse_dns_lines,
+    parse_dns_log, parse_proxy_line, parse_proxy_lines, parse_proxy_log, payload_line, HostMapper,
+    LineChunks, ParseLogError, ParsedChunk,
 };
 pub use dataset::{
     DatasetMeta, DhcpLease, DhcpLog, DnsDataset, DnsDayLog, ProxyDataset, ProxyDayLog,

@@ -6,18 +6,23 @@
 
 use earlybird_logmodel::{fold_domain, DomainInterner, DomainSym};
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 
 /// Memoized folding from raw domain symbols to folded domain symbols.
 ///
 /// The folded names live in their own [`DomainInterner`] so the rest of the
-/// pipeline never mixes raw and folded symbols by accident.
+/// pipeline never mixes raw and folded symbols by accident. The memo table
+/// is internally synchronized, so one `FoldTable` can be shared by parallel
+/// reduction workers; note that concurrent *first* folds of distinct names
+/// make folded-symbol numbering racy — streaming callers that need
+/// deterministic numbering warm the cache sequentially first (see
+/// `earlybird-core`'s `DailyPipeline`).
 #[derive(Debug)]
 pub struct FoldTable {
     raw: Arc<DomainInterner>,
     folded: Arc<DomainInterner>,
     level: usize,
-    cache: HashMap<DomainSym, DomainSym>,
+    cache: RwLock<HashMap<DomainSym, DomainSym>>,
 }
 
 impl FoldTable {
@@ -28,7 +33,12 @@ impl FoldTable {
     /// Panics if `level` is zero.
     pub fn new(raw: Arc<DomainInterner>, level: usize) -> Self {
         assert!(level > 0, "fold level must be positive");
-        FoldTable { raw, folded: Arc::new(DomainInterner::new()), level, cache: HashMap::new() }
+        FoldTable {
+            raw,
+            folded: Arc::new(DomainInterner::new()),
+            level,
+            cache: RwLock::new(HashMap::new()),
+        }
     }
 
     /// The fold level (2 for enterprise data, 3 for anonymized LANL names).
@@ -37,13 +47,13 @@ impl FoldTable {
     }
 
     /// Folds a raw symbol, memoizing the mapping.
-    pub fn fold(&mut self, raw_sym: DomainSym) -> DomainSym {
-        if let Some(&f) = self.cache.get(&raw_sym) {
+    pub fn fold(&self, raw_sym: DomainSym) -> DomainSym {
+        if let Some(&f) = self.cache.read().expect("fold cache poisoned").get(&raw_sym) {
             return f;
         }
         let name = self.raw.resolve(raw_sym);
         let folded_sym = self.folded.intern(fold_domain(&name, self.level));
-        self.cache.insert(raw_sym, folded_sym);
+        self.cache.write().expect("fold cache poisoned").insert(raw_sym, folded_sym);
         folded_sym
     }
 
@@ -79,7 +89,7 @@ mod tests {
         let a = raw.intern("news.nbc.com");
         let b = raw.intern("video.nbc.com");
         let c = raw.intern("evil.ru");
-        let mut t = FoldTable::new(Arc::clone(&raw), 2);
+        let t = FoldTable::new(Arc::clone(&raw), 2);
         let fa = t.fold(a);
         let fb = t.fold(b);
         let fc = t.fold(c);
@@ -93,7 +103,7 @@ mod tests {
     fn third_level_for_anonymized_names() {
         let raw = Arc::new(DomainInterner::new());
         let a = raw.intern("x.sub.rainbow.c3");
-        let mut t = FoldTable::new(Arc::clone(&raw), 3);
+        let t = FoldTable::new(Arc::clone(&raw), 3);
         let fa = t.fold(a);
         assert_eq!(&*t.folded_name(fa), "sub.rainbow.c3");
     }
@@ -102,7 +112,7 @@ mod tests {
     fn intern_folded_matches_fold_of_same_entity() {
         let raw = Arc::new(DomainInterner::new());
         let a = raw.intern("www.ramdo.org");
-        let mut t = FoldTable::new(Arc::clone(&raw), 2);
+        let t = FoldTable::new(Arc::clone(&raw), 2);
         let via_fold = t.fold(a);
         let via_seed = t.intern_folded("ramdo.org");
         assert_eq!(via_fold, via_seed);

@@ -89,12 +89,19 @@ impl UaHistory {
 
     /// Ingests one day of contacts, recording which hosts used which UAs.
     pub fn update<'a>(&mut self, contacts: impl IntoIterator<Item = &'a Contact>) {
-        for c in contacts {
-            if let Some(http) = &c.http {
-                if let Some(ua) = http.ua {
-                    self.hosts_by_ua.entry(ua).or_default().insert(c.host);
-                }
-            }
+        self.update_pairs(contacts.into_iter().filter_map(|c| {
+            let http = c.http.as_ref()?;
+            Some((http.ua?, c.host))
+        }));
+    }
+
+    /// Ingests pre-extracted `(user agent, host)` observations — the
+    /// streaming path accumulates these per chunk and applies them at day
+    /// end, after the day's index was classified against the pre-update
+    /// history.
+    pub fn update_pairs(&mut self, pairs: impl IntoIterator<Item = (UaSym, HostId)>) {
+        for (ua, host) in pairs {
+            self.hosts_by_ua.entry(ua).or_default().insert(host);
         }
     }
 

@@ -7,7 +7,7 @@
 //! every per-day lookup the C&C detector and domain-similarity scorer need.
 
 use crate::contact::Contact;
-use crate::history::UaHistory;
+use crate::history::{DomainHistory, UaHistory};
 use crate::rare::RareDomains;
 use earlybird_logmodel::{Day, DomainSym, HostId, Ipv4, Timestamp};
 use std::collections::{BTreeSet, HashMap, HashSet};
@@ -20,6 +20,27 @@ struct EdgeHttp {
     connections: u32,
     with_referer: u32,
     with_common_ua: u32,
+    saw_http: bool,
+}
+
+impl EdgeHttp {
+    fn observe(&mut self, contact: &Contact, ua_history: Option<&UaHistory>) {
+        self.connections += 1;
+        if let Some(http) = &contact.http {
+            self.saw_http = true;
+            if http.referer_present {
+                self.with_referer += 1;
+            }
+            let common_ua = match (http.ua, ua_history) {
+                (Some(ua), Some(hist)) => !hist.is_rare(ua),
+                (Some(_), None) => true, // no history: assume common
+                (None, _) => false,      // missing UA counts as rare
+            };
+            if common_ua {
+                self.with_common_ua += 1;
+            }
+        }
+    }
 }
 
 /// Immutable per-day index over one day of reduced [`Contact`]s.
@@ -47,13 +68,23 @@ impl DayIndex {
     /// set. `ua_history` classifies user agents as common or rare; pass
     /// `None` for DNS datasets.
     ///
-    /// `contacts` must be sorted by timestamp (reduction guarantees this).
+    /// `contacts` must be sorted by timestamp (whole-day reduction
+    /// guarantees this; the assumption is what keeps every per-edge beacon
+    /// series sorted). Out-of-order input would silently corrupt
+    /// beacon-period estimation, so the batch path asserts sortedness in
+    /// debug builds — chunked producers must go through
+    /// [`DayIndexBuilder`], which sorts on finalize instead.
     pub fn build(
         day: Day,
         contacts: &[Contact],
         rare: RareDomains,
         ua_history: Option<&UaHistory>,
     ) -> Self {
+        debug_assert!(
+            contacts.windows(2).all(|w| w[0].ts <= w[1].ts),
+            "DayIndex::build requires timestamp-sorted contacts; \
+             use DayIndexBuilder for out-of-order chunks"
+        );
         let new_count = rare.new_count();
         let rare_set: HashSet<DomainSym> = rare.iter().collect();
         let domain_hosts = rare.domain_hosts().clone();
@@ -63,7 +94,6 @@ impl DayIndex {
         let mut first_contact: HashMap<EdgeKey, Timestamp> = HashMap::new();
         let mut domain_ips: HashMap<DomainSym, BTreeSet<Ipv4>> = HashMap::new();
         let mut edge_http: HashMap<EdgeKey, EdgeHttp> = HashMap::new();
-        let mut http_available = false;
 
         for c in contacts {
             let edge = (c.host, c.domain);
@@ -74,24 +104,10 @@ impl DayIndex {
             if rare_set.contains(&c.domain) {
                 host_rare_domains.entry(c.host).or_default().insert(c.domain);
                 edge_series.entry(edge).or_default().push(c.ts);
-                let stats = edge_http.entry(edge).or_default();
-                stats.connections += 1;
-                if let Some(http) = &c.http {
-                    http_available = true;
-                    if http.referer_present {
-                        stats.with_referer += 1;
-                    }
-                    let common_ua = match (http.ua, ua_history) {
-                        (Some(ua), Some(hist)) => !hist.is_rare(ua),
-                        (Some(_), None) => true, // no history: assume common
-                        (None, _) => false,      // missing UA counts as rare
-                    };
-                    if common_ua {
-                        stats.with_common_ua += 1;
-                    }
-                }
+                edge_http.entry(edge).or_default().observe(c, ua_history);
             }
         }
+        let http_available = edge_http.values().any(|s| s.saw_http);
 
         DayIndex {
             day,
@@ -110,6 +126,11 @@ impl DayIndex {
     /// The indexed day.
     pub fn day(&self) -> Day {
         self.day
+    }
+
+    /// Every domain contacted today (rare or not), unordered.
+    pub fn domains(&self) -> impl Iterator<Item = DomainSym> + '_ {
+        self.domain_hosts.keys().copied()
     }
 
     /// Whether the underlying dataset carried HTTP context.
@@ -200,6 +221,144 @@ impl DayIndex {
     /// Number of rare-domain edges (host, domain) in the day.
     pub fn rare_edge_count(&self) -> usize {
         self.edge_series.len()
+    }
+}
+
+/// Incremental constructor of a [`DayIndex`] from contact chunks that may
+/// arrive in any order (parallel reduction workers finish out of sequence).
+///
+/// Rarity cannot be decided mid-day — a domain is rare only if it stays
+/// under the unpopularity threshold across the *whole* day — so the builder
+/// tracks per-edge series and HTTP statistics for every domain that is new
+/// relative to the (frozen, pre-update) [`DomainHistory`], and
+/// [`DayIndexBuilder::finalize`] applies the threshold, prunes domains that
+/// turned popular, and sorts each surviving edge's timestamp series. The
+/// result is identical to [`DayIndex::build`] over the concatenated,
+/// timestamp-sorted day.
+#[derive(Debug)]
+pub struct DayIndexBuilder {
+    day: Day,
+    unpopular_threshold: usize,
+    new_domains: HashSet<DomainSym>,
+    domain_hosts: HashMap<DomainSym, BTreeSet<HostId>>,
+    edge_series: HashMap<EdgeKey, Vec<Timestamp>>,
+    first_contact: HashMap<EdgeKey, Timestamp>,
+    domain_ips: HashMap<DomainSym, BTreeSet<Ipv4>>,
+    edge_http: HashMap<EdgeKey, EdgeHttp>,
+}
+
+impl DayIndexBuilder {
+    /// Creates an empty builder for `day` with the rare-destination
+    /// unpopularity threshold (10 hosts in the paper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the threshold is zero.
+    pub fn new(day: Day, unpopular_threshold: usize) -> Self {
+        assert!(unpopular_threshold > 0, "threshold must be positive");
+        DayIndexBuilder {
+            day,
+            unpopular_threshold,
+            new_domains: HashSet::new(),
+            domain_hosts: HashMap::new(),
+            edge_series: HashMap::new(),
+            first_contact: HashMap::new(),
+            domain_ips: HashMap::new(),
+            edge_http: HashMap::new(),
+        }
+    }
+
+    /// Absorbs one chunk of reduced contacts (any order). `history` must be
+    /// the day's *pre-update* domain history — the streaming pipeline defers
+    /// history updates to day end, so the snapshot is stable across chunks.
+    /// `ua_history` classifies user agents (pass `None` for DNS sources).
+    pub fn push_contacts(
+        &mut self,
+        contacts: &[Contact],
+        history: &DomainHistory,
+        ua_history: Option<&UaHistory>,
+    ) {
+        for c in contacts {
+            let edge = (c.host, c.domain);
+            self.domain_hosts.entry(c.domain).or_default().insert(c.host);
+            match self.first_contact.entry(edge) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    if c.ts < *e.get() {
+                        e.insert(c.ts);
+                    }
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(c.ts);
+                }
+            }
+            if let Some(ip) = c.dest_ip {
+                self.domain_ips.entry(c.domain).or_default().insert(ip);
+            }
+            let tracked = self.new_domains.contains(&c.domain)
+                || (history.is_new(c.domain) && self.new_domains.insert(c.domain));
+            if tracked {
+                self.edge_series.entry(edge).or_default().push(c.ts);
+                self.edge_http.entry(edge).or_default().observe(c, ua_history);
+            }
+        }
+    }
+
+    /// Number of `(host, new-domain)` edges tracked so far — the builder's
+    /// dominant memory cost, useful for monitoring long streams.
+    pub fn tracked_edge_count(&self) -> usize {
+        self.edge_series.len()
+    }
+
+    /// Applies the unpopularity threshold, prunes series of new-but-popular
+    /// domains, sorts every surviving edge series, and produces the
+    /// immutable [`DayIndex`].
+    pub fn finalize(self) -> DayIndex {
+        let DayIndexBuilder {
+            day,
+            unpopular_threshold,
+            new_domains,
+            domain_hosts,
+            mut edge_series,
+            first_contact,
+            domain_ips,
+            mut edge_http,
+        } = self;
+
+        let rare: HashSet<DomainSym> = new_domains
+            .iter()
+            .copied()
+            .filter(|d| domain_hosts.get(d).is_some_and(|h| h.len() < unpopular_threshold))
+            .collect();
+        edge_series.retain(|(_, d), _| rare.contains(d));
+        edge_http.retain(|(_, d), _| rare.contains(d));
+        for series in edge_series.values_mut() {
+            // Chunks arrive out of order: restore the sorted invariant every
+            // beacon-period estimator relies on.
+            series.sort_unstable();
+        }
+
+        let mut host_rare_domains: HashMap<HostId, BTreeSet<DomainSym>> = HashMap::new();
+        for &domain in &rare {
+            if let Some(hosts) = domain_hosts.get(&domain) {
+                for &host in hosts {
+                    host_rare_domains.entry(host).or_default().insert(domain);
+                }
+            }
+        }
+        let http_available = edge_http.values().any(|s| s.saw_http);
+
+        DayIndex {
+            day,
+            http_available,
+            rare,
+            new_count: new_domains.len(),
+            domain_hosts,
+            host_rare_domains,
+            edge_series,
+            first_contact,
+            domain_ips,
+            edge_http,
+        }
     }
 }
 
@@ -341,6 +500,115 @@ mod tests {
         let x = f.domains.get("x.io").unwrap();
         let frac = idx.rare_ua_fraction(x).unwrap();
         assert!((frac - 2.0 / 3.0).abs() < 1e-12, "hosts 1 and 3 are rare-UA: {frac}");
+    }
+
+    /// Builds the same fixture through both constructors and checks every
+    /// public accessor agrees.
+    fn assert_builder_matches_batch(contacts: &mut [Contact], ua_history: Option<&UaHistory>) {
+        let history = DomainHistory::new();
+        let threshold = 10;
+
+        let mut sorted = contacts.to_vec();
+        sorted.sort_by_key(|c| c.ts);
+        let rare = RareSieve::new(threshold).extract(&sorted, &history);
+        let batch = DayIndex::build(Day::new(0), &sorted, rare, ua_history);
+
+        // Push in reversed, unevenly chunked order to exercise
+        // sort-on-finalize.
+        let mut builder = DayIndexBuilder::new(Day::new(0), threshold);
+        contacts.reverse();
+        for chunk in contacts.chunks(3) {
+            builder.push_contacts(chunk, &history, ua_history);
+        }
+        let streamed = builder.finalize();
+
+        assert_eq!(streamed.new_count(), batch.new_count());
+        assert_eq!(streamed.rare_count(), batch.rare_count());
+        assert_eq!(streamed.has_http(), batch.has_http());
+        assert_eq!(streamed.rare_edge_count(), batch.rare_edge_count());
+        let mut batch_domains: Vec<DomainSym> = batch.domains().collect();
+        let mut streamed_domains: Vec<DomainSym> = streamed.domains().collect();
+        batch_domains.sort_unstable();
+        streamed_domains.sort_unstable();
+        assert_eq!(streamed_domains, batch_domains);
+        for d in batch_domains {
+            assert_eq!(streamed.is_rare(d), batch.is_rare(d));
+            assert_eq!(streamed.hosts_of(d), batch.hosts_of(d));
+            assert_eq!(streamed.ips_of(d), batch.ips_of(d));
+            assert_eq!(streamed.no_ref_fraction(d), batch.no_ref_fraction(d));
+            assert_eq!(streamed.rare_ua_fraction(d), batch.rare_ua_fraction(d));
+            for &h in batch.hosts_of(d).unwrap() {
+                assert_eq!(streamed.first_contact(h, d), batch.first_contact(h, d));
+                assert_eq!(streamed.beacon_series(h, d), batch.beacon_series(h, d));
+                assert_eq!(streamed.rare_domains_of(h), batch.rare_domains_of(h));
+            }
+        }
+    }
+
+    #[test]
+    fn builder_matches_batch_index_on_out_of_order_chunks() {
+        let mut f = Fixture::new();
+        // A beaconing rare edge, a popular-new domain (pruned at finalize),
+        // a second host sharing the rare domain, and an IP-carrying domain.
+        for i in 0..6 {
+            f.push(i * 600 + 17, 1, "cc.ru", Some(Ipv4::new(9, 9, 9, 9)), None);
+        }
+        f.push(42, 2, "cc.ru", None, None);
+        for h in 0..12 {
+            f.push(h as u64 * 7, h, "viral.new", None, None);
+        }
+        f.push(5, 3, "multi.net", Some(Ipv4::new(5, 5, 5, 1)), None);
+        f.push(6, 3, "multi.net", Some(Ipv4::new(5, 5, 5, 2)), None);
+        assert_builder_matches_batch(&mut f.contacts, None);
+    }
+
+    #[test]
+    fn builder_matches_batch_index_with_http_context() {
+        let mut f = Fixture::new();
+        let common = f.uas.intern("Mozilla/5.0");
+        let weird = f.uas.intern("Backdoor/1.0");
+        let mut hist = UaHistory::new(3);
+        {
+            let d = f.domains.intern("warmup.com");
+            let warm: Vec<Contact> = (0..5)
+                .map(|h| Contact {
+                    ts: Timestamp::from_secs(0),
+                    host: HostId::new(h),
+                    domain: d,
+                    dest_ip: None,
+                    http: Some(HttpContext { ua: Some(common), referer_present: true }),
+                })
+                .collect();
+            hist.update(&warm);
+        }
+        f.push(1, 1, "x.io", None, Some(HttpContext { ua: Some(weird), referer_present: false }));
+        f.push(2, 2, "x.io", None, Some(HttpContext { ua: Some(common), referer_present: true }));
+        f.push(3, 3, "x.io", None, Some(HttpContext { ua: None, referer_present: false }));
+        f.push(4, 1, "y.io", None, Some(HttpContext { ua: Some(common), referer_present: false }));
+        assert_builder_matches_batch(&mut f.contacts, Some(&hist));
+    }
+
+    #[test]
+    fn builder_http_flag_requires_a_rare_http_edge() {
+        // HTTP context on a popular-new domain only: the pruned edges must
+        // not leave http_available set (the batch path never saw them).
+        let mut f = Fixture::new();
+        for h in 0..12 {
+            f.push(
+                h as u64,
+                h,
+                "viral.new",
+                None,
+                Some(HttpContext { ua: None, referer_present: true }),
+            );
+        }
+        f.push(99, 1, "plain.dns", None, None);
+        let history = DomainHistory::new();
+        let mut builder = DayIndexBuilder::new(Day::new(0), 10);
+        builder.push_contacts(&f.contacts, &history, None);
+        let idx = builder.finalize();
+        assert!(!idx.has_http(), "no rare edge carried HTTP context");
+        assert!(idx.is_rare(f.domains.get("plain.dns").unwrap()));
     }
 
     #[test]

@@ -12,12 +12,22 @@
 //! * [`fold`] — domain folding to the paper's second level (third level for
 //!   anonymized LANL names) with a dedicated folded-name interner.
 //! * [`reduce`] — A-record / internal-query / internal-server filters with
-//!   the per-step distinct-domain counters that Fig. 2 plots.
+//!   the per-step distinct-domain counters that Fig. 2 plots, built from
+//!   thread-safe chunk reducers ([`reduce_dns_chunk`] /
+//!   [`reduce_proxy_chunk`]) whose partial counters a [`DayReducer`] merges
+//!   into day totals.
 //! * [`history`] — incrementally updated histories of external destinations
 //!   and user-agent strings.
 //! * [`rare`] — "new + unpopular" rare-destination extraction.
 //! * [`index`] — the per-day [`DayIndex`] over contacts: host↔domain edges,
-//!   per-edge timestamp series, per-domain IPs and HTTP statistics.
+//!   per-edge timestamp series, per-domain IPs and HTTP statistics; built
+//!   whole-day by [`DayIndex::build`] or incrementally from out-of-order
+//!   chunks by [`DayIndexBuilder`].
+//!
+//! The chunk-level entry points take only `&self` state (the fold memo and
+//! the [`InternalFilter`] verdict cache are internally synchronized), so one
+//! day's chunks can be reduced on parallel workers while a single-threaded
+//! owner merges counters and index state in chunk order.
 //!
 //! # Example
 //!
@@ -47,9 +57,10 @@ pub mod reduce;
 pub use contact::{Contact, HttpContext};
 pub use fold::FoldTable;
 pub use history::{DomainHistory, UaHistory};
-pub use index::{DayIndex, EdgeKey};
-pub use normalize::{normalize_proxy_day, NormalizationCounts};
+pub use index::{DayIndex, DayIndexBuilder, EdgeKey};
+pub use normalize::{normalize_proxy_chunk, normalize_proxy_day, NormalizationCounts};
 pub use rare::{RareDomains, RareSieve};
 pub use reduce::{
-    reduce_dns_day, reduce_proxy_day, DnsReductionCounts, ProxyReductionCounts, ReductionConfig,
+    reduce_dns_chunk, reduce_dns_day, reduce_proxy_chunk, reduce_proxy_day, ChunkReduction,
+    DayReducer, DnsReductionCounts, InternalFilter, ProxyReductionCounts, ReductionConfig,
 };

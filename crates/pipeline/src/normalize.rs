@@ -21,21 +21,32 @@ pub struct NormalizationCounts {
     pub dropped_ip_literal: usize,
 }
 
-/// Normalizes one day of proxy records: converts timestamps to UTC, resolves
-/// `src_ip` to a stable [`earlybird_logmodel::HostId`] through the lease
-/// log, and drops records with IP-literal destinations or unresolvable
+impl NormalizationCounts {
+    /// Merges another (chunk's) counters into this one.
+    pub fn merge(&mut self, other: &NormalizationCounts) {
+        self.input += other.input;
+        self.output += other.output;
+        self.dropped_unresolvable += other.dropped_unresolvable;
+        self.dropped_ip_literal += other.dropped_ip_literal;
+    }
+}
+
+/// Normalizes one chunk of proxy records: converts timestamps to UTC,
+/// resolves `src_ip` to a stable [`earlybird_logmodel::HostId`] through the
+/// lease log, and drops records with IP-literal destinations or unresolvable
 /// sources.
 ///
 /// Records that already carry a resolved `host` are passed through without a
-/// lease lookup. The output is sorted by UTC timestamp.
-pub fn normalize_proxy_day(
-    day: &ProxyDayLog,
+/// lease lookup. The output preserves the chunk's record order (streaming
+/// consumers never need a sorted day; [`normalize_proxy_day`] sorts).
+pub fn normalize_proxy_chunk(
+    records: &[ProxyRecord],
     dhcp: &DhcpLog,
     is_ip_literal: impl Fn(&ProxyRecord) -> bool,
 ) -> (Vec<ProxyRecord>, NormalizationCounts) {
-    let mut counts = NormalizationCounts { input: day.records.len(), ..Default::default() };
-    let mut out = Vec::with_capacity(day.records.len());
-    for rec in &day.records {
+    let mut counts = NormalizationCounts { input: records.len(), ..Default::default() };
+    let mut out = Vec::with_capacity(records.len());
+    for rec in records {
         if is_ip_literal(rec) {
             counts.dropped_ip_literal += 1;
             continue;
@@ -57,8 +68,19 @@ pub fn normalize_proxy_day(
         normalized.tz = earlybird_logmodel::TzOffset::UTC;
         out.push(normalized);
     }
-    out.sort_by_key(|r| r.ts_local);
     counts.output = out.len();
+    (out, counts)
+}
+
+/// Normalizes one whole day of proxy records (a single-chunk wrapper over
+/// [`normalize_proxy_chunk`]); the output is sorted by UTC timestamp.
+pub fn normalize_proxy_day(
+    day: &ProxyDayLog,
+    dhcp: &DhcpLog,
+    is_ip_literal: impl Fn(&ProxyRecord) -> bool,
+) -> (Vec<ProxyRecord>, NormalizationCounts) {
+    let (mut out, counts) = normalize_proxy_chunk(&day.records, dhcp, is_ip_literal);
+    out.sort_by_key(|r| r.ts_local);
     (out, counts)
 }
 

@@ -1,12 +1,26 @@
 //! Data reduction (§IV-A): A-record restriction, internal-query and
 //! internal-server filtering, folding — with the per-step distinct-domain
 //! counters plotted in Fig. 2.
+//!
+//! Reduction is chunk-oriented so a day never has to be materialized at
+//! once: [`reduce_dns_chunk`] / [`reduce_proxy_chunk`] turn any consecutive
+//! slice of a day's records into a [`ChunkReduction`] (contacts plus partial
+//! counters), and a [`DayReducer`] merges the per-chunk counters into the
+//! day totals. Both chunk reducers take `&self` state only (the
+//! [`FoldTable`] memo and the [`InternalFilter`] verdict cache are
+//! internally synchronized), so disjoint chunks of one day can be reduced on
+//! parallel workers. The whole-day [`reduce_dns_day`] / [`reduce_proxy_day`]
+//! entry points are thin wrappers that feed a single chunk through the same
+//! machinery and sort the surviving contacts by timestamp.
 
 use crate::contact::{Contact, HttpContext};
 use crate::fold::FoldTable;
-use earlybird_logmodel::{DatasetMeta, DnsDayLog, DnsRecordType, DomainSym, HostKind, ProxyRecord};
+use earlybird_logmodel::{
+    DatasetMeta, DnsDayLog, DnsQuery, DnsRecordType, DomainSym, HostKind, ProxyRecord,
+};
 use serde::{Deserialize, Serialize};
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
+use std::sync::RwLock;
 
 /// Configuration of the reduction filters.
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
@@ -22,13 +36,52 @@ impl ReductionConfig {
         ReductionConfig { internal_suffixes: meta.internal_suffixes.clone() }
     }
 
-    fn is_internal(&self, name: &str) -> bool {
+    /// Whether `name` falls under an internal suffix (on a label boundary).
+    pub fn is_internal(&self, name: &str) -> bool {
         self.internal_suffixes.iter().any(|s| {
             name == s.as_str()
                 || (name.len() > s.len()
                     && name.ends_with(s.as_str())
                     && name.as_bytes()[name.len() - s.len() - 1] == b'.')
         })
+    }
+}
+
+/// Memoized internal-namespace classifier.
+///
+/// The suffix scan in [`ReductionConfig::is_internal`] is linear in the
+/// number of configured suffixes and was previously re-run for every record;
+/// enterprise days repeat the same destinations millions of times, so the
+/// filter caches the verdict per raw [`DomainSym`] and classifies each
+/// distinct domain at most once. The cache is internally synchronized for
+/// use from parallel chunk-reduction workers.
+#[derive(Debug)]
+pub struct InternalFilter {
+    cfg: ReductionConfig,
+    verdicts: RwLock<HashMap<DomainSym, bool>>,
+}
+
+impl InternalFilter {
+    /// Wraps a reduction config with an empty verdict cache.
+    pub fn new(cfg: ReductionConfig) -> Self {
+        InternalFilter { cfg, verdicts: RwLock::new(HashMap::new()) }
+    }
+
+    /// The wrapped configuration.
+    pub fn config(&self) -> &ReductionConfig {
+        &self.cfg
+    }
+
+    /// Whether the raw symbol `raw_sym` names an internal destination;
+    /// `resolve` supplies the name on a cache miss (once per distinct
+    /// symbol).
+    pub fn is_internal_sym(&self, raw_sym: DomainSym, resolve: impl FnOnce() -> String) -> bool {
+        if let Some(&v) = self.verdicts.read().expect("internal filter poisoned").get(&raw_sym) {
+            return v;
+        }
+        let v = self.cfg.is_internal(&resolve());
+        self.verdicts.write().expect("internal filter poisoned").insert(raw_sym, v);
+        v
     }
 }
 
@@ -49,53 +102,6 @@ pub struct DnsReductionCounts {
     pub domains_after_server_filter: usize,
 }
 
-/// Reduces one day of DNS logs to [`Contact`]s.
-///
-/// Applies, in order: A-record restriction, internal-namespace filter,
-/// internal-server source filter; folds surviving names through `fold`.
-pub fn reduce_dns_day(
-    day: &DnsDayLog,
-    meta: &DatasetMeta,
-    fold: &mut FoldTable,
-    cfg: &ReductionConfig,
-) -> (Vec<Contact>, DnsReductionCounts) {
-    let mut counts = DnsReductionCounts { records_all: day.queries.len(), ..Default::default() };
-    let mut all: HashSet<DomainSym> = HashSet::new();
-    let mut after_internal: HashSet<DomainSym> = HashSet::new();
-    let mut after_server: HashSet<DomainSym> = HashSet::new();
-    let mut contacts = Vec::new();
-
-    for q in &day.queries {
-        let folded = fold.fold(q.qname);
-        all.insert(folded);
-        if q.qtype != DnsRecordType::A {
-            continue;
-        }
-        counts.records_a_only += 1;
-        let name = fold.raw_interner().resolve(q.qname);
-        if cfg.is_internal(&name) {
-            continue;
-        }
-        after_internal.insert(folded);
-        if meta.kind(q.src) == HostKind::Server {
-            continue;
-        }
-        after_server.insert(folded);
-        contacts.push(Contact {
-            ts: q.ts,
-            host: q.src,
-            domain: folded,
-            dest_ip: q.answer,
-            http: None,
-        });
-    }
-    contacts.sort_by_key(|c| c.ts);
-    counts.domains_all = all.len();
-    counts.domains_after_internal_filter = after_internal.len();
-    counts.domains_after_server_filter = after_server.len();
-    (contacts, counts)
-}
-
 /// Distinct-domain counts after each proxy reduction step.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ProxyReductionCounts {
@@ -109,6 +115,178 @@ pub struct ProxyReductionCounts {
     pub domains_after_server_filter: usize,
 }
 
+/// The output of reducing one chunk of a day: the surviving contacts (in
+/// chunk record order, *not* timestamp-sorted) plus the partial counters a
+/// [`DayReducer`] merges into day totals.
+#[derive(Debug, Default)]
+pub struct ChunkReduction {
+    /// Contacts surviving every filter, in the chunk's record order.
+    pub contacts: Vec<Contact>,
+    /// Records in the chunk.
+    pub records: usize,
+    /// Records surviving the A-record restriction (DNS chunks only).
+    pub records_a_only: usize,
+    /// Distinct folded domains in the chunk before filtering.
+    pub domains_all: HashSet<DomainSym>,
+    /// Distinct folded domains after the internal-namespace filter.
+    pub domains_after_internal: HashSet<DomainSym>,
+    /// Distinct folded domains after additionally dropping server sources.
+    pub domains_after_server: HashSet<DomainSym>,
+}
+
+/// Reduces one chunk of DNS queries; thread-safe over shared `fold` /
+/// `filter` state, so disjoint chunks may run on parallel workers.
+pub fn reduce_dns_chunk(
+    queries: &[DnsQuery],
+    meta: &DatasetMeta,
+    fold: &FoldTable,
+    filter: &InternalFilter,
+) -> ChunkReduction {
+    let mut out = ChunkReduction { records: queries.len(), ..ChunkReduction::default() };
+    for q in queries {
+        let folded = fold.fold(q.qname);
+        out.domains_all.insert(folded);
+        if q.qtype != DnsRecordType::A {
+            continue;
+        }
+        out.records_a_only += 1;
+        if filter.is_internal_sym(q.qname, || fold.raw_interner().resolve(q.qname).to_string()) {
+            continue;
+        }
+        out.domains_after_internal.insert(folded);
+        if meta.kind(q.src) == HostKind::Server {
+            continue;
+        }
+        out.domains_after_server.insert(folded);
+        out.contacts.push(Contact {
+            ts: q.ts,
+            host: q.src,
+            domain: folded,
+            dest_ip: q.answer,
+            http: None,
+        });
+    }
+    out
+}
+
+/// Reduces one chunk of *normalized* proxy records (see
+/// [`crate::normalize`]); thread-safe like [`reduce_dns_chunk`].
+///
+/// # Panics
+///
+/// Panics if a record has no resolved host (normalization must run first).
+pub fn reduce_proxy_chunk(
+    records: &[ProxyRecord],
+    meta: &DatasetMeta,
+    fold: &FoldTable,
+    filter: &InternalFilter,
+) -> ChunkReduction {
+    let mut out = ChunkReduction { records: records.len(), ..ChunkReduction::default() };
+    for rec in records {
+        let host = rec.host.expect("proxy records must be normalized before reduction");
+        let folded = fold.fold(rec.domain);
+        out.domains_all.insert(folded);
+        if filter
+            .is_internal_sym(rec.domain, || fold.raw_interner().resolve(rec.domain).to_string())
+        {
+            continue;
+        }
+        out.domains_after_internal.insert(folded);
+        if meta.kind(host) == HostKind::Server {
+            continue;
+        }
+        out.domains_after_server.insert(folded);
+        out.contacts.push(Contact {
+            ts: rec.ts_utc(),
+            host,
+            domain: folded,
+            dest_ip: Some(rec.dest_ip),
+            http: Some(HttpContext { ua: rec.user_agent, referer_present: rec.referer.is_some() }),
+        });
+    }
+    out
+}
+
+/// Incrementally merges per-chunk reduction counters into day totals.
+///
+/// The distinct-domain series of Fig. 2 are set cardinalities, so the
+/// reducer keeps the union of each chunk's domain sets and reports the
+/// per-day counts at the end; record tallies are plain sums. One reducer
+/// serves either source — read [`DayReducer::dns_counts`] or
+/// [`DayReducer::proxy_counts`] according to what was pushed.
+#[derive(Debug, Default)]
+pub struct DayReducer {
+    records: usize,
+    records_a_only: usize,
+    domains_all: HashSet<DomainSym>,
+    domains_after_internal: HashSet<DomainSym>,
+    domains_after_server: HashSet<DomainSym>,
+}
+
+impl DayReducer {
+    /// Creates an empty reducer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Merges one chunk's counters into the day totals (the chunk's
+    /// contacts are untouched — route them to a
+    /// [`crate::index::DayIndexBuilder`] or history accumulator).
+    pub fn push_chunk(&mut self, chunk: &ChunkReduction) {
+        self.records += chunk.records;
+        self.records_a_only += chunk.records_a_only;
+        self.domains_all.extend(&chunk.domains_all);
+        self.domains_after_internal.extend(&chunk.domains_after_internal);
+        self.domains_after_server.extend(&chunk.domains_after_server);
+    }
+
+    /// Records pushed so far.
+    pub fn records(&self) -> usize {
+        self.records
+    }
+
+    /// The day's DNS counters (valid when DNS chunks were pushed).
+    pub fn dns_counts(&self) -> DnsReductionCounts {
+        DnsReductionCounts {
+            records_all: self.records,
+            records_a_only: self.records_a_only,
+            domains_all: self.domains_all.len(),
+            domains_after_internal_filter: self.domains_after_internal.len(),
+            domains_after_server_filter: self.domains_after_server.len(),
+        }
+    }
+
+    /// The day's proxy counters (valid when proxy chunks were pushed).
+    pub fn proxy_counts(&self) -> ProxyReductionCounts {
+        ProxyReductionCounts {
+            records_all: self.records,
+            domains_all: self.domains_all.len(),
+            domains_after_internal_filter: self.domains_after_internal.len(),
+            domains_after_server_filter: self.domains_after_server.len(),
+        }
+    }
+}
+
+/// Reduces one day of DNS logs to [`Contact`]s.
+///
+/// Applies, in order: A-record restriction, internal-namespace filter,
+/// internal-server source filter; folds surviving names through `fold`. The
+/// returned contacts are sorted by timestamp.
+pub fn reduce_dns_day(
+    day: &DnsDayLog,
+    meta: &DatasetMeta,
+    fold: &FoldTable,
+    cfg: &ReductionConfig,
+) -> (Vec<Contact>, DnsReductionCounts) {
+    let filter = InternalFilter::new(cfg.clone());
+    let chunk = reduce_dns_chunk(&day.queries, meta, fold, &filter);
+    let mut reducer = DayReducer::new();
+    reducer.push_chunk(&chunk);
+    let mut contacts = chunk.contacts;
+    contacts.sort_by_key(|c| c.ts);
+    (contacts, reducer.dns_counts())
+}
+
 /// Reduces one day of *normalized* proxy records (see
 /// [`crate::normalize::normalize_proxy_day`]) to [`Contact`]s.
 ///
@@ -118,41 +296,16 @@ pub struct ProxyReductionCounts {
 pub fn reduce_proxy_day(
     records: &[ProxyRecord],
     meta: &DatasetMeta,
-    fold: &mut FoldTable,
+    fold: &FoldTable,
     cfg: &ReductionConfig,
 ) -> (Vec<Contact>, ProxyReductionCounts) {
-    let mut counts = ProxyReductionCounts { records_all: records.len(), ..Default::default() };
-    let mut all: HashSet<DomainSym> = HashSet::new();
-    let mut after_internal: HashSet<DomainSym> = HashSet::new();
-    let mut after_server: HashSet<DomainSym> = HashSet::new();
-    let mut contacts = Vec::new();
-
-    for rec in records {
-        let host = rec.host.expect("proxy records must be normalized before reduction");
-        let folded = fold.fold(rec.domain);
-        all.insert(folded);
-        let name = fold.raw_interner().resolve(rec.domain);
-        if cfg.is_internal(&name) {
-            continue;
-        }
-        after_internal.insert(folded);
-        if meta.kind(host) == HostKind::Server {
-            continue;
-        }
-        after_server.insert(folded);
-        contacts.push(Contact {
-            ts: rec.ts_utc(),
-            host,
-            domain: folded,
-            dest_ip: Some(rec.dest_ip),
-            http: Some(HttpContext { ua: rec.user_agent, referer_present: rec.referer.is_some() }),
-        });
-    }
+    let filter = InternalFilter::new(cfg.clone());
+    let chunk = reduce_proxy_chunk(records, meta, fold, &filter);
+    let mut reducer = DayReducer::new();
+    reducer.push_chunk(&chunk);
+    let mut contacts = chunk.contacts;
     contacts.sort_by_key(|c| c.ts);
-    counts.domains_all = all.len();
-    counts.domains_after_internal_filter = after_internal.len();
-    counts.domains_after_server_filter = after_server.len();
-    (contacts, counts)
+    (contacts, reducer.proxy_counts())
 }
 
 #[cfg(test)]
@@ -207,9 +360,9 @@ mod tests {
             ],
         };
         let meta = meta_with_server(3, 1);
-        let mut fold = FoldTable::new(Arc::clone(&raw), 2);
+        let fold = FoldTable::new(Arc::clone(&raw), 2);
         let cfg = ReductionConfig::from_meta(&meta);
-        let (contacts, counts) = reduce_dns_day(&day, &meta, &mut fold, &cfg);
+        let (contacts, counts) = reduce_dns_day(&day, &meta, &fold, &cfg);
 
         assert_eq!(counts.records_all, 5);
         assert_eq!(counts.records_a_only, 4);
@@ -237,6 +390,62 @@ mod tests {
     }
 
     #[test]
+    fn internal_filter_memoizes_per_symbol() {
+        let raw = DomainInterner::new();
+        let internal = raw.intern("mail.corp.local");
+        let external = raw.intern("nbc.com");
+        let filter =
+            InternalFilter::new(ReductionConfig { internal_suffixes: vec!["corp.local".into()] });
+        let mut resolves = 0;
+        for _ in 0..3 {
+            assert!(filter.is_internal_sym(internal, || {
+                resolves += 1;
+                raw.resolve(internal).to_string()
+            }));
+            assert!(!filter.is_internal_sym(external, || {
+                resolves += 1;
+                raw.resolve(external).to_string()
+            }));
+        }
+        assert_eq!(resolves, 2, "each distinct symbol is classified once");
+    }
+
+    #[test]
+    fn chunked_reduction_matches_whole_day() {
+        let raw = Arc::new(DomainInterner::new());
+        let mut queries = Vec::new();
+        for i in 0..60u32 {
+            queries.push(dns_query(
+                &raw,
+                i as u64,
+                i % 5,
+                &format!("d{i}.example{}.com", i % 7),
+                if i % 9 == 0 { DnsRecordType::Txt } else { DnsRecordType::A },
+            ));
+        }
+        queries.push(dns_query(&raw, 99, 0, "x.corp.local", DnsRecordType::A));
+        let meta = meta_with_server(5, 2);
+        let cfg = ReductionConfig::from_meta(&meta);
+
+        let fold_a = FoldTable::new(Arc::clone(&raw), 2);
+        let day = DnsDayLog { day: Day::new(0), queries: queries.clone() };
+        let (whole_contacts, whole_counts) = reduce_dns_day(&day, &meta, &fold_a, &cfg);
+
+        let fold_b = FoldTable::new(Arc::clone(&raw), 2);
+        let filter = InternalFilter::new(cfg.clone());
+        let mut reducer = DayReducer::new();
+        let mut contacts = Vec::new();
+        for chunk in queries.chunks(7) {
+            let red = reduce_dns_chunk(chunk, &meta, &fold_b, &filter);
+            reducer.push_chunk(&red);
+            contacts.extend(red.contacts);
+        }
+        contacts.sort_by_key(|c| c.ts);
+        assert_eq!(reducer.dns_counts(), whole_counts);
+        assert_eq!(contacts, whole_contacts);
+    }
+
+    #[test]
     fn counts_are_monotonically_decreasing() {
         let raw = Arc::new(DomainInterner::new());
         let mut queries = Vec::new();
@@ -252,9 +461,9 @@ mod tests {
         queries.push(dns_query(&raw, 99, 0, "x.corp.local", DnsRecordType::A));
         let day = DnsDayLog { day: Day::new(0), queries };
         let meta = meta_with_server(5, 2);
-        let mut fold = FoldTable::new(Arc::clone(&raw), 2);
+        let fold = FoldTable::new(Arc::clone(&raw), 2);
         let cfg = ReductionConfig::from_meta(&meta);
-        let (_, c) = reduce_dns_day(&day, &meta, &mut fold, &cfg);
+        let (_, c) = reduce_dns_day(&day, &meta, &fold, &cfg);
         assert!(c.domains_all >= c.domains_after_internal_filter);
         assert!(c.domains_after_internal_filter >= c.domains_after_server_filter);
         assert!(c.records_all >= c.records_a_only);
@@ -293,9 +502,9 @@ mod tests {
             proxy_record(&raw, &paths, 3, 0, "wiki.corp.local", None),
         ];
         let meta = meta_with_server(2, 1);
-        let mut fold = FoldTable::new(Arc::clone(&raw), 2);
+        let fold = FoldTable::new(Arc::clone(&raw), 2);
         let cfg = ReductionConfig::from_meta(&meta);
-        let (contacts, counts) = reduce_proxy_day(&recs, &meta, &mut fold, &cfg);
+        let (contacts, counts) = reduce_proxy_day(&recs, &meta, &fold, &cfg);
         assert_eq!(counts.domains_all, 3);
         assert_eq!(counts.domains_after_internal_filter, 2);
         assert_eq!(contacts.len(), 2);
@@ -313,8 +522,8 @@ mod tests {
         let mut rec = proxy_record(&raw, &paths, 1, 0, "a.com", None);
         rec.host = None;
         let meta = meta_with_server(2, 1);
-        let mut fold = FoldTable::new(Arc::clone(&raw), 2);
+        let fold = FoldTable::new(Arc::clone(&raw), 2);
         let cfg = ReductionConfig::default();
-        let _ = reduce_proxy_day(&[rec], &meta, &mut fold, &cfg);
+        let _ = reduce_proxy_day(&[rec], &meta, &fold, &cfg);
     }
 }

@@ -1,0 +1,310 @@
+//! Chunk-split equivalence of the streaming ingest path: for *any* way of
+//! splitting a day into `begin_day` + `push_*` chunks — including raw-line
+//! pushes and parallel worker counts — the resulting [`DayReport`]s, alert
+//! streams, and retained engine state must be identical to `ingest_day`
+//! over the whole batch.
+
+use earlybird::engine::{
+    DayBatch, DayReport, Engine, EngineBuilder, IngestSource, Investigation, StageCounters,
+};
+use earlybird::logmodel::{
+    format_dns_line, DatasetMeta, Day, DnsDayLog, DnsQuery, DnsRecordType, HostId, HostKind, Ipv4,
+    Timestamp,
+};
+use earlybird::synthgen::ac::{AcConfig, AcGenerator};
+use earlybird::synthgen::lanl::{LanlConfig, LanlGenerator};
+use earlybird_engine::CollectingSink;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn strip_wall(s: &StageCounters) -> StageCounters {
+    StageCounters { wall_micros: 0, ..*s }
+}
+
+/// Full-report equality modulo wall-clock time.
+fn assert_reports_equal(streamed: &DayReport, batch: &DayReport, context: &str) {
+    assert_eq!(streamed.day, batch.day, "{context}: day");
+    assert_eq!(streamed.bootstrap, batch.bootstrap, "{context}: bootstrap flag");
+    assert_eq!(streamed.duplicate, batch.duplicate, "{context}: duplicate flag");
+    assert_eq!(strip_wall(&streamed.stages), strip_wall(&batch.stages), "{context}: counters");
+    assert_eq!(streamed.dns_counts, batch.dns_counts, "{context}: dns counts");
+    assert_eq!(streamed.proxy_counts, batch.proxy_counts, "{context}: proxy counts");
+    assert_eq!(streamed.norm_counts, batch.norm_counts, "{context}: norm counts");
+    assert_eq!(streamed.cc_candidates, batch.cc_candidates, "{context}: candidates");
+    assert_eq!(streamed.alerts, batch.alerts, "{context}: alerts");
+    assert_eq!(streamed.outcome, batch.outcome, "{context}: BP outcome");
+}
+
+/// A random traffic day with a guaranteed beaconing campaign blended in, so
+/// the C&C / alert / BP stages always have real work to compare.
+fn build_queries(
+    raw: &[(u64, u32, u8)],
+    domains: &Arc<earlybird::logmodel::DomainInterner>,
+) -> Vec<DnsQuery> {
+    let mut queries: Vec<DnsQuery> = raw
+        .iter()
+        .map(|&(ts, host, dom)| DnsQuery {
+            ts: Timestamp::from_secs(ts),
+            src: HostId::new(host),
+            src_ip: Ipv4::new(10, 0, 0, host as u8),
+            qname: domains.intern(&format!("d{dom}.example.c3")),
+            qtype: DnsRecordType::A,
+            answer: Some(Ipv4::new(50, dom, dom, 1)),
+        })
+        .collect();
+    for host in [1u32, 2] {
+        for beat in 0..20 {
+            queries.push(DnsQuery {
+                ts: Timestamp::from_secs(30_000 + host as u64 * 7 + beat * 600),
+                src: HostId::new(host),
+                src_ip: Ipv4::new(10, 0, 0, host as u8),
+                qname: domains.intern("cc.alpha.c3"),
+                qtype: DnsRecordType::A,
+                answer: Some(Ipv4::new(198, 51, 100, 99)),
+            });
+        }
+    }
+    queries.sort_by_key(|q| q.ts);
+    queries
+}
+
+fn meta_for(n_hosts: u32) -> DatasetMeta {
+    DatasetMeta {
+        n_hosts,
+        host_kinds: vec![HostKind::Workstation; n_hosts as usize],
+        internal_suffixes: vec![],
+        bootstrap_days: 0,
+        total_days: 1,
+    }
+}
+
+fn engine_for(
+    domains: &Arc<earlybird::logmodel::DomainInterner>,
+    meta: &DatasetMeta,
+    parallelism: usize,
+    chunk_records: usize,
+) -> (Engine, earlybird::engine::CollectedAlerts) {
+    let sink = CollectingSink::new();
+    let handle = sink.handle();
+    let engine = EngineBuilder::lanl()
+        .parallelism(parallelism)
+        .parallel_threshold(1)
+        .ingest_chunk_records(chunk_records)
+        .auto_investigate(true)
+        .sink(sink)
+        .build(Arc::clone(domains), meta.clone())
+        .expect("valid config");
+    (engine, handle)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// For arbitrary chunk splits of the same day, `begin_day` + `push_dns_records`
+    /// + `finish` must reproduce `ingest_day` exactly: counters, candidates,
+    /// alerts (including sink sequence order), and BP outcome.
+    #[test]
+    fn chunked_pushes_match_whole_batch(
+        raw in proptest::collection::vec((0u64..86_400, 0u32..12, 0u8..16), 1..200),
+        splits in proptest::collection::vec(1usize..40, 0..8),
+        parallelism in 1usize..5,
+        chunk_records in 1usize..64,
+    ) {
+        let domains = Arc::new(earlybird::logmodel::DomainInterner::new());
+        let queries = build_queries(&raw, &domains);
+        let meta = meta_for(12);
+
+        let (mut batch_engine, batch_alerts) = engine_for(&domains, &meta, 1, usize::MAX);
+        let day_log = DnsDayLog { day: Day::new(0), queries: queries.clone() };
+        let batch_report = batch_engine.ingest_day(DayBatch::Dns(&day_log));
+
+        let (mut stream_engine, stream_alerts) =
+            engine_for(&domains, &meta, parallelism, chunk_records);
+        let mut ingest = stream_engine.begin_day(Day::new(0), IngestSource::Dns);
+        // Carve the day along the random split points; the tail goes last.
+        let mut rest: &[DnsQuery] = &queries;
+        for &len in &splits {
+            let take = len.min(rest.len());
+            let (span, remaining) = rest.split_at(take);
+            ingest.push_dns_records(span);
+            rest = remaining;
+        }
+        ingest.push_dns_records(rest);
+        prop_assert_eq!(ingest.records_pushed(), queries.len());
+        let stream_report = ingest.finish();
+
+        assert_reports_equal(&stream_report, &batch_report, "proptest day");
+        prop_assert_eq!(stream_alerts.snapshot(), batch_alerts.snapshot());
+        prop_assert_eq!(stream_engine.history().len(), batch_engine.history().len());
+
+        // Post-hoc investigation over the retained day agrees too.
+        let by_stream = stream_engine.investigate(Day::new(0), Investigation::no_hint());
+        let by_batch = batch_engine.investigate(Day::new(0), Investigation::no_hint());
+        match (by_stream, by_batch) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(a.outcome, b.outcome),
+            (a, b) => prop_assert_eq!(a.is_err(), b.is_err()),
+        }
+    }
+}
+
+/// The whole LANL challenge, streamed in fixed-size chunks with parallel
+/// workers, is indistinguishable from batch ingestion: every day report,
+/// the full alert sequence, and the retained-day set.
+#[test]
+fn lanl_challenge_streams_identically() {
+    let challenge = LanlGenerator::new(LanlConfig::tiny()).generate();
+    let meta = &challenge.dataset.meta;
+
+    let (mut batch_engine, batch_alerts) = engine_for(&challenge.dataset.domains, meta, 1, 1 << 20);
+    let (mut stream_engine, stream_alerts) = engine_for(&challenge.dataset.domains, meta, 4, 64);
+
+    for day in &challenge.dataset.days {
+        let batch_report = batch_engine.ingest_day(DayBatch::Dns(day));
+        let mut ingest = stream_engine.begin_day(day.day, IngestSource::Dns);
+        for span in day.queries.chunks(777) {
+            ingest.push_dns_records(span);
+        }
+        let stream_report = ingest.finish();
+        assert_reports_equal(&stream_report, &batch_report, &format!("day {:?}", day.day));
+    }
+    assert_eq!(stream_alerts.snapshot(), batch_alerts.snapshot());
+    assert!(!stream_alerts.snapshot().is_empty(), "campaigns must alert");
+    assert_eq!(stream_engine.days().collect::<Vec<_>>(), batch_engine.days().collect::<Vec<_>>());
+
+    // Campaign investigations on the streamed engine match the batch one.
+    for campaign in &challenge.campaigns {
+        let a = stream_engine
+            .investigate(
+                campaign.day,
+                Investigation::from_hint_hosts(campaign.hint_hosts.iter().copied()),
+            )
+            .unwrap();
+        let b = batch_engine
+            .investigate(
+                campaign.day,
+                Investigation::from_hint_hosts(campaign.hint_hosts.iter().copied()),
+            )
+            .unwrap();
+        assert_eq!(a.outcome, b.outcome, "campaign 3/{}", campaign.march_day);
+    }
+}
+
+/// Proxy days (normalization + DHCP resolution + HTTP context) stream
+/// identically as well.
+#[test]
+fn proxy_days_stream_identically() {
+    let world = AcGenerator::new(AcConfig::tiny()).generate();
+    let meta = &world.dataset.meta;
+
+    let build = |parallelism: usize, chunk: usize| {
+        let sink = CollectingSink::new();
+        let handle = sink.handle();
+        let engine = EngineBuilder::enterprise()
+            .parallelism(parallelism)
+            .parallel_threshold(1)
+            .ingest_chunk_records(chunk)
+            .auto_investigate(true)
+            .sink(sink)
+            .build(Arc::clone(&world.dataset.domains), meta.clone())
+            .expect("valid config");
+        (engine, handle)
+    };
+    let (mut batch_engine, batch_alerts) = build(1, 1 << 20);
+    let (mut stream_engine, stream_alerts) = build(4, 50);
+
+    // Cover the bootstrap/operation boundary plus several operation days.
+    let last = (meta.bootstrap_days + 6).min(meta.total_days) as usize;
+    for day in &world.dataset.days[..last] {
+        let batch_report =
+            batch_engine.ingest_day(DayBatch::Proxy { day, dhcp: &world.dataset.dhcp });
+        let mut ingest =
+            stream_engine.begin_day(day.day, IngestSource::Proxy { dhcp: &world.dataset.dhcp });
+        for span in day.records.chunks(311) {
+            ingest.push_proxy_records(span);
+        }
+        let stream_report = ingest.finish();
+        assert_reports_equal(&stream_report, &batch_report, &format!("proxy day {:?}", day.day));
+    }
+    assert_eq!(stream_alerts.snapshot(), batch_alerts.snapshot());
+    assert_eq!(stream_engine.ua_history().len(), batch_engine.ua_history().len());
+}
+
+/// Raw-line ingestion matches record ingestion: same records, same report,
+/// and parse failures are tallied without derailing the day.
+#[test]
+fn line_pushes_match_record_pushes() {
+    let domains = Arc::new(earlybird::logmodel::DomainInterner::new());
+    let raw: Vec<(u64, u32, u8)> =
+        (0..150u64).map(|i| (i * 37 % 86_400, (i % 9) as u32, (i % 11) as u8)).collect();
+    let queries = build_queries(&raw, &domains);
+    let meta = meta_for(12);
+
+    // Reference: records pushed straight in.
+    let (mut rec_engine, rec_alerts) = engine_for(&domains, &meta, 2, 16);
+    let mut ingest = rec_engine.begin_day(Day::new(0), IngestSource::Dns);
+    ingest.push_dns_records(&queries);
+    let rec_report = ingest.finish();
+
+    // Lines: serialize with the interchange codec, then stream the text in
+    // three blocks with a corrupt line and comments sprinkled in.
+    // Note host ids are assigned by first-seen source IP in line order,
+    // which matches the generator's numbering here.
+    let lines: Vec<String> = queries.iter().map(|q| format_dns_line(q, &domains)).collect();
+    let (mut line_engine, line_alerts) = engine_for(&domains, &meta, 3, 16);
+    let mut ingest = line_engine.begin_day(Day::new(0), IngestSource::Dns);
+    let third = lines.len() / 3;
+    let block1 = format!("# header comment\n{}\n", lines[..third].join("\n"));
+    let block2 = format!("{}\nthis line is corrupt\n", lines[third..2 * third].join("\n"));
+    let block3 = format!("{}\n\n", lines[2 * third..].join("\n"));
+    assert!(ingest.push_lines(&block1).is_empty());
+    let errors = ingest.push_lines(&block2);
+    assert_eq!(errors.len(), 1, "exactly the corrupt line fails");
+    assert!(ingest.push_lines(&block3).is_empty());
+    assert_eq!(ingest.records_pushed(), queries.len());
+    assert_eq!(ingest.parse_errors(), 1);
+    let line_report = ingest.finish();
+
+    assert_eq!(line_report.stages.parse_errors, 1);
+    let mut expected = rec_report.stages;
+    expected.parse_errors = 1; // the only permitted difference
+    assert_eq!(strip_wall(&line_report.stages), strip_wall(&expected));
+    assert_eq!(line_report.cc_candidates, rec_report.cc_candidates);
+    assert_eq!(line_report.alerts, rec_report.alerts);
+    assert_eq!(line_alerts.snapshot(), rec_alerts.snapshot());
+}
+
+/// Replays through the streaming handle are no-ops flagged as duplicates,
+/// exactly like `ingest_day` replays.
+#[test]
+fn streamed_replay_is_a_flagged_noop() {
+    let domains = Arc::new(earlybird::logmodel::DomainInterner::new());
+    let queries = build_queries(&[(100, 3, 1), (200, 4, 2)], &domains);
+    let meta = meta_for(12);
+    let (mut engine, _alerts) = engine_for(&domains, &meta, 2, 8);
+
+    let mut first = engine.begin_day(Day::new(0), IngestSource::Dns);
+    first.push_dns_records(&queries);
+    let first_report = first.finish();
+    assert!(!first_report.duplicate);
+    let history_len = engine.history().len();
+
+    let mut replay = engine.begin_day(Day::new(0), IngestSource::Dns);
+    assert!(replay.is_duplicate());
+    replay.push_dns_records(&queries); // must be a no-op
+    let replay_report = replay.finish();
+    assert!(replay_report.duplicate);
+    assert_eq!(engine.history().len(), history_len, "profiles not double-counted");
+    assert_eq!(replay_report.stages.rare_destinations, first_report.stages.rare_destinations);
+}
+
+#[test]
+#[should_panic(expected = "proxy-source")]
+fn dns_push_into_proxy_day_panics() {
+    let domains = Arc::new(earlybird::logmodel::DomainInterner::new());
+    let meta = meta_for(4);
+    let (mut engine, _alerts) = engine_for(&domains, &meta, 1, 8);
+    let dhcp = earlybird::logmodel::DhcpLog::new();
+    let queries = build_queries(&[(100, 1, 1)], &domains);
+    let mut ingest = engine.begin_day(Day::new(0), IngestSource::Proxy { dhcp: &dhcp });
+    ingest.push_dns_records(&queries);
+}
