@@ -1,0 +1,114 @@
+//! Checkpoint/restore throughput: how fast the durability layer moves
+//! engine state, reported alongside the ingest baseline in
+//! `engine_benches.rs`. Both MB/s (snapshot bytes) and records/s (raw log
+//! records whose derived state the snapshot carries) are reported for the
+//! full-snapshot writer, the reader, and the incremental day-segment
+//! writer.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use earlybird_engine::{DayBatch, Engine, EngineBuilder};
+use earlybird_synthgen::lanl::LanlChallenge;
+use std::sync::Arc;
+
+/// Engine with the benchmark-scale LANL history ingested (bootstrap plus
+/// several operation days — profiles, UA history, and retained indexes all
+/// populated). Returns the engine and the raw records behind its state.
+fn loaded_engine(challenge: &LanlChallenge) -> (Engine, u64) {
+    let mut engine = EngineBuilder::lanl()
+        .build(Arc::clone(&challenge.dataset.domains), challenge.dataset.meta.clone())
+        .expect("valid config");
+    let boot = challenge.dataset.meta.bootstrap_days as usize;
+    let mut records = 0u64;
+    for day in &challenge.dataset.days[..boot + 6] {
+        records += day.queries.len() as u64;
+        engine.ingest_day(DayBatch::Dns(day));
+    }
+    (engine, records)
+}
+
+fn bench_checkpoint(c: &mut Criterion) {
+    let challenge = earlybird_bench::lanl_world();
+    let (mut engine, records) = loaded_engine(&challenge);
+    let mut buf = Vec::new();
+    engine.checkpoint(&mut buf).expect("checkpoint succeeds");
+    let bytes = buf.len() as u64;
+
+    let mut group = c.benchmark_group("store_checkpoint/lanl_small");
+    group.throughput(Throughput::Bytes(bytes));
+    group.bench_function("full_snapshot_mbps", |b| {
+        b.iter(|| {
+            let mut out = Vec::with_capacity(bytes as usize);
+            engine.checkpoint(&mut out).expect("checkpoint succeeds");
+            out.len()
+        })
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("store_checkpoint/lanl_small");
+    group.throughput(Throughput::Elements(records));
+    group.bench_function("full_snapshot_records", |b| {
+        b.iter(|| {
+            let mut out = Vec::with_capacity(bytes as usize);
+            engine.checkpoint(&mut out).expect("checkpoint succeeds");
+            out.len()
+        })
+    });
+    group.finish();
+}
+
+fn bench_checkpoint_day(c: &mut Criterion) {
+    let challenge = earlybird_bench::lanl_world();
+    let boot = challenge.dataset.meta.bootstrap_days as usize;
+    let day = &challenge.dataset.days[boot + 6];
+
+    // Measure one daily cycle's persistence cost: ingest the next day and
+    // append its O(day) segment. Each iteration rebuilds from the restored
+    // baseline so the delta is always exactly one day.
+    let mut baseline = Vec::new();
+    {
+        let (mut engine, _) = loaded_engine(&challenge);
+        engine.checkpoint(&mut baseline).expect("checkpoint succeeds");
+    }
+
+    let mut group = c.benchmark_group("store_checkpoint/lanl_small");
+    group.throughput(Throughput::Elements(day.queries.len() as u64));
+    group.bench_function("day_segment_records", |b| {
+        b.iter(|| {
+            let mut engine =
+                EngineBuilder::lanl().restore(&mut baseline.as_slice()).expect("baseline restores");
+            engine.ingest_day(DayBatch::Dns(day));
+            let mut seg = Vec::new();
+            engine.checkpoint_day(&mut seg).expect("segment succeeds");
+            seg.len()
+        })
+    });
+    group.finish();
+}
+
+fn bench_restore(c: &mut Criterion) {
+    let challenge = earlybird_bench::lanl_world();
+    let (mut engine, records) = loaded_engine(&challenge);
+    let mut snapshot = Vec::new();
+    engine.checkpoint(&mut snapshot).expect("checkpoint succeeds");
+
+    let mut group = c.benchmark_group("store_restore/lanl_small");
+    group.throughput(Throughput::Bytes(snapshot.len() as u64));
+    group.bench_function("full_snapshot_mbps", |b| {
+        b.iter(|| {
+            EngineBuilder::lanl().restore(&mut snapshot.as_slice()).expect("snapshot restores")
+        })
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("store_restore/lanl_small");
+    group.throughput(Throughput::Elements(records));
+    group.bench_function("full_snapshot_records", |b| {
+        b.iter(|| {
+            EngineBuilder::lanl().restore(&mut snapshot.as_slice()).expect("snapshot restores")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_checkpoint, bench_checkpoint_day, bench_restore);
+criterion_main!(benches);

@@ -118,6 +118,48 @@ impl DailyPipeline {
         }
     }
 
+    /// Reassembles a pipeline from checkpointed state — the persistence
+    /// hook used by `earlybird-store` via the engine's restore path. The
+    /// fold memo and IP-literal caches start empty and are rebuilt lazily;
+    /// because `folded` already holds every folded name in its original
+    /// numbering, re-folding reproduces identical symbols.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` is invalid (zero fold level or thresholds); the
+    /// engine validates restored configurations before calling this.
+    pub fn from_restored(
+        raw: Arc<DomainInterner>,
+        folded: Arc<DomainInterner>,
+        cfg: PipelineConfig,
+        history: DomainHistory,
+        ua_history: UaHistory,
+    ) -> Self {
+        DailyPipeline {
+            cfg,
+            fold: FoldTable::from_interners(raw, folded, cfg.fold_level),
+            history,
+            ua_history,
+            sieve: RareSieve::new(cfg.unpopular_threshold),
+            ip_literal_cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Replays a restored tail of the destination-history insertion log
+    /// (see `DomainHistory::restore_extend`).
+    pub fn restore_history_delta(
+        &mut self,
+        domains: impl IntoIterator<Item = DomainSym>,
+        days_ingested: u32,
+    ) {
+        self.history.restore_extend(domains, days_ingested);
+    }
+
+    /// Replays a restored tail of the user-agent pair log.
+    pub fn restore_ua_delta(&mut self, pairs: impl IntoIterator<Item = (UaSym, HostId)>) {
+        self.ua_history.update_pairs(pairs);
+    }
+
     /// The configuration.
     pub fn config(&self) -> &PipelineConfig {
         &self.cfg
@@ -378,10 +420,15 @@ impl DailyPipeline {
             DaySource::Dns => (Some(reducer.dns_counts()), None, None),
             DaySource::Proxy => (None, Some(reducer.proxy_counts()), Some(norm)),
         };
+        // The histories' insertion logs are checkpointed verbatim, so fold
+        // each day's additions in sorted order: set semantics are unchanged
+        // and snapshot bytes become run-to-run deterministic.
         let outcome = match builder {
             Some(builder) => {
                 let index = builder.finalize();
-                self.history.update_domains(index.domains());
+                let mut domains: Vec<DomainSym> = index.domains().collect();
+                domains.sort_unstable();
+                self.history.update_domains(domains);
                 DayOutcome::Operation(Box::new(DayProduct {
                     day,
                     index,
@@ -392,11 +439,15 @@ impl DailyPipeline {
                 }))
             }
             None => {
-                self.history.update_domains(day_domains);
+                let mut domains: Vec<DomainSym> = day_domains.into_iter().collect();
+                domains.sort_unstable();
+                self.history.update_domains(domains);
                 DayOutcome::Bootstrap { dns_counts, proxy_counts, norm_counts }
             }
         };
-        self.ua_history.update_pairs(ua_pairs);
+        let mut pairs: Vec<(UaSym, HostId)> = ua_pairs.into_iter().collect();
+        pairs.sort_unstable();
+        self.ua_history.update_pairs(pairs);
         outcome
     }
 

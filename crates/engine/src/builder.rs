@@ -9,7 +9,10 @@ use earlybird_timing::AutomationDetector;
 use std::fmt;
 use std::sync::Arc;
 
-/// A configuration mistake caught by [`EngineBuilder::build`].
+/// A typed engine failure: configuration mistakes caught by
+/// [`EngineBuilder::build`], unknown-day lookups, and runtime faults
+/// (panicking alert sinks, crashed scoring workers) that previously
+/// aborted the whole daily cycle.
 #[derive(Debug)]
 pub enum EngineError {
     /// A knob failed validation; the message names it.
@@ -17,6 +20,18 @@ pub enum EngineError {
     /// The requested day is not retained by the engine (bootstrap day, or
     /// never ingested).
     UnknownDay(earlybird_logmodel::Day),
+    /// An alert sink panicked while consuming an alert. The sink has been
+    /// detached so the daily cycle (and every other sink) continues;
+    /// drain these via [`crate::Engine::take_sink_errors`].
+    SinkPanicked {
+        /// Index of the sink in attachment order.
+        sink: usize,
+        /// The panic payload, stringified.
+        message: String,
+    },
+    /// A C&C scoring worker thread panicked; the day's detection pass
+    /// cannot be trusted and is abandoned.
+    WorkerPanicked(String),
 }
 
 impl fmt::Display for EngineError {
@@ -24,6 +39,10 @@ impl fmt::Display for EngineError {
         match self {
             EngineError::InvalidConfig(msg) => write!(f, "invalid engine config: {msg}"),
             EngineError::UnknownDay(day) => write!(f, "day {day:?} is not retained"),
+            EngineError::SinkPanicked { sink, message } => {
+                write!(f, "alert sink #{sink} panicked and was detached: {message}")
+            }
+            EngineError::WorkerPanicked(msg) => write!(f, "scoring worker panicked: {msg}"),
         }
     }
 }
@@ -246,44 +265,67 @@ impl EngineBuilder {
         raw: Arc<DomainInterner>,
         meta: DatasetMeta,
     ) -> Result<Engine, EngineError> {
+        validate_config(&self.cfg)?;
         let cfg = &mut self.cfg;
-        if cfg.pipeline.fold_level == 0 || cfg.pipeline.fold_level > 8 {
-            return Err(EngineError::InvalidConfig(format!(
-                "fold_level must be in 1..=8, got {}",
-                cfg.pipeline.fold_level
-            )));
-        }
-        if cfg.pipeline.unpopular_threshold == 0 {
-            return Err(EngineError::InvalidConfig(
-                "unpopular_threshold must be at least 1".into(),
-            ));
-        }
-        if cfg.bp.max_iterations == 0 {
-            return Err(EngineError::InvalidConfig("bp.max_iterations must be at least 1".into()));
-        }
-        if !cfg.sim.threshold().is_finite() {
-            return Err(EngineError::InvalidConfig("similarity threshold must be finite".into()));
-        }
-        if !(cfg.whois_defaults.0.is_finite() && cfg.whois_defaults.1.is_finite()) {
-            return Err(EngineError::InvalidConfig("whois defaults must be finite".into()));
-        }
-        if let CcModel::LanlHeuristic { min_hosts, .. } = cfg.cc_model {
-            if min_hosts == 0 {
-                return Err(EngineError::InvalidConfig(
-                    "LanlHeuristic min_hosts must be at least 1".into(),
-                ));
-            }
-        }
-        if cfg.retain_days == Some(0) {
-            return Err(EngineError::InvalidConfig(
-                "retain_days must be at least 1 (omit it to retain every day)".into(),
-            ));
-        }
         cfg.parallelism = cfg.parallelism.max(1);
         cfg.parallel_threshold = cfg.parallel_threshold.max(1);
         cfg.ingest_chunk_records = cfg.ingest_chunk_records.max(1);
         Ok(Engine::from_parts(self.cfg, self.sinks, raw, meta, self.uas, self.paths))
     }
+
+    /// Decomposes the builder into its configuration and attachments — used
+    /// by the snapshot-restore path in [`crate::Engine`]'s `persist`
+    /// module.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn into_parts(
+        self,
+    ) -> (
+        EngineConfig,
+        Vec<Box<dyn AlertSink + Send>>,
+        Option<Arc<UaInterner>>,
+        Option<Arc<PathInterner>>,
+    ) {
+        (self.cfg, self.sinks, self.uas, self.paths)
+    }
+}
+
+/// Shared validation for built and restored configurations: every invariant
+/// the engine's constructors would otherwise `assert!`.
+pub(crate) fn validate_config(cfg: &EngineConfig) -> Result<(), EngineError> {
+    if cfg.pipeline.fold_level == 0 || cfg.pipeline.fold_level > 8 {
+        return Err(EngineError::InvalidConfig(format!(
+            "fold_level must be in 1..=8, got {}",
+            cfg.pipeline.fold_level
+        )));
+    }
+    if cfg.pipeline.unpopular_threshold == 0 {
+        return Err(EngineError::InvalidConfig("unpopular_threshold must be at least 1".into()));
+    }
+    if cfg.pipeline.rare_ua_threshold == 0 {
+        return Err(EngineError::InvalidConfig("rare_ua_threshold must be at least 1".into()));
+    }
+    if cfg.bp.max_iterations == 0 {
+        return Err(EngineError::InvalidConfig("bp.max_iterations must be at least 1".into()));
+    }
+    if !cfg.sim.threshold().is_finite() {
+        return Err(EngineError::InvalidConfig("similarity threshold must be finite".into()));
+    }
+    if !(cfg.whois_defaults.0.is_finite() && cfg.whois_defaults.1.is_finite()) {
+        return Err(EngineError::InvalidConfig("whois defaults must be finite".into()));
+    }
+    if let CcModel::LanlHeuristic { min_hosts, .. } = cfg.cc_model {
+        if min_hosts == 0 {
+            return Err(EngineError::InvalidConfig(
+                "LanlHeuristic min_hosts must be at least 1".into(),
+            ));
+        }
+    }
+    if cfg.retain_days == Some(0) {
+        return Err(EngineError::InvalidConfig(
+            "retain_days must be at least 1 (omit it to retain every day)".into(),
+        ));
+    }
+    Ok(())
 }
 
 /// Default worker count: the machine's parallelism, capped to keep shard

@@ -101,9 +101,17 @@ pub struct Engine {
     pub(crate) pipeline: DailyPipeline,
     pub(crate) products: BTreeMap<Day, DayProduct>,
     pub(crate) reports: BTreeMap<Day, DayReport>,
-    sinks: Mutex<Vec<Box<dyn AlertSink + Send>>>,
-    sequence: AtomicU64,
-    soc_seed_syms: Vec<DomainSym>,
+    /// Attached sinks, each tagged with its stable attachment-order id so
+    /// failures are attributed correctly even after earlier detachments.
+    pub(crate) sinks: Mutex<Vec<(usize, Box<dyn AlertSink + Send>)>>,
+    pub(crate) sequence: AtomicU64,
+    /// Typed errors from sinks that panicked mid-emit and were detached;
+    /// drained by [`Engine::take_sink_errors`].
+    pub(crate) sink_errors: Mutex<Vec<EngineError>>,
+    /// Watermarks of the state already persisted by `checkpoint` /
+    /// `checkpoint_day` (see the `persist` module).
+    pub(crate) persist_cursor: crate::persist::PersistCursor,
+    pub(crate) soc_seed_syms: Vec<DomainSym>,
     /// Interner for user agents parsed from raw proxy log lines.
     pub(crate) uas: Arc<UaInterner>,
     /// Interner for URL paths parsed from raw proxy log lines.
@@ -132,6 +140,7 @@ impl Engine {
     ) -> Self {
         let pipeline = DailyPipeline::new(raw, cfg.pipeline);
         let soc_seed_syms = cfg.soc_seed_domains.iter().map(|n| pipeline.intern_seed(n)).collect();
+        let sinks = sinks.into_iter().enumerate().collect();
         Engine {
             cfg,
             meta,
@@ -140,10 +149,45 @@ impl Engine {
             reports: BTreeMap::new(),
             sinks: Mutex::new(sinks),
             sequence: AtomicU64::new(0),
+            sink_errors: Mutex::new(Vec::new()),
+            persist_cursor: crate::persist::PersistCursor::default(),
             soc_seed_syms,
             uas: uas.unwrap_or_default(),
             paths: paths.unwrap_or_default(),
             line_hosts: HostMapper::new(),
+        }
+    }
+
+    /// Rebuilds an engine from restored state — the snapshot-restore
+    /// constructor used by `EngineBuilder::restore`.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_restored(
+        cfg: EngineConfig,
+        sinks: Vec<Box<dyn AlertSink + Send>>,
+        meta: DatasetMeta,
+        pipeline: DailyPipeline,
+        uas: Arc<UaInterner>,
+        paths: Arc<PathInterner>,
+        line_hosts: HostMapper,
+    ) -> Self {
+        // SOC seed symbols are re-interned *after* the snapshot contents
+        // are applied (`Engine::reintern_soc_seeds`): interning into the
+        // still-empty folded namespace here would shift restored numbering.
+        let sinks = sinks.into_iter().enumerate().collect();
+        Engine {
+            cfg,
+            meta,
+            pipeline,
+            products: BTreeMap::new(),
+            reports: BTreeMap::new(),
+            sinks: Mutex::new(sinks),
+            sequence: AtomicU64::new(0),
+            sink_errors: Mutex::new(Vec::new()),
+            persist_cursor: crate::persist::PersistCursor::default(),
+            soc_seed_syms: Vec::new(),
+            uas,
+            paths,
+            line_hosts,
         }
     }
 
@@ -164,7 +208,11 @@ impl Engine {
         self.cfg.bootstrap_days.unwrap_or(self.meta.bootstrap_days)
     }
 
-    /// Retained operation days, in order.
+    /// Retained operation days.
+    ///
+    /// **Ordering guarantee:** days are yielded strictly ascending by day
+    /// index, regardless of ingestion order. Callers may rely on this (it
+    /// is part of the API, not an accident of the underlying map).
     pub fn days(&self) -> impl Iterator<Item = Day> + '_ {
         self.products.keys().copied()
     }
@@ -180,9 +228,25 @@ impl Engine {
         self.reports.get(&day)
     }
 
-    /// All stored (counters-only) reports in day order.
+    /// All stored (counters-only) reports.
+    ///
+    /// **Ordering guarantee:** reports are yielded strictly ascending by
+    /// day index, regardless of ingestion order — the same documented
+    /// guarantee as [`Engine::days`].
     pub fn reports(&self) -> impl Iterator<Item = &DayReport> {
         self.reports.values()
+    }
+
+    /// Drains the typed errors from alert sinks that panicked mid-emit.
+    ///
+    /// A panicking sink is detached (so one faulty sink cannot poison the
+    /// registry or abort a daily cycle) and its panic is recorded as
+    /// [`EngineError::SinkPanicked`]; the day's report counts the failures
+    /// in `stages.sink_failures`.
+    pub fn take_sink_errors(&self) -> Vec<EngineError> {
+        std::mem::take(
+            &mut *self.sink_errors.lock().unwrap_or_else(std::sync::PoisonError::into_inner),
+        )
     }
 
     /// The contact index of a retained operation day.
@@ -270,17 +334,37 @@ impl Engine {
     /// handle parallelizes into parse+reduce chunks internally), so batch
     /// and chunked callers exercise identical machinery. Feeding a day in
     /// pieces via [`Engine::begin_day`] yields the same [`DayReport`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a C&C scoring worker dies; use
+    /// [`Engine::try_ingest_day`] for the typed-error path.
     pub fn ingest_day(&mut self, batch: DayBatch<'_>) -> DayReport {
+        self.try_ingest_day(batch).unwrap_or_else(|e| panic!("daily cycle failed: {e}"))
+    }
+
+    /// [`Engine::ingest_day`] with runtime faults surfaced as typed
+    /// [`EngineError`]s instead of panics.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::WorkerPanicked`] when a C&C scoring worker dies; the
+    /// day is still registered (replay-guarded, index retained for
+    /// post-mortem [`Engine::cc_scores`]) but no alerts were emitted — see
+    /// [`crate::DayIngest::try_finish`]. Panicking alert *sinks* are not
+    /// an error — they are detached, counted in `stages.sink_failures`,
+    /// and reported through [`Engine::take_sink_errors`].
+    pub fn try_ingest_day(&mut self, batch: DayBatch<'_>) -> Result<DayReport, EngineError> {
         match batch {
             DayBatch::Dns(d) => {
                 let mut ingest = self.begin_day(d.day, IngestSource::Dns);
                 ingest.push_dns_records(&d.queries);
-                ingest.finish()
+                ingest.try_finish()
             }
             DayBatch::Proxy { day, dhcp } => {
                 let mut ingest = self.begin_day(day.day, IngestSource::Proxy { dhcp });
                 ingest.push_proxy_records(&day.records);
-                ingest.finish()
+                ingest.try_finish()
             }
         }
     }
@@ -293,7 +377,7 @@ impl Engine {
         mut report: DayReport,
         product: DayProduct,
         started: Instant,
-    ) -> DayReport {
+    ) -> Result<DayReport, EngineError> {
         let day = report.day;
         report.dns_counts = product.dns_counts;
         report.proxy_counts = product.proxy_counts;
@@ -304,8 +388,32 @@ impl Engine {
 
         // C&C stage: score every rare domain, sharded across workers.
         let detector = self.detector();
+        let scored = {
+            let ctx = product.context(self.cfg.whois.as_ref(), self.cfg.whois_defaults);
+            self.score_rare_domains(&ctx, &detector)
+        };
+        let candidates = match scored {
+            Ok(candidates) => candidates,
+            Err(e) => {
+                // The day's contributions are already folded into the
+                // cross-day histories (finish_day runs before this tail),
+                // so the engine must still register the day: the stored
+                // report arms the duplicate-day replay guard (a re-push
+                // cannot double-count the profiles) and the retained index
+                // allows post-mortem rescoring via `Engine::cc_scores`
+                // once the fault is addressed. No alerts were emitted.
+                report.stages.wall_micros = started.elapsed().as_micros() as u64;
+                self.reports.insert(day, Self::counters_only(&report));
+                self.products.insert(day, product);
+                if let Some(limit) = self.cfg.retain_days {
+                    while self.products.len() > limit {
+                        self.products.pop_first();
+                    }
+                }
+                return Err(e);
+            }
+        };
         let ctx = product.context(self.cfg.whois.as_ref(), self.cfg.whois_defaults);
-        let candidates = self.score_rare_domains(&ctx, &detector);
         report.stages.automated_domains = candidates.len();
         report.stages.cc_detections = candidates.iter().filter(|c| c.detected).count();
 
@@ -378,7 +486,7 @@ impl Engine {
             }
         }
 
-        self.assign_and_emit(&mut alerts);
+        report.stages.sink_failures = self.assign_and_emit(&mut alerts);
         report.stages.alerts_emitted = alerts.len();
         report.cc_candidates = candidates;
         report.alerts = alerts;
@@ -394,7 +502,7 @@ impl Engine {
                 self.products.pop_first();
             }
         }
-        report
+        Ok(report)
     }
 
     /// The slim copy retained per day: counters only, so a months-long
@@ -452,7 +560,7 @@ impl Engine {
             }
             SeedSpec::TodaysDetections => {
                 let detections: Vec<DomainSym> = self
-                    .score_rare_domains(&ctx, &detector)
+                    .score_rare_domains(&ctx, &detector)?
                     .into_iter()
                     .filter(|c| c.detected)
                     .map(|c| {
@@ -502,7 +610,7 @@ impl Engine {
     pub fn cc_scores(&self, day: Day) -> Result<Vec<CcCandidate>, EngineError> {
         let product = self.products.get(&day).ok_or(EngineError::UnknownDay(day))?;
         let ctx = product.context(self.cfg.whois.as_ref(), self.cfg.whois_defaults);
-        Ok(self.score_rare_domains(&ctx, &self.detector()))
+        self.score_rare_domains(&ctx, &self.detector())
     }
 
     /// All automated `(host, domain, evidence)` pairs among a retained
@@ -558,24 +666,65 @@ impl Engine {
     /// every sink, preserving order. Sequence allocation happens under the
     /// sink lock so concurrent `investigate` calls cannot interleave a
     /// later-numbered batch ahead of an earlier one.
-    fn assign_and_emit(&self, alerts: &mut [Alert]) {
+    ///
+    /// A sink that panics is caught, detached, and recorded as a typed
+    /// [`EngineError::SinkPanicked`] (drain via
+    /// [`Engine::take_sink_errors`]); the remaining sinks keep receiving
+    /// every alert and the daily cycle is never aborted. Returns the number
+    /// of sinks that failed during this emission.
+    fn assign_and_emit(&self, alerts: &mut [Alert]) -> usize {
         if alerts.is_empty() {
-            return;
+            return 0;
         }
-        let mut sinks = self.sinks.lock().expect("sink registry poisoned");
+        // A previous panic under this lock is already handled (the sink was
+        // detached), so a poisoned registry is safe to re-enter.
+        let mut sinks = self.sinks.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         let start = self.sequence.fetch_add(alerts.len() as u64, Ordering::SeqCst);
+        // Failed sinks keyed by their stable attachment-order id, so the
+        // reported index stays correct even after earlier detachments
+        // shifted live positions.
+        let mut failed: Vec<(usize, String)> = Vec::new();
         for (i, alert) in alerts.iter_mut().enumerate() {
             alert.sequence = start + i as u64;
-            for sink in sinks.iter_mut() {
-                sink.emit(alert);
+            for (id, sink) in sinks.iter_mut() {
+                if failed.iter().any(|&(f, _)| f == *id) {
+                    continue;
+                }
+                let outcome =
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| sink.emit(alert)));
+                if let Err(payload) = outcome {
+                    failed.push((*id, panic_message(payload.as_ref())));
+                }
             }
         }
+        let failures = failed.len();
+        if failures > 0 {
+            sinks.retain(|(id, _)| !failed.iter().any(|&(f, _)| f == *id));
+            drop(sinks);
+            let mut errors =
+                self.sink_errors.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            errors.extend(
+                failed
+                    .into_iter()
+                    .map(|(sink, message)| EngineError::SinkPanicked { sink, message }),
+            );
+        }
+        failures
     }
 
     /// Evaluates every rare domain of the day — automation evidence plus
     /// model score — sharding the work across the configured thread pool.
     /// Results are deterministic: sorted by descending score, then domain.
-    fn score_rare_domains(&self, ctx: &DayContext<'_>, detector: &CcDetector) -> Vec<CcCandidate> {
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::WorkerPanicked`] when a scoring worker dies instead
+    /// of aborting the whole daily cycle with the join panic.
+    fn score_rare_domains(
+        &self,
+        ctx: &DayContext<'_>,
+        detector: &CcDetector,
+    ) -> Result<Vec<CcCandidate>, EngineError> {
         let mut domains: Vec<DomainSym> = ctx.index.rare_domains().collect();
         domains.sort_unstable();
 
@@ -611,16 +760,40 @@ impl Engine {
                         })
                     })
                     .collect();
-                handles
-                    .into_iter()
-                    .flat_map(|h| h.join().expect("C&C scoring worker panicked"))
-                    .collect()
-            })
+                // Join *every* handle even after a failure: leaving a
+                // panicked scoped thread unjoined would make the scope
+                // itself re-panic on exit, bypassing the typed error path.
+                let mut all = Vec::new();
+                let mut first_panic = None;
+                for h in handles {
+                    match h.join() {
+                        Ok(shard) => all.extend(shard),
+                        Err(payload) => {
+                            first_panic.get_or_insert_with(|| panic_message(payload.as_ref()));
+                        }
+                    }
+                }
+                match first_panic {
+                    Some(message) => Err(EngineError::WorkerPanicked(message)),
+                    None => Ok(all),
+                }
+            })?
         };
-        candidates.sort_by(|a, b| {
-            b.score.partial_cmp(&a.score).expect("scores are finite").then(a.domain.cmp(&b.domain))
-        });
-        candidates
+        // total_cmp keeps the ordering total even if a hostile model emits
+        // NaN scores — no panic path in the sort.
+        candidates.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.domain.cmp(&b.domain)));
+        Ok(candidates)
+    }
+}
+
+/// Best-effort stringification of a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 

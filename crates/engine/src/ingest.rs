@@ -18,6 +18,7 @@
 //! the day was chunked. `Engine::ingest_day` is itself a wrapper that
 //! pushes the whole batch as one span.
 
+use crate::builder::EngineError;
 use crate::core_loop::Engine;
 use crate::report::{DayReport, StageCounters};
 use earlybird_core::{DayAccum, DayOutcome};
@@ -267,13 +268,34 @@ impl DayIngest<'_, '_> {
     /// the cross-day histories, and (for operation days) runs the unchanged
     /// detection tail — C&C scoring, alerting, optional belief-propagation
     /// expansion — emitting alerts to every sink.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a C&C scoring worker dies; use [`DayIngest::try_finish`]
+    /// for the typed-error path.
     pub fn finish(self) -> DayReport {
+        self.try_finish().unwrap_or_else(|e| panic!("daily cycle failed: {e}"))
+    }
+
+    /// [`DayIngest::finish`] with runtime faults surfaced as typed
+    /// [`EngineError`]s instead of panics.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::WorkerPanicked`] when a C&C scoring worker dies. The
+    /// day's profile updates had already been applied by then, so the day
+    /// *is* registered (a re-push is absorbed by the duplicate-day replay
+    /// guard rather than double-counting the histories) and its contact
+    /// index stays retained for post-mortem rescoring via
+    /// [`Engine::cc_scores`]; only the detection tail — candidates,
+    /// alerts, belief propagation — was skipped.
+    pub fn try_finish(self) -> Result<DayReport, EngineError> {
         let DayIngest { engine, day, accum, parse_errors, started, .. } = self;
         let Some(accum) = accum else {
             let mut replay =
                 engine.reports.get(&day).cloned().expect("duplicate day must have a stored report");
             replay.duplicate = true;
-            return replay;
+            return Ok(replay);
         };
         let mut report = DayReport {
             day,
@@ -293,7 +315,7 @@ impl DayIngest<'_, '_> {
                 engine.fill_reduction_counters(&mut report);
                 report.stages.wall_micros = started.elapsed().as_micros() as u64;
                 engine.reports.insert(day, Engine::counters_only(&report));
-                report
+                Ok(report)
             }
             DayOutcome::Operation(product) => engine.run_detection_tail(report, *product, started),
         }

@@ -25,6 +25,11 @@
 //!   (SOC hint hosts, seed domains, today's C&C detections) on any retained
 //!   day, and [`Engine::train_enterprise`] fits the §IV-C/§IV-D regression
 //!   models from ingested history, upgrading the engine in place.
+//! * [`Engine::checkpoint`] / [`Engine::checkpoint_day`] persist the full
+//!   mutable state (profiles, histories, retained indexes, trained models,
+//!   alert sequencing) to a versioned, self-checking store stream, and
+//!   [`EngineBuilder::restore`] cold-restarts from it with bit-identical
+//!   continuation — see the `earlybird-store` crate.
 //!
 //! # Example
 //!
@@ -52,6 +57,7 @@ mod batch;
 mod builder;
 mod core_loop;
 mod ingest;
+mod persist;
 mod report;
 mod train;
 
@@ -62,5 +68,6 @@ pub use alert::{
 pub use batch::DayBatch;
 pub use builder::{EngineBuilder, EngineConfig, EngineError};
 pub use core_loop::{Engine, Investigation, SeedSpec};
+pub use earlybird_store::{CheckpointMeta, StoreError, StoreResult};
 pub use ingest::{DayIngest, IngestSource};
 pub use report::{CcCandidate, DayReport, InvestigationReport, StageCounters, TrainingReport};

@@ -1,0 +1,624 @@
+//! Durable checkpoint/restore of the engine's full mutable state.
+//!
+//! The paper's detector only works because it accumulates months of history
+//! — new-domain profiles, rare-UA host counts, per-day contact indexes,
+//! trained regression weights (§III-E, §IV). This module makes that state
+//! survive a process restart with **bit-identical continuation**: ingest
+//! days `1..N`, [`Engine::checkpoint`], restore into a fresh engine with
+//! [`EngineBuilder::restore`], ingest days `N+1..M` — every report, alert,
+//! and sink sequence number matches an uninterrupted run exactly.
+//!
+//! # Stream layout
+//!
+//! A store stream is one **full** block followed by any number of
+//! **day-segment** blocks (see `earlybird_store::frame`):
+//!
+//! * [`Engine::checkpoint`] writes a full block: configuration (including
+//!   trained models and the WHOIS registry), dataset metadata, all four
+//!   interners, the raw-line host map, both cross-day histories, every
+//!   stored day report, every retained contact index, and the alert
+//!   sequence counter.
+//! * [`Engine::checkpoint_day`] appends a segment with only the state added
+//!   since the last `checkpoint`/`checkpoint_day` call — interner tails,
+//!   history-log tails, the new days' reports and indexes — so a daily
+//!   cycle persists O(day), not O(history). Append segments to the same
+//!   file the full snapshot was written to.
+//! * [`EngineBuilder::restore`] reads the full block, replays every
+//!   trailing segment, and rebuilds the engine. Restored symbol numbering
+//!   is identical to the original interners', so records produced against
+//!   the original dataset (or a deterministic regeneration of it) remain
+//!   valid.
+//!
+//! # Crash recovery
+//!
+//! Restoring and re-pushing the day that was in flight when the process
+//! died gives at-least-once ingestion with no double counting: days the
+//! snapshot already covers are absorbed by the engine's duplicate-day
+//! replay guard (a no-op returning the stored counters), and the partial
+//! day simply ingests fresh.
+//!
+//! Machine-local performance knobs (`parallelism`, `parallel_threshold`,
+//! `ingest_chunk_records`) are deliberately *not* restored — they come from
+//! the [`EngineBuilder`] so a snapshot can move between machines; none of
+//! them affects results. Alert sinks are external resources and likewise
+//! come from the builder.
+
+use crate::builder::{validate_config, EngineBuilder, EngineConfig};
+use crate::core_loop::Engine;
+use crate::report::{DayReport, StageCounters};
+use earlybird_core::{BpConfig, CcModel, DailyPipeline, DayProduct, PipelineConfig, SimScorer};
+use earlybird_logmodel::{Day, DomainInterner, HostMapper, PathInterner, UaInterner};
+use earlybird_pipeline::{DomainHistory, UaHistory};
+use earlybird_store::{
+    sections, BlockKind, BlockReader, BlockWriter, CheckpointMeta, Decoder, Encoder, SectionTag,
+    StoreError, StoreResult, FORMAT_VERSION,
+};
+use std::collections::BTreeSet;
+use std::io::{Read, Write};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// Watermarks of the state already persisted to the current store stream;
+/// `checkpoint_day` writes everything beyond them. All the underlying
+/// collections are append-only, which is what makes the delta well-defined.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct PersistCursor {
+    raw: usize,
+    folded: usize,
+    uas: usize,
+    paths: usize,
+    hosts: usize,
+    history: usize,
+    ua_pairs: usize,
+    days: BTreeSet<Day>,
+}
+
+impl Engine {
+    fn current_cursor(&self) -> PersistCursor {
+        PersistCursor {
+            raw: self.pipeline.raw_interner().len(),
+            folded: self.pipeline.folded_interner().len(),
+            uas: self.uas.len(),
+            paths: self.paths.len(),
+            hosts: self.line_hosts.len(),
+            history: self.pipeline.history().ordered().len(),
+            ua_pairs: self.pipeline.ua_history().pair_log().len(),
+            days: self.reports.keys().copied().collect(),
+        }
+    }
+
+    /// Writes a full snapshot of the engine — configuration (including any
+    /// trained models), dataset metadata, interners, host map, histories,
+    /// day reports, retained contact indexes, and the alert sequence
+    /// counter — as one self-checking block, and resets the incremental
+    /// cursor so subsequent [`Engine::checkpoint_day`] calls append
+    /// segments relative to this snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Propagates writer failures as [`StoreError::Io`].
+    pub fn checkpoint<W: Write>(&mut self, out: &mut W) -> StoreResult<CheckpointMeta> {
+        let meta = self.write_block(out, BlockKind::Full, &PersistCursor::default())?;
+        self.persist_cursor = self.current_cursor();
+        Ok(meta)
+    }
+
+    /// Appends an incremental segment holding only the state added since
+    /// the last [`Engine::checkpoint`] / [`Engine::checkpoint_day`] call —
+    /// O(day), not O(history). Append to the same stream the full snapshot
+    /// was written to; [`EngineBuilder::restore`] replays segments in
+    /// order.
+    ///
+    /// Calling this with no new days ingested writes a (tiny) empty
+    /// segment, which restores as a no-op.
+    ///
+    /// # Errors
+    ///
+    /// Propagates writer failures as [`StoreError::Io`].
+    pub fn checkpoint_day<W: Write>(&mut self, out: &mut W) -> StoreResult<CheckpointMeta> {
+        let cursor = self.persist_cursor.clone();
+        let meta = self.write_block(out, BlockKind::DaySegment, &cursor)?;
+        self.persist_cursor = self.current_cursor();
+        Ok(meta)
+    }
+
+    fn write_block<W: Write>(
+        &self,
+        out: &mut W,
+        kind: BlockKind,
+        cursor: &PersistCursor,
+    ) -> StoreResult<CheckpointMeta> {
+        let mut block = BlockWriter::begin(out, kind)?;
+
+        if kind == BlockKind::Full {
+            let mut e = Encoder::new();
+            write_config(&mut e, &self.cfg);
+            block.section(SectionTag::Config, e)?;
+            let mut e = Encoder::new();
+            sections::write_dataset_meta(&mut e, &self.meta);
+            block.section(SectionTag::Meta, e)?;
+        }
+
+        let mut e = Encoder::new();
+        sections::write_interner_slice(&mut e, self.pipeline.raw_interner(), cursor.raw);
+        sections::write_interner_slice(&mut e, self.pipeline.folded_interner(), cursor.folded);
+        sections::write_interner_slice(&mut e, &self.uas, cursor.uas);
+        sections::write_interner_slice(&mut e, &self.paths, cursor.paths);
+        block.section(SectionTag::Interners, e)?;
+
+        let mut e = Encoder::new();
+        sections::write_host_mapper(&mut e, &self.line_hosts, cursor.hosts);
+        block.section(SectionTag::Hosts, e)?;
+
+        let mut e = Encoder::new();
+        sections::write_domain_history(&mut e, self.pipeline.history(), cursor.history);
+        sections::write_ua_history(&mut e, self.pipeline.ua_history(), cursor.ua_pairs);
+        block.section(SectionTag::History, e)?;
+
+        let new_reports: Vec<&DayReport> =
+            self.reports.iter().filter(|(d, _)| !cursor.days.contains(d)).map(|(_, r)| r).collect();
+        let mut e = Encoder::new();
+        e.usizev(new_reports.len());
+        for report in &new_reports {
+            write_day_report(&mut e, report);
+        }
+        block.section(SectionTag::Reports, e)?;
+
+        let new_products: Vec<&DayProduct> = self
+            .products
+            .iter()
+            .filter(|(d, _)| !cursor.days.contains(d))
+            .map(|(_, p)| p)
+            .collect();
+        let mut e = Encoder::new();
+        e.usizev(new_products.len());
+        for product in &new_products {
+            sections::write_opt_dns_counts(&mut e, product.dns_counts.as_ref());
+            sections::write_opt_proxy_counts(&mut e, product.proxy_counts.as_ref());
+            sections::write_opt_norm_counts(&mut e, product.norm_counts.as_ref());
+            sections::write_day_index(&mut e, &product.index);
+        }
+        block.section(SectionTag::Products, e)?;
+
+        let mut e = Encoder::new();
+        e.varint(self.sequence.load(Ordering::SeqCst));
+        block.section(SectionTag::Sequence, e)?;
+
+        let (bytes, checksum) = block.finish()?;
+        Ok(CheckpointMeta {
+            kind,
+            format_version: FORMAT_VERSION,
+            bytes,
+            checksum,
+            days: new_reports.len(),
+            retained_days: new_products.len(),
+        })
+    }
+
+    /// Applies one block's state sections (everything after Config/Meta)
+    /// onto this engine.
+    fn apply_state_sections<R: Read>(&mut self, block: &mut BlockReader<'_, R>) -> StoreResult<()> {
+        let payload = block.section(SectionTag::Interners)?;
+        let mut d = Decoder::new(&payload, SectionTag::Interners.name());
+        sections::read_interner_into(&mut d, self.pipeline.raw_interner(), "raw domain")?;
+        sections::read_interner_into(&mut d, self.pipeline.folded_interner(), "folded domain")?;
+        sections::read_interner_into(&mut d, &self.uas, "user-agent")?;
+        sections::read_interner_into(&mut d, &self.paths, "path")?;
+        d.finish()?;
+
+        let payload = block.section(SectionTag::Hosts)?;
+        let mut d = Decoder::new(&payload, SectionTag::Hosts.name());
+        sections::read_host_mapper_into(&mut d, &mut self.line_hosts)?;
+        d.finish()?;
+
+        let payload = block.section(SectionTag::History)?;
+        let mut d = Decoder::new(&payload, SectionTag::History.name());
+        let (start, domains, days_ingested) = sections::read_domain_history(&mut d)?;
+        if start != self.pipeline.history().ordered().len() {
+            return Err(StoreError::corrupt(format!(
+                "history delta starts at {start}, engine holds {}",
+                self.pipeline.history().ordered().len()
+            )));
+        }
+        self.pipeline.restore_history_delta(domains, days_ingested);
+        let (threshold, start, pairs) = sections::read_ua_history(&mut d)?;
+        if threshold != self.cfg.pipeline.rare_ua_threshold {
+            return Err(StoreError::corrupt(format!(
+                "snapshot rare-UA threshold {threshold} disagrees with configuration {}",
+                self.cfg.pipeline.rare_ua_threshold
+            )));
+        }
+        if start != self.pipeline.ua_history().pair_log().len() {
+            return Err(StoreError::corrupt(format!(
+                "user-agent history delta starts at {start}, engine holds {}",
+                self.pipeline.ua_history().pair_log().len()
+            )));
+        }
+        self.pipeline.restore_ua_delta(pairs);
+        d.finish()?;
+
+        let payload = block.section(SectionTag::Reports)?;
+        let mut d = Decoder::new(&payload, SectionTag::Reports.name());
+        let n = d.seq_len(4)?;
+        for _ in 0..n {
+            let report = read_day_report(&mut d)?;
+            let day = report.day;
+            if self.reports.insert(day, report).is_some() {
+                return Err(StoreError::corrupt(format!("duplicate report for {day}")));
+            }
+        }
+        d.finish()?;
+
+        let payload = block.section(SectionTag::Products)?;
+        let mut d = Decoder::new(&payload, SectionTag::Products.name());
+        let n = d.seq_len(4)?;
+        for _ in 0..n {
+            let dns_counts = sections::read_opt_dns_counts(&mut d)?;
+            let proxy_counts = sections::read_opt_proxy_counts(&mut d)?;
+            let norm_counts = sections::read_opt_norm_counts(&mut d)?;
+            let index = sections::read_day_index(&mut d)?;
+            let day = index.day();
+            let product = DayProduct {
+                day,
+                index,
+                folded: Arc::clone(self.pipeline.folded_interner()),
+                dns_counts,
+                proxy_counts,
+                norm_counts,
+            };
+            if self.products.insert(day, product).is_some() {
+                return Err(StoreError::corrupt(format!("duplicate retained index for {day}")));
+            }
+        }
+        d.finish()?;
+        // Enforce the retention window across blocks exactly like live
+        // ingestion does.
+        if let Some(limit) = self.cfg.retain_days {
+            while self.products.len() > limit {
+                self.products.pop_first();
+            }
+        }
+
+        let payload = block.section(SectionTag::Sequence)?;
+        let mut d = Decoder::new(&payload, SectionTag::Sequence.name());
+        let sequence = d.varint()?;
+        d.finish()?;
+        if sequence < self.sequence.load(Ordering::SeqCst) {
+            return Err(StoreError::corrupt("alert sequence counter moved backwards"));
+        }
+        self.sequence.store(sequence, Ordering::SeqCst);
+        Ok(())
+    }
+}
+
+impl EngineBuilder {
+    /// Rebuilds an engine from a store stream written by
+    /// [`Engine::checkpoint`] (optionally followed by
+    /// [`Engine::checkpoint_day`] segments).
+    ///
+    /// All *semantic* configuration — pipeline thresholds, beacon detector,
+    /// C&C and similarity models (trained or heuristic), belief-propagation
+    /// limits, WHOIS registry and defaults, SOC seeds, bootstrap split,
+    /// retention window — comes from the snapshot; setting those on the
+    /// builder has no effect on restore. The builder contributes what a
+    /// snapshot cannot carry across processes: alert sinks, the
+    /// machine-local performance knobs ([`EngineBuilder::parallelism`],
+    /// [`EngineBuilder::parallel_threshold`],
+    /// [`EngineBuilder::ingest_chunk_records`]) — none of which affects
+    /// results — and, optionally, shared interners:
+    /// [`EngineBuilder::proxy_interners`] installed before `restore` are
+    /// honored (the snapshot contents are verified against them, so
+    /// symbols a dataset minted after the checkpoint stay valid), and
+    /// [`EngineBuilder::restore_with_domains`] does the same for the raw
+    /// domain interner of dataset-driven record pushes.
+    ///
+    /// The restored engine's continued operation is bit-identical to an
+    /// engine that never restarted: identical reports, alerts, and sink
+    /// sequence numbers for every subsequently ingested day.
+    ///
+    /// # Errors
+    ///
+    /// Every defect is a typed [`StoreError`]: [`StoreError::BadMagic`] for
+    /// non-snapshot input, [`StoreError::UnsupportedVersion`] for future
+    /// formats, [`StoreError::Truncated`] for torn writes,
+    /// [`StoreError::ChecksumMismatch`] for bit rot, and
+    /// [`StoreError::Corrupt`] for anything that decodes but violates an
+    /// engine invariant — including a supplied shared interner whose
+    /// contents disagree with the snapshot. No input panics.
+    pub fn restore<R: Read>(self, input: &mut R) -> Result<Engine, StoreError> {
+        self.restore_impl(None, input)
+    }
+
+    /// [`EngineBuilder::restore`] sharing the caller's raw domain interner
+    /// (typically a dataset's), so records parsed or generated against it
+    /// — including symbols minted *after* the checkpoint — remain valid in
+    /// the restored engine. The snapshot's raw-interner contents are
+    /// verified against `raw`; any disagreement is a typed
+    /// [`StoreError::Corrupt`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`EngineBuilder::restore`].
+    pub fn restore_with_domains<R: Read>(
+        self,
+        raw: Arc<DomainInterner>,
+        input: &mut R,
+    ) -> Result<Engine, StoreError> {
+        self.restore_impl(Some(raw), input)
+    }
+
+    fn restore_impl<R: Read>(
+        self,
+        raw: Option<Arc<DomainInterner>>,
+        input: &mut R,
+    ) -> Result<Engine, StoreError> {
+        let (builder_cfg, sinks, uas, paths) = self.into_parts();
+
+        let Some(mut block) = BlockReader::next_block(input)? else {
+            return Err(StoreError::Truncated { context: "snapshot stream" });
+        };
+        if block.kind() != BlockKind::Full {
+            return Err(StoreError::corrupt("store stream must begin with a full snapshot"));
+        }
+
+        let payload = block.section(SectionTag::Config)?;
+        let mut d = Decoder::new(&payload, SectionTag::Config.name());
+        let mut cfg = read_config(&mut d)?;
+        d.finish()?;
+        cfg.parallelism = builder_cfg.parallelism.max(1);
+        cfg.parallel_threshold = builder_cfg.parallel_threshold.max(1);
+        cfg.ingest_chunk_records = builder_cfg.ingest_chunk_records.max(1);
+        validate_config(&cfg).map_err(|e| StoreError::corrupt(e.to_string()))?;
+
+        let payload = block.section(SectionTag::Meta)?;
+        let mut d = Decoder::new(&payload, SectionTag::Meta.name());
+        let meta = sections::read_dataset_meta(&mut d)?;
+        d.finish()?;
+
+        // Empty histories plus either fresh interners or caller-shared
+        // ones (whose contents the snapshot sections verify): the first
+        // block's sections are deltas from zero, applied through the same
+        // path as any later segment. The pipeline is assembled *before*
+        // SOC seeds are re-interned, so the folded interner is only ever
+        // extended by snapshot contents.
+        let pipeline = DailyPipeline::from_restored(
+            raw.unwrap_or_else(|| Arc::new(DomainInterner::new())),
+            Arc::new(DomainInterner::new()),
+            cfg.pipeline,
+            DomainHistory::new(),
+            UaHistory::new(cfg.pipeline.rare_ua_threshold),
+        );
+        let mut engine = Engine::from_restored(
+            cfg,
+            sinks,
+            meta,
+            pipeline,
+            uas.unwrap_or_else(|| Arc::new(UaInterner::new())),
+            paths.unwrap_or_else(|| Arc::new(PathInterner::new())),
+            HostMapper::new(),
+        );
+        engine.apply_state_sections(&mut block)?;
+        block.finish()?;
+
+        while let Some(mut block) = BlockReader::next_block(input)? {
+            if block.kind() != BlockKind::DaySegment {
+                return Err(StoreError::corrupt(
+                    "only one full snapshot may open a store stream; found a second",
+                ));
+            }
+            engine.apply_state_sections(&mut block)?;
+            block.finish()?;
+        }
+
+        // SOC seed symbols were interned at original build time, so they
+        // already exist in the restored folded namespace; re-interning
+        // resolves them without creating new symbols.
+        engine.reintern_soc_seeds();
+        engine.persist_cursor = engine.current_cursor();
+        Ok(engine)
+    }
+}
+
+// -- engine config ----------------------------------------------------------
+
+fn write_config(e: &mut Encoder, cfg: &EngineConfig) {
+    e.usizev(cfg.pipeline.fold_level);
+    e.usizev(cfg.pipeline.unpopular_threshold);
+    e.usizev(cfg.pipeline.rare_ua_threshold);
+    sections::write_automation(e, &cfg.automation);
+    match &cfg.cc_model {
+        CcModel::LanlHeuristic { min_hosts, period_tolerance_secs } => {
+            e.u8(0);
+            e.usizev(*min_hosts);
+            e.varint(*period_tolerance_secs);
+        }
+        CcModel::Regression { model, scaler } => {
+            e.u8(1);
+            sections::write_regression_model(e, model);
+            sections::write_scaler(e, scaler);
+        }
+    }
+    match &cfg.sim {
+        SimScorer::Additive { scorer, threshold, correlation_window_secs } => {
+            e.u8(0);
+            sections::write_additive(e, scorer);
+            e.f64(*threshold);
+            e.varint(*correlation_window_secs);
+        }
+        SimScorer::Regression { model, scaler } => {
+            e.u8(1);
+            sections::write_regression_model(e, model);
+            sections::write_scaler(e, scaler);
+        }
+    }
+    e.usizev(cfg.bp.max_iterations);
+    match &cfg.whois {
+        None => e.bool(false),
+        Some(whois) => {
+            e.bool(true);
+            sections::write_whois(e, whois);
+        }
+    }
+    e.f64(cfg.whois_defaults.0);
+    e.f64(cfg.whois_defaults.1);
+    e.usizev(cfg.soc_seed_domains.len());
+    for seed in &cfg.soc_seed_domains {
+        e.str(seed);
+    }
+    e.bool(cfg.auto_investigate);
+    e.usizev(cfg.parallelism);
+    e.usizev(cfg.parallel_threshold);
+    e.usizev(cfg.ingest_chunk_records);
+    e.opt_varint(cfg.bootstrap_days.map(u64::from));
+    e.opt_varint(cfg.retain_days.map(|d| d as u64));
+}
+
+fn read_config(d: &mut Decoder<'_>) -> StoreResult<EngineConfig> {
+    let pipeline = PipelineConfig {
+        fold_level: d.usizev()?,
+        unpopular_threshold: d.usizev()?,
+        rare_ua_threshold: d.usizev()?,
+    };
+    let automation = sections::read_automation(d)?;
+    let cc_model = match d.u8()? {
+        0 => CcModel::LanlHeuristic { min_hosts: d.usizev()?, period_tolerance_secs: d.varint()? },
+        1 => CcModel::Regression {
+            model: sections::read_regression_model(d)?,
+            scaler: sections::read_scaler(d)?,
+        },
+        b => return Err(StoreError::corrupt(format!("unknown C&C model tag {b}"))),
+    };
+    if let CcModel::Regression { model, scaler } = &cc_model {
+        if scaler.n_features() != model.fit().n_features() {
+            return Err(StoreError::corrupt("C&C scaler/model feature count mismatch"));
+        }
+    }
+    let sim = match d.u8()? {
+        0 => SimScorer::Additive {
+            scorer: sections::read_additive(d)?,
+            threshold: d.f64()?,
+            correlation_window_secs: d.varint()?,
+        },
+        1 => {
+            let model = sections::read_regression_model(d)?;
+            let scaler = sections::read_scaler(d)?;
+            if scaler.n_features() != model.fit().n_features() {
+                return Err(StoreError::corrupt("similarity scaler/model feature count mismatch"));
+            }
+            SimScorer::Regression { model, scaler }
+        }
+        b => return Err(StoreError::corrupt(format!("unknown similarity scorer tag {b}"))),
+    };
+    let bp = BpConfig { max_iterations: d.usizev()? };
+    let whois = if d.bool()? { Some(sections::read_whois(d)?) } else { None };
+    let whois_defaults = (d.f64()?, d.f64()?);
+    let n = d.seq_len(1)?;
+    let mut soc_seed_domains = Vec::with_capacity(n.min(64 * 1024));
+    for _ in 0..n {
+        soc_seed_domains.push(d.str()?);
+    }
+    let auto_investigate = d.bool()?;
+    let parallelism = d.usizev()?;
+    let parallel_threshold = d.usizev()?;
+    let ingest_chunk_records = d.usizev()?;
+    let bootstrap_days = match d.opt_varint()? {
+        None => None,
+        Some(v) => Some(
+            u32::try_from(v)
+                .map_err(|_| StoreError::corrupt("bootstrap_days override exceeds u32"))?,
+        ),
+    };
+    let retain_days = match d.opt_varint()? {
+        None => None,
+        Some(v) => {
+            Some(usize::try_from(v).map_err(|_| StoreError::corrupt("retain_days exceeds usize"))?)
+        }
+    };
+    Ok(EngineConfig {
+        pipeline,
+        automation,
+        cc_model,
+        sim,
+        bp,
+        whois,
+        whois_defaults,
+        soc_seed_domains,
+        auto_investigate,
+        parallelism,
+        parallel_threshold,
+        ingest_chunk_records,
+        bootstrap_days,
+        retain_days,
+    })
+}
+
+// -- day reports ------------------------------------------------------------
+
+fn write_day_report(e: &mut Encoder, report: &DayReport) {
+    e.u32v(report.day.index());
+    e.bool(report.bootstrap);
+    let s = &report.stages;
+    e.usizev(s.records_in);
+    e.usizev(s.parse_errors);
+    e.usizev(s.domains_all);
+    e.usizev(s.domains_after_internal_filter);
+    e.usizev(s.domains_after_server_filter);
+    e.usizev(s.new_destinations);
+    e.usizev(s.rare_destinations);
+    e.usizev(s.automated_domains);
+    e.usizev(s.cc_detections);
+    e.usizev(s.bp_iterations);
+    e.usizev(s.bp_labeled);
+    e.usizev(s.alerts_emitted);
+    e.usizev(s.sink_failures);
+    // wall_micros is deliberately not part of the format: it is wall-clock
+    // measurement noise, not engine state, and persisting it would make
+    // otherwise-identical states produce different snapshot bytes.
+    sections::write_opt_dns_counts(e, report.dns_counts.as_ref());
+    sections::write_opt_proxy_counts(e, report.proxy_counts.as_ref());
+    sections::write_opt_norm_counts(e, report.norm_counts.as_ref());
+}
+
+fn read_day_report(d: &mut Decoder<'_>) -> StoreResult<DayReport> {
+    let day = Day::new(d.u32v()?);
+    let bootstrap = d.bool()?;
+    let stages = StageCounters {
+        records_in: d.usizev()?,
+        parse_errors: d.usizev()?,
+        domains_all: d.usizev()?,
+        domains_after_internal_filter: d.usizev()?,
+        domains_after_server_filter: d.usizev()?,
+        new_destinations: d.usizev()?,
+        rare_destinations: d.usizev()?,
+        automated_domains: d.usizev()?,
+        cc_detections: d.usizev()?,
+        bp_iterations: d.usizev()?,
+        bp_labeled: d.usizev()?,
+        alerts_emitted: d.usizev()?,
+        sink_failures: d.usizev()?,
+        wall_micros: 0,
+    };
+    Ok(DayReport {
+        day,
+        bootstrap,
+        duplicate: false,
+        stages,
+        dns_counts: sections::read_opt_dns_counts(d)?,
+        proxy_counts: sections::read_opt_proxy_counts(d)?,
+        norm_counts: sections::read_opt_norm_counts(d)?,
+        cc_candidates: Vec::new(),
+        alerts: Vec::new(),
+        outcome: None,
+    })
+}
+
+// -- engine helpers ----------------------------------------------------------
+
+impl Engine {
+    /// Re-interns the configured SOC seed names into the (restored) folded
+    /// namespace; see [`EngineBuilder::restore`].
+    pub(crate) fn reintern_soc_seeds(&mut self) {
+        self.soc_seed_syms =
+            self.cfg.soc_seed_domains.iter().map(|n| self.pipeline.intern_seed(n)).collect();
+    }
+}

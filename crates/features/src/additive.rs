@@ -83,6 +83,11 @@ impl AdditiveScorer {
     /// The LANL threshold `T_s = 0.25` chosen on the training campaigns.
     pub const PAPER_THRESHOLD: f64 = 0.25;
 
+    /// The connectivity saturation cap.
+    pub fn conn_cap(&self) -> u32 {
+        self.conn_cap
+    }
+
     /// Scores a candidate domain.
     ///
     /// `connectivity` is the number of distinct internal hosts contacting

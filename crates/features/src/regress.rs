@@ -88,6 +88,38 @@ impl Fit {
         self.t_stat(i).abs() >= 2.0
     }
 
+    /// Standard error of feature `i`'s coefficient (zero-based, excluding
+    /// the intercept).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn std_error(&self, i: usize) -> f64 {
+        self.std_errors[i + 1]
+    }
+
+    /// Standard error of the intercept.
+    pub fn intercept_std_error(&self) -> f64 {
+        self.std_errors[0]
+    }
+
+    /// Reassembles a fit from its raw parts (`beta` and `std_errors` laid
+    /// out intercept-first) — the persistence hook used by
+    /// `earlybird-store`. Returns `None` when the parts are inconsistent
+    /// (mismatched lengths or no intercept), so corrupt snapshots surface
+    /// as errors instead of panics.
+    pub fn from_parts(
+        beta: Vec<f64>,
+        std_errors: Vec<f64>,
+        r_squared: f64,
+        n: usize,
+    ) -> Option<Self> {
+        if beta.is_empty() || beta.len() != std_errors.len() {
+            return None;
+        }
+        Some(Fit { beta, std_errors, r_squared, n })
+    }
+
     /// Coefficient of determination R².
     pub fn r_squared(&self) -> f64 {
         self.r_squared

@@ -55,6 +55,26 @@ impl FeatureScaler {
         self.mins.len()
     }
 
+    /// Per-feature training minima.
+    pub fn mins(&self) -> &[f64] {
+        &self.mins
+    }
+
+    /// Per-feature training maxima.
+    pub fn maxs(&self) -> &[f64] {
+        &self.maxs
+    }
+
+    /// Reassembles a scaler from stored bounds — the persistence hook used
+    /// by `earlybird-store`. Returns `None` when the bound vectors differ
+    /// in length.
+    pub fn from_bounds(mins: Vec<f64>, maxs: Vec<f64>) -> Option<Self> {
+        if mins.len() != maxs.len() {
+            return None;
+        }
+        Some(FeatureScaler { mins, maxs })
+    }
+
     /// Scales a single row to `[0, 1]` per feature, clamping values outside
     /// the training range. Constant features map to `0`.
     ///

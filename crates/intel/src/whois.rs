@@ -114,6 +114,25 @@ impl WhoisRegistry {
         self.records.get(domain).copied().flatten()
     }
 
+    /// All records sorted by domain name — the persistence hook used by
+    /// `earlybird-store` (`None` marks an unparseable entry).
+    pub fn snapshot(&self) -> Vec<(String, Option<Registration>)> {
+        let mut entries: Vec<(String, Option<Registration>)> =
+            self.records.iter().map(|(name, reg)| (name.clone(), *reg)).collect();
+        entries.sort_unstable_by(|(a, _), (b, _)| a.cmp(b));
+        entries
+    }
+
+    /// Reassembles a registry from snapshot entries. Unlike
+    /// [`WhoisRegistry::register`], this accepts entries verbatim and never
+    /// panics — lookups on odd intervals saturate rather than underflow, so
+    /// a hostile snapshot can at worst mis-age a domain it controls.
+    pub fn from_snapshot(
+        entries: impl IntoIterator<Item = (String, Option<Registration>)>,
+    ) -> Self {
+        WhoisRegistry { records: entries.into_iter().collect() }
+    }
+
     /// Number of domains with any record (parseable or not).
     pub fn len(&self) -> usize {
         self.records.len()

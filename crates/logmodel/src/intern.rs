@@ -59,6 +59,14 @@ impl<T> Symbol<T> {
     pub const fn raw(self) -> u32 {
         self.raw
     }
+
+    /// Rebuilds a symbol from its raw index — the persistence hook used by
+    /// `earlybird-store` when decoding snapshots. The index is only
+    /// meaningful against the interner whose contents were restored
+    /// alongside it.
+    pub const fn from_raw(raw: u32) -> Self {
+        Symbol { raw, _tag: PhantomData }
+    }
 }
 
 // Manual impls: deriving would wrongly bound `T`.
@@ -178,6 +186,42 @@ impl<T> TypedInterner<T> {
     /// Snapshot of all interned strings, indexed by raw symbol.
     pub fn snapshot(&self) -> Vec<Arc<str>> {
         self.inner.read().expect("interner poisoned").strings.clone()
+    }
+
+    /// Applies a restored snapshot slice beginning at symbol index
+    /// `start`, verifying that every string holds the symbol number it had
+    /// when the snapshot was written (append-only numbering is what keeps
+    /// restored symbols meaningful).
+    ///
+    /// The interner may already hold content — e.g. a dataset-shared
+    /// interner passed back to a restore — as long as it agrees with the
+    /// snapshot: indexes below the current length are *verified* against
+    /// the existing strings, indexes at or beyond it are interned and must
+    /// land on their recorded number.
+    ///
+    /// Returns `false` when `start` would leave a numbering gap, an
+    /// existing string disagrees with the snapshot, or a string is a
+    /// duplicate of one interned at a different index (either of which
+    /// would silently renumber symbols).
+    pub fn extend_from_snapshot(
+        &self,
+        start: usize,
+        strings: impl IntoIterator<Item = String>,
+    ) -> bool {
+        if start > self.len() {
+            return false;
+        }
+        for (k, s) in strings.into_iter().enumerate() {
+            let idx = start + k;
+            if idx < self.len() {
+                if &*self.resolve(Symbol::new(idx as u32)) != s.as_str() {
+                    return false;
+                }
+            } else if self.intern(&s).raw as usize != idx {
+                return false;
+            }
+        }
+        true
     }
 }
 

@@ -41,6 +41,23 @@ impl FoldTable {
         }
     }
 
+    /// Reassembles a fold table from restored interners (the persistence
+    /// hook used by `earlybird-store`). The memo cache starts empty and is
+    /// rebuilt lazily; because `folded` already holds every folded name in
+    /// its original numbering, re-folding reproduces identical symbols.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is zero.
+    pub fn from_interners(
+        raw: Arc<DomainInterner>,
+        folded: Arc<DomainInterner>,
+        level: usize,
+    ) -> Self {
+        assert!(level > 0, "fold level must be positive");
+        FoldTable { raw, folded, level, cache: RwLock::new(HashMap::new()) }
+    }
+
     /// The fold level (2 for enterprise data, 3 for anonymized LANL names).
     pub fn level(&self) -> usize {
         self.level

@@ -11,9 +11,16 @@ use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
 
 /// History of folded external destinations ever contacted by internal hosts.
+///
+/// Alongside the membership set, the history keeps its insertion order:
+/// appending is the only mutation, so checkpointing can persist just the
+/// tail added since the last snapshot (O(day), not O(history)) and restore
+/// by replaying the log.
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct DomainHistory {
     seen: HashSet<DomainSym>,
+    /// Domains in first-seen order; `seen` is exactly this set.
+    order: Vec<DomainSym>,
     days_ingested: u32,
 }
 
@@ -32,16 +39,39 @@ impl DomainHistory {
     /// ("updated at the end of each day to include all new domains from that
     /// day", §IV-A.)
     pub fn update<'a>(&mut self, contacts: impl IntoIterator<Item = &'a Contact>) {
-        for c in contacts {
-            self.seen.insert(c.domain);
-        }
-        self.days_ingested += 1;
+        self.update_domains(contacts.into_iter().map(|c| c.domain));
     }
 
     /// Ingests a pre-computed domain set (equivalent to [`Self::update`]).
     pub fn update_domains(&mut self, domains: impl IntoIterator<Item = DomainSym>) {
-        self.seen.extend(domains);
+        for domain in domains {
+            if self.seen.insert(domain) {
+                self.order.push(domain);
+            }
+        }
         self.days_ingested += 1;
+    }
+
+    /// The known domains in first-seen order — the persistence hook used by
+    /// `earlybird-store` (a checkpoint records `ordered()[watermark..]`).
+    pub fn ordered(&self) -> &[DomainSym] {
+        &self.order
+    }
+
+    /// Replays a restored tail of the insertion log and installs the
+    /// absolute ingested-day counter (restoring is not itself an ingested
+    /// day).
+    pub fn restore_extend(
+        &mut self,
+        domains: impl IntoIterator<Item = DomainSym>,
+        days_ingested: u32,
+    ) {
+        for domain in domains {
+            if self.seen.insert(domain) {
+                self.order.push(domain);
+            }
+        }
+        self.days_ingested = days_ingested;
     }
 
     /// Number of distinct domains ever seen.
@@ -68,6 +98,10 @@ impl DomainHistory {
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct UaHistory {
     hosts_by_ua: HashMap<UaSym, HashSet<HostId>>,
+    /// First sighting of each `(user agent, host)` pair, in insertion
+    /// order; `hosts_by_ua` is exactly this log folded into sets. Kept so
+    /// checkpoints can persist just the tail added since the last snapshot.
+    pair_log: Vec<(UaSym, HostId)>,
     rare_threshold: usize,
 }
 
@@ -79,7 +113,7 @@ impl UaHistory {
     /// Panics if `rare_threshold` is zero.
     pub fn new(rare_threshold: usize) -> Self {
         assert!(rare_threshold > 0, "rare threshold must be positive");
-        UaHistory { hosts_by_ua: HashMap::new(), rare_threshold }
+        UaHistory { hosts_by_ua: HashMap::new(), pair_log: Vec::new(), rare_threshold }
     }
 
     /// The paper's threshold of 10 hosts.
@@ -101,8 +135,18 @@ impl UaHistory {
     /// history.
     pub fn update_pairs(&mut self, pairs: impl IntoIterator<Item = (UaSym, HostId)>) {
         for (ua, host) in pairs {
-            self.hosts_by_ua.entry(ua).or_default().insert(host);
+            if self.hosts_by_ua.entry(ua).or_default().insert(host) {
+                self.pair_log.push((ua, host));
+            }
         }
+    }
+
+    /// First sightings of `(user agent, host)` pairs in insertion order —
+    /// the persistence hook used by `earlybird-store` (a checkpoint records
+    /// `pair_log()[watermark..]`; restoring replays the tail through
+    /// [`UaHistory::update_pairs`]).
+    pub fn pair_log(&self) -> &[(UaSym, HostId)] {
+        &self.pair_log
     }
 
     /// Whether `ua` is rare: used by fewer than the threshold of distinct

@@ -222,6 +222,144 @@ impl DayIndex {
     pub fn rare_edge_count(&self) -> usize {
         self.edge_series.len()
     }
+
+    /// Decomposes the index into a sorted, plain-data snapshot — the
+    /// persistence hook used by `earlybird-store`. Every collection is
+    /// emitted in key order so encoded bytes are deterministic.
+    pub fn to_snapshot(&self) -> DayIndexSnapshot {
+        let mut rare: Vec<DomainSym> = self.rare.iter().copied().collect();
+        rare.sort_unstable();
+        let mut domain_hosts: Vec<(DomainSym, Vec<HostId>)> = self
+            .domain_hosts
+            .iter()
+            .map(|(&d, hosts)| (d, hosts.iter().copied().collect()))
+            .collect();
+        domain_hosts.sort_unstable_by_key(|&(d, _)| d);
+        let mut edge_series: Vec<(EdgeKey, Vec<Timestamp>)> =
+            self.edge_series.iter().map(|(&k, v)| (k, v.clone())).collect();
+        edge_series.sort_unstable_by_key(|&(k, _)| k);
+        let mut first_contact: Vec<(EdgeKey, Timestamp)> =
+            self.first_contact.iter().map(|(&k, &v)| (k, v)).collect();
+        first_contact.sort_unstable_by_key(|&(k, _)| k);
+        let mut domain_ips: Vec<(DomainSym, Vec<Ipv4>)> =
+            self.domain_ips.iter().map(|(&d, ips)| (d, ips.iter().copied().collect())).collect();
+        domain_ips.sort_unstable_by_key(|&(d, _)| d);
+        let mut edge_http: Vec<(EdgeKey, EdgeHttpSnapshot)> = self
+            .edge_http
+            .iter()
+            .map(|(&k, s)| {
+                (
+                    k,
+                    EdgeHttpSnapshot {
+                        connections: s.connections,
+                        with_referer: s.with_referer,
+                        with_common_ua: s.with_common_ua,
+                        saw_http: s.saw_http,
+                    },
+                )
+            })
+            .collect();
+        edge_http.sort_unstable_by_key(|&(k, _)| k);
+        DayIndexSnapshot {
+            day: self.day,
+            new_count: self.new_count,
+            rare,
+            domain_hosts,
+            edge_series,
+            first_contact,
+            domain_ips,
+            edge_http,
+        }
+    }
+
+    /// Reassembles an index from a restored snapshot, re-deriving the
+    /// host→rare-domain view and the HTTP-availability flag exactly like
+    /// the original constructors did. Never panics: a semantically odd
+    /// snapshot yields an index whose accessors simply reflect it.
+    pub fn from_snapshot(snap: DayIndexSnapshot) -> Self {
+        let rare: HashSet<DomainSym> = snap.rare.into_iter().collect();
+        let domain_hosts: HashMap<DomainSym, BTreeSet<HostId>> = snap
+            .domain_hosts
+            .into_iter()
+            .map(|(d, hosts)| (d, hosts.into_iter().collect()))
+            .collect();
+        let edge_series: HashMap<EdgeKey, Vec<Timestamp>> = snap.edge_series.into_iter().collect();
+        let first_contact: HashMap<EdgeKey, Timestamp> = snap.first_contact.into_iter().collect();
+        let domain_ips: HashMap<DomainSym, BTreeSet<Ipv4>> =
+            snap.domain_ips.into_iter().map(|(d, ips)| (d, ips.into_iter().collect())).collect();
+        let edge_http: HashMap<EdgeKey, EdgeHttp> = snap
+            .edge_http
+            .into_iter()
+            .map(|(k, s)| {
+                (
+                    k,
+                    EdgeHttp {
+                        connections: s.connections,
+                        with_referer: s.with_referer,
+                        with_common_ua: s.with_common_ua,
+                        saw_http: s.saw_http,
+                    },
+                )
+            })
+            .collect();
+        let mut host_rare_domains: HashMap<HostId, BTreeSet<DomainSym>> = HashMap::new();
+        for &domain in &rare {
+            if let Some(hosts) = domain_hosts.get(&domain) {
+                for &host in hosts {
+                    host_rare_domains.entry(host).or_default().insert(domain);
+                }
+            }
+        }
+        let http_available = edge_http.values().any(|s| s.saw_http);
+        DayIndex {
+            day: snap.day,
+            http_available,
+            rare,
+            new_count: snap.new_count,
+            domain_hosts,
+            host_rare_domains,
+            edge_series,
+            first_contact,
+            domain_ips,
+            edge_http,
+        }
+    }
+}
+
+/// Per-edge HTTP statistics in plain-data form (see
+/// [`DayIndex::to_snapshot`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EdgeHttpSnapshot {
+    /// Connections over the edge.
+    pub connections: u32,
+    /// Connections that carried a Referer header.
+    pub with_referer: u32,
+    /// Connections that used a historically common user agent.
+    pub with_common_ua: u32,
+    /// Whether any connection carried HTTP context at all.
+    pub saw_http: bool,
+}
+
+/// A [`DayIndex`] decomposed into sorted, plain-data collections for
+/// serialization; rebuild with [`DayIndex::from_snapshot`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DayIndexSnapshot {
+    /// The indexed day.
+    pub day: Day,
+    /// New-destination count (pre-unpopularity filter).
+    pub new_count: usize,
+    /// Rare domains, sorted.
+    pub rare: Vec<DomainSym>,
+    /// Per-domain host sets, sorted by domain.
+    pub domain_hosts: Vec<(DomainSym, Vec<HostId>)>,
+    /// Per-rare-edge timestamp series (each ascending), sorted by edge.
+    pub edge_series: Vec<((HostId, DomainSym), Vec<Timestamp>)>,
+    /// First contact per edge, sorted by edge.
+    pub first_contact: Vec<((HostId, DomainSym), Timestamp)>,
+    /// Destination IPs per domain, sorted by domain.
+    pub domain_ips: Vec<(DomainSym, Vec<Ipv4>)>,
+    /// Per-rare-edge HTTP statistics, sorted by edge.
+    pub edge_http: Vec<((HostId, DomainSym), EdgeHttpSnapshot)>,
 }
 
 /// Incremental constructor of a [`DayIndex`] from contact chunks that may

@@ -57,7 +57,7 @@ pub mod reduce;
 pub use contact::{Contact, HttpContext};
 pub use fold::FoldTable;
 pub use history::{DomainHistory, UaHistory};
-pub use index::{DayIndex, DayIndexBuilder, EdgeKey};
+pub use index::{DayIndex, DayIndexBuilder, DayIndexSnapshot, EdgeHttpSnapshot, EdgeKey};
 pub use normalize::{normalize_proxy_chunk, normalize_proxy_day, NormalizationCounts};
 pub use rare::{RareDomains, RareSieve};
 pub use reduce::{

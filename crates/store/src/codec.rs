@@ -1,0 +1,344 @@
+//! The primitive wire codec: LEB128 varints, length-prefixed UTF-8
+//! strings, bit-exact little-endian `f64`s, and a CRC-32 used to seal each
+//! block.
+//!
+//! Sections are encoded into an in-memory [`Encoder`] buffer and decoded
+//! from a bounds-checked [`Decoder`] over the section payload. Neither side
+//! trusts the bytes: every read is range-checked and every structural
+//! surprise becomes a typed [`StoreError`](crate::StoreError) instead of a
+//! panic or an allocation proportional to an attacker-controlled length.
+
+use crate::error::{StoreError, StoreResult};
+
+// -- CRC-32 (IEEE 802.3, reflected, poly 0xEDB88320) ------------------------
+
+fn crc_table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, entry) in table.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            }
+            *entry = c;
+        }
+        table
+    })
+}
+
+/// Folds `bytes` into a running CRC-32 state (start from
+/// [`CRC_INIT`], finish with [`crc32_finish`]).
+pub fn crc32_update(state: u32, bytes: &[u8]) -> u32 {
+    let table = crc_table();
+    let mut c = state;
+    for &b in bytes {
+        c = table[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c
+}
+
+/// Initial CRC-32 state.
+pub const CRC_INIT: u32 = 0xFFFF_FFFF;
+
+/// Finalizes a CRC-32 state into the checksum value.
+pub fn crc32_finish(state: u32) -> u32 {
+    state ^ 0xFFFF_FFFF
+}
+
+/// One-shot CRC-32 of a byte slice.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    crc32_finish(crc32_update(CRC_INIT, bytes))
+}
+
+// -- encoding ---------------------------------------------------------------
+
+/// Append-only section encoder over an in-memory buffer.
+///
+/// Encoding is infallible (the buffer grows as needed); the buffer is
+/// handed to the frame layer which length-prefixes and checksums it.
+#[derive(Debug, Default)]
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    /// Creates an empty encoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes encoded so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been encoded.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Writes one raw byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Writes a bool as one byte (0/1).
+    pub fn bool(&mut self, v: bool) {
+        self.buf.push(v as u8);
+    }
+
+    /// Writes an unsigned LEB128 varint.
+    pub fn varint(&mut self, mut v: u64) {
+        loop {
+            let byte = (v & 0x7F) as u8;
+            v >>= 7;
+            if v == 0 {
+                self.buf.push(byte);
+                return;
+            }
+            self.buf.push(byte | 0x80);
+        }
+    }
+
+    /// Writes a `u32` as a varint.
+    pub fn u32v(&mut self, v: u32) {
+        self.varint(v as u64);
+    }
+
+    /// Writes a `usize` as a varint.
+    pub fn usizev(&mut self, v: usize) {
+        self.varint(v as u64);
+    }
+
+    /// Writes an `f64` bit-exactly (IEEE-754 bits, little-endian).
+    pub fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    /// Writes a length-prefixed UTF-8 string.
+    pub fn str(&mut self, s: &str) {
+        self.varint(s.len() as u64);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Writes `Some(v)`/`None` as a presence byte plus the encoded value.
+    pub fn opt_varint(&mut self, v: Option<u64>) {
+        match v {
+            Some(v) => {
+                self.bool(true);
+                self.varint(v);
+            }
+            None => self.bool(false),
+        }
+    }
+}
+
+// -- decoding ---------------------------------------------------------------
+
+/// Bounds-checked decoder over one section payload.
+///
+/// All reads fail with [`StoreError::Corrupt`] on overrun or malformed
+/// primitives; [`Decoder::finish`] additionally rejects trailing bytes so a
+/// short decode cannot silently ignore data.
+#[derive(Debug)]
+pub struct Decoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    section: &'static str,
+}
+
+impl<'a> Decoder<'a> {
+    /// Creates a decoder over a section payload; `section` names it in
+    /// error contexts.
+    pub fn new(buf: &'a [u8], section: &'static str) -> Self {
+        Decoder { buf, pos: 0, section }
+    }
+
+    fn overrun(&self, what: &str) -> StoreError {
+        StoreError::corrupt(format!("section `{}` overruns while reading {what}", self.section))
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Asserts the payload was fully consumed.
+    pub fn finish(self) -> StoreResult<()> {
+        if self.remaining() != 0 {
+            return Err(StoreError::corrupt(format!(
+                "section `{}` has {} trailing bytes",
+                self.section,
+                self.remaining()
+            )));
+        }
+        Ok(())
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> StoreResult<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(self.overrun(what));
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads one raw byte.
+    pub fn u8(&mut self) -> StoreResult<u8> {
+        Ok(self.take(1, "byte")?[0])
+    }
+
+    /// Reads a bool byte, rejecting values other than 0/1.
+    pub fn bool(&mut self) -> StoreResult<bool> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(StoreError::corrupt(format!(
+                "section `{}`: invalid bool byte {b:#04x}",
+                self.section
+            ))),
+        }
+    }
+
+    /// Reads an unsigned LEB128 varint (at most 10 bytes).
+    pub fn varint(&mut self) -> StoreResult<u64> {
+        let mut v: u64 = 0;
+        for shift in (0..64).step_by(7) {
+            let byte = self.take(1, "varint")?[0];
+            let low = (byte & 0x7F) as u64;
+            if shift == 63 && low > 1 {
+                break; // overflow past 64 bits
+            }
+            v |= low << shift;
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+        }
+        Err(StoreError::corrupt(format!("section `{}`: varint overflows u64", self.section)))
+    }
+
+    /// Reads a varint that must fit a `u32`.
+    pub fn u32v(&mut self) -> StoreResult<u32> {
+        let v = self.varint()?;
+        u32::try_from(v).map_err(|_| {
+            StoreError::corrupt(format!("section `{}`: value {v} exceeds u32", self.section))
+        })
+    }
+
+    /// Reads a varint that must fit a `usize`.
+    pub fn usizev(&mut self) -> StoreResult<usize> {
+        let v = self.varint()?;
+        usize::try_from(v).map_err(|_| {
+            StoreError::corrupt(format!("section `{}`: value {v} exceeds usize", self.section))
+        })
+    }
+
+    /// Reads a varint element count and sanity-checks it against the bytes
+    /// actually remaining (each element occupies at least `min_bytes`), so
+    /// a corrupted count cannot drive a huge allocation.
+    pub fn seq_len(&mut self, min_bytes: usize) -> StoreResult<usize> {
+        let n = self.usizev()?;
+        if n.checked_mul(min_bytes.max(1)).is_none_or(|need| need > self.remaining()) {
+            return Err(StoreError::corrupt(format!(
+                "section `{}`: sequence length {n} exceeds payload",
+                self.section
+            )));
+        }
+        Ok(n)
+    }
+
+    /// Reads a bit-exact `f64`.
+    pub fn f64(&mut self) -> StoreResult<f64> {
+        let bytes = self.take(8, "f64")?;
+        Ok(f64::from_bits(u64::from_le_bytes(bytes.try_into().expect("8 bytes"))))
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> StoreResult<String> {
+        let len = self.usizev()?;
+        let bytes = self.take(len, "string")?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| {
+            StoreError::corrupt(format!("section `{}`: string is not UTF-8", self.section))
+        })
+    }
+
+    /// Reads an optional varint written by [`Encoder::opt_varint`].
+    pub fn opt_varint(&mut self) -> StoreResult<Option<u64>> {
+        Ok(if self.bool()? { Some(self.varint()?) } else { None })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_roundtrips_across_ranges() {
+        let mut e = Encoder::new();
+        let values = [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX];
+        for &v in &values {
+            e.varint(v);
+        }
+        let bytes = e.into_bytes();
+        let mut d = Decoder::new(&bytes, "test");
+        for &v in &values {
+            assert_eq!(d.varint().unwrap(), v);
+        }
+        d.finish().unwrap();
+    }
+
+    #[test]
+    fn strings_and_floats_roundtrip() {
+        let mut e = Encoder::new();
+        e.str("héllo 🌍");
+        e.str("");
+        e.f64(-0.0);
+        e.f64(f64::NAN);
+        e.bool(true);
+        let bytes = e.into_bytes();
+        let mut d = Decoder::new(&bytes, "test");
+        assert_eq!(d.str().unwrap(), "héllo 🌍");
+        assert_eq!(d.str().unwrap(), "");
+        assert_eq!(d.f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert!(d.f64().unwrap().is_nan());
+        assert!(d.bool().unwrap());
+        d.finish().unwrap();
+    }
+
+    #[test]
+    fn overrun_and_trailing_bytes_are_typed_errors() {
+        let mut d = Decoder::new(&[0x80], "t");
+        assert!(matches!(d.varint(), Err(StoreError::Corrupt { .. })));
+        let d = Decoder::new(&[1, 2, 3], "t");
+        assert!(matches!(d.finish(), Err(StoreError::Corrupt { .. })));
+        // A declared length beyond the payload must not allocate.
+        let mut e = Encoder::new();
+        e.varint(u64::MAX - 1);
+        let bytes = e.into_bytes();
+        let mut d = Decoder::new(&bytes, "t");
+        assert!(matches!(d.str(), Err(StoreError::Corrupt { .. })));
+    }
+
+    #[test]
+    fn seq_len_rejects_oversized_counts() {
+        let mut e = Encoder::new();
+        e.varint(1_000_000);
+        let bytes = e.into_bytes();
+        let mut d = Decoder::new(&bytes, "t");
+        assert!(matches!(d.seq_len(4), Err(StoreError::Corrupt { .. })));
+    }
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        // The canonical IEEE test vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+}

@@ -1,0 +1,94 @@
+//! Typed failures of the snapshot layer.
+//!
+//! Every way a snapshot can be unusable — wrong file, future format,
+//! truncated write, flipped bit, or a payload that decodes but violates an
+//! engine invariant — surfaces as a distinct [`StoreError`] variant. The
+//! decoder never panics on untrusted bytes and never silently misloads.
+
+use std::fmt;
+
+/// Shorthand for results of checkpoint/restore operations.
+pub type StoreResult<T> = Result<T, StoreError>;
+
+/// A failure while writing or reading a snapshot stream.
+#[derive(Debug)]
+pub enum StoreError {
+    /// The underlying reader/writer failed.
+    Io(std::io::Error),
+    /// The stream does not start with the `EBSTORE1` magic — not a
+    /// snapshot, or one written by an incompatible future layout.
+    BadMagic,
+    /// The block was written by a newer format revision than this build
+    /// understands.
+    UnsupportedVersion {
+        /// Version found in the block header.
+        found: u16,
+        /// Newest version this build can read.
+        supported: u16,
+    },
+    /// The block's trailing CRC-32 does not match its contents: the bytes
+    /// were corrupted in storage or transit.
+    ChecksumMismatch {
+        /// Checksum recorded in the stream.
+        expected: u32,
+        /// Checksum recomputed over the bytes actually read.
+        found: u32,
+    },
+    /// The stream ended in the middle of a block — a torn or truncated
+    /// write.
+    Truncated {
+        /// What was being read when the bytes ran out.
+        context: &'static str,
+    },
+    /// The bytes decoded but violate the format or an engine invariant
+    /// (wrong section order, out-of-range enum tag, non-contiguous ids,
+    /// invalid configuration, ...).
+    Corrupt {
+        /// What failed validation.
+        context: String,
+    },
+}
+
+impl StoreError {
+    /// Builds a [`StoreError::Corrupt`] with a formatted context.
+    pub fn corrupt(context: impl Into<String>) -> Self {
+        StoreError::Corrupt { context: context.into() }
+    }
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "snapshot i/o error: {e}"),
+            StoreError::BadMagic => f.write_str("not an earlybird snapshot (bad magic)"),
+            StoreError::UnsupportedVersion { found, supported } => {
+                write!(f, "snapshot format v{found} is newer than supported v{supported}")
+            }
+            StoreError::ChecksumMismatch { expected, found } => {
+                write!(
+                    f,
+                    "snapshot checksum mismatch: stored {expected:#010x}, computed {found:#010x}"
+                )
+            }
+            StoreError::Truncated { context } => {
+                write!(f, "snapshot truncated while reading {context}")
+            }
+            StoreError::Corrupt { context } => write!(f, "snapshot corrupt: {context}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}

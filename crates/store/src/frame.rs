@@ -1,0 +1,390 @@
+//! The block/frame layer of the snapshot stream.
+//!
+//! A store stream is a sequence of self-delimiting **blocks**, each sealed
+//! by a CRC-32:
+//!
+//! ```text
+//! block := MAGIC "EBSTORE1" | version varint | kind u8
+//!          | section*                  (tag u8 | len varint | payload)
+//!          | END tag (0u8) | crc32 (4 bytes LE, over magic..END)
+//! ```
+//!
+//! The first block of a stream is a [`BlockKind::Full`] snapshot; any
+//! number of [`BlockKind::DaySegment`] blocks may follow (the incremental
+//! `checkpoint_day` path appends them). Sections appear in a fixed order;
+//! a missing, reordered, or unknown section is a typed
+//! [`StoreError::Corrupt`]. Truncation anywhere inside a block is
+//! [`StoreError::Truncated`]; a bit flip anywhere is caught by the CRC at
+//! the latest.
+
+use crate::codec::{crc32_finish, crc32_update, Decoder, Encoder, CRC_INIT};
+use crate::error::{StoreError, StoreResult};
+use std::io::{Read, Write};
+
+/// Magic bytes opening every block.
+pub const MAGIC: [u8; 8] = *b"EBSTORE1";
+
+/// Newest snapshot format revision this build reads and writes.
+pub const FORMAT_VERSION: u16 = 1;
+
+/// What a block contains.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BlockKind {
+    /// A complete engine snapshot (config + all mutable state).
+    Full,
+    /// An incremental segment: state appended since the previous block.
+    DaySegment,
+}
+
+impl BlockKind {
+    fn to_byte(self) -> u8 {
+        match self {
+            BlockKind::Full => 1,
+            BlockKind::DaySegment => 2,
+        }
+    }
+
+    fn from_byte(b: u8) -> StoreResult<Self> {
+        match b {
+            1 => Ok(BlockKind::Full),
+            2 => Ok(BlockKind::DaySegment),
+            b => Err(StoreError::corrupt(format!("unknown block kind {b:#04x}"))),
+        }
+    }
+}
+
+/// The sections of a block, in their mandatory order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum SectionTag {
+    /// Engine configuration (full blocks only).
+    Config = 1,
+    /// Dataset metadata (full blocks only).
+    Meta = 2,
+    /// Interner contents/deltas (raw, folded, user agents, paths).
+    Interners = 3,
+    /// Host-mapper contents/delta.
+    Hosts = 4,
+    /// Cross-day histories (domain profile + user agents).
+    History = 5,
+    /// Per-day counter reports.
+    Reports = 6,
+    /// Retained day products (contact indexes).
+    Products = 7,
+    /// Alert sequence counter.
+    Sequence = 8,
+}
+
+impl SectionTag {
+    /// The section's name (for error contexts).
+    pub const fn name(self) -> &'static str {
+        match self {
+            SectionTag::Config => "config",
+            SectionTag::Meta => "meta",
+            SectionTag::Interners => "interners",
+            SectionTag::Hosts => "hosts",
+            SectionTag::History => "history",
+            SectionTag::Reports => "reports",
+            SectionTag::Products => "products",
+            SectionTag::Sequence => "sequence",
+        }
+    }
+}
+
+const END_TAG: u8 = 0;
+
+/// Summary of one written block, returned by `Engine::checkpoint` /
+/// `Engine::checkpoint_day`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CheckpointMeta {
+    /// Whether a full snapshot or an incremental segment was written.
+    pub kind: BlockKind,
+    /// Format revision written.
+    pub format_version: u16,
+    /// Total bytes of the block, including magic and checksum.
+    pub bytes: u64,
+    /// The block's CRC-32.
+    pub checksum: u32,
+    /// Ingested-day reports persisted in this block.
+    pub days: usize,
+    /// Retained day indexes persisted in this block.
+    pub retained_days: usize,
+}
+
+// -- writing ----------------------------------------------------------------
+
+/// Streams one block to a writer, checksumming as it goes.
+#[derive(Debug)]
+pub struct BlockWriter<'w, W: Write> {
+    out: &'w mut W,
+    crc: u32,
+    bytes: u64,
+}
+
+impl<'w, W: Write> BlockWriter<'w, W> {
+    /// Opens a block: writes magic, format version, and kind.
+    pub fn begin(out: &'w mut W, kind: BlockKind) -> StoreResult<Self> {
+        let mut w = BlockWriter { out, crc: CRC_INIT, bytes: 0 };
+        w.write(&MAGIC)?;
+        let mut header = Encoder::new();
+        header.varint(FORMAT_VERSION as u64);
+        header.u8(kind.to_byte());
+        w.write(&header.into_bytes())?;
+        Ok(w)
+    }
+
+    fn write(&mut self, bytes: &[u8]) -> StoreResult<()> {
+        self.out.write_all(bytes)?;
+        self.crc = crc32_update(self.crc, bytes);
+        self.bytes += bytes.len() as u64;
+        Ok(())
+    }
+
+    /// Writes one section frame from an encoded payload.
+    pub fn section(&mut self, tag: SectionTag, payload: Encoder) -> StoreResult<()> {
+        let payload = payload.into_bytes();
+        let mut header = Encoder::new();
+        header.u8(tag as u8);
+        header.varint(payload.len() as u64);
+        self.write(&header.into_bytes())?;
+        self.write(&payload)
+    }
+
+    /// Seals the block: end marker plus CRC-32. Returns `(bytes, crc)`.
+    pub fn finish(mut self) -> StoreResult<(u64, u32)> {
+        self.write(&[END_TAG])?;
+        let crc = crc32_finish(self.crc);
+        self.out.write_all(&crc.to_le_bytes())?;
+        self.out.flush()?;
+        Ok((self.bytes + 4, crc))
+    }
+}
+
+// -- reading ----------------------------------------------------------------
+
+/// Reads one block from a reader, verifying structure and checksum.
+#[derive(Debug)]
+pub struct BlockReader<'r, R: Read> {
+    input: &'r mut R,
+    crc: u32,
+    kind: BlockKind,
+}
+
+impl<'r, R: Read> BlockReader<'r, R> {
+    /// Opens the next block. Returns `Ok(None)` on a clean end of stream
+    /// (zero bytes before the next magic).
+    pub fn next_block(input: &'r mut R) -> StoreResult<Option<Self>> {
+        let mut magic = [0u8; 8];
+        let mut filled = 0;
+        while filled < magic.len() {
+            match input.read(&mut magic[filled..]) {
+                Ok(0) if filled == 0 => return Ok(None),
+                Ok(0) => return Err(StoreError::Truncated { context: "block magic" }),
+                Ok(n) => filled += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e.into()),
+            }
+        }
+        if magic != MAGIC {
+            return Err(StoreError::BadMagic);
+        }
+        let mut r =
+            BlockReader { input, crc: crc32_update(CRC_INIT, &magic), kind: BlockKind::Full };
+        let version = r.read_varint("format version")?;
+        if version > FORMAT_VERSION as u64 {
+            return Err(StoreError::UnsupportedVersion {
+                found: version.min(u16::MAX as u64) as u16,
+                supported: FORMAT_VERSION,
+            });
+        }
+        let kind = BlockKind::from_byte(r.read_byte("block kind")?)?;
+        r.kind = kind;
+        Ok(Some(r))
+    }
+
+    /// What this block contains.
+    pub fn kind(&self) -> BlockKind {
+        self.kind
+    }
+
+    fn read_exact(&mut self, buf: &mut [u8], context: &'static str) -> StoreResult<()> {
+        self.input.read_exact(buf).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                StoreError::Truncated { context }
+            } else {
+                StoreError::Io(e)
+            }
+        })?;
+        self.crc = crc32_update(self.crc, buf);
+        Ok(())
+    }
+
+    fn read_byte(&mut self, context: &'static str) -> StoreResult<u8> {
+        let mut b = [0u8; 1];
+        self.read_exact(&mut b, context)?;
+        Ok(b[0])
+    }
+
+    fn read_varint(&mut self, context: &'static str) -> StoreResult<u64> {
+        let mut v: u64 = 0;
+        for shift in (0..64).step_by(7) {
+            let byte = self.read_byte(context)?;
+            let low = (byte & 0x7F) as u64;
+            if shift == 63 && low > 1 {
+                break;
+            }
+            v |= low << shift;
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+        }
+        Err(StoreError::corrupt(format!("varint overflows u64 while reading {context}")))
+    }
+
+    /// Reads the next section, which must carry `expected`'s tag, returning
+    /// its payload. The payload is read in bounded chunks so a corrupted
+    /// length cannot drive one huge allocation.
+    pub fn section(&mut self, expected: SectionTag) -> StoreResult<Vec<u8>> {
+        let tag = self.read_byte("section tag")?;
+        if tag != expected as u8 {
+            return Err(StoreError::corrupt(format!(
+                "expected section `{}` (tag {}), found tag {tag}",
+                expected.name(),
+                expected as u8
+            )));
+        }
+        let len = self.read_varint("section length")?;
+        let len = usize::try_from(len)
+            .map_err(|_| StoreError::corrupt(format!("section length {len} exceeds usize")))?;
+        let mut payload = Vec::new();
+        let mut left = len;
+        let mut chunk = [0u8; 64 * 1024];
+        while left > 0 {
+            let n = left.min(chunk.len());
+            self.read_exact(&mut chunk[..n], expected.name())?;
+            payload.extend_from_slice(&chunk[..n]);
+            left -= n;
+        }
+        Ok(payload)
+    }
+
+    /// Reads the end marker and verifies the block CRC.
+    pub fn finish(mut self) -> StoreResult<()> {
+        let tag = self.read_byte("end marker")?;
+        if tag != END_TAG {
+            return Err(StoreError::corrupt(format!("expected end marker, found tag {tag}")));
+        }
+        let computed = crc32_finish(self.crc);
+        let mut stored = [0u8; 4];
+        self.input.read_exact(&mut stored).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                StoreError::Truncated { context: "block checksum" }
+            } else {
+                StoreError::Io(e)
+            }
+        })?;
+        let stored = u32::from_le_bytes(stored);
+        if stored != computed {
+            return Err(StoreError::ChecksumMismatch { expected: stored, found: computed });
+        }
+        Ok(())
+    }
+}
+
+/// Convenience: decodes a section payload with its name attached to error
+/// contexts.
+pub fn decoder(payload: &[u8], tag: SectionTag) -> Decoder<'_> {
+    Decoder::new(payload, tag.name())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_block() -> Vec<u8> {
+        let mut out = Vec::new();
+        let mut w = BlockWriter::begin(&mut out, BlockKind::Full).unwrap();
+        let mut e = Encoder::new();
+        e.str("payload");
+        w.section(SectionTag::Config, e).unwrap();
+        w.finish().unwrap();
+        out
+    }
+
+    #[test]
+    fn block_roundtrips() {
+        let bytes = tiny_block();
+        let mut cursor = std::io::Cursor::new(bytes);
+        let mut r = BlockReader::next_block(&mut cursor).unwrap().expect("one block");
+        assert_eq!(r.kind(), BlockKind::Full);
+        let payload = r.section(SectionTag::Config).unwrap();
+        let mut d = decoder(&payload, SectionTag::Config);
+        assert_eq!(d.str().unwrap(), "payload");
+        d.finish().unwrap();
+        r.finish().unwrap();
+        assert!(BlockReader::next_block(&mut cursor).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_detected() {
+        let bytes = tiny_block();
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x5A;
+            let mut cursor = std::io::Cursor::new(bad);
+            let outcome = (|| -> StoreResult<()> {
+                let Some(mut r) = BlockReader::next_block(&mut cursor)? else {
+                    return Err(StoreError::corrupt("no block"));
+                };
+                let payload = r.section(SectionTag::Config)?;
+                let mut d = decoder(&payload, SectionTag::Config);
+                let _ = d.str()?;
+                d.finish()?;
+                r.finish()
+            })();
+            assert!(outcome.is_err(), "flip at byte {i} must be detected");
+        }
+    }
+
+    #[test]
+    fn every_truncation_is_detected() {
+        let bytes = tiny_block();
+        for cut in 0..bytes.len() {
+            let mut cursor = std::io::Cursor::new(&bytes[..cut]);
+            let outcome = (|| -> StoreResult<bool> {
+                let Some(mut r) = BlockReader::next_block(&mut cursor)? else {
+                    return Ok(false);
+                };
+                let payload = r.section(SectionTag::Config)?;
+                let mut d = decoder(&payload, SectionTag::Config);
+                let _ = d.str()?;
+                d.finish()?;
+                r.finish()?;
+                Ok(true)
+            })();
+            match outcome {
+                Ok(false) if cut == 0 => {} // empty stream is a clean EOF
+                Ok(_) => panic!("truncation at {cut} must not restore"),
+                Err(StoreError::Truncated { .. }) => {}
+                Err(other) => panic!("truncation at {cut}: unexpected error {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_magic_and_future_version_are_typed() {
+        let mut bytes = tiny_block();
+        bytes[0] = b'X';
+        let mut cursor = std::io::Cursor::new(bytes);
+        assert!(matches!(BlockReader::next_block(&mut cursor), Err(StoreError::BadMagic)));
+
+        let mut out = Vec::new();
+        out.extend_from_slice(&MAGIC);
+        out.push(99); // version 99
+        let mut cursor = std::io::Cursor::new(out);
+        assert!(matches!(
+            BlockReader::next_block(&mut cursor),
+            Err(StoreError::UnsupportedVersion { found: 99, supported: FORMAT_VERSION })
+        ));
+    }
+}

@@ -1,0 +1,41 @@
+//! # earlybird-store
+//!
+//! Durable checkpoint/restore for the DSN'15 detection engine: a
+//! versioned, self-checking, hand-rolled binary snapshot format.
+//!
+//! The paper's detector is only as good as the months of history behind it
+//! — new-domain profiles, rare-UA host counts, per-day contact indexes,
+//! trained regression weights (§III-E, §IV). This crate makes that state
+//! survive a process restart:
+//!
+//! * [`codec`] — the primitive wire codec: LEB128 varints, length-prefixed
+//!   UTF-8 strings, bit-exact `f64`s; bounds-checked decoding that never
+//!   panics on untrusted bytes.
+//! * [`frame`] — the block layer: `EBSTORE1` magic, format version, a
+//!   fixed sequence of length-prefixed section frames, and a CRC-32 seal
+//!   per block. A store stream is one [`frame::BlockKind::Full`] snapshot
+//!   followed by any number of [`frame::BlockKind::DaySegment`] increments.
+//! * [`sections`] — component codecs for every piece of engine state
+//!   (interners, host map, histories, day indexes, models, WHOIS), written
+//!   against public snapshot hooks so the format survives internal
+//!   refactors.
+//! * [`StoreError`] — the typed failure surface: bad magic, future
+//!   version, checksum mismatch, truncation, and semantic corruption are
+//!   all distinct, and none of them panic.
+//!
+//! The user-facing API lives on the engine: `Engine::checkpoint` /
+//! `Engine::checkpoint_day` write blocks, `EngineBuilder::restore` reads a
+//! stream back into a cold engine whose continued operation is
+//! bit-identical to one that never restarted.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+mod error;
+pub mod frame;
+pub mod sections;
+
+pub use codec::{crc32, Decoder, Encoder};
+pub use error::{StoreError, StoreResult};
+pub use frame::{BlockKind, BlockReader, BlockWriter, CheckpointMeta, SectionTag, FORMAT_VERSION};

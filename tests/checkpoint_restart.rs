@@ -1,0 +1,432 @@
+//! Cold-restart equivalence of `Engine::checkpoint` / `checkpoint_day` /
+//! `EngineBuilder::restore`: ingest days `1..N`, checkpoint, restore into a
+//! fresh engine, ingest days `N+1..M` — reports, alerts, and sink sequences
+//! must be **bit-identical** to an uninterrupted run, on both the LANL DNS
+//! suite and the enterprise proxy suite, through both the full-snapshot and
+//! the incremental per-day segment paths.
+
+use earlybird::engine::{
+    Alert, CheckpointMeta, CollectedAlerts, DayBatch, DayReport, Engine, EngineBuilder,
+    StageCounters, StoreError,
+};
+use earlybird::logmodel::Day;
+use earlybird::synthgen::ac::{AcConfig, AcGenerator, AcWorld};
+use earlybird::synthgen::lanl::{LanlChallenge, LanlConfig, LanlGenerator};
+use earlybird_core::{CcModel, SimScorer};
+use earlybird_engine::CollectingSink;
+use earlybird_features::{FeatureScaler, LinearRegression, RegressionModel, CC_FEATURE_NAMES};
+use std::sync::Arc;
+
+fn strip_wall(s: &StageCounters) -> StageCounters {
+    StageCounters { wall_micros: 0, ..*s }
+}
+
+fn assert_reports_equal(restored: &DayReport, reference: &DayReport, context: &str) {
+    assert_eq!(restored.day, reference.day, "{context}: day");
+    assert_eq!(restored.bootstrap, reference.bootstrap, "{context}: bootstrap flag");
+    assert_eq!(restored.duplicate, reference.duplicate, "{context}: duplicate flag");
+    assert_eq!(
+        strip_wall(&restored.stages),
+        strip_wall(&reference.stages),
+        "{context}: stage counters"
+    );
+    assert_eq!(restored.dns_counts, reference.dns_counts, "{context}: dns counts");
+    assert_eq!(restored.proxy_counts, reference.proxy_counts, "{context}: proxy counts");
+    assert_eq!(restored.norm_counts, reference.norm_counts, "{context}: norm counts");
+    assert_eq!(restored.cc_candidates, reference.cc_candidates, "{context}: candidates");
+    assert_eq!(restored.alerts, reference.alerts, "{context}: alerts");
+    assert_eq!(restored.outcome, reference.outcome, "{context}: BP outcome");
+}
+
+/// Cross-checks the restored engine against the reference engine on every
+/// retained-state accessor the detection layer reads.
+fn assert_engines_agree(restored: &Engine, reference: &Engine, context: &str) {
+    assert_eq!(
+        restored.days().collect::<Vec<_>>(),
+        reference.days().collect::<Vec<_>>(),
+        "{context}: retained days"
+    );
+    assert_eq!(restored.history().len(), reference.history().len(), "{context}: history");
+    assert_eq!(
+        restored.history().days_ingested(),
+        reference.history().days_ingested(),
+        "{context}: days ingested"
+    );
+    assert_eq!(restored.ua_history().len(), reference.ua_history().len(), "{context}: UA history");
+    for (a, b) in restored.reports().zip(reference.reports()) {
+        assert_eq!(a.day, b.day, "{context}: report order");
+        assert_eq!(strip_wall(&a.stages), strip_wall(&b.stages), "{context}: stored {:?}", a.day);
+    }
+    for day in reference.days() {
+        assert_eq!(
+            restored.cc_scores(day).unwrap(),
+            reference.cc_scores(day).unwrap(),
+            "{context}: re-scored candidates for {day:?}"
+        );
+    }
+}
+
+fn lanl_engine(challenge: &LanlChallenge) -> (Engine, CollectedAlerts) {
+    let sink = CollectingSink::new();
+    let handle = sink.handle();
+    let engine = EngineBuilder::lanl()
+        .soc_seed("ioc.planted.c3")
+        .auto_investigate(true)
+        .sink(sink)
+        .build(Arc::clone(&challenge.dataset.domains), challenge.dataset.meta.clone())
+        .expect("valid config");
+    (engine, handle)
+}
+
+/// Full-snapshot cold restart on the LANL DNS suite.
+#[test]
+fn lanl_cold_restart_is_bit_identical() {
+    let challenge = LanlGenerator::new(LanlConfig::tiny()).generate();
+    let split = (challenge.dataset.meta.bootstrap_days + 3) as usize;
+
+    // Reference: one engine, never restarted.
+    let (mut reference, ref_alerts) = lanl_engine(&challenge);
+    let mut ref_reports = Vec::new();
+    for day in &challenge.dataset.days {
+        ref_reports.push(reference.ingest_day(DayBatch::Dns(day)));
+    }
+
+    // Interrupted: ingest the prefix, checkpoint, drop the engine.
+    let mut snapshot = Vec::new();
+    let meta: CheckpointMeta;
+    {
+        let (mut engine, _alerts) = lanl_engine(&challenge);
+        for day in &challenge.dataset.days[..split] {
+            engine.ingest_day(DayBatch::Dns(day));
+        }
+        meta = engine.checkpoint(&mut snapshot).expect("checkpoint succeeds");
+    }
+    assert_eq!(meta.days, split, "every ingested day persisted");
+    assert!(meta.bytes > 0 && meta.bytes == snapshot.len() as u64);
+
+    // Cold restart: fresh process, fresh sink; only perf knobs and sinks
+    // come from the builder.
+    let sink = CollectingSink::new();
+    let restored_alerts = sink.handle();
+    let mut restored = EngineBuilder::lanl()
+        .parallelism(3)
+        .parallel_threshold(1)
+        .sink(sink)
+        .restore(&mut snapshot.as_slice())
+        .expect("snapshot restores");
+
+    // Continue ingesting; every report must match the uninterrupted run.
+    for (i, day) in challenge.dataset.days[split..].iter().enumerate() {
+        let report = restored.ingest_day(DayBatch::Dns(day));
+        assert_reports_equal(&report, &ref_reports[split + i], &format!("{:?}", day.day));
+    }
+    assert_engines_agree(&restored, &reference, "post-restart");
+
+    // The restored sink stream is exactly the uninterrupted stream's
+    // suffix — sequence numbers included, because the alert counter is
+    // part of the snapshot.
+    let split_day = Day::new(split as u32);
+    let expected_suffix: Vec<Alert> =
+        ref_alerts.snapshot().into_iter().filter(|a| a.day >= split_day).collect();
+    assert!(!expected_suffix.is_empty(), "suite must alert after the split");
+    assert_eq!(restored_alerts.snapshot(), expected_suffix, "sink sequence bit-identical");
+
+    // Investigations on pre-checkpoint days replay identically too.
+    for campaign in &challenge.campaigns {
+        let inv =
+            earlybird::engine::Investigation::from_hint_hosts(campaign.hint_hosts.iter().copied());
+        let a = restored.investigate(campaign.day, inv.clone()).unwrap();
+        let b = reference.investigate(campaign.day, inv).unwrap();
+        assert_eq!(a.outcome, b.outcome, "campaign on {:?}", campaign.day);
+    }
+}
+
+/// The incremental `checkpoint_day` segment path restores equivalently to a
+/// full snapshot: one full block at the bootstrap boundary, then one
+/// appended segment per ingested day.
+#[test]
+fn lanl_incremental_segments_restore_equivalently() {
+    let challenge = LanlGenerator::new(LanlConfig::tiny()).generate();
+    let boot = challenge.dataset.meta.bootstrap_days as usize;
+    let split = boot + 4;
+
+    let (mut reference, ref_alerts) = lanl_engine(&challenge);
+    let mut ref_reports = Vec::new();
+    for day in &challenge.dataset.days {
+        ref_reports.push(reference.ingest_day(DayBatch::Dns(day)));
+    }
+
+    // Daily cycle: full snapshot once, then O(day) segments appended to the
+    // same stream.
+    let mut stream = Vec::new();
+    let full_size: usize;
+    let mut segment_sizes = Vec::new();
+    {
+        let (mut engine, _alerts) = lanl_engine(&challenge);
+        for day in &challenge.dataset.days[..boot] {
+            engine.ingest_day(DayBatch::Dns(day));
+        }
+        full_size = engine.checkpoint(&mut stream).expect("full checkpoint").bytes as usize;
+        for day in &challenge.dataset.days[boot..split] {
+            engine.ingest_day(DayBatch::Dns(day));
+            let meta = engine.checkpoint_day(&mut stream).expect("segment");
+            assert_eq!(meta.days, 1, "exactly one new day per segment");
+            segment_sizes.push(meta.bytes as usize);
+        }
+    }
+    // O(day), not O(history): each segment is much smaller than the full
+    // snapshot it extends.
+    for &size in &segment_sizes {
+        assert!(
+            size < full_size / 2,
+            "segment ({size} B) should be far smaller than the full snapshot ({full_size} B)"
+        );
+    }
+
+    let sink = CollectingSink::new();
+    let restored_alerts = sink.handle();
+    let mut restored = EngineBuilder::lanl()
+        .sink(sink)
+        .restore(&mut stream.as_slice())
+        .expect("full + segments restore");
+
+    for (i, day) in challenge.dataset.days[split..].iter().enumerate() {
+        let report = restored.ingest_day(DayBatch::Dns(day));
+        assert_reports_equal(&report, &ref_reports[split + i], &format!("{:?}", day.day));
+    }
+    assert_engines_agree(&restored, &reference, "segments");
+
+    let split_day = Day::new(split as u32);
+    let expected_suffix: Vec<Alert> =
+        ref_alerts.snapshot().into_iter().filter(|a| a.day >= split_day).collect();
+    assert_eq!(restored_alerts.snapshot(), expected_suffix, "segment-path sink sequence");
+}
+
+fn ac_engine(world: &AcWorld) -> (Engine, CollectedAlerts) {
+    let sink = CollectingSink::new();
+    let handle = sink.handle();
+    let engine = EngineBuilder::enterprise()
+        .whois(world.intel.whois.clone())
+        .proxy_interners(Arc::clone(&world.dataset.uas), Arc::clone(&world.dataset.paths))
+        .auto_investigate(true)
+        .sink(sink)
+        .build(Arc::clone(&world.dataset.domains), world.dataset.meta.clone())
+        .expect("valid config");
+    (engine, handle)
+}
+
+/// Cold restart on the enterprise proxy suite (normalization, DHCP leases,
+/// HTTP context, rare-UA history, WHOIS registry all in the snapshot).
+#[test]
+fn enterprise_proxy_cold_restart_is_bit_identical() {
+    let world = AcGenerator::new(AcConfig::tiny()).generate();
+    let meta = &world.dataset.meta;
+    // Cover the bootstrap/operation boundary plus several operation days,
+    // splitting in the middle of the operation window.
+    let last = (meta.bootstrap_days + 8).min(meta.total_days) as usize;
+    let split = (meta.bootstrap_days + 4) as usize;
+
+    let (mut reference, ref_alerts) = ac_engine(&world);
+    let mut ref_reports = Vec::new();
+    for day in &world.dataset.days[..last] {
+        ref_reports.push(reference.ingest_day(DayBatch::Proxy { day, dhcp: &world.dataset.dhcp }));
+    }
+
+    let mut snapshot = Vec::new();
+    {
+        let (mut engine, _alerts) = ac_engine(&world);
+        for day in &world.dataset.days[..split] {
+            engine.ingest_day(DayBatch::Proxy { day, dhcp: &world.dataset.dhcp });
+        }
+        engine.checkpoint(&mut snapshot).expect("checkpoint succeeds");
+    }
+
+    // Restart sharing the dataset's interners: the snapshot contents are
+    // verified against them, and symbols the dataset minted after the
+    // checkpoint stay valid in the restored engine.
+    let sink = CollectingSink::new();
+    let restored_alerts = sink.handle();
+    let mut restored = EngineBuilder::enterprise()
+        .proxy_interners(Arc::clone(&world.dataset.uas), Arc::clone(&world.dataset.paths))
+        .sink(sink)
+        .restore_with_domains(Arc::clone(&world.dataset.domains), &mut snapshot.as_slice())
+        .expect("snapshot restores");
+    assert!(restored.config().whois.is_some(), "WHOIS registry restored");
+
+    for (i, day) in world.dataset.days[split..last].iter().enumerate() {
+        let report = restored.ingest_day(DayBatch::Proxy { day, dhcp: &world.dataset.dhcp });
+        assert_reports_equal(&report, &ref_reports[split + i], &format!("{:?}", day.day));
+    }
+    assert_engines_agree(&restored, &reference, "proxy");
+
+    let split_day = Day::new(split as u32);
+    let expected_suffix: Vec<Alert> =
+        ref_alerts.snapshot().into_iter().filter(|a| a.day >= split_day).collect();
+    assert_eq!(restored_alerts.snapshot(), expected_suffix, "proxy sink sequence");
+}
+
+/// Trained model parameters (regression weights, scaler bounds, WHOIS
+/// defaults) survive the round trip and keep scoring identically.
+#[test]
+fn trained_models_survive_checkpoint() {
+    // A toy trained configuration exercising the Regression variants.
+    let xs: Vec<Vec<f64>> = (0..20)
+        .map(|i| {
+            let no_ref = if i % 2 == 0 { 1.0 } else { 0.0 };
+            vec![1.0 + i as f64, 1.0, no_ref, 0.5, 100.0, 100.0 - i as f64]
+        })
+        .collect();
+    let y: Vec<f64> = (0..20).map(|i| if i % 2 == 0 { 1.0 } else { 0.0 }).collect();
+    let scaler = FeatureScaler::fit(&xs).unwrap();
+    let fit = LinearRegression::fit_ridge(&scaler.transform_all(&xs), &y, 1e-6).unwrap();
+    let model = RegressionModel::new(&CC_FEATURE_NAMES, fit, 0.37);
+    let cc_model = CcModel::Regression { model, scaler };
+
+    let challenge = LanlGenerator::new(LanlConfig::tiny()).generate();
+    let split = (challenge.dataset.meta.bootstrap_days + 2) as usize;
+    let mut engine = EngineBuilder::lanl()
+        .cc_model(cc_model.clone())
+        .whois_defaults((123.5, 42.25))
+        .build(Arc::clone(&challenge.dataset.domains), challenge.dataset.meta.clone())
+        .unwrap();
+    for day in &challenge.dataset.days[..split] {
+        engine.ingest_day(DayBatch::Dns(day));
+    }
+
+    let mut snapshot = Vec::new();
+    engine.checkpoint(&mut snapshot).unwrap();
+    let restored =
+        EngineBuilder::lanl().restore(&mut snapshot.as_slice()).expect("snapshot restores");
+
+    let (
+        CcModel::Regression { model: a, scaler: sa },
+        CcModel::Regression { model: b, scaler: sb },
+    ) = (&restored.config().cc_model, &cc_model)
+    else {
+        panic!("regression model expected after restore");
+    };
+    assert_eq!(a, b, "regression weights bit-identical");
+    assert_eq!(sa, sb, "scaler bounds bit-identical");
+    assert_eq!(restored.whois_defaults(), (123.5, 42.25));
+    match (&restored.config().sim, &engine.config().sim) {
+        (SimScorer::Additive { threshold: a, .. }, SimScorer::Additive { threshold: b, .. }) => {
+            assert_eq!(a, b)
+        }
+        other => panic!("additive sim scorer expected, got {other:?}"),
+    }
+    for day in engine.days() {
+        assert_eq!(restored.cc_scores(day).unwrap(), engine.cc_scores(day).unwrap());
+    }
+}
+
+/// Crash-recovery semantics: restore a snapshot taken after day N, then
+/// re-push day N (the "partially ingested day" of an at-least-once log
+/// replayer). The duplicate-day guard absorbs it silently — no double
+/// profile counting, no duplicate alerts — and day N+1 continues exactly.
+#[test]
+fn crash_recovery_replay_raises_no_double_alerts() {
+    let challenge = LanlGenerator::new(LanlConfig::tiny()).generate();
+    let split = (challenge.dataset.meta.bootstrap_days + 2) as usize;
+
+    let (mut reference, ref_alerts) = lanl_engine(&challenge);
+    let mut ref_reports = Vec::new();
+    for day in &challenge.dataset.days {
+        ref_reports.push(reference.ingest_day(DayBatch::Dns(day)));
+    }
+
+    let mut snapshot = Vec::new();
+    {
+        let (mut engine, _alerts) = lanl_engine(&challenge);
+        for day in &challenge.dataset.days[..split] {
+            engine.ingest_day(DayBatch::Dns(day));
+        }
+        engine.checkpoint(&mut snapshot).unwrap();
+    }
+
+    let sink = CollectingSink::new();
+    let restored_alerts = sink.handle();
+    let mut restored = EngineBuilder::lanl().sink(sink).restore(&mut snapshot.as_slice()).unwrap();
+
+    // At-least-once delivery: the log replayer re-feeds the last day the
+    // snapshot already covers.
+    let history_len = restored.history().len();
+    let replay = restored.ingest_day(DayBatch::Dns(&challenge.dataset.days[split - 1]));
+    assert!(replay.duplicate, "covered day must be flagged as a replay");
+    assert_eq!(restored.history().len(), history_len, "profiles not double-counted");
+    assert!(restored_alerts.snapshot().is_empty(), "no duplicate alerts on replay");
+
+    // The in-flight day then ingests fresh and matches the reference run.
+    let report = restored.ingest_day(DayBatch::Dns(&challenge.dataset.days[split]));
+    assert_reports_equal(&report, &ref_reports[split], "post-replay day");
+    let split_day = Day::new(split as u32);
+    let expected: Vec<Alert> =
+        ref_alerts.snapshot().into_iter().filter(|a| a.day == split_day).collect();
+    assert_eq!(restored_alerts.snapshot(), expected);
+}
+
+/// Deterministic bytes: checkpointing the same state twice — or a restored
+/// copy of it — produces identical snapshots.
+#[test]
+fn checkpoint_bytes_are_deterministic() {
+    let challenge = LanlGenerator::new(LanlConfig::tiny()).generate();
+    let split = (challenge.dataset.meta.bootstrap_days + 2) as usize;
+    let (mut engine, _alerts) = lanl_engine(&challenge);
+    for day in &challenge.dataset.days[..split] {
+        engine.ingest_day(DayBatch::Dns(day));
+    }
+
+    let mut a = Vec::new();
+    engine.checkpoint(&mut a).unwrap();
+    let mut b = Vec::new();
+    engine.checkpoint(&mut b).unwrap();
+    assert_eq!(a, b, "same state, same bytes");
+
+    // checkpoint → restore → checkpoint reproduces the stream bit-for-bit
+    // (the builder must mirror the perf knobs, which are snapshotted as
+    // written even though restore overrides them).
+    let mut restored = EngineBuilder::lanl()
+        .parallelism(engine.config().parallelism)
+        .parallel_threshold(engine.config().parallel_threshold)
+        .ingest_chunk_records(engine.config().ingest_chunk_records)
+        .restore(&mut a.as_slice())
+        .unwrap();
+    let mut c = Vec::new();
+    restored.checkpoint(&mut c).unwrap();
+    assert_eq!(a, c, "restored engine re-checkpoints identically");
+}
+
+/// A stream that does not open with a full snapshot is rejected with a
+/// typed error, as is appending a second full snapshot.
+#[test]
+fn malformed_streams_are_typed_errors() {
+    let challenge = LanlGenerator::new(LanlConfig::tiny()).generate();
+    let (mut engine, _alerts) = lanl_engine(&challenge);
+    engine.ingest_day(DayBatch::Dns(&challenge.dataset.days[0]));
+
+    // Segment-first stream.
+    let mut seg_only = Vec::new();
+    engine.checkpoint_day(&mut seg_only).unwrap();
+    let err = EngineBuilder::lanl().restore(&mut seg_only.as_slice()).unwrap_err();
+    assert!(matches!(err, StoreError::Corrupt { .. }), "{err}");
+
+    // Double-full stream.
+    let mut doubled = Vec::new();
+    engine.checkpoint(&mut doubled).unwrap();
+    engine.checkpoint(&mut doubled).unwrap();
+    let err = EngineBuilder::lanl().restore(&mut doubled.as_slice()).unwrap_err();
+    assert!(matches!(err, StoreError::Corrupt { .. }), "{err}");
+
+    // Empty stream.
+    let err = EngineBuilder::lanl().restore(&mut [].as_slice()).unwrap_err();
+    assert!(matches!(err, StoreError::Truncated { .. }), "{err}");
+
+    // A caller-shared interner whose contents disagree with the snapshot
+    // must be rejected, not silently renumbered.
+    let mut snap = Vec::new();
+    engine.checkpoint(&mut snap).unwrap();
+    let foreign = Arc::new(earlybird::logmodel::DomainInterner::new());
+    foreign.intern("unrelated.example");
+    let err =
+        EngineBuilder::lanl().restore_with_domains(foreign, &mut snap.as_slice()).unwrap_err();
+    assert!(matches!(err, StoreError::Corrupt { .. }), "{err}");
+}

@@ -200,3 +200,130 @@ fn alert_sinks_are_ordered_and_deterministic() {
     // Identical input produces the identical alert stream.
     assert_eq!(alerts_a, alerts_b);
 }
+
+/// `Engine::days()` / `Engine::reports()` guarantee ascending day order no
+/// matter how days were fed in (the documented sorted-by-day contract).
+#[test]
+fn days_and_reports_iterate_in_sorted_day_order() {
+    let challenge = LanlGenerator::new(LanlConfig::tiny()).generate();
+    let mut engine = EngineBuilder::lanl()
+        .bootstrap_days(0)
+        .build(Arc::clone(&challenge.dataset.domains), challenge.dataset.meta.clone())
+        .expect("valid config");
+    // Deliberately scrambled ingestion order.
+    for index in [4usize, 0, 6, 2, 5, 1, 3] {
+        engine.ingest_day(DayBatch::Dns(&challenge.dataset.days[index]));
+    }
+    let days: Vec<Day> = engine.days().collect();
+    assert_eq!(days.len(), 7);
+    assert!(days.windows(2).all(|w| w[0] < w[1]), "days() must ascend: {days:?}");
+    let report_days: Vec<Day> = engine.reports().map(|r| r.day).collect();
+    assert!(report_days.windows(2).all(|w| w[0] < w[1]), "reports() must ascend");
+    assert_eq!(report_days, days, "every scrambled day is an operation day here");
+}
+
+/// One panicking sink must not poison the registry or abort the daily
+/// cycle: it is detached with a typed `EngineError::SinkPanicked`, the
+/// surviving sinks receive every alert, and subsequent days keep flowing.
+#[test]
+fn panicking_sink_is_detached_without_aborting_the_cycle() {
+    use earlybird::engine::{AlertSink, EngineError};
+
+    struct ExplodingSink {
+        emitted: usize,
+    }
+    impl AlertSink for ExplodingSink {
+        fn emit(&mut self, alert: &Alert) {
+            self.emitted += 1;
+            if self.emitted >= 2 {
+                panic!("sink backend gone: {}", alert.name);
+            }
+        }
+    }
+
+    let challenge = LanlGenerator::new(LanlConfig::tiny()).generate();
+    let collecting = CollectingSink::new();
+    let survivors = collecting.handle();
+    let mut engine = EngineBuilder::lanl()
+        .auto_investigate(true)
+        .sink(ExplodingSink { emitted: 0 })
+        .sink(collecting)
+        .build(Arc::clone(&challenge.dataset.domains), challenge.dataset.meta.clone())
+        .expect("valid config");
+
+    // Quiet the default panic hook: the sink's panic is expected and caught.
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let mut failure_days = 0;
+    for day in &challenge.dataset.days {
+        let report = engine.try_ingest_day(DayBatch::Dns(day)).expect("cycle must complete");
+        failure_days += usize::from(report.stages.sink_failures > 0);
+    }
+    std::panic::set_hook(hook);
+
+    assert_eq!(failure_days, 1, "the sink dies once and only once");
+    let errors = engine.take_sink_errors();
+    assert_eq!(errors.len(), 1);
+    assert!(
+        matches!(&errors[0], EngineError::SinkPanicked { sink: 0, message } if message.contains("sink backend gone")),
+        "{errors:?}"
+    );
+    assert!(engine.take_sink_errors().is_empty(), "errors drain once");
+
+    // The surviving sink saw the full, uninterrupted alert stream.
+    let reference = {
+        let collecting = CollectingSink::new();
+        let handle = collecting.handle();
+        let mut engine = EngineBuilder::lanl()
+            .auto_investigate(true)
+            .sink(collecting)
+            .build(Arc::clone(&challenge.dataset.domains), challenge.dataset.meta.clone())
+            .expect("valid config");
+        for day in &challenge.dataset.days {
+            engine.ingest_day(DayBatch::Dns(day));
+        }
+        handle.snapshot()
+    };
+    assert!(!reference.is_empty());
+    assert_eq!(survivors.snapshot(), reference, "survivor delivery is unaffected");
+}
+
+/// A C&C scoring-worker panic surfaces as a typed `WorkerPanicked` error —
+/// even when every shard dies — and the day is still registered: the
+/// replay guard stays armed (histories were already updated) and the
+/// contact index remains available for post-mortem rescoring.
+#[test]
+fn scoring_worker_panic_is_typed_and_day_stays_replay_guarded() {
+    use earlybird::engine::EngineError;
+    use earlybird::features::{FeatureScaler, LinearRegression, RegressionModel};
+
+    // A model whose scaler expects 3 features (the C&C extractor produces
+    // 6) panics inside the scoring workers on the first automated domain.
+    let xs: Vec<Vec<f64>> = (0..8).map(|i| vec![i as f64, 1.0, (i % 2) as f64]).collect();
+    let fit = LinearRegression::fit_ridge(&xs, &[0.0; 8], 1e-3).unwrap();
+    let model = RegressionModel::new(&["a", "b", "c"], fit, 0.5);
+    let scaler = FeatureScaler::identity(3);
+
+    let domains = Arc::new(DomainInterner::new());
+    let day = dns_day(&domains);
+    let mut engine = EngineBuilder::lanl()
+        .cc_model(earlybird::core::CcModel::Regression { model, scaler })
+        .parallelism(2)
+        .parallel_threshold(1)
+        .build(Arc::clone(&domains), mixed_meta())
+        .expect("valid config");
+
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let err = engine.try_ingest_day(DayBatch::Dns(&day)).unwrap_err();
+    std::panic::set_hook(hook);
+    assert!(matches!(err, EngineError::WorkerPanicked(_)), "{err}");
+
+    // The day is registered despite the failed tail.
+    assert!(engine.report(Day::new(0)).is_some(), "report stored for replay guard");
+    assert!(engine.day_index(Day::new(0)).is_some(), "index retained for post-mortem");
+    let history_len = engine.history().len();
+    let replay = engine.try_ingest_day(DayBatch::Dns(&day)).expect("replay is a no-op");
+    assert!(replay.duplicate, "re-push absorbed by the replay guard");
+    assert_eq!(engine.history().len(), history_len, "profiles not double-counted");
+}
