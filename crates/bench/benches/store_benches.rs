@@ -5,9 +5,10 @@
 //! full-snapshot writer, the reader, and the incremental day-segment
 //! writer.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use earlybird_engine::{DayBatch, Engine, EngineBuilder};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use earlybird_engine::{compact_store, DayBatch, Engine, EngineBuilder, LifecycleConfig, StoreDir};
 use earlybird_synthgen::lanl::LanlChallenge;
+use std::path::PathBuf;
 use std::sync::Arc;
 
 /// Engine with the benchmark-scale LANL history ingested (bootstrap plus
@@ -110,5 +111,33 @@ fn bench_restore(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_checkpoint, bench_checkpoint_day, bench_restore);
+fn bench_compaction(c: &mut Criterion) {
+    let challenge = earlybird_bench::lanl_world();
+    let master: PathBuf =
+        std::env::temp_dir().join(format!("earlybird-bench-chain-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&master);
+    let chain_bytes = earlybird_bench::build_lanl_chain(&challenge, &master);
+    let scratch = master.with_extension("scratch");
+
+    // Chain bytes in, one full block out: restore into a scratch engine,
+    // re-snapshot, atomically swap the manifest.
+    let mut group = c.benchmark_group("store_compaction/lanl_small");
+    group.throughput(Throughput::Bytes(chain_bytes));
+    group.bench_function("fold_chain_mbps", |b| {
+        b.iter_batched(
+            || {
+                earlybird_bench::copy_store_dir(&master, &scratch);
+                StoreDir::open(&scratch, LifecycleConfig::default()).expect("open copy")
+            },
+            |mut dir| compact_store(&mut dir).expect("compaction succeeds"),
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+
+    let _ = std::fs::remove_dir_all(&master);
+    let _ = std::fs::remove_dir_all(&scratch);
+}
+
+criterion_group!(benches, bench_checkpoint, bench_checkpoint_day, bench_restore, bench_compaction);
 criterion_main!(benches);

@@ -1,0 +1,110 @@
+//! Machine-readable perf smoke pass for CI: measures ingest throughput,
+//! checkpoint/restore bandwidth, and store-compaction bandwidth on the
+//! benchmark-scale LANL world, and writes a small JSON report
+//! (`BENCH_4.json` by default) that CI uploads as a workflow artifact.
+//! The checked-in `ci/BENCH_4.json` is the baseline; comparing artifacts
+//! across PRs gives the perf trajectory.
+//!
+//! Numbers are medians of a few short runs — a smoke reading to catch
+//! collapses (10x regressions), not a calibrated benchmark; use
+//! `cargo bench` for real measurements.
+//!
+//! Usage: `perf_smoke [output.json]`
+
+use earlybird_engine::{compact_store, DayBatch, Engine, EngineBuilder, LifecycleConfig, StoreDir};
+use earlybird_synthgen::lanl::LanlChallenge;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Median seconds of `runs` executions of `f`.
+fn median_secs<F: FnMut()>(runs: usize, mut f: F) -> f64 {
+    let mut times: Vec<f64> = (0..runs)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+fn fresh_engine(challenge: &LanlChallenge) -> Engine {
+    EngineBuilder::lanl()
+        .build(Arc::clone(&challenge.dataset.domains), challenge.dataset.meta.clone())
+        .expect("valid config")
+}
+
+fn ingest_all(challenge: &LanlChallenge) -> (Engine, u64) {
+    let mut engine = fresh_engine(challenge);
+    let mut records = 0u64;
+    for day in &challenge.dataset.days {
+        records += day.queries.len() as u64;
+        engine.ingest_day(DayBatch::Dns(day));
+    }
+    (engine, records)
+}
+
+fn main() {
+    let out_path =
+        std::env::args().nth(1).map(PathBuf::from).unwrap_or_else(|| "BENCH_4.json".into());
+    let challenge = earlybird_bench::lanl_world();
+    let total_records: u64 = challenge.dataset.days.iter().map(|d| d.queries.len() as u64).sum();
+
+    // Ingest throughput: the full daily cycle over every day of the world.
+    let ingest_secs = median_secs(3, || {
+        let (engine, _) = ingest_all(&challenge);
+        drop(engine);
+    });
+    let ingest_records_per_sec = total_records as f64 / ingest_secs;
+
+    // Checkpoint / restore bandwidth over the fully loaded engine.
+    let (mut engine, _) = ingest_all(&challenge);
+    let mut snapshot = Vec::new();
+    engine.checkpoint(&mut snapshot).expect("checkpoint succeeds");
+    let snapshot_bytes = snapshot.len() as u64;
+    let checkpoint_secs = median_secs(5, || {
+        let mut out = Vec::with_capacity(snapshot.len());
+        engine.checkpoint(&mut out).expect("checkpoint succeeds");
+    });
+    let restore_secs = median_secs(5, || {
+        EngineBuilder::lanl().restore(&mut snapshot.as_slice()).expect("snapshot restores");
+    });
+    let mib = 1024.0 * 1024.0;
+    let checkpoint_mb_per_sec = snapshot_bytes as f64 / mib / checkpoint_secs;
+    let restore_mb_per_sec = snapshot_bytes as f64 / mib / restore_secs;
+
+    // Compaction bandwidth: fold a bootstrap full block + 6 day segments
+    // back into one full block (chain bytes in) — the same fixture the
+    // criterion compaction bench uses.
+    let master = std::env::temp_dir().join(format!("earlybird-perf-smoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&master);
+    let chain_bytes = earlybird_bench::build_lanl_chain(&challenge, &master);
+    let scratch = master.with_extension("scratch");
+    let compaction_secs = median_secs(3, || {
+        earlybird_bench::copy_store_dir(&master, &scratch);
+        let mut dir = StoreDir::open(&scratch, LifecycleConfig::default()).expect("open copy");
+        compact_store(&mut dir).expect("compaction succeeds");
+    });
+    let compaction_mb_per_sec = chain_bytes as f64 / mib / compaction_secs;
+    let _ = std::fs::remove_dir_all(&master);
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    let json = format!(
+        "{{\n  \"schema\": \"earlybird-perf-smoke-v1\",\n  \"suite\": \"lanl_small\",\n  \
+         \"ingest_records\": {total_records},\n  \
+         \"ingest_records_per_sec\": {ingest_records_per_sec:.0},\n  \
+         \"snapshot_bytes\": {snapshot_bytes},\n  \
+         \"checkpoint_mb_per_sec\": {checkpoint_mb_per_sec:.1},\n  \
+         \"restore_mb_per_sec\": {restore_mb_per_sec:.1},\n  \
+         \"compaction_chain_bytes\": {chain_bytes},\n  \
+         \"compaction_mb_per_sec\": {compaction_mb_per_sec:.1}\n}}\n"
+    );
+    if let Some(parent) = out_path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        std::fs::create_dir_all(parent).expect("create report directory");
+    }
+    std::fs::write(&out_path, &json).expect("write perf report");
+    println!("{json}");
+    println!("perf smoke written to {}", out_path.display());
+}

@@ -3,8 +3,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use earlybird_engine::{
+    CompactionTrigger, DayBatch, EngineBuilder, LifecycleConfig, RetentionPolicy, StoreDir,
+};
 use earlybird_synthgen::ac::{AcConfig, AcGenerator, AcWorld};
 use earlybird_synthgen::lanl::{LanlChallenge, LanlConfig, LanlGenerator};
+use std::path::Path;
+use std::sync::Arc;
 
 /// Generates the benchmark-scale LANL challenge (deterministic).
 pub fn lanl_world() -> LanlChallenge {
@@ -24,4 +29,48 @@ pub fn ac_world() -> AcWorld {
 /// Generates the full-scale AC world used by the experiments binary.
 pub fn ac_world_full() -> AcWorld {
     AcGenerator::new(AcConfig::new(11)).generate()
+}
+
+/// Builds the compaction-bench fixture at `root`: a fresh [`StoreDir`]
+/// holding a bootstrap full block plus one segment per operation day
+/// (`boot + 6` days of `challenge`, trigger disabled so the chain stays
+/// long). Returns the chain's total bytes.
+///
+/// # Panics
+///
+/// Panics on any store or ingest failure — bench setup has no recovery
+/// path.
+pub fn build_lanl_chain(challenge: &LanlChallenge, root: &Path) -> u64 {
+    let cfg = LifecycleConfig {
+        compaction: CompactionTrigger::disabled(),
+        retention: RetentionPolicy::default(),
+    };
+    let mut dir = StoreDir::create(root, cfg).expect("create store dir");
+    let mut engine = EngineBuilder::lanl()
+        .build(Arc::clone(&challenge.dataset.domains), challenge.dataset.meta.clone())
+        .expect("valid config");
+    let boot = challenge.dataset.meta.bootstrap_days as usize;
+    for day in &challenge.dataset.days[..boot + 6] {
+        engine.ingest_day(DayBatch::Dns(day));
+        engine.checkpoint_day_to(&mut dir).expect("daily persist");
+    }
+    dir.chain_bytes()
+}
+
+/// Replaces `dst` with a flat-file copy of `src` (subdirectories are not
+/// copied — a store chain is flat). Used to hand each compaction-bench
+/// iteration a pristine chain.
+///
+/// # Panics
+///
+/// Panics on any filesystem failure — bench setup has no recovery path.
+pub fn copy_store_dir(src: &Path, dst: &Path) {
+    let _ = std::fs::remove_dir_all(dst);
+    std::fs::create_dir_all(dst).expect("create copy dir");
+    for entry in std::fs::read_dir(src).expect("read chain dir") {
+        let entry = entry.expect("dir entry");
+        if entry.file_type().expect("file type").is_file() {
+            std::fs::copy(entry.path(), dst.join(entry.file_name())).expect("copy chain file");
+        }
+    }
 }

@@ -318,6 +318,18 @@ impl Engine {
         &self.products
     }
 
+    /// Evicts the oldest retained contact indexes until at most `keep`
+    /// remain (their counters-only reports stay). Returns how many days
+    /// were pruned — the retention-GC step of store compaction.
+    pub(crate) fn prune_retained(&mut self, keep: usize) -> usize {
+        let mut pruned = 0;
+        while self.products.len() > keep {
+            self.products.pop_first();
+            pruned += 1;
+        }
+        pruned
+    }
+
     fn detector(&self) -> CcDetector {
         CcDetector::new(self.cfg.automation, self.cfg.cc_model.clone())
     }

@@ -70,8 +70,7 @@ pub struct DayIngest<'e, 'a> {
 impl Engine {
     /// Opens a streaming ingest for `day`. Push records or raw log lines in
     /// chunks, then call [`DayIngest::finish`] to run detection and obtain
-    /// the day's report. See the [module docs](crate::ingest) for the
-    /// execution model.
+    /// the day's report. See [`DayIngest`] for the execution model.
     pub fn begin_day<'a>(&mut self, day: Day, source: IngestSource<'a>) -> DayIngest<'_, 'a> {
         let started = Instant::now();
         // At-least-once delivery safety: re-feeding an already-ingested day

@@ -30,6 +30,11 @@
 //!   alert sequencing) to a versioned, self-checking store stream, and
 //!   [`EngineBuilder::restore`] cold-restarts from it with bit-identical
 //!   continuation — see the `earlybird-store` crate.
+//! * For a long-running service, [`Engine::checkpoint_day_to`] drives a
+//!   manifest-managed [`StoreDir`]: atomic commits, automatic chain
+//!   [`compact_store`] on a [`CompactionTrigger`], retention GC past
+//!   [`RetentionPolicy::retain_days`], and O(current state) restore via
+//!   [`EngineBuilder::restore_dir`] no matter how long the service ran.
 //!
 //! # Example
 //!
@@ -68,6 +73,10 @@ pub use alert::{
 pub use batch::DayBatch;
 pub use builder::{EngineBuilder, EngineConfig, EngineError};
 pub use core_loop::{Engine, Investigation, SeedSpec};
-pub use earlybird_store::{CheckpointMeta, StoreError, StoreResult};
+pub use earlybird_store::{
+    CheckpointMeta, CompactionReport, CompactionTrigger, FaultInjector, LifecycleConfig,
+    RetentionPolicy, StoreDir, StoreError, StoreResult,
+};
 pub use ingest::{DayIngest, IngestSource};
+pub use persist::{compact_store, DayPersist};
 pub use report::{CcCandidate, DayReport, InvestigationReport, StageCounters, TrainingReport};

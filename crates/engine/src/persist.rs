@@ -50,8 +50,8 @@ use earlybird_core::{BpConfig, CcModel, DailyPipeline, DayProduct, PipelineConfi
 use earlybird_logmodel::{Day, DomainInterner, HostMapper, PathInterner, UaInterner};
 use earlybird_pipeline::{DomainHistory, UaHistory};
 use earlybird_store::{
-    sections, BlockKind, BlockReader, BlockWriter, CheckpointMeta, Decoder, Encoder, SectionTag,
-    StoreError, StoreResult, FORMAT_VERSION,
+    sections, BlockKind, BlockReader, BlockWriter, CheckpointMeta, CompactionReport, Decoder,
+    Encoder, SectionTag, StoreDir, StoreError, StoreResult, FORMAT_VERSION,
 };
 use std::collections::BTreeSet;
 use std::io::{Read, Write};
@@ -114,12 +114,85 @@ impl Engine {
     ///
     /// # Errors
     ///
-    /// Propagates writer failures as [`StoreError::Io`].
+    /// Propagates writer failures as [`StoreError::Io`]. A day ingested
+    /// *behind* the newest already-persisted day is refused as
+    /// [`StoreError::StaleSegment`] — appending it would produce a chain
+    /// the restore path rejects; write a fresh full snapshot
+    /// ([`Engine::checkpoint`]) to persist back-filled days.
     pub fn checkpoint_day<W: Write>(&mut self, out: &mut W) -> StoreResult<CheckpointMeta> {
+        self.check_segment_freshness()?;
         let cursor = self.persist_cursor.clone();
         let meta = self.write_block(out, BlockKind::DaySegment, &cursor)?;
         self.persist_cursor = self.current_cursor();
         Ok(meta)
+    }
+
+    /// Rejects a segment that would persist a day older than the newest
+    /// day already on the stream (see [`StoreError::StaleSegment`]).
+    fn check_segment_freshness(&self) -> StoreResult<()> {
+        let Some(&last) = self.persist_cursor.days.iter().next_back() else {
+            return Ok(());
+        };
+        for day in self.reports.keys() {
+            if *day < last && !self.persist_cursor.days.contains(day) {
+                return Err(StoreError::StaleSegment {
+                    day: day.index(),
+                    last_persisted: last.index(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// [`Engine::checkpoint`] against a managed [`StoreDir`]: the full
+    /// block is written to a temp file and committed atomically, replacing
+    /// the directory's whole chain (the incremental cursor resets only
+    /// after the commit is durable, so a failed commit never strands
+    /// unpersisted state).
+    ///
+    /// # Errors
+    ///
+    /// Typed [`StoreError`]s from the write or the directory commit.
+    pub fn checkpoint_to(&mut self, dir: &mut StoreDir) -> StoreResult<CheckpointMeta> {
+        let mut pending = dir.begin(BlockKind::Full)?;
+        let meta = self.write_block(&mut pending, BlockKind::Full, &PersistCursor::default())?;
+        dir.commit_full(pending, &meta)?;
+        self.persist_cursor = self.current_cursor();
+        Ok(meta)
+    }
+
+    /// The daily-cycle persistence step against a managed [`StoreDir`]:
+    /// writes a full snapshot when the directory is empty (first run),
+    /// otherwise appends an O(day) segment — then, if the directory's
+    /// [`earlybird_store::CompactionTrigger`] has fired, folds the chain
+    /// back into a single full block via [`compact_store`]. Each commit is
+    /// atomic; a crash at any point leaves either the old chain or the new
+    /// one.
+    ///
+    /// # Errors
+    ///
+    /// Typed [`StoreError`]s, including [`StoreError::StaleSegment`] for a
+    /// day behind the chain's newest persisted day. If the *block commit*
+    /// fails, the engine's incremental cursor is unchanged; if the commit
+    /// succeeded and the *compaction pass* then fails, the day is already
+    /// durable and the cursor reflects it — the old chain stays valid
+    /// either way. Treat any error as fatal for this process and recover
+    /// by restoring the directory (at-least-once semantics absorb the
+    /// re-pushed day).
+    pub fn checkpoint_day_to(&mut self, dir: &mut StoreDir) -> StoreResult<DayPersist> {
+        let block = if dir.is_empty() {
+            self.checkpoint_to(dir)?
+        } else {
+            self.check_segment_freshness()?;
+            let cursor = self.persist_cursor.clone();
+            let mut pending = dir.begin(BlockKind::DaySegment)?;
+            let meta = self.write_block(&mut pending, BlockKind::DaySegment, &cursor)?;
+            dir.commit_segment(pending, &meta)?;
+            self.persist_cursor = self.current_cursor();
+            meta
+        };
+        let compaction = if dir.compaction_due() { Some(compact_store(dir)?) } else { None };
+        Ok(DayPersist { block, compaction })
     }
 
     fn write_block<W: Write>(
@@ -239,10 +312,20 @@ impl Engine {
 
         let payload = block.section(SectionTag::Reports)?;
         let mut d = Decoder::new(&payload, SectionTag::Reports.name());
+        // Mirror of the write-side `StaleSegment` guard: a segment may only
+        // carry days beyond everything already replayed.
+        let newest = self.reports.keys().next_back().copied();
+        let is_segment = block.kind() == BlockKind::DaySegment;
         let n = d.seq_len(4)?;
         for _ in 0..n {
             let report = read_day_report(&mut d)?;
             let day = report.day;
+            if is_segment && newest.is_some_and(|newest| day < newest) {
+                return Err(StoreError::corrupt(format!(
+                    "segment persists stale {day} behind already-replayed {}",
+                    newest.expect("checked")
+                )));
+            }
             if self.reports.insert(day, report).is_some() {
                 return Err(StoreError::corrupt(format!("duplicate report for {day}")));
             }
@@ -291,7 +374,86 @@ impl Engine {
     }
 }
 
+/// Outcome of one [`Engine::checkpoint_day_to`] cycle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DayPersist {
+    /// The block committed this cycle: a full snapshot when the directory
+    /// was empty (`kind == BlockKind::Full`), else an O(day) segment.
+    pub block: CheckpointMeta,
+    /// The compaction pass this append triggered, if any.
+    pub compaction: Option<CompactionReport>,
+}
+
+/// Folds a [`StoreDir`]'s `full + N segments` chain back into a single
+/// full block, applying the directory's retention policy.
+///
+/// The pass never touches live engine state: the chain is restored into a
+/// *scratch* engine (semantics come entirely from the snapshot, so any
+/// builder would do), contact indexes older than
+/// [`earlybird_store::RetentionPolicy::retain_days`] are pruned — their
+/// counter reports stay, making the new full block the source of truth for
+/// evicted days — and the re-snapshotted state is committed through
+/// [`StoreDir::commit_full`]'s atomic manifest swap. A crash at any point
+/// leaves either the old chain or the new block, never a torn store;
+/// leftover files are quarantined by the next [`StoreDir::open`].
+///
+/// An engine restored from the compacted store continues bit-identically
+/// to one restored from the original chain (see the `lifecycle`
+/// integration suite).
+///
+/// # Errors
+///
+/// Typed [`StoreError`]s from the chain replay or the commit; compacting
+/// an empty directory is [`StoreError::Corrupt`].
+pub fn compact_store(dir: &mut StoreDir) -> StoreResult<CompactionReport> {
+    if dir.is_empty() {
+        return Err(StoreError::corrupt("cannot compact an empty store: no full snapshot yet"));
+    }
+    let bytes_before = dir.chain_bytes();
+    let segments_folded = dir.segment_count();
+    let mut scratch = EngineBuilder::lanl().restore(&mut dir.reader()?)?;
+    let days_pruned = match dir.config().retention.retain_days {
+        Some(keep) => scratch.prune_retained(keep),
+        None => 0,
+    };
+    let mut pending = dir.begin(BlockKind::Full)?;
+    let meta = scratch.write_block(&mut pending, BlockKind::Full, &PersistCursor::default())?;
+    dir.commit_full(pending, &meta)?;
+    Ok(CompactionReport {
+        segments_folded,
+        bytes_before,
+        bytes_after: meta.bytes,
+        days_pruned,
+        full: meta,
+    })
+}
+
 impl EngineBuilder {
+    /// [`EngineBuilder::restore`] over a managed [`StoreDir`]'s chain, in
+    /// manifest order.
+    ///
+    /// # Errors
+    ///
+    /// As for [`EngineBuilder::restore`], plus [`StoreError::Io`] if a
+    /// chain file cannot be opened.
+    pub fn restore_dir(self, dir: &StoreDir) -> Result<Engine, StoreError> {
+        self.restore(&mut dir.reader()?)
+    }
+
+    /// [`EngineBuilder::restore_with_domains`] over a managed
+    /// [`StoreDir`]'s chain.
+    ///
+    /// # Errors
+    ///
+    /// As for [`EngineBuilder::restore_with_domains`].
+    pub fn restore_dir_with_domains(
+        self,
+        raw: Arc<DomainInterner>,
+        dir: &StoreDir,
+    ) -> Result<Engine, StoreError> {
+        self.restore_with_domains(raw, &mut dir.reader()?)
+    }
+
     /// Rebuilds an engine from a store stream written by
     /// [`Engine::checkpoint`] (optionally followed by
     /// [`Engine::checkpoint_day`] segments).

@@ -5,7 +5,7 @@
 //! Sections are encoded into an in-memory [`Encoder`] buffer and decoded
 //! from a bounds-checked [`Decoder`] over the section payload. Neither side
 //! trusts the bytes: every read is range-checked and every structural
-//! surprise becomes a typed [`StoreError`](crate::StoreError) instead of a
+//! surprise becomes a typed [`StoreError`] instead of a
 //! panic or an allocation proportional to an attacker-controlled length.
 
 use crate::error::{StoreError, StoreResult};

@@ -47,6 +47,16 @@ pub enum StoreError {
         /// What failed validation.
         context: String,
     },
+    /// A day segment would persist a day older than the chain's newest
+    /// already-persisted day. Appending it would produce a stream the
+    /// restore path rejects (segments must move forward), so the write is
+    /// refused up front and the chain stays replayable.
+    StaleSegment {
+        /// Index of the out-of-order day the caller tried to persist.
+        day: u32,
+        /// Index of the newest day already persisted to the stream.
+        last_persisted: u32,
+    },
 }
 
 impl StoreError {
@@ -74,6 +84,13 @@ impl fmt::Display for StoreError {
                 write!(f, "snapshot truncated while reading {context}")
             }
             StoreError::Corrupt { context } => write!(f, "snapshot corrupt: {context}"),
+            StoreError::StaleSegment { day, last_persisted } => {
+                write!(
+                    f,
+                    "refusing to persist day {day} behind already-persisted day \
+                     {last_persisted}: the segment chain must move forward"
+                )
+            }
         }
     }
 }

@@ -37,14 +37,14 @@ pub enum BlockKind {
 }
 
 impl BlockKind {
-    fn to_byte(self) -> u8 {
+    pub(crate) fn to_byte(self) -> u8 {
         match self {
             BlockKind::Full => 1,
             BlockKind::DaySegment => 2,
         }
     }
 
-    fn from_byte(b: u8) -> StoreResult<Self> {
+    pub(crate) fn from_byte(b: u8) -> StoreResult<Self> {
         match b {
             1 => Ok(BlockKind::Full),
             2 => Ok(BlockKind::DaySegment),

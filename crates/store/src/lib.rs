@@ -19,9 +19,15 @@
 //!   (interners, host map, histories, day indexes, models, WHOIS), written
 //!   against public snapshot hooks so the format survives internal
 //!   refactors.
+//! * [`lifecycle`] — the snapshot *directory* layer: a [`StoreDir`] owning
+//!   a CRC-protected, atomically-replaced `MANIFEST` over the
+//!   `full + N segments` chain, with crash-safe commits, orphan
+//!   quarantine, a compaction trigger, and a retention policy, so restore
+//!   stays O(current state) instead of O(uptime).
 //! * [`StoreError`] — the typed failure surface: bad magic, future
-//!   version, checksum mismatch, truncation, and semantic corruption are
-//!   all distinct, and none of them panic.
+//!   version, checksum mismatch, truncation, semantic corruption, and
+//!   stale (backwards) day segments are all distinct, and none of them
+//!   panic.
 //!
 //! The user-facing API lives on the engine: `Engine::checkpoint` /
 //! `Engine::checkpoint_day` write blocks, `EngineBuilder::restore` reads a
@@ -34,8 +40,13 @@
 pub mod codec;
 mod error;
 pub mod frame;
+pub mod lifecycle;
 pub mod sections;
 
 pub use codec::{crc32, Decoder, Encoder};
 pub use error::{StoreError, StoreResult};
 pub use frame::{BlockKind, BlockReader, BlockWriter, CheckpointMeta, SectionTag, FORMAT_VERSION};
+pub use lifecycle::{
+    ChainReader, CompactionReport, CompactionTrigger, FaultInjector, LifecycleConfig,
+    ManifestEntry, PendingBlock, RetentionPolicy, StoreDir,
+};

@@ -1,0 +1,895 @@
+//! Manifest-driven snapshot directory lifecycle: bounded chains, atomic
+//! commits, compaction, and retention GC.
+//!
+//! The raw block layer ([`crate::frame`]) writes an append-only stream —
+//! one full snapshot plus one segment per day — which is exactly wrong for
+//! a service that runs for months: restore cost grows O(uptime) and
+//! nothing ever prunes state. [`StoreDir`] turns that stream into a
+//! *managed directory*:
+//!
+//! ```text
+//! store/
+//!   MANIFEST              small, CRC-protected, atomically replaced
+//!   full-000003.ebstore   the chain's full snapshot
+//!   seg-000004.ebstore    ordered O(day) segments …
+//!   seg-000005.ebstore
+//!   quarantine/           orphaned / leftover files moved aside at open
+//! ```
+//!
+//! The `MANIFEST` records the ordered chain of `full + N segment` files
+//! (name, byte length, block CRC) under its own magic, version, and
+//! trailing CRC-32. Every mutation follows the same discipline:
+//!
+//! 1. write the new file to a `*.tmp` name and fsync it;
+//! 2. rename it to its final name and fsync the directory;
+//! 3. write `MANIFEST.tmp`, fsync, rename over `MANIFEST`, fsync the
+//!    directory;
+//! 4. only then delete files the new manifest no longer references
+//!    (best-effort — leftovers are quarantined at the next open).
+//!
+//! A crash between any two steps leaves either the old chain or the new
+//! one, never a torn store: un-renamed temp files and committed-but-
+//! unreferenced blocks are swept into `quarantine/` by [`StoreDir::open`],
+//! which restores in O(current state) regardless of uptime.
+//!
+//! Compaction and retention *policy* lives here ([`LifecycleConfig`]); the
+//! pass itself needs an engine to replay the chain, so it lives in
+//! `earlybird-engine` (`compact_store`): restore the chain into a scratch
+//! engine, optionally prune contact indexes past
+//! [`RetentionPolicy::retain_days`] (their counters stay in the full block
+//! — the full block is the source of truth for evicted days), write one
+//! new full block, and atomically swap the manifest via
+//! [`StoreDir::commit_full`].
+
+use crate::codec::{crc32, Decoder, Encoder};
+use crate::error::{StoreError, StoreResult};
+use crate::frame::{BlockKind, CheckpointMeta};
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+use std::sync::Arc;
+
+/// Magic bytes opening the `MANIFEST` file.
+pub const MANIFEST_MAGIC: [u8; 8] = *b"EBMANIF1";
+
+/// Newest manifest layout revision this build reads and writes.
+pub const MANIFEST_VERSION: u16 = 1;
+
+const MANIFEST_NAME: &str = "MANIFEST";
+const QUARANTINE_DIR: &str = "quarantine";
+
+// -- policy -----------------------------------------------------------------
+
+/// When the segment chain is folded back into a single full block.
+///
+/// A trigger fires when *any* configured bound is exceeded; with both
+/// bounds `None` compaction never runs automatically (it can still be
+/// invoked explicitly).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CompactionTrigger {
+    /// Compact once the chain holds more than this many segments.
+    pub max_segments: Option<usize>,
+    /// Compact once the segments' total size exceeds this many bytes.
+    pub max_segment_bytes: Option<u64>,
+}
+
+impl Default for CompactionTrigger {
+    /// Compact past 32 segments — roughly a month of daily cycles.
+    fn default() -> Self {
+        CompactionTrigger { max_segments: Some(32), max_segment_bytes: None }
+    }
+}
+
+impl CompactionTrigger {
+    /// A trigger that never fires (explicit-compaction-only stores).
+    pub fn disabled() -> Self {
+        CompactionTrigger { max_segments: None, max_segment_bytes: None }
+    }
+}
+
+/// How much per-day state a compacted full block keeps investigable.
+///
+/// Retention prunes the *contact indexes* of days older than the newest
+/// `retain_days` during compaction; the pruned days' counter reports are
+/// still folded into the full block first, so no acknowledged day ever
+/// disappears from the record — the full block stays the source of truth
+/// for evicted days.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RetentionPolicy {
+    /// Keep only the newest N days' contact indexes through a compaction;
+    /// `None` keeps every retained index.
+    pub retain_days: Option<usize>,
+}
+
+/// The lifecycle knobs of a [`StoreDir`]: compaction trigger plus retention
+/// policy. Operational, not part of the on-disk format — two processes may
+/// open the same directory with different configurations.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LifecycleConfig {
+    /// When the segment chain is compacted.
+    pub compaction: CompactionTrigger,
+    /// What a compaction keeps investigable.
+    pub retention: RetentionPolicy,
+}
+
+/// Outcome of one compaction pass (produced by the engine crate's
+/// `compact_store`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CompactionReport {
+    /// Segments folded into the new full block.
+    pub segments_folded: usize,
+    /// Chain bytes before the pass (full + segments).
+    pub bytes_before: u64,
+    /// Bytes of the single full block after the pass.
+    pub bytes_after: u64,
+    /// Retained contact indexes pruned by the retention policy.
+    pub days_pruned: usize,
+    /// The new full block's summary.
+    pub full: CheckpointMeta,
+}
+
+// -- manifest ---------------------------------------------------------------
+
+/// One file of the chain, as recorded by the manifest.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ManifestEntry {
+    /// Full snapshot or day segment.
+    pub kind: BlockKind,
+    /// File name relative to the store directory.
+    pub name: String,
+    /// Expected byte length (block including magic and CRC).
+    pub bytes: u64,
+    /// The block's CRC-32, as reported at commit time.
+    pub crc: u32,
+}
+
+/// The decoded `MANIFEST`: a generation counter plus the ordered chain.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+struct Manifest {
+    /// Monotonic commit counter; also seeds unique chain file names.
+    generation: u64,
+    entries: Vec<ManifestEntry>,
+}
+
+impl Manifest {
+    fn encode(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        let mut out = Vec::from(MANIFEST_MAGIC);
+        e.varint(MANIFEST_VERSION as u64);
+        e.varint(self.generation);
+        e.usizev(self.entries.len());
+        for entry in &self.entries {
+            e.u8(entry.kind.to_byte());
+            e.str(&entry.name);
+            e.varint(entry.bytes);
+            e.varint(entry.crc as u64);
+        }
+        out.extend_from_slice(&e.into_bytes());
+        let crc = crc32(&out);
+        out.extend_from_slice(&crc.to_le_bytes());
+        out
+    }
+
+    fn decode(bytes: &[u8]) -> StoreResult<Manifest> {
+        if bytes.len() < MANIFEST_MAGIC.len() + 4 {
+            return Err(StoreError::Truncated { context: "manifest" });
+        }
+        if bytes[..MANIFEST_MAGIC.len()] != MANIFEST_MAGIC {
+            return Err(StoreError::BadMagic);
+        }
+        let (body, stored) = bytes.split_at(bytes.len() - 4);
+        let stored = u32::from_le_bytes(stored.try_into().expect("4 bytes"));
+        let computed = crc32(body);
+        if stored != computed {
+            return Err(StoreError::ChecksumMismatch { expected: stored, found: computed });
+        }
+        let mut d = Decoder::new(&body[MANIFEST_MAGIC.len()..], "manifest");
+        let version = d.varint()?;
+        if version > MANIFEST_VERSION as u64 {
+            return Err(StoreError::UnsupportedVersion {
+                found: version.min(u16::MAX as u64) as u16,
+                supported: MANIFEST_VERSION,
+            });
+        }
+        let generation = d.varint()?;
+        let n = d.seq_len(3)?;
+        let mut entries = Vec::with_capacity(n);
+        for _ in 0..n {
+            let kind = BlockKind::from_byte(d.u8()?)?;
+            let name = d.str()?;
+            if name.is_empty()
+                || name.contains(['/', '\\'])
+                || name == ".."
+                || name == MANIFEST_NAME
+            {
+                return Err(StoreError::corrupt(format!("manifest entry name {name:?} invalid")));
+            }
+            let bytes = d.varint()?;
+            let crc = u32::try_from(d.varint()?)
+                .map_err(|_| StoreError::corrupt("manifest entry CRC exceeds u32"))?;
+            entries.push(ManifestEntry { kind, name, bytes, crc });
+        }
+        d.finish()?;
+        for (i, entry) in entries.iter().enumerate() {
+            let expected = if i == 0 { BlockKind::Full } else { BlockKind::DaySegment };
+            if entry.kind != expected {
+                return Err(StoreError::corrupt(format!(
+                    "manifest entry {i} is a {:?} block; expected {expected:?}",
+                    entry.kind
+                )));
+            }
+            if entries[..i].iter().any(|prev| prev.name == entry.name) {
+                return Err(StoreError::corrupt(format!("manifest lists {:?} twice", entry.name)));
+            }
+        }
+        Ok(Manifest { generation, entries })
+    }
+}
+
+// -- fault injection --------------------------------------------------------
+
+/// Deterministic crash simulation for durability tests: fails the N-th
+/// filesystem mutation (and every one after it, like a dead process).
+///
+/// Production code never sets this; the crash-during-compaction suite uses
+/// it to kill the lifecycle at every write/rename point and prove
+/// [`StoreDir::open`] always recovers a valid chain. The countdown is
+/// shared by clones, so a [`PendingBlock`] split off a [`StoreDir`] dies
+/// with it.
+#[derive(Clone, Debug, Default)]
+pub struct FaultInjector {
+    /// `-1` = disarmed; `0` = dead (every op fails); `n > 0` = ops left.
+    countdown: Arc<AtomicI64>,
+    /// Whether an operation has actually been failed.
+    fired: Arc<AtomicBool>,
+}
+
+impl FaultInjector {
+    /// A disarmed injector (all operations succeed).
+    pub fn new() -> Self {
+        FaultInjector {
+            countdown: Arc::new(AtomicI64::new(-1)),
+            fired: Arc::new(AtomicBool::new(false)),
+        }
+    }
+
+    /// Arms the injector: the `ops`-th subsequent filesystem mutation (0 =
+    /// the very next one) fails with an injected I/O error, as does every
+    /// mutation after it.
+    pub fn arm(&self, ops: u64) {
+        self.fired.store(false, Ordering::SeqCst);
+        self.countdown.store(ops.min(i64::MAX as u64) as i64, Ordering::SeqCst);
+    }
+
+    /// Disarms the injector.
+    pub fn disarm(&self) {
+        self.countdown.store(-1, Ordering::SeqCst);
+    }
+
+    /// Whether the injected crash has actually failed an operation (the
+    /// armed countdown may also simply outlive the run).
+    pub fn crashed(&self) -> bool {
+        self.fired.load(Ordering::SeqCst)
+    }
+
+    /// Accounts one filesystem mutation, failing if the crash point has
+    /// been reached.
+    fn tick(&self, op: &'static str) -> StoreResult<()> {
+        let left = self.countdown.load(Ordering::SeqCst);
+        if left < 0 {
+            return Ok(());
+        }
+        if left == 0 {
+            self.fired.store(true, Ordering::SeqCst);
+            return Err(StoreError::Io(io::Error::other(format!("injected crash at {op}"))));
+        }
+        self.countdown.store(left - 1, Ordering::SeqCst);
+        Ok(())
+    }
+}
+
+// -- pending blocks ---------------------------------------------------------
+
+/// A chain file being written: an anonymous `*.tmp` in the store directory
+/// that becomes visible only when committed through
+/// [`StoreDir::commit_full`] / [`StoreDir::commit_segment`]. Dropping it
+/// uncommitted leaves only a temp file, which the next
+/// [`StoreDir::open`] quarantines.
+#[derive(Debug)]
+pub struct PendingBlock {
+    kind: BlockKind,
+    tmp: PathBuf,
+    file: BufWriter<File>,
+    fault: FaultInjector,
+}
+
+impl Write for PendingBlock {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.file.write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.file.flush()
+    }
+}
+
+impl PendingBlock {
+    /// Flushes and fsyncs the temp file, returning its path.
+    fn seal(mut self) -> StoreResult<(BlockKind, PathBuf)> {
+        self.fault.tick("fsync of the pending block")?;
+        self.file.flush()?;
+        self.file.get_ref().sync_all()?;
+        Ok((self.kind, self.tmp))
+    }
+}
+
+// -- the store directory ----------------------------------------------------
+
+/// A snapshot directory owned through its manifest: every visible chain
+/// mutation is an atomic manifest replacement, so a crash at any point
+/// leaves either the old chain or the new one. See the module docs for the
+/// layout and the commit discipline.
+#[derive(Debug)]
+pub struct StoreDir {
+    root: PathBuf,
+    cfg: LifecycleConfig,
+    manifest: Manifest,
+    quarantined: Vec<PathBuf>,
+    fault: FaultInjector,
+}
+
+impl StoreDir {
+    /// Creates a fresh store directory (parents included) with an empty
+    /// chain.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] on filesystem failures; a directory that already
+    /// holds a `MANIFEST` is refused as [`StoreError::Corrupt`] — use
+    /// [`StoreDir::open`] (or [`StoreDir::open_or_create`]) for those.
+    pub fn create(root: impl Into<PathBuf>, cfg: LifecycleConfig) -> StoreResult<Self> {
+        let root = root.into();
+        fs::create_dir_all(&root)?;
+        if root.join(MANIFEST_NAME).exists() {
+            return Err(StoreError::corrupt(format!(
+                "{} already holds a store (open it instead of creating over it)",
+                root.display()
+            )));
+        }
+        let mut dir = StoreDir {
+            root,
+            cfg,
+            manifest: Manifest::default(),
+            quarantined: Vec::new(),
+            fault: FaultInjector::new(),
+        };
+        let manifest = dir.manifest.clone();
+        dir.write_manifest(&manifest)?;
+        Ok(dir)
+    }
+
+    /// Opens an existing store directory: reads and validates the
+    /// `MANIFEST` (magic, version, CRC, entry ordering), verifies every
+    /// referenced chain file exists with its recorded length, and sweeps
+    /// orphaned files — leftover `*.tmp`s and `*.ebstore` blocks no
+    /// manifest references, the residue of a crash — into `quarantine/`.
+    ///
+    /// Open (and the restore that follows) is O(current state): however
+    /// long the service ran, the chain holds one full block plus the
+    /// segments appended since the last compaction.
+    ///
+    /// # Errors
+    ///
+    /// Typed [`StoreError`]s for a missing, corrupt, or future-versioned
+    /// manifest, and for manifest-referenced files that are missing or
+    /// damaged on disk (a broken chain is surfaced, never silently
+    /// repaired).
+    pub fn open(root: impl Into<PathBuf>, cfg: LifecycleConfig) -> StoreResult<Self> {
+        let root = root.into();
+        let manifest_bytes = match fs::read(root.join(MANIFEST_NAME)) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                return Err(StoreError::corrupt(format!(
+                    "{} has no MANIFEST: not a store directory",
+                    root.display()
+                )))
+            }
+            Err(e) => return Err(e.into()),
+        };
+        let manifest = Manifest::decode(&manifest_bytes)?;
+        let mut dir =
+            StoreDir { root, cfg, manifest, quarantined: Vec::new(), fault: FaultInjector::new() };
+        dir.validate_chain()?;
+        dir.sweep_orphans()?;
+        Ok(dir)
+    }
+
+    /// [`StoreDir::open`] when a manifest exists, [`StoreDir::create`]
+    /// otherwise — the idiomatic entry point for a daily-cycle service.
+    ///
+    /// # Errors
+    ///
+    /// As for [`StoreDir::open`] / [`StoreDir::create`].
+    pub fn open_or_create(root: impl Into<PathBuf>, cfg: LifecycleConfig) -> StoreResult<Self> {
+        let root = root.into();
+        if root.join(MANIFEST_NAME).exists() {
+            Self::open(root, cfg)
+        } else {
+            Self::create(root, cfg)
+        }
+    }
+
+    // -- accessors ----------------------------------------------------------
+
+    /// The directory this store owns.
+    pub fn path(&self) -> &Path {
+        &self.root
+    }
+
+    /// The lifecycle configuration supplied at open/create.
+    pub fn config(&self) -> &LifecycleConfig {
+        &self.cfg
+    }
+
+    /// The manifest's monotonic commit counter.
+    pub fn generation(&self) -> u64 {
+        self.manifest.generation
+    }
+
+    /// The ordered chain recorded by the manifest.
+    pub fn entries(&self) -> &[ManifestEntry] {
+        &self.manifest.entries
+    }
+
+    /// Whether the chain holds no blocks yet.
+    pub fn is_empty(&self) -> bool {
+        self.manifest.entries.is_empty()
+    }
+
+    /// Segments currently in the chain (excludes the full block).
+    pub fn segment_count(&self) -> usize {
+        self.manifest.entries.len().saturating_sub(1)
+    }
+
+    /// Total bytes of the chain's segments.
+    pub fn segment_bytes(&self) -> u64 {
+        self.manifest.entries.iter().skip(1).map(|e| e.bytes).sum()
+    }
+
+    /// Total bytes of the whole chain (full block + segments).
+    pub fn chain_bytes(&self) -> u64 {
+        self.manifest.entries.iter().map(|e| e.bytes).sum()
+    }
+
+    /// Whether the configured [`CompactionTrigger`] has fired.
+    pub fn compaction_due(&self) -> bool {
+        let t = &self.cfg.compaction;
+        t.max_segments.is_some_and(|n| self.segment_count() > n)
+            || t.max_segment_bytes.is_some_and(|b| self.segment_bytes() > b)
+    }
+
+    /// Files moved into `quarantine/` by [`StoreDir::open`].
+    pub fn quarantined(&self) -> &[PathBuf] {
+        &self.quarantined
+    }
+
+    /// Installs a [`FaultInjector`] for durability tests; every subsequent
+    /// filesystem mutation is accounted against it.
+    pub fn set_fault_injector(&mut self, fault: FaultInjector) {
+        self.fault = fault;
+    }
+
+    // -- reading ------------------------------------------------------------
+
+    /// A reader over the chain in manifest order — exactly the
+    /// `full + N segments` stream `EngineBuilder::restore` replays.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] if a chain file cannot be opened.
+    pub fn reader(&self) -> StoreResult<ChainReader> {
+        let files: Vec<PathBuf> =
+            self.manifest.entries.iter().map(|e| self.root.join(&e.name)).collect();
+        Ok(ChainReader { files: files.into_iter(), current: None })
+    }
+
+    // -- writing ------------------------------------------------------------
+
+    /// Opens a new chain file of `kind`, written to a temp name until
+    /// committed. The returned handle implements [`Write`]; hand it to the
+    /// engine's block writer, then commit via [`StoreDir::commit_full`] /
+    /// [`StoreDir::commit_segment`].
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Corrupt`] when a segment is begun on an empty chain
+    /// (a full snapshot must exist first); [`StoreError::Io`] on
+    /// filesystem failures.
+    pub fn begin(&self, kind: BlockKind) -> StoreResult<PendingBlock> {
+        if kind == BlockKind::DaySegment && self.is_empty() {
+            return Err(StoreError::corrupt(
+                "cannot append a segment to an empty store: write a full snapshot first",
+            ));
+        }
+        self.fault.tick("creation of the pending block")?;
+        let tmp = self.root.join(format!("pending-{:06}.tmp", self.manifest.generation + 1));
+        let file = OpenOptions::new().write(true).create(true).truncate(true).open(&tmp)?;
+        Ok(PendingBlock { kind, tmp, file: BufWriter::new(file), fault: self.fault.clone() })
+    }
+
+    /// Commits a full snapshot, **replacing the whole chain**: the pending
+    /// file is fsynced and renamed to `full-<generation>.ebstore`, the
+    /// manifest atomically swaps to reference only it, and the previous
+    /// chain's files are deleted best-effort (a crash before deletion
+    /// leaves them for quarantine). This is both the first-checkpoint path
+    /// and the compaction commit.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Corrupt`] when `pending` is not a full block or `meta`
+    /// disagrees with it; [`StoreError::Io`] on filesystem failures.
+    pub fn commit_full(&mut self, pending: PendingBlock, meta: &CheckpointMeta) -> StoreResult<()> {
+        self.commit(pending, meta, BlockKind::Full)
+    }
+
+    /// Commits a day segment: the pending file is fsynced and renamed to
+    /// `seg-<generation>.ebstore` and the manifest atomically swaps to a
+    /// copy with the segment appended to the chain.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Corrupt`] when `pending` is not a segment block, the
+    /// chain is empty, or `meta` disagrees with the bytes written;
+    /// [`StoreError::Io`] on filesystem failures.
+    pub fn commit_segment(
+        &mut self,
+        pending: PendingBlock,
+        meta: &CheckpointMeta,
+    ) -> StoreResult<()> {
+        self.commit(pending, meta, BlockKind::DaySegment)
+    }
+
+    fn commit(
+        &mut self,
+        pending: PendingBlock,
+        meta: &CheckpointMeta,
+        expect: BlockKind,
+    ) -> StoreResult<()> {
+        if pending.kind != expect || meta.kind != expect {
+            return Err(StoreError::corrupt(format!(
+                "commit of a {expect:?} block was handed a {:?} pending / {:?} meta",
+                pending.kind, meta.kind
+            )));
+        }
+        if expect == BlockKind::DaySegment && self.is_empty() {
+            return Err(StoreError::corrupt(
+                "cannot commit a segment to an empty store: write a full snapshot first",
+            ));
+        }
+        let (kind, tmp) = pending.seal()?;
+        let written = fs::metadata(&tmp)?.len();
+        if written != meta.bytes {
+            let _ = fs::remove_file(&tmp);
+            return Err(StoreError::corrupt(format!(
+                "pending block holds {written} bytes but its meta claims {}",
+                meta.bytes
+            )));
+        }
+
+        let generation = self.manifest.generation + 1;
+        let prefix = if kind == BlockKind::Full { "full" } else { "seg" };
+        let name = format!("{prefix}-{generation:06}.ebstore");
+        self.fault.tick("rename of the committed block")?;
+        fs::rename(&tmp, self.root.join(&name))?;
+        self.sync_root()?;
+
+        let mut next = self.manifest.clone();
+        next.generation = generation;
+        let entry = ManifestEntry { kind, name, bytes: meta.bytes, crc: meta.checksum };
+        let replaced: Vec<String> = if kind == BlockKind::Full {
+            let old = next.entries.drain(..).map(|e| e.name).collect();
+            next.entries.push(entry);
+            old
+        } else {
+            next.entries.push(entry);
+            Vec::new()
+        };
+        self.write_manifest(&next)?;
+        self.manifest = next;
+
+        // The old chain is unreferenced now; deletion is garbage collection,
+        // not correctness. A failure here (or a crash) leaves orphans for
+        // the next open's quarantine sweep.
+        for name in replaced {
+            self.fault.tick("removal of a superseded chain file")?;
+            let _ = fs::remove_file(self.root.join(name));
+        }
+        Ok(())
+    }
+
+    // -- internals ----------------------------------------------------------
+
+    /// Atomically replaces `MANIFEST` with `next` (tmp + fsync + rename +
+    /// dir fsync). `self.manifest` is untouched — callers install `next`
+    /// only after this succeeds.
+    fn write_manifest(&mut self, next: &Manifest) -> StoreResult<()> {
+        self.fault.tick("write of the manifest temp file")?;
+        let tmp = self.root.join("MANIFEST.tmp");
+        let bytes = next.encode();
+        {
+            let mut file = OpenOptions::new().write(true).create(true).truncate(true).open(&tmp)?;
+            file.write_all(&bytes)?;
+            file.sync_all()?;
+        }
+        self.fault.tick("rename of the manifest")?;
+        fs::rename(&tmp, self.root.join(MANIFEST_NAME))?;
+        self.sync_root()?;
+        Ok(())
+    }
+
+    fn sync_root(&self) -> StoreResult<()> {
+        self.fault.tick("fsync of the store directory")?;
+        // Directory fsync is not portable everywhere; treat a refusal as
+        // best-effort rather than a broken store.
+        if let Ok(dir) = File::open(&self.root) {
+            let _ = dir.sync_all();
+        }
+        Ok(())
+    }
+
+    /// Verifies every manifest-referenced file exists with its recorded
+    /// length. Content integrity is the block CRC's job during restore.
+    fn validate_chain(&self) -> StoreResult<()> {
+        for entry in &self.manifest.entries {
+            let path = self.root.join(&entry.name);
+            let meta = fs::metadata(&path).map_err(|e| {
+                if e.kind() == io::ErrorKind::NotFound {
+                    StoreError::corrupt(format!(
+                        "manifest references {:?}, which is missing from the store",
+                        entry.name
+                    ))
+                } else {
+                    StoreError::Io(e)
+                }
+            })?;
+            if meta.len() != entry.bytes {
+                return Err(StoreError::corrupt(format!(
+                    "chain file {:?} holds {} bytes; manifest records {}",
+                    entry.name,
+                    meta.len(),
+                    entry.bytes
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Moves unreferenced store files (crash residue: `*.tmp`, superseded
+    /// or never-committed `*.ebstore`) into `quarantine/`.
+    fn sweep_orphans(&mut self) -> StoreResult<()> {
+        let mut orphans = Vec::new();
+        for dirent in fs::read_dir(&self.root)? {
+            let dirent = dirent?;
+            if !dirent.file_type()?.is_file() {
+                continue;
+            }
+            let name = dirent.file_name().to_string_lossy().into_owned();
+            if name == MANIFEST_NAME {
+                continue;
+            }
+            let ours = name.ends_with(".ebstore") || name.ends_with(".tmp");
+            let referenced = self.manifest.entries.iter().any(|e| e.name == name);
+            if ours && !referenced {
+                orphans.push(name);
+            }
+        }
+        if orphans.is_empty() {
+            return Ok(());
+        }
+        orphans.sort();
+        let quarantine = self.root.join(QUARANTINE_DIR);
+        fs::create_dir_all(&quarantine)?;
+        for name in orphans {
+            let mut target = quarantine.join(&name);
+            let mut suffix = 0u32;
+            while target.exists() {
+                suffix += 1;
+                target = quarantine.join(format!("{name}.{suffix}"));
+            }
+            fs::rename(self.root.join(&name), &target)?;
+            self.quarantined.push(target);
+        }
+        Ok(())
+    }
+}
+
+// -- chain reader -----------------------------------------------------------
+
+/// Sequential [`Read`] over the manifest's chain files, in order — feed to
+/// `EngineBuilder::restore` (or use `EngineBuilder::restore_dir`).
+#[derive(Debug)]
+pub struct ChainReader {
+    files: std::vec::IntoIter<PathBuf>,
+    current: Option<File>,
+}
+
+impl Read for ChainReader {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        loop {
+            if self.current.is_none() {
+                match self.files.next() {
+                    Some(path) => self.current = Some(File::open(path)?),
+                    None => return Ok(0),
+                }
+            }
+            let n = self.current.as_mut().expect("file open").read(buf)?;
+            if n > 0 || buf.is_empty() {
+                return Ok(n);
+            }
+            self.current = None; // EOF on this file; advance the chain.
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_root(tag: &str) -> PathBuf {
+        let root = std::env::temp_dir()
+            .join(format!("earlybird-lifecycle-unit-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&root);
+        root
+    }
+
+    #[test]
+    fn manifest_roundtrips_and_rejects_damage() {
+        let manifest = Manifest {
+            generation: 7,
+            entries: vec![
+                ManifestEntry {
+                    kind: BlockKind::Full,
+                    name: "full-000005.ebstore".into(),
+                    bytes: 1234,
+                    crc: 0xDEAD_BEEF,
+                },
+                ManifestEntry {
+                    kind: BlockKind::DaySegment,
+                    name: "seg-000006.ebstore".into(),
+                    bytes: 56,
+                    crc: 1,
+                },
+            ],
+        };
+        let bytes = manifest.encode();
+        assert_eq!(Manifest::decode(&bytes).unwrap(), manifest);
+
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x40;
+            assert!(Manifest::decode(&bad).is_err(), "flip at byte {i} must be detected");
+        }
+        for cut in 0..bytes.len() {
+            assert!(Manifest::decode(&bytes[..cut]).is_err(), "cut at {cut} must be detected");
+        }
+    }
+
+    #[test]
+    fn manifest_rejects_structural_violations() {
+        // Segment-first chain.
+        let m = Manifest {
+            generation: 1,
+            entries: vec![ManifestEntry {
+                kind: BlockKind::DaySegment,
+                name: "seg-000001.ebstore".into(),
+                bytes: 1,
+                crc: 0,
+            }],
+        };
+        assert!(matches!(Manifest::decode(&m.encode()), Err(StoreError::Corrupt { .. })));
+
+        // Path traversal in a name.
+        let m = Manifest {
+            generation: 1,
+            entries: vec![ManifestEntry {
+                kind: BlockKind::Full,
+                name: "../evil.ebstore".into(),
+                bytes: 1,
+                crc: 0,
+            }],
+        };
+        assert!(matches!(Manifest::decode(&m.encode()), Err(StoreError::Corrupt { .. })));
+
+        // Duplicate names.
+        let entry = ManifestEntry {
+            kind: BlockKind::DaySegment,
+            name: "seg-000002.ebstore".into(),
+            bytes: 1,
+            crc: 0,
+        };
+        let m = Manifest {
+            generation: 2,
+            entries: vec![
+                ManifestEntry {
+                    kind: BlockKind::Full,
+                    name: "full-000001.ebstore".into(),
+                    bytes: 1,
+                    crc: 0,
+                },
+                entry.clone(),
+                entry,
+            ],
+        };
+        assert!(matches!(Manifest::decode(&m.encode()), Err(StoreError::Corrupt { .. })));
+    }
+
+    #[test]
+    fn create_then_open_roundtrips_an_empty_chain() {
+        let root = tmp_root("create");
+        let dir = StoreDir::create(&root, LifecycleConfig::default()).unwrap();
+        assert!(dir.is_empty());
+        assert_eq!(dir.generation(), 0);
+        drop(dir);
+
+        assert!(
+            matches!(
+                StoreDir::create(&root, LifecycleConfig::default()),
+                Err(StoreError::Corrupt { .. })
+            ),
+            "creating over an existing store must be refused"
+        );
+        let reopened = StoreDir::open(&root, LifecycleConfig::default()).unwrap();
+        assert!(reopened.is_empty());
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn open_requires_a_manifest() {
+        let root = tmp_root("no-manifest");
+        fs::create_dir_all(&root).unwrap();
+        assert!(matches!(
+            StoreDir::open(&root, LifecycleConfig::default()),
+            Err(StoreError::Corrupt { .. })
+        ));
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn compaction_trigger_fires_on_either_bound() {
+        let root = tmp_root("trigger");
+        let mut dir = StoreDir::create(
+            &root,
+            LifecycleConfig {
+                compaction: CompactionTrigger {
+                    max_segments: Some(2),
+                    max_segment_bytes: Some(1_000_000),
+                },
+                retention: RetentionPolicy::default(),
+            },
+        )
+        .unwrap();
+        // Simulate manifest states without real blocks.
+        dir.manifest.entries.push(ManifestEntry {
+            kind: BlockKind::Full,
+            name: "full-000001.ebstore".into(),
+            bytes: 10,
+            crc: 0,
+        });
+        assert!(!dir.compaction_due());
+        for i in 0..3 {
+            dir.manifest.entries.push(ManifestEntry {
+                kind: BlockKind::DaySegment,
+                name: format!("seg-00000{}.ebstore", i + 2),
+                bytes: 10,
+                crc: 0,
+            });
+        }
+        assert!(dir.compaction_due(), "3 segments > max 2");
+        dir.manifest.entries.truncate(2);
+        assert!(!dir.compaction_due());
+        dir.manifest.entries[1].bytes = 2_000_000;
+        assert!(dir.compaction_due(), "byte bound exceeded");
+        fs::remove_dir_all(&root).unwrap();
+    }
+}

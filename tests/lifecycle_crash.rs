@@ -1,0 +1,260 @@
+//! Crash-during-lifecycle fault injection: kill the store at **every**
+//! filesystem write/rename point of the daily persist cycle — segment
+//! appends, full-snapshot commits, compaction swaps, GC deletions — and
+//! prove `StoreDir::open` always recovers a valid chain with no
+//! acknowledged day lost.
+//!
+//! The [`FaultInjector`] counts filesystem mutations and fails the N-th
+//! (and, like a dead process, every one after it). The suites below
+//! enumerate N from 0 upward until a run completes with no fault fired,
+//! so every mutation point in the schedule is killed exactly once.
+
+use earlybird::engine::{
+    compact_store, CompactionTrigger, DayBatch, Engine, EngineBuilder, FaultInjector,
+    LifecycleConfig, RetentionPolicy, StageCounters, StoreDir, StoreError,
+};
+use earlybird::logmodel::Day;
+use earlybird::synthgen::lanl::{LanlChallenge, LanlConfig, LanlGenerator};
+use earlybird_engine::CollectingSink;
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn temp_store(tag: &str) -> PathBuf {
+    let root = std::env::temp_dir().join(format!("earlybird-crash-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    root
+}
+
+fn strip_wall(s: &StageCounters) -> StageCounters {
+    StageCounters { wall_micros: 0, ..*s }
+}
+
+fn challenge() -> LanlChallenge {
+    LanlGenerator::new(LanlConfig::tiny()).generate()
+}
+
+fn engine_for(challenge: &LanlChallenge) -> Engine {
+    EngineBuilder::lanl()
+        .soc_seed("ioc.planted.c3")
+        .auto_investigate(true)
+        .sink(CollectingSink::new())
+        .build(Arc::clone(&challenge.dataset.domains), challenge.dataset.meta.clone())
+        .expect("valid config")
+}
+
+/// Reference counters for every day of the suite, from an engine that
+/// never persists at all.
+fn reference_counters(challenge: &LanlChallenge) -> Vec<StageCounters> {
+    let mut engine = engine_for(challenge);
+    challenge
+        .dataset
+        .days
+        .iter()
+        .map(|day| strip_wall(&engine.ingest_day(DayBatch::Dns(day)).stages))
+        .collect()
+}
+
+/// After a simulated crash, reopening the directory must yield a chain
+/// that restores cleanly and still holds every acknowledged day with the
+/// exact counters of an uninterrupted run. Returns the restored engine
+/// (`None` when the crash predates the first durable block, which is only
+/// legitimate while nothing was acknowledged).
+fn assert_no_acked_loss(
+    root: &PathBuf,
+    cfg: LifecycleConfig,
+    acked: &BTreeSet<Day>,
+    reference: &[StageCounters],
+    context: &str,
+) -> Option<Engine> {
+    let dir = StoreDir::open(root, cfg)
+        .unwrap_or_else(|e| panic!("{context}: store must reopen after the crash: {e}"));
+    if dir.is_empty() {
+        assert!(acked.is_empty(), "{context}: acked days {acked:?} but the chain is empty");
+        return None;
+    }
+    let restored = EngineBuilder::lanl()
+        .restore_dir(&dir)
+        .unwrap_or_else(|e| panic!("{context}: recovered chain must restore: {e}"));
+    let days: BTreeSet<Day> = restored.reports().map(|r| r.day).collect();
+    for day in acked {
+        assert!(days.contains(day), "{context}: acknowledged {day:?} lost; chain holds {days:?}");
+    }
+    for report in restored.reports() {
+        assert_eq!(
+            strip_wall(&report.stages),
+            reference[report.day.index() as usize],
+            "{context}: counters for {:?}",
+            report.day
+        );
+    }
+    Some(restored)
+}
+
+/// The daily cycle under fire: first persist writes the full block, later
+/// ones append segments, and the `max_segments = 2` trigger forces
+/// repeated compaction passes (with retention GC) — so the enumerated
+/// crash points cover pending-block creation, fsync, both renames, the
+/// manifest swap, and superseded-chain deletion, in every phase.
+#[test]
+fn crash_at_every_op_of_the_daily_cycle_loses_no_acked_day() {
+    let challenge = challenge();
+    let reference = reference_counters(&challenge);
+    let boot = challenge.dataset.meta.bootstrap_days as usize;
+    let days = &challenge.dataset.days[..boot + 6];
+    let cfg = LifecycleConfig {
+        compaction: CompactionTrigger { max_segments: Some(2), max_segment_bytes: None },
+        retention: RetentionPolicy { retain_days: Some(3) },
+    };
+
+    let mut crash_points = 0u64;
+    for fault_at in 0u64.. {
+        let root = temp_store("daily");
+        let mut dir = StoreDir::create(&root, cfg).expect("create store dir");
+        let injector = FaultInjector::new();
+        dir.set_fault_injector(injector.clone());
+        injector.arm(fault_at);
+
+        let mut engine = engine_for(&challenge);
+        let mut acked: BTreeSet<Day> = BTreeSet::new();
+        let mut crashed = false;
+        for day in days {
+            engine.ingest_day(DayBatch::Dns(day));
+            match engine.checkpoint_day_to(&mut dir) {
+                Ok(_) => {
+                    acked.insert(day.day);
+                }
+                Err(e) => {
+                    assert!(
+                        matches!(e, StoreError::Io(_)),
+                        "fault {fault_at}: only the injected fault may fail the cycle: {e}"
+                    );
+                    crashed = true;
+                    break;
+                }
+            }
+        }
+        // The dead process goes away; recovery sees only the directory.
+        drop(dir);
+        drop(engine);
+
+        let context = format!("fault at op {fault_at}");
+        let restored = assert_no_acked_loss(&root, cfg, &acked, &reference, &context);
+        drop(restored);
+        std::fs::remove_dir_all(&root).unwrap();
+
+        if !crashed {
+            assert!(!injector.crashed(), "fault {fault_at} fired but no checkpoint reported it");
+            crash_points = fault_at;
+            break;
+        }
+    }
+    // The schedule above crosses full-commit, segment-commit, and several
+    // compaction passes; that is a lot of distinct mutation points.
+    assert!(crash_points >= 30, "expected a deep op schedule, covered {crash_points} points");
+}
+
+/// Compaction in isolation: build a stable chain once, then crash an
+/// explicit `compact_store` at every op. Afterwards the store must hold
+/// either the old chain or the new block — never a torn store — with all
+/// days intact, and a later un-faulted compaction must succeed.
+#[test]
+fn crash_at_every_op_of_compaction_leaves_old_or_new_chain() {
+    let challenge = challenge();
+    let reference = reference_counters(&challenge);
+    let boot = challenge.dataset.meta.bootstrap_days as usize;
+    let split = boot + 4;
+    let cfg = LifecycleConfig {
+        compaction: CompactionTrigger::disabled(),
+        retention: RetentionPolicy { retain_days: Some(2) },
+    };
+
+    // The chain every iteration starts from: full + segments on disk.
+    let master = temp_store("compact-master");
+    {
+        let mut dir = StoreDir::create(&master, cfg).expect("create store dir");
+        let mut engine = engine_for(&challenge);
+        for day in &challenge.dataset.days[..split] {
+            engine.ingest_day(DayBatch::Dns(day));
+            engine.checkpoint_day_to(&mut dir).expect("daily persist");
+        }
+        assert!(dir.segment_count() >= 3, "chain long enough to make compaction interesting");
+    }
+    let acked: BTreeSet<Day> = (0..split as u32).map(Day::new).collect();
+
+    for fault_at in 0u64.. {
+        let root = temp_store("compact");
+        std::fs::create_dir_all(&root).unwrap();
+        for entry in std::fs::read_dir(&master).unwrap() {
+            let entry = entry.unwrap();
+            if entry.file_type().unwrap().is_file() {
+                std::fs::copy(entry.path(), root.join(entry.file_name())).unwrap();
+            }
+        }
+
+        let mut dir = StoreDir::open(&root, cfg).expect("open the copied chain");
+        let entries_before = dir.entries().len();
+        let injector = FaultInjector::new();
+        dir.set_fault_injector(injector.clone());
+        injector.arm(fault_at);
+        let outcome = compact_store(&mut dir);
+        let crashed = outcome.is_err();
+        if let Err(e) = &outcome {
+            assert!(matches!(e, StoreError::Io(_)), "fault {fault_at}: unexpected error {e}");
+        }
+        drop(dir);
+
+        let context = format!("compaction fault at op {fault_at}");
+        let restored = assert_no_acked_loss(&root, cfg, &acked, &reference, &context);
+        drop(restored);
+
+        // Old chain or new block, never something in between — and the
+        // recovered store always accepts a clean compaction.
+        let mut dir = StoreDir::open(&root, cfg).expect("reopen");
+        let entries = dir.entries().len();
+        assert!(
+            entries == entries_before || entries == 1,
+            "{context}: chain must be the old one ({entries_before} entries) or the compacted \
+             one (1 entry), found {entries}"
+        );
+        let report = compact_store(&mut dir).expect("clean compaction after recovery");
+        assert_eq!(dir.entries().len(), 1, "{context}: recovered store compacts fully");
+        assert!(report.bytes_after > 0);
+        std::fs::remove_dir_all(&root).unwrap();
+
+        if !crashed {
+            assert!(fault_at >= 5, "compaction has several mutation points, covered {fault_at}");
+            break;
+        }
+    }
+    std::fs::remove_dir_all(&master).unwrap();
+}
+
+/// An abandoned pending block (crash between `begin` and commit) is swept
+/// to quarantine and never becomes part of the chain.
+#[test]
+fn abandoned_pending_blocks_are_quarantined() {
+    let challenge = challenge();
+    let split = (challenge.dataset.meta.bootstrap_days + 2) as usize;
+    let cfg = LifecycleConfig::default();
+    let root = temp_store("abandoned");
+
+    let mut dir = StoreDir::create(&root, cfg).expect("create store dir");
+    let mut engine = engine_for(&challenge);
+    for day in &challenge.dataset.days[..split] {
+        engine.ingest_day(DayBatch::Dns(day));
+        engine.checkpoint_day_to(&mut dir).expect("daily persist");
+    }
+    // Begin a block and walk away mid-write — the torn .tmp stays behind.
+    let mut pending = dir.begin(earlybird::store::BlockKind::DaySegment).expect("begin");
+    use std::io::Write as _;
+    pending.write_all(b"EBSTORE1 torn half-written segment").unwrap();
+    drop(pending);
+    drop(dir);
+
+    let dir = StoreDir::open(&root, cfg).expect("reopen");
+    assert_eq!(dir.quarantined().len(), 1, "the torn pending block is quarantined");
+    let restored = EngineBuilder::lanl().restore_dir(&dir).expect("chain unaffected");
+    assert_eq!(restored.reports().count(), split);
+    std::fs::remove_dir_all(&root).unwrap();
+}

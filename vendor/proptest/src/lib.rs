@@ -134,7 +134,8 @@ pub mod collection {
 
     use super::strategy::{Strategy, VecStrategy};
 
-    /// Size specification for [`vec`]: an exact `usize` or a `Range<usize>`.
+    /// Size specification for [`vec()`]: an exact `usize` or a
+    /// `Range<usize>`.
     #[derive(Clone, Copy, Debug)]
     pub struct SizeRange {
         min: usize,
