@@ -1,9 +1,10 @@
 //! Machine-readable perf smoke pass for CI: measures ingest throughput,
-//! checkpoint/restore bandwidth, and store-compaction bandwidth on the
-//! benchmark-scale LANL world, and writes a small JSON report
-//! (`BENCH_4.json` by default) that CI uploads as a workflow artifact.
-//! The checked-in `ci/BENCH_4.json` is the baseline; comparing artifacts
-//! across PRs gives the perf trajectory.
+//! checkpoint/restore bandwidth, store-compaction bandwidth, and raw
+//! backend put bandwidth on the benchmark-scale LANL world, and writes a
+//! small JSON report (`BENCH_5.json` by default) that CI uploads as a
+//! workflow artifact. The checked-in `ci/BENCH_5.json` is the baseline
+//! (`ci/BENCH_4.json` is the pre-backend PR-4 reading, kept for the
+//! trajectory); comparing artifacts across PRs gives the perf trend.
 //!
 //! Numbers are medians of a few short runs — a smoke reading to catch
 //! collapses (10x regressions), not a calibrated benchmark; use
@@ -11,8 +12,12 @@
 //!
 //! Usage: `perf_smoke [output.json]`
 
-use earlybird_engine::{compact_store, DayBatch, Engine, EngineBuilder, LifecycleConfig, StoreDir};
+use earlybird_engine::{
+    compact_store, DayBatch, Engine, EngineBuilder, LifecycleConfig, LocalFsBackend, ObjectStore,
+    StoreDir,
+};
 use earlybird_synthgen::lanl::LanlChallenge;
+use std::io::Write as _;
 use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Instant;
@@ -48,7 +53,7 @@ fn ingest_all(challenge: &LanlChallenge) -> (Engine, u64) {
 
 fn main() {
     let out_path =
-        std::env::args().nth(1).map(PathBuf::from).unwrap_or_else(|| "BENCH_4.json".into());
+        std::env::args().nth(1).map(PathBuf::from).unwrap_or_else(|| "BENCH_5.json".into());
     let challenge = earlybird_bench::lanl_world();
     let total_records: u64 = challenge.dataset.days.iter().map(|d| d.queries.len() as u64).sum();
 
@@ -91,15 +96,31 @@ fn main() {
     let _ = std::fs::remove_dir_all(&master);
     let _ = std::fs::remove_dir_all(&scratch);
 
+    // Raw backend put bandwidth: stage + finalize the full snapshot as one
+    // visible-or-absent object through the local-filesystem backend — the
+    // floor under every StoreDir commit.
+    let put_root =
+        std::env::temp_dir().join(format!("earlybird-perf-smoke-put-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&put_root);
+    let backend = LocalFsBackend::new(&put_root).expect("create backend root");
+    let backend_put_secs = median_secs(5, || {
+        let mut upload = backend.put_atomic("bench.ebstore").expect("begin upload");
+        upload.write_all(&snapshot).expect("stage snapshot");
+        upload.finalize().expect("finalize upload");
+    });
+    let backend_put_mb_s = snapshot_bytes as f64 / mib / backend_put_secs;
+    let _ = std::fs::remove_dir_all(&put_root);
+
     let json = format!(
-        "{{\n  \"schema\": \"earlybird-perf-smoke-v1\",\n  \"suite\": \"lanl_small\",\n  \
+        "{{\n  \"schema\": \"earlybird-perf-smoke-v2\",\n  \"suite\": \"lanl_small\",\n  \
          \"ingest_records\": {total_records},\n  \
          \"ingest_records_per_sec\": {ingest_records_per_sec:.0},\n  \
          \"snapshot_bytes\": {snapshot_bytes},\n  \
          \"checkpoint_mb_per_sec\": {checkpoint_mb_per_sec:.1},\n  \
          \"restore_mb_per_sec\": {restore_mb_per_sec:.1},\n  \
          \"compaction_chain_bytes\": {chain_bytes},\n  \
-         \"compaction_mb_per_sec\": {compaction_mb_per_sec:.1}\n}}\n"
+         \"compaction_mb_per_sec\": {compaction_mb_per_sec:.1},\n  \
+         \"backend_put_mb_s\": {backend_put_mb_s:.1}\n}}\n"
     );
     if let Some(parent) = out_path.parent().filter(|p| !p.as_os_str().is_empty()) {
         std::fs::create_dir_all(parent).expect("create report directory");

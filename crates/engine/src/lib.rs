@@ -35,6 +35,10 @@
 //!   [`compact_store`] on a [`CompactionTrigger`], retention GC past
 //!   [`RetentionPolicy::retain_days`], and O(current state) restore via
 //!   [`EngineBuilder::restore_dir`] no matter how long the service ran.
+//!   Storage is pluggable through the [`ObjectStore`] trait —
+//!   [`LocalFsBackend`] (byte-compatible with pre-trait directories),
+//!   [`MemBackend`], or the S3-style [`S3LiteBackend`] with multipart
+//!   staging and a conditional manifest swap.
 //!
 //! # Example
 //!
@@ -74,8 +78,9 @@ pub use batch::DayBatch;
 pub use builder::{EngineBuilder, EngineConfig, EngineError};
 pub use core_loop::{Engine, Investigation, SeedSpec};
 pub use earlybird_store::{
-    CheckpointMeta, CompactionReport, CompactionTrigger, FaultInjector, LifecycleConfig,
-    RetentionPolicy, StoreDir, StoreError, StoreResult,
+    CheckpointMeta, CompactionReport, CompactionTrigger, FaultInjector, FaultedStore,
+    LifecycleConfig, LocalFsBackend, MemBackend, ObjectStore, RetentionPolicy, S3LiteBackend,
+    StoreDir, StoreError, StoreResult,
 };
 pub use ingest::{DayIngest, IngestSource};
 pub use persist::{compact_store, DayPersist};

@@ -145,10 +145,10 @@ impl Engine {
     }
 
     /// [`Engine::checkpoint`] against a managed [`StoreDir`]: the full
-    /// block is written to a temp file and committed atomically, replacing
-    /// the directory's whole chain (the incremental cursor resets only
-    /// after the commit is durable, so a failed commit never strands
-    /// unpersisted state).
+    /// block is staged through the store's backend (a temp file, a
+    /// multipart upload) and committed atomically, replacing the store's
+    /// whole chain (the incremental cursor resets only after the commit
+    /// is durable, so a failed commit never strands unpersisted state).
     ///
     /// # Errors
     ///
@@ -313,18 +313,23 @@ impl Engine {
         let payload = block.section(SectionTag::Reports)?;
         let mut d = Decoder::new(&payload, SectionTag::Reports.name());
         // Mirror of the write-side `StaleSegment` guard: a segment may only
-        // carry days beyond everything already replayed.
-        let newest = self.reports.keys().next_back().copied();
+        // carry days beyond everything already replayed — including days
+        // earlier *in the same segment*, so an internally-descending
+        // (corrupt or hand-crafted) segment is rejected too.
+        let mut newest = self.reports.keys().next_back().copied();
         let is_segment = block.kind() == BlockKind::DaySegment;
         let n = d.seq_len(4)?;
         for _ in 0..n {
             let report = read_day_report(&mut d)?;
             let day = report.day;
-            if is_segment && newest.is_some_and(|newest| day < newest) {
-                return Err(StoreError::corrupt(format!(
-                    "segment persists stale {day} behind already-replayed {}",
-                    newest.expect("checked")
-                )));
+            if is_segment {
+                if newest.is_some_and(|newest| day < newest) {
+                    return Err(StoreError::corrupt(format!(
+                        "segment persists stale {day} behind already-replayed {}",
+                        newest.expect("checked")
+                    )));
+                }
+                newest = Some(day);
             }
             if self.reports.insert(day, report).is_some() {
                 return Err(StoreError::corrupt(format!("duplicate report for {day}")));
@@ -395,7 +400,9 @@ pub struct DayPersist {
 /// evicted days — and the re-snapshotted state is committed through
 /// [`StoreDir::commit_full`]'s atomic manifest swap. A crash at any point
 /// leaves either the old chain or the new block, never a torn store;
-/// leftover files are quarantined by the next [`StoreDir::open`].
+/// leftover objects are quarantined by the next [`StoreDir::open`], and
+/// superseded blocks whose best-effort deletion fails are counted in
+/// [`CompactionReport::gc_failures`] rather than silently leaked.
 ///
 /// An engine restored from the compacted store continues bit-identically
 /// to one restored from the original chain (see the `lifecycle`
@@ -411,6 +418,7 @@ pub fn compact_store(dir: &mut StoreDir) -> StoreResult<CompactionReport> {
     }
     let bytes_before = dir.chain_bytes();
     let segments_folded = dir.segment_count();
+    let gc_before = dir.gc_failures();
     let mut scratch = EngineBuilder::lanl().restore(&mut dir.reader()?)?;
     let days_pruned = match dir.config().retention.retain_days {
         Some(keep) => scratch.prune_retained(keep),
@@ -424,6 +432,7 @@ pub fn compact_store(dir: &mut StoreDir) -> StoreResult<CompactionReport> {
         bytes_before,
         bytes_after: meta.bytes,
         days_pruned,
+        gc_failures: dir.gc_failures() - gc_before,
         full: meta,
     })
 }

@@ -57,6 +57,39 @@ pub enum StoreError {
         /// Index of the newest day already persisted to the stream.
         last_persisted: u32,
     },
+    /// The backing store refuses writes — detected up front (before a
+    /// quarantine sweep or a commit mutates anything), so the caller gets
+    /// one actionable error instead of a half-applied mutation and a raw
+    /// I/O failure. The underlying `io::Error`, when one revealed the
+    /// condition, is kept as the [`std::error::Error::source`].
+    ReadOnlyStore {
+        /// Where the store lives (a path for the local backend, a bucket
+        /// description otherwise).
+        store: String,
+        /// The I/O failure that revealed the condition, if any (an
+        /// up-front permission probe carries `None`).
+        source: Option<std::io::Error>,
+    },
+    /// A staged upload's finalize found an object already committed under
+    /// its target name: another writer won the race for this generation
+    /// (chain object names are generation-derived). The existing object is
+    /// left untouched — the loser's bytes never become visible.
+    ObjectConflict {
+        /// Name both writers raced for.
+        name: String,
+    },
+    /// A conditional manifest swap observed a different generation than
+    /// the writer expected: another writer committed first. The store is
+    /// intact (the competing commit won); reopen it to see the new chain
+    /// before retrying.
+    ManifestConflict {
+        /// Generation the losing writer expected to supersede (`None`
+        /// when it tried to create a fresh store).
+        expected: Option<u64>,
+        /// Generation actually in the store (`None` when no manifest
+        /// exists yet).
+        found: Option<u64>,
+    },
 }
 
 impl StoreError {
@@ -91,6 +124,34 @@ impl fmt::Display for StoreError {
                      {last_persisted}: the segment chain must move forward"
                 )
             }
+            StoreError::ReadOnlyStore { store, .. } => {
+                write!(
+                    f,
+                    "store at {store} is read-only: quarantine sweeps and commits need write \
+                     access — fix the permissions, or copy the chain somewhere writable before \
+                     opening"
+                )
+            }
+            StoreError::ObjectConflict { name } => {
+                write!(
+                    f,
+                    "object {name:?} already exists: another writer committed this generation \
+                     first; reopen the store and retry"
+                )
+            }
+            StoreError::ManifestConflict { expected, found } => {
+                let fmt_gen = |g: &Option<u64>| match g {
+                    Some(g) => format!("generation {g}"),
+                    None => "no manifest".to_string(),
+                };
+                write!(
+                    f,
+                    "conditional manifest swap refused: writer expected {}, store holds {} — \
+                     another writer committed first; reopen the store and retry",
+                    fmt_gen(expected),
+                    fmt_gen(found)
+                )
+            }
         }
     }
 }
@@ -99,6 +160,7 @@ impl std::error::Error for StoreError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             StoreError::Io(e) => Some(e),
+            StoreError::ReadOnlyStore { source: Some(e), .. } => Some(e),
             _ => None,
         }
     }
@@ -107,5 +169,62 @@ impl std::error::Error for StoreError {
 impl From<std::io::Error> for StoreError {
     fn from(e: std::io::Error) -> Self {
         StoreError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+    use std::io;
+
+    /// The satellite contract: underlying `io::Error`s are *wrapped*, not
+    /// stringified — `Display` stays human-readable while `source()` hands
+    /// back the original error with its kind and message intact.
+    #[test]
+    fn display_and_source_roundtrip_the_underlying_io_error() {
+        let inner = io::Error::new(io::ErrorKind::PermissionDenied, "EACCES on MANIFEST.tmp");
+        let err: StoreError = inner.into();
+        assert!(err.to_string().contains("EACCES on MANIFEST.tmp"), "{err}");
+
+        let source = err.source().expect("Io must expose its source");
+        let io_back = source.downcast_ref::<io::Error>().expect("source is the io::Error");
+        assert_eq!(io_back.kind(), io::ErrorKind::PermissionDenied);
+        assert_eq!(io_back.to_string(), "EACCES on MANIFEST.tmp");
+
+        // The chain survives boxing as a generic error object.
+        let boxed: Box<dyn std::error::Error> = Box::new(err);
+        let kind = boxed.source().and_then(|s| s.downcast_ref::<io::Error>()).map(io::Error::kind);
+        assert_eq!(kind, Some(io::ErrorKind::PermissionDenied));
+    }
+
+    #[test]
+    fn read_only_store_keeps_its_revealing_io_error_as_source() {
+        let inner = io::Error::new(io::ErrorKind::PermissionDenied, "read-only filesystem");
+        let err = StoreError::ReadOnlyStore { store: "/srv/store".into(), source: Some(inner) };
+        let shown = err.to_string();
+        assert!(shown.contains("/srv/store"), "{shown}");
+        assert!(shown.contains("read-only"), "{shown}");
+        let source = err.source().expect("revealing io::Error exposed");
+        assert_eq!(
+            source.downcast_ref::<io::Error>().map(io::Error::kind),
+            Some(io::ErrorKind::PermissionDenied)
+        );
+
+        // The probe path has no io::Error to wrap; source is then empty.
+        let probe = StoreError::ReadOnlyStore { store: "mem".into(), source: None };
+        assert!(probe.source().is_none());
+    }
+
+    #[test]
+    fn variants_without_an_underlying_error_have_no_source() {
+        for err in [
+            StoreError::BadMagic,
+            StoreError::Truncated { context: "x" },
+            StoreError::corrupt("y"),
+            StoreError::ManifestConflict { expected: Some(1), found: Some(2) },
+        ] {
+            assert!(err.source().is_none(), "{err}");
+        }
     }
 }

@@ -19,15 +19,23 @@
 //!   (interners, host map, histories, day indexes, models, WHOIS), written
 //!   against public snapshot hooks so the format survives internal
 //!   refactors.
-//! * [`lifecycle`] — the snapshot *directory* layer: a [`StoreDir`] owning
-//!   a CRC-protected, atomically-replaced `MANIFEST` over the
+//! * [`backend`] — the storage service boundary: every durable operation
+//!   flows through the [`ObjectStore`] trait (staged visible-or-absent
+//!   uploads, conditional manifest swap, quarantine), with three shipped
+//!   backends — [`LocalFsBackend`] (tmp+fsync+rename, byte-compatible
+//!   with pre-trait stores), [`MemBackend`] (fast tests), and
+//!   [`S3LiteBackend`] (S3-style multipart staging + conditional put, the
+//!   adapter shape a real S3/GCS client drops into) — plus the
+//!   backend-level [`FaultedStore`] crash harness.
+//! * [`lifecycle`] — the snapshot *store* layer: a [`StoreDir`] owning
+//!   a CRC-protected, atomically-swapped `MANIFEST` over the
 //!   `full + N segments` chain, with crash-safe commits, orphan
 //!   quarantine, a compaction trigger, and a retention policy, so restore
 //!   stays O(current state) instead of O(uptime).
 //! * [`StoreError`] — the typed failure surface: bad magic, future
-//!   version, checksum mismatch, truncation, semantic corruption, and
-//!   stale (backwards) day segments are all distinct, and none of them
-//!   panic.
+//!   version, checksum mismatch, truncation, semantic corruption, stale
+//!   (backwards) day segments, read-only stores, and lost manifest races
+//!   are all distinct, and none of them panic.
 //!
 //! The user-facing API lives on the engine: `Engine::checkpoint` /
 //! `Engine::checkpoint_day` write blocks, `EngineBuilder::restore` reads a
@@ -37,16 +45,21 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod codec;
 mod error;
 pub mod frame;
 pub mod lifecycle;
 pub mod sections;
 
+pub use backend::{
+    FaultInjector, FaultedStore, LocalFsBackend, MemBackend, ObjectInfo, ObjectStore, ObjectUpload,
+    S3LiteBackend,
+};
 pub use codec::{crc32, Decoder, Encoder};
 pub use error::{StoreError, StoreResult};
 pub use frame::{BlockKind, BlockReader, BlockWriter, CheckpointMeta, SectionTag, FORMAT_VERSION};
 pub use lifecycle::{
-    ChainReader, CompactionReport, CompactionTrigger, FaultInjector, LifecycleConfig,
-    ManifestEntry, PendingBlock, RetentionPolicy, StoreDir,
+    ChainReader, CompactionReport, CompactionTrigger, LifecycleConfig, ManifestEntry, PendingBlock,
+    RetentionPolicy, StoreDir,
 };

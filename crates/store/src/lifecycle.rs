@@ -1,36 +1,42 @@
-//! Manifest-driven snapshot directory lifecycle: bounded chains, atomic
-//! commits, compaction, and retention GC.
+//! Manifest-driven snapshot lifecycle: bounded chains, atomic commits,
+//! compaction, and retention GC — over any [`ObjectStore`] backend.
 //!
 //! The raw block layer ([`crate::frame`]) writes an append-only stream —
 //! one full snapshot plus one segment per day — which is exactly wrong for
 //! a service that runs for months: restore cost grows O(uptime) and
 //! nothing ever prunes state. [`StoreDir`] turns that stream into a
-//! *managed directory*:
+//! *managed store*:
 //!
 //! ```text
-//! store/
-//!   MANIFEST              small, CRC-protected, atomically replaced
+//! store (an ObjectStore namespace — a directory, a memory map, a bucket)
+//!   MANIFEST              small, CRC-protected, atomically swapped
 //!   full-000003.ebstore   the chain's full snapshot
 //!   seg-000004.ebstore    ordered O(day) segments …
 //!   seg-000005.ebstore
-//!   quarantine/           orphaned / leftover files moved aside at open
+//!   quarantine/…          orphaned / leftover objects moved aside at open
 //! ```
 //!
-//! The `MANIFEST` records the ordered chain of `full + N segment` files
+//! The `MANIFEST` records the ordered chain of `full + N segment` objects
 //! (name, byte length, block CRC) under its own magic, version, and
-//! trailing CRC-32. Every mutation follows the same discipline:
+//! trailing CRC-32. Every mutation follows the same discipline, phrased in
+//! terms of the [`ObjectStore`] contract (see [`crate::backend`]):
 //!
-//! 1. write the new file to a `*.tmp` name and fsync it;
-//! 2. rename it to its final name and fsync the directory;
-//! 3. write `MANIFEST.tmp`, fsync, rename over `MANIFEST`, fsync the
-//!    directory;
-//! 4. only then delete files the new manifest no longer references
-//!    (best-effort — leftovers are quarantined at the next open).
+//! 1. stage the new object through [`ObjectStore::put_atomic`] (a tmp
+//!    file, a buffered blob, multipart parts — the backend's business);
+//! 2. finalize it, making it visible under its final name;
+//! 3. swap the manifest via [`ObjectStore::swap_manifest`] — atomic, and
+//!    conditional on the generation where the backend supports it;
+//! 4. only then delete objects the new manifest no longer references
+//!    (best-effort — failures are counted in [`StoreDir::gc_failures`],
+//!    and leftovers are quarantined at the next open).
 //!
 //! A crash between any two steps leaves either the old chain or the new
-//! one, never a torn store: un-renamed temp files and committed-but-
-//! unreferenced blocks are swept into `quarantine/` by [`StoreDir::open`],
-//! which restores in O(current state) regardless of uptime.
+//! one, never a torn store: staged uploads and committed-but-unreferenced
+//! blocks are swept into quarantine by [`StoreDir::open`], which restores
+//! in O(current state) regardless of uptime. The crash suites prove this
+//! for every backend by counting *backend mutations* through a
+//! [`FaultedStore`] wrapper and killing each
+//! one in turn.
 //!
 //! Compaction and retention *policy* lives here ([`LifecycleConfig`]); the
 //! pass itself needs an engine to replay the chain, so it lives in
@@ -41,23 +47,23 @@
 //! new full block, and atomically swap the manifest via
 //! [`StoreDir::commit_full`].
 
+use crate::backend::{
+    FaultInjector, FaultedStore, LocalFsBackend, MemBackend, ObjectStore, ObjectUpload,
+    MANIFEST_NAME,
+};
 use crate::codec::{crc32, Decoder, Encoder};
 use crate::error::{StoreError, StoreResult};
 use crate::frame::{BlockKind, CheckpointMeta};
-use std::fs::{self, File, OpenOptions};
+use std::collections::BTreeMap;
+use std::fmt;
 use std::io::{self, BufWriter, Read, Write};
-use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
-use std::sync::Arc;
+use std::path::PathBuf;
 
-/// Magic bytes opening the `MANIFEST` file.
+/// Magic bytes opening the `MANIFEST` object.
 pub const MANIFEST_MAGIC: [u8; 8] = *b"EBMANIF1";
 
 /// Newest manifest layout revision this build reads and writes.
 pub const MANIFEST_VERSION: u16 = 1;
-
-const MANIFEST_NAME: &str = "MANIFEST";
-const QUARANTINE_DIR: &str = "quarantine";
 
 // -- policy -----------------------------------------------------------------
 
@@ -103,8 +109,8 @@ pub struct RetentionPolicy {
 }
 
 /// The lifecycle knobs of a [`StoreDir`]: compaction trigger plus retention
-/// policy. Operational, not part of the on-disk format — two processes may
-/// open the same directory with different configurations.
+/// policy. Operational, not part of the stored format — two processes may
+/// open the same store with different configurations.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct LifecycleConfig {
     /// When the segment chain is compacted.
@@ -125,18 +131,22 @@ pub struct CompactionReport {
     pub bytes_after: u64,
     /// Retained contact indexes pruned by the retention policy.
     pub days_pruned: usize,
+    /// Superseded chain objects whose best-effort GC deletion failed
+    /// during the pass (they leak until the next open quarantines them) —
+    /// non-fatal, but operators should watch it.
+    pub gc_failures: u64,
     /// The new full block's summary.
     pub full: CheckpointMeta,
 }
 
 // -- manifest ---------------------------------------------------------------
 
-/// One file of the chain, as recorded by the manifest.
+/// One object of the chain, as recorded by the manifest.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ManifestEntry {
     /// Full snapshot or day segment.
     pub kind: BlockKind,
-    /// File name relative to the store directory.
+    /// Object name within the store's namespace.
     pub name: String,
     /// Expected byte length (block including magic and CRC).
     pub bytes: u64,
@@ -147,7 +157,8 @@ pub struct ManifestEntry {
 /// The decoded `MANIFEST`: a generation counter plus the ordered chain.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 struct Manifest {
-    /// Monotonic commit counter; also seeds unique chain file names.
+    /// Monotonic commit counter; also seeds unique chain object names and
+    /// conditions the backend's manifest swap.
     generation: u64,
     entries: Vec<ManifestEntry>,
 }
@@ -227,121 +238,66 @@ impl Manifest {
     }
 }
 
-// -- fault injection --------------------------------------------------------
-
-/// Deterministic crash simulation for durability tests: fails the N-th
-/// filesystem mutation (and every one after it, like a dead process).
-///
-/// Production code never sets this; the crash-during-compaction suite uses
-/// it to kill the lifecycle at every write/rename point and prove
-/// [`StoreDir::open`] always recovers a valid chain. The countdown is
-/// shared by clones, so a [`PendingBlock`] split off a [`StoreDir`] dies
-/// with it.
-#[derive(Clone, Debug, Default)]
-pub struct FaultInjector {
-    /// `-1` = disarmed; `0` = dead (every op fails); `n > 0` = ops left.
-    countdown: Arc<AtomicI64>,
-    /// Whether an operation has actually been failed.
-    fired: Arc<AtomicBool>,
-}
-
-impl FaultInjector {
-    /// A disarmed injector (all operations succeed).
-    pub fn new() -> Self {
-        FaultInjector {
-            countdown: Arc::new(AtomicI64::new(-1)),
-            fired: Arc::new(AtomicBool::new(false)),
-        }
-    }
-
-    /// Arms the injector: the `ops`-th subsequent filesystem mutation (0 =
-    /// the very next one) fails with an injected I/O error, as does every
-    /// mutation after it.
-    pub fn arm(&self, ops: u64) {
-        self.fired.store(false, Ordering::SeqCst);
-        self.countdown.store(ops.min(i64::MAX as u64) as i64, Ordering::SeqCst);
-    }
-
-    /// Disarms the injector.
-    pub fn disarm(&self) {
-        self.countdown.store(-1, Ordering::SeqCst);
-    }
-
-    /// Whether the injected crash has actually failed an operation (the
-    /// armed countdown may also simply outlive the run).
-    pub fn crashed(&self) -> bool {
-        self.fired.load(Ordering::SeqCst)
-    }
-
-    /// Accounts one filesystem mutation, failing if the crash point has
-    /// been reached.
-    fn tick(&self, op: &'static str) -> StoreResult<()> {
-        let left = self.countdown.load(Ordering::SeqCst);
-        if left < 0 {
-            return Ok(());
-        }
-        if left == 0 {
-            self.fired.store(true, Ordering::SeqCst);
-            return Err(StoreError::Io(io::Error::other(format!("injected crash at {op}"))));
-        }
-        self.countdown.store(left - 1, Ordering::SeqCst);
-        Ok(())
-    }
-}
-
 // -- pending blocks ---------------------------------------------------------
 
-/// A chain file being written: an anonymous `*.tmp` in the store directory
-/// that becomes visible only when committed through
-/// [`StoreDir::commit_full`] / [`StoreDir::commit_segment`]. Dropping it
-/// uncommitted leaves only a temp file, which the next
-/// [`StoreDir::open`] quarantines.
+/// A chain object being written: a staged [`ObjectUpload`] that becomes
+/// visible only when committed through [`StoreDir::commit_full`] /
+/// [`StoreDir::commit_segment`]. Dropping it uncommitted abandons the
+/// upload — at most staging residue remains, which the next
+/// [`StoreDir::open`] quarantines (or, for multipart backends, the
+/// staging-area reaper collects).
 #[derive(Debug)]
 pub struct PendingBlock {
     kind: BlockKind,
-    tmp: PathBuf,
-    file: BufWriter<File>,
-    fault: FaultInjector,
+    name: String,
+    upload: BufWriter<Box<dyn ObjectUpload>>,
 }
 
 impl Write for PendingBlock {
     fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
-        self.file.write(buf)
+        self.upload.write(buf)
     }
 
     fn flush(&mut self) -> io::Result<()> {
-        self.file.flush()
+        self.upload.flush()
     }
 }
 
 impl PendingBlock {
-    /// Flushes and fsyncs the temp file, returning its path.
-    fn seal(mut self) -> StoreResult<(BlockKind, PathBuf)> {
-        self.fault.tick("fsync of the pending block")?;
-        self.file.flush()?;
-        self.file.get_ref().sync_all()?;
-        Ok((self.kind, self.tmp))
+    /// Flushes the staging buffer and hands back the raw upload for
+    /// commit.
+    fn seal(mut self) -> StoreResult<(BlockKind, String, Box<dyn ObjectUpload>)> {
+        self.upload.flush()?;
+        let upload = self.upload.into_inner().map_err(|e| StoreError::Io(e.into_error()))?;
+        Ok((self.kind, self.name, upload))
     }
 }
 
 // -- the store directory ----------------------------------------------------
 
-/// A snapshot directory owned through its manifest: every visible chain
-/// mutation is an atomic manifest replacement, so a crash at any point
-/// leaves either the old chain or the new one. See the module docs for the
-/// layout and the commit discipline.
+/// A snapshot store owned through its manifest: every visible chain
+/// mutation is an atomic manifest swap, so a crash at any point leaves
+/// either the old chain or the new one. See the module docs for the layout
+/// and the commit discipline.
+///
+/// The storage medium is pluggable: [`StoreDir::create`] / [`StoreDir::open`]
+/// keep the original local-directory signatures (via
+/// [`LocalFsBackend`]), and the `_with` constructors accept any
+/// [`ObjectStore`] — in-memory, the S3-style simulation, or a real
+/// object-store adapter.
 #[derive(Debug)]
 pub struct StoreDir {
-    root: PathBuf,
+    backend: Box<dyn ObjectStore>,
     cfg: LifecycleConfig,
     manifest: Manifest,
-    quarantined: Vec<PathBuf>,
-    fault: FaultInjector,
+    quarantined: Vec<String>,
+    gc_failures: u64,
 }
 
 impl StoreDir {
-    /// Creates a fresh store directory (parents included) with an empty
-    /// chain.
+    /// Creates a fresh store on a local directory (parents included) with
+    /// an empty chain — shorthand for [`StoreDir::create_with`] over a
+    /// [`LocalFsBackend`].
     ///
     /// # Errors
     ///
@@ -349,31 +305,51 @@ impl StoreDir {
     /// holds a `MANIFEST` is refused as [`StoreError::Corrupt`] — use
     /// [`StoreDir::open`] (or [`StoreDir::open_or_create`]) for those.
     pub fn create(root: impl Into<PathBuf>, cfg: LifecycleConfig) -> StoreResult<Self> {
-        let root = root.into();
-        fs::create_dir_all(&root)?;
-        if root.join(MANIFEST_NAME).exists() {
-            return Err(StoreError::corrupt(format!(
-                "{} already holds a store (open it instead of creating over it)",
-                root.display()
-            )));
-        }
-        let mut dir = StoreDir {
-            root,
-            cfg,
-            manifest: Manifest::default(),
-            quarantined: Vec::new(),
-            fault: FaultInjector::new(),
-        };
-        let manifest = dir.manifest.clone();
-        dir.write_manifest(&manifest)?;
-        Ok(dir)
+        Self::create_with(LocalFsBackend::new(root)?, cfg)
     }
 
-    /// Opens an existing store directory: reads and validates the
+    /// Creates a fresh store on any backend with an empty chain.
+    ///
+    /// # Errors
+    ///
+    /// As for [`StoreDir::create`], plus [`StoreError::ManifestConflict`]
+    /// when a concurrent writer creates the store first (conditional
+    /// backends).
+    pub fn create_with(
+        backend: impl ObjectStore + 'static,
+        cfg: LifecycleConfig,
+    ) -> StoreResult<Self> {
+        Self::create_boxed(Box::new(backend), cfg)
+    }
+
+    fn create_boxed(backend: Box<dyn ObjectStore>, cfg: LifecycleConfig) -> StoreResult<Self> {
+        if backend.read_manifest()?.is_some() {
+            return Err(StoreError::corrupt(format!(
+                "{} already holds a store (open it instead of creating over it)",
+                backend.describe()
+            )));
+        }
+        let manifest = Manifest::default();
+        backend.swap_manifest(None, manifest.generation, &manifest.encode())?;
+        Ok(StoreDir { backend, cfg, manifest, quarantined: Vec::new(), gc_failures: 0 })
+    }
+
+    /// Opens an existing store on a local directory — shorthand for
+    /// [`StoreDir::open_with`] over a [`LocalFsBackend`]. Byte-compatible
+    /// with directories written before the backend split.
+    ///
+    /// # Errors
+    ///
+    /// As for [`StoreDir::open_with`].
+    pub fn open(root: impl Into<PathBuf>, cfg: LifecycleConfig) -> StoreResult<Self> {
+        Self::open_with(LocalFsBackend::new(root)?, cfg)
+    }
+
+    /// Opens an existing store on any backend: reads and validates the
     /// `MANIFEST` (magic, version, CRC, entry ordering), verifies every
-    /// referenced chain file exists with its recorded length, and sweeps
-    /// orphaned files — leftover `*.tmp`s and `*.ebstore` blocks no
-    /// manifest references, the residue of a crash — into `quarantine/`.
+    /// referenced chain object exists with its recorded length, and sweeps
+    /// orphaned objects — leftover `*.tmp`s and `*.ebstore` blocks no
+    /// manifest references, the residue of a crash — into quarantine.
     ///
     /// Open (and the restore that follows) is O(current state): however
     /// long the service ran, the chain holds one full block plus the
@@ -382,49 +358,64 @@ impl StoreDir {
     /// # Errors
     ///
     /// Typed [`StoreError`]s for a missing, corrupt, or future-versioned
-    /// manifest, and for manifest-referenced files that are missing or
-    /// damaged on disk (a broken chain is surfaced, never silently
-    /// repaired).
-    pub fn open(root: impl Into<PathBuf>, cfg: LifecycleConfig) -> StoreResult<Self> {
-        let root = root.into();
-        let manifest_bytes = match fs::read(root.join(MANIFEST_NAME)) {
-            Ok(bytes) => bytes,
-            Err(e) if e.kind() == io::ErrorKind::NotFound => {
-                return Err(StoreError::corrupt(format!(
-                    "{} has no MANIFEST: not a store directory",
-                    root.display()
-                )))
-            }
-            Err(e) => return Err(e.into()),
+    /// manifest, and for manifest-referenced objects that are missing or
+    /// damaged (a broken chain is surfaced, never silently repaired). A
+    /// store that needs a quarantine sweep but refuses writes fails up
+    /// front as [`StoreError::ReadOnlyStore`].
+    pub fn open_with(
+        backend: impl ObjectStore + 'static,
+        cfg: LifecycleConfig,
+    ) -> StoreResult<Self> {
+        Self::open_boxed(Box::new(backend), cfg)
+    }
+
+    fn open_boxed(backend: Box<dyn ObjectStore>, cfg: LifecycleConfig) -> StoreResult<Self> {
+        let Some(manifest_bytes) = backend.read_manifest()? else {
+            return Err(StoreError::corrupt(format!(
+                "{} has no MANIFEST: not a store",
+                backend.describe()
+            )));
         };
         let manifest = Manifest::decode(&manifest_bytes)?;
-        let mut dir =
-            StoreDir { root, cfg, manifest, quarantined: Vec::new(), fault: FaultInjector::new() };
+        let mut dir = StoreDir { backend, cfg, manifest, quarantined: Vec::new(), gc_failures: 0 };
         dir.validate_chain()?;
         dir.sweep_orphans()?;
         Ok(dir)
     }
 
     /// [`StoreDir::open`] when a manifest exists, [`StoreDir::create`]
-    /// otherwise — the idiomatic entry point for a daily-cycle service.
+    /// otherwise — the idiomatic entry point for a daily-cycle service on
+    /// a local directory.
     ///
     /// # Errors
     ///
     /// As for [`StoreDir::open`] / [`StoreDir::create`].
     pub fn open_or_create(root: impl Into<PathBuf>, cfg: LifecycleConfig) -> StoreResult<Self> {
-        let root = root.into();
-        if root.join(MANIFEST_NAME).exists() {
-            Self::open(root, cfg)
+        Self::open_or_create_with(LocalFsBackend::new(root)?, cfg)
+    }
+
+    /// [`StoreDir::open_or_create`] for any backend.
+    ///
+    /// # Errors
+    ///
+    /// As for [`StoreDir::open_with`] / [`StoreDir::create_with`].
+    pub fn open_or_create_with(
+        backend: impl ObjectStore + 'static,
+        cfg: LifecycleConfig,
+    ) -> StoreResult<Self> {
+        let backend: Box<dyn ObjectStore> = Box::new(backend);
+        if backend.read_manifest()?.is_some() {
+            Self::open_boxed(backend, cfg)
         } else {
-            Self::create(root, cfg)
+            Self::create_boxed(backend, cfg)
         }
     }
 
     // -- accessors ----------------------------------------------------------
 
-    /// The directory this store owns.
-    pub fn path(&self) -> &Path {
-        &self.root
+    /// The backend this store runs on.
+    pub fn backend(&self) -> &dyn ObjectStore {
+        self.backend.as_ref()
     }
 
     /// The lifecycle configuration supplied at open/create.
@@ -469,15 +460,26 @@ impl StoreDir {
             || t.max_segment_bytes.is_some_and(|b| self.segment_bytes() > b)
     }
 
-    /// Files moved into `quarantine/` by [`StoreDir::open`].
-    pub fn quarantined(&self) -> &[PathBuf] {
+    /// Objects moved into quarantine by [`StoreDir::open`] (paths for the
+    /// local backend, quarantine keys otherwise).
+    pub fn quarantined(&self) -> &[String] {
         &self.quarantined
     }
 
-    /// Installs a [`FaultInjector`] for durability tests; every subsequent
-    /// filesystem mutation is accounted against it.
+    /// Superseded chain objects whose best-effort GC deletion has failed
+    /// over this handle's lifetime. Non-fatal — the objects leak until the
+    /// next open quarantines them — but a growing count means the backend
+    /// is refusing deletes and an operator should look.
+    pub fn gc_failures(&self) -> u64 {
+        self.gc_failures
+    }
+
+    /// Installs a [`FaultInjector`] for durability tests by wrapping the
+    /// backend in a [`FaultedStore`]; every subsequent backend mutation is
+    /// accounted against it.
     pub fn set_fault_injector(&mut self, fault: FaultInjector) {
-        self.fault = fault;
+        let inner = std::mem::replace(&mut self.backend, Box::new(MemBackend::new()));
+        self.backend = Box::new(FaultedStore::boxed(inner, fault));
     }
 
     // -- reading ------------------------------------------------------------
@@ -487,16 +489,16 @@ impl StoreDir {
     ///
     /// # Errors
     ///
-    /// [`StoreError::Io`] if a chain file cannot be opened.
-    pub fn reader(&self) -> StoreResult<ChainReader> {
-        let files: Vec<PathBuf> =
-            self.manifest.entries.iter().map(|e| self.root.join(&e.name)).collect();
-        Ok(ChainReader { files: files.into_iter(), current: None })
+    /// [`StoreError::Io`] if a chain object cannot be opened (surfaced
+    /// lazily per object while reading).
+    pub fn reader(&self) -> StoreResult<ChainReader<'_>> {
+        let names: Vec<String> = self.manifest.entries.iter().map(|e| e.name.clone()).collect();
+        Ok(ChainReader { backend: self.backend.as_ref(), names: names.into_iter(), current: None })
     }
 
     // -- writing ------------------------------------------------------------
 
-    /// Opens a new chain file of `kind`, written to a temp name until
+    /// Opens a new chain object of `kind`, staged invisibly until
     /// committed. The returned handle implements [`Write`]; hand it to the
     /// engine's block writer, then commit via [`StoreDir::commit_full`] /
     /// [`StoreDir::commit_segment`].
@@ -504,44 +506,50 @@ impl StoreDir {
     /// # Errors
     ///
     /// [`StoreError::Corrupt`] when a segment is begun on an empty chain
-    /// (a full snapshot must exist first); [`StoreError::Io`] on
-    /// filesystem failures.
+    /// (a full snapshot must exist first); backend errors otherwise.
     pub fn begin(&self, kind: BlockKind) -> StoreResult<PendingBlock> {
         if kind == BlockKind::DaySegment && self.is_empty() {
             return Err(StoreError::corrupt(
                 "cannot append a segment to an empty store: write a full snapshot first",
             ));
         }
-        self.fault.tick("creation of the pending block")?;
-        let tmp = self.root.join(format!("pending-{:06}.tmp", self.manifest.generation + 1));
-        let file = OpenOptions::new().write(true).create(true).truncate(true).open(&tmp)?;
-        Ok(PendingBlock { kind, tmp, file: BufWriter::new(file), fault: self.fault.clone() })
+        let name = Self::chain_name(kind, self.manifest.generation + 1);
+        let upload = self.backend.put_atomic(&name)?;
+        Ok(PendingBlock { kind, name, upload: BufWriter::with_capacity(256 * 1024, upload) })
+    }
+
+    fn chain_name(kind: BlockKind, generation: u64) -> String {
+        let prefix = if kind == BlockKind::Full { "full" } else { "seg" };
+        format!("{prefix}-{generation:06}.ebstore")
     }
 
     /// Commits a full snapshot, **replacing the whole chain**: the pending
-    /// file is fsynced and renamed to `full-<generation>.ebstore`, the
-    /// manifest atomically swaps to reference only it, and the previous
-    /// chain's files are deleted best-effort (a crash before deletion
-    /// leaves them for quarantine). This is both the first-checkpoint path
-    /// and the compaction commit.
+    /// object is finalized as `full-<generation>.ebstore`, the manifest
+    /// atomically swaps to reference only it, and the previous chain's
+    /// objects are deleted best-effort (failures count in
+    /// [`StoreDir::gc_failures`]; a crash before deletion leaves them for
+    /// quarantine). This is both the first-checkpoint path and the
+    /// compaction commit.
     ///
     /// # Errors
     ///
     /// [`StoreError::Corrupt`] when `pending` is not a full block or `meta`
-    /// disagrees with it; [`StoreError::Io`] on filesystem failures.
+    /// disagrees with it; backend errors (including
+    /// [`StoreError::ManifestConflict`] on a lost multi-writer race)
+    /// otherwise.
     pub fn commit_full(&mut self, pending: PendingBlock, meta: &CheckpointMeta) -> StoreResult<()> {
         self.commit(pending, meta, BlockKind::Full)
     }
 
-    /// Commits a day segment: the pending file is fsynced and renamed to
+    /// Commits a day segment: the pending object is finalized as
     /// `seg-<generation>.ebstore` and the manifest atomically swaps to a
     /// copy with the segment appended to the chain.
     ///
     /// # Errors
     ///
     /// [`StoreError::Corrupt`] when `pending` is not a segment block, the
-    /// chain is empty, or `meta` disagrees with the bytes written;
-    /// [`StoreError::Io`] on filesystem failures.
+    /// chain is empty, or `meta` disagrees with the bytes written; backend
+    /// errors otherwise.
     pub fn commit_segment(
         &mut self,
         pending: PendingBlock,
@@ -567,22 +575,27 @@ impl StoreDir {
                 "cannot commit a segment to an empty store: write a full snapshot first",
             ));
         }
-        let (kind, tmp) = pending.seal()?;
-        let written = fs::metadata(&tmp)?.len();
-        if written != meta.bytes {
-            let _ = fs::remove_file(&tmp);
+        let (kind, name, upload) = pending.seal()?;
+        let generation = self.manifest.generation + 1;
+        if name != Self::chain_name(kind, generation) {
+            // A pending block begun before an intervening commit carries a
+            // generation-stale name; committing it would duplicate a chain
+            // entry and brick the manifest. Abandon it (drop) instead.
             return Err(StoreError::corrupt(format!(
-                "pending block holds {written} bytes but its meta claims {}",
+                "pending block {name:?} was begun at an earlier generation (the chain has moved \
+                 to {}); begin a fresh block",
+                self.manifest.generation
+            )));
+        }
+        let staged = upload.bytes_staged();
+        if staged != meta.bytes {
+            // Abandon the upload (drop): it never becomes visible.
+            return Err(StoreError::corrupt(format!(
+                "pending block holds {staged} bytes but its meta claims {}",
                 meta.bytes
             )));
         }
-
-        let generation = self.manifest.generation + 1;
-        let prefix = if kind == BlockKind::Full { "full" } else { "seg" };
-        let name = format!("{prefix}-{generation:06}.ebstore");
-        self.fault.tick("rename of the committed block")?;
-        fs::rename(&tmp, self.root.join(&name))?;
-        self.sync_root()?;
+        upload.finalize()?;
 
         let mut next = self.manifest.clone();
         next.generation = generation;
@@ -595,86 +608,58 @@ impl StoreDir {
             next.entries.push(entry);
             Vec::new()
         };
-        self.write_manifest(&next)?;
+        self.backend.swap_manifest(
+            Some(self.manifest.generation),
+            next.generation,
+            &next.encode(),
+        )?;
         self.manifest = next;
 
-        // The old chain is unreferenced now; deletion is garbage collection,
-        // not correctness. A failure here (or a crash) leaves orphans for
-        // the next open's quarantine sweep.
+        // The old chain is unreferenced now; deletion is garbage
+        // collection, not correctness. A failure (or a crash) leaves
+        // orphans for the next open's quarantine sweep — counted so
+        // operators can see objects leaking.
         for name in replaced {
-            self.fault.tick("removal of a superseded chain file")?;
-            let _ = fs::remove_file(self.root.join(name));
+            if self.backend.delete(&name).is_err() {
+                self.gc_failures += 1;
+            }
         }
         Ok(())
     }
 
     // -- internals ----------------------------------------------------------
 
-    /// Atomically replaces `MANIFEST` with `next` (tmp + fsync + rename +
-    /// dir fsync). `self.manifest` is untouched — callers install `next`
-    /// only after this succeeds.
-    fn write_manifest(&mut self, next: &Manifest) -> StoreResult<()> {
-        self.fault.tick("write of the manifest temp file")?;
-        let tmp = self.root.join("MANIFEST.tmp");
-        let bytes = next.encode();
-        {
-            let mut file = OpenOptions::new().write(true).create(true).truncate(true).open(&tmp)?;
-            file.write_all(&bytes)?;
-            file.sync_all()?;
-        }
-        self.fault.tick("rename of the manifest")?;
-        fs::rename(&tmp, self.root.join(MANIFEST_NAME))?;
-        self.sync_root()?;
-        Ok(())
-    }
-
-    fn sync_root(&self) -> StoreResult<()> {
-        self.fault.tick("fsync of the store directory")?;
-        // Directory fsync is not portable everywhere; treat a refusal as
-        // best-effort rather than a broken store.
-        if let Ok(dir) = File::open(&self.root) {
-            let _ = dir.sync_all();
-        }
-        Ok(())
-    }
-
-    /// Verifies every manifest-referenced file exists with its recorded
+    /// Verifies every manifest-referenced object exists with its recorded
     /// length. Content integrity is the block CRC's job during restore.
     fn validate_chain(&self) -> StoreResult<()> {
+        let listed: BTreeMap<String, u64> =
+            self.backend.list()?.into_iter().map(|o| (o.name, o.bytes)).collect();
         for entry in &self.manifest.entries {
-            let path = self.root.join(&entry.name);
-            let meta = fs::metadata(&path).map_err(|e| {
-                if e.kind() == io::ErrorKind::NotFound {
-                    StoreError::corrupt(format!(
-                        "manifest references {:?}, which is missing from the store",
-                        entry.name
-                    ))
-                } else {
-                    StoreError::Io(e)
-                }
-            })?;
-            if meta.len() != entry.bytes {
+            let Some(&bytes) = listed.get(&entry.name) else {
                 return Err(StoreError::corrupt(format!(
-                    "chain file {:?} holds {} bytes; manifest records {}",
-                    entry.name,
-                    meta.len(),
-                    entry.bytes
+                    "manifest references {:?}, which is missing from the store",
+                    entry.name
+                )));
+            };
+            if bytes != entry.bytes {
+                return Err(StoreError::corrupt(format!(
+                    "chain object {:?} holds {bytes} bytes; manifest records {}",
+                    entry.name, entry.bytes
                 )));
             }
         }
         Ok(())
     }
 
-    /// Moves unreferenced store files (crash residue: `*.tmp`, superseded
-    /// or never-committed `*.ebstore`) into `quarantine/`.
+    /// Moves unreferenced store objects (crash residue: `*.tmp`,
+    /// superseded or never-committed `*.ebstore`) into quarantine. When a
+    /// sweep is needed, the backend's writability is probed *first* so a
+    /// read-only store fails whole with a typed error instead of
+    /// half-swept with a raw I/O one.
     fn sweep_orphans(&mut self) -> StoreResult<()> {
         let mut orphans = Vec::new();
-        for dirent in fs::read_dir(&self.root)? {
-            let dirent = dirent?;
-            if !dirent.file_type()?.is_file() {
-                continue;
-            }
-            let name = dirent.file_name().to_string_lossy().into_owned();
+        for object in self.backend.list()? {
+            let name = object.name;
             if name == MANIFEST_NAME {
                 continue;
             }
@@ -687,17 +672,10 @@ impl StoreDir {
         if orphans.is_empty() {
             return Ok(());
         }
+        self.backend.ensure_mutable()?;
         orphans.sort();
-        let quarantine = self.root.join(QUARANTINE_DIR);
-        fs::create_dir_all(&quarantine)?;
         for name in orphans {
-            let mut target = quarantine.join(&name);
-            let mut suffix = 0u32;
-            while target.exists() {
-                suffix += 1;
-                target = quarantine.join(format!("{name}.{suffix}"));
-            }
-            fs::rename(self.root.join(&name), &target)?;
+            let target = self.backend.quarantine(&name)?;
             self.quarantined.push(target);
         }
         Ok(())
@@ -706,28 +684,43 @@ impl StoreDir {
 
 // -- chain reader -----------------------------------------------------------
 
-/// Sequential [`Read`] over the manifest's chain files, in order — feed to
-/// `EngineBuilder::restore` (or use `EngineBuilder::restore_dir`).
-#[derive(Debug)]
-pub struct ChainReader {
-    files: std::vec::IntoIter<PathBuf>,
-    current: Option<File>,
+/// Sequential [`Read`] over the manifest's chain objects, in order — feed
+/// to `EngineBuilder::restore` (or use `EngineBuilder::restore_dir`).
+pub struct ChainReader<'a> {
+    backend: &'a dyn ObjectStore,
+    names: std::vec::IntoIter<String>,
+    current: Option<Box<dyn Read + Send>>,
 }
 
-impl Read for ChainReader {
+impl fmt::Debug for ChainReader<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ChainReader")
+            .field("backend", &self.backend.kind())
+            .field("remaining", &self.names.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Read for ChainReader<'_> {
     fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
         loop {
             if self.current.is_none() {
-                match self.files.next() {
-                    Some(path) => self.current = Some(File::open(path)?),
+                match self.names.next() {
+                    Some(name) => {
+                        let reader = self.backend.get(&name).map_err(|e| match e {
+                            StoreError::Io(e) => e,
+                            other => io::Error::other(other.to_string()),
+                        })?;
+                        self.current = Some(reader);
+                    }
                     None => return Ok(0),
                 }
             }
-            let n = self.current.as_mut().expect("file open").read(buf)?;
+            let n = self.current.as_mut().expect("object open").read(buf)?;
             if n > 0 || buf.is_empty() {
                 return Ok(n);
             }
-            self.current = None; // EOF on this file; advance the chain.
+            self.current = None; // EOF on this object; advance the chain.
         }
     }
 }
@@ -735,6 +728,7 @@ impl Read for ChainReader {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::fs;
 
     fn tmp_root(tag: &str) -> PathBuf {
         let root = std::env::temp_dir()
@@ -845,6 +839,21 @@ mod tests {
     }
 
     #[test]
+    fn create_then_open_roundtrips_on_every_backend() {
+        let backends: Vec<Box<dyn Fn() -> Box<dyn ObjectStore>>> = vec![
+            Box::new(|| Box::new(MemBackend::new())),
+            Box::new(|| Box::new(crate::backend::S3LiteBackend::new())),
+        ];
+        for fresh in backends {
+            let backend = fresh();
+            let kind = backend.kind();
+            let dir = StoreDir::create_boxed(backend, LifecycleConfig::default()).unwrap();
+            assert!(dir.is_empty(), "{kind}");
+            assert_eq!(dir.generation(), 0, "{kind}");
+        }
+    }
+
+    #[test]
     fn open_requires_a_manifest() {
         let root = tmp_root("no-manifest");
         fs::create_dir_all(&root).unwrap();
@@ -853,6 +862,11 @@ mod tests {
             Err(StoreError::Corrupt { .. })
         ));
         fs::remove_dir_all(&root).unwrap();
+
+        assert!(matches!(
+            StoreDir::open_with(MemBackend::new(), LifecycleConfig::default()),
+            Err(StoreError::Corrupt { .. })
+        ));
     }
 
     #[test]

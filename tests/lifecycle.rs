@@ -1,11 +1,21 @@
 //! Snapshot lifecycle manager: the manifest-driven [`StoreDir`], segment
-//! compaction, and retention GC.
+//! compaction, and retention GC — run as a backend matrix.
 //!
-//! The acceptance bar (ISSUE 4): for the LANL DNS and enterprise proxy
+//! The acceptance bar (ISSUE 4, extended by ISSUE 5 to every
+//! [`ObjectStore`] backend): for the LANL DNS and enterprise proxy
 //! suites, an engine restored from a **compacted** store produces
 //! bit-identical reports/alerts to one restored from the uncompacted
-//! `full + N segments` chain; `StoreDir::open` quarantines crash residue;
-//! stale (backwards) day segments are refused with a typed error.
+//! `full + N segments` chain — on `{localfs, mem, s3lite}` alike;
+//! `StoreDir::open` quarantines crash residue; stale (backwards) day
+//! segments are refused with a typed error; a read-only local store is a
+//! typed, actionable error; and the local backend stays byte-compatible
+//! with directories written before the backend split.
+
+// Each integration-test crate uses a subset of the harness; the unused
+// remainder is not a defect.
+#[path = "support/backends.rs"]
+#[allow(dead_code)]
+mod support;
 
 use earlybird::engine::{
     compact_store, Alert, CompactionTrigger, DayBatch, DayReport, Engine, EngineBuilder,
@@ -21,6 +31,7 @@ use earlybird::synthgen::lanl::{LanlChallenge, LanlConfig, LanlGenerator};
 use earlybird_engine::{CollectedAlerts, CollectingSink};
 use std::path::PathBuf;
 use std::sync::Arc;
+use support::Backend;
 
 fn temp_store(tag: &str) -> PathBuf {
     let root =
@@ -57,15 +68,15 @@ fn lanl_engine(challenge: &LanlChallenge) -> (Engine, CollectedAlerts) {
     (engine, handle)
 }
 
-/// Builds a `full + N segments` chain in a fresh [`StoreDir`] by running
-/// the daily cycle for `days[..split]` (compaction disabled so the chain
+/// Builds a `full + N segments` chain in a fresh store by running the
+/// daily cycle for `days[..split]` (compaction disabled so the chain
 /// stays long), then drops the engine — the "crash".
-fn build_lanl_chain(challenge: &LanlChallenge, root: &PathBuf, split: usize) -> StoreDir {
+fn build_lanl_chain(challenge: &LanlChallenge, backend: &Backend, split: usize) -> StoreDir {
     let cfg = LifecycleConfig {
         compaction: CompactionTrigger::disabled(),
         retention: RetentionPolicy::default(),
     };
-    let mut dir = StoreDir::create(root, cfg).expect("create store dir");
+    let mut dir = backend.create(cfg).expect("create store");
     let (mut engine, _alerts) = lanl_engine(challenge);
     for (i, day) in challenge.dataset.days[..split].iter().enumerate() {
         engine.ingest_day(DayBatch::Dns(day));
@@ -95,15 +106,15 @@ fn continue_lanl(
     (engine, reports, alerts.snapshot())
 }
 
-/// The acceptance criterion on the LANL DNS suite: a compacted store and
-/// the uncompacted chain it replaced restore to engines whose continued
-/// reports, alerts, and re-scored candidates are bit-identical — to each
-/// other and to an engine that never restarted.
+/// The acceptance criterion on the LANL DNS suite, across the backend
+/// matrix: a compacted store and the uncompacted chain it replaced restore
+/// to engines whose continued reports, alerts, and re-scored candidates
+/// are bit-identical — to each other and to an engine that never
+/// restarted.
 #[test]
 fn lanl_compacted_store_restores_bit_identically() {
     let challenge = LanlGenerator::new(LanlConfig::tiny()).generate();
     let split = (challenge.dataset.meta.bootstrap_days + 4) as usize;
-    let root = temp_store("lanl-equiv");
 
     let (mut reference, ref_alerts) = lanl_engine(&challenge);
     let mut ref_reports = Vec::new();
@@ -111,56 +122,67 @@ fn lanl_compacted_store_restores_bit_identically() {
         ref_reports.push(reference.ingest_day(DayBatch::Dns(day)));
     }
 
-    let mut dir = build_lanl_chain(&challenge, &root, split);
-    let chain_entries = dir.entries().to_vec();
-    let (chain_engine, chain_reports, chain_alerts) = continue_lanl(&dir, &challenge, split);
+    for backend in Backend::matrix("lanl-equiv") {
+        let ctx = backend.name();
+        let mut dir = build_lanl_chain(&challenge, &backend, split);
+        let chain_entries = dir.entries().to_vec();
+        let (chain_engine, chain_reports, chain_alerts) = continue_lanl(&dir, &challenge, split);
 
-    // Compact: the whole chain folds into one full block, atomically.
-    let report = compact_store(&mut dir).expect("compaction succeeds");
-    assert_eq!(report.segments_folded, chain_entries.len() - 1);
-    assert_eq!(dir.entries().len(), 1, "single full block after compaction");
-    assert_eq!(dir.entries()[0].kind, BlockKind::Full);
-    assert!(report.bytes_after <= report.bytes_before, "compaction never grows the store");
-    let (compacted_engine, compacted_reports, compacted_alerts) =
-        continue_lanl(&dir, &challenge, split);
-
-    // Chain-restored and compacted-restored continuations are identical to
-    // each other and to the uninterrupted reference.
-    for (i, (chain, compacted)) in chain_reports.iter().zip(&compacted_reports).enumerate() {
-        assert_reports_equal(compacted, chain, &format!("compacted vs chain day {i}"));
-        assert_reports_equal(chain, &ref_reports[split + i], &format!("chain vs reference {i}"));
-    }
-    assert_eq!(chain_alerts, compacted_alerts, "alert streams bit-identical");
-    let split_day = Day::new(split as u32);
-    let expected_suffix: Vec<Alert> =
-        ref_alerts.snapshot().into_iter().filter(|a| a.day >= split_day).collect();
-    assert!(!expected_suffix.is_empty(), "suite must alert after the split");
-    assert_eq!(compacted_alerts, expected_suffix, "reference alert suffix");
-
-    // Retained state agrees everywhere the detection layer reads.
-    assert_eq!(
-        chain_engine.days().collect::<Vec<_>>(),
-        compacted_engine.days().collect::<Vec<_>>()
-    );
-    for day in chain_engine.days() {
-        assert_eq!(
-            chain_engine.cc_scores(day).unwrap(),
-            compacted_engine.cc_scores(day).unwrap(),
-            "re-scored candidates for {day:?}"
+        // Compact: the whole chain folds into one full block, atomically.
+        let report = compact_store(&mut dir).expect("compaction succeeds");
+        assert_eq!(report.segments_folded, chain_entries.len() - 1, "{ctx}");
+        assert_eq!(report.gc_failures, 0, "{ctx}: clean pass deletes everything it should");
+        assert_eq!(dir.entries().len(), 1, "{ctx}: single full block after compaction");
+        assert_eq!(dir.entries()[0].kind, BlockKind::Full, "{ctx}");
+        assert!(
+            report.bytes_after <= report.bytes_before,
+            "{ctx}: compaction never grows the store"
         );
+        let (compacted_engine, compacted_reports, compacted_alerts) =
+            continue_lanl(&dir, &challenge, split);
+
+        // Chain-restored and compacted-restored continuations are
+        // identical to each other and to the uninterrupted reference.
+        for (i, (chain, compacted)) in chain_reports.iter().zip(&compacted_reports).enumerate() {
+            assert_reports_equal(compacted, chain, &format!("{ctx}: compacted vs chain day {i}"));
+            assert_reports_equal(
+                chain,
+                &ref_reports[split + i],
+                &format!("{ctx}: chain vs reference {i}"),
+            );
+        }
+        assert_eq!(chain_alerts, compacted_alerts, "{ctx}: alert streams bit-identical");
+        let split_day = Day::new(split as u32);
+        let expected_suffix: Vec<Alert> =
+            ref_alerts.snapshot().into_iter().filter(|a| a.day >= split_day).collect();
+        assert!(!expected_suffix.is_empty(), "suite must alert after the split");
+        assert_eq!(compacted_alerts, expected_suffix, "{ctx}: reference alert suffix");
+
+        // Retained state agrees everywhere the detection layer reads.
+        assert_eq!(
+            chain_engine.days().collect::<Vec<_>>(),
+            compacted_engine.days().collect::<Vec<_>>(),
+            "{ctx}"
+        );
+        for day in chain_engine.days() {
+            assert_eq!(
+                chain_engine.cc_scores(day).unwrap(),
+                compacted_engine.cc_scores(day).unwrap(),
+                "{ctx}: re-scored candidates for {day:?}"
+            );
+        }
+        backend.cleanup();
     }
-    std::fs::remove_dir_all(&root).unwrap();
 }
 
 /// The same acceptance criterion on the enterprise proxy suite, sharing
-/// the dataset's interners across the restart.
+/// the dataset's interners across the restart — matrixed over backends.
 #[test]
 fn enterprise_proxy_compacted_store_restores_bit_identically() {
     let world: AcWorld = AcGenerator::new(AcConfig::tiny()).generate();
     let meta = &world.dataset.meta;
     let last = (meta.bootstrap_days + 8).min(meta.total_days) as usize;
     let split = (meta.bootstrap_days + 4) as usize;
-    let root = temp_store("proxy-equiv");
 
     let ac_engine = |world: &AcWorld| -> (Engine, CollectedAlerts) {
         let sink = CollectingSink::new();
@@ -181,99 +203,128 @@ fn enterprise_proxy_compacted_store_restores_bit_identically() {
         ref_reports.push(reference.ingest_day(DayBatch::Proxy { day, dhcp: &world.dataset.dhcp }));
     }
 
-    let cfg = LifecycleConfig {
-        compaction: CompactionTrigger::disabled(),
-        retention: RetentionPolicy::default(),
-    };
-    let mut dir = StoreDir::create(&root, cfg).expect("create store dir");
-    {
-        let (mut engine, _alerts) = ac_engine(&world);
-        for day in &world.dataset.days[..split] {
-            engine.ingest_day(DayBatch::Proxy { day, dhcp: &world.dataset.dhcp });
-            engine.checkpoint_day_to(&mut dir).expect("daily persist");
+    for backend in Backend::matrix("proxy-equiv") {
+        let ctx = backend.name();
+        let cfg = LifecycleConfig {
+            compaction: CompactionTrigger::disabled(),
+            retention: RetentionPolicy::default(),
+        };
+        let mut dir = backend.create(cfg).expect("create store");
+        {
+            let (mut engine, _alerts) = ac_engine(&world);
+            for day in &world.dataset.days[..split] {
+                engine.ingest_day(DayBatch::Proxy { day, dhcp: &world.dataset.dhcp });
+                engine.checkpoint_day_to(&mut dir).expect("daily persist");
+            }
         }
+
+        let continue_proxy = |dir: &StoreDir| -> (Vec<DayReport>, Vec<Alert>) {
+            let sink = CollectingSink::new();
+            let alerts = sink.handle();
+            let mut engine = EngineBuilder::enterprise()
+                .proxy_interners(Arc::clone(&world.dataset.uas), Arc::clone(&world.dataset.paths))
+                .sink(sink)
+                .restore_dir_with_domains(Arc::clone(&world.dataset.domains), dir)
+                .expect("chain restores");
+            assert!(engine.config().whois.is_some(), "WHOIS registry restored");
+            let reports = world.dataset.days[split..last]
+                .iter()
+                .map(|day| engine.ingest_day(DayBatch::Proxy { day, dhcp: &world.dataset.dhcp }))
+                .collect();
+            (reports, alerts.snapshot())
+        };
+
+        let (chain_reports, chain_alerts) = continue_proxy(&dir);
+        compact_store(&mut dir).expect("compaction succeeds");
+        assert_eq!(dir.entries().len(), 1, "{ctx}");
+        let (compacted_reports, compacted_alerts) = continue_proxy(&dir);
+
+        for (i, (chain, compacted)) in chain_reports.iter().zip(&compacted_reports).enumerate() {
+            assert_reports_equal(
+                compacted,
+                chain,
+                &format!("{ctx}: proxy compacted vs chain day {i}"),
+            );
+            assert_reports_equal(
+                chain,
+                &ref_reports[split + i],
+                &format!("{ctx}: proxy vs reference {i}"),
+            );
+        }
+        let split_day = Day::new(split as u32);
+        let expected_suffix: Vec<Alert> =
+            ref_alerts.snapshot().into_iter().filter(|a| a.day >= split_day).collect();
+        assert_eq!(chain_alerts, expected_suffix, "{ctx}: proxy chain alert suffix");
+        assert_eq!(compacted_alerts, expected_suffix, "{ctx}: proxy compacted alert suffix");
+        backend.cleanup();
     }
-
-    let continue_proxy = |dir: &StoreDir| -> (Vec<DayReport>, Vec<Alert>) {
-        let sink = CollectingSink::new();
-        let alerts = sink.handle();
-        let mut engine = EngineBuilder::enterprise()
-            .proxy_interners(Arc::clone(&world.dataset.uas), Arc::clone(&world.dataset.paths))
-            .sink(sink)
-            .restore_dir_with_domains(Arc::clone(&world.dataset.domains), dir)
-            .expect("chain restores");
-        assert!(engine.config().whois.is_some(), "WHOIS registry restored");
-        let reports = world.dataset.days[split..last]
-            .iter()
-            .map(|day| engine.ingest_day(DayBatch::Proxy { day, dhcp: &world.dataset.dhcp }))
-            .collect();
-        (reports, alerts.snapshot())
-    };
-
-    let (chain_reports, chain_alerts) = continue_proxy(&dir);
-    compact_store(&mut dir).expect("compaction succeeds");
-    assert_eq!(dir.entries().len(), 1);
-    let (compacted_reports, compacted_alerts) = continue_proxy(&dir);
-
-    for (i, (chain, compacted)) in chain_reports.iter().zip(&compacted_reports).enumerate() {
-        assert_reports_equal(compacted, chain, &format!("proxy compacted vs chain day {i}"));
-        assert_reports_equal(chain, &ref_reports[split + i], &format!("proxy vs reference {i}"));
-    }
-    let split_day = Day::new(split as u32);
-    let expected_suffix: Vec<Alert> =
-        ref_alerts.snapshot().into_iter().filter(|a| a.day >= split_day).collect();
-    assert_eq!(chain_alerts, expected_suffix, "proxy chain alert suffix");
-    assert_eq!(compacted_alerts, expected_suffix, "proxy compacted alert suffix");
-    std::fs::remove_dir_all(&root).unwrap();
 }
 
 /// The compaction trigger runs inside the daily cycle: with
 /// `max_segments = 3` the chain never grows past 4 visible segments, and
-/// the continued run still matches an uninterrupted reference.
+/// the continued run still matches an uninterrupted reference — on every
+/// backend.
 #[test]
 fn daily_cycle_compacts_on_trigger_and_stays_equivalent() {
     let challenge = LanlGenerator::new(LanlConfig::tiny()).generate();
-    let root = temp_store("trigger");
     let cfg = LifecycleConfig {
         compaction: CompactionTrigger { max_segments: Some(3), max_segment_bytes: None },
         retention: RetentionPolicy::default(),
     };
 
     let (mut reference, ref_alerts) = lanl_engine(&challenge);
-    let mut compactions = 0usize;
-    {
-        let mut dir = StoreDir::create(&root, cfg).expect("create store dir");
-        let (mut engine, live_alerts) = lanl_engine(&challenge);
-        for day in &challenge.dataset.days {
-            reference.ingest_day(DayBatch::Dns(day));
-            engine.ingest_day(DayBatch::Dns(day));
-            let persist = engine.checkpoint_day_to(&mut dir).expect("daily persist");
-            if persist.compaction.is_some() {
-                compactions += 1;
-            }
-            assert!(dir.segment_count() <= 3, "trigger keeps the chain bounded");
-        }
-        assert!(compactions >= 2, "a long run must compact repeatedly, saw {compactions}");
-        // The live run itself is untouched by compaction passes.
-        assert_eq!(live_alerts.snapshot(), ref_alerts.snapshot(), "live alerts unaffected");
+    for day in &challenge.dataset.days {
+        reference.ingest_day(DayBatch::Dns(day));
     }
 
-    // O(current state) restore: the reopened chain holds at most
-    // `1 + max_segments` files however many days were ingested.
-    let dir = StoreDir::open(&root, cfg).expect("reopen");
-    assert!(dir.entries().len() <= 4, "chain stays bounded: {:?}", dir.entries().len());
-    assert!(dir.quarantined().is_empty(), "clean shutdown leaves no orphans");
-    let restored = EngineBuilder::lanl().restore_dir(&dir).expect("restores");
-    assert_eq!(
-        restored.days().collect::<Vec<_>>(),
-        reference.days().collect::<Vec<_>>(),
-        "retained days survive compaction cycles"
-    );
-    for (a, b) in restored.reports().zip(reference.reports()) {
-        assert_eq!(a.day, b.day);
-        assert_eq!(strip_wall(&a.stages), strip_wall(&b.stages), "stored counters for {:?}", a.day);
+    for backend in Backend::matrix("trigger") {
+        let ctx = backend.name();
+        let mut compactions = 0usize;
+        {
+            let mut dir = backend.create(cfg).expect("create store");
+            let (mut engine, live_alerts) = lanl_engine(&challenge);
+            for day in &challenge.dataset.days {
+                engine.ingest_day(DayBatch::Dns(day));
+                let persist = engine.checkpoint_day_to(&mut dir).expect("daily persist");
+                if persist.compaction.is_some() {
+                    compactions += 1;
+                }
+                assert!(dir.segment_count() <= 3, "{ctx}: trigger keeps the chain bounded");
+            }
+            assert!(
+                compactions >= 2,
+                "{ctx}: a long run must compact repeatedly, saw {compactions}"
+            );
+            // The live run itself is untouched by compaction passes.
+            assert_eq!(
+                live_alerts.snapshot(),
+                ref_alerts.snapshot(),
+                "{ctx}: live alerts unaffected"
+            );
+        }
+
+        // O(current state) restore: the reopened chain holds at most
+        // `1 + max_segments` objects however many days were ingested.
+        let dir = backend.open(cfg).expect("reopen");
+        assert!(dir.entries().len() <= 4, "{ctx}: chain stays bounded: {:?}", dir.entries().len());
+        assert!(dir.quarantined().is_empty(), "{ctx}: clean shutdown leaves no orphans");
+        let restored = EngineBuilder::lanl().restore_dir(&dir).expect("restores");
+        assert_eq!(
+            restored.days().collect::<Vec<_>>(),
+            reference.days().collect::<Vec<_>>(),
+            "{ctx}: retained days survive compaction cycles"
+        );
+        for (a, b) in restored.reports().zip(reference.reports()) {
+            assert_eq!(a.day, b.day, "{ctx}");
+            assert_eq!(
+                strip_wall(&a.stages),
+                strip_wall(&b.stages),
+                "{ctx}: stored counters for {:?}",
+                a.day
+            );
+        }
+        backend.cleanup();
     }
-    std::fs::remove_dir_all(&root).unwrap();
 }
 
 /// Retention GC: compaction prunes contact indexes past `retain_days`, the
@@ -284,7 +335,6 @@ fn retention_gc_prunes_indexes_but_keeps_counters() {
     let challenge = LanlGenerator::new(LanlConfig::tiny()).generate();
     let boot = challenge.dataset.meta.bootstrap_days as usize;
     let split = boot + 5;
-    let root = temp_store("retention");
 
     let (mut reference, ref_alerts) = lanl_engine(&challenge);
     let mut ref_reports = Vec::new();
@@ -292,48 +342,60 @@ fn retention_gc_prunes_indexes_but_keeps_counters() {
         ref_reports.push(reference.ingest_day(DayBatch::Dns(day)));
     }
 
-    let cfg = LifecycleConfig {
-        compaction: CompactionTrigger::disabled(),
-        retention: RetentionPolicy { retain_days: Some(2) },
-    };
-    let mut dir = StoreDir::create(&root, cfg).expect("create store dir");
-    {
-        let (mut engine, _alerts) = lanl_engine(&challenge);
-        for day in &challenge.dataset.days[..split] {
-            engine.ingest_day(DayBatch::Dns(day));
-            engine.checkpoint_day_to(&mut dir).expect("daily persist");
+    for backend in Backend::matrix("retention") {
+        let ctx = backend.name();
+        let cfg = LifecycleConfig {
+            compaction: CompactionTrigger::disabled(),
+            retention: RetentionPolicy { retain_days: Some(2) },
+        };
+        let mut dir = backend.create(cfg).expect("create store");
+        {
+            let (mut engine, _alerts) = lanl_engine(&challenge);
+            for day in &challenge.dataset.days[..split] {
+                engine.ingest_day(DayBatch::Dns(day));
+                engine.checkpoint_day_to(&mut dir).expect("daily persist");
+            }
         }
-    }
 
-    let report = compact_store(&mut dir).expect("compaction succeeds");
-    assert_eq!(report.days_pruned, split - boot - 2, "all but the newest 2 indexes pruned");
+        let report = compact_store(&mut dir).expect("compaction succeeds");
+        assert_eq!(
+            report.days_pruned,
+            split - boot - 2,
+            "{ctx}: all but the newest 2 indexes pruned"
+        );
 
-    let sink = CollectingSink::new();
-    let alerts = sink.handle();
-    let mut restored = EngineBuilder::lanl().sink(sink).restore_dir(&dir).expect("restores");
-    assert_eq!(restored.days().count(), 2, "only the retention window stays investigable");
-    assert_eq!(restored.reports().count(), split, "every acked day's counters survive");
-    for report in restored.reports() {
-        let reference = &ref_reports[report.day.index() as usize];
-        assert_eq!(strip_wall(&report.stages), strip_wall(&reference.stages), "{:?}", report.day);
-    }
-    let pruned = Day::new(boot as u32);
-    assert!(restored.day_index(pruned).is_none(), "pruned day is no longer investigable");
-    assert!(restored.report(pruned).is_some(), "but its counters are still the record");
+        let sink = CollectingSink::new();
+        let alerts = sink.handle();
+        let mut restored = EngineBuilder::lanl().sink(sink).restore_dir(&dir).expect("restores");
+        assert_eq!(restored.days().count(), 2, "{ctx}: only the retention window investigable");
+        assert_eq!(restored.reports().count(), split, "{ctx}: every acked day's counters survive");
+        for report in restored.reports() {
+            let reference = &ref_reports[report.day.index() as usize];
+            assert_eq!(
+                strip_wall(&report.stages),
+                strip_wall(&reference.stages),
+                "{ctx}: {:?}",
+                report.day
+            );
+        }
+        let pruned = Day::new(boot as u32);
+        assert!(restored.day_index(pruned).is_none(), "{ctx}: pruned day not investigable");
+        assert!(restored.report(pruned).is_some(), "{ctx}: but its counters are still the record");
 
-    // Continued ingestion is unaffected by the pruned indexes.
-    for (i, day) in challenge.dataset.days[split..].iter().enumerate() {
-        let report = restored.ingest_day(DayBatch::Dns(day));
-        assert_reports_equal(&report, &ref_reports[split + i], &format!("post-GC day {i}"));
+        // Continued ingestion is unaffected by the pruned indexes.
+        for (i, day) in challenge.dataset.days[split..].iter().enumerate() {
+            let report = restored.ingest_day(DayBatch::Dns(day));
+            assert_reports_equal(&report, &ref_reports[split + i], &format!("{ctx}: post-GC {i}"));
+        }
+        let split_day = Day::new(split as u32);
+        let expected_suffix: Vec<Alert> =
+            ref_alerts.snapshot().into_iter().filter(|a| a.day >= split_day).collect();
+        assert_eq!(alerts.snapshot(), expected_suffix, "{ctx}: post-GC alert stream");
+        backend.cleanup();
     }
-    let split_day = Day::new(split as u32);
-    let expected_suffix: Vec<Alert> =
-        ref_alerts.snapshot().into_iter().filter(|a| a.day >= split_day).collect();
-    assert_eq!(alerts.snapshot(), expected_suffix, "post-GC alert stream");
-    std::fs::remove_dir_all(&root).unwrap();
 }
 
-/// A restored engine keeps appending segments to the same directory — the
+/// A restored engine keeps appending segments to the same store — the
 /// multi-incarnation daily cycle — and the chain stays replayable.
 #[test]
 fn restored_engine_continues_the_same_directory() {
@@ -341,7 +403,6 @@ fn restored_engine_continues_the_same_directory() {
     let boot = challenge.dataset.meta.bootstrap_days as usize;
     let first_crash = boot + 2;
     let second_crash = boot + 5;
-    let root = temp_store("incarnations");
     let cfg = LifecycleConfig::default();
 
     let (mut reference, ref_alerts) = lanl_engine(&challenge);
@@ -349,41 +410,50 @@ fn restored_engine_continues_the_same_directory() {
         reference.ingest_day(DayBatch::Dns(day));
     }
 
-    // Incarnation 1.
-    let mut dir = StoreDir::create(&root, cfg).expect("create store dir");
-    {
-        let (mut engine, _alerts) = lanl_engine(&challenge);
-        for day in &challenge.dataset.days[..first_crash] {
-            engine.ingest_day(DayBatch::Dns(day));
-            engine.checkpoint_day_to(&mut dir).expect("daily persist");
+    for backend in Backend::matrix("incarnations") {
+        // Incarnation 1.
+        let mut dir = backend.create(cfg).expect("create store");
+        {
+            let (mut engine, _alerts) = lanl_engine(&challenge);
+            for day in &challenge.dataset.days[..first_crash] {
+                engine.ingest_day(DayBatch::Dns(day));
+                engine.checkpoint_day_to(&mut dir).expect("daily persist");
+            }
         }
-    }
-    // Incarnation 2: restore, continue appending to the same store.
-    drop(dir);
-    {
-        let mut dir = StoreDir::open(&root, cfg).expect("reopen");
-        let mut engine =
-            EngineBuilder::lanl().sink(CollectingSink::new()).restore_dir(&dir).expect("restores");
-        for day in &challenge.dataset.days[first_crash..second_crash] {
-            engine.ingest_day(DayBatch::Dns(day));
-            engine.checkpoint_day_to(&mut dir).expect("daily persist");
+        // Incarnation 2: restore, continue appending to the same store.
+        drop(dir);
+        {
+            let mut dir = backend.open(cfg).expect("reopen");
+            let mut engine = EngineBuilder::lanl()
+                .sink(CollectingSink::new())
+                .restore_dir(&dir)
+                .expect("restores");
+            for day in &challenge.dataset.days[first_crash..second_crash] {
+                engine.ingest_day(DayBatch::Dns(day));
+                engine.checkpoint_day_to(&mut dir).expect("daily persist");
+            }
         }
+        // Incarnation 3: the final restore holds every acked day and
+        // finishes the stream identically to the uninterrupted reference.
+        let dir = backend.open(cfg).expect("reopen");
+        let sink = CollectingSink::new();
+        let alerts = sink.handle();
+        let mut engine = EngineBuilder::lanl().sink(sink).restore_dir(&dir).expect("restores");
+        assert_eq!(engine.reports().count(), second_crash, "all acked days restored");
+        for day in &challenge.dataset.days[second_crash..] {
+            engine.ingest_day(DayBatch::Dns(day));
+        }
+        let crash_day = Day::new(second_crash as u32);
+        let expected_suffix: Vec<Alert> =
+            ref_alerts.snapshot().into_iter().filter(|a| a.day >= crash_day).collect();
+        assert_eq!(
+            alerts.snapshot(),
+            expected_suffix,
+            "{}: third-incarnation alert stream",
+            backend.name()
+        );
+        backend.cleanup();
     }
-    // Incarnation 3: the final restore holds every acked day and finishes
-    // the stream identically to the uninterrupted reference.
-    let dir = StoreDir::open(&root, cfg).expect("reopen");
-    let sink = CollectingSink::new();
-    let alerts = sink.handle();
-    let mut engine = EngineBuilder::lanl().sink(sink).restore_dir(&dir).expect("restores");
-    assert_eq!(engine.reports().count(), second_crash, "all acked days restored");
-    for day in &challenge.dataset.days[second_crash..] {
-        engine.ingest_day(DayBatch::Dns(day));
-    }
-    let crash_day = Day::new(second_crash as u32);
-    let expected_suffix: Vec<Alert> =
-        ref_alerts.snapshot().into_iter().filter(|a| a.day >= crash_day).collect();
-    assert_eq!(alerts.snapshot(), expected_suffix, "third-incarnation alert stream");
-    std::fs::remove_dir_all(&root).unwrap();
 }
 
 // -- stale segments ---------------------------------------------------------
@@ -419,7 +489,7 @@ fn synthetic_engine(domains: &Arc<DomainInterner>, total_days: u32) -> Engine {
 
 /// The PR-4 fix: appending a segment for a day *behind* the chain's newest
 /// persisted day is refused with [`StoreError::StaleSegment`] instead of
-/// writing a chain the restore path rejects.
+/// writing a chain the restore path rejects — on every backend.
 #[test]
 fn stale_day_segment_is_a_typed_error() {
     let domains = Arc::new(DomainInterner::new());
@@ -449,19 +519,64 @@ fn stale_day_segment_is_a_typed_error() {
     let restored = EngineBuilder::lanl().restore(&mut full.as_slice()).expect("restores");
     assert_eq!(restored.reports().count(), 3, "back-filled day persisted by the full path");
 
-    // The managed-directory path refuses the same way.
-    let root = temp_store("stale");
-    let mut dir = StoreDir::create(&root, LifecycleConfig::default()).expect("create");
-    let mut engine = synthetic_engine(&domains, 4);
-    engine.ingest_day(DayBatch::Dns(&synthetic_day(&domains, 0)));
-    engine.ingest_day(DayBatch::Dns(&synthetic_day(&domains, 2)));
-    engine.checkpoint_day_to(&mut dir).expect("first persist writes the full block");
-    engine.ingest_day(DayBatch::Dns(&synthetic_day(&domains, 1)));
-    let err = engine.checkpoint_day_to(&mut dir).expect_err("stale segment refused");
-    assert!(matches!(err, StoreError::StaleSegment { day: 1, last_persisted: 2 }), "{err}");
-    let restored = EngineBuilder::lanl().restore_dir(&dir).expect("chain still replayable");
-    assert_eq!(restored.reports().count(), 2);
-    std::fs::remove_dir_all(&root).unwrap();
+    // The managed-store path refuses the same way, whatever the backend.
+    for backend in Backend::matrix("stale") {
+        let mut dir = backend.create(LifecycleConfig::default()).expect("create");
+        let mut engine = synthetic_engine(&domains, 4);
+        engine.ingest_day(DayBatch::Dns(&synthetic_day(&domains, 0)));
+        engine.ingest_day(DayBatch::Dns(&synthetic_day(&domains, 2)));
+        engine.checkpoint_day_to(&mut dir).expect("first persist writes the full block");
+        engine.ingest_day(DayBatch::Dns(&synthetic_day(&domains, 1)));
+        let err = engine.checkpoint_day_to(&mut dir).expect_err("stale segment refused");
+        assert!(
+            matches!(err, StoreError::StaleSegment { day: 1, last_persisted: 2 }),
+            "{}: {err}",
+            backend.name()
+        );
+        let restored = EngineBuilder::lanl().restore_dir(&dir).expect("chain still replayable");
+        assert_eq!(restored.reports().count(), 2, "{}", backend.name());
+        backend.cleanup();
+    }
+}
+
+/// A pending block begun before an intervening commit carries a
+/// generation-stale name; committing it is refused typed (it would
+/// duplicate a chain entry and brick the manifest) and the store stays
+/// healthy — on every backend.
+#[test]
+fn stale_pending_block_from_an_earlier_generation_is_refused() {
+    use earlybird::store::{CheckpointMeta, FORMAT_VERSION};
+    use std::io::Write as _;
+
+    let meta_for = |bytes: u64| CheckpointMeta {
+        kind: BlockKind::Full,
+        format_version: FORMAT_VERSION,
+        bytes,
+        checksum: 0,
+        days: 0,
+        retained_days: 0,
+    };
+
+    for backend in Backend::matrix("stale-pending") {
+        let mut dir = backend.create(LifecycleConfig::default()).expect("create");
+        // Two outstanding pendings from the same handle (begin is &self).
+        let mut first = dir.begin(BlockKind::Full).expect("begin first");
+        let mut second = dir.begin(BlockKind::Full).expect("begin second");
+        first.write_all(b"AAAA").unwrap();
+        second.write_all(b"BBBBBB").unwrap();
+
+        dir.commit_full(first, &meta_for(4)).expect("first commit wins");
+        let err = dir.commit_full(second, &meta_for(6)).expect_err("stale pending refused");
+        assert!(matches!(err, StoreError::Corrupt { .. }), "{}: {err}", backend.name());
+
+        // The store is untouched by the refused commit and reopens clean.
+        assert_eq!(dir.entries().len(), 1, "{}", backend.name());
+        assert_eq!(dir.entries()[0].bytes, 4, "{}: first commit's bytes", backend.name());
+        drop(dir);
+        let reopened = backend.open(LifecycleConfig::default()).expect("reopens");
+        assert_eq!(reopened.entries().len(), 1, "{}", backend.name());
+        backend.cleanup();
+    }
 }
 
 /// The restore path independently rejects a hand-built chain whose segment
@@ -496,17 +611,18 @@ fn restore_rejects_backwards_segment_chains() {
 // -- quarantine and damage --------------------------------------------------
 
 /// `StoreDir::open` sweeps crash residue — temp files and unreferenced
-/// blocks — into `quarantine/` and the chain restores untouched.
+/// blocks — into `quarantine/` and the chain restores untouched (local
+/// filesystem layout, byte-compatible with pre-backend stores).
 #[test]
 fn open_quarantines_orphans_and_restores() {
     let challenge = LanlGenerator::new(LanlConfig::tiny()).generate();
     let split = (challenge.dataset.meta.bootstrap_days + 2) as usize;
     let root = temp_store("quarantine");
-    build_lanl_chain(&challenge, &root, split);
+    build_lanl_chain(&challenge, &Backend::LocalFs(root.clone()), split);
 
     // Crash residue: an abandoned pending block, a superseded chain file
     // that was never deleted, and an unrelated file that must be ignored.
-    std::fs::write(root.join("pending-000099.tmp"), b"torn half-written block").unwrap();
+    std::fs::write(root.join("full-000004.ebstore.tmp"), b"torn half-written block").unwrap();
     std::fs::write(root.join("full-000099.ebstore"), b"EBSTORE1 leftover").unwrap();
     std::fs::write(root.join("notes.txt"), b"operator scribbles").unwrap();
 
@@ -514,9 +630,10 @@ fn open_quarantines_orphans_and_restores() {
     let dir = StoreDir::open(&root, cfg).expect("open sweeps orphans");
     assert_eq!(dir.quarantined().len(), 2, "both orphans quarantined: {:?}", dir.quarantined());
     assert!(root.join("notes.txt").exists(), "foreign files are left alone");
-    assert!(!root.join("pending-000099.tmp").exists());
+    assert!(!root.join("full-000004.ebstore.tmp").exists());
     assert!(!root.join("full-000099.ebstore").exists());
     for path in dir.quarantined() {
+        let path = PathBuf::from(path);
         assert!(path.exists(), "quarantined file preserved at {path:?}");
         assert!(path.starts_with(root.join("quarantine")));
     }
@@ -529,27 +646,61 @@ fn open_quarantines_orphans_and_restores() {
     std::fs::remove_dir_all(&root).unwrap();
 }
 
-/// Damage to the manifest or to manifest-referenced files is surfaced as a
-/// typed error — never silently repaired, never a panic.
+/// The backend-generic version: an orphan planted through the backend's
+/// own upload path is quarantined at open on every backend, and never
+/// reappears in the live namespace.
+#[test]
+fn orphaned_objects_are_quarantined_on_every_backend() {
+    let challenge = LanlGenerator::new(LanlConfig::tiny()).generate();
+    let split = (challenge.dataset.meta.bootstrap_days + 2) as usize;
+
+    for backend in Backend::matrix("orphans") {
+        build_lanl_chain(&challenge, &backend, split);
+        backend.plant_orphan("seg-000099.ebstore", b"EBSTORE1 leftover block");
+
+        let dir = backend.open(LifecycleConfig::default()).expect("open sweeps orphans");
+        assert_eq!(
+            dir.quarantined().len(),
+            1,
+            "{}: the orphan is quarantined: {:?}",
+            backend.name(),
+            dir.quarantined()
+        );
+        let restored = EngineBuilder::lanl().restore_dir(&dir).expect("chain unaffected");
+        assert_eq!(restored.reports().count(), split, "{}", backend.name());
+        drop(dir);
+
+        // Idempotent: a second open finds nothing left to sweep.
+        let again = backend.open(LifecycleConfig::default()).expect("reopen");
+        assert!(again.quarantined().is_empty(), "{}", backend.name());
+        backend.cleanup();
+    }
+}
+
+/// Damage to the manifest or to manifest-referenced objects is surfaced as
+/// a typed error — never silently repaired, never a panic. A missing chain
+/// object is checked on every backend; byte-level damage is exercised on
+/// the local filesystem where we can reach the raw files.
 #[test]
 fn damaged_stores_fail_with_typed_errors() {
     let challenge = LanlGenerator::new(LanlConfig::tiny()).generate();
     let split = (challenge.dataset.meta.bootstrap_days + 2) as usize;
     let cfg = LifecycleConfig::default();
 
-    // A missing chain file.
-    let root = temp_store("damage-missing");
-    let dir = build_lanl_chain(&challenge, &root, split);
-    let victim = root.join(&dir.entries()[1].name);
-    drop(dir);
-    std::fs::remove_file(&victim).unwrap();
-    let err = StoreDir::open(&root, cfg).expect_err("missing chain file");
-    assert!(matches!(err, StoreError::Corrupt { .. }), "{err}");
-    std::fs::remove_dir_all(&root).unwrap();
+    // A missing chain object, on every backend.
+    for backend in Backend::matrix("damage-missing") {
+        let dir = build_lanl_chain(&challenge, &backend, split);
+        let victim = dir.entries()[1].name.clone();
+        drop(dir);
+        backend.delete_object(&victim);
+        let err = backend.open(cfg).expect_err("missing chain object");
+        assert!(matches!(err, StoreError::Corrupt { .. }), "{}: {err}", backend.name());
+        backend.cleanup();
+    }
 
     // A truncated chain file (length disagrees with the manifest).
     let root = temp_store("damage-truncated");
-    let dir = build_lanl_chain(&challenge, &root, split);
+    let dir = build_lanl_chain(&challenge, &Backend::LocalFs(root.clone()), split);
     let victim = root.join(&dir.entries()[1].name);
     drop(dir);
     let bytes = std::fs::read(&victim).unwrap();
@@ -560,7 +711,7 @@ fn damaged_stores_fail_with_typed_errors() {
 
     // A flipped bit in the manifest itself.
     let root = temp_store("damage-manifest");
-    build_lanl_chain(&challenge, &root, split);
+    build_lanl_chain(&challenge, &Backend::LocalFs(root.clone()), split);
     let manifest = root.join("MANIFEST");
     let mut bytes = std::fs::read(&manifest).unwrap();
     let mid = bytes.len() / 2;
@@ -576,7 +727,7 @@ fn damaged_stores_fail_with_typed_errors() {
     // A flipped bit inside a chain file's payload passes open (lengths
     // match) but is caught by the block CRC during restore.
     let root = temp_store("damage-payload");
-    let dir = build_lanl_chain(&challenge, &root, split);
+    let dir = build_lanl_chain(&challenge, &Backend::LocalFs(root.clone()), split);
     let victim = root.join(&dir.entries()[0].name);
     drop(dir);
     let mut bytes = std::fs::read(&victim).unwrap();
@@ -592,5 +743,118 @@ fn damaged_stores_fail_with_typed_errors() {
         ),
         "{err}"
     );
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+/// The read-only satellite: opening a store whose directory refuses
+/// writes, when crash residue needs quarantining, fails *up front* with
+/// the typed, actionable [`StoreError::ReadOnlyStore`] — not a raw I/O
+/// error halfway through the sweep. A clean read-only store still opens
+/// and restores (cold standbys read from read-only mounts).
+#[cfg(unix)]
+#[test]
+fn read_only_store_is_a_typed_actionable_error() {
+    use std::os::unix::fs::PermissionsExt;
+
+    let challenge = LanlGenerator::new(LanlConfig::tiny()).generate();
+    let split = (challenge.dataset.meta.bootstrap_days + 2) as usize;
+    let cfg = LifecycleConfig::default();
+    let root = temp_store("read-only");
+    build_lanl_chain(&challenge, &Backend::LocalFs(root.clone()), split);
+    // Crash residue that will need quarantining.
+    std::fs::write(root.join("seg-000099.ebstore"), b"EBSTORE1 leftover").unwrap();
+
+    let make_read_only = |on: bool| {
+        let mode = if on { 0o555 } else { 0o755 };
+        std::fs::set_permissions(&root, std::fs::Permissions::from_mode(mode)).unwrap();
+    };
+
+    make_read_only(true);
+    let err = StoreDir::open(&root, cfg).expect_err("read-only store with residue must refuse");
+    assert!(matches!(err, StoreError::ReadOnlyStore { .. }), "typed error, got {err}");
+    let shown = err.to_string();
+    assert!(
+        shown.contains("read-only") && shown.contains("permissions"),
+        "actionable message: {shown}"
+    );
+    // Nothing was half-swept: the residue is still in place.
+    assert!(root.join("seg-000099.ebstore").exists(), "no partial sweep");
+
+    // Writable again: the sweep completes and the store opens.
+    make_read_only(false);
+    let dir = StoreDir::open(&root, cfg).expect("writable store opens");
+    assert_eq!(dir.quarantined().len(), 1);
+    drop(dir);
+
+    // A *clean* store on a read-only mount still opens and restores.
+    make_read_only(true);
+    let dir = StoreDir::open(&root, cfg).expect("clean read-only store opens");
+    let restored = EngineBuilder::lanl().restore_dir(&dir).expect("read-only restore works");
+    assert_eq!(restored.reports().count(), split);
+    make_read_only(false);
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+/// Byte-compatibility acceptance: a store laid out exactly as the
+/// pre-backend (PR 4) filesystem code wrote it — raw chain files plus a
+/// hand-encoded `MANIFEST` — opens through [`LocalFsBackend`], restores,
+/// and keeps accepting the daily cycle.
+#[test]
+fn local_fs_opens_a_pre_backend_layout_store() {
+    use earlybird::store::{crc32, Encoder};
+
+    let domains = Arc::new(DomainInterner::new());
+    let mut engine = synthetic_engine(&domains, 4);
+
+    // Write the chain the way PR 4 did: one full block and one segment,
+    // as raw files named by generation.
+    engine.ingest_day(DayBatch::Dns(&synthetic_day(&domains, 0)));
+    let mut full = Vec::new();
+    let full_meta = engine.checkpoint(&mut full).expect("full block");
+    engine.ingest_day(DayBatch::Dns(&synthetic_day(&domains, 1)));
+    let mut seg = Vec::new();
+    let seg_meta = engine.checkpoint_day(&mut seg).expect("segment");
+
+    let root = temp_store("pre-backend");
+    std::fs::create_dir_all(&root).unwrap();
+    std::fs::write(root.join("full-000001.ebstore"), &full).unwrap();
+    std::fs::write(root.join("seg-000002.ebstore"), &seg).unwrap();
+
+    // Hand-encode the MANIFEST with the pinned PR-4 layout: EBMANIF1,
+    // version, generation, entry count, then (kind, name, bytes, crc) per
+    // entry, sealed by a trailing CRC-32.
+    let mut body = Vec::from(*b"EBMANIF1");
+    let mut e = Encoder::new();
+    e.varint(1); // MANIFEST_VERSION
+    e.varint(2); // generation
+    e.usizev(2); // entries
+    for (kind, name, bytes, crc) in [
+        (1u8, "full-000001.ebstore", full.len() as u64, full_meta.checksum),
+        (2u8, "seg-000002.ebstore", seg.len() as u64, seg_meta.checksum),
+    ] {
+        e.u8(kind);
+        e.str(name);
+        e.varint(bytes);
+        e.varint(crc as u64);
+    }
+    body.extend_from_slice(&e.into_bytes());
+    let crc = crc32(&body);
+    body.extend_from_slice(&crc.to_le_bytes());
+    std::fs::write(root.join("MANIFEST"), &body).unwrap();
+
+    // The new backend opens the old layout bit-for-bit.
+    let mut dir = StoreDir::open(&root, LifecycleConfig::default()).expect("pre-backend opens");
+    assert_eq!(dir.generation(), 2);
+    assert_eq!(dir.entries().len(), 2);
+    assert!(dir.quarantined().is_empty());
+    let mut restored = EngineBuilder::lanl().restore_dir(&dir).expect("restores");
+    assert_eq!(restored.reports().count(), 2);
+
+    // And the daily cycle keeps appending to it with the same names.
+    restored.ingest_day(DayBatch::Dns(&synthetic_day(&domains, 2)));
+    restored.checkpoint_day_to(&mut dir).expect("cycle continues on the old store");
+    assert_eq!(dir.generation(), 3);
+    assert_eq!(dir.entries()[2].name, "seg-000003.ebstore");
+    assert!(root.join("seg-000003.ebstore").exists());
     std::fs::remove_dir_all(&root).unwrap();
 }

@@ -1,30 +1,33 @@
 //! Crash-during-lifecycle fault injection: kill the store at **every**
-//! filesystem write/rename point of the daily persist cycle — segment
-//! appends, full-snapshot commits, compaction swaps, GC deletions — and
-//! prove `StoreDir::open` always recovers a valid chain with no
-//! acknowledged day lost.
+//! backend mutation point of the daily persist cycle — staged uploads,
+//! finalizes, manifest swaps, GC deletions — and prove `StoreDir::open`
+//! always recovers a valid chain with no acknowledged day lost, on every
+//! [`ObjectStore`] backend (`{localfs, mem, s3lite}`).
 //!
-//! The [`FaultInjector`] counts filesystem mutations and fails the N-th
-//! (and, like a dead process, every one after it). The suites below
-//! enumerate N from 0 upward until a run completes with no fault fired,
-//! so every mutation point in the schedule is killed exactly once.
+//! The [`FaultInjector`] counts backend mutations through a
+//! `FaultedStore` wrapper and fails the N-th (and, like a dead process,
+//! every one after it). The suites below enumerate N from 0 upward until
+//! a run completes with no fault fired, so every mutation point in the
+//! schedule is killed exactly once — the same sweep against all three
+//! backends, which is exactly what moving fault injection off the
+//! filesystem and onto the backend boundary buys.
+
+// Each integration-test crate uses a subset of the harness; the unused
+// remainder is not a defect.
+#[path = "support/backends.rs"]
+#[allow(dead_code)]
+mod support;
 
 use earlybird::engine::{
     compact_store, CompactionTrigger, DayBatch, Engine, EngineBuilder, FaultInjector,
-    LifecycleConfig, RetentionPolicy, StageCounters, StoreDir, StoreError,
+    LifecycleConfig, RetentionPolicy, S3LiteBackend, StageCounters, StoreDir, StoreError,
 };
 use earlybird::logmodel::Day;
 use earlybird::synthgen::lanl::{LanlChallenge, LanlConfig, LanlGenerator};
 use earlybird_engine::CollectingSink;
 use std::collections::BTreeSet;
-use std::path::PathBuf;
 use std::sync::Arc;
-
-fn temp_store(tag: &str) -> PathBuf {
-    let root = std::env::temp_dir().join(format!("earlybird-crash-{tag}-{}", std::process::id()));
-    let _ = std::fs::remove_dir_all(&root);
-    root
-}
+use support::Backend;
 
 fn strip_wall(s: &StageCounters) -> StageCounters {
     StageCounters { wall_micros: 0, ..*s }
@@ -55,19 +58,20 @@ fn reference_counters(challenge: &LanlChallenge) -> Vec<StageCounters> {
         .collect()
 }
 
-/// After a simulated crash, reopening the directory must yield a chain
-/// that restores cleanly and still holds every acknowledged day with the
-/// exact counters of an uninterrupted run. Returns the restored engine
-/// (`None` when the crash predates the first durable block, which is only
+/// After a simulated crash, reopening the store must yield a chain that
+/// restores cleanly and still holds every acknowledged day with the exact
+/// counters of an uninterrupted run. Returns the restored engine (`None`
+/// when the crash predates the first durable block, which is only
 /// legitimate while nothing was acknowledged).
 fn assert_no_acked_loss(
-    root: &PathBuf,
+    backend: &Backend,
     cfg: LifecycleConfig,
     acked: &BTreeSet<Day>,
     reference: &[StageCounters],
     context: &str,
 ) -> Option<Engine> {
-    let dir = StoreDir::open(root, cfg)
+    let dir = backend
+        .open(cfg)
         .unwrap_or_else(|e| panic!("{context}: store must reopen after the crash: {e}"));
     if dir.is_empty() {
         assert!(acked.is_empty(), "{context}: acked days {acked:?} but the chain is empty");
@@ -91,11 +95,12 @@ fn assert_no_acked_loss(
     Some(restored)
 }
 
-/// The daily cycle under fire: first persist writes the full block, later
-/// ones append segments, and the `max_segments = 2` trigger forces
-/// repeated compaction passes (with retention GC) — so the enumerated
-/// crash points cover pending-block creation, fsync, both renames, the
-/// manifest swap, and superseded-chain deletion, in every phase.
+/// The daily cycle under fire, on every backend: first persist writes the
+/// full block, later ones append segments, and the `max_segments = 2`
+/// trigger forces repeated compaction passes (with retention GC) — so the
+/// enumerated crash points cover upload begin, staged writes, finalize,
+/// the conditional manifest swap, and superseded-chain deletion, in every
+/// phase.
 #[test]
 fn crash_at_every_op_of_the_daily_cycle_loses_no_acked_day() {
     let challenge = challenge();
@@ -107,57 +112,76 @@ fn crash_at_every_op_of_the_daily_cycle_loses_no_acked_day() {
         retention: RetentionPolicy { retain_days: Some(3) },
     };
 
-    let mut crash_points = 0u64;
-    for fault_at in 0u64.. {
-        let root = temp_store("daily");
-        let mut dir = StoreDir::create(&root, cfg).expect("create store dir");
-        let injector = FaultInjector::new();
-        dir.set_fault_injector(injector.clone());
-        injector.arm(fault_at);
+    for template in Backend::matrix("crash-daily") {
+        let mut crash_points = 0u64;
+        for fault_at in 0u64.. {
+            let backend = template.fresh();
+            let mut dir = backend.create(cfg).expect("create store");
+            let injector = FaultInjector::new();
+            dir.set_fault_injector(injector.clone());
+            injector.arm(fault_at);
 
-        let mut engine = engine_for(&challenge);
-        let mut acked: BTreeSet<Day> = BTreeSet::new();
-        let mut crashed = false;
-        for day in days {
-            engine.ingest_day(DayBatch::Dns(day));
-            match engine.checkpoint_day_to(&mut dir) {
-                Ok(_) => {
-                    acked.insert(day.day);
-                }
-                Err(e) => {
-                    assert!(
-                        matches!(e, StoreError::Io(_)),
-                        "fault {fault_at}: only the injected fault may fail the cycle: {e}"
-                    );
-                    crashed = true;
-                    break;
+            let mut engine = engine_for(&challenge);
+            let mut acked: BTreeSet<Day> = BTreeSet::new();
+            let mut crashed = false;
+            for day in days {
+                engine.ingest_day(DayBatch::Dns(day));
+                match engine.checkpoint_day_to(&mut dir) {
+                    Ok(_) => {
+                        acked.insert(day.day);
+                    }
+                    Err(e) => {
+                        assert!(
+                            matches!(e, StoreError::Io(_)),
+                            "{}: fault {fault_at}: only the injected fault may fail the \
+                             cycle: {e}",
+                            backend.name()
+                        );
+                        crashed = true;
+                        break;
+                    }
                 }
             }
-        }
-        // The dead process goes away; recovery sees only the directory.
-        drop(dir);
-        drop(engine);
+            let gc_failures = dir.gc_failures();
+            // The dead process goes away; recovery sees only the store.
+            drop(dir);
+            drop(engine);
 
-        let context = format!("fault at op {fault_at}");
-        let restored = assert_no_acked_loss(&root, cfg, &acked, &reference, &context);
-        drop(restored);
-        std::fs::remove_dir_all(&root).unwrap();
+            let context = format!("{} fault at op {fault_at}", backend.name());
+            let restored = assert_no_acked_loss(&backend, cfg, &acked, &reference, &context);
+            drop(restored);
+            backend.cleanup();
 
-        if !crashed {
-            assert!(!injector.crashed(), "fault {fault_at} fired but no checkpoint reported it");
-            crash_points = fault_at;
-            break;
+            if !crashed {
+                if !injector.crashed() {
+                    crash_points = fault_at;
+                    break;
+                }
+                // The fault fired yet every day was acknowledged: the only
+                // mutation allowed to fail without failing the cycle is a
+                // best-effort GC delete, and it must have been counted.
+                assert!(
+                    gc_failures > 0,
+                    "{context}: fault fired without an error or a GC-failure count"
+                );
+            }
         }
+        // The schedule above crosses full-commit, segment-commit, and
+        // several compaction passes; that is a lot of distinct mutation
+        // points.
+        assert!(
+            crash_points >= 25,
+            "{}: expected a deep op schedule, covered {crash_points} points",
+            template.name()
+        );
     }
-    // The schedule above crosses full-commit, segment-commit, and several
-    // compaction passes; that is a lot of distinct mutation points.
-    assert!(crash_points >= 30, "expected a deep op schedule, covered {crash_points} points");
 }
 
-/// Compaction in isolation: build a stable chain once, then crash an
-/// explicit `compact_store` at every op. Afterwards the store must hold
-/// either the old chain or the new block — never a torn store — with all
-/// days intact, and a later un-faulted compaction must succeed.
+/// Compaction in isolation, on every backend: build a stable chain once,
+/// then crash an explicit `compact_store` at every op. Afterwards the
+/// store must hold either the old chain or the new block — never a torn
+/// store — with all days intact, and a later un-faulted compaction must
+/// succeed.
 #[test]
 fn crash_at_every_op_of_compaction_leaves_old_or_new_chain() {
     let challenge = challenge();
@@ -169,92 +193,255 @@ fn crash_at_every_op_of_compaction_leaves_old_or_new_chain() {
         retention: RetentionPolicy { retain_days: Some(2) },
     };
 
-    // The chain every iteration starts from: full + segments on disk.
-    let master = temp_store("compact-master");
-    {
-        let mut dir = StoreDir::create(&master, cfg).expect("create store dir");
-        let mut engine = engine_for(&challenge);
-        for day in &challenge.dataset.days[..split] {
-            engine.ingest_day(DayBatch::Dns(day));
-            engine.checkpoint_day_to(&mut dir).expect("daily persist");
+    for template in Backend::matrix("crash-compact-master") {
+        // The chain every iteration starts from: full + segments.
+        let master = template.fresh();
+        {
+            let mut dir = master.create(cfg).expect("create store");
+            let mut engine = engine_for(&challenge);
+            for day in &challenge.dataset.days[..split] {
+                engine.ingest_day(DayBatch::Dns(day));
+                engine.checkpoint_day_to(&mut dir).expect("daily persist");
+            }
+            assert!(dir.segment_count() >= 3, "chain long enough to make compaction interesting");
         }
-        assert!(dir.segment_count() >= 3, "chain long enough to make compaction interesting");
-    }
-    let acked: BTreeSet<Day> = (0..split as u32).map(Day::new).collect();
+        let acked: BTreeSet<Day> = (0..split as u32).map(Day::new).collect();
 
-    for fault_at in 0u64.. {
-        let root = temp_store("compact");
-        std::fs::create_dir_all(&root).unwrap();
-        for entry in std::fs::read_dir(&master).unwrap() {
-            let entry = entry.unwrap();
-            if entry.file_type().unwrap().is_file() {
-                std::fs::copy(entry.path(), root.join(entry.file_name())).unwrap();
+        for fault_at in 0u64.. {
+            let backend = master.fork_copy("crash-compact");
+            let mut dir = backend.open(cfg).expect("open the copied chain");
+            let entries_before = dir.entries().len();
+            let injector = FaultInjector::new();
+            dir.set_fault_injector(injector.clone());
+            injector.arm(fault_at);
+            let outcome = compact_store(&mut dir);
+            let crashed = outcome.is_err();
+            match &outcome {
+                Err(e) => assert!(
+                    matches!(e, StoreError::Io(_)),
+                    "fault {fault_at}: unexpected error {e}"
+                ),
+                // A fault that fired without failing the pass can only
+                // have landed on a best-effort GC delete — counted, never
+                // raised.
+                Ok(report) if injector.crashed() => assert!(
+                    report.gc_failures > 0,
+                    "fault {fault_at}: fault fired without an error or a GC-failure count"
+                ),
+                Ok(_) => {}
+            }
+            drop(dir);
+
+            let context = format!("{} compaction fault at op {fault_at}", backend.name());
+            let restored = assert_no_acked_loss(&backend, cfg, &acked, &reference, &context);
+            drop(restored);
+
+            // Old chain or new block, never something in between — and the
+            // recovered store always accepts a clean compaction.
+            let mut dir = backend.open(cfg).expect("reopen");
+            let entries = dir.entries().len();
+            assert!(
+                entries == entries_before || entries == 1,
+                "{context}: chain must be the old one ({entries_before} entries) or the \
+                 compacted one (1 entry), found {entries}"
+            );
+            let report = compact_store(&mut dir).expect("clean compaction after recovery");
+            assert_eq!(dir.entries().len(), 1, "{context}: recovered store compacts fully");
+            assert!(report.bytes_after > 0);
+            backend.cleanup();
+
+            if !crashed && !injector.crashed() {
+                assert!(
+                    fault_at >= 5,
+                    "compaction has several mutation points, covered {fault_at}"
+                );
+                break;
             }
         }
-
-        let mut dir = StoreDir::open(&root, cfg).expect("open the copied chain");
-        let entries_before = dir.entries().len();
-        let injector = FaultInjector::new();
-        dir.set_fault_injector(injector.clone());
-        injector.arm(fault_at);
-        let outcome = compact_store(&mut dir);
-        let crashed = outcome.is_err();
-        if let Err(e) = &outcome {
-            assert!(matches!(e, StoreError::Io(_)), "fault {fault_at}: unexpected error {e}");
-        }
-        drop(dir);
-
-        let context = format!("compaction fault at op {fault_at}");
-        let restored = assert_no_acked_loss(&root, cfg, &acked, &reference, &context);
-        drop(restored);
-
-        // Old chain or new block, never something in between — and the
-        // recovered store always accepts a clean compaction.
-        let mut dir = StoreDir::open(&root, cfg).expect("reopen");
-        let entries = dir.entries().len();
-        assert!(
-            entries == entries_before || entries == 1,
-            "{context}: chain must be the old one ({entries_before} entries) or the compacted \
-             one (1 entry), found {entries}"
-        );
-        let report = compact_store(&mut dir).expect("clean compaction after recovery");
-        assert_eq!(dir.entries().len(), 1, "{context}: recovered store compacts fully");
-        assert!(report.bytes_after > 0);
-        std::fs::remove_dir_all(&root).unwrap();
-
-        if !crashed {
-            assert!(fault_at >= 5, "compaction has several mutation points, covered {fault_at}");
-            break;
-        }
+        master.cleanup();
     }
-    std::fs::remove_dir_all(&master).unwrap();
 }
 
-/// An abandoned pending block (crash between `begin` and commit) is swept
-/// to quarantine and never becomes part of the chain.
+/// An abandoned pending block (crash between `begin` and commit) never
+/// becomes part of the chain on any backend. What residue it leaves is the
+/// backend's business: a torn `.tmp` file quarantined at the next open
+/// (localfs), nothing service-side (mem stages client-side), or a staged
+/// multipart upload awaiting the reaper (s3lite).
 #[test]
 fn abandoned_pending_blocks_are_quarantined() {
     let challenge = challenge();
     let split = (challenge.dataset.meta.bootstrap_days + 2) as usize;
     let cfg = LifecycleConfig::default();
-    let root = temp_store("abandoned");
 
-    let mut dir = StoreDir::create(&root, cfg).expect("create store dir");
+    for template in Backend::matrix("crash-abandoned") {
+        let backend = template.fresh();
+        let mut dir = backend.create(cfg).expect("create store");
+        let mut engine = engine_for(&challenge);
+        for day in &challenge.dataset.days[..split] {
+            engine.ingest_day(DayBatch::Dns(day));
+            engine.checkpoint_day_to(&mut dir).expect("daily persist");
+        }
+        // Begin a block and walk away mid-write — the staged upload is
+        // abandoned.
+        let mut pending = dir.begin(earlybird::store::BlockKind::DaySegment).expect("begin");
+        use std::io::Write as _;
+        pending.write_all(b"EBSTORE1 torn half-written segment").unwrap();
+        drop(pending);
+        drop(dir);
+
+        let dir = backend.open(cfg).expect("reopen");
+        let expected_quarantined = match &backend {
+            Backend::LocalFs(_) => 1,                  // the torn .tmp file
+            Backend::Mem(_) | Backend::S3Lite(_) => 0, // staging is invisible
+        };
+        assert_eq!(
+            dir.quarantined().len(),
+            expected_quarantined,
+            "{}: quarantine sweep of the abandoned upload: {:?}",
+            backend.name(),
+            dir.quarantined()
+        );
+        let restored = EngineBuilder::lanl().restore_dir(&dir).expect("chain unaffected");
+        assert_eq!(restored.reports().count(), split);
+        backend.cleanup();
+    }
+}
+
+/// The s3lite acceptance case: a crash mid-multipart-upload leaves parts
+/// in the staging area — never a visible object — the chain stays exactly
+/// old-or-new, and the staging-area reaper (the bucket-lifecycle-rule
+/// stand-in) clears the residue.
+#[test]
+fn s3lite_aborted_multipart_upload_stays_invisible_and_is_reaped() {
+    let challenge = challenge();
+    let boot = challenge.dataset.meta.bootstrap_days as usize;
+    let cfg = LifecycleConfig {
+        compaction: CompactionTrigger::disabled(),
+        retention: RetentionPolicy::default(),
+    };
+    // A small part size so even tiny test blocks span several parts.
+    let service = S3LiteBackend::with_part_size(512);
+    let mut dir = StoreDir::create_with(service.clone(), cfg).expect("create store");
+
     let mut engine = engine_for(&challenge);
-    for day in &challenge.dataset.days[..split] {
+    for day in &challenge.dataset.days[..boot + 2] {
         engine.ingest_day(DayBatch::Dns(day));
         engine.checkpoint_day_to(&mut dir).expect("daily persist");
     }
-    // Begin a block and walk away mid-write — the torn .tmp stays behind.
-    let mut pending = dir.begin(earlybird::store::BlockKind::DaySegment).expect("begin");
-    use std::io::Write as _;
-    pending.write_all(b"EBSTORE1 torn half-written segment").unwrap();
-    drop(pending);
-    drop(dir);
+    let committed = dir.entries().len();
+    assert_eq!(service.staged_uploads(), 0, "clean cycles leave no staged uploads");
 
-    let dir = StoreDir::open(&root, cfg).expect("reopen");
-    assert_eq!(dir.quarantined().len(), 1, "the torn pending block is quarantined");
-    let restored = EngineBuilder::lanl().restore_dir(&dir).expect("chain unaffected");
-    assert_eq!(restored.reports().count(), split);
-    std::fs::remove_dir_all(&root).unwrap();
+    // Kill the next day's persist at the finalize: by then the upload's
+    // parts are staged with the service, but completion never happens.
+    let injector = FaultInjector::new();
+    dir.set_fault_injector(injector.clone());
+    injector.arm(2); // begin = 0, buffered write = 1, finalize = 2
+    let day = &challenge.dataset.days[boot + 2];
+    engine.ingest_day(DayBatch::Dns(day));
+    let err = engine.checkpoint_day_to(&mut dir).expect_err("finalize must crash");
+    assert!(matches!(err, StoreError::Io(_)), "{err}");
+    assert!(injector.crashed());
+    drop(dir);
+    drop(engine);
+
+    // The aborted upload lingers in staging, invisible to the store.
+    assert_eq!(service.staged_uploads(), 1, "aborted multipart upload stays staged");
+    let dir = StoreDir::open_with(service.clone(), cfg).expect("reopen");
+    assert_eq!(dir.entries().len(), committed, "chain is exactly the old one");
+    assert!(dir.quarantined().is_empty(), "staging residue is not in the live namespace");
+    let restored = EngineBuilder::lanl().restore_dir(&dir).expect("chain restores");
+    assert_eq!(restored.reports().count(), boot + 2, "every acked day survives");
+
+    // The lifecycle-rule reaper clears the staging area; the daily cycle
+    // then continues cleanly (at-least-once: re-push the in-flight day).
+    assert_eq!(service.abort_stale_uploads(), 1);
+    assert_eq!(service.staged_uploads(), 0);
+    let mut dir = StoreDir::open_with(service.clone(), cfg).expect("reopen after reaping");
+    let mut engine = EngineBuilder::lanl().restore_dir(&dir).expect("restores");
+    engine.ingest_day(DayBatch::Dns(day));
+    engine.checkpoint_day_to(&mut dir).expect("cycle continues after recovery");
+    assert_eq!(dir.entries().len(), committed + 1);
+}
+
+/// The GC-failure satellite, deterministically: walk the fault point
+/// forward until it lands on compaction's best-effort GC deletes (the
+/// last mutations of the pass). The pass must *succeed*, report the
+/// failures in `CompactionReport::gc_failures`, leak the superseded
+/// objects, and the next open must quarantine them.
+#[test]
+fn gc_delete_failures_are_counted_not_fatal() {
+    let challenge = challenge();
+    let boot = challenge.dataset.meta.bootstrap_days as usize;
+    let cfg = LifecycleConfig {
+        compaction: CompactionTrigger::disabled(),
+        retention: RetentionPolicy::default(),
+    };
+
+    for template in Backend::matrix("gc-count") {
+        let master = template.fresh();
+        {
+            let mut dir = master.create(cfg).expect("create store");
+            let mut engine = engine_for(&challenge);
+            for day in &challenge.dataset.days[..boot + 3] {
+                engine.ingest_day(DayBatch::Dns(day));
+                engine.checkpoint_day_to(&mut dir).expect("daily persist");
+            }
+        }
+
+        let mut witnessed = false;
+        for fault_at in 0u64.. {
+            let backend = master.fork_copy("gc-count-iter");
+            let mut dir = backend.open(cfg).expect("open the copied chain");
+            let superseded = dir.entries().len();
+            let injector = FaultInjector::new();
+            dir.set_fault_injector(injector.clone());
+            injector.arm(fault_at);
+            match compact_store(&mut dir) {
+                Err(_) => {
+                    backend.cleanup();
+                    continue; // crash before the commit; not the case under test
+                }
+                Ok(report) if injector.crashed() => {
+                    // The fault landed on the GC deletes: all superseded
+                    // objects failed to delete (the store is dead), each
+                    // one counted.
+                    assert_eq!(
+                        report.gc_failures,
+                        superseded as u64,
+                        "{}: every superseded object's failed delete is counted",
+                        backend.name()
+                    );
+                    assert_eq!(dir.gc_failures(), superseded as u64);
+                    drop(dir);
+                    // The leaked objects are exactly what the next open
+                    // quarantines; the compacted chain restores fine.
+                    let reopened = backend.open(cfg).expect("reopen");
+                    assert_eq!(
+                        reopened.quarantined().len(),
+                        superseded,
+                        "{}: leaked objects quarantined: {:?}",
+                        backend.name(),
+                        reopened.quarantined()
+                    );
+                    let restored = EngineBuilder::lanl().restore_dir(&reopened).expect("restores");
+                    assert_eq!(restored.reports().count(), boot + 3);
+                    witnessed = true;
+                    backend.cleanup();
+                    break;
+                }
+                Ok(report) => {
+                    // Ran past the whole schedule without firing.
+                    assert_eq!(report.gc_failures, 0);
+                    backend.cleanup();
+                    break;
+                }
+            }
+        }
+        assert!(
+            witnessed,
+            "{}: the sweep never landed on a GC delete — schedule changed?",
+            template.name()
+        );
+        master.cleanup();
+    }
 }

@@ -1,0 +1,149 @@
+//! Shared backend harness for the lifecycle and crash-injection suites:
+//! one fixture type that can create, reopen, and deep-copy a snapshot
+//! store on every shipped [`ObjectStore`] backend, so the same invariants
+//! run as a `{localfs, mem, s3lite}` matrix.
+//!
+//! CI sets `EARLYBIRD_BACKEND` to pin one backend per matrix job; unset
+//! (or `all`) runs every backend in-process.
+
+use earlybird::engine::{LifecycleConfig, MemBackend, ObjectStore, S3LiteBackend, StoreDir};
+use earlybird::store::StoreResult;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// One concrete store location a test can create, crash, and reopen.
+/// For the shared-state backends the harness keeps the service handle, so
+/// a reopened store sees exactly what the "crashed" one committed — the
+/// in-memory equivalent of a directory surviving a dead process.
+pub enum Backend {
+    /// A directory under the system temp dir.
+    LocalFs(PathBuf),
+    /// A shared in-memory service.
+    Mem(MemBackend),
+    /// The simulated S3 service (multipart staging + conditional swap).
+    S3Lite(S3LiteBackend),
+}
+
+impl Backend {
+    /// The backends selected for this run: all three, or the single one
+    /// named by `EARLYBIRD_BACKEND` (CI matrix).
+    pub fn matrix(tag: &str) -> Vec<Backend> {
+        let selected = std::env::var("EARLYBIRD_BACKEND").unwrap_or_else(|_| "all".into());
+        let mut out = Vec::new();
+        if matches!(selected.as_str(), "all" | "localfs") {
+            out.push(Backend::LocalFs(Self::temp_root(tag)));
+        }
+        if matches!(selected.as_str(), "all" | "mem") {
+            out.push(Backend::Mem(MemBackend::new()));
+        }
+        if matches!(selected.as_str(), "all" | "s3lite") {
+            out.push(Backend::S3Lite(S3LiteBackend::new()));
+        }
+        assert!(
+            !out.is_empty(),
+            "EARLYBIRD_BACKEND={selected:?} selects no backend (use localfs|mem|s3lite|all)"
+        );
+        out
+    }
+
+    fn temp_root(tag: &str) -> PathBuf {
+        let root =
+            std::env::temp_dir().join(format!("earlybird-{tag}-localfs-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        root
+    }
+
+    /// Matrix key (matches the `EARLYBIRD_BACKEND` values).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Backend::LocalFs(_) => "localfs",
+            Backend::Mem(_) => "mem",
+            Backend::S3Lite(_) => "s3lite",
+        }
+    }
+
+    /// An empty store of the same kind (for sweep iterations that each
+    /// need a pristine store).
+    pub fn fresh(&self) -> Backend {
+        match self {
+            Backend::LocalFs(root) => {
+                let _ = std::fs::remove_dir_all(root);
+                Backend::LocalFs(root.clone())
+            }
+            Backend::Mem(_) => Backend::Mem(MemBackend::new()),
+            Backend::S3Lite(_) => Backend::S3Lite(S3LiteBackend::new()),
+        }
+    }
+
+    /// A deep, independent copy of this store's current contents (for
+    /// sweeps that replay many crashes against one master fixture).
+    pub fn fork_copy(&self, tag: &str) -> Backend {
+        match self {
+            Backend::LocalFs(root) => {
+                let copy = Self::temp_root(tag);
+                std::fs::create_dir_all(&copy).expect("create copy dir");
+                for entry in std::fs::read_dir(root).expect("read master dir") {
+                    let entry = entry.expect("dir entry");
+                    if entry.file_type().expect("file type").is_file() {
+                        std::fs::copy(entry.path(), copy.join(entry.file_name()))
+                            .expect("copy chain file");
+                    }
+                }
+                Backend::LocalFs(copy)
+            }
+            Backend::Mem(handle) => Backend::Mem(handle.fork()),
+            Backend::S3Lite(handle) => Backend::S3Lite(handle.fork()),
+        }
+    }
+
+    /// Creates a fresh store here.
+    pub fn create(&self, cfg: LifecycleConfig) -> StoreResult<StoreDir> {
+        match self {
+            Backend::LocalFs(root) => StoreDir::create(root, cfg),
+            Backend::Mem(handle) => StoreDir::create_with(handle.clone(), cfg),
+            Backend::S3Lite(handle) => StoreDir::create_with(handle.clone(), cfg),
+        }
+    }
+
+    /// Reopens the store (what a restarted process would do).
+    pub fn open(&self, cfg: LifecycleConfig) -> StoreResult<StoreDir> {
+        match self {
+            Backend::LocalFs(root) => StoreDir::open(root, cfg),
+            Backend::Mem(handle) => StoreDir::open_with(handle.clone(), cfg),
+            Backend::S3Lite(handle) => StoreDir::open_with(handle.clone(), cfg),
+        }
+    }
+
+    /// Plants an unreferenced object through the backend's own upload
+    /// path — crash residue for quarantine tests.
+    pub fn plant_orphan(&self, name: &str, bytes: &[u8]) {
+        match self {
+            Backend::LocalFs(root) => std::fs::write(root.join(name), bytes).expect("plant file"),
+            Backend::Mem(handle) => Self::finalize_orphan(handle, name, bytes),
+            Backend::S3Lite(handle) => Self::finalize_orphan(handle, name, bytes),
+        }
+    }
+
+    fn finalize_orphan(store: &dyn ObjectStore, name: &str, bytes: &[u8]) {
+        let mut upload = store.put_atomic(name).expect("begin orphan upload");
+        upload.write_all(bytes).expect("stage orphan");
+        upload.finalize().expect("finalize orphan");
+    }
+
+    /// Deletes an object out from under the manifest — simulated damage
+    /// for missing-chain-object tests.
+    pub fn delete_object(&self, name: &str) {
+        match self {
+            Backend::LocalFs(root) => std::fs::remove_file(root.join(name)).expect("remove file"),
+            Backend::Mem(handle) => handle.delete(name).expect("delete object"),
+            Backend::S3Lite(handle) => handle.delete(name).expect("delete object"),
+        }
+    }
+
+    /// Removes any on-disk residue (no-op for the in-memory services).
+    pub fn cleanup(&self) {
+        if let Backend::LocalFs(root) = self {
+            let _ = std::fs::remove_dir_all(root);
+        }
+    }
+}
