@@ -29,7 +29,7 @@ fn loaded_engine(challenge: &LanlChallenge) -> (Engine, u64) {
 
 fn bench_checkpoint(c: &mut Criterion) {
     let challenge = earlybird_bench::lanl_world();
-    let (mut engine, records) = loaded_engine(&challenge);
+    let (engine, records) = loaded_engine(&challenge);
     let mut buf = Vec::new();
     engine.checkpoint(&mut buf).expect("checkpoint succeeds");
     let bytes = buf.len() as u64;
@@ -67,7 +67,7 @@ fn bench_checkpoint_day(c: &mut Criterion) {
     // baseline so the delta is always exactly one day.
     let mut baseline = Vec::new();
     {
-        let (mut engine, _) = loaded_engine(&challenge);
+        let (engine, _) = loaded_engine(&challenge);
         engine.checkpoint(&mut baseline).expect("checkpoint succeeds");
     }
 
@@ -88,7 +88,7 @@ fn bench_checkpoint_day(c: &mut Criterion) {
 
 fn bench_restore(c: &mut Criterion) {
     let challenge = earlybird_bench::lanl_world();
-    let (mut engine, records) = loaded_engine(&challenge);
+    let (engine, records) = loaded_engine(&challenge);
     let mut snapshot = Vec::new();
     engine.checkpoint(&mut snapshot).expect("checkpoint succeeds");
 

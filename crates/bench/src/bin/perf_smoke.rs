@@ -1,21 +1,24 @@
 //! Machine-readable perf smoke pass for CI: measures ingest throughput,
-//! checkpoint/restore bandwidth, store-compaction bandwidth, and raw
-//! backend put bandwidth on the benchmark-scale LANL world, and writes a
-//! small JSON report (`BENCH_5.json` by default) that CI uploads as a
-//! workflow artifact. The checked-in `ci/BENCH_5.json` is the baseline
-//! (`ci/BENCH_4.json` is the pre-backend PR-4 reading, kept for the
-//! trajectory); comparing artifacts across PRs gives the perf trend.
+//! checkpoint/restore bandwidth, store-compaction bandwidth, raw backend
+//! put bandwidth, and the service loopback (multi-tenant HTTP ingest
+//! rec/s + query latency) on the benchmark-scale LANL world, and writes a
+//! small JSON report (`BENCH_6.json` by default) that CI uploads as a
+//! workflow artifact. The checked-in `ci/BENCH_6.json` is the baseline
+//! (`ci/BENCH_4.json` and `ci/BENCH_5.json` are earlier PRs' readings,
+//! kept for the trajectory); comparing artifacts across PRs gives the
+//! perf trend.
 //!
-//! Numbers are medians of a few short runs — a smoke reading to catch
-//! collapses (10x regressions), not a calibrated benchmark; use
-//! `cargo bench` for real measurements.
+//! Numbers are medians of a few short runs (the service loopback is one
+//! timed pass) — a smoke reading to catch collapses (10x regressions),
+//! not a calibrated benchmark; use `cargo bench` for real measurements.
 //!
 //! Usage: `perf_smoke [output.json]`
 
 use earlybird_engine::{
-    compact_store, DayBatch, Engine, EngineBuilder, LifecycleConfig, LocalFsBackend, ObjectStore,
-    StoreDir,
+    compact_store, DayBatch, Engine, EngineBuilder, LifecycleConfig, LocalFsBackend, MemBackend,
+    ObjectStore, StoreDir,
 };
+use earlybird_serve::{ServeClient, Server, ServerConfig, TenantSpec};
 use earlybird_synthgen::lanl::LanlChallenge;
 use std::io::Write as _;
 use std::path::PathBuf;
@@ -51,9 +54,108 @@ fn ingest_all(challenge: &LanlChallenge) -> (Engine, u64) {
     (engine, records)
 }
 
+/// Tenants pushing concurrently in the service loopback measurement.
+const SERVE_TENANTS: usize = 4;
+/// Records in each tenant's bootstrap-day span.
+const SERVE_DAY0_RECORDS: u32 = 100_000;
+/// Records in each tenant's operation-day span.
+const SERVE_DAY1_RECORDS: u32 = 50_000;
+/// Internal hosts per service tenant.
+const SERVE_HOSTS: u32 = 64;
+
+/// Pre-rendered interchange text for one tenant's day: deterministic
+/// background chatter over `SERVE_HOSTS` hosts and a few hundred domains.
+fn serve_span_text(tenant: usize, day: u32, records: u32) -> String {
+    let mut text = String::with_capacity(records as usize * 40);
+    for i in 0..records {
+        let host = i % SERVE_HOSTS;
+        let ts = (u64::from(i) * 131) % 86_400;
+        let domain = (i * 7 + day) % 509;
+        text.push_str(&format!(
+            "{ts}\t10.0.0.{host}\td{domain}.t{tenant}.example.c3\tA\t50.{}.{}.1\n",
+            domain % 200,
+            host
+        ));
+    }
+    text
+}
+
+/// The service loopback measurement: a daemon on an in-memory root store
+/// (so the wire + parse + engine path dominates, not the medium), with
+/// `SERVE_TENANTS` clients each pushing pre-rendered spans into their own
+/// tenant concurrently. Returns total records pushed, the aggregate
+/// span-push rate, and the p50 of 100 warm query round trips.
+fn serve_loopback() -> (u64, f64, f64) {
+    let server = Server::bind(Box::new(MemBackend::new()), ServerConfig::default())
+        .expect("bind loopback daemon");
+    let addr = server.addr();
+    let handle = server.spawn();
+
+    let spans: Vec<(String, String, String)> = (0..SERVE_TENANTS)
+        .map(|t| {
+            (
+                format!("bench{t}"),
+                serve_span_text(t, 0, SERVE_DAY0_RECORDS),
+                serve_span_text(t, 1, SERVE_DAY1_RECORDS),
+            )
+        })
+        .collect();
+    for (name, _, _) in &spans {
+        let mut client = ServeClient::new(addr);
+        client.create_tenant(name, &TenantSpec::lanl(SERVE_HOSTS, 1, 2)).expect("create tenant");
+    }
+
+    // Timed region: only the span pushes — the ingest hot path the
+    // service promises stays within a small constant of the library's.
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for (name, day0, day1) in &spans {
+            scope.spawn(move || {
+                let mut client = ServeClient::new(addr);
+                let ack = client.push_span(name, 0, day0).expect("push day 0");
+                assert_eq!(ack.records_pushed, u64::from(SERVE_DAY0_RECORDS));
+                let ack = client.push_span(name, 1, day1).expect("push day 1");
+                assert_eq!(ack.records_pushed, u64::from(SERVE_DAY1_RECORDS));
+            });
+        }
+    });
+    let push_secs = started.elapsed().as_secs_f64();
+    let serve_records = SERVE_TENANTS as u64 * u64::from(SERVE_DAY0_RECORDS + SERVE_DAY1_RECORDS);
+    let serve_ingest_rec_s = serve_records as f64 / push_secs;
+
+    // Seal both days so the query phase reads real stored state.
+    let mut client = ServeClient::new(addr);
+    for (name, _, _) in &spans {
+        client.finish_day(name, 0).expect("finish day 0");
+        client.finish_day(name, 1).expect("finish day 1");
+    }
+
+    // Query latency: 100 warm round trips alternating the two read
+    // routes across tenants, over one keep-alive connection.
+    let mut samples: Vec<f64> = (0..100)
+        .map(|i| {
+            let (name, _, _) = &spans[i % SERVE_TENANTS];
+            let started = Instant::now();
+            if i % 2 == 0 {
+                client.reports(name).expect("reports query");
+            } else {
+                client.alerts(name, 0).expect("alerts query");
+            }
+            started.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    let serve_query_p50_ms = samples[samples.len() / 2];
+
+    client.shutdown().expect("graceful shutdown");
+    drop(client);
+    handle.join();
+    (serve_records, serve_ingest_rec_s, serve_query_p50_ms)
+}
+
 fn main() {
     let out_path =
-        std::env::args().nth(1).map(PathBuf::from).unwrap_or_else(|| "BENCH_5.json".into());
+        std::env::args().nth(1).map(PathBuf::from).unwrap_or_else(|| "BENCH_6.json".into());
     let challenge = earlybird_bench::lanl_world();
     let total_records: u64 = challenge.dataset.days.iter().map(|d| d.queries.len() as u64).sum();
 
@@ -65,7 +167,7 @@ fn main() {
     let ingest_records_per_sec = total_records as f64 / ingest_secs;
 
     // Checkpoint / restore bandwidth over the fully loaded engine.
-    let (mut engine, _) = ingest_all(&challenge);
+    let (engine, _) = ingest_all(&challenge);
     let mut snapshot = Vec::new();
     engine.checkpoint(&mut snapshot).expect("checkpoint succeeds");
     let snapshot_bytes = snapshot.len() as u64;
@@ -111,8 +213,11 @@ fn main() {
     let backend_put_mb_s = snapshot_bytes as f64 / mib / backend_put_secs;
     let _ = std::fs::remove_dir_all(&put_root);
 
+    // Service loopback: concurrent multi-tenant HTTP ingest + queries.
+    let (serve_records, serve_ingest_rec_s, serve_query_p50_ms) = serve_loopback();
+
     let json = format!(
-        "{{\n  \"schema\": \"earlybird-perf-smoke-v2\",\n  \"suite\": \"lanl_small\",\n  \
+        "{{\n  \"schema\": \"earlybird-perf-smoke-v3\",\n  \"suite\": \"lanl_small\",\n  \
          \"ingest_records\": {total_records},\n  \
          \"ingest_records_per_sec\": {ingest_records_per_sec:.0},\n  \
          \"snapshot_bytes\": {snapshot_bytes},\n  \
@@ -120,7 +225,10 @@ fn main() {
          \"restore_mb_per_sec\": {restore_mb_per_sec:.1},\n  \
          \"compaction_chain_bytes\": {chain_bytes},\n  \
          \"compaction_mb_per_sec\": {compaction_mb_per_sec:.1},\n  \
-         \"backend_put_mb_s\": {backend_put_mb_s:.1}\n}}\n"
+         \"backend_put_mb_s\": {backend_put_mb_s:.1},\n  \
+         \"serve_ingest_records\": {serve_records},\n  \
+         \"serve_ingest_rec_s\": {serve_ingest_rec_s:.0},\n  \
+         \"serve_query_p50_ms\": {serve_query_p50_ms:.3}\n}}\n"
     );
     if let Some(parent) = out_path.parent().filter(|p| !p.as_os_str().is_empty()) {
         std::fs::create_dir_all(parent).expect("create report directory");

@@ -112,6 +112,72 @@ impl AlertSink for CollectingSink {
     }
 }
 
+/// Shared, queryable handle over the alerts emitted through an
+/// [`AlertLogSink`] — the service-facing alert store.
+///
+/// Alerts are appended in engine delivery order, which is globally
+/// sequence-ordered (sequence numbers are allocated under the sink lock),
+/// so cursor reads are a binary search. After a restart the log starts
+/// empty while the engine's sequence counter resumes from the snapshot —
+/// so cursors held by clients stay monotone across restarts; they simply
+/// see no replayed alerts for days that were already durable.
+#[derive(Clone, Debug, Default)]
+pub struct AlertLog {
+    store: Arc<Mutex<Vec<Alert>>>,
+}
+
+impl AlertLog {
+    /// All alerts with `sequence >= since`, in sequence order.
+    pub fn since(&self, since: u64) -> Vec<Alert> {
+        let log = self.store.lock().expect("alert log poisoned");
+        let start = log.partition_point(|a| a.sequence < since);
+        log[start..].to_vec()
+    }
+
+    /// One past the highest sequence in the log (`0` when empty): the
+    /// cursor a client should pass to [`AlertLog::since`] to read only
+    /// alerts emitted after this call.
+    pub fn next_sequence(&self) -> u64 {
+        let log = self.store.lock().expect("alert log poisoned");
+        log.last().map_or(0, |a| a.sequence + 1)
+    }
+
+    /// Number of alerts in the log.
+    pub fn len(&self) -> usize {
+        self.store.lock().expect("alert log poisoned").len()
+    }
+
+    /// Whether the log holds no alert.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// An in-memory sink backing an [`AlertLog`] query handle; the handle stays
+/// valid after the sink moves into the engine.
+#[derive(Debug, Default)]
+pub struct AlertLogSink {
+    store: Arc<Mutex<Vec<Alert>>>,
+}
+
+impl AlertLogSink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The shared query handle.
+    pub fn log(&self) -> AlertLog {
+        AlertLog { store: Arc::clone(&self.store) }
+    }
+}
+
+impl AlertSink for AlertLogSink {
+    fn emit(&mut self, alert: &Alert) {
+        self.store.lock().expect("alert log poisoned").push(alert.clone());
+    }
+}
+
 /// Shared counter of alerts a [`JsonLinesSink`] failed to write (full disk,
 /// closed pipe, ...). Stays valid after the sink moves into the engine.
 #[derive(Clone, Debug, Default)]
@@ -241,6 +307,23 @@ mod tests {
         sink.emit(&alert(0));
         sink.emit(&alert(1));
         assert_eq!(errors.count(), 2, "dropped alerts are observable");
+    }
+
+    #[test]
+    fn alert_log_cursor_reads_are_half_open() {
+        let sink = AlertLogSink::new();
+        let log = sink.log();
+        assert_eq!(log.next_sequence(), 0, "empty log starts the cursor at 0");
+        let mut sink: Box<dyn AlertSink> = Box::new(sink);
+        for s in [2u64, 5, 9] {
+            sink.emit(&alert(s));
+        }
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.since(0).len(), 3);
+        assert_eq!(log.since(3).iter().map(|a| a.sequence).collect::<Vec<_>>(), vec![5, 9]);
+        assert_eq!(log.since(9).len(), 1, "since is inclusive");
+        assert_eq!(log.next_sequence(), 10);
+        assert!(log.since(log.next_sequence()).is_empty(), "next_sequence sees only new alerts");
     }
 
     #[test]

@@ -109,8 +109,10 @@ pub struct Engine {
     /// drained by [`Engine::take_sink_errors`].
     pub(crate) sink_errors: Mutex<Vec<EngineError>>,
     /// Watermarks of the state already persisted by `checkpoint` /
-    /// `checkpoint_day` (see the `persist` module).
-    pub(crate) persist_cursor: crate::persist::PersistCursor,
+    /// `checkpoint_day` (see the `persist` module). Behind its own lock so
+    /// checkpoints run on `&self`: a snapshot in flight never blocks the
+    /// read paths (reports / alerts / investigate) of a shared engine.
+    pub(crate) persist_cursor: Mutex<crate::persist::PersistCursor>,
     pub(crate) soc_seed_syms: Vec<DomainSym>,
     /// Interner for user agents parsed from raw proxy log lines.
     pub(crate) uas: Arc<UaInterner>,
@@ -150,7 +152,7 @@ impl Engine {
             sinks: Mutex::new(sinks),
             sequence: AtomicU64::new(0),
             sink_errors: Mutex::new(Vec::new()),
-            persist_cursor: crate::persist::PersistCursor::default(),
+            persist_cursor: Mutex::new(crate::persist::PersistCursor::default()),
             soc_seed_syms,
             uas: uas.unwrap_or_default(),
             paths: paths.unwrap_or_default(),
@@ -183,7 +185,7 @@ impl Engine {
             sinks: Mutex::new(sinks),
             sequence: AtomicU64::new(0),
             sink_errors: Mutex::new(Vec::new()),
-            persist_cursor: crate::persist::PersistCursor::default(),
+            persist_cursor: Mutex::new(crate::persist::PersistCursor::default()),
             soc_seed_syms: Vec::new(),
             uas,
             paths,
@@ -235,6 +237,13 @@ impl Engine {
     /// guarantee as [`Engine::days`].
     pub fn reports(&self) -> impl Iterator<Item = &DayReport> {
         self.reports.values()
+    }
+
+    /// The sequence number the next emitted alert will carry. Survives
+    /// checkpoint/restore, so alert cursors handed to consumers stay
+    /// monotone across restarts even though sinks start over empty.
+    pub fn next_alert_sequence(&self) -> u64 {
+        self.sequence.load(std::sync::atomic::Ordering::SeqCst)
     }
 
     /// Drains the typed errors from alert sinks that panicked mid-emit.

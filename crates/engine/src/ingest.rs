@@ -60,11 +60,47 @@ impl IngestSource<'_> {
 pub struct DayIngest<'e, 'a> {
     engine: &'e mut Engine,
     source: IngestSource<'a>,
+    state: DayState,
+}
+
+/// An open streaming day detached from the engine borrow: the owned
+/// accumulator state of a [`DayIngest`] between pushes.
+///
+/// [`DayIngest::suspend`] releases the `&mut Engine` borrow without sealing
+/// the day; [`Engine::resume_day`] re-attaches the state to push more spans
+/// or finish. A service holding many tenants can keep each tenant's open
+/// days in a plain map and borrow the engine only for the duration of one
+/// request.
+#[derive(Debug)]
+pub struct DayState {
     day: Day,
+    dns: bool,
     /// `None` when the day is a replay (nothing accumulates).
     accum: Option<DayAccum>,
     parse_errors: usize,
     started: Instant,
+}
+
+impl DayState {
+    /// The day being ingested.
+    pub fn day(&self) -> Day {
+        self.day
+    }
+
+    /// Whether this day was already ingested (pushes are no-ops).
+    pub fn is_duplicate(&self) -> bool {
+        self.accum.is_none()
+    }
+
+    /// Raw records pushed so far.
+    pub fn records_pushed(&self) -> usize {
+        self.accum.as_ref().map_or(0, DayAccum::records_in)
+    }
+
+    /// Parse errors accumulated by [`DayIngest::push_lines`] so far.
+    pub fn parse_errors(&self) -> usize {
+        self.parse_errors
+    }
 }
 
 impl Engine {
@@ -88,35 +124,64 @@ impl Engine {
                 }
             })
         };
-        DayIngest { engine: self, source, day, accum, parse_errors: 0, started }
+        let state = DayState { day, dns: source.is_dns(), accum, parse_errors: 0, started };
+        DayIngest { engine: self, source, state }
+    }
+
+    /// Re-attaches a [`DayState`] produced by [`DayIngest::suspend`] to
+    /// continue pushing spans or seal the day.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` is a different kind (DNS vs proxy) than the one
+    /// the day was opened with — mixing sources mid-day would corrupt the
+    /// accumulator, same contract as the push methods.
+    pub fn resume_day<'a>(
+        &mut self,
+        state: DayState,
+        source: IngestSource<'a>,
+    ) -> DayIngest<'_, 'a> {
+        assert_eq!(
+            state.dns,
+            source.is_dns(),
+            "day {} resumed with a different source kind than it was opened with",
+            state.day
+        );
+        DayIngest { engine: self, source, state }
     }
 }
 
 impl DayIngest<'_, '_> {
     /// The day being ingested.
     pub fn day(&self) -> Day {
-        self.day
+        self.state.day
     }
 
     /// Whether this day was already ingested (pushes are no-ops).
     pub fn is_duplicate(&self) -> bool {
-        self.accum.is_none()
+        self.state.is_duplicate()
     }
 
     /// Whether the day falls in the bootstrap (profiling-only) period.
     pub fn bootstrap(&self) -> bool {
-        self.day.index() < self.engine.bootstrap_days()
+        self.state.day.index() < self.engine.bootstrap_days()
     }
 
     /// Raw records pushed so far (parsed records for line pushes;
     /// pre-normalization records for proxy pushes).
     pub fn records_pushed(&self) -> usize {
-        self.accum.as_ref().map_or(0, DayAccum::records_in)
+        self.state.records_pushed()
     }
 
     /// Parse errors accumulated by [`DayIngest::push_lines`] so far.
     pub fn parse_errors(&self) -> usize {
-        self.parse_errors
+        self.state.parse_errors
+    }
+
+    /// Detaches the open day from the engine borrow without sealing it;
+    /// re-attach with [`Engine::resume_day`].
+    pub fn suspend(self) -> DayState {
+        self.state
     }
 
     /// Pushes a span of DNS queries, splitting it across the engine's
@@ -127,7 +192,7 @@ impl DayIngest<'_, '_> {
     /// Panics if the ingest was opened with a proxy source.
     pub fn push_dns_records(&mut self, records: &[DnsQuery]) {
         assert!(self.source.is_dns(), "DNS records pushed into a proxy-source day");
-        let Some(accum) = &mut self.accum else { return };
+        let Some(accum) = &mut self.state.accum else { return };
         accum.count_raw_records(records.len());
         let engine = &*self.engine;
         let shards = shard_spans(records, engine.cfg.parallelism, engine.cfg.ingest_chunk_records);
@@ -161,7 +226,7 @@ impl DayIngest<'_, '_> {
         let IngestSource::Proxy { dhcp } = self.source else {
             panic!("proxy records pushed into a DNS-source day");
         };
-        let Some(accum) = &mut self.accum else { return };
+        let Some(accum) = &mut self.state.accum else { return };
         accum.count_raw_records(records.len());
         let engine = &*self.engine;
         let shards = shard_spans(records, engine.cfg.parallelism, engine.cfg.ingest_chunk_records);
@@ -201,7 +266,7 @@ impl DayIngest<'_, '_> {
     /// the block, error)`; they are also tallied in the day report's
     /// `parse_errors` counter.
     pub fn push_lines(&mut self, text: &str) -> Vec<(usize, ParseLogError)> {
-        if self.accum.is_none() {
+        if self.state.accum.is_none() {
             return Vec::new();
         }
         let lines: Vec<(usize, &str)> = text
@@ -259,7 +324,7 @@ impl DayIngest<'_, '_> {
             }
         }
         errors.sort_by_key(|(lineno, _)| *lineno);
-        self.parse_errors += errors.len();
+        self.state.parse_errors += errors.len();
         errors
     }
 
@@ -289,7 +354,8 @@ impl DayIngest<'_, '_> {
     /// [`Engine::cc_scores`]; only the detection tail — candidates,
     /// alerts, belief propagation — was skipped.
     pub fn try_finish(self) -> Result<DayReport, EngineError> {
-        let DayIngest { engine, day, accum, parse_errors, started, .. } = self;
+        let DayIngest { engine, state, .. } = self;
+        let DayState { day, accum, parse_errors, started, .. } = state;
         let Some(accum) = accum else {
             let mut replay =
                 engine.reports.get(&day).cloned().expect("duplicate day must have a stored report");

@@ -71,17 +71,17 @@ mod report;
 mod train;
 
 pub use alert::{
-    Alert, AlertSink, CallbackSink, CollectedAlerts, CollectingSink, JsonLinesSink, Verdict,
-    WriteErrors,
+    Alert, AlertLog, AlertLogSink, AlertSink, CallbackSink, CollectedAlerts, CollectingSink,
+    JsonLinesSink, Verdict, WriteErrors,
 };
 pub use batch::DayBatch;
 pub use builder::{EngineBuilder, EngineConfig, EngineError};
 pub use core_loop::{Engine, Investigation, SeedSpec};
 pub use earlybird_store::{
-    CheckpointMeta, CompactionReport, CompactionTrigger, FaultInjector, FaultedStore,
-    LifecycleConfig, LocalFsBackend, MemBackend, ObjectStore, RetentionPolicy, S3LiteBackend,
-    StoreDir, StoreError, StoreResult,
+    validate_scope_name, CheckpointMeta, CompactionReport, CompactionTrigger, FaultInjector,
+    FaultedStore, LifecycleConfig, LocalFsBackend, MemBackend, ObjectStore, RetentionPolicy,
+    S3LiteBackend, StoreDir, StoreError, StoreResult,
 };
-pub use ingest::{DayIngest, IngestSource};
+pub use ingest::{DayIngest, DayState, IngestSource};
 pub use persist::{compact_store, DayPersist};
 pub use report::{CcCandidate, DayReport, InvestigationReport, StageCounters, TrainingReport};

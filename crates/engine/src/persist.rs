@@ -74,6 +74,13 @@ pub(crate) struct PersistCursor {
 }
 
 impl Engine {
+    /// The persist-cursor lock. Checkpoints hold it for their whole write,
+    /// so concurrent checkpoints serialize and each delta is well-defined;
+    /// the engine's read paths never touch it.
+    fn lock_cursor(&self) -> std::sync::MutexGuard<'_, PersistCursor> {
+        self.persist_cursor.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     fn current_cursor(&self) -> PersistCursor {
         PersistCursor {
             raw: self.pipeline.raw_interner().len(),
@@ -94,12 +101,17 @@ impl Engine {
     /// cursor so subsequent [`Engine::checkpoint_day`] calls append
     /// segments relative to this snapshot.
     ///
+    /// Takes `&self`: a checkpoint in flight never blocks the engine's
+    /// read paths ([`Engine::report`], [`Engine::investigate`], ...) on a
+    /// shared engine — only ingestion (which needs `&mut self`) waits.
+    ///
     /// # Errors
     ///
     /// Propagates writer failures as [`StoreError::Io`].
-    pub fn checkpoint<W: Write>(&mut self, out: &mut W) -> StoreResult<CheckpointMeta> {
+    pub fn checkpoint<W: Write>(&self, out: &mut W) -> StoreResult<CheckpointMeta> {
+        let mut cursor = self.lock_cursor();
         let meta = self.write_block(out, BlockKind::Full, &PersistCursor::default())?;
-        self.persist_cursor = self.current_cursor();
+        *cursor = self.current_cursor();
         Ok(meta)
     }
 
@@ -119,22 +131,26 @@ impl Engine {
     /// [`StoreError::StaleSegment`] — appending it would produce a chain
     /// the restore path rejects; write a fresh full snapshot
     /// ([`Engine::checkpoint`]) to persist back-filled days.
-    pub fn checkpoint_day<W: Write>(&mut self, out: &mut W) -> StoreResult<CheckpointMeta> {
-        self.check_segment_freshness()?;
-        let cursor = self.persist_cursor.clone();
-        let meta = self.write_block(out, BlockKind::DaySegment, &cursor)?;
-        self.persist_cursor = self.current_cursor();
+    pub fn checkpoint_day<W: Write>(&self, out: &mut W) -> StoreResult<CheckpointMeta> {
+        let mut cursor = self.lock_cursor();
+        Self::check_segment_freshness(&cursor, &self.reports)?;
+        let delta = cursor.clone();
+        let meta = self.write_block(out, BlockKind::DaySegment, &delta)?;
+        *cursor = self.current_cursor();
         Ok(meta)
     }
 
     /// Rejects a segment that would persist a day older than the newest
     /// day already on the stream (see [`StoreError::StaleSegment`]).
-    fn check_segment_freshness(&self) -> StoreResult<()> {
-        let Some(&last) = self.persist_cursor.days.iter().next_back() else {
+    fn check_segment_freshness(
+        cursor: &PersistCursor,
+        reports: &std::collections::BTreeMap<Day, DayReport>,
+    ) -> StoreResult<()> {
+        let Some(&last) = cursor.days.iter().next_back() else {
             return Ok(());
         };
-        for day in self.reports.keys() {
-            if *day < last && !self.persist_cursor.days.contains(day) {
+        for day in reports.keys() {
+            if *day < last && !cursor.days.contains(day) {
                 return Err(StoreError::StaleSegment {
                     day: day.index(),
                     last_persisted: last.index(),
@@ -153,11 +169,20 @@ impl Engine {
     /// # Errors
     ///
     /// Typed [`StoreError`]s from the write or the directory commit.
-    pub fn checkpoint_to(&mut self, dir: &mut StoreDir) -> StoreResult<CheckpointMeta> {
+    pub fn checkpoint_to(&self, dir: &mut StoreDir) -> StoreResult<CheckpointMeta> {
+        let mut cursor = self.lock_cursor();
+        self.checkpoint_to_locked(dir, &mut cursor)
+    }
+
+    fn checkpoint_to_locked(
+        &self,
+        dir: &mut StoreDir,
+        cursor: &mut PersistCursor,
+    ) -> StoreResult<CheckpointMeta> {
         let mut pending = dir.begin(BlockKind::Full)?;
         let meta = self.write_block(&mut pending, BlockKind::Full, &PersistCursor::default())?;
         dir.commit_full(pending, &meta)?;
-        self.persist_cursor = self.current_cursor();
+        *cursor = self.current_cursor();
         Ok(meta)
     }
 
@@ -179,18 +204,20 @@ impl Engine {
     /// either way. Treat any error as fatal for this process and recover
     /// by restoring the directory (at-least-once semantics absorb the
     /// re-pushed day).
-    pub fn checkpoint_day_to(&mut self, dir: &mut StoreDir) -> StoreResult<DayPersist> {
+    pub fn checkpoint_day_to(&self, dir: &mut StoreDir) -> StoreResult<DayPersist> {
+        let mut guard = self.lock_cursor();
         let block = if dir.is_empty() {
-            self.checkpoint_to(dir)?
+            self.checkpoint_to_locked(dir, &mut guard)?
         } else {
-            self.check_segment_freshness()?;
-            let cursor = self.persist_cursor.clone();
+            Self::check_segment_freshness(&guard, &self.reports)?;
+            let cursor = guard.clone();
             let mut pending = dir.begin(BlockKind::DaySegment)?;
             let meta = self.write_block(&mut pending, BlockKind::DaySegment, &cursor)?;
             dir.commit_segment(pending, &meta)?;
-            self.persist_cursor = self.current_cursor();
+            *guard = self.current_cursor();
             meta
         };
+        drop(guard);
         let compaction = if dir.compaction_due() { Some(compact_store(dir)?) } else { None };
         Ok(DayPersist { block, compaction })
     }
@@ -585,7 +612,7 @@ impl EngineBuilder {
         // already exist in the restored folded namespace; re-interning
         // resolves them without creating new symbols.
         engine.reintern_soc_seeds();
-        engine.persist_cursor = engine.current_cursor();
+        *engine.lock_cursor() = engine.current_cursor();
         Ok(engine)
     }
 }

@@ -1,0 +1,72 @@
+//! The `earlybird_served` daemon binary.
+//!
+//! ```text
+//! earlybird_served --root <dir> [--addr 127.0.0.1:4521] [--backend localfs|mem]
+//! ```
+//!
+//! Serves the multi-tenant ingest + query API over the store rooted at
+//! `--root` (each tenant is a scope under it). Prints one
+//! `earlybird-served listening on <addr>` line to stdout once ready, so
+//! scripts can scrape the bound port. Runs until `POST
+//! /v1/admin/shutdown` completes a graceful drain-and-checkpoint; an
+//! unclean kill loses nothing that was acked durable.
+
+use earlybird_serve::{Server, ServerConfig};
+use earlybird_store::{LocalFsBackend, MemBackend, ObjectStore};
+use std::io::Write as _;
+
+fn main() {
+    let mut root: Option<String> = None;
+    let mut addr = "127.0.0.1:4521".to_string();
+    let mut backend = "localfs".to_string();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take =
+            |name: &str| args.next().unwrap_or_else(|| die(&format!("{name} requires a value")));
+        match arg.as_str() {
+            "--root" => root = Some(take("--root")),
+            "--addr" => addr = take("--addr"),
+            "--backend" => backend = take("--backend"),
+            "--help" | "-h" => {
+                println!(
+                    "usage: earlybird_served --root <dir> [--addr HOST:PORT] [--backend localfs|mem]"
+                );
+                return;
+            }
+            other => die(&format!("unknown argument {other:?} (try --help)")),
+        }
+    }
+
+    let store: Box<dyn ObjectStore> = match backend.as_str() {
+        "localfs" => {
+            let root = root.unwrap_or_else(|| die("--root is required for the localfs backend"));
+            match LocalFsBackend::new(&root) {
+                Ok(fs) => Box::new(fs),
+                Err(e) => die(&format!("cannot open store root {root:?}: {e}")),
+            }
+        }
+        // An in-memory root: useful for demos; nothing survives exit.
+        "mem" => Box::new(MemBackend::new()),
+        other => die(&format!("unknown backend {other:?} (expected localfs or mem)")),
+    };
+
+    let cfg = ServerConfig { addr, ..ServerConfig::default() };
+    let server = match Server::bind(store, cfg) {
+        Ok(server) => server,
+        Err(e) => die(&format!("cannot start: {e}")),
+    };
+    println!(
+        "earlybird-served listening on {} ({} tenant(s) restored)",
+        server.addr(),
+        server.tenant_count()
+    );
+    let _ = std::io::stdout().flush();
+    server.run();
+    println!("earlybird-served: graceful shutdown complete");
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("earlybird_served: {msg}");
+    std::process::exit(2);
+}

@@ -1,0 +1,291 @@
+//! A small blocking client for the service API, used by the integration
+//! tests, the `serve_client` example, and the loopback benchmark.
+//!
+//! The client keeps one persistent (keep-alive) connection and
+//! transparently reconnects after an I/O failure, so a daemon restart
+//! looks like one failed call followed by working ones.
+
+use crate::error::ServeError;
+use crate::wire::{
+    AlertsPage, FinishAck, InvestigateRequest, ReportsPage, ShutdownAck, SpanAck, TenantSpec,
+    TenantsPage,
+};
+use earlybird_engine::DayReport;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+/// A client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The daemon answered with a typed error envelope.
+    Api(ServeError),
+    /// The transport failed (connection refused, reset mid-response).
+    Io(std::io::Error),
+    /// The daemon's bytes were not a well-formed response.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Api(e) => write!(f, "service error: {e}"),
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl ClientError {
+    /// The typed service error, if this failure is one.
+    pub fn as_api(&self) -> Option<&ServeError> {
+        match self {
+            ClientError::Api(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// A blocking client bound to one daemon address.
+#[derive(Debug)]
+pub struct ServeClient {
+    addr: SocketAddr,
+    conn: Option<BufReader<TcpStream>>,
+}
+
+impl ServeClient {
+    /// A client for the daemon at `addr` (connects lazily).
+    pub fn new(addr: SocketAddr) -> Self {
+        ServeClient { addr, conn: None }
+    }
+
+    /// Registers a tenant.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Api`] with the daemon's typed envelope, or a
+    /// transport/protocol failure.
+    pub fn create_tenant(&mut self, name: &str, spec: &TenantSpec) -> Result<(), ClientError> {
+        let body = serde_json::to_string(spec).expect("spec serializes");
+        self.request::<serde::json::Value>("PUT", &format!("/v1/{name}"), body.as_bytes())?;
+        Ok(())
+    }
+
+    /// Pushes one span of raw log lines into a tenant's day.
+    ///
+    /// # Errors
+    ///
+    /// As for [`ServeClient::create_tenant`]; `429` envelopes surface as
+    /// [`ClientError::Api`] with code `over_capacity`.
+    pub fn push_span(
+        &mut self,
+        tenant: &str,
+        day: u32,
+        lines: &str,
+    ) -> Result<SpanAck, ClientError> {
+        self.request("POST", &format!("/v1/{tenant}/days/{day}/spans"), lines.as_bytes())
+    }
+
+    /// Seals a day; the returned ack is durable by contract.
+    ///
+    /// # Errors
+    ///
+    /// As for [`ServeClient::create_tenant`].
+    pub fn finish_day(&mut self, tenant: &str, day: u32) -> Result<FinishAck, ClientError> {
+        self.request("POST", &format!("/v1/{tenant}/days/{day}/finish"), b"")
+    }
+
+    /// All stored reports for a tenant.
+    ///
+    /// # Errors
+    ///
+    /// As for [`ServeClient::create_tenant`].
+    pub fn reports(&mut self, tenant: &str) -> Result<ReportsPage, ClientError> {
+        self.request("GET", &format!("/v1/{tenant}/reports"), b"")
+    }
+
+    /// One day's stored report.
+    ///
+    /// # Errors
+    ///
+    /// As for [`ServeClient::create_tenant`].
+    pub fn report(&mut self, tenant: &str, day: u32) -> Result<DayReport, ClientError> {
+        self.request("GET", &format!("/v1/{tenant}/days/{day}/report"), b"")
+    }
+
+    /// Alerts from the cursor `since` onward.
+    ///
+    /// # Errors
+    ///
+    /// As for [`ServeClient::create_tenant`].
+    pub fn alerts(&mut self, tenant: &str, since: u64) -> Result<AlertsPage, ClientError> {
+        self.request("GET", &format!("/v1/{tenant}/alerts?since={since}"), b"")
+    }
+
+    /// Runs an investigation.
+    ///
+    /// # Errors
+    ///
+    /// As for [`ServeClient::create_tenant`].
+    pub fn investigate(
+        &mut self,
+        tenant: &str,
+        req: &InvestigateRequest,
+    ) -> Result<earlybird_engine::InvestigationReport, ClientError> {
+        let body = serde_json::to_string(req).expect("request serializes");
+        self.request("POST", &format!("/v1/{tenant}/investigate"), body.as_bytes())
+    }
+
+    /// Lists registered tenants.
+    ///
+    /// # Errors
+    ///
+    /// As for [`ServeClient::create_tenant`].
+    pub fn tenants(&mut self) -> Result<TenantsPage, ClientError> {
+        self.request("GET", "/v1/tenants", b"")
+    }
+
+    /// Requests a graceful drain-and-checkpoint shutdown.
+    ///
+    /// # Errors
+    ///
+    /// As for [`ServeClient::create_tenant`].
+    pub fn shutdown(&mut self) -> Result<ShutdownAck, ClientError> {
+        self.request("POST", "/v1/admin/shutdown", b"")
+    }
+
+    fn request<T: serde::Deserialize>(
+        &mut self,
+        method: &str,
+        target: &str,
+        body: &[u8],
+    ) -> Result<T, ClientError> {
+        let (status, text) = self.exchange(method, target, body)?;
+        if (200..300).contains(&status) {
+            serde_json::from_str(&text).map_err(|e| {
+                ClientError::Protocol(format!("bad {status} response body for {target}: {e}"))
+            })
+        } else {
+            match ServeError::from_json(status, &text) {
+                Ok(err) => Err(ClientError::Api(err)),
+                Err(parse) => Err(ClientError::Protocol(format!(
+                    "status {status} with non-envelope body: {parse}"
+                ))),
+            }
+        }
+    }
+
+    fn exchange(
+        &mut self,
+        method: &str,
+        target: &str,
+        body: &[u8],
+    ) -> Result<(u16, String), ClientError> {
+        // One transparent retry on a dead pooled connection: the first
+        // write after a server restart fails, the reconnect succeeds.
+        let pooled = self.conn.is_some();
+        match self.try_exchange(method, target, body) {
+            Err(ClientError::Io(_)) if pooled => {
+                self.conn = None;
+                self.try_exchange(method, target, body)
+            }
+            other => other,
+        }
+    }
+
+    fn try_exchange(
+        &mut self,
+        method: &str,
+        target: &str,
+        body: &[u8],
+    ) -> Result<(u16, String), ClientError> {
+        if self.conn.is_none() {
+            let stream = TcpStream::connect(self.addr)?;
+            // Requests are single writes; Nagle would only add latency.
+            let _ = stream.set_nodelay(true);
+            self.conn = Some(BufReader::new(stream));
+        }
+        let result =
+            Self::exchange_on(self.conn.as_mut().expect("just connected"), method, target, body);
+        match result {
+            Ok((status, text, close_after)) => {
+                if close_after {
+                    self.conn = None;
+                }
+                Ok((status, text))
+            }
+            Err(e) => {
+                self.conn = None;
+                Err(e)
+            }
+        }
+    }
+
+    fn exchange_on(
+        conn: &mut BufReader<TcpStream>,
+        method: &str,
+        target: &str,
+        body: &[u8],
+    ) -> Result<(u16, String, bool), ClientError> {
+        let mut request = format!(
+            "{method} {target} HTTP/1.1\r\nHost: earlybird\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        )
+        .into_bytes();
+        request.extend_from_slice(body);
+        conn.get_mut().write_all(&request)?;
+
+        let status_line = read_line(conn)?;
+        let status: u16 = status_line
+            .strip_prefix("HTTP/1.1 ")
+            .and_then(|rest| rest.split(' ').next())
+            .and_then(|code| code.parse().ok())
+            .ok_or_else(|| ClientError::Protocol(format!("bad status line {status_line:?}")))?;
+
+        let mut content_length = 0usize;
+        let mut close_after = false;
+        loop {
+            let line = read_line(conn)?;
+            if line.is_empty() {
+                break;
+            }
+            let Some((name, value)) = line.split_once(':') else { continue };
+            let name = name.trim().to_ascii_lowercase();
+            let value = value.trim();
+            if name == "content-length" {
+                content_length = value
+                    .parse()
+                    .map_err(|_| ClientError::Protocol(format!("bad Content-Length {value:?}")))?;
+            } else if name == "connection" && value.eq_ignore_ascii_case("close") {
+                close_after = true;
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        conn.read_exact(&mut body)?;
+        let text = String::from_utf8(body)
+            .map_err(|_| ClientError::Protocol("response body is not UTF-8".into()))?;
+        Ok((status, text, close_after))
+    }
+}
+
+fn read_line(conn: &mut BufReader<TcpStream>) -> Result<String, ClientError> {
+    let mut raw = Vec::new();
+    let n = conn.read_until(b'\n', &mut raw)?;
+    if n == 0 {
+        return Err(ClientError::Io(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "connection closed mid-response",
+        )));
+    }
+    while raw.last() == Some(&b'\n') || raw.last() == Some(&b'\r') {
+        raw.pop();
+    }
+    String::from_utf8(raw).map_err(|_| ClientError::Protocol("response head is not UTF-8".into()))
+}

@@ -1,0 +1,229 @@
+//! The typed wire-error surface: every failure the daemon can hand a
+//! client is a `{code, message}` JSON envelope under a meaningful HTTP
+//! status, and every envelope parses back into the same [`ServeError`] on
+//! the client side — errors survive the wire round trip typed.
+
+use crate::http::Response;
+use earlybird_engine::{EngineError, StoreError};
+use serde::json::Value;
+use std::fmt;
+
+/// A service failure as seen on the wire.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ServeError {
+    /// HTTP status the envelope travels under.
+    pub status: u16,
+    /// Stable, machine-matchable error code.
+    pub code: String,
+    /// Human-readable detail (safe to display; never carries raw state).
+    pub message: String,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} ({})", self.status, self.code, self.message)
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl ServeError {
+    fn new(status: u16, code: &str, message: impl Into<String>) -> Self {
+        ServeError { status, code: code.to_string(), message: message.into() }
+    }
+
+    /// `400 bad_request`: the request itself (syntax, JSON shape, day
+    /// number, tenant spec) could not be understood.
+    pub fn bad_request(message: impl Into<String>) -> Self {
+        Self::new(400, "bad_request", message)
+    }
+
+    /// `404 unknown_tenant`: no tenant by that name.
+    pub fn unknown_tenant(name: &str) -> Self {
+        Self::new(404, "unknown_tenant", format!("no tenant named {name:?}"))
+    }
+
+    /// `404 unknown_day`: the day was never ingested (and has no open
+    /// span stream) for this tenant.
+    pub fn unknown_day(day: u32) -> Self {
+        Self::new(
+            404,
+            "unknown_day",
+            format!("day {day} has no open ingest and was never ingested"),
+        )
+    }
+
+    /// `404 not_found`: no such route.
+    pub fn not_found(path: &str) -> Self {
+        Self::new(404, "not_found", format!("no route for {path:?}"))
+    }
+
+    /// `405 method_not_allowed`.
+    pub fn method_not_allowed(method: &str, path: &str) -> Self {
+        Self::new(405, "method_not_allowed", format!("{method} is not supported on {path:?}"))
+    }
+
+    /// `409 stale_day`: the day is older than this tenant's newest
+    /// ingested day — accepting it would wedge the segment chain.
+    pub fn stale_day(day: u32, newest: u32) -> Self {
+        Self::new(
+            409,
+            "stale_day",
+            format!("day {day} is behind the newest ingested day {newest}; days must not regress"),
+        )
+    }
+
+    /// `409 tenant_exists`: `PUT` on a name already registered.
+    pub fn tenant_exists(name: &str) -> Self {
+        Self::new(409, "tenant_exists", format!("tenant {name:?} already exists"))
+    }
+
+    /// `429 over_capacity`: per-tenant admission control rejected the
+    /// span; the response carries `Retry-After: 1`.
+    pub fn over_capacity(message: impl Into<String>) -> Self {
+        Self::new(429, "over_capacity", message)
+    }
+
+    /// `503 draining`: the daemon is shutting down and accepts no new
+    /// work.
+    pub fn draining() -> Self {
+        Self::new(503, "draining", "the service is draining for shutdown")
+    }
+
+    /// `500 internal`: an unexpected engine or storage failure; the day
+    /// is NOT durable.
+    pub fn internal(message: impl Into<String>) -> Self {
+        Self::new(500, "internal", message)
+    }
+
+    /// Maps a storage failure onto the wire. [`StoreError::StaleSegment`]
+    /// keeps its dedicated `409`; everything else is an internal fault of
+    /// this deployment, not of the request.
+    pub fn from_store(e: &StoreError) -> Self {
+        match e {
+            StoreError::StaleSegment { day, last_persisted } => {
+                Self::stale_day(*day, *last_persisted)
+            }
+            other => Self::internal(format!("storage failure: {other}")),
+        }
+    }
+
+    /// Maps an engine failure onto the wire.
+    pub fn from_engine(e: &EngineError) -> Self {
+        match e {
+            EngineError::UnknownDay(day) => Self::unknown_day(day.index()),
+            EngineError::InvalidConfig(msg) => Self::bad_request(format!("invalid config: {msg}")),
+            other => Self::internal(format!("engine failure: {other}")),
+        }
+    }
+
+    /// The JSON envelope body.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(&Value::Object(vec![
+            ("code".to_string(), Value::Str(self.code.clone())),
+            ("message".to_string(), Value::Str(self.message.clone())),
+        ]))
+        .expect("envelope serializes")
+    }
+
+    /// Parses an envelope received under `status` back into the typed
+    /// error — the client-side inverse of [`ServeError::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// A `400 bad_request`-shaped [`ServeError`] when the body is not an
+    /// envelope (so transport garbage still surfaces as a typed value).
+    pub fn from_json(status: u16, body: &str) -> Result<Self, ServeError> {
+        let value: Value = serde_json::from_str(body)
+            .map_err(|e| Self::bad_request(format!("unparseable error envelope: {e}")))?;
+        let code = value
+            .get("code")
+            .and_then(Value::as_str)
+            .ok_or_else(|| Self::bad_request("error envelope missing \"code\""))?;
+        let message = value
+            .get("message")
+            .and_then(Value::as_str)
+            .ok_or_else(|| Self::bad_request("error envelope missing \"message\""))?;
+        Ok(ServeError { status, code: code.to_string(), message: message.to_string() })
+    }
+
+    /// Renders the error as its wire response (envelope body, plus
+    /// `Retry-After` for `429`).
+    pub fn to_response(&self) -> Response {
+        let resp = Response::json(self.status, self.to_json());
+        if self.status == 429 {
+            resp.with_header("Retry-After", "1")
+        } else {
+            resp
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_code_round_trips_the_envelope() {
+        let errors = [
+            ServeError::bad_request("bad json"),
+            ServeError::unknown_tenant("acme"),
+            ServeError::unknown_day(7),
+            ServeError::not_found("/nope"),
+            ServeError::method_not_allowed("PATCH", "/v1/x"),
+            ServeError::stale_day(3, 9),
+            ServeError::tenant_exists("acme"),
+            ServeError::over_capacity("too many open bytes"),
+            ServeError::draining(),
+            ServeError::internal("disk on fire"),
+        ];
+        for err in errors {
+            let parsed = ServeError::from_json(err.status, &err.to_json()).unwrap();
+            assert_eq!(parsed, err, "envelope must round-trip typed");
+        }
+    }
+
+    #[test]
+    fn store_errors_map_to_the_promised_statuses() {
+        let stale = StoreError::StaleSegment { day: 2, last_persisted: 5 };
+        let mapped = ServeError::from_store(&stale);
+        assert_eq!((mapped.status, mapped.code.as_str()), (409, "stale_day"));
+
+        let io = StoreError::Io(std::io::Error::other("boom"));
+        let mapped = ServeError::from_store(&io);
+        assert_eq!((mapped.status, mapped.code.as_str()), (500, "internal"));
+    }
+
+    #[test]
+    fn engine_errors_map_to_the_promised_statuses() {
+        let unknown = EngineError::UnknownDay(earlybird_logmodel::Day::new(11));
+        let mapped = ServeError::from_engine(&unknown);
+        assert_eq!((mapped.status, mapped.code.as_str()), (404, "unknown_day"));
+        assert!(mapped.message.contains("11"));
+
+        let invalid = EngineError::InvalidConfig("retain_days must be at least 1".into());
+        let mapped = ServeError::from_engine(&invalid);
+        assert_eq!((mapped.status, mapped.code.as_str()), (400, "bad_request"));
+
+        let worker = EngineError::WorkerPanicked("scoring thread died".into());
+        let mapped = ServeError::from_engine(&worker);
+        assert_eq!((mapped.status, mapped.code.as_str()), (500, "internal"));
+    }
+
+    #[test]
+    fn non_envelope_bodies_become_typed_parse_errors() {
+        let err = ServeError::from_json(502, "<html>gateway</html>").unwrap_err();
+        assert_eq!(err.code, "bad_request");
+        let err = ServeError::from_json(500, "{\"nope\": 1}").unwrap_err();
+        assert!(err.message.contains("code"));
+    }
+
+    #[test]
+    fn retry_after_rides_the_429_response() {
+        let resp = ServeError::over_capacity("span backlog full").to_response();
+        assert_eq!(resp.status, 429);
+        assert!(resp.extra_headers.iter().any(|(k, v)| k == "Retry-After" && v == "1"));
+        let resp = ServeError::draining().to_response();
+        assert!(resp.extra_headers.is_empty());
+    }
+}

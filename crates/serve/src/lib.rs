@@ -1,0 +1,53 @@
+//! # earlybird-serve
+//!
+//! A multi-tenant ingest + query service daemon over the DSN'15 engine:
+//! the shape the paper's detector takes when it runs *as a service* for
+//! many enterprises instead of as a library inside one process.
+//!
+//! The daemon speaks a hand-rolled HTTP/1.1 + JSON protocol on
+//! `std::net` — no async runtime, no HTTP dependency — with a bounded
+//! thread-per-connection pool over a shared tenant registry:
+//!
+//! * [`server`] — the daemon: cold-start restore of every tenant from
+//!   the root store's scopes, routing, draining shutdown.
+//! * [`tenant`] — one tenant: an isolated [`earlybird_engine::Engine`] +
+//!   [`earlybird_engine::StoreDir`] pair with per-tenant admission
+//!   control and the read/write locking discipline that lets queries run
+//!   concurrently with a day's store commit.
+//! * [`wire`] — the typed JSON request/response bodies, shared between
+//!   daemon and client.
+//! * [`error`] — the `{code, message}` error envelope: every failure is
+//!   a stable code under a meaningful status, and parses back typed.
+//! * [`http`] — the minimal HTTP/1.1 layer (Content-Length bodies,
+//!   keep-alive, hard size limits).
+//! * [`client`] — a small blocking client for tests, examples, and
+//!   benchmarks.
+//!
+//! Durability contract: a `200` from `POST .../finish` is written only
+//! after [`earlybird_engine::Engine::checkpoint_day_to`] committed the
+//! day to the tenant's store scope — a `kill -9` after the ack loses
+//! nothing, and a restarted daemon restores every acked day for every
+//! tenant before serving its first request. Span pushes are buffered,
+//! not durable; the ack says "absorbed".
+//!
+//! See `SERVICE_API.md` at the repository root for the full route-by-
+//! route protocol reference.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod error;
+pub mod http;
+pub mod server;
+pub mod tenant;
+pub mod wire;
+
+pub use client::{ClientError, ServeClient};
+pub use error::ServeError;
+pub use server::{Server, ServerConfig, ServerHandle};
+pub use tenant::{Tenant, TenantLimits};
+pub use wire::{
+    AlertsPage, FinishAck, InvestigateRequest, ReportsPage, ShutdownAck, SpanAck, TenantSpec,
+    TenantsPage,
+};

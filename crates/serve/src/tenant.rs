@@ -1,0 +1,382 @@
+//! One tenant: an isolated engine + store pair under the service's
+//! concurrency and durability discipline.
+//!
+//! ## Locking model
+//!
+//! * `core` ([`std::sync::RwLock`]) guards the engine and the open-day
+//!   map. Span pushes and day finishes take the write lock (ingest needs
+//!   `&mut Engine`); every query — reports, investigations — takes the
+//!   read lock only.
+//! * `store` ([`std::sync::Mutex`]) serializes commits against the
+//!   tenant's [`StoreDir`]. Checkpoints run on `&Engine` (the persist
+//!   cursor sits behind its own lock), so a finish holds the *read* lock
+//!   while committing — queries proceed concurrently with the store
+//!   write, which is the slow part of sealing a day.
+//! * Alert reads go through the lock-free-shared [`AlertLog`] handle and
+//!   never touch the engine locks at all.
+//!
+//! ## Durability contract
+//!
+//! A `200` from `finish` means [`Engine::checkpoint_day_to`] committed
+//! the day to the tenant's store *before* the response was written: a
+//! `kill -9` after the ack cannot lose the day. Spans that were pushed
+//! but never finished are not durable and vanish on crash — the span ack
+//! says "absorbed", not "persisted".
+
+use crate::error::ServeError;
+use crate::wire::{AlertsPage, FinishAck, InvestigateRequest, SpanAck, TenantSpec, TenantSummary};
+use earlybird_engine::{
+    AlertLog, AlertLogSink, DayState, Engine, EngineBuilder, IngestSource, InvestigationReport,
+    LifecycleConfig, StoreDir,
+};
+use earlybird_logmodel::Day;
+use earlybird_store::ObjectStore;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, PoisonError, RwLock};
+
+/// Per-tenant admission-control ceilings; exceeding either rejects the
+/// span with `429` + `Retry-After`.
+#[derive(Clone, Copy, Debug)]
+pub struct TenantLimits {
+    /// Spans concurrently being absorbed (in-flight requests).
+    pub max_inflight_spans: usize,
+    /// Total bytes buffered across the tenant's open (unfinished) days.
+    pub max_open_bytes: usize,
+}
+
+impl Default for TenantLimits {
+    fn default() -> Self {
+        TenantLimits { max_inflight_spans: 64, max_open_bytes: 512 << 20 }
+    }
+}
+
+/// An open day plus the admission bookkeeping charged against it.
+#[derive(Debug)]
+struct OpenDay {
+    state: DayState,
+    bytes: usize,
+}
+
+/// Engine + open days: everything a request mutates under one lock.
+#[derive(Debug)]
+struct TenantCore {
+    engine: Engine,
+    open_days: BTreeMap<Day, OpenDay>,
+}
+
+/// One registered tenant.
+#[derive(Debug)]
+pub struct Tenant {
+    name: String,
+    core: RwLock<TenantCore>,
+    store: Mutex<StoreDir>,
+    alerts: AlertLog,
+    limits: TenantLimits,
+    inflight_spans: AtomicUsize,
+    open_bytes: AtomicUsize,
+    /// Reports already covered by a store commit — the shutdown
+    /// checkpoint is skipped when nothing new was ingested.
+    persisted_reports: AtomicUsize,
+}
+
+/// Releases an in-flight-span reservation on every exit path.
+struct InflightGuard<'t>(&'t AtomicUsize);
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+impl Tenant {
+    /// Creates a tenant: builds a fresh engine from `spec`, creates its
+    /// store in `scope`, and makes the registration durable by writing
+    /// the initial full snapshot before returning.
+    ///
+    /// # Errors
+    ///
+    /// `400` for an invalid spec, `500` for store failures.
+    pub fn create(
+        name: &str,
+        spec: &TenantSpec,
+        scope: Box<dyn ObjectStore>,
+        lifecycle: LifecycleConfig,
+        limits: TenantLimits,
+    ) -> Result<Tenant, ServeError> {
+        let meta = spec.dataset_meta()?;
+        let sink = AlertLogSink::new();
+        let alerts = sink.log();
+        let engine = spec
+            .builder()
+            .sink(sink)
+            .build(std::sync::Arc::new(earlybird_logmodel::DomainInterner::new()), meta)
+            .map_err(|e| ServeError::from_engine(&e))?;
+        // `open_or_create`: the scope may hold the residue of a crashed,
+        // never-acked creation (a manifest over an empty chain), which a
+        // new PUT is entitled to claim. A *restorable* store here is
+        // impossible — bind restores every non-empty scope into the
+        // registry, and the registry rejected this name already.
+        let mut dir = StoreDir::open_or_create_boxed(scope, lifecycle)
+            .map_err(|e| ServeError::from_store(&e))?;
+        // Registration durability: an empty chain cannot be restored, so
+        // a tenant that existed before a crash must already own a full
+        // snapshot.
+        engine.checkpoint_day_to(&mut dir).map_err(|e| ServeError::from_store(&e))?;
+        Ok(Tenant::assemble(name, engine, dir, alerts, limits))
+    }
+
+    /// Restores a tenant from its store scope after a cold start. All
+    /// semantic configuration comes from the snapshot.
+    ///
+    /// Returns `None` when the scope holds a manifest but an *empty*
+    /// chain — a crash hit between [`StoreDir::create_boxed`]'s initial
+    /// manifest and the registration snapshot, so the tenant's creation
+    /// was never acked and the scope is residue, not state. Skipping it
+    /// (instead of failing the whole cold start) keeps the daemon's
+    /// restart contract exactly at the ack boundary.
+    ///
+    /// # Errors
+    ///
+    /// `500` for a missing or corrupt chain.
+    pub fn restore(
+        name: &str,
+        scope: Box<dyn ObjectStore>,
+        lifecycle: LifecycleConfig,
+        limits: TenantLimits,
+    ) -> Result<Option<Tenant>, ServeError> {
+        let dir = StoreDir::open_boxed(scope, lifecycle).map_err(|e| ServeError::from_store(&e))?;
+        if dir.is_empty() {
+            return Ok(None);
+        }
+        let sink = AlertLogSink::new();
+        let alerts = sink.log();
+        let engine = EngineBuilder::lanl()
+            .sink(sink)
+            .restore_dir(&dir)
+            .map_err(|e| ServeError::from_store(&e))?;
+        Ok(Some(Tenant::assemble(name, engine, dir, alerts, limits)))
+    }
+
+    fn assemble(
+        name: &str,
+        engine: Engine,
+        dir: StoreDir,
+        alerts: AlertLog,
+        limits: TenantLimits,
+    ) -> Tenant {
+        let persisted = engine.reports().count();
+        Tenant {
+            name: name.to_string(),
+            core: RwLock::new(TenantCore { engine, open_days: BTreeMap::new() }),
+            store: Mutex::new(dir),
+            alerts,
+            limits,
+            inflight_spans: AtomicUsize::new(0),
+            open_bytes: AtomicUsize::new(0),
+            persisted_reports: AtomicUsize::new(persisted),
+        }
+    }
+
+    /// The tenant's name (== its store scope).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn read_core(&self) -> std::sync::RwLockReadGuard<'_, TenantCore> {
+        self.core.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn write_core(&self) -> std::sync::RwLockWriteGuard<'_, TenantCore> {
+        self.core.write().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn lock_store(&self) -> std::sync::MutexGuard<'_, StoreDir> {
+        self.store.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Rejects a day that would regress behind the newest ingested day
+    /// (the segment chain is append-only in day order). Duplicates of
+    /// already-ingested days pass — they replay as no-ops.
+    fn check_not_stale(core: &TenantCore, day: Day) -> Result<(), ServeError> {
+        if core.engine.report(day).is_some() {
+            return Ok(());
+        }
+        if let Some(&newest) = core.engine.reports().map(|r| &r.day).max() {
+            if day < newest {
+                return Err(ServeError::stale_day(day.index(), newest.index()));
+            }
+        }
+        Ok(())
+    }
+
+    /// Absorbs one span of raw DNS log lines into `day`.
+    ///
+    /// # Errors
+    ///
+    /// `429` from admission control, `409` for a stale day.
+    pub fn push_span(&self, day: Day, text: &str) -> Result<SpanAck, ServeError> {
+        // Admission first, before any lock: a tenant at capacity must not
+        // queue work behind its own backlog.
+        let inflight = self.inflight_spans.fetch_add(1, Ordering::SeqCst) + 1;
+        let guard = InflightGuard(&self.inflight_spans);
+        if inflight > self.limits.max_inflight_spans {
+            return Err(ServeError::over_capacity(format!(
+                "{inflight} spans in flight exceeds the tenant ceiling of {}",
+                self.limits.max_inflight_spans
+            )));
+        }
+        if self.open_bytes.load(Ordering::SeqCst) + text.len() > self.limits.max_open_bytes {
+            return Err(ServeError::over_capacity(format!(
+                "open days hold {} buffered bytes; a {}-byte span would exceed the ceiling of {}",
+                self.open_bytes.load(Ordering::SeqCst),
+                text.len(),
+                self.limits.max_open_bytes
+            )));
+        }
+
+        let mut core = self.write_core();
+        Self::check_not_stale(&core, day)?;
+        let core = &mut *core;
+        let (resumed, prior_bytes) = match core.open_days.remove(&day) {
+            Some(open) => (core.engine.resume_day(open.state, IngestSource::Dns), open.bytes),
+            None => (core.engine.begin_day(day, IngestSource::Dns), 0),
+        };
+        let mut ingest = resumed;
+        let span_errors = ingest.push_lines(text).len();
+        let ack = SpanAck {
+            day: day.index(),
+            records_pushed: ingest.records_pushed() as u64,
+            span_parse_errors: span_errors as u64,
+            duplicate: ingest.is_duplicate(),
+        };
+        let state = ingest.suspend();
+        let charged = if ack.duplicate { 0 } else { text.len() };
+        core.open_days.insert(day, OpenDay { state, bytes: prior_bytes + charged });
+        self.open_bytes.fetch_add(charged, Ordering::SeqCst);
+        drop(guard);
+        Ok(ack)
+    }
+
+    /// Seals `day`: runs the detection tail, commits the day to the
+    /// tenant's store, and only then returns the report. Finishing an
+    /// already-ingested day replays its stored counters (`duplicate`)
+    /// without touching the store.
+    ///
+    /// # Errors
+    ///
+    /// `404` when the day has no open ingest and was never ingested,
+    /// `409` for stale days, `500` when the engine or the commit fails
+    /// (the response is written only after a successful commit, so a
+    /// `500` here means the day is NOT durable).
+    pub fn finish_day(&self, day: Day) -> Result<FinishAck, ServeError> {
+        let report = {
+            let mut core = self.write_core();
+            Self::check_not_stale(&core, day)?;
+            let core = &mut *core;
+            let open = core.open_days.remove(&day);
+            if open.is_none() && core.engine.report(day).is_none() {
+                return Err(ServeError::unknown_day(day.index()));
+            }
+            let (ingest, bytes) = match open {
+                Some(o) => (core.engine.resume_day(o.state, IngestSource::Dns), o.bytes),
+                None => (core.engine.begin_day(day, IngestSource::Dns), 0),
+            };
+            let report = ingest.try_finish().map_err(|e| ServeError::from_engine(&e))?;
+            self.open_bytes.fetch_sub(bytes, Ordering::SeqCst);
+            report
+        };
+        // The write lock is released before the commit: the checkpoint
+        // runs on `&Engine` under the read lock, so queries keep flowing
+        // while the day's bytes hit storage.
+        if report.duplicate {
+            let generation = self.lock_store().generation();
+            return Ok(FinishAck { report, generation, durable: true });
+        }
+        let mut dir = self.lock_store();
+        let core = self.read_core();
+        core.engine.checkpoint_day_to(&mut dir).map_err(|e| ServeError::from_store(&e))?;
+        self.persisted_reports.store(core.engine.reports().count(), Ordering::SeqCst);
+        let generation = dir.generation();
+        Ok(FinishAck { report, generation, durable: true })
+    }
+
+    /// All stored (counters-only) reports, ascending by day.
+    pub fn reports(&self) -> Vec<earlybird_engine::DayReport> {
+        self.read_core().engine.reports().cloned().collect()
+    }
+
+    /// The stored report for one day.
+    ///
+    /// # Errors
+    ///
+    /// `404` when the day was never ingested.
+    pub fn report(&self, day: Day) -> Result<earlybird_engine::DayReport, ServeError> {
+        self.read_core()
+            .engine
+            .report(day)
+            .cloned()
+            .ok_or_else(|| ServeError::unknown_day(day.index()))
+    }
+
+    /// Alerts with `sequence >= since`; never blocks on the engine locks.
+    pub fn alerts_since(&self, since: u64) -> AlertsPage {
+        let alerts = self.alerts.since(since);
+        AlertsPage { next_since: alerts.last().map_or(since, |a| a.sequence + 1), alerts }
+    }
+
+    /// Runs one investigation against a retained day (read lock only, so
+    /// investigations proceed during commits).
+    ///
+    /// # Errors
+    ///
+    /// `400` for an unknown mode, `404` for an unretained day.
+    pub fn investigate(&self, req: &InvestigateRequest) -> Result<InvestigationReport, ServeError> {
+        let investigation = req.to_investigation()?;
+        self.read_core()
+            .engine
+            .investigate(Day::new(req.day), investigation)
+            .map_err(|e| ServeError::from_engine(&e))
+    }
+
+    /// One summary row for `GET /v1/tenants`.
+    pub fn summary(&self) -> TenantSummary {
+        let core = self.read_core();
+        TenantSummary {
+            name: self.name.clone(),
+            days_ingested: core.engine.reports().count() as u64,
+            open_days: core.open_days.len() as u64,
+            // The engine's counter, not the log's: it survives restore,
+            // so cursors held across a restart never see a sequence
+            // handed out twice.
+            next_alert_sequence: core.engine.next_alert_sequence(),
+        }
+    }
+
+    /// The drain step of a graceful shutdown: drops open (never-acked)
+    /// days and checkpoints the engine if any report is not yet covered
+    /// by a commit. Returns `(checkpointed, open_days_dropped)`.
+    ///
+    /// # Errors
+    ///
+    /// `500` when the final commit fails.
+    pub fn drain_and_checkpoint(&self) -> Result<(bool, u64), ServeError> {
+        let dropped = {
+            let mut core = self.write_core();
+            let dropped = core.open_days.len() as u64;
+            let bytes: usize = core.open_days.values().map(|o| o.bytes).sum();
+            core.open_days.clear();
+            self.open_bytes.fetch_sub(bytes, Ordering::SeqCst);
+            dropped
+        };
+        let mut dir = self.lock_store();
+        let core = self.read_core();
+        let reports = core.engine.reports().count();
+        if reports == self.persisted_reports.load(Ordering::SeqCst) {
+            return Ok((false, dropped));
+        }
+        core.engine.checkpoint_day_to(&mut dir).map_err(|e| ServeError::from_store(&e))?;
+        self.persisted_reports.store(reports, Ordering::SeqCst);
+        Ok((true, dropped))
+    }
+}

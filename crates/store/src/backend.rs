@@ -69,6 +69,10 @@ pub const MANIFEST_NAME: &str = "MANIFEST";
 /// Namespace prefix quarantined objects move under.
 const QUARANTINE_PREFIX: &str = "quarantine/";
 
+/// Namespace component scoped (per-tenant) stores live under: a directory
+/// for [`LocalFsBackend`], a key prefix for the in-memory backends.
+const SCOPE_PREFIX: &str = "tenants/";
+
 // -- the trait --------------------------------------------------------------
 
 /// One object in a backend's live namespace, as reported by
@@ -201,6 +205,31 @@ pub trait ObjectStore: fmt::Debug + Send {
     fn ensure_mutable(&self) -> StoreResult<()> {
         Ok(())
     }
+
+    /// Opens an isolated child namespace of this backend (a *scope* — one
+    /// tenant's store under a shared medium). Scoped handles have their
+    /// own manifest, live namespace, and quarantine; their objects never
+    /// collide with the parent's or a sibling scope's, so many
+    /// [`crate::lifecycle::StoreDir`]s — one per tenant — can share one
+    /// directory, memory map, or bucket. Scopes nest.
+    ///
+    /// Scope names are validated by [`validate_scope_name`].
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Corrupt`] for an invalid scope name;
+    /// [`StoreError::Io`] on medium failures.
+    fn scope(&self, name: &str) -> StoreResult<Box<dyn ObjectStore>>;
+
+    /// Lists the scope names directly under this backend that currently
+    /// hold a manifest — i.e. the tenants a restarted service must
+    /// restore — in unspecified order. A scope whose store was never
+    /// created does not appear.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] on medium failures.
+    fn scopes(&self) -> StoreResult<Vec<String>>;
 }
 
 /// Rejects object names that could escape a flat namespace (path
@@ -208,6 +237,27 @@ pub trait ObjectStore: fmt::Debug + Send {
 fn validate_name(name: &str) -> StoreResult<()> {
     if name.is_empty() || name.contains(['/', '\\']) || name == ".." || name == MANIFEST_NAME {
         return Err(StoreError::corrupt(format!("invalid object name {name:?}")));
+    }
+    Ok(())
+}
+
+/// Validates a scope (tenant) name for [`ObjectStore::scope`]: 1–64
+/// ASCII characters from `[A-Za-z0-9._-]`, not starting with a dot.
+/// Stricter than object names — scope names become directory components
+/// on the filesystem backend and path segments in service URLs, so the
+/// conservative common denominator is enforced everywhere.
+///
+/// # Errors
+///
+/// [`StoreError::Corrupt`] describing the rejected name.
+pub fn validate_scope_name(name: &str) -> StoreResult<()> {
+    let charset_ok =
+        name.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'.' || b == b'_' || b == b'-');
+    if name.is_empty() || name.len() > 64 || !charset_ok || name.starts_with('.') {
+        return Err(StoreError::corrupt(format!(
+            "invalid scope name {name:?}: use 1-64 characters of [A-Za-z0-9._-], not starting \
+             with a dot"
+        )));
     }
     Ok(())
 }
@@ -366,6 +416,34 @@ impl ObjectStore for LocalFsBackend {
         }
         Ok(())
     }
+
+    fn scope(&self, name: &str) -> StoreResult<Box<dyn ObjectStore>> {
+        validate_scope_name(name)?;
+        let root = self.root.join(SCOPE_PREFIX.trim_end_matches('/')).join(name);
+        Ok(Box::new(LocalFsBackend::new(root)?))
+    }
+
+    fn scopes(&self) -> StoreResult<Vec<String>> {
+        let tenants = self.root.join(SCOPE_PREFIX.trim_end_matches('/'));
+        let mut out = Vec::new();
+        let entries = match fs::read_dir(&tenants) {
+            Ok(entries) => entries,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(out),
+            Err(e) => return Err(e.into()),
+        };
+        for dirent in entries {
+            let dirent = dirent?;
+            if !dirent.file_type()?.is_dir() {
+                continue;
+            }
+            // A scope exists once its store was created — i.e. once it
+            // holds a manifest. Residue directories are not scopes.
+            if dirent.path().join(MANIFEST_NAME).is_file() {
+                out.push(dirent.file_name().to_string_lossy().into_owned());
+            }
+        }
+        Ok(out)
+    }
 }
 
 /// The staged side of [`LocalFsBackend::put_atomic`]: a `{name}.tmp` file
@@ -456,69 +534,112 @@ fn missing(name: &str, kind: &str) -> StoreError {
 }
 
 /// The map-shaped service state the in-memory backends share: live
-/// objects, the quarantine namespace, and the generation-tagged manifest.
-/// One implementation of the get/list/delete/quarantine/manifest
-/// semantics that [`MemBackend`] and [`S3LiteBackend`] both defer to, so
-/// the two can never silently diverge.
+/// objects, the quarantine namespace, and the generation-tagged manifests
+/// (one per scope — the root store's lives under the empty prefix). One
+/// implementation of the get/list/delete/quarantine/manifest semantics
+/// that [`MemBackend`] and [`S3LiteBackend`] both defer to, so the two can
+/// never silently diverge. Scoped handles carry a key prefix
+/// (`tenants/<name>/`, nested as needed) into every call; keys inside a
+/// scope are flat, so prefix membership is unambiguous.
 #[derive(Clone, Debug, Default)]
 struct ObjectMap {
     objects: BTreeMap<String, Arc<Vec<u8>>>,
     quarantine: BTreeMap<String, Arc<Vec<u8>>>,
-    manifest: Option<(u64, Vec<u8>)>,
+    manifests: BTreeMap<String, (u64, Vec<u8>)>,
 }
 
 impl ObjectMap {
-    fn get(&self, name: &str, kind: &str) -> StoreResult<Box<dyn Read + Send>> {
-        let bytes = self.objects.get(name).ok_or_else(|| missing(name, kind))?;
+    fn get(&self, prefix: &str, name: &str, kind: &str) -> StoreResult<Box<dyn Read + Send>> {
+        let key = format!("{prefix}{name}");
+        let bytes = self.objects.get(&key).ok_or_else(|| missing(name, kind))?;
         Ok(Box::new(SharedBytes(io::Cursor::new(ArcBytes(Arc::clone(bytes))))))
     }
 
-    fn list(&self) -> Vec<ObjectInfo> {
+    fn list(&self, prefix: &str) -> Vec<ObjectInfo> {
         self.objects
             .iter()
-            .map(|(name, bytes)| ObjectInfo { name: name.clone(), bytes: bytes.len() as u64 })
+            .filter_map(|(key, bytes)| {
+                let name = key.strip_prefix(prefix)?;
+                // Deeper keys belong to child scopes, not this namespace.
+                if name.contains('/') {
+                    return None;
+                }
+                Some(ObjectInfo { name: name.to_string(), bytes: bytes.len() as u64 })
+            })
             .collect()
     }
 
-    fn delete(&mut self, name: &str, kind: &str) -> StoreResult<()> {
-        self.objects.remove(name).map(|_| ()).ok_or_else(|| missing(name, kind))
+    fn delete(&mut self, prefix: &str, name: &str, kind: &str) -> StoreResult<()> {
+        let key = format!("{prefix}{name}");
+        self.objects.remove(&key).map(|_| ()).ok_or_else(|| missing(name, kind))
     }
 
-    fn quarantine(&mut self, name: &str, kind: &str) -> StoreResult<String> {
-        let bytes = self.objects.remove(name).ok_or_else(|| missing(name, kind))?;
-        let mut key = format!("{QUARANTINE_PREFIX}{name}");
+    fn quarantine(&mut self, prefix: &str, name: &str, kind: &str) -> StoreResult<String> {
+        let bytes =
+            self.objects.remove(&format!("{prefix}{name}")).ok_or_else(|| missing(name, kind))?;
+        let mut key = format!("{prefix}{QUARANTINE_PREFIX}{name}");
         let mut suffix = 0u32;
         while self.quarantine.contains_key(&key) {
             suffix += 1;
-            key = format!("{QUARANTINE_PREFIX}{name}.{suffix}");
+            key = format!("{prefix}{QUARANTINE_PREFIX}{name}.{suffix}");
         }
         self.quarantine.insert(key.clone(), bytes);
         Ok(key)
     }
 
-    fn read_manifest(&self) -> Option<Vec<u8>> {
-        self.manifest.as_ref().map(|(_, bytes)| bytes.clone())
+    fn read_manifest(&self, prefix: &str) -> Option<Vec<u8>> {
+        self.manifests.get(prefix).map(|(_, bytes)| bytes.clone())
     }
 
-    fn swap_manifest(&mut self, expected: Option<u64>, next: u64, bytes: &[u8]) -> StoreResult<()> {
-        let found = self.manifest.as_ref().map(|(g, _)| *g);
+    fn swap_manifest(
+        &mut self,
+        prefix: &str,
+        expected: Option<u64>,
+        next: u64,
+        bytes: &[u8],
+    ) -> StoreResult<()> {
+        let found = self.manifests.get(prefix).map(|(g, _)| *g);
         if found != expected {
             return Err(StoreError::ManifestConflict { expected, found });
         }
-        self.manifest = Some((next, bytes.to_vec()));
+        self.manifests.insert(prefix.to_string(), (next, bytes.to_vec()));
         Ok(())
     }
 
     /// Create-only commit of a finished upload: a name that already holds
     /// an object means another writer won the race for this generation —
     /// refused typed, never clobbered.
-    fn insert_new(&mut self, name: String, bytes: Vec<u8>) -> StoreResult<()> {
-        if self.objects.contains_key(&name) {
+    fn insert_new(&mut self, key: String, bytes: Vec<u8>) -> StoreResult<()> {
+        if self.objects.contains_key(&key) {
+            let name = key.rsplit('/').next().unwrap_or(&key).to_string();
             return Err(StoreError::ObjectConflict { name });
         }
-        self.objects.insert(name, Arc::new(bytes));
+        self.objects.insert(key, Arc::new(bytes));
         Ok(())
     }
+
+    /// Scope names directly under `prefix` whose store holds a manifest.
+    fn scopes(&self, prefix: &str) -> Vec<String> {
+        let base = format!("{prefix}{SCOPE_PREFIX}");
+        self.manifests
+            .keys()
+            .filter_map(|key| {
+                let rest = key.strip_prefix(&base)?;
+                let name = rest.strip_suffix('/')?;
+                // Exactly one path segment: deeper keys are nested scopes.
+                if name.is_empty() || name.contains('/') {
+                    return None;
+                }
+                Some(name.to_string())
+            })
+            .collect()
+    }
+}
+
+/// Key prefix of the child scope `name` under `prefix`.
+fn child_prefix(prefix: &str, name: &str) -> StoreResult<String> {
+    validate_scope_name(name)?;
+    Ok(format!("{prefix}{SCOPE_PREFIX}{name}/"))
 }
 
 // -- in-memory backend ------------------------------------------------------
@@ -534,6 +655,8 @@ impl ObjectMap {
 #[derive(Clone, Debug, Default)]
 pub struct MemBackend {
     state: Arc<Mutex<ObjectMap>>,
+    /// Key prefix of this handle's scope (empty for the root namespace).
+    prefix: String,
 }
 
 impl MemBackend {
@@ -544,9 +667,11 @@ impl MemBackend {
 
     /// A deep copy with its own independent state (unlike [`Clone`], which
     /// shares) — for tests that replay many crashes against one fixture.
+    /// Child scopes are copied too; the fork views the same scope as
+    /// `self`.
     pub fn fork(&self) -> Self {
         let map = lock_state(&self.state).clone();
-        MemBackend { state: Arc::new(Mutex::new(map)) }
+        MemBackend { state: Arc::new(Mutex::new(map)), prefix: self.prefix.clone() }
     }
 }
 
@@ -555,37 +680,56 @@ impl ObjectStore for MemBackend {
         "mem"
     }
 
+    fn describe(&self) -> String {
+        if self.prefix.is_empty() {
+            self.kind().to_string()
+        } else {
+            format!("{}:{}", self.kind(), self.prefix)
+        }
+    }
+
     fn put_atomic(&self, name: &str) -> StoreResult<Box<dyn ObjectUpload>> {
         validate_name(name)?;
         Ok(Box::new(MemUpload {
             state: Arc::clone(&self.state),
-            name: name.to_string(),
+            key: format!("{}{name}", self.prefix),
             buf: Vec::new(),
         }))
     }
 
     fn get(&self, name: &str) -> StoreResult<Box<dyn Read + Send>> {
-        lock_state(&self.state).get(name, self.kind())
+        lock_state(&self.state).get(&self.prefix, name, self.kind())
     }
 
     fn list(&self) -> StoreResult<Vec<ObjectInfo>> {
-        Ok(lock_state(&self.state).list())
+        Ok(lock_state(&self.state).list(&self.prefix))
     }
 
     fn delete(&self, name: &str) -> StoreResult<()> {
-        lock_state(&self.state).delete(name, self.kind())
+        lock_state(&self.state).delete(&self.prefix, name, self.kind())
     }
 
     fn quarantine(&self, name: &str) -> StoreResult<String> {
-        lock_state(&self.state).quarantine(name, self.kind())
+        lock_state(&self.state).quarantine(&self.prefix, name, self.kind())
     }
 
     fn read_manifest(&self) -> StoreResult<Option<Vec<u8>>> {
-        Ok(lock_state(&self.state).read_manifest())
+        Ok(lock_state(&self.state).read_manifest(&self.prefix))
     }
 
     fn swap_manifest(&self, expected: Option<u64>, next: u64, bytes: &[u8]) -> StoreResult<()> {
-        lock_state(&self.state).swap_manifest(expected, next, bytes)
+        lock_state(&self.state).swap_manifest(&self.prefix, expected, next, bytes)
+    }
+
+    fn scope(&self, name: &str) -> StoreResult<Box<dyn ObjectStore>> {
+        Ok(Box::new(MemBackend {
+            state: Arc::clone(&self.state),
+            prefix: child_prefix(&self.prefix, name)?,
+        }))
+    }
+
+    fn scopes(&self) -> StoreResult<Vec<String>> {
+        Ok(lock_state(&self.state).scopes(&self.prefix))
     }
 }
 
@@ -594,7 +738,7 @@ impl ObjectStore for MemBackend {
 #[derive(Debug)]
 struct MemUpload {
     state: Arc<Mutex<ObjectMap>>,
-    name: String,
+    key: String,
     buf: Vec<u8>,
 }
 
@@ -615,7 +759,7 @@ impl ObjectUpload for MemUpload {
     }
 
     fn finalize(self: Box<Self>) -> StoreResult<()> {
-        lock_state(&self.state).insert_new(self.name, self.buf)
+        lock_state(&self.state).insert_new(self.key, self.buf)
     }
 }
 
@@ -657,6 +801,8 @@ struct S3State {
 pub struct S3LiteBackend {
     state: Arc<Mutex<S3State>>,
     part_size: usize,
+    /// Key prefix of this handle's scope (empty for the root namespace).
+    prefix: String,
 }
 
 impl S3LiteBackend {
@@ -676,11 +822,13 @@ impl S3LiteBackend {
         S3LiteBackend {
             state: Arc::new(Mutex::new(S3State::default())),
             part_size: part_size.max(1),
+            prefix: String::new(),
         }
     }
 
     /// A deep copy with its own independent service state (unlike
-    /// [`Clone`], which shares).
+    /// [`Clone`], which shares). Child scopes are copied too; the fork
+    /// views the same scope as `self`.
     pub fn fork(&self) -> Self {
         let s = lock_state(&self.state);
         S3LiteBackend {
@@ -690,6 +838,7 @@ impl S3LiteBackend {
                 next_upload: s.next_upload,
             })),
             part_size: self.part_size,
+            prefix: self.prefix.clone(),
         }
     }
 
@@ -720,12 +869,21 @@ impl ObjectStore for S3LiteBackend {
         "s3lite"
     }
 
+    fn describe(&self) -> String {
+        if self.prefix.is_empty() {
+            self.kind().to_string()
+        } else {
+            format!("{}:{}", self.kind(), self.prefix)
+        }
+    }
+
     fn put_atomic(&self, name: &str) -> StoreResult<Box<dyn ObjectUpload>> {
         validate_name(name)?;
         let mut s = lock_state(&self.state);
         let upload_id = s.next_upload;
         s.next_upload += 1;
-        s.uploads.insert(upload_id, StagedUpload { key: name.to_string(), parts: Vec::new() });
+        let key = format!("{}{name}", self.prefix);
+        s.uploads.insert(upload_id, StagedUpload { key, parts: Vec::new() });
         Ok(Box::new(S3Upload {
             state: Arc::clone(&self.state),
             upload_id,
@@ -736,27 +894,39 @@ impl ObjectStore for S3LiteBackend {
     }
 
     fn get(&self, name: &str) -> StoreResult<Box<dyn Read + Send>> {
-        lock_state(&self.state).map.get(name, self.kind())
+        lock_state(&self.state).map.get(&self.prefix, name, self.kind())
     }
 
     fn list(&self) -> StoreResult<Vec<ObjectInfo>> {
-        Ok(lock_state(&self.state).map.list())
+        Ok(lock_state(&self.state).map.list(&self.prefix))
     }
 
     fn delete(&self, name: &str) -> StoreResult<()> {
-        lock_state(&self.state).map.delete(name, self.kind())
+        lock_state(&self.state).map.delete(&self.prefix, name, self.kind())
     }
 
     fn quarantine(&self, name: &str) -> StoreResult<String> {
-        lock_state(&self.state).map.quarantine(name, self.kind())
+        lock_state(&self.state).map.quarantine(&self.prefix, name, self.kind())
     }
 
     fn read_manifest(&self) -> StoreResult<Option<Vec<u8>>> {
-        Ok(lock_state(&self.state).map.read_manifest())
+        Ok(lock_state(&self.state).map.read_manifest(&self.prefix))
     }
 
     fn swap_manifest(&self, expected: Option<u64>, next: u64, bytes: &[u8]) -> StoreResult<()> {
-        lock_state(&self.state).map.swap_manifest(expected, next, bytes)
+        lock_state(&self.state).map.swap_manifest(&self.prefix, expected, next, bytes)
+    }
+
+    fn scope(&self, name: &str) -> StoreResult<Box<dyn ObjectStore>> {
+        Ok(Box::new(S3LiteBackend {
+            state: Arc::clone(&self.state),
+            part_size: self.part_size,
+            prefix: child_prefix(&self.prefix, name)?,
+        }))
+    }
+
+    fn scopes(&self) -> StoreResult<Vec<String>> {
+        Ok(lock_state(&self.state).map.scopes(&self.prefix))
     }
 }
 
@@ -979,6 +1149,20 @@ impl ObjectStore for FaultedStore {
         self.fault.fail_if_dead("mutability probe")?;
         self.inner.ensure_mutable()
     }
+
+    fn scope(&self, name: &str) -> StoreResult<Box<dyn ObjectStore>> {
+        // Scoped handles stay under the same injector: one countdown
+        // spans every tenant of the simulated process, like one dying
+        // process takes all its tenants' writes with it.
+        self.fault.fail_if_dead("scope open")?;
+        let inner = self.inner.scope(name)?;
+        Ok(Box::new(FaultedStore { inner, fault: self.fault.clone() }))
+    }
+
+    fn scopes(&self) -> StoreResult<Vec<String>> {
+        self.fault.fail_if_dead("scope listing")?;
+        self.inner.scopes()
+    }
 }
 
 #[derive(Debug)]
@@ -1172,5 +1356,92 @@ mod tests {
 
         fault.disarm();
         assert!(store.list().unwrap().is_empty(), "crashed upload never became visible");
+    }
+
+    #[test]
+    fn scopes_are_isolated_namespaces_on_every_backend() {
+        for backend in backends("scopes") {
+            let kind = backend.kind();
+            let t1 = backend.scope("acme").unwrap();
+            let t2 = backend.scope("globex").unwrap();
+
+            // Same object name in two scopes and at the root: three
+            // distinct objects.
+            for (store, payload) in
+                [(&*backend, &b"root"[..]), (&*t1, b"tenant-acme"), (&*t2, b"tenant-globex")]
+            {
+                let mut up = store.put_atomic("full-000001.ebstore").unwrap();
+                up.write_all(payload).unwrap();
+                up.finalize().unwrap();
+            }
+            for (store, payload) in
+                [(&*backend, &b"root"[..]), (&*t1, b"tenant-acme"), (&*t2, b"tenant-globex")]
+            {
+                let mut back = Vec::new();
+                store.get("full-000001.ebstore").unwrap().read_to_end(&mut back).unwrap();
+                assert_eq!(back, payload, "{kind}: scope sees its own bytes");
+                let listed = store.list().unwrap();
+                assert_eq!(listed.len(), 1, "{kind}: exactly its own object; got {listed:?}");
+            }
+
+            // Manifests are per scope.
+            t1.swap_manifest(None, 0, b"m-acme").unwrap();
+            assert_eq!(backend.read_manifest().unwrap(), None, "{kind}: root manifest untouched");
+            assert_eq!(t2.read_manifest().unwrap(), None, "{kind}: sibling manifest untouched");
+            assert_eq!(t1.read_manifest().unwrap().as_deref(), Some(&b"m-acme"[..]), "{kind}");
+
+            // Only scopes holding a manifest are listed.
+            assert_eq!(backend.scopes().unwrap(), vec!["acme".to_string()], "{kind}");
+            t2.swap_manifest(None, 0, b"m-globex").unwrap();
+            let mut names = backend.scopes().unwrap();
+            names.sort();
+            assert_eq!(names, ["acme", "globex"], "{kind}");
+
+            // Quarantine inside a scope does not leak into siblings.
+            // (LocalFs `list` also reports the MANIFEST file; callers
+            // skip it by name, so these counts do too.)
+            let chain = |store: &dyn ObjectStore| {
+                store.list().unwrap().into_iter().filter(|o| o.name != MANIFEST_NAME).count()
+            };
+            t1.quarantine("full-000001.ebstore").unwrap();
+            assert_eq!(chain(&*t1), 0, "{kind}: quarantined out of scope namespace");
+            assert_eq!(chain(&*t2), 1, "{kind}: sibling untouched");
+            assert_eq!(chain(&*backend), 1, "{kind}: root untouched");
+        }
+    }
+
+    #[test]
+    fn invalid_scope_names_are_refused() {
+        for backend in backends("scope-names") {
+            for name in ["", "a/b", "..", ".", ".hidden", "a\\b", "sp ace", "a:b"] {
+                assert!(
+                    matches!(backend.scope(name), Err(StoreError::Corrupt { .. })),
+                    "{}: scope name {name:?} must be refused",
+                    backend.kind()
+                );
+            }
+            let long = "x".repeat(65);
+            assert!(backend.scope(&long).is_err(), "{}: over-long name", backend.kind());
+            assert!(backend.scope("t-1.prod_A").is_ok(), "{}: sane name", backend.kind());
+        }
+    }
+
+    #[test]
+    fn faulted_store_scopes_share_the_crash_countdown() {
+        let fault = FaultInjector::new();
+        let store = FaultedStore::new(MemBackend::new(), fault.clone());
+        let tenant = store.scope("acme").unwrap();
+
+        // begin=0, write=1 → finalize is the third mutation and dies.
+        fault.arm(2);
+        let mut up = tenant.put_atomic("x.ebstore").unwrap();
+        up.write_all(b"payload").unwrap();
+        assert!(up.finalize().is_err(), "scoped finalize crashes");
+        assert!(fault.crashed());
+        // The whole simulated process is dead: root reads fail too.
+        assert!(store.list().is_err());
+        assert!(store.scope("other").is_err());
+        fault.disarm();
+        assert!(tenant.list().unwrap().is_empty(), "crashed scoped upload never visible");
     }
 }

@@ -53,8 +53,8 @@ pub mod lifecycle;
 pub mod sections;
 
 pub use backend::{
-    FaultInjector, FaultedStore, LocalFsBackend, MemBackend, ObjectInfo, ObjectStore, ObjectUpload,
-    S3LiteBackend,
+    validate_scope_name, FaultInjector, FaultedStore, LocalFsBackend, MemBackend, ObjectInfo,
+    ObjectStore, ObjectUpload, S3LiteBackend,
 };
 pub use codec::{crc32, Decoder, Encoder};
 pub use error::{StoreError, StoreResult};

@@ -322,7 +322,14 @@ impl StoreDir {
         Self::create_boxed(Box::new(backend), cfg)
     }
 
-    fn create_boxed(backend: Box<dyn ObjectStore>, cfg: LifecycleConfig) -> StoreResult<Self> {
+    /// [`StoreDir::create_with`] for an already-boxed backend — the shape
+    /// [`ObjectStore::scope`] hands out, so per-tenant stores can be
+    /// created under a shared backend.
+    ///
+    /// # Errors
+    ///
+    /// As for [`StoreDir::create_with`].
+    pub fn create_boxed(backend: Box<dyn ObjectStore>, cfg: LifecycleConfig) -> StoreResult<Self> {
         if backend.read_manifest()?.is_some() {
             return Err(StoreError::corrupt(format!(
                 "{} already holds a store (open it instead of creating over it)",
@@ -369,7 +376,14 @@ impl StoreDir {
         Self::open_boxed(Box::new(backend), cfg)
     }
 
-    fn open_boxed(backend: Box<dyn ObjectStore>, cfg: LifecycleConfig) -> StoreResult<Self> {
+    /// [`StoreDir::open_with`] for an already-boxed backend — the shape
+    /// [`ObjectStore::scope`] hands out, so per-tenant stores can be
+    /// reopened under a shared backend.
+    ///
+    /// # Errors
+    ///
+    /// As for [`StoreDir::open_with`].
+    pub fn open_boxed(backend: Box<dyn ObjectStore>, cfg: LifecycleConfig) -> StoreResult<Self> {
         let Some(manifest_bytes) = backend.read_manifest()? else {
             return Err(StoreError::corrupt(format!(
                 "{} has no MANIFEST: not a store",
@@ -403,7 +417,20 @@ impl StoreDir {
         backend: impl ObjectStore + 'static,
         cfg: LifecycleConfig,
     ) -> StoreResult<Self> {
-        let backend: Box<dyn ObjectStore> = Box::new(backend);
+        Self::open_or_create_boxed(Box::new(backend), cfg)
+    }
+
+    /// [`StoreDir::open_or_create_with`] for an already-boxed backend —
+    /// the idiomatic entry point for a per-tenant store under a shared,
+    /// scoped [`ObjectStore`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`StoreDir::open_with`] / [`StoreDir::create_with`].
+    pub fn open_or_create_boxed(
+        backend: Box<dyn ObjectStore>,
+        cfg: LifecycleConfig,
+    ) -> StoreResult<Self> {
         if backend.read_manifest()?.is_some() {
             Self::open_boxed(backend, cfg)
         } else {

@@ -384,7 +384,7 @@ fn checkpoint_bytes_are_deterministic() {
     // checkpoint → restore → checkpoint reproduces the stream bit-for-bit
     // (the builder must mirror the perf knobs, which are snapshotted as
     // written even though restore overrides them).
-    let mut restored = EngineBuilder::lanl()
+    let restored = EngineBuilder::lanl()
         .parallelism(engine.config().parallelism)
         .parallel_threshold(engine.config().parallel_threshold)
         .ingest_chunk_records(engine.config().ingest_chunk_records)

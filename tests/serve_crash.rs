@@ -1,0 +1,212 @@
+//! Crash-restart durability of the service, end-to-end over HTTP: a
+//! [`FaultInjector`] kills the daemon's store at **every** backend
+//! mutation point of the serving schedule — the tenant-registration
+//! snapshot, every day-finish commit, compaction — and a cold
+//! `Server::bind` over the surviving state must then uphold the ack
+//! contract:
+//!
+//! * every day whose finish returned `200` is present after restart,
+//!   with counters identical to the library run;
+//! * no day appears that ingestion never attempted to seal;
+//! * a tenant whose registration snapshot never committed is cleanly
+//!   absent (its creation was never acked).
+//!
+//! The sweep enumerates crash points from 0 upward until a run completes
+//! with no fault fired, so every mutation in the schedule is killed
+//! exactly once, per backend.
+
+// Each integration-test crate uses a subset of the harness; the unused
+// remainder is not a defect.
+#[path = "support/backends.rs"]
+#[allow(dead_code)]
+mod support;
+
+use earlybird::engine::{FaultInjector, FaultedStore, IngestSource, StageCounters};
+use earlybird::logmodel::{
+    format_dns_line, Day, DnsQuery, DnsRecordType, DomainInterner, HostId, Ipv4, Timestamp,
+};
+use earlybird::serve::{ServeClient, Server, ServerConfig, TenantSpec};
+use earlybird_engine::CollectingSink;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+use support::Backend;
+
+const N_HOSTS: u32 = 6;
+const N_DAYS: u32 = 4;
+
+fn spec() -> TenantSpec {
+    let mut spec = TenantSpec::lanl(N_HOSTS, 1, N_DAYS);
+    spec.auto_investigate = true;
+    spec
+}
+
+/// A small deterministic day: background chatter plus a beaconing host,
+/// rendered to interchange lines.
+fn day_text(day: u32, domains: &Arc<DomainInterner>) -> String {
+    let mut queries = Vec::new();
+    for i in 0..120u32 {
+        queries.push(DnsQuery {
+            ts: Timestamp::from_secs(u64::from(i) * 613 % 86_400),
+            src: HostId::new(i % N_HOSTS),
+            src_ip: Ipv4::new(10, 0, 0, (i % N_HOSTS) as u8),
+            qname: domains.intern(&format!("d{}.example.c3", (i * 7 + day) % 17)),
+            qtype: DnsRecordType::A,
+            answer: Some(Ipv4::new(50, (i % 17) as u8, 1, 1)),
+        });
+    }
+    for beat in 0..16u64 {
+        queries.push(DnsQuery {
+            ts: Timestamp::from_secs(1_000 + beat * 600),
+            src: HostId::new(1),
+            src_ip: Ipv4::new(10, 0, 0, 1),
+            qname: domains.intern("cc.alpha.c3"),
+            qtype: DnsRecordType::A,
+            answer: Some(Ipv4::new(198, 51, 100, 9)),
+        });
+    }
+    queries.sort_by_key(|q| q.ts);
+    let mut text = String::new();
+    for q in &queries {
+        text.push_str(&format_dns_line(q, domains));
+        text.push('\n');
+    }
+    text
+}
+
+fn strip_wall(s: &StageCounters) -> StageCounters {
+    StageCounters { wall_micros: 0, ..*s }
+}
+
+/// Kill the store at every mutation point of the service schedule; after
+/// each crash, restart over the surviving state and check the ack
+/// contract — `{localfs, mem, s3lite}`.
+#[test]
+fn every_crash_point_preserves_acked_days_over_http() {
+    let domains = Arc::new(DomainInterner::new());
+    let days: Vec<(u32, String)> = (0..N_DAYS).map(|d| (d, day_text(d, &domains))).collect();
+
+    // Library reference: the per-day reports an unfailing run produces.
+    let sink = CollectingSink::new();
+    let mut reference = spec()
+        .builder()
+        .sink(sink)
+        .build(Arc::new(DomainInterner::new()), spec().dataset_meta().unwrap())
+        .expect("valid spec");
+    let mut ref_reports = Vec::new();
+    for (day, text) in &days {
+        let mut ingest = reference.begin_day(Day::new(*day), IngestSource::Dns);
+        ingest.push_lines(text);
+        ref_reports.push(ingest.finish());
+    }
+
+    for backend in Backend::matrix("serve-crash") {
+        let context = backend.name();
+        let mut saw_clean_run = false;
+        for crash_at in 0..600u64 {
+            let state = backend.fresh();
+            let injector = FaultInjector::new();
+            injector.arm(crash_at);
+            let faulted = Box::new(FaultedStore::boxed(state.boxed_store(), injector.clone()));
+            // Bind on a fresh (empty) store never mutates, so the doomed
+            // daemon always comes up.
+            let server = Server::bind(faulted, ServerConfig::default())
+                .unwrap_or_else(|e| panic!("{context}/{crash_at}: bind: {e}"));
+            let addr = server.addr();
+            let mut handle = Some(server.spawn());
+
+            // Drive until the injected crash surfaces as a 500. Only the
+            // finish acks promise durability.
+            let mut client = ServeClient::new(addr);
+            let mut acked = BTreeSet::new();
+            let mut attempted = BTreeSet::new();
+            if client.create_tenant("acme", &spec()).is_ok() {
+                for (day, text) in &days {
+                    if client.push_span("acme", *day, text).is_err() {
+                        break;
+                    }
+                    attempted.insert(*day);
+                    match client.finish_day("acme", *day) {
+                        Ok(ack) => {
+                            assert!(ack.durable, "{context}/{crash_at}: 200 finish is durable");
+                            acked.insert(*day);
+                        }
+                        Err(_) => break,
+                    }
+                }
+            }
+            drop(client);
+            let crashed = injector.crashed();
+            if crashed {
+                // The daemon's store is dead mid-flight; abandon it like
+                // a killed process (graceful drain is impossible by
+                // construction) and recover from the medium alone.
+                handle.take();
+            }
+
+            // Cold restart over the surviving state, unfaulted.
+            let restarted = Server::bind(state.boxed_store(), ServerConfig::default())
+                .unwrap_or_else(|e| panic!("{context}/{crash_at}: recovery bind: {e}"));
+            match restarted.tenant_count() {
+                0 => assert!(
+                    acked.is_empty(),
+                    "{context}/{crash_at}: acked days {acked:?} lost with the tenant"
+                ),
+                1 => {
+                    let addr = restarted.addr();
+                    let h2 = restarted.spawn();
+                    let mut c2 = ServeClient::new(addr);
+                    let restored = c2.reports("acme").expect("restored tenant answers").reports;
+                    let have: BTreeSet<u32> = restored.iter().map(|r| r.day.index()).collect();
+                    for day in &acked {
+                        assert!(
+                            have.contains(day),
+                            "{context}/{crash_at}: acked day {day} lost (restored: {have:?})"
+                        );
+                    }
+                    for day in &have {
+                        assert!(
+                            attempted.contains(day),
+                            "{context}/{crash_at}: day {day} appeared without a finish attempt"
+                        );
+                    }
+                    for report in &restored {
+                        let reference = &ref_reports[report.day.index() as usize];
+                        assert_eq!(report.bootstrap, reference.bootstrap);
+                        assert_eq!(
+                            strip_wall(&report.stages),
+                            strip_wall(&reference.stages),
+                            "{context}/{crash_at}: restored counters for {:?}",
+                            report.day
+                        );
+                        assert_eq!(report.dns_counts, reference.dns_counts);
+                    }
+                    c2.shutdown().expect("recovered daemon shuts down");
+                    drop(c2);
+                    h2.join();
+                }
+                n => panic!("{context}/{crash_at}: {n} tenants restored"),
+            }
+
+            if !crashed {
+                // Nothing fired: the whole schedule ran clean, so every
+                // mutation point before `crash_at` has been exercised.
+                assert_eq!(
+                    acked,
+                    (0..N_DAYS).collect::<BTreeSet<u32>>(),
+                    "{context}: the clean run acks every day"
+                );
+                // The un-crashed daemon is still serving; retire it.
+                let mut c = ServeClient::new(addr);
+                c.shutdown().expect("clean daemon shuts down");
+                drop(c);
+                handle.take().expect("uncrashed daemon still owned").join();
+                saw_clean_run = true;
+                state.cleanup();
+                break;
+            }
+            state.cleanup();
+        }
+        assert!(saw_clean_run, "{context}: sweep never reached a fault-free run");
+        backend.cleanup();
+    }
+}

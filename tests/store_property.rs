@@ -74,7 +74,6 @@ fn interner_roundtrip_at_scale() {
     engine.checkpoint(&mut snapshot).expect("checkpoint succeeds");
     let restored = EngineBuilder::lanl().restore(&mut snapshot.as_slice()).expect("restores");
 
-    let mut restored = restored;
     assert!(!restored.folded().is_empty(), "folded namespace restored");
     assert_eq!(engine.history().len(), restored.history().len());
     // The raw interner is private to the pipeline, but a second checkpoint

@@ -6,7 +6,9 @@
 //! CI sets `EARLYBIRD_BACKEND` to pin one backend per matrix job; unset
 //! (or `all`) runs every backend in-process.
 
-use earlybird::engine::{LifecycleConfig, MemBackend, ObjectStore, S3LiteBackend, StoreDir};
+use earlybird::engine::{
+    LifecycleConfig, LocalFsBackend, MemBackend, ObjectStore, S3LiteBackend, StoreDir,
+};
 use earlybird::store::StoreResult;
 use std::io::Write as _;
 use std::path::PathBuf;
@@ -77,22 +79,33 @@ impl Backend {
 
     /// A deep, independent copy of this store's current contents (for
     /// sweeps that replay many crashes against one master fixture).
+    /// Recursive on the filesystem, so tenant scopes (`tenants/<name>/`)
+    /// travel with the root store.
     pub fn fork_copy(&self, tag: &str) -> Backend {
         match self {
             Backend::LocalFs(root) => {
                 let copy = Self::temp_root(tag);
-                std::fs::create_dir_all(&copy).expect("create copy dir");
-                for entry in std::fs::read_dir(root).expect("read master dir") {
-                    let entry = entry.expect("dir entry");
-                    if entry.file_type().expect("file type").is_file() {
-                        std::fs::copy(entry.path(), copy.join(entry.file_name()))
-                            .expect("copy chain file");
-                    }
-                }
+                copy_tree(root, &copy);
                 Backend::LocalFs(copy)
             }
             Backend::Mem(handle) => Backend::Mem(handle.fork()),
             Backend::S3Lite(handle) => Backend::S3Lite(handle.fork()),
+        }
+    }
+
+    /// The backend as a boxed root [`ObjectStore`] — what the service
+    /// daemon mounts its tenant scopes under. For the shared-state
+    /// backends the box is another handle on the same service, so a
+    /// "restarted" daemon opened from the same [`Backend`] sees exactly
+    /// what the previous one committed.
+    pub fn boxed_store(&self) -> Box<dyn ObjectStore> {
+        match self {
+            Backend::LocalFs(root) => {
+                std::fs::create_dir_all(root).expect("create localfs root");
+                Box::new(LocalFsBackend::new(root).expect("open localfs root"))
+            }
+            Backend::Mem(handle) => Box::new(handle.clone()),
+            Backend::S3Lite(handle) => Box::new(handle.clone()),
         }
     }
 
@@ -144,6 +157,21 @@ impl Backend {
     pub fn cleanup(&self) {
         if let Backend::LocalFs(root) = self {
             let _ = std::fs::remove_dir_all(root);
+        }
+    }
+}
+
+/// Copies a directory tree (files + subdirectories) for LocalFs forks.
+fn copy_tree(from: &std::path::Path, to: &std::path::Path) {
+    std::fs::create_dir_all(to).expect("create copy dir");
+    for entry in std::fs::read_dir(from).expect("read master dir") {
+        let entry = entry.expect("dir entry");
+        let target = to.join(entry.file_name());
+        let kind = entry.file_type().expect("file type");
+        if kind.is_dir() {
+            copy_tree(&entry.path(), &target);
+        } else if kind.is_file() {
+            std::fs::copy(entry.path(), &target).expect("copy chain file");
         }
     }
 }

@@ -42,6 +42,19 @@ mod impls {
     use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
     use std::hash::Hash;
 
+    // A `Value` is already the data model: serialization is identity.
+    impl Serialize for Value {
+        fn serialize(&self) -> Value {
+            self.clone()
+        }
+    }
+
+    impl Deserialize for Value {
+        fn deserialize(v: &Value) -> Result<Self, DeError> {
+            Ok(v.clone())
+        }
+    }
+
     macro_rules! uint_impl {
         ($($t:ty),*) => {$(
             impl Serialize for $t {
