@@ -1,16 +1,16 @@
 //! Machine-readable perf smoke pass for CI: measures ingest throughput,
-//! checkpoint/restore bandwidth, store-compaction bandwidth, raw backend
-//! put bandwidth, and the service loopback (multi-tenant HTTP ingest
-//! rec/s + query latency) on the benchmark-scale LANL world, and writes a
-//! small JSON report (`BENCH_6.json` by default) that CI uploads as a
-//! workflow artifact. The checked-in `ci/BENCH_6.json` is the baseline
-//! (`ci/BENCH_4.json` and `ci/BENCH_5.json` are earlier PRs' readings,
-//! kept for the trajectory); comparing artifacts across PRs gives the
-//! perf trend.
+//! parse-only and interning microbenches, checkpoint/restore bandwidth,
+//! store-compaction bandwidth, raw backend put bandwidth, and the service
+//! loopback (multi-tenant HTTP ingest rec/s + query latency) on the
+//! benchmark-scale LANL world, and writes a small JSON report
+//! (`BENCH_7.json` by default) that CI uploads as a workflow artifact.
+//! The checked-in `ci/BENCH_7.json` is the baseline the perf gate
+//! (`ci/perf_gate.py`) compares against (`ci/BENCH_4.json` through
+//! `ci/BENCH_6.json` are earlier PRs' readings, kept for the trajectory).
 //!
 //! Numbers are medians of a few short runs (the service loopback is one
-//! timed pass) — a smoke reading to catch collapses (10x regressions),
-//! not a calibrated benchmark; use `cargo bench` for real measurements.
+//! timed pass) — a smoke reading to catch collapses, not a calibrated
+//! benchmark; use `cargo bench` for real measurements.
 //!
 //! Usage: `perf_smoke [output.json]`
 
@@ -18,6 +18,7 @@ use earlybird_engine::{
     compact_store, DayBatch, Engine, EngineBuilder, LifecycleConfig, LocalFsBackend, MemBackend,
     ObjectStore, StoreDir,
 };
+use earlybird_logmodel::{parse_dns_span, DomainInterner, ParsedChunk};
 use earlybird_serve::{ServeClient, Server, ServerConfig, TenantSpec};
 use earlybird_synthgen::lanl::LanlChallenge;
 use std::io::Write as _;
@@ -153,9 +154,54 @@ fn serve_loopback() -> (u64, f64, f64) {
     (serve_records, serve_ingest_rec_s, serve_query_p50_ms)
 }
 
+/// Lines in the parse-only microbench span.
+const PARSE_LINES: u32 = 200_000;
+/// Distinct names in the interner microbench working set.
+const INTERN_NAMES: usize = 4096;
+/// Hit-path passes over the interner working set per timed run.
+const INTERN_PASSES: usize = 32;
+
+/// Parse-only microbench: span-parses pre-rendered interchange text into a
+/// reused chunk — the SWAR splitter, bytewise number parsers, and batched
+/// interning with nothing downstream. Returns `(lines/s, MB/s)`.
+fn parse_only() -> (f64, f64) {
+    let text = serve_span_text(0, 0, PARSE_LINES);
+    let domains = DomainInterner::new();
+    let mut chunk = ParsedChunk::default();
+    let secs = median_secs(5, || {
+        chunk.clear();
+        parse_dns_span(text.lines().enumerate().map(|(i, l)| (i + 1, l)), &domains, &mut chunk);
+        assert_eq!(chunk.records.len(), PARSE_LINES as usize);
+        assert!(chunk.errors.is_empty());
+    });
+    (f64::from(PARSE_LINES) / secs, text.len() as f64 / (1024.0 * 1024.0) / secs)
+}
+
+/// Interning microbench: hit-path lookups of an established working set —
+/// the read-mostly snapshot fast path every parsed record's symbols take
+/// once a name has been seen. Returns lookups per second.
+fn intern_hits() -> f64 {
+    let interner = DomainInterner::new();
+    let names: Vec<String> =
+        (0..INTERN_NAMES).map(|i| format!("host{i}.dept{}.example.c3", i % 57)).collect();
+    for name in &names {
+        interner.intern(name);
+    }
+    let secs = median_secs(5, || {
+        let mut acc = 0u32;
+        for _ in 0..INTERN_PASSES {
+            for name in &names {
+                acc = acc.wrapping_add(interner.intern(name).raw());
+            }
+        }
+        std::hint::black_box(acc);
+    });
+    (INTERN_PASSES * INTERN_NAMES) as f64 / secs
+}
+
 fn main() {
     let out_path =
-        std::env::args().nth(1).map(PathBuf::from).unwrap_or_else(|| "BENCH_6.json".into());
+        std::env::args().nth(1).map(PathBuf::from).unwrap_or_else(|| "BENCH_7.json".into());
     let challenge = earlybird_bench::lanl_world();
     let total_records: u64 = challenge.dataset.days.iter().map(|d| d.queries.len() as u64).sum();
 
@@ -165,6 +211,11 @@ fn main() {
         drop(engine);
     });
     let ingest_records_per_sec = total_records as f64 / ingest_secs;
+
+    // Hot-path microbenches: parse-only span throughput and interner
+    // hit-path lookups (new in schema v4).
+    let (parse_lines_per_sec, parse_mb_per_sec) = parse_only();
+    let intern_hits_per_sec = intern_hits();
 
     // Checkpoint / restore bandwidth over the fully loaded engine.
     let (engine, _) = ingest_all(&challenge);
@@ -217,9 +268,12 @@ fn main() {
     let (serve_records, serve_ingest_rec_s, serve_query_p50_ms) = serve_loopback();
 
     let json = format!(
-        "{{\n  \"schema\": \"earlybird-perf-smoke-v3\",\n  \"suite\": \"lanl_small\",\n  \
+        "{{\n  \"schema\": \"earlybird-perf-smoke-v4\",\n  \"suite\": \"lanl_small\",\n  \
          \"ingest_records\": {total_records},\n  \
          \"ingest_records_per_sec\": {ingest_records_per_sec:.0},\n  \
+         \"parse_lines_per_sec\": {parse_lines_per_sec:.0},\n  \
+         \"parse_mb_per_sec\": {parse_mb_per_sec:.1},\n  \
+         \"intern_hits_per_sec\": {intern_hits_per_sec:.0},\n  \
          \"snapshot_bytes\": {snapshot_bytes},\n  \
          \"checkpoint_mb_per_sec\": {checkpoint_mb_per_sec:.1},\n  \
          \"restore_mb_per_sec\": {restore_mb_per_sec:.1},\n  \

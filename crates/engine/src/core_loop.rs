@@ -120,6 +120,14 @@ pub struct Engine {
     pub(crate) paths: Arc<PathInterner>,
     /// Stable host-id assignment for raw DNS log lines, shared across days.
     pub(crate) line_hosts: HostMapper,
+    /// Pooled parse buffers for the raw-line ingest path (transient).
+    pub(crate) scratch: crate::ingest::ScratchPool,
+    /// Memoized store encodings of sealed day products, keyed by day. A
+    /// product is immutable once inserted, so its bytes are computed on
+    /// first checkpoint and spliced verbatim into every later block;
+    /// entries are dropped when a day's product is replaced or evicted.
+    /// Behind a lock because checkpoints run on `&self`.
+    pub(crate) product_encodings: Mutex<std::collections::BTreeMap<Day, std::sync::Arc<Vec<u8>>>>,
 }
 
 impl std::fmt::Debug for Engine {
@@ -157,6 +165,8 @@ impl Engine {
             uas: uas.unwrap_or_default(),
             paths: paths.unwrap_or_default(),
             line_hosts: HostMapper::new(),
+            scratch: crate::ingest::ScratchPool::default(),
+            product_encodings: Mutex::new(std::collections::BTreeMap::new()),
         }
     }
 
@@ -190,6 +200,8 @@ impl Engine {
             uas,
             paths,
             line_hosts,
+            scratch: crate::ingest::ScratchPool::default(),
+            product_encodings: Mutex::new(std::collections::BTreeMap::new()),
         }
     }
 
@@ -327,6 +339,13 @@ impl Engine {
         &self.products
     }
 
+    /// Drops the memoized store encoding for `day`, if any. Must be called
+    /// whenever a day's product is (re)inserted so a later checkpoint never
+    /// splices stale bytes.
+    pub(crate) fn invalidate_product_encoding(&mut self, day: Day) {
+        self.product_encodings.get_mut().expect("product encoding cache poisoned").remove(&day);
+    }
+
     /// Evicts the oldest retained contact indexes until at most `keep`
     /// remain (their counters-only reports stay). Returns how many days
     /// were pruned — the retention-GC step of store compaction.
@@ -426,6 +445,7 @@ impl Engine {
                 report.stages.wall_micros = started.elapsed().as_micros() as u64;
                 self.reports.insert(day, Self::counters_only(&report));
                 self.products.insert(day, product);
+                self.invalidate_product_encoding(day);
                 if let Some(limit) = self.cfg.retain_days {
                     while self.products.len() > limit {
                         self.products.pop_first();
@@ -515,6 +535,7 @@ impl Engine {
 
         self.reports.insert(day, Self::counters_only(&report));
         self.products.insert(day, product);
+        self.invalidate_product_encoding(day);
         // Retention window: evict the oldest contact indexes (the dominant
         // memory cost) once past the configured bound; their counters-only
         // reports remain.

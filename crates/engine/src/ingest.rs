@@ -23,11 +23,65 @@ use crate::core_loop::Engine;
 use crate::report::{DayReport, StageCounters};
 use earlybird_core::{DayAccum, DayOutcome};
 use earlybird_logmodel::{
-    parse_dns_line_unassigned, parse_proxy_line, payload_line, Day, DhcpLog, DnsQuery,
-    ParseLogError, ProxyRecord,
+    parse_dns_span, parse_proxy_span, payload_line, Day, DhcpLog, DnsQuery, ParseLogError,
+    ParsedChunk, ProxyRecord,
 };
 use earlybird_pipeline::NormalizationCounts;
+use std::sync::Mutex;
 use std::time::Instant;
+
+/// Upper bound on pooled scratch buffers (spare capacity beyond this is
+/// dropped rather than hoarded).
+const SCRATCH_POOL_CAP: usize = 64;
+
+/// Reusable per-worker parse buffers for the raw-line ingest path.
+///
+/// Line pushes arrive span after span for a whole day; parsing each span
+/// into freshly allocated `Vec`s made the allocator a per-span cost. The
+/// pool hands out cleared [`ParsedChunk`]s that keep their record/error
+/// capacity between spans. Purely transient state — never checkpointed.
+#[derive(Debug, Default)]
+pub(crate) struct ScratchPool {
+    dns: Mutex<Vec<ParsedChunk<DnsQuery>>>,
+    proxy: Mutex<Vec<ParsedChunk<ProxyRecord>>>,
+}
+
+impl ScratchPool {
+    fn take<T>(pool: &Mutex<Vec<ParsedChunk<T>>>, n: usize) -> Vec<ParsedChunk<T>> {
+        let mut pool = pool.lock().expect("scratch pool poisoned");
+        let keep = pool.len().saturating_sub(n);
+        let mut out: Vec<ParsedChunk<T>> = pool.drain(keep..).collect();
+        out.resize_with(n, ParsedChunk::default);
+        out
+    }
+
+    fn give<T>(pool: &Mutex<Vec<ParsedChunk<T>>>, bufs: Vec<ParsedChunk<T>>) {
+        let mut pool = pool.lock().expect("scratch pool poisoned");
+        for mut buf in bufs {
+            if pool.len() >= SCRATCH_POOL_CAP {
+                break;
+            }
+            buf.clear();
+            pool.push(buf);
+        }
+    }
+
+    fn take_dns(&self, n: usize) -> Vec<ParsedChunk<DnsQuery>> {
+        Self::take(&self.dns, n)
+    }
+
+    fn give_dns(&self, bufs: Vec<ParsedChunk<DnsQuery>>) {
+        Self::give(&self.dns, bufs)
+    }
+
+    fn take_proxy(&self, n: usize) -> Vec<ParsedChunk<ProxyRecord>> {
+        Self::take(&self.proxy, n)
+    }
+
+    fn give_proxy(&self, bufs: Vec<ParsedChunk<ProxyRecord>>) {
+        Self::give(&self.proxy, bufs)
+    }
+}
 
 /// Which log source a streamed day reads from.
 #[derive(Clone, Copy, Debug)]
@@ -196,23 +250,7 @@ impl DayIngest<'_, '_> {
         accum.count_raw_records(records.len());
         let engine = &*self.engine;
         let shards = shard_spans(records, engine.cfg.parallelism, engine.cfg.ingest_chunk_records);
-        let reductions = if shards.len() > 1 {
-            // First folds must happen in record order, not in a worker
-            // race, so folded-symbol numbering (and thus every tie-break
-            // downstream) is chunk-split invariant.
-            engine.pipeline.warm_dns_folds(records);
-            map_shards(&shards, |shard| {
-                engine.pipeline.reduce_dns_records(accum, shard, &engine.meta)
-            })
-        } else {
-            shards
-                .iter()
-                .map(|shard| engine.pipeline.reduce_dns_records(accum, shard, &engine.meta))
-                .collect()
-        };
-        for chunk in reductions {
-            engine.pipeline.absorb_chunk(accum, chunk);
-        }
+        reduce_dns_spans(engine, accum, &shards);
     }
 
     /// Pushes a span of raw proxy records (normalization — UTC conversion,
@@ -230,30 +268,7 @@ impl DayIngest<'_, '_> {
         accum.count_raw_records(records.len());
         let engine = &*self.engine;
         let shards = shard_spans(records, engine.cfg.parallelism, engine.cfg.ingest_chunk_records);
-        let normalized: Vec<(Vec<ProxyRecord>, NormalizationCounts)> =
-            map_shards(&shards, |shard| engine.pipeline.normalize_proxy_records(shard, dhcp));
-        for (_, counts) in &normalized {
-            accum.merge_norm(counts);
-        }
-        if normalized.len() > 1 {
-            for (recs, _) in &normalized {
-                engine.pipeline.warm_proxy_folds(recs);
-            }
-        }
-        let spans: Vec<&[ProxyRecord]> = normalized.iter().map(|(r, _)| r.as_slice()).collect();
-        let reductions = if spans.len() > 1 {
-            map_shards(&spans, |span| {
-                engine.pipeline.reduce_proxy_records(accum, span, &engine.meta)
-            })
-        } else {
-            spans
-                .iter()
-                .map(|span| engine.pipeline.reduce_proxy_records(accum, span, &engine.meta))
-                .collect()
-        };
-        for chunk in reductions {
-            engine.pipeline.absorb_chunk(accum, chunk);
-        }
+        reduce_proxy_spans(engine, accum, &shards, dhcp);
     }
 
     /// Pushes a block of raw log lines in the tab-separated interchange
@@ -274,53 +289,63 @@ impl DayIngest<'_, '_> {
             .enumerate()
             .filter_map(|(i, line)| payload_line(line).map(|l| (i + 1, l)))
             .collect();
-        let engine = &*self.engine;
-        let shards = shard_spans(&lines, engine.cfg.parallelism, engine.cfg.ingest_chunk_records);
 
         let mut errors: Vec<(usize, ParseLogError)> = Vec::new();
         match self.source {
             IngestSource::Dns => {
-                let domains = engine.pipeline.raw_interner();
-                let parsed = map_shards(&shards, |shard| {
-                    let mut records = Vec::with_capacity(shard.len());
-                    let mut errs = Vec::new();
-                    for &(lineno, line) in shard {
-                        match parse_dns_line_unassigned(line, domains) {
-                            Ok(q) => records.push(q),
-                            Err(e) => errs.push((lineno, e)),
-                        }
-                    }
-                    (records, errs)
-                });
-                let mut records: Vec<DnsQuery> = Vec::with_capacity(lines.len());
-                for (recs, errs) in parsed {
-                    records.extend(recs);
-                    errors.extend(errs);
+                let engine = &*self.engine;
+                let shards =
+                    shard_spans(&lines, engine.cfg.parallelism, engine.cfg.ingest_chunk_records);
+                // Each shard is parsed as one span into a pooled scratch
+                // buffer: interner misses batch-resolve once per span, and
+                // the record vectors keep their capacity across pushes.
+                let mut chunks = engine.scratch.take_dns(shards.len());
+                {
+                    let domains = engine.pipeline.raw_interner();
+                    parse_shards(&shards, &mut chunks, |shard, chunk| {
+                        parse_dns_span(shard.iter().copied(), domains, chunk);
+                    });
                 }
-                // Host ids depend on first-seen order: assign sequentially.
-                self.engine.line_hosts.assign(&mut records);
-                self.push_dns_records(&records);
+                // Host ids depend on first-seen order: assign sequentially,
+                // span by span in shard order.
+                for chunk in &mut chunks {
+                    self.engine.line_hosts.assign(&mut chunk.records);
+                    errors.append(&mut chunk.errors);
+                }
+                let total: usize = chunks.iter().map(|c| c.records.len()).sum();
+                let spans: Vec<&[DnsQuery]> = chunks.iter().map(|c| c.records.as_slice()).collect();
+                let engine = &*self.engine;
+                if let Some(accum) = &mut self.state.accum {
+                    accum.count_raw_records(total);
+                    reduce_dns_spans(engine, accum, &spans);
+                }
+                drop(spans);
+                engine.scratch.give_dns(chunks);
             }
-            IngestSource::Proxy { .. } => {
-                let domains = engine.pipeline.raw_interner();
-                let (uas, paths) = (&engine.uas, &engine.paths);
-                let parsed = map_shards(&shards, |shard| {
-                    let mut records = Vec::with_capacity(shard.len());
-                    let mut errs = Vec::new();
-                    for &(lineno, line) in shard {
-                        match parse_proxy_line(line, domains, uas, paths) {
-                            Ok(r) => records.push(r),
-                            Err(e) => errs.push((lineno, e)),
-                        }
-                    }
-                    (records, errs)
-                });
-                let mut records: Vec<ProxyRecord> = Vec::with_capacity(lines.len());
-                for (recs, errs) in parsed {
-                    records.extend(recs);
-                    errors.extend(errs);
+            IngestSource::Proxy { dhcp } => {
+                let engine = &*self.engine;
+                let shards =
+                    shard_spans(&lines, engine.cfg.parallelism, engine.cfg.ingest_chunk_records);
+                let mut chunks = engine.scratch.take_proxy(shards.len());
+                {
+                    let domains = engine.pipeline.raw_interner();
+                    let (uas, paths) = (&engine.uas, &engine.paths);
+                    parse_shards(&shards, &mut chunks, |shard, chunk| {
+                        parse_proxy_span(shard.iter().copied(), domains, uas, paths, chunk);
+                    });
                 }
-                self.push_proxy_records(&records);
+                for chunk in &mut chunks {
+                    errors.append(&mut chunk.errors);
+                }
+                let total: usize = chunks.iter().map(|c| c.records.len()).sum();
+                let spans: Vec<&[ProxyRecord]> =
+                    chunks.iter().map(|c| c.records.as_slice()).collect();
+                if let Some(accum) = &mut self.state.accum {
+                    accum.count_raw_records(total);
+                    reduce_proxy_spans(engine, accum, &spans, dhcp);
+                }
+                drop(spans);
+                engine.scratch.give_proxy(chunks);
             }
         }
         errors.sort_by_key(|(lineno, _)| *lineno);
@@ -387,6 +412,65 @@ impl DayIngest<'_, '_> {
     }
 }
 
+/// Reduces pre-sharded DNS spans: sequential fold warm-up in span order
+/// (folded-symbol numbering must never race), parallel chunk reduction, and
+/// in-order absorption.
+fn reduce_dns_spans(engine: &Engine, accum: &mut DayAccum, spans: &[&[DnsQuery]]) {
+    let reductions = if spans.len() > 1 {
+        // First folds must happen in record order, not in a worker race, so
+        // folded-symbol numbering (and thus every tie-break downstream) is
+        // chunk-split invariant.
+        for span in spans {
+            engine.pipeline.warm_dns_folds(span);
+        }
+        let accum = &*accum;
+        map_shards(spans, |shard| engine.pipeline.reduce_dns_records(accum, shard, &engine.meta))
+    } else {
+        spans
+            .iter()
+            .map(|shard| engine.pipeline.reduce_dns_records(accum, shard, &engine.meta))
+            .collect()
+    };
+    for chunk in reductions {
+        engine.pipeline.absorb_chunk(accum, chunk);
+    }
+}
+
+/// Reduces pre-sharded raw proxy spans: parallel normalization, in-order
+/// counter merge and fold warm-up, parallel reduction, in-order absorption.
+fn reduce_proxy_spans(
+    engine: &Engine,
+    accum: &mut DayAccum,
+    spans: &[&[ProxyRecord]],
+    dhcp: &DhcpLog,
+) {
+    let normalized: Vec<(Vec<ProxyRecord>, NormalizationCounts)> =
+        map_shards(spans, |shard| engine.pipeline.normalize_proxy_records(shard, dhcp));
+    for (_, counts) in &normalized {
+        accum.merge_norm(counts);
+    }
+    if normalized.len() > 1 {
+        for (recs, _) in &normalized {
+            engine.pipeline.warm_proxy_folds(recs);
+        }
+    }
+    let norm_spans: Vec<&[ProxyRecord]> = normalized.iter().map(|(r, _)| r.as_slice()).collect();
+    let reductions = if norm_spans.len() > 1 {
+        let accum = &*accum;
+        map_shards(&norm_spans, |span| {
+            engine.pipeline.reduce_proxy_records(accum, span, &engine.meta)
+        })
+    } else {
+        norm_spans
+            .iter()
+            .map(|span| engine.pipeline.reduce_proxy_records(accum, span, &engine.meta))
+            .collect()
+    };
+    for chunk in reductions {
+        engine.pipeline.absorb_chunk(accum, chunk);
+    }
+}
+
 /// Splits a span into at most `workers` contiguous shards of at least
 /// `chunk_records` items each (short spans stay whole — thread spawn would
 /// dominate).
@@ -409,6 +493,33 @@ fn map_shards<T: Sync, R: Send>(shards: &[&[T]], f: impl Fn(&[T]) -> R + Sync) -
         let handles: Vec<_> = shards.iter().map(|&shard| scope.spawn(move || f(shard))).collect();
         handles.into_iter().map(|h| h.join().expect("ingest worker panicked")).collect()
     })
+}
+
+/// Runs `f` over `(shard, scratch-buffer)` pairs on scoped threads (one
+/// buffer per shard, mutated in place); a single pair runs inline.
+fn parse_shards<T: Sync, B: Send>(
+    shards: &[&[T]],
+    bufs: &mut [B],
+    f: impl Fn(&[T], &mut B) + Sync,
+) {
+    debug_assert_eq!(shards.len(), bufs.len());
+    if shards.len() <= 1 {
+        if let (Some(&shard), Some(buf)) = (shards.first(), bufs.first_mut()) {
+            f(shard, buf);
+        }
+        return;
+    }
+    std::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = shards
+            .iter()
+            .zip(bufs.iter_mut())
+            .map(|(&shard, buf)| scope.spawn(move || f(shard, buf)))
+            .collect();
+        for h in handles {
+            h.join().expect("ingest parse worker panicked");
+        }
+    });
 }
 
 #[cfg(test)]

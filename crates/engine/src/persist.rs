@@ -264,19 +264,32 @@ impl Engine {
         }
         block.section(SectionTag::Reports, e)?;
 
-        let new_products: Vec<&DayProduct> = self
+        let new_products: Vec<(Day, &DayProduct)> = self
             .products
             .iter()
             .filter(|(d, _)| !cursor.days.contains(d))
-            .map(|(_, p)| p)
+            .map(|(d, p)| (*d, p))
             .collect();
         let mut e = Encoder::new();
         e.usizev(new_products.len());
-        for product in &new_products {
-            sections::write_opt_dns_counts(&mut e, product.dns_counts.as_ref());
-            sections::write_opt_proxy_counts(&mut e, product.proxy_counts.as_ref());
-            sections::write_opt_norm_counts(&mut e, product.norm_counts.as_ref());
-            sections::write_day_index(&mut e, &product.index);
+        {
+            // Day products are immutable once retained, so their encoding is
+            // computed on the first checkpoint that ships them and spliced
+            // verbatim into every later full block. Entries for evicted days
+            // are pruned here; replaced days are invalidated at insertion.
+            let mut cache = self.product_encodings.lock().expect("product encoding cache poisoned");
+            cache.retain(|d, _| self.products.contains_key(d));
+            for (day, product) in &new_products {
+                let bytes = cache.entry(*day).or_insert_with(|| {
+                    let mut pe = Encoder::new();
+                    sections::write_opt_dns_counts(&mut pe, product.dns_counts.as_ref());
+                    sections::write_opt_proxy_counts(&mut pe, product.proxy_counts.as_ref());
+                    sections::write_opt_norm_counts(&mut pe, product.norm_counts.as_ref());
+                    sections::write_day_index(&mut pe, &product.index);
+                    Arc::new(pe.into_bytes())
+                });
+                e.raw(bytes);
+            }
         }
         block.section(SectionTag::Products, e)?;
 
@@ -381,6 +394,7 @@ impl Engine {
                 proxy_counts,
                 norm_counts,
             };
+            self.invalidate_product_encoding(day);
             if self.products.insert(day, product).is_some() {
                 return Err(StoreError::corrupt(format!("duplicate retained index for {day}")));
             }

@@ -18,7 +18,10 @@ pub fn label_count(name: &str) -> usize {
     if name.is_empty() {
         0
     } else {
-        name.split('.').count()
+        // labels = dots + 1, counted eight bytes at a time; the previous
+        // `split('.').count()` materialized every label on the sieve's
+        // per-lookup path.
+        crate::scan::count_byte(b'.', name.as_bytes()) + 1
     }
 }
 
@@ -103,6 +106,30 @@ mod tests {
         assert_eq!(label_count(""), 0);
         assert_eq!(label_count("a"), 1);
         assert_eq!(label_count("a.b.c"), 3);
+    }
+
+    #[test]
+    fn label_count_keeps_split_semantics_on_degenerate_names() {
+        // Empty labels still count, exactly as `split('.').count()` did:
+        // a trailing dot adds one, a lone dot is two empty labels.
+        for name in ["a.", ".a", ".", "..", "a..b", "a.b.", "...", "trailing.dot."] {
+            assert_eq!(
+                label_count(name),
+                name.split('.').count(),
+                "{name:?} diverged from split semantics"
+            );
+        }
+        assert_eq!(label_count("a."), 2);
+        assert_eq!(label_count("."), 2);
+        assert_eq!(label_count(".."), 3);
+    }
+
+    #[test]
+    fn label_count_handles_long_names() {
+        // Longer than one SWAR word, with dots on both sides of the
+        // 8-byte chunk boundaries.
+        let name = "a.bb.ccc.dddd.eeeee.ffffff.ggggggg.hhhhhhhh.i";
+        assert_eq!(label_count(name), name.split('.').count());
     }
 
     #[test]

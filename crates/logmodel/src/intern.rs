@@ -8,8 +8,9 @@
 //! [`Symbol<T>`] is parameterized by a tag type so that a [`DomainSym`] can
 //! never be confused with a [`UaSym`] at compile time (C-NEWTYPE).
 
+use crate::hash::FastMap;
+use crate::published::Published;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::marker::PhantomData;
@@ -105,8 +106,65 @@ impl<T> fmt::Debug for Symbol<T> {
 
 #[derive(Default)]
 struct Inner {
-    map: HashMap<Arc<str>, u32>,
+    map: FastMap<Arc<str>, u32>,
     strings: Vec<Arc<str>>,
+    /// Interner length at the last snapshot publication.
+    published_len: usize,
+}
+
+impl Inner {
+    /// Interns under the write lock (the caller holds it).
+    fn intern_locked(&mut self, s: &str) -> u32 {
+        if let Some(&raw) = self.map.get(s) {
+            return raw;
+        }
+        let raw = u32::try_from(self.strings.len()).expect("interner full");
+        let arc: Arc<str> = Arc::from(s);
+        self.strings.push(Arc::clone(&arc));
+        self.map.insert(arc, raw);
+        raw
+    }
+
+    /// Whether enough strings landed since the last publication to justify
+    /// rebuilding the snapshot. Geometric growth (an eighth of the
+    /// published size, floor 64) keeps total republication work linear in
+    /// the final table size.
+    fn snapshot_stale(&self) -> bool {
+        self.strings.len() >= self.published_len + (self.published_len / 8).max(64)
+    }
+}
+
+/// The immutable lookup table a [`Published`] cell hands to readers.
+struct Snap {
+    map: FastMap<Arc<str>, u32>,
+}
+
+/// A lock-free read handle over an interner's published snapshot.
+///
+/// Acquire one per chunk with [`TypedInterner::reader`]; every
+/// [`get`](InternerReader::get) is then a plain hash-map probe with no
+/// lock and no atomic. The snapshot may trail the live table — strings
+/// interned since publication simply miss; batch the misses and resolve
+/// them once per chunk with [`TypedInterner::intern_batch`].
+pub struct InternerReader<T> {
+    snap: Arc<Snap>,
+    _tag: PhantomData<fn() -> T>,
+}
+
+impl<T> InternerReader<T> {
+    /// Looks up `s` in the snapshot without locking. `None` means the
+    /// string was not interned *as of the snapshot* — it may exist in the
+    /// live table.
+    #[inline]
+    pub fn get(&self, s: &str) -> Option<Symbol<T>> {
+        self.snap.map.get(s).map(|&raw| Symbol::new(raw))
+    }
+}
+
+impl<T> fmt::Debug for InternerReader<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("InternerReader").field("len", &self.snap.map.len()).finish()
+    }
 }
 
 /// An append-only, internally synchronized string interner whose symbols are
@@ -125,13 +183,34 @@ struct Inner {
 /// ```
 pub struct TypedInterner<T> {
     inner: RwLock<Inner>,
+    snap: Published<Snap>,
     _tag: PhantomData<fn() -> T>,
 }
 
 impl<T> TypedInterner<T> {
     /// Creates an empty interner.
     pub fn new() -> Self {
-        TypedInterner { inner: RwLock::new(Inner::default()), _tag: PhantomData }
+        TypedInterner {
+            inner: RwLock::new(Inner::default()),
+            snap: Published::new(Snap { map: FastMap::default() }),
+            _tag: PhantomData,
+        }
+    }
+
+    /// Republishes the reader snapshot if enough strings landed since the
+    /// last publication. Called with the write lock held, so publication
+    /// order matches insertion order.
+    fn maybe_republish(&self, inner: &mut Inner) {
+        if inner.snapshot_stale() {
+            inner.published_len = inner.strings.len();
+            self.snap.publish(Arc::new(Snap { map: inner.map.clone() }));
+        }
+    }
+
+    /// A lock-free read handle over the current published snapshot; see
+    /// [`InternerReader`]. Acquire once per chunk.
+    pub fn reader(&self) -> InternerReader<T> {
+        InternerReader { snap: self.snap.load(), _tag: PhantomData }
     }
 
     /// Interns `s`, returning its symbol. Repeated calls with equal strings
@@ -141,14 +220,23 @@ impl<T> TypedInterner<T> {
             return Symbol::new(raw);
         }
         let mut inner = self.inner.write().expect("interner poisoned");
-        if let Some(&raw) = inner.map.get(s) {
-            return Symbol::new(raw);
-        }
-        let raw = u32::try_from(inner.strings.len()).expect("interner full");
-        let arc: Arc<str> = Arc::from(s);
-        inner.strings.push(Arc::clone(&arc));
-        inner.map.insert(arc, raw);
+        let raw = inner.intern_locked(s);
+        self.maybe_republish(&mut inner);
         Symbol::new(raw)
+    }
+
+    /// Interns a whole batch under a single write-lock acquisition, in
+    /// order — the once-per-chunk resolution step for misses collected
+    /// against an [`InternerReader`] snapshot. Duplicate strings in the
+    /// batch receive equal symbols.
+    pub fn intern_batch(&self, strs: &[&str]) -> Vec<Symbol<T>> {
+        if strs.is_empty() {
+            return Vec::new();
+        }
+        let mut inner = self.inner.write().expect("interner poisoned");
+        let out = strs.iter().map(|s| Symbol::new(inner.intern_locked(s))).collect();
+        self.maybe_republish(&mut inner);
+        out
     }
 
     /// Looks up a string without interning it.
@@ -300,6 +388,36 @@ mod tests {
             assert_eq!(w[0], w[1], "all threads must observe identical symbols");
         }
         assert_eq!(i.len(), 100);
+    }
+
+    #[test]
+    fn reader_snapshot_is_stale_but_consistent() {
+        let i = DomainInterner::new();
+        let before = i.reader();
+        assert!(before.get("a.com").is_none());
+        // Force at least one publication (threshold floor is 64).
+        let syms: Vec<DomainSym> = (0..200).map(|k| i.intern(&format!("d{k}.com"))).collect();
+        assert!(before.get("d0.com").is_none(), "old handles never see later strings");
+        let after = i.reader();
+        let visible = (0..200).filter(|&k| after.get(&format!("d{k}.com")).is_some()).count();
+        assert!(visible >= 64, "snapshot republished during growth (saw {visible})");
+        for (k, expected) in syms.iter().enumerate() {
+            if let Some(sym) = after.get(&format!("d{k}.com")) {
+                assert_eq!(sym, *expected, "snapshot symbols agree with the live table");
+            }
+        }
+    }
+
+    #[test]
+    fn intern_batch_matches_sequential_interning() {
+        let a = DomainInterner::new();
+        let b = DomainInterner::new();
+        let strs = ["x.com", "y.com", "x.com", "z.com", "y.com"];
+        let batch = a.intern_batch(&strs);
+        let seq: Vec<DomainSym> = strs.iter().map(|s| b.intern(s)).collect();
+        assert_eq!(batch, seq);
+        assert_eq!(a.len(), 3);
+        assert!(a.intern_batch(&[]).is_empty());
     }
 
     #[test]

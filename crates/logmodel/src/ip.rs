@@ -88,20 +88,42 @@ impl std::error::Error for ParseIpv4Error {}
 impl FromStr for Ipv4 {
     type Err = ParseIpv4Error;
 
+    /// Bytewise dotted-quad parse: a single left-to-right pass with no
+    /// `split` iterator and no `str::parse` round trip (this runs twice per
+    /// DNS line on the ingest hot path). Accepts exactly the grammar the
+    /// interchange format always accepted: four dot-separated runs of one
+    /// to three ASCII digits, each ≤ 255 (leading zeros allowed).
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         let err = || ParseIpv4Error { text: s.to_owned() };
         let mut octets = [0u8; 4];
-        let mut parts = s.split('.');
-        for slot in &mut octets {
-            let part = parts.next().ok_or_else(err)?;
-            if part.is_empty() || part.len() > 3 || !part.bytes().all(|b| b.is_ascii_digit()) {
-                return Err(err());
+        let mut slot = 0usize;
+        let mut value = 0u32;
+        let mut digits = 0u8;
+        for &b in s.as_bytes() {
+            if b == b'.' {
+                if digits == 0 || slot == 3 {
+                    return Err(err());
+                }
+                octets[slot] = value as u8;
+                slot += 1;
+                value = 0;
+                digits = 0;
+            } else {
+                let d = b.wrapping_sub(b'0');
+                if d > 9 || digits == 3 {
+                    return Err(err());
+                }
+                value = value * 10 + u32::from(d);
+                if value > 255 {
+                    return Err(err());
+                }
+                digits += 1;
             }
-            *slot = part.parse().map_err(|_| err())?;
         }
-        if parts.next().is_some() {
+        if digits == 0 || slot != 3 {
             return Err(err());
         }
+        octets[3] = value as u8;
         let [a, b, c, d] = octets;
         Ok(Ipv4::new(a, b, c, d))
     }
@@ -148,9 +170,30 @@ mod tests {
 
     #[test]
     fn parse_rejects_garbage() {
-        for bad in ["", "1.2.3", "1.2.3.4.5", "1.2.3.256", "a.b.c.d", "1..2.3", "01x.2.3.4"] {
+        for bad in [
+            "",
+            "1.2.3",
+            "1.2.3.4.5",
+            "1.2.3.256",
+            "a.b.c.d",
+            "1..2.3",
+            "01x.2.3.4",
+            ".1.2.3.4",
+            "1.2.3.4.",
+            "1.2.3.0009",
+            "+1.2.3.4",
+            " 1.2.3.4",
+            "1.2.3.4 ",
+            "1.2.3.-4",
+        ] {
             assert!(bad.parse::<Ipv4>().is_err(), "should reject {bad:?}");
         }
+    }
+
+    #[test]
+    fn parse_accepts_leading_zeros() {
+        // The interchange format has always accepted zero-padded octets.
+        assert_eq!("007.010.000.255".parse::<Ipv4>().unwrap(), Ipv4::new(7, 10, 0, 255));
     }
 
     #[test]

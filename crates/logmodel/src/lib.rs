@@ -30,27 +30,32 @@ pub mod codec;
 pub mod dataset;
 pub mod dns;
 pub mod domain;
+pub mod hash;
 pub mod host;
 pub mod http;
 pub mod intern;
 pub mod ip;
+pub mod published;
+pub mod scan;
 pub mod time;
 
 pub use codec::{
     format_dns_line, format_proxy_line, parse_dns_line, parse_dns_line_unassigned, parse_dns_lines,
-    parse_dns_log, parse_proxy_line, parse_proxy_lines, parse_proxy_log, payload_line, HostMapper,
-    LineChunks, ParseLogError, ParsedChunk,
+    parse_dns_log, parse_dns_span, parse_proxy_line, parse_proxy_lines, parse_proxy_log,
+    parse_proxy_span, payload_line, HostMapper, LineChunks, ParseLogError, ParsedChunk,
 };
 pub use dataset::{
     DatasetMeta, DhcpLease, DhcpLog, DnsDataset, DnsDayLog, ProxyDataset, ProxyDayLog,
 };
 pub use dns::{DnsQuery, DnsRecordType};
 pub use domain::{fold_domain, label_count, top_level_domain};
+pub use hash::{FastHasher, FastMap, FastSet, FastState};
 pub use host::{HostId, HostKind};
 pub use http::{HttpMethod, HttpStatus, ProxyRecord};
 pub use intern::{
-    DomainInterner, DomainSym, DomainTag, PathInterner, PathSym, PathTag, Symbol, TypedInterner,
-    UaInterner, UaSym, UaTag,
+    DomainInterner, DomainSym, DomainTag, InternerReader, PathInterner, PathSym, PathTag, Symbol,
+    TypedInterner, UaInterner, UaSym, UaTag,
 };
 pub use ip::{Ipv4, ParseIpv4Error, Subnet16, Subnet24};
+pub use published::Published;
 pub use time::{Day, Timestamp, TzOffset, SECONDS_PER_DAY};

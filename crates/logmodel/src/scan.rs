@@ -1,0 +1,359 @@
+//! SWAR (SIMD-within-a-register) byte scanning and bytewise ASCII number
+//! parsing for the ingest hot path.
+//!
+//! The interchange parsers in [`crate::codec`] split millions of lines per
+//! second; iterating `char`s or round-tripping through `str::parse` costs
+//! more than the surrounding pipeline. This module provides the three
+//! primitives they need, each processing eight bytes per step with plain
+//! `u64` arithmetic (no platform intrinsics, no `unsafe`):
+//!
+//! - [`find_byte`] / [`count_byte`] — memchr-style scanning using an exact
+//!   zero-byte mask (Hacker's Delight §6-1; the formula has no false
+//!   positives, unlike the cheaper `(v - 0x01…) & !v & 0x80…` trick, which
+//!   matters because adversarial input is routine in log feeds),
+//! - [`split_exact`] — fixed-arity field splitting into `[&str; N]`,
+//! - [`parse_u64`] / [`parse_i32`] / [`parse_u16`] — bytewise integer
+//!   parsers whose [`IntError`] reproduces `ParseIntError`'s `Display`
+//!   strings exactly, so switching parsers never changes an error message.
+
+use std::fmt;
+
+const LO: u64 = 0x0101_0101_0101_0101;
+const HI: u64 = 0x8080_8080_8080_8080;
+
+/// A mask with `0x80` in every lane of `w` that holds `0x00` and `0x00` in
+/// every other lane. Exact for all inputs: `(v & 0x7f…) + 0x7f…` cannot
+/// carry across lanes, so one lane never corrupts its neighbor.
+#[inline]
+fn zero_byte_mask(w: u64) -> u64 {
+    let m = !HI; // 0x7f7f…
+    !(((w & m) + m) | w | m)
+}
+
+/// Broadcasts `b` to all eight lanes.
+#[inline]
+fn splat(b: u8) -> u64 {
+    LO * u64::from(b)
+}
+
+/// Index of the first occurrence of `needle` in `hay` at or after `from`.
+///
+/// # Example
+///
+/// ```
+/// use earlybird_logmodel::scan::find_byte;
+/// assert_eq!(find_byte(b'\t', b"ab\tcd\tef", 0), Some(2));
+/// assert_eq!(find_byte(b'\t', b"ab\tcd\tef", 3), Some(5));
+/// assert_eq!(find_byte(b'\t', b"abcdef", 0), None);
+/// ```
+#[inline]
+pub fn find_byte(needle: u8, hay: &[u8], from: usize) -> Option<usize> {
+    let n = splat(needle);
+    let mut i = from;
+    while let Some(chunk) = hay.get(i..i + 8) {
+        let w = u64::from_le_bytes(chunk.try_into().expect("slice of 8"));
+        let mask = zero_byte_mask(w ^ n);
+        if mask != 0 {
+            return Some(i + (mask.trailing_zeros() >> 3) as usize);
+        }
+        i += 8;
+    }
+    while i < hay.len() {
+        if hay[i] == needle {
+            return Some(i);
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Number of occurrences of `needle` in `hay`.
+///
+/// # Example
+///
+/// ```
+/// use earlybird_logmodel::scan::count_byte;
+/// assert_eq!(count_byte(b'.', b"news.nbc.com"), 2);
+/// assert_eq!(count_byte(b'.', b""), 0);
+/// ```
+#[inline]
+pub fn count_byte(needle: u8, hay: &[u8]) -> usize {
+    let n = splat(needle);
+    let mut count = 0usize;
+    let mut chunks = hay.chunks_exact(8);
+    for chunk in &mut chunks {
+        let w = u64::from_le_bytes(chunk.try_into().expect("slice of 8"));
+        count += zero_byte_mask(w ^ n).count_ones() as usize;
+    }
+    count + chunks.remainder().iter().filter(|&&b| b == needle).count()
+}
+
+/// Splits `line` on `sep` into exactly `N` fields.
+///
+/// On arity mismatch returns `Err(total_fields)` — the number of fields the
+/// line actually has (`separators + 1`, matching `line.split(sep).count()`),
+/// which parse errors report as the offending field index.
+///
+/// `sep` must be an ASCII byte so every split point is a `char` boundary.
+///
+/// # Example
+///
+/// ```
+/// use earlybird_logmodel::scan::split_exact;
+/// assert_eq!(split_exact::<3>("a\tb\tc", b'\t'), Ok(["a", "b", "c"]));
+/// assert_eq!(split_exact::<3>("a\tb", b'\t'), Err(2));
+/// assert_eq!(split_exact::<3>("a\tb\tc\td", b'\t'), Err(4));
+/// ```
+#[inline]
+pub fn split_exact<const N: usize>(line: &str, sep: u8) -> Result<[&str; N], usize> {
+    debug_assert!(sep.is_ascii(), "separator must be ASCII");
+    let bytes = line.as_bytes();
+    let mut out = [""; N];
+    let mut start = 0usize;
+    for (i, slot) in out.iter_mut().enumerate().take(N - 1) {
+        match find_byte(sep, bytes, start) {
+            Some(pos) => {
+                *slot = &line[start..pos];
+                start = pos + 1;
+            }
+            None => return Err(i + 1),
+        }
+    }
+    if let Some(pos) = find_byte(sep, bytes, start) {
+        return Err(N + 1 + count_byte(sep, &bytes[pos + 1..]));
+    }
+    out[N - 1] = &line[start..];
+    Ok(out)
+}
+
+/// Why an ASCII integer failed to parse.
+///
+/// `Display` reproduces the exact strings of `std::num::ParseIntError`, so
+/// the bytewise parsers below are drop-in replacements for `str::parse` in
+/// error messages too.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IntError {
+    /// The input was empty.
+    Empty,
+    /// A byte was not an ASCII digit (or a misplaced sign).
+    InvalidDigit,
+    /// The value exceeds the target type's maximum.
+    PosOverflow,
+    /// The value is below the target type's minimum.
+    NegOverflow,
+}
+
+impl fmt::Display for IntError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            IntError::Empty => "cannot parse integer from empty string",
+            IntError::InvalidDigit => "invalid digit found in string",
+            IntError::PosOverflow => "number too large to fit in target type",
+            IntError::NegOverflow => "number too small to fit in target type",
+        })
+    }
+}
+
+impl std::error::Error for IntError {}
+
+/// Parses a `u64` from decimal ASCII, accepting an optional leading `+`
+/// (exactly the grammar `str::parse::<u64>` accepts).
+///
+/// # Errors
+///
+/// Returns an [`IntError`] mirroring `ParseIntError` case for case.
+#[inline]
+pub fn parse_u64(s: &str) -> Result<u64, IntError> {
+    let mut digits = s.as_bytes();
+    if digits.is_empty() {
+        return Err(IntError::Empty);
+    }
+    if digits[0] == b'+' {
+        digits = &digits[1..];
+        if digits.is_empty() {
+            return Err(IntError::InvalidDigit);
+        }
+    }
+    let mut value: u64 = 0;
+    for &b in digits {
+        let d = b.wrapping_sub(b'0');
+        if d > 9 {
+            return Err(IntError::InvalidDigit);
+        }
+        value = value
+            .checked_mul(10)
+            .and_then(|v| v.checked_add(u64::from(d)))
+            .ok_or(IntError::PosOverflow)?;
+    }
+    Ok(value)
+}
+
+/// Parses a `u16` from decimal ASCII with `str::parse::<u16>` semantics.
+///
+/// # Errors
+///
+/// Returns an [`IntError`] mirroring `ParseIntError` case for case.
+#[inline]
+pub fn parse_u16(s: &str) -> Result<u16, IntError> {
+    u16::try_from(parse_u64(s)?).map_err(|_| IntError::PosOverflow)
+}
+
+/// Parses an `i32` from decimal ASCII, accepting an optional leading `+` or
+/// `-` (exactly the grammar `str::parse::<i32>` accepts, including
+/// `i32::MIN`).
+///
+/// # Errors
+///
+/// Returns an [`IntError`] mirroring `ParseIntError` case for case.
+#[inline]
+pub fn parse_i32(s: &str) -> Result<i32, IntError> {
+    let bytes = s.as_bytes();
+    if bytes.is_empty() {
+        return Err(IntError::Empty);
+    }
+    let (negative, digits) = match bytes[0] {
+        b'+' => (false, &bytes[1..]),
+        b'-' => (true, &bytes[1..]),
+        _ => (false, bytes),
+    };
+    if digits.is_empty() {
+        return Err(IntError::InvalidDigit);
+    }
+    let overflow = if negative { IntError::NegOverflow } else { IntError::PosOverflow };
+    // Accumulate negated so i32::MIN parses without a special case.
+    let mut value: i32 = 0;
+    for &b in digits {
+        let d = b.wrapping_sub(b'0');
+        if d > 9 {
+            return Err(IntError::InvalidDigit);
+        }
+        value = value.checked_mul(10).and_then(|v| v.checked_sub(i32::from(d))).ok_or(overflow)?;
+    }
+    if negative {
+        Ok(value)
+    } else {
+        value.checked_neg().ok_or(overflow)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn find_byte_matches_naive_scan() {
+        let hay = b"0123\tab\x08cd\t\tx-longer-than-one-word\t tail";
+        for from in 0..=hay.len() {
+            let naive = hay.iter().skip(from).position(|&b| b == b'\t').map(|p| p + from);
+            assert_eq!(find_byte(b'\t', hay, from), naive, "from={from}");
+        }
+        assert_eq!(find_byte(b'\t', b"", 0), None);
+    }
+
+    #[test]
+    fn exact_mask_has_no_false_positives() {
+        // 0x08 is 0x09 ^ 0x01 — the classic inexact zero-byte trick fires on
+        // a 0x01 lane that receives a borrow from a real match below it.
+        let hay = b"\t\x08\x08\x08\x08\x08\x08\x08";
+        assert_eq!(find_byte(b'\t', hay, 0), Some(0));
+        assert_eq!(find_byte(b'\t', hay, 1), None);
+        assert_eq!(count_byte(b'\t', hay), 1);
+    }
+
+    #[test]
+    fn count_byte_matches_split_count() {
+        for s in ["", "a", "a.b", "..", "a.b.c.d.e.f.g.h.i", ".........", "no dots here at all!"] {
+            assert_eq!(count_byte(b'.', s.as_bytes()), s.matches('.').count(), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn split_exact_agrees_with_std_split() {
+        let cases = ["a\tb\tc", "\t\t", "only-one", "a\tb", "a\tb\tc\td\te", "\ta\t"];
+        for line in cases {
+            let std_fields: Vec<&str> = line.split('\t').collect();
+            match split_exact::<3>(line, b'\t') {
+                Ok(fields) => assert_eq!(fields.to_vec(), std_fields, "{line:?}"),
+                Err(n) => assert_eq!(n, std_fields.len(), "{line:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn split_points_respect_utf8() {
+        let line = "héllo\twörld";
+        let fields = split_exact::<2>(line, b'\t').unwrap();
+        assert_eq!(fields, ["héllo", "wörld"]);
+    }
+
+    #[test]
+    fn u64_matches_std() {
+        let cases = [
+            "",
+            "+",
+            "-",
+            "0",
+            "007",
+            "+42",
+            "-42",
+            "18446744073709551615",
+            "18446744073709551616",
+            "99999999999999999999999",
+            "1x",
+            " 1",
+            "1 ",
+            "٣",
+        ];
+        for s in cases {
+            let std_result = s.parse::<u64>();
+            let ours = parse_u64(s);
+            match (std_result, ours) {
+                (Ok(a), Ok(b)) => assert_eq!(a, b, "{s:?}"),
+                (Err(e), Err(o)) => assert_eq!(e.to_string(), o.to_string(), "{s:?}"),
+                (a, b) => panic!("mismatch for {s:?}: std={a:?} ours={b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn i32_matches_std() {
+        let cases = [
+            "",
+            "+",
+            "-",
+            "0",
+            "-0",
+            "+0",
+            "2147483647",
+            "2147483648",
+            "-2147483648",
+            "-2147483649",
+            "--1",
+            "+-1",
+            "1_000",
+            "01",
+        ];
+        for s in cases {
+            let std_result = s.parse::<i32>();
+            let ours = parse_i32(s);
+            match (std_result, ours) {
+                (Ok(a), Ok(b)) => assert_eq!(a, b, "{s:?}"),
+                (Err(e), Err(o)) => assert_eq!(e.to_string(), o.to_string(), "{s:?}"),
+                (a, b) => panic!("mismatch for {s:?}: std={a:?} ours={b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn u16_matches_std() {
+        for s in ["", "0", "65535", "65536", "200", "+200", "-1", "99999999999999999999"] {
+            let std_result = s.parse::<u16>();
+            let ours = parse_u16(s);
+            match (std_result, ours) {
+                (Ok(a), Ok(b)) => assert_eq!(a, b, "{s:?}"),
+                (Err(e), Err(o)) => assert_eq!(e.to_string(), o.to_string(), "{s:?}"),
+                (a, b) => panic!("mismatch for {s:?}: std={a:?} ours={b:?}"),
+            }
+        }
+    }
+}

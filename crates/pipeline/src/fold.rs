@@ -4,25 +4,43 @@
 //! folded to nbc.com) ... Since domain names are anonymized in the LANL
 //! dataset, we conservatively fold to third-level domains" (§IV-A).
 
-use earlybird_logmodel::{fold_domain, DomainInterner, DomainSym};
-use std::collections::HashMap;
+use earlybird_logmodel::{fold_domain, DomainInterner, DomainSym, Published};
 use std::sync::{Arc, RwLock};
+
+/// Sentinel marking a raw symbol whose fold has not been computed yet.
+const UNFOLDED: u32 = u32::MAX;
+
+/// The mutable half of the fold memo: a dense array indexed by raw symbol.
+#[derive(Debug, Default)]
+struct FoldCache {
+    /// `vec[raw.raw()]` is the folded symbol's raw id, or [`UNFOLDED`].
+    vec: Vec<u32>,
+    /// Entries filled so far (drives the republish threshold).
+    filled: usize,
+    /// `filled` at the last snapshot publication.
+    published: usize,
+}
 
 /// Memoized folding from raw domain symbols to folded domain symbols.
 ///
 /// The folded names live in their own [`DomainInterner`] so the rest of the
-/// pipeline never mixes raw and folded symbols by accident. The memo table
-/// is internally synchronized, so one `FoldTable` can be shared by parallel
-/// reduction workers; note that concurrent *first* folds of distinct names
-/// make folded-symbol numbering racy — streaming callers that need
-/// deterministic numbering warm the cache sequentially first (see
+/// pipeline never mixes raw and folded symbols by accident. The memo is a
+/// dense `Vec<u32>` indexed by the raw symbol id; a read-mostly snapshot of
+/// it is republished geometrically through a [`Published`] cell, so chunk
+/// workers that grab a [`DomainFolder`] handle resolve repeat domains with a
+/// plain array load — no lock, no hash. Misses fall back to the internally
+/// synchronized live cache, so one `FoldTable` can still be shared by
+/// parallel reduction workers; note that concurrent *first* folds of
+/// distinct names make folded-symbol numbering racy — streaming callers that
+/// need deterministic numbering warm the cache sequentially first (see
 /// `earlybird-core`'s `DailyPipeline`).
 #[derive(Debug)]
 pub struct FoldTable {
     raw: Arc<DomainInterner>,
     folded: Arc<DomainInterner>,
     level: usize,
-    cache: RwLock<HashMap<DomainSym, DomainSym>>,
+    live: RwLock<FoldCache>,
+    snap: Published<Vec<u32>>,
 }
 
 impl FoldTable {
@@ -37,7 +55,8 @@ impl FoldTable {
             raw,
             folded: Arc::new(DomainInterner::new()),
             level,
-            cache: RwLock::new(HashMap::new()),
+            live: RwLock::new(FoldCache::default()),
+            snap: Published::new(Vec::new()),
         }
     }
 
@@ -55,7 +74,13 @@ impl FoldTable {
         level: usize,
     ) -> Self {
         assert!(level > 0, "fold level must be positive");
-        FoldTable { raw, folded, level, cache: RwLock::new(HashMap::new()) }
+        FoldTable {
+            raw,
+            folded,
+            level,
+            live: RwLock::new(FoldCache::default()),
+            snap: Published::new(Vec::new()),
+        }
     }
 
     /// The fold level (2 for enterprise data, 3 for anonymized LANL names).
@@ -63,14 +88,48 @@ impl FoldTable {
         self.level
     }
 
+    /// A per-chunk folding handle over the current memo snapshot.
+    ///
+    /// Acquire one per chunk of work: repeat folds hit the snapshot with a
+    /// lock-free array load, and only first-time folds touch the shared
+    /// table.
+    pub fn folder(&self) -> DomainFolder<'_> {
+        DomainFolder { table: self, snap: self.snap.load() }
+    }
+
     /// Folds a raw symbol, memoizing the mapping.
     pub fn fold(&self, raw_sym: DomainSym) -> DomainSym {
-        if let Some(&f) = self.cache.read().expect("fold cache poisoned").get(&raw_sym) {
-            return f;
+        let idx = raw_sym.raw() as usize;
+        {
+            let live = self.live.read().expect("fold cache poisoned");
+            if let Some(&f) = live.vec.get(idx) {
+                if f != UNFOLDED {
+                    return DomainSym::from_raw(f);
+                }
+            }
         }
+        self.fold_miss(raw_sym, idx)
+    }
+
+    /// Slow path: resolve + intern under the write lock, then maybe
+    /// republish the snapshot.
+    fn fold_miss(&self, raw_sym: DomainSym, idx: usize) -> DomainSym {
         let name = self.raw.resolve(raw_sym);
         let folded_sym = self.folded.intern(fold_domain(&name, self.level));
-        self.cache.write().expect("fold cache poisoned").insert(raw_sym, folded_sym);
+        let mut live = self.live.write().expect("fold cache poisoned");
+        if live.vec.len() <= idx {
+            live.vec.resize(idx + 1, UNFOLDED);
+        }
+        if live.vec[idx] == UNFOLDED {
+            live.vec[idx] = folded_sym.raw();
+            live.filled += 1;
+        }
+        // Geometric republish: amortizes the O(n) snapshot clone to O(1)
+        // per newly folded name.
+        if live.filled >= live.published + (live.published / 8).max(64) {
+            live.published = live.filled;
+            self.snap.publish(Arc::new(live.vec.clone()));
+        }
         folded_sym
     }
 
@@ -93,6 +152,33 @@ impl FoldTable {
     /// Resolves a *folded* symbol to its name.
     pub fn folded_name(&self, sym: DomainSym) -> Arc<str> {
         self.folded.resolve(sym)
+    }
+}
+
+/// A per-chunk handle over a [`FoldTable`] memo snapshot.
+///
+/// Folds of already-seen raw symbols are a lock-free array load; unseen
+/// symbols fall back to the shared table (and land in a future snapshot).
+/// The snapshot is pinned at construction — drop the handle and take a new
+/// one per chunk.
+#[derive(Debug)]
+pub struct DomainFolder<'t> {
+    table: &'t FoldTable,
+    snap: Arc<Vec<u32>>,
+}
+
+impl DomainFolder<'_> {
+    /// Folds a raw symbol, consulting the pinned snapshot first.
+    pub fn fold(&self, raw_sym: DomainSym) -> DomainSym {
+        match self.snap.get(raw_sym.raw() as usize) {
+            Some(&f) if f != UNFOLDED => DomainSym::from_raw(f),
+            _ => self.table.fold(raw_sym),
+        }
+    }
+
+    /// The underlying fold table.
+    pub fn table(&self) -> &FoldTable {
+        self.table
     }
 }
 
@@ -135,6 +221,27 @@ mod tests {
         assert_eq!(via_fold, via_seed);
         // Seeding with a deeper name folds it first.
         assert_eq!(t.intern_folded("cdn.ramdo.org"), via_seed);
+    }
+
+    #[test]
+    fn folder_handle_agrees_with_table() {
+        let raw = Arc::new(DomainInterner::new());
+        let t = FoldTable::new(Arc::clone(&raw), 2);
+        // Enough distinct names to cross the republish threshold.
+        let syms: Vec<_> =
+            (0..200).map(|i| raw.intern(&format!("h{i}.site{}.com", i % 50))).collect();
+        let direct: Vec<_> = syms.iter().map(|&s| t.fold(s)).collect();
+        // A fresh handle sees a published snapshot covering most entries;
+        // every fold must agree with the table regardless of snapshot hits.
+        let folder = t.folder();
+        for (i, &s) in syms.iter().enumerate() {
+            assert_eq!(folder.fold(s), direct[i]);
+        }
+        // A stale handle taken before new names appeared still folds them
+        // correctly via the fallback path.
+        let stale = t.folder();
+        let late = raw.intern("late.arrival.net");
+        assert_eq!(stale.fold(late), t.fold(late));
     }
 
     #[test]

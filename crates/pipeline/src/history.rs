@@ -6,9 +6,8 @@
 //! month), and then updated incrementally daily".
 
 use crate::contact::Contact;
-use earlybird_logmodel::{DomainSym, HostId, UaSym};
+use earlybird_logmodel::{DomainSym, FastMap, FastSet, HostId, UaSym};
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, HashSet};
 
 /// History of folded external destinations ever contacted by internal hosts.
 ///
@@ -18,7 +17,7 @@ use std::collections::{HashMap, HashSet};
 /// by replaying the log.
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct DomainHistory {
-    seen: HashSet<DomainSym>,
+    seen: FastSet<DomainSym>,
     /// Domains in first-seen order; `seen` is exactly this set.
     order: Vec<DomainSym>,
     days_ingested: u32,
@@ -97,7 +96,7 @@ impl DomainHistory {
 /// recommendation)" (§IV-C).
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct UaHistory {
-    hosts_by_ua: HashMap<UaSym, HashSet<HostId>>,
+    hosts_by_ua: FastMap<UaSym, FastSet<HostId>>,
     /// First sighting of each `(user agent, host)` pair, in insertion
     /// order; `hosts_by_ua` is exactly this log folded into sets. Kept so
     /// checkpoints can persist just the tail added since the last snapshot.
@@ -113,7 +112,7 @@ impl UaHistory {
     /// Panics if `rare_threshold` is zero.
     pub fn new(rare_threshold: usize) -> Self {
         assert!(rare_threshold > 0, "rare threshold must be positive");
-        UaHistory { hosts_by_ua: HashMap::new(), pair_log: Vec::new(), rare_threshold }
+        UaHistory { hosts_by_ua: FastMap::default(), pair_log: Vec::new(), rare_threshold }
     }
 
     /// The paper's threshold of 10 hosts.
@@ -157,7 +156,7 @@ impl UaHistory {
 
     /// Number of distinct hosts that have used `ua`.
     pub fn host_count(&self, ua: UaSym) -> usize {
-        self.hosts_by_ua.get(&ua).map_or(0, HashSet::len)
+        self.hosts_by_ua.get(&ua).map_or(0, FastSet::len)
     }
 
     /// Number of distinct UAs observed.

@@ -9,8 +9,8 @@
 use crate::contact::Contact;
 use crate::history::{DomainHistory, UaHistory};
 use crate::rare::RareDomains;
-use earlybird_logmodel::{Day, DomainSym, HostId, Ipv4, Timestamp};
-use std::collections::{BTreeSet, HashMap, HashSet};
+use earlybird_logmodel::{Day, DomainSym, FastMap, FastSet, HostId, Ipv4, Timestamp};
+use std::collections::BTreeSet;
 
 /// A host→domain edge key.
 pub type EdgeKey = (HostId, DomainSym);
@@ -48,19 +48,19 @@ impl EdgeHttp {
 pub struct DayIndex {
     day: Day,
     http_available: bool,
-    rare: HashSet<DomainSym>,
+    rare: FastSet<DomainSym>,
     new_count: usize,
-    domain_hosts: HashMap<DomainSym, BTreeSet<HostId>>,
-    host_rare_domains: HashMap<HostId, BTreeSet<DomainSym>>,
+    domain_hosts: FastMap<DomainSym, BTreeSet<HostId>>,
+    host_rare_domains: FastMap<HostId, BTreeSet<DomainSym>>,
     /// Sorted connection timestamps per rare-domain edge.
-    edge_series: HashMap<EdgeKey, Vec<Timestamp>>,
+    edge_series: FastMap<EdgeKey, Vec<Timestamp>>,
     /// First contact per edge, for **all** domains (timing correlation must
     /// reach seed domains that are not rare).
-    first_contact: HashMap<EdgeKey, Timestamp>,
+    first_contact: FastMap<EdgeKey, Timestamp>,
     /// Destination IPs per domain, for all domains with known addresses.
-    domain_ips: HashMap<DomainSym, BTreeSet<Ipv4>>,
+    domain_ips: FastMap<DomainSym, BTreeSet<Ipv4>>,
     /// HTTP statistics per rare-domain edge.
-    edge_http: HashMap<EdgeKey, EdgeHttp>,
+    edge_http: FastMap<EdgeKey, EdgeHttp>,
 }
 
 impl DayIndex {
@@ -86,14 +86,14 @@ impl DayIndex {
              use DayIndexBuilder for out-of-order chunks"
         );
         let new_count = rare.new_count();
-        let rare_set: HashSet<DomainSym> = rare.iter().collect();
+        let rare_set: FastSet<DomainSym> = rare.iter().collect();
         let domain_hosts = rare.domain_hosts().clone();
 
-        let mut host_rare_domains: HashMap<HostId, BTreeSet<DomainSym>> = HashMap::new();
-        let mut edge_series: HashMap<EdgeKey, Vec<Timestamp>> = HashMap::new();
-        let mut first_contact: HashMap<EdgeKey, Timestamp> = HashMap::new();
-        let mut domain_ips: HashMap<DomainSym, BTreeSet<Ipv4>> = HashMap::new();
-        let mut edge_http: HashMap<EdgeKey, EdgeHttp> = HashMap::new();
+        let mut host_rare_domains: FastMap<HostId, BTreeSet<DomainSym>> = FastMap::default();
+        let mut edge_series: FastMap<EdgeKey, Vec<Timestamp>> = FastMap::default();
+        let mut first_contact: FastMap<EdgeKey, Timestamp> = FastMap::default();
+        let mut domain_ips: FastMap<DomainSym, BTreeSet<Ipv4>> = FastMap::default();
+        let mut edge_http: FastMap<EdgeKey, EdgeHttp> = FastMap::default();
 
         for c in contacts {
             let edge = (c.host, c.domain);
@@ -277,17 +277,17 @@ impl DayIndex {
     /// the original constructors did. Never panics: a semantically odd
     /// snapshot yields an index whose accessors simply reflect it.
     pub fn from_snapshot(snap: DayIndexSnapshot) -> Self {
-        let rare: HashSet<DomainSym> = snap.rare.into_iter().collect();
-        let domain_hosts: HashMap<DomainSym, BTreeSet<HostId>> = snap
+        let rare: FastSet<DomainSym> = snap.rare.into_iter().collect();
+        let domain_hosts: FastMap<DomainSym, BTreeSet<HostId>> = snap
             .domain_hosts
             .into_iter()
             .map(|(d, hosts)| (d, hosts.into_iter().collect()))
             .collect();
-        let edge_series: HashMap<EdgeKey, Vec<Timestamp>> = snap.edge_series.into_iter().collect();
-        let first_contact: HashMap<EdgeKey, Timestamp> = snap.first_contact.into_iter().collect();
-        let domain_ips: HashMap<DomainSym, BTreeSet<Ipv4>> =
+        let edge_series: FastMap<EdgeKey, Vec<Timestamp>> = snap.edge_series.into_iter().collect();
+        let first_contact: FastMap<EdgeKey, Timestamp> = snap.first_contact.into_iter().collect();
+        let domain_ips: FastMap<DomainSym, BTreeSet<Ipv4>> =
             snap.domain_ips.into_iter().map(|(d, ips)| (d, ips.into_iter().collect())).collect();
-        let edge_http: HashMap<EdgeKey, EdgeHttp> = snap
+        let edge_http: FastMap<EdgeKey, EdgeHttp> = snap
             .edge_http
             .into_iter()
             .map(|(k, s)| {
@@ -302,7 +302,7 @@ impl DayIndex {
                 )
             })
             .collect();
-        let mut host_rare_domains: HashMap<HostId, BTreeSet<DomainSym>> = HashMap::new();
+        let mut host_rare_domains: FastMap<HostId, BTreeSet<DomainSym>> = FastMap::default();
         for &domain in &rare {
             if let Some(hosts) = domain_hosts.get(&domain) {
                 for &host in hosts {
@@ -377,12 +377,12 @@ pub struct DayIndexSnapshot {
 pub struct DayIndexBuilder {
     day: Day,
     unpopular_threshold: usize,
-    new_domains: HashSet<DomainSym>,
-    domain_hosts: HashMap<DomainSym, BTreeSet<HostId>>,
-    edge_series: HashMap<EdgeKey, Vec<Timestamp>>,
-    first_contact: HashMap<EdgeKey, Timestamp>,
-    domain_ips: HashMap<DomainSym, BTreeSet<Ipv4>>,
-    edge_http: HashMap<EdgeKey, EdgeHttp>,
+    new_domains: FastSet<DomainSym>,
+    domain_hosts: FastMap<DomainSym, BTreeSet<HostId>>,
+    edge_series: FastMap<EdgeKey, Vec<Timestamp>>,
+    first_contact: FastMap<EdgeKey, Timestamp>,
+    domain_ips: FastMap<DomainSym, BTreeSet<Ipv4>>,
+    edge_http: FastMap<EdgeKey, EdgeHttp>,
 }
 
 impl DayIndexBuilder {
@@ -397,12 +397,12 @@ impl DayIndexBuilder {
         DayIndexBuilder {
             day,
             unpopular_threshold,
-            new_domains: HashSet::new(),
-            domain_hosts: HashMap::new(),
-            edge_series: HashMap::new(),
-            first_contact: HashMap::new(),
-            domain_ips: HashMap::new(),
-            edge_http: HashMap::new(),
+            new_domains: FastSet::default(),
+            domain_hosts: FastMap::default(),
+            edge_series: FastMap::default(),
+            first_contact: FastMap::default(),
+            domain_ips: FastMap::default(),
+            edge_http: FastMap::default(),
         }
     }
 
@@ -462,7 +462,7 @@ impl DayIndexBuilder {
             mut edge_http,
         } = self;
 
-        let rare: HashSet<DomainSym> = new_domains
+        let rare: FastSet<DomainSym> = new_domains
             .iter()
             .copied()
             .filter(|d| domain_hosts.get(d).is_some_and(|h| h.len() < unpopular_threshold))
@@ -475,7 +475,7 @@ impl DayIndexBuilder {
             series.sort_unstable();
         }
 
-        let mut host_rare_domains: HashMap<HostId, BTreeSet<DomainSym>> = HashMap::new();
+        let mut host_rare_domains: FastMap<HostId, BTreeSet<DomainSym>> = FastMap::default();
         for &domain in &rare {
             if let Some(hosts) = domain_hosts.get(&domain) {
                 for &host in hosts {

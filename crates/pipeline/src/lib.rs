@@ -55,12 +55,13 @@ pub mod rare;
 pub mod reduce;
 
 pub use contact::{Contact, HttpContext};
-pub use fold::FoldTable;
+pub use fold::{DomainFolder, FoldTable};
 pub use history::{DomainHistory, UaHistory};
 pub use index::{DayIndex, DayIndexBuilder, DayIndexSnapshot, EdgeHttpSnapshot, EdgeKey};
 pub use normalize::{normalize_proxy_chunk, normalize_proxy_day, NormalizationCounts};
 pub use rare::{RareDomains, RareSieve};
 pub use reduce::{
     reduce_dns_chunk, reduce_dns_day, reduce_proxy_chunk, reduce_proxy_day, ChunkReduction,
-    DayReducer, DnsReductionCounts, InternalFilter, ProxyReductionCounts, ReductionConfig,
+    DayReducer, DnsReductionCounts, InternalFilter, InternalJudge, ProxyReductionCounts,
+    ReductionConfig,
 };

@@ -5,17 +5,17 @@
 
 use crate::contact::Contact;
 use crate::history::DomainHistory;
-use earlybird_logmodel::{DomainSym, HostId};
+use earlybird_logmodel::{DomainSym, FastMap, FastSet, HostId};
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeSet, HashMap, HashSet};
+use std::collections::BTreeSet;
 
 /// The rare destinations of one day, plus the day's per-domain host sets
 /// (which the sieve computes anyway and downstream indexing reuses).
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct RareDomains {
-    rare: HashSet<DomainSym>,
+    rare: FastSet<DomainSym>,
     new_count: usize,
-    domain_hosts: HashMap<DomainSym, BTreeSet<HostId>>,
+    domain_hosts: FastMap<DomainSym, BTreeSet<HostId>>,
 }
 
 impl RareDomains {
@@ -51,7 +51,7 @@ impl RareDomains {
     }
 
     /// The full per-domain host map for the day.
-    pub fn domain_hosts(&self) -> &HashMap<DomainSym, BTreeSet<HostId>> {
+    pub fn domain_hosts(&self) -> &FastMap<DomainSym, BTreeSet<HostId>> {
         &self.domain_hosts
     }
 }
@@ -88,11 +88,22 @@ impl RareSieve {
     /// Extracts the rare destinations of a day of contacts, relative to
     /// `history` (which must **not** yet include this day).
     pub fn extract(&self, contacts: &[Contact], history: &DomainHistory) -> RareDomains {
-        let mut domain_hosts: HashMap<DomainSym, BTreeSet<HostId>> = HashMap::new();
+        let mut domain_hosts: FastMap<DomainSym, BTreeSet<HostId>> = FastMap::default();
         for c in contacts {
             domain_hosts.entry(c.domain).or_default().insert(c.host);
         }
-        let mut rare = HashSet::new();
+        self.extract_with_hosts(domain_hosts, history)
+    }
+
+    /// Like [`RareSieve::extract`], but reuses a per-domain host map the
+    /// caller already built (the streaming path computes one incrementally
+    /// and would otherwise pay a second full pass over the day's contacts).
+    pub fn extract_with_hosts(
+        &self,
+        domain_hosts: FastMap<DomainSym, BTreeSet<HostId>>,
+        history: &DomainHistory,
+    ) -> RareDomains {
+        let mut rare = FastSet::default();
         let mut new_count = 0;
         for (&domain, hosts) in &domain_hosts {
             if history.is_new(domain) {

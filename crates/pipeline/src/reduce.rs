@@ -16,11 +16,11 @@
 use crate::contact::{Contact, HttpContext};
 use crate::fold::FoldTable;
 use earlybird_logmodel::{
-    DatasetMeta, DnsDayLog, DnsQuery, DnsRecordType, DomainSym, HostKind, ProxyRecord,
+    DatasetMeta, DnsDayLog, DnsQuery, DnsRecordType, DomainSym, FastSet, HostKind, ProxyRecord,
+    Published,
 };
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, HashSet};
-use std::sync::RwLock;
+use std::sync::{Arc, RwLock};
 
 /// Configuration of the reduction filters.
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
@@ -47,24 +47,51 @@ impl ReductionConfig {
     }
 }
 
+/// Verdict-cache cell values: unknown / classified external / internal.
+const UNJUDGED: u8 = 0;
+const EXTERNAL: u8 = 1;
+const INTERNAL: u8 = 2;
+
+/// The mutable half of the verdict memo, dense over raw symbol ids.
+#[derive(Debug, Default)]
+struct VerdictCache {
+    vec: Vec<u8>,
+    filled: usize,
+    published: usize,
+}
+
 /// Memoized internal-namespace classifier.
 ///
 /// The suffix scan in [`ReductionConfig::is_internal`] is linear in the
 /// number of configured suffixes and was previously re-run for every record;
 /// enterprise days repeat the same destinations millions of times, so the
 /// filter caches the verdict per raw [`DomainSym`] and classifies each
-/// distinct domain at most once. The cache is internally synchronized for
-/// use from parallel chunk-reduction workers.
+/// distinct domain at most once. Verdicts live in a dense `Vec<u8>` indexed
+/// by the raw symbol id, with a read-mostly snapshot republished through a
+/// [`Published`] cell: chunk workers take an [`InternalJudge`] handle and
+/// classify repeat domains with a plain array load. Misses fall back to the
+/// internally synchronized live cache, so the filter remains shareable
+/// across parallel chunk-reduction workers. When no internal suffixes are
+/// configured every verdict is trivially "external" and the cache is
+/// bypassed entirely.
 #[derive(Debug)]
 pub struct InternalFilter {
     cfg: ReductionConfig,
-    verdicts: RwLock<HashMap<DomainSym, bool>>,
+    trivial: bool,
+    live: RwLock<VerdictCache>,
+    snap: Published<Vec<u8>>,
 }
 
 impl InternalFilter {
     /// Wraps a reduction config with an empty verdict cache.
     pub fn new(cfg: ReductionConfig) -> Self {
-        InternalFilter { cfg, verdicts: RwLock::new(HashMap::new()) }
+        let trivial = cfg.internal_suffixes.is_empty();
+        InternalFilter {
+            cfg,
+            trivial,
+            live: RwLock::new(VerdictCache::default()),
+            snap: Published::new(Vec::new()),
+        }
     }
 
     /// The wrapped configuration.
@@ -72,16 +99,65 @@ impl InternalFilter {
         &self.cfg
     }
 
+    /// A per-chunk classification handle over the current verdict snapshot.
+    pub fn judge(&self) -> InternalJudge<'_> {
+        InternalJudge { filter: self, snap: self.snap.load() }
+    }
+
     /// Whether the raw symbol `raw_sym` names an internal destination;
     /// `resolve` supplies the name on a cache miss (once per distinct
     /// symbol).
     pub fn is_internal_sym(&self, raw_sym: DomainSym, resolve: impl FnOnce() -> String) -> bool {
-        if let Some(&v) = self.verdicts.read().expect("internal filter poisoned").get(&raw_sym) {
-            return v;
+        if self.trivial {
+            return false;
         }
-        let v = self.cfg.is_internal(&resolve());
-        self.verdicts.write().expect("internal filter poisoned").insert(raw_sym, v);
-        v
+        let idx = raw_sym.raw() as usize;
+        {
+            let live = self.live.read().expect("internal filter poisoned");
+            if let Some(&v) = live.vec.get(idx) {
+                if v != UNJUDGED {
+                    return v == INTERNAL;
+                }
+            }
+        }
+        let internal = self.cfg.is_internal(&resolve());
+        let mut live = self.live.write().expect("internal filter poisoned");
+        if live.vec.len() <= idx {
+            live.vec.resize(idx + 1, UNJUDGED);
+        }
+        if live.vec[idx] == UNJUDGED {
+            live.vec[idx] = if internal { INTERNAL } else { EXTERNAL };
+            live.filled += 1;
+        }
+        if live.filled >= live.published + (live.published / 8).max(64) {
+            live.published = live.filled;
+            self.snap.publish(Arc::new(live.vec.clone()));
+        }
+        internal
+    }
+}
+
+/// A per-chunk handle over an [`InternalFilter`] verdict snapshot.
+///
+/// Already-classified symbols are answered with a lock-free array load;
+/// unknown symbols fall back to the shared filter.
+#[derive(Debug)]
+pub struct InternalJudge<'f> {
+    filter: &'f InternalFilter,
+    snap: Arc<Vec<u8>>,
+}
+
+impl InternalJudge<'_> {
+    /// Whether `raw_sym` names an internal destination, consulting the
+    /// pinned snapshot first; `resolve` supplies the name on a full miss.
+    pub fn is_internal(&self, raw_sym: DomainSym, resolve: impl FnOnce() -> String) -> bool {
+        if self.filter.trivial {
+            return false;
+        }
+        match self.snap.get(raw_sym.raw() as usize) {
+            Some(&v) if v != UNJUDGED => v == INTERNAL,
+            _ => self.filter.is_internal_sym(raw_sym, resolve),
+        }
     }
 }
 
@@ -127,11 +203,11 @@ pub struct ChunkReduction {
     /// Records surviving the A-record restriction (DNS chunks only).
     pub records_a_only: usize,
     /// Distinct folded domains in the chunk before filtering.
-    pub domains_all: HashSet<DomainSym>,
+    pub domains_all: FastSet<DomainSym>,
     /// Distinct folded domains after the internal-namespace filter.
-    pub domains_after_internal: HashSet<DomainSym>,
+    pub domains_after_internal: FastSet<DomainSym>,
     /// Distinct folded domains after additionally dropping server sources.
-    pub domains_after_server: HashSet<DomainSym>,
+    pub domains_after_server: FastSet<DomainSym>,
 }
 
 /// Reduces one chunk of DNS queries; thread-safe over shared `fold` /
@@ -143,14 +219,16 @@ pub fn reduce_dns_chunk(
     filter: &InternalFilter,
 ) -> ChunkReduction {
     let mut out = ChunkReduction { records: queries.len(), ..ChunkReduction::default() };
+    let folder = fold.folder();
+    let judge = filter.judge();
     for q in queries {
-        let folded = fold.fold(q.qname);
+        let folded = folder.fold(q.qname);
         out.domains_all.insert(folded);
         if q.qtype != DnsRecordType::A {
             continue;
         }
         out.records_a_only += 1;
-        if filter.is_internal_sym(q.qname, || fold.raw_interner().resolve(q.qname).to_string()) {
+        if judge.is_internal(q.qname, || fold.raw_interner().resolve(q.qname).to_string()) {
             continue;
         }
         out.domains_after_internal.insert(folded);
@@ -182,13 +260,13 @@ pub fn reduce_proxy_chunk(
     filter: &InternalFilter,
 ) -> ChunkReduction {
     let mut out = ChunkReduction { records: records.len(), ..ChunkReduction::default() };
+    let folder = fold.folder();
+    let judge = filter.judge();
     for rec in records {
         let host = rec.host.expect("proxy records must be normalized before reduction");
-        let folded = fold.fold(rec.domain);
+        let folded = folder.fold(rec.domain);
         out.domains_all.insert(folded);
-        if filter
-            .is_internal_sym(rec.domain, || fold.raw_interner().resolve(rec.domain).to_string())
-        {
+        if judge.is_internal(rec.domain, || fold.raw_interner().resolve(rec.domain).to_string()) {
             continue;
         }
         out.domains_after_internal.insert(folded);
@@ -218,9 +296,9 @@ pub fn reduce_proxy_chunk(
 pub struct DayReducer {
     records: usize,
     records_a_only: usize,
-    domains_all: HashSet<DomainSym>,
-    domains_after_internal: HashSet<DomainSym>,
-    domains_after_server: HashSet<DomainSym>,
+    domains_all: FastSet<DomainSym>,
+    domains_after_internal: FastSet<DomainSym>,
+    domains_after_server: FastSet<DomainSym>,
 }
 
 impl DayReducer {

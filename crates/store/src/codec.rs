@@ -12,29 +12,54 @@ use crate::error::{StoreError, StoreResult};
 
 // -- CRC-32 (IEEE 802.3, reflected, poly 0xEDB88320) ------------------------
 
-fn crc_table() -> &'static [u32; 256] {
+/// Eight slicing tables: `TABLES[0]` is the classic byte-at-a-time table;
+/// `TABLES[k][b]` advances byte `b` through `k` additional zero bytes, which
+/// lets the update loop fold eight input bytes per iteration ("slicing by
+/// 8") while producing bit-identical checksums.
+fn crc_tables() -> &'static [[u32; 256]; 8] {
     use std::sync::OnceLock;
-    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
-    TABLE.get_or_init(|| {
-        let mut table = [0u32; 256];
-        for (i, entry) in table.iter_mut().enumerate() {
+    static TABLES: OnceLock<[[u32; 256]; 8]> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut tables = [[0u32; 256]; 8];
+        for (i, slot) in tables[0].iter_mut().enumerate() {
             let mut c = i as u32;
             for _ in 0..8 {
                 c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
             }
-            *entry = c;
+            *slot = c;
         }
-        table
+        for k in 1..8 {
+            for i in 0..256usize {
+                let prev = tables[k - 1][i];
+                tables[k][i] = tables[0][(prev & 0xFF) as usize] ^ (prev >> 8);
+            }
+        }
+        tables
     })
 }
 
 /// Folds `bytes` into a running CRC-32 state (start from
-/// [`CRC_INIT`], finish with [`crc32_finish`]).
+/// [`CRC_INIT`], finish with [`crc32_finish`]). Eight bytes per step; the
+/// checksum values are identical to the byte-at-a-time definition, so
+/// on-disk blocks stay bit-compatible.
 pub fn crc32_update(state: u32, bytes: &[u8]) -> u32 {
-    let table = crc_table();
+    let t = crc_tables();
     let mut c = state;
-    for &b in bytes {
-        c = table[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    let mut chunks = bytes.chunks_exact(8);
+    for chunk in &mut chunks {
+        let lo = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]) ^ c;
+        let hi = u32::from_le_bytes([chunk[4], chunk[5], chunk[6], chunk[7]]);
+        c = t[7][(lo & 0xFF) as usize]
+            ^ t[6][((lo >> 8) & 0xFF) as usize]
+            ^ t[5][((lo >> 16) & 0xFF) as usize]
+            ^ t[4][(lo >> 24) as usize]
+            ^ t[3][(hi & 0xFF) as usize]
+            ^ t[2][((hi >> 8) & 0xFF) as usize]
+            ^ t[1][((hi >> 16) & 0xFF) as usize]
+            ^ t[0][(hi >> 24) as usize];
+    }
+    for &b in chunks.remainder() {
+        c = t[0][((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
     }
     c
 }
@@ -126,6 +151,16 @@ impl Encoder {
     pub fn str(&mut self, s: &str) {
         self.varint(s.len() as u64);
         self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Appends bytes previously produced by another [`Encoder`]'s
+    /// [`Self::into_bytes`] — the splice hook that lets callers memoize
+    /// the encoding of immutable sub-structures (e.g. sealed day products)
+    /// instead of re-encoding them on every checkpoint. The caller owns
+    /// the invariant that the bytes came from the same encoding routine
+    /// the decoder expects at this position.
+    pub fn raw(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
     }
 
     /// Writes `Some(v)`/`None` as a presence byte plus the encoded value.

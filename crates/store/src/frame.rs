@@ -113,18 +113,33 @@ pub struct CheckpointMeta {
 
 // -- writing ----------------------------------------------------------------
 
+/// Internal buffering span of a [`BlockWriter`]: bytes accumulate here and
+/// reach the checksum and the sink in runs of this size, so many small
+/// header/payload writes cost one `write_all` and one wide CRC pass instead
+/// of a syscall-plus-CRC-setup each.
+const WRITE_SPAN: usize = 256 * 1024;
+
 /// Streams one block to a writer, checksumming as it goes.
+///
+/// Writes are staged in an internal 256 KiB (`WRITE_SPAN`) buffer; payloads at
+/// least that large bypass the buffer and stream straight through. The CRC
+/// is folded over each flushed span, not per call, which keeps the 8-at-a-
+/// time slicing kernel on long runs. Byte stream and checksum are identical
+/// to the unbuffered writer's.
 #[derive(Debug)]
 pub struct BlockWriter<'w, W: Write> {
     out: &'w mut W,
     crc: u32,
     bytes: u64,
+    buf: Vec<u8>,
 }
 
 impl<'w, W: Write> BlockWriter<'w, W> {
     /// Opens a block: writes magic, format version, and kind.
     pub fn begin(out: &'w mut W, kind: BlockKind) -> StoreResult<Self> {
-        let mut w = BlockWriter { out, crc: CRC_INIT, bytes: 0 };
+        // The buffer grows on demand: small blocks (manifests, day
+        // segments) never pay for the full span.
+        let mut w = BlockWriter { out, crc: CRC_INIT, bytes: 0, buf: Vec::new() };
         w.write(&MAGIC)?;
         let mut header = Encoder::new();
         header.varint(FORMAT_VERSION as u64);
@@ -134,9 +149,28 @@ impl<'w, W: Write> BlockWriter<'w, W> {
     }
 
     fn write(&mut self, bytes: &[u8]) -> StoreResult<()> {
-        self.out.write_all(bytes)?;
-        self.crc = crc32_update(self.crc, bytes);
         self.bytes += bytes.len() as u64;
+        if bytes.len() >= WRITE_SPAN {
+            // Large payload: drain the staging buffer to preserve byte
+            // order, then checksum and emit the payload in one pass.
+            self.flush_span()?;
+            self.crc = crc32_update(self.crc, bytes);
+            self.out.write_all(bytes)?;
+        } else {
+            self.buf.extend_from_slice(bytes);
+            if self.buf.len() >= WRITE_SPAN {
+                self.flush_span()?;
+            }
+        }
+        Ok(())
+    }
+
+    fn flush_span(&mut self) -> StoreResult<()> {
+        if !self.buf.is_empty() {
+            self.crc = crc32_update(self.crc, &self.buf);
+            self.out.write_all(&self.buf)?;
+            self.buf.clear();
+        }
         Ok(())
     }
 
@@ -153,6 +187,7 @@ impl<'w, W: Write> BlockWriter<'w, W> {
     /// Seals the block: end marker plus CRC-32. Returns `(bytes, crc)`.
     pub fn finish(mut self) -> StoreResult<(u64, u32)> {
         self.write(&[END_TAG])?;
+        self.flush_span()?;
         let crc = crc32_finish(self.crc);
         self.out.write_all(&crc.to_le_bytes())?;
         self.out.flush()?;

@@ -1,0 +1,372 @@
+//! Property tests pinning the vectorized interchange parsers to the
+//! behavior of the split-based parsers they replaced.
+//!
+//! The reference implementations below are verbatim ports of the original
+//! `line.split('\t').collect::<Vec<_>>()` + `str::parse` code (and the
+//! original `split('.')` IPv4 grammar). For any input line — well-formed,
+//! malformed, or a byte-level mutation of a well-formed one — the shipping
+//! parsers must produce the identical `Ok` record or the identical
+//! `ParseLogError`, and the span parsers must match the per-line reference
+//! record for record and error for error, including symbol numbering.
+
+use earlybird::logmodel::{
+    parse_dns_line_unassigned, parse_dns_span, parse_proxy_line, parse_proxy_span, payload_line,
+    DnsQuery, DnsRecordType, DomainInterner, DomainSym, HostId, HttpMethod, HttpStatus, Ipv4,
+    ParseLogError, ParsedChunk, PathInterner, ProxyRecord, Timestamp, TzOffset, UaInterner,
+};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------------
+// Reference implementations: the pre-vectorization parsers, ported verbatim.
+// ---------------------------------------------------------------------------
+
+fn err(field: usize, reason: String) -> ParseLogError {
+    ParseLogError { field, reason }
+}
+
+fn qtype_from_str(s: &str) -> Option<DnsRecordType> {
+    Some(match s {
+        "A" => DnsRecordType::A,
+        "AAAA" => DnsRecordType::Aaaa,
+        "CNAME" => DnsRecordType::Cname,
+        "MX" => DnsRecordType::Mx,
+        "TXT" => DnsRecordType::Txt,
+        "PTR" => DnsRecordType::Ptr,
+        "SRV" => DnsRecordType::Srv,
+        _ => return None,
+    })
+}
+
+fn method_from_str(s: &str) -> Option<HttpMethod> {
+    Some(match s {
+        "GET" => HttpMethod::Get,
+        "POST" => HttpMethod::Post,
+        "HEAD" => HttpMethod::Head,
+        "CONNECT" => HttpMethod::Connect,
+        "PUT" => HttpMethod::Put,
+        _ => return None,
+    })
+}
+
+fn reference_dns_line(line: &str, domains: &DomainInterner) -> Result<DnsQuery, ParseLogError> {
+    let fields: Vec<&str> = line.split('\t').collect();
+    if fields.len() != 5 {
+        return Err(err(fields.len(), "expected 5 tab-separated fields".into()));
+    }
+    let ts = fields[0].parse::<u64>().map_err(|e| err(0, format!("timestamp: {e}")))?;
+    let src_ip: Ipv4 = fields[1].parse().map_err(|e| err(1, format!("src ip: {e}")))?;
+    if fields[2].is_empty() {
+        return Err(err(2, "empty qname".into()));
+    }
+    let qtype = qtype_from_str(fields[3]).ok_or_else(|| err(3, "unknown qtype".into()))?;
+    let answer = match fields[4] {
+        "-" => None,
+        ip => Some(ip.parse().map_err(|e| err(4, format!("answer ip: {e}")))?),
+    };
+    Ok(DnsQuery {
+        ts: Timestamp::from_secs(ts),
+        src: HostId::new(0),
+        src_ip,
+        qname: domains.intern(fields[2]),
+        qtype,
+        answer,
+    })
+}
+
+fn reference_proxy_line(
+    line: &str,
+    domains: &DomainInterner,
+    uas: &UaInterner,
+    paths: &PathInterner,
+) -> Result<ProxyRecord, ParseLogError> {
+    let fields: Vec<&str> = line.split('\t').collect();
+    if fields.len() != 10 {
+        return Err(err(fields.len(), "expected 10 tab-separated fields".into()));
+    }
+    let ts_local = fields[0].parse::<u64>().map_err(|e| err(0, format!("timestamp: {e}")))?;
+    let tz_minutes = fields[1].parse::<i32>().map_err(|e| err(1, format!("tz offset: {e}")))?;
+    if tz_minutes.abs() > 18 * 60 {
+        return Err(err(1, "tz offset out of range".into()));
+    }
+    let src_ip: Ipv4 = fields[2].parse().map_err(|e| err(2, format!("src ip: {e}")))?;
+    if fields[3].is_empty() {
+        return Err(err(3, "empty domain".into()));
+    }
+    let dest_ip: Ipv4 = fields[4].parse().map_err(|e| err(4, format!("dest ip: {e}")))?;
+    let method = method_from_str(fields[5]).ok_or_else(|| err(5, "unknown method".into()))?;
+    let status = fields[6].parse::<u16>().map_err(|e| err(6, format!("status: {e}")))?;
+    if fields[7].is_empty() {
+        return Err(err(7, "empty path".into()));
+    }
+    Ok(ProxyRecord {
+        ts_local: Timestamp::from_secs(ts_local),
+        tz: TzOffset::from_minutes(tz_minutes),
+        src_ip,
+        host: None,
+        domain: domains.intern(fields[3]),
+        dest_ip,
+        method,
+        status: HttpStatus(status),
+        url_path: paths.intern(fields[7]),
+        user_agent: match fields[8] {
+            "-" => None,
+            ua => Some(uas.intern(ua)),
+        },
+        referer: match fields[9] {
+            "-" => None,
+            r => Some(domains.intern(r)),
+        },
+    })
+}
+
+/// The original `split('.')`-based dotted-quad grammar; `None` = reject.
+fn reference_ipv4(s: &str) -> Option<Ipv4> {
+    let mut octets = [0u8; 4];
+    let mut parts = s.split('.');
+    for slot in &mut octets {
+        let part = parts.next()?;
+        if part.is_empty() || part.len() > 3 || !part.bytes().all(|b| b.is_ascii_digit()) {
+            return None;
+        }
+        *slot = part.parse().ok()?;
+    }
+    if parts.next().is_some() {
+        return None;
+    }
+    let [a, b, c, d] = octets;
+    Some(Ipv4::new(a, b, c, d))
+}
+
+// ---------------------------------------------------------------------------
+// Input generation: lines assembled from an adversarial token pool, plus
+// byte-level mutations of known-good lines.
+// ---------------------------------------------------------------------------
+
+/// Field values that probe every validation branch: valid values for each
+/// position, off-by-one invalid neighbors, overflow, signs, whitespace,
+/// non-ASCII, and strings valid for a *different* field.
+const TOKENS: &[&str] = &[
+    "",
+    "-",
+    "--",
+    "86520",
+    "0",
+    "007",
+    "+42",
+    "-42",
+    "18446744073709551615",
+    "18446744073709551616",
+    " 1",
+    "1 ",
+    "٣",
+    "10.0.0.17",
+    "191.146.166.145",
+    "256.1.2.3",
+    "1.2.3",
+    "1.2.3.4.5",
+    "01.02.03.04",
+    "1..2.3",
+    "evil.ru",
+    "a",
+    "news.nbc.com",
+    "héllo.example",
+    "A",
+    "AAAA",
+    "CNAME",
+    "MX",
+    "TXT",
+    "PTR",
+    "SRV",
+    "ZZZ",
+    "a ",
+    "GET",
+    "POST",
+    "HEAD",
+    "CONNECT",
+    "PUT",
+    "FROB",
+    "get",
+    "200",
+    "404",
+    "65535",
+    "65536",
+    "-300",
+    "1081",
+    "-1081",
+    "/",
+    "/gate.php",
+    "Mozilla/5.0 (Windows NT 6.1)",
+    "WinHttp/1.0",
+    "#x",
+];
+
+const DNS_TEMPLATE: &str = "86520\t10.0.0.17\tevil.ru\tA\t191.146.166.145";
+const PROXY_TEMPLATE: &str =
+    "86520\t-300\t10.8.0.4\tcc.ru\t191.1.2.3\tGET\t200\t/gate.php\tWinHttp/1.0\t-";
+
+/// A line of `codes.len()` tab-separated fields drawn from [`TOKENS`].
+fn line_from_codes(codes: &[usize]) -> String {
+    codes.iter().map(|&c| TOKENS[c % TOKENS.len()]).collect::<Vec<_>>().join("\t")
+}
+
+/// Applies `(op, pos, byte)` edits — replace / delete / insert — to a
+/// template, keeping only edits that leave the line valid UTF-8.
+fn mutate(template: &str, edits: &[(u8, usize, u8)]) -> String {
+    let mut bytes = template.as_bytes().to_vec();
+    for &(op, pos, byte) in edits {
+        if bytes.is_empty() {
+            break;
+        }
+        let pos = pos % bytes.len();
+        let byte = byte % 0x80;
+        match op % 3 {
+            0 => bytes[pos] = byte,
+            1 => {
+                bytes.remove(pos);
+            }
+            _ => bytes.insert(pos, byte),
+        }
+        if std::str::from_utf8(&bytes).is_err() {
+            return template.to_string();
+        }
+    }
+    String::from_utf8(bytes).expect("checked after every edit")
+}
+
+/// Asserts one batch of DNS lines parses identically through the reference
+/// per-line parser and both shipping parsers (per-line and span), using a
+/// fresh interner per parser so symbol numbering is directly comparable.
+fn assert_dns_equivalent(lines: &[String]) {
+    let ref_domains = DomainInterner::new();
+    let new_domains = DomainInterner::new();
+    let span_domains = DomainInterner::new();
+
+    let mut ref_records = Vec::new();
+    let mut ref_errors = Vec::new();
+    for (i, line) in lines.iter().enumerate() {
+        let Some(line) = payload_line(line) else { continue };
+        match reference_dns_line(line, &ref_domains) {
+            Ok(q) => ref_records.push(q),
+            Err(e) => ref_errors.push((i + 1, e)),
+        }
+        // Per-line parser must agree exactly, including error values.
+        assert_eq!(
+            reference_dns_line(line, &ref_domains),
+            parse_dns_line_unassigned(line, &new_domains),
+            "line {:?}",
+            line
+        );
+    }
+
+    let mut chunk = ParsedChunk::default();
+    let payload = lines.iter().enumerate().filter_map(|(i, l)| payload_line(l).map(|p| (i + 1, p)));
+    parse_dns_span(payload, &span_domains, &mut chunk);
+    assert_eq!(chunk.records, ref_records);
+    assert_eq!(chunk.errors, ref_errors);
+    for q in &chunk.records {
+        assert_eq!(span_domains.resolve(q.qname), ref_domains.resolve(q.qname));
+    }
+}
+
+/// Proxy analogue of [`assert_dns_equivalent`] across all three interners.
+fn assert_proxy_equivalent(lines: &[String]) {
+    let ref_pool = (DomainInterner::new(), UaInterner::new(), PathInterner::new());
+    let new_pool = (DomainInterner::new(), UaInterner::new(), PathInterner::new());
+    let span_pool = (DomainInterner::new(), UaInterner::new(), PathInterner::new());
+
+    let mut ref_records = Vec::new();
+    let mut ref_errors = Vec::new();
+    for (i, line) in lines.iter().enumerate() {
+        let Some(line) = payload_line(line) else { continue };
+        match reference_proxy_line(line, &ref_pool.0, &ref_pool.1, &ref_pool.2) {
+            Ok(r) => ref_records.push(r),
+            Err(e) => ref_errors.push((i + 1, e)),
+        }
+        assert_eq!(
+            reference_proxy_line(line, &ref_pool.0, &ref_pool.1, &ref_pool.2),
+            parse_proxy_line(line, &new_pool.0, &new_pool.1, &new_pool.2),
+            "line {:?}",
+            line
+        );
+    }
+
+    let mut chunk = ParsedChunk::default();
+    let payload = lines.iter().enumerate().filter_map(|(i, l)| payload_line(l).map(|p| (i + 1, p)));
+    parse_proxy_span(payload, &span_pool.0, &span_pool.1, &span_pool.2, &mut chunk);
+    assert_eq!(chunk.records, ref_records);
+    assert_eq!(chunk.errors, ref_errors);
+    for r in &chunk.records {
+        assert_eq!(span_pool.0.resolve(r.domain), ref_pool.0.resolve(r.domain));
+        assert_eq!(span_pool.2.resolve(r.url_path), ref_pool.2.resolve(r.url_path));
+    }
+}
+
+fn arb_lines(max_fields: usize) -> impl Strategy<Value = Vec<Vec<usize>>> {
+    proptest::collection::vec(proptest::collection::vec(0usize..TOKENS.len(), 0..max_fields), 1..24)
+}
+
+fn arb_edits() -> impl Strategy<Value = Vec<(u8, usize, u8)>> {
+    proptest::collection::vec((0u8..3, 0usize..96, 0u8..0x80), 1..5)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn dns_parsers_agree_on_arbitrary_lines(codes in arb_lines(8)) {
+        let lines: Vec<String> = codes.iter().map(|c| line_from_codes(c)).collect();
+        assert_dns_equivalent(&lines);
+    }
+
+    #[test]
+    fn proxy_parsers_agree_on_arbitrary_lines(codes in arb_lines(13)) {
+        let lines: Vec<String> = codes.iter().map(|c| line_from_codes(c)).collect();
+        assert_proxy_equivalent(&lines);
+    }
+
+    #[test]
+    fn dns_parsers_agree_on_mutated_lines(edit_sets in proptest::collection::vec(arb_edits(), 1..16)) {
+        let lines: Vec<String> =
+            edit_sets.iter().map(|edits| mutate(DNS_TEMPLATE, edits)).collect();
+        assert_dns_equivalent(&lines);
+    }
+
+    #[test]
+    fn proxy_parsers_agree_on_mutated_lines(edit_sets in proptest::collection::vec(arb_edits(), 1..16)) {
+        let lines: Vec<String> =
+            edit_sets.iter().map(|edits| mutate(PROXY_TEMPLATE, edits)).collect();
+        assert_proxy_equivalent(&lines);
+    }
+
+    #[test]
+    fn ipv4_grammar_matches_split_based_reference(codes in proptest::collection::vec(0usize..16, 0..14)) {
+        // Strings over a dotted-quad-adjacent alphabet: digits, dots, signs,
+        // spaces, a letter — dense coverage of near-miss addresses.
+        const CHARS: [char; 16] =
+            ['0', '1', '2', '5', '9', '.', '.', '.', '+', '-', ' ', 'a', '3', '6', '4', '8'];
+        let s: String = codes.iter().map(|&c| CHARS[c % CHARS.len()]).collect();
+        prop_assert_eq!(s.parse::<Ipv4>().ok(), reference_ipv4(&s), "{:?}", s);
+    }
+}
+
+/// Symbol placeholders must never leak: every record coming out of a span
+/// parse has fully-resolved interned symbols.
+#[test]
+fn span_parse_leaves_no_placeholder_symbols() {
+    let domains = DomainInterner::new();
+    let mut chunk = ParsedChunk::default();
+    let lines: Vec<String> = (0..100)
+        .map(|i| format!("{}\t10.0.0.{}\thost{}.example\tA\t-", 1000 + i, i % 7, i % 13))
+        .collect();
+    parse_dns_span(
+        lines.iter().enumerate().map(|(i, l)| (i + 1, l.as_str())),
+        &domains,
+        &mut chunk,
+    );
+    assert_eq!(chunk.records.len(), 100);
+    assert!(chunk.errors.is_empty());
+    for q in &chunk.records {
+        assert_ne!(q.qname, DomainSym::from_raw(u32::MAX));
+        assert!(domains.resolve(q.qname).starts_with("host"));
+    }
+}

@@ -273,6 +273,117 @@ fn line_pushes_match_record_pushes() {
     assert_eq!(line_alerts.snapshot(), rec_alerts.snapshot());
 }
 
+/// Degenerate adversarial split: every record arrives in its own push and
+/// every raw line in its own `push_lines` call (with comments and `\r\n`
+/// endings sprinkled in) — reports and alert streams still match
+/// whole-batch ingestion exactly.
+#[test]
+fn one_record_and_one_line_chunks_match_batch() {
+    let domains = Arc::new(earlybird::logmodel::DomainInterner::new());
+    let raw: Vec<(u64, u32, u8)> =
+        (0..150u64).map(|i| (i * 37 % 86_400, (i % 9) as u32, (i % 11) as u8)).collect();
+    let queries = build_queries(&raw, &domains);
+    let meta = meta_for(12);
+
+    let (mut batch_engine, batch_alerts) = engine_for(&domains, &meta, 1, usize::MAX);
+    let day_log = DnsDayLog { day: Day::new(0), queries: queries.clone() };
+    let batch_report = batch_engine.ingest_day(DayBatch::Dns(&day_log));
+
+    // Record path: one record per push.
+    let (mut rec_engine, rec_alerts) = engine_for(&domains, &meta, 4, 1);
+    let mut ingest = rec_engine.begin_day(Day::new(0), IngestSource::Dns);
+    for q in &queries {
+        ingest.push_dns_records(std::slice::from_ref(q));
+    }
+    let rec_report = ingest.finish();
+    assert_reports_equal(&rec_report, &batch_report, "1-record chunks");
+    assert_eq!(rec_alerts.snapshot(), batch_alerts.snapshot());
+
+    // Line path: one raw line per push.
+    let (mut line_engine, line_alerts) = engine_for(&domains, &meta, 4, 1);
+    let mut ingest = line_engine.begin_day(Day::new(0), IngestSource::Dns);
+    for (i, q) in queries.iter().enumerate() {
+        if i % 17 == 0 {
+            assert!(ingest.push_lines("# interstitial comment\n").is_empty());
+        }
+        let line = format_dns_line(q, &domains);
+        let block = if i % 2 == 0 { format!("{line}\n") } else { format!("{line}\r\n") };
+        assert!(ingest.push_lines(&block).is_empty());
+    }
+    assert_eq!(ingest.records_pushed(), queries.len());
+    let line_report = ingest.finish();
+    assert_reports_equal(&line_report, &batch_report, "1-line chunks");
+    assert_eq!(line_alerts.snapshot(), batch_alerts.snapshot());
+}
+
+/// Interleaved DNS and proxy days on one engine, each streamed in
+/// degenerate 1-record chunks, match batch ingestion day for day — the
+/// shared fold/filter/history state must not care how days arrive.
+#[test]
+fn interleaved_dns_and_proxy_days_stream_identically() {
+    let world = AcGenerator::new(AcConfig::tiny()).generate();
+    let meta = &world.dataset.meta;
+    let domains = &world.dataset.domains;
+
+    let build = |parallelism: usize, chunk: usize| {
+        let sink = CollectingSink::new();
+        let handle = sink.handle();
+        let engine = EngineBuilder::enterprise()
+            .parallelism(parallelism)
+            .parallel_threshold(1)
+            .ingest_chunk_records(chunk)
+            .auto_investigate(true)
+            .sink(sink)
+            .build(Arc::clone(domains), meta.clone())
+            .expect("valid config");
+        (engine, handle)
+    };
+    let (mut batch_engine, batch_alerts) = build(1, 1 << 20);
+    let (mut stream_engine, stream_alerts) = build(4, 1);
+
+    let last = (meta.bootstrap_days + 4).min(meta.total_days) as usize;
+    for (i, day) in world.dataset.days[..last].iter().enumerate() {
+        if i % 2 == 0 {
+            let batch_report =
+                batch_engine.ingest_day(DayBatch::Proxy { day, dhcp: &world.dataset.dhcp });
+            let mut ingest =
+                stream_engine.begin_day(day.day, IngestSource::Proxy { dhcp: &world.dataset.dhcp });
+            for r in &day.records {
+                ingest.push_proxy_records(std::slice::from_ref(r));
+            }
+            let stream_report = ingest.finish();
+            assert_reports_equal(&stream_report, &batch_report, &format!("proxy day {i}"));
+        } else {
+            // A synthetic DNS day over the same interner and host space.
+            let queries: Vec<DnsQuery> = (0..200u64)
+                .map(|j| {
+                    let host = (j % u64::from(meta.n_hosts.min(8))) as u32;
+                    DnsQuery {
+                        ts: Timestamp::from_day_secs(day.day, (j * 431) % 86_400),
+                        src: HostId::new(host),
+                        src_ip: Ipv4::new(10, 1, 0, host as u8),
+                        qname: domains.intern(&format!("d{}.interleaved.example", j % 23)),
+                        qtype: DnsRecordType::A,
+                        answer: Some(Ipv4::new(60, (j % 23) as u8, 1, 1)),
+                    }
+                })
+                .collect();
+            let mut queries = queries;
+            queries.sort_by_key(|q| q.ts);
+            let dns_day = DnsDayLog { day: day.day, queries };
+            let batch_report = batch_engine.ingest_day(DayBatch::Dns(&dns_day));
+            let mut ingest = stream_engine.begin_day(day.day, IngestSource::Dns);
+            for q in &dns_day.queries {
+                ingest.push_dns_records(std::slice::from_ref(q));
+            }
+            let stream_report = ingest.finish();
+            assert_reports_equal(&stream_report, &batch_report, &format!("dns day {i}"));
+        }
+    }
+    assert_eq!(stream_alerts.snapshot(), batch_alerts.snapshot());
+    assert_eq!(stream_engine.days().collect::<Vec<_>>(), batch_engine.days().collect::<Vec<_>>());
+}
+
 /// Replays through the streaming handle are no-ops flagged as duplicates,
 /// exactly like `ingest_day` replays.
 #[test]

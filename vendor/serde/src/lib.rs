@@ -40,7 +40,7 @@ mod impls {
     use super::json::{DeError, Value};
     use super::{Deserialize, Serialize};
     use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
-    use std::hash::Hash;
+    use std::hash::{BuildHasher, Hash};
 
     // A `Value` is already the data model: serialization is identity.
     impl Serialize for Value {
@@ -217,7 +217,7 @@ mod impls {
                 .collect()
         }
     }
-    impl<T: Serialize + Eq + Hash> Serialize for HashSet<T> {
+    impl<T: Serialize + Eq + Hash, S: BuildHasher> Serialize for HashSet<T, S> {
         fn serialize(&self) -> Value {
             // Deterministic output: sort the rendered elements.
             let mut items: Vec<Value> = self.iter().map(Serialize::serialize).collect();
@@ -225,7 +225,7 @@ mod impls {
             Value::Array(items)
         }
     }
-    impl<T: Deserialize + Eq + Hash> Deserialize for HashSet<T> {
+    impl<T: Deserialize + Eq + Hash, S: BuildHasher + Default> Deserialize for HashSet<T, S> {
         fn deserialize(v: &Value) -> Result<Self, DeError> {
             v.as_array()
                 .ok_or_else(|| DeError::new("expected array"))?
@@ -267,7 +267,7 @@ mod impls {
             pairs_back(v)
         }
     }
-    impl<K: Serialize + Eq + Hash, V: Serialize> Serialize for HashMap<K, V> {
+    impl<K: Serialize + Eq + Hash, V: Serialize, S: BuildHasher> Serialize for HashMap<K, V, S> {
         fn serialize(&self) -> Value {
             let mut items: Vec<Value> = self
                 .iter()
@@ -277,7 +277,9 @@ mod impls {
             Value::Array(items)
         }
     }
-    impl<K: Deserialize + Eq + Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    impl<K: Deserialize + Eq + Hash, V: Deserialize, S: BuildHasher + Default> Deserialize
+        for HashMap<K, V, S>
+    {
         fn deserialize(v: &Value) -> Result<Self, DeError> {
             pairs_back(v)
         }
