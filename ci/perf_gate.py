@@ -3,10 +3,11 @@
 
 Usage: python3 ci/perf_gate.py <fresh.json> [baseline.json]
 
-The baseline defaults to ci/BENCH_7.json (the checked-in reading from the
-PR that introduced the gate). The gate fails (exit 1) when any *gated*
-throughput metric in the fresh reading falls more than TOLERANCE below the
-baseline.
+The baseline defaults to ci/BENCH_8.json (the most recent checked-in
+reading). The gate fails (exit 1) when any *gated* throughput metric in
+the fresh reading falls more than TOLERANCE below the baseline, or when
+the fresh obs_overhead_pct (the ingest cost of an enabled metrics
+registry vs a disabled one) exceeds OBS_OVERHEAD_MAX_PCT.
 
 Tolerance rationale
 -------------------
@@ -33,6 +34,13 @@ scheduling, and its readings scatter by 4x between identical runs on a
 loaded box (see ci/BENCH_7.json history). serve_query_p50_ms is likewise
 scheduler-dominated, and lower-is-better, so it is excluded too.
 
+obs_overhead_pct is gated *absolutely* rather than against the baseline:
+it is a same-machine, same-run A/B difference (alternating arms, per-arm
+minimum), so the cross-machine hardware factor cancels and a tight bound
+is meaningful where a ratio-to-baseline would not be. The 3% ceiling is
+the observability tentpole's contract: metrics on the parse hot path must
+be effectively free.
+
 Schema changes: a metric missing from either file is reported and skipped,
 so adding a metric to perf_smoke does not require updating the baseline
 and the gate in lockstep (the new metric simply goes ungated until the
@@ -43,6 +51,9 @@ import json
 import sys
 
 TOLERANCE = 0.30
+
+# Absolute ceiling on the instrumentation overhead reading (percent).
+OBS_OVERHEAD_MAX_PCT = 3.0
 
 # Higher-is-better metrics stable enough to gate (see module docstring).
 GATED = [
@@ -68,7 +79,7 @@ def main(argv):
         print(__doc__)
         return 2
     fresh_path = argv[1]
-    base_path = argv[2] if len(argv) == 3 else "ci/BENCH_7.json"
+    base_path = argv[2] if len(argv) == 3 else "ci/BENCH_8.json"
     with open(fresh_path) as f:
         fresh = json.load(f)
     with open(base_path) as f:
@@ -92,6 +103,17 @@ def main(argv):
         if key in base and key in fresh:
             print(f"  info {key:28s} {fresh[key]:>14,.3f} "
                   f"vs {base[key]:>14,.3f}  (not gated)")
+
+    # Absolute gate on the fresh overhead reading only (see docstring).
+    if "obs_overhead_pct" in fresh:
+        overhead = fresh["obs_overhead_pct"]
+        verdict = "ok" if overhead <= OBS_OVERHEAD_MAX_PCT else "FAIL"
+        print(f"  {verdict:4s} {'obs_overhead_pct':28s} {overhead:>14,.2f} "
+              f"(absolute ceiling {OBS_OVERHEAD_MAX_PCT:.1f})")
+        if verdict == "FAIL":
+            failures.append("obs_overhead_pct")
+    else:
+        print(f"  SKIP {'obs_overhead_pct':28s} absent from fresh reading")
 
     if failures:
         print(f"perf gate FAILED: {', '.join(failures)} regressed more "

@@ -1,22 +1,30 @@
 //! Machine-readable perf smoke pass for CI: measures ingest throughput,
-//! parse-only and interning microbenches, checkpoint/restore bandwidth,
-//! store-compaction bandwidth, raw backend put bandwidth, and the service
-//! loopback (multi-tenant HTTP ingest rec/s + query latency) on the
+//! the metrics-instrumentation overhead on that hot path, parse-only and
+//! interning microbenches, checkpoint/restore bandwidth, store-compaction
+//! bandwidth, raw backend put bandwidth, and the service loopback
+//! (multi-tenant HTTP ingest rec/s + query latency) on the
 //! benchmark-scale LANL world, and writes a small JSON report
-//! (`BENCH_7.json` by default) that CI uploads as a workflow artifact.
-//! The checked-in `ci/BENCH_7.json` is the baseline the perf gate
+//! (`BENCH_8.json` by default) that CI uploads as a workflow artifact.
+//! The checked-in `ci/BENCH_8.json` is the baseline the perf gate
 //! (`ci/perf_gate.py`) compares against (`ci/BENCH_4.json` through
-//! `ci/BENCH_6.json` are earlier PRs' readings, kept for the trajectory).
+//! `ci/BENCH_7.json` are earlier PRs' readings, kept for the trajectory).
 //!
-//! Numbers are medians of a few short runs (the service loopback is one
-//! timed pass) — a smoke reading to catch collapses, not a calibrated
-//! benchmark; use `cargo bench` for real measurements.
+//! Record counts are read back from the attached [`MetricsRegistry`]
+//! (`engine_records_total`, `serve_ingest_records_total`) and
+//! cross-checked against the dataset, so the smoke pass also proves the
+//! observability layer counts what actually ran. `obs_overhead_pct` is
+//! the ingest wall-time cost of an enabled registry versus a disabled
+//! one (alternating runs, per-arm minimum), gated `< 3%` absolutely.
+//!
+//! Numbers are medians (or per-arm minima) of a few short runs — a smoke
+//! reading to catch collapses, not a calibrated benchmark; use `cargo
+//! bench` for real measurements.
 //!
 //! Usage: `perf_smoke [output.json]`
 
 use earlybird_engine::{
     compact_store, DayBatch, Engine, EngineBuilder, LifecycleConfig, LocalFsBackend, MemBackend,
-    ObjectStore, StoreDir,
+    MetricsRegistry, ObjectStore, StoreDir,
 };
 use earlybird_logmodel::{parse_dns_span, DomainInterner, ParsedChunk};
 use earlybird_serve::{ServeClient, Server, ServerConfig, TenantSpec};
@@ -39,20 +47,19 @@ fn median_secs<F: FnMut()>(runs: usize, mut f: F) -> f64 {
     times[times.len() / 2]
 }
 
-fn fresh_engine(challenge: &LanlChallenge) -> Engine {
+fn fresh_engine(challenge: &LanlChallenge, registry: Arc<MetricsRegistry>) -> Engine {
     EngineBuilder::lanl()
+        .metrics(registry)
         .build(Arc::clone(&challenge.dataset.domains), challenge.dataset.meta.clone())
         .expect("valid config")
 }
 
-fn ingest_all(challenge: &LanlChallenge) -> (Engine, u64) {
-    let mut engine = fresh_engine(challenge);
-    let mut records = 0u64;
+fn ingest_all(challenge: &LanlChallenge, registry: Arc<MetricsRegistry>) -> Engine {
+    let mut engine = fresh_engine(challenge, registry);
     for day in &challenge.dataset.days {
-        records += day.queries.len() as u64;
         engine.ingest_day(DayBatch::Dns(day));
     }
-    (engine, records)
+    engine
 }
 
 /// Tenants pushing concurrently in the service loopback measurement.
@@ -87,8 +94,9 @@ fn serve_span_text(tenant: usize, day: u32, records: u32) -> String {
 /// tenant concurrently. Returns total records pushed, the aggregate
 /// span-push rate, and the p50 of 100 warm query round trips.
 fn serve_loopback() -> (u64, f64, f64) {
-    let server = Server::bind(Box::new(MemBackend::new()), ServerConfig::default())
-        .expect("bind loopback daemon");
+    let cfg = ServerConfig::default();
+    let registry = Arc::clone(&cfg.metrics);
+    let server = Server::bind(Box::new(MemBackend::new()), cfg).expect("bind loopback daemon");
     let addr = server.addr();
     let handle = server.spawn();
 
@@ -121,7 +129,14 @@ fn serve_loopback() -> (u64, f64, f64) {
         }
     });
     let push_secs = started.elapsed().as_secs_f64();
-    let serve_records = SERVE_TENANTS as u64 * u64::from(SERVE_DAY0_RECORDS + SERVE_DAY1_RECORDS);
+    // The record count comes from the daemon's own registry; it must
+    // agree with what the clients pushed.
+    let serve_records = registry.snapshot().counter_sum("serve_ingest_records_total", &[]);
+    assert_eq!(
+        serve_records,
+        SERVE_TENANTS as u64 * u64::from(SERVE_DAY0_RECORDS + SERVE_DAY1_RECORDS),
+        "daemon registry counts every pushed record"
+    );
     let serve_ingest_rec_s = serve_records as f64 / push_secs;
 
     // Seal both days so the query phase reads real stored state.
@@ -199,18 +214,39 @@ fn intern_hits() -> f64 {
     (INTERN_PASSES * INTERN_NAMES) as f64 / secs
 }
 
+/// Alternating enabled/disabled ingest passes for the overhead reading.
+const OVERHEAD_RUNS: usize = 4;
+
 fn main() {
     let out_path =
-        std::env::args().nth(1).map(PathBuf::from).unwrap_or_else(|| "BENCH_7.json".into());
+        std::env::args().nth(1).map(PathBuf::from).unwrap_or_else(|| "BENCH_8.json".into());
     let challenge = earlybird_bench::lanl_world();
     let total_records: u64 = challenge.dataset.days.iter().map(|d| d.queries.len() as u64).sum();
 
-    // Ingest throughput: the full daily cycle over every day of the world.
-    let ingest_secs = median_secs(3, || {
-        let (engine, _) = ingest_all(&challenge);
-        drop(engine);
-    });
-    let ingest_records_per_sec = total_records as f64 / ingest_secs;
+    // Ingest throughput + instrumentation overhead: the full daily cycle
+    // over every day of the world, run with a disabled and an enabled
+    // registry in alternation. The per-arm minimum damps scheduler noise
+    // (both arms see the same machine), the gated throughput metric stays
+    // the uninstrumented reading (comparable with the BENCH_4..7
+    // trajectory), and the enabled arm's record count is read back from
+    // the registry itself.
+    let mut disabled_secs = f64::INFINITY;
+    let mut enabled_secs = f64::INFINITY;
+    let mut registry_records = 0u64;
+    for _ in 0..OVERHEAD_RUNS {
+        let start = Instant::now();
+        drop(ingest_all(&challenge, Arc::new(MetricsRegistry::disabled())));
+        disabled_secs = disabled_secs.min(start.elapsed().as_secs_f64());
+
+        let registry = Arc::new(MetricsRegistry::new());
+        let start = Instant::now();
+        drop(ingest_all(&challenge, Arc::clone(&registry)));
+        enabled_secs = enabled_secs.min(start.elapsed().as_secs_f64());
+        registry_records = registry.snapshot().counter_sum("engine_records_total", &[]);
+    }
+    assert_eq!(registry_records, total_records, "engine registry counts every ingested record");
+    let ingest_records_per_sec = total_records as f64 / disabled_secs;
+    let obs_overhead_pct = (enabled_secs - disabled_secs) / disabled_secs * 100.0;
 
     // Hot-path microbenches: parse-only span throughput and interner
     // hit-path lookups (new in schema v4).
@@ -218,7 +254,7 @@ fn main() {
     let intern_hits_per_sec = intern_hits();
 
     // Checkpoint / restore bandwidth over the fully loaded engine.
-    let (engine, _) = ingest_all(&challenge);
+    let engine = ingest_all(&challenge, Arc::new(MetricsRegistry::disabled()));
     let mut snapshot = Vec::new();
     engine.checkpoint(&mut snapshot).expect("checkpoint succeeds");
     let snapshot_bytes = snapshot.len() as u64;
@@ -268,9 +304,10 @@ fn main() {
     let (serve_records, serve_ingest_rec_s, serve_query_p50_ms) = serve_loopback();
 
     let json = format!(
-        "{{\n  \"schema\": \"earlybird-perf-smoke-v4\",\n  \"suite\": \"lanl_small\",\n  \
-         \"ingest_records\": {total_records},\n  \
+        "{{\n  \"schema\": \"earlybird-perf-smoke-v5\",\n  \"suite\": \"lanl_small\",\n  \
+         \"ingest_records\": {registry_records},\n  \
          \"ingest_records_per_sec\": {ingest_records_per_sec:.0},\n  \
+         \"obs_overhead_pct\": {obs_overhead_pct:.2},\n  \
          \"parse_lines_per_sec\": {parse_lines_per_sec:.0},\n  \
          \"parse_mb_per_sec\": {parse_mb_per_sec:.1},\n  \
          \"intern_hits_per_sec\": {intern_hits_per_sec:.0},\n  \

@@ -2,9 +2,11 @@
 
 use crate::alert::AlertSink;
 use crate::core_loop::Engine;
+use crate::metrics::EngineMetrics;
 use earlybird_core::{BpConfig, CcModel, PipelineConfig, SimScorer};
 use earlybird_intel::WhoisRegistry;
 use earlybird_logmodel::{DatasetMeta, DomainInterner, PathInterner, UaInterner};
+use earlybird_obs::MetricsRegistry;
 use earlybird_timing::AutomationDetector;
 use std::fmt;
 use std::sync::Arc;
@@ -102,6 +104,8 @@ pub struct EngineBuilder {
     sinks: Vec<Box<dyn AlertSink + Send>>,
     uas: Option<Arc<UaInterner>>,
     paths: Option<Arc<PathInterner>>,
+    metrics: Option<Arc<MetricsRegistry>>,
+    metric_labels: Vec<(String, String)>,
 }
 
 impl EngineBuilder {
@@ -129,6 +133,8 @@ impl EngineBuilder {
             sinks: Vec::new(),
             uas: None,
             paths: None,
+            metrics: None,
+            metric_labels: Vec::new(),
         }
     }
 
@@ -254,6 +260,25 @@ impl EngineBuilder {
         self
     }
 
+    /// Attaches a shared [`MetricsRegistry`]: per-stage timings, ingest
+    /// counters, and checkpoint bandwidth flow into it as `engine_*`
+    /// series. Omitted, the engine records into a private enabled registry
+    /// reachable via [`Engine::metrics`]. Like sinks, the registry is an
+    /// attachment, not configuration — it is never persisted and never
+    /// affects results.
+    pub fn metrics(mut self, registry: Arc<MetricsRegistry>) -> Self {
+        self.metrics = Some(registry);
+        self
+    }
+
+    /// Adds one label to every metric series this engine registers (e.g.
+    /// `("tenant", "acme")` in a multi-tenant service). May be called
+    /// repeatedly.
+    pub fn metric_label(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.metric_labels.push((key.into(), value.into()));
+        self
+    }
+
     /// Validates the configuration and builds the engine over a dataset's
     /// raw-name interner and metadata.
     ///
@@ -270,7 +295,17 @@ impl EngineBuilder {
         cfg.parallelism = cfg.parallelism.max(1);
         cfg.parallel_threshold = cfg.parallel_threshold.max(1);
         cfg.ingest_chunk_records = cfg.ingest_chunk_records.max(1);
-        Ok(Engine::from_parts(self.cfg, self.sinks, raw, meta, self.uas, self.paths))
+        let metrics = Self::make_metrics(self.metrics, &self.metric_labels);
+        Ok(Engine::from_parts(self.cfg, self.sinks, raw, meta, self.uas, self.paths, metrics))
+    }
+
+    /// Registers the engine's metric handles against the attached registry
+    /// (or a private enabled one when none was attached).
+    pub(crate) fn make_metrics(
+        registry: Option<Arc<MetricsRegistry>>,
+        labels: &[(String, String)],
+    ) -> EngineMetrics {
+        EngineMetrics::new(registry.unwrap_or_else(|| Arc::new(MetricsRegistry::new())), labels)
     }
 
     /// Decomposes the builder into its configuration and attachments — used
@@ -284,8 +319,10 @@ impl EngineBuilder {
         Vec<Box<dyn AlertSink + Send>>,
         Option<Arc<UaInterner>>,
         Option<Arc<PathInterner>>,
+        EngineMetrics,
     ) {
-        (self.cfg, self.sinks, self.uas, self.paths)
+        let metrics = Self::make_metrics(self.metrics, &self.metric_labels);
+        (self.cfg, self.sinks, self.uas, self.paths, metrics)
     }
 }
 

@@ -4,6 +4,7 @@ use crate::alert::{Alert, AlertSink, Verdict};
 use crate::batch::DayBatch;
 use crate::builder::{EngineConfig, EngineError};
 use crate::ingest::IngestSource;
+use crate::metrics::EngineMetrics;
 use crate::report::{CcCandidate, DayReport, InvestigationReport};
 use earlybird_core::{
     belief_propagation, CcDetector, DailyPipeline, DayContext, DayProduct, Seeds,
@@ -12,6 +13,7 @@ use earlybird_logmodel::{
     fold_domain, DatasetMeta, Day, DomainInterner, DomainSym, HostId, HostMapper, PathInterner,
     UaInterner,
 };
+use earlybird_obs::MetricsRegistry;
 use earlybird_pipeline::{DayIndex, DomainHistory, UaHistory};
 use earlybird_timing::{AutomationDetector, AutomationEvidence};
 use std::collections::BTreeMap;
@@ -128,6 +130,10 @@ pub struct Engine {
     /// entries are dropped when a day's product is replaced or evicted.
     /// Behind a lock because checkpoints run on `&self`.
     pub(crate) product_encodings: Mutex<std::collections::BTreeMap<Day, std::sync::Arc<Vec<u8>>>>,
+    /// Cached handles into the attached metrics registry (see
+    /// [`crate::EngineBuilder::metrics`]); pure side-band observability,
+    /// never persisted, never consulted by detection.
+    pub(crate) metrics: EngineMetrics,
 }
 
 impl std::fmt::Debug for Engine {
@@ -140,6 +146,7 @@ impl std::fmt::Debug for Engine {
 }
 
 impl Engine {
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn from_parts(
         cfg: EngineConfig,
         sinks: Vec<Box<dyn AlertSink + Send>>,
@@ -147,6 +154,7 @@ impl Engine {
         meta: DatasetMeta,
         uas: Option<Arc<UaInterner>>,
         paths: Option<Arc<PathInterner>>,
+        metrics: EngineMetrics,
     ) -> Self {
         let pipeline = DailyPipeline::new(raw, cfg.pipeline);
         let soc_seed_syms = cfg.soc_seed_domains.iter().map(|n| pipeline.intern_seed(n)).collect();
@@ -167,6 +175,7 @@ impl Engine {
             line_hosts: HostMapper::new(),
             scratch: crate::ingest::ScratchPool::default(),
             product_encodings: Mutex::new(std::collections::BTreeMap::new()),
+            metrics,
         }
     }
 
@@ -181,6 +190,7 @@ impl Engine {
         uas: Arc<UaInterner>,
         paths: Arc<PathInterner>,
         line_hosts: HostMapper,
+        metrics: EngineMetrics,
     ) -> Self {
         // SOC seed symbols are re-interned *after* the snapshot contents
         // are applied (`Engine::reintern_soc_seeds`): interning into the
@@ -202,6 +212,7 @@ impl Engine {
             line_hosts,
             scratch: crate::ingest::ScratchPool::default(),
             product_encodings: Mutex::new(std::collections::BTreeMap::new()),
+            metrics,
         }
     }
 
@@ -215,6 +226,14 @@ impl Engine {
     /// The dataset metadata the engine was built over.
     pub fn meta(&self) -> &DatasetMeta {
         &self.meta
+    }
+
+    /// The metrics registry this engine records into — the one attached
+    /// via [`crate::EngineBuilder::metrics`], or a private enabled
+    /// registry otherwise. Snapshot it (or render it) at any time without
+    /// stopping ingestion.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        self.metrics.registry()
     }
 
     /// First day treated as an operation (detection) day.
@@ -429,6 +448,7 @@ impl Engine {
         // C&C stage: score every rare domain, sharded across workers.
         let detector = self.detector();
         let scored = {
+            let _cc_span = self.metrics.cc.start();
             let ctx = product.context(self.cfg.whois.as_ref(), self.cfg.whois_defaults);
             self.score_rare_domains(&ctx, &detector)
         };
@@ -513,6 +533,7 @@ impl Engine {
             seed_domains.sort_unstable();
             seed_domains.dedup();
             if !seed_domains.is_empty() {
+                let _bp_span = self.metrics.bp.start();
                 let seeds = Seeds::from_domains_with_hosts(&ctx, seed_domains);
                 let outcome =
                     belief_propagation(&ctx, Some(&detector), &self.cfg.sim, &seeds, &self.cfg.bp);
@@ -528,6 +549,7 @@ impl Engine {
         }
 
         report.stages.sink_failures = self.assign_and_emit(&mut alerts);
+        self.metrics.sink_failures.add(report.stages.sink_failures as u64);
         report.stages.alerts_emitted = alerts.len();
         report.cc_candidates = candidates;
         report.alerts = alerts;
@@ -844,7 +866,6 @@ mod tests {
     use super::*;
     use crate::alert::CollectingSink;
     use crate::builder::EngineBuilder;
-    use crate::report::StageCounters;
     use earlybird_synthgen::lanl::{LanlConfig, LanlGenerator};
 
     fn engine_over_tiny(
@@ -877,8 +898,7 @@ mod tests {
         assert!(reports_par.iter().any(|r| !r.cc_candidates.is_empty()), "candidates observed");
         for (a, b) in reports_par.iter().zip(&reports_seq) {
             assert_eq!(a.cc_candidates, b.cc_candidates, "{:?}", a.day);
-            let strip = |s: &StageCounters| StageCounters { wall_micros: 0, ..*s };
-            assert_eq!(strip(&a.stages), strip(&b.stages), "{:?}", a.day);
+            assert!(a.stages.deterministic_eq(&b.stages), "{:?}", a.day);
         }
         assert_eq!(alerts_par.snapshot(), alerts_seq.snapshot());
     }

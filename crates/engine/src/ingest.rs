@@ -249,6 +249,8 @@ impl DayIngest<'_, '_> {
         let Some(accum) = &mut self.state.accum else { return };
         accum.count_raw_records(records.len());
         let engine = &*self.engine;
+        engine.metrics.records.add(records.len() as u64);
+        let _reduce_span = engine.metrics.reduce.start();
         let shards = shard_spans(records, engine.cfg.parallelism, engine.cfg.ingest_chunk_records);
         reduce_dns_spans(engine, accum, &shards);
     }
@@ -267,6 +269,8 @@ impl DayIngest<'_, '_> {
         let Some(accum) = &mut self.state.accum else { return };
         accum.count_raw_records(records.len());
         let engine = &*self.engine;
+        engine.metrics.records.add(records.len() as u64);
+        let _reduce_span = engine.metrics.reduce.start();
         let shards = shard_spans(records, engine.cfg.parallelism, engine.cfg.ingest_chunk_records);
         reduce_proxy_spans(engine, accum, &shards, dhcp);
     }
@@ -300,6 +304,7 @@ impl DayIngest<'_, '_> {
                 // buffer: interner misses batch-resolve once per span, and
                 // the record vectors keep their capacity across pushes.
                 let mut chunks = engine.scratch.take_dns(shards.len());
+                let parse_span = engine.metrics.parse.start();
                 {
                     let domains = engine.pipeline.raw_interner();
                     parse_shards(&shards, &mut chunks, |shard, chunk| {
@@ -312,11 +317,14 @@ impl DayIngest<'_, '_> {
                     self.engine.line_hosts.assign(&mut chunk.records);
                     errors.append(&mut chunk.errors);
                 }
+                parse_span.finish();
                 let total: usize = chunks.iter().map(|c| c.records.len()).sum();
                 let spans: Vec<&[DnsQuery]> = chunks.iter().map(|c| c.records.as_slice()).collect();
                 let engine = &*self.engine;
                 if let Some(accum) = &mut self.state.accum {
                     accum.count_raw_records(total);
+                    engine.metrics.records.add(total as u64);
+                    let _reduce_span = engine.metrics.reduce.start();
                     reduce_dns_spans(engine, accum, &spans);
                 }
                 drop(spans);
@@ -327,6 +335,7 @@ impl DayIngest<'_, '_> {
                 let shards =
                     shard_spans(&lines, engine.cfg.parallelism, engine.cfg.ingest_chunk_records);
                 let mut chunks = engine.scratch.take_proxy(shards.len());
+                let parse_span = engine.metrics.parse.start();
                 {
                     let domains = engine.pipeline.raw_interner();
                     let (uas, paths) = (&engine.uas, &engine.paths);
@@ -337,11 +346,14 @@ impl DayIngest<'_, '_> {
                 for chunk in &mut chunks {
                     errors.append(&mut chunk.errors);
                 }
+                parse_span.finish();
                 let total: usize = chunks.iter().map(|c| c.records.len()).sum();
                 let spans: Vec<&[ProxyRecord]> =
                     chunks.iter().map(|c| c.records.as_slice()).collect();
                 if let Some(accum) = &mut self.state.accum {
                     accum.count_raw_records(total);
+                    engine.metrics.records.add(total as u64);
+                    let _reduce_span = engine.metrics.reduce.start();
                     reduce_proxy_spans(engine, accum, &spans, dhcp);
                 }
                 drop(spans);
@@ -350,6 +362,7 @@ impl DayIngest<'_, '_> {
         }
         errors.sort_by_key(|(lineno, _)| *lineno);
         self.state.parse_errors += errors.len();
+        self.engine.metrics.parse_errors.add(errors.len() as u64);
         errors
     }
 
@@ -397,7 +410,11 @@ impl DayIngest<'_, '_> {
             },
             ..DayReport::default()
         };
-        match engine.pipeline.finish_day(accum) {
+        let outcome = {
+            let _profile_span = engine.metrics.profile.start();
+            engine.pipeline.finish_day(accum)
+        };
+        match outcome {
             DayOutcome::Bootstrap { dns_counts, proxy_counts, norm_counts } => {
                 report.dns_counts = dns_counts;
                 report.proxy_counts = proxy_counts;

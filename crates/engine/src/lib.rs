@@ -39,6 +39,12 @@
 //!   [`LocalFsBackend`] (byte-compatible with pre-trait directories),
 //!   [`MemBackend`], or the S3-style [`S3LiteBackend`] with multipart
 //!   staging and a conditional manifest swap.
+//! * Observability rides along the whole cycle: per-stage wall-time
+//!   histograms (`engine_stage_micros{stage=parse|reduce|profile|cc|bp|
+//!   checkpoint|restore|compact}`), ingest counters, and checkpoint
+//!   bandwidth flow into a [`MetricsRegistry`] attached via
+//!   [`EngineBuilder::metrics`] (or a private one reachable through
+//!   [`Engine::metrics`]) — side-band only, never affecting results.
 //!
 //! # Example
 //!
@@ -66,6 +72,7 @@ mod batch;
 mod builder;
 mod core_loop;
 mod ingest;
+mod metrics;
 mod persist;
 mod report;
 mod train;
@@ -77,6 +84,7 @@ pub use alert::{
 pub use batch::DayBatch;
 pub use builder::{EngineBuilder, EngineConfig, EngineError};
 pub use core_loop::{Engine, Investigation, SeedSpec};
+pub use earlybird_obs::{MetricsRegistry, MetricsSnapshot};
 pub use earlybird_store::{
     validate_scope_name, CheckpointMeta, CompactionReport, CompactionTrigger, FaultInjector,
     FaultedStore, LifecycleConfig, LocalFsBackend, MemBackend, ObjectStore, RetentionPolicy,

@@ -1,0 +1,97 @@
+//! Cached metric handles for one engine.
+//!
+//! The engine registers every series it will ever touch once, at
+//! construction, so the daily cycle's instrumentation cost is a handful of
+//! relaxed atomic increments — no lock, no lookup, no allocation on the
+//! parse/reduce hot path. The registry itself is shared (the serve daemon
+//! hands every tenant the same one, labeled per tenant) and is
+//! snapshot-readable while the engine runs.
+
+use earlybird_obs::{Counter, MetricsRegistry, StageTimer};
+use std::sync::Arc;
+
+/// One engine's handles into its [`MetricsRegistry`]: per-stage wall-time
+/// timers on `engine_stage_micros{stage=...}` plus the ingest counters.
+/// Timing is observability, never state — nothing here feeds back into
+/// detection or into snapshot bytes.
+#[derive(Clone, Debug)]
+pub(crate) struct EngineMetrics {
+    registry: Arc<MetricsRegistry>,
+    /// Raw-line parsing + sequential host-id assignment.
+    pub(crate) parse: StageTimer,
+    /// Chunked reduction (normalization, folding, per-chunk reduce, absorb).
+    pub(crate) reduce: StageTimer,
+    /// Day finalization: index seal + profile/history fold + rare sieve.
+    pub(crate) profile: StageTimer,
+    /// C&C scoring over the day's rare domains.
+    pub(crate) cc: StageTimer,
+    /// Belief-propagation expansion.
+    pub(crate) bp: StageTimer,
+    /// One checkpoint block write (full or segment).
+    pub(crate) checkpoint: StageTimer,
+    /// One snapshot-stream restore.
+    pub(crate) restore: StageTimer,
+    /// One store compaction pass.
+    pub(crate) compact: StageTimer,
+    /// Raw records accepted into open days (replays excluded).
+    pub(crate) records: Counter,
+    /// Unparseable raw log lines.
+    pub(crate) parse_errors: Counter,
+    /// Alerts dropped because a sink panicked and was detached.
+    pub(crate) sink_failures: Counter,
+    /// Bytes of checkpoint blocks written.
+    pub(crate) checkpoint_bytes: Counter,
+}
+
+impl EngineMetrics {
+    pub(crate) fn new(registry: Arc<MetricsRegistry>, labels: &[(String, String)]) -> Self {
+        let extra: Vec<(&str, &str)> =
+            labels.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect();
+        let stage = |name: &'static str| {
+            let mut l: Vec<(&str, &str)> = Vec::with_capacity(extra.len() + 1);
+            l.push(("stage", name));
+            l.extend(extra.iter().copied());
+            registry.timer(
+                "engine_stage_micros",
+                "Wall time per engine pipeline stage in microseconds",
+                &l,
+            )
+        };
+        EngineMetrics {
+            parse: stage("parse"),
+            reduce: stage("reduce"),
+            profile: stage("profile"),
+            cc: stage("cc"),
+            bp: stage("bp"),
+            checkpoint: stage("checkpoint"),
+            restore: stage("restore"),
+            compact: stage("compact"),
+            records: registry.counter(
+                "engine_records_total",
+                "Raw records accepted into open days (duplicate-day replays excluded)",
+                &extra,
+            ),
+            parse_errors: registry.counter(
+                "engine_parse_errors_total",
+                "Raw log lines that failed to parse",
+                &extra,
+            ),
+            sink_failures: registry.counter(
+                "engine_sink_failures_total",
+                "Alerts dropped because a sink panicked and was detached",
+                &extra,
+            ),
+            checkpoint_bytes: registry.counter(
+                "engine_checkpoint_bytes_total",
+                "Bytes of checkpoint blocks written (full and segment)",
+                &extra,
+            ),
+            registry,
+        }
+    }
+
+    /// The registry every handle records into.
+    pub(crate) fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
+    }
+}

@@ -218,7 +218,12 @@ impl Engine {
             meta
         };
         drop(guard);
-        let compaction = if dir.compaction_due() { Some(compact_store(dir)?) } else { None };
+        let compaction = if dir.compaction_due() {
+            let _compact_span = self.metrics.compact.start();
+            Some(compact_store(dir)?)
+        } else {
+            None
+        };
         Ok(DayPersist { block, compaction })
     }
 
@@ -228,6 +233,7 @@ impl Engine {
         kind: BlockKind,
         cursor: &PersistCursor,
     ) -> StoreResult<CheckpointMeta> {
+        let _checkpoint_span = self.metrics.checkpoint.start();
         let mut block = BlockWriter::begin(out, kind)?;
 
         if kind == BlockKind::Full {
@@ -298,6 +304,7 @@ impl Engine {
         block.section(SectionTag::Sequence, e)?;
 
         let (bytes, checksum) = block.finish()?;
+        self.metrics.checkpoint_bytes.add(bytes);
         Ok(CheckpointMeta {
             kind,
             format_version: FORMAT_VERSION,
@@ -564,7 +571,8 @@ impl EngineBuilder {
         raw: Option<Arc<DomainInterner>>,
         input: &mut R,
     ) -> Result<Engine, StoreError> {
-        let (builder_cfg, sinks, uas, paths) = self.into_parts();
+        let (builder_cfg, sinks, uas, paths, metrics) = self.into_parts();
+        let restore_span = metrics.restore.start();
 
         let Some(mut block) = BlockReader::next_block(input)? else {
             return Err(StoreError::Truncated { context: "snapshot stream" });
@@ -608,6 +616,7 @@ impl EngineBuilder {
             uas.unwrap_or_else(|| Arc::new(UaInterner::new())),
             paths.unwrap_or_else(|| Arc::new(PathInterner::new())),
             HostMapper::new(),
+            metrics,
         );
         engine.apply_state_sections(&mut block)?;
         block.finish()?;
@@ -627,6 +636,7 @@ impl EngineBuilder {
         // resolves them without creating new symbols.
         engine.reintern_soc_seeds();
         *engine.lock_cursor() = engine.current_cursor();
+        restore_span.finish();
         Ok(engine)
     }
 }

@@ -39,7 +39,24 @@ pub struct StageCounters {
     /// [`crate::Engine::take_sink_errors`].
     pub sink_failures: usize,
     /// Wall-clock ingest time in microseconds.
+    ///
+    /// This is the one nondeterministic field: measurement, not state. It
+    /// is excluded from the snapshot format (restored reports carry 0) and
+    /// from [`StageCounters::deterministic_eq`]; per-stage timing detail
+    /// lives in the metrics registry (`engine_stage_micros`), not here.
     pub wall_micros: u64,
+}
+
+impl StageCounters {
+    /// Equality over every deterministic counter — everything except
+    /// `wall_micros`, which is wall-clock measurement noise. This is the
+    /// comparison every equivalence suite (streaming vs batch, restored vs
+    /// uninterrupted, served vs embedded) should use: two runs over the
+    /// same records must agree on all of it, bit for bit.
+    pub fn deterministic_eq(&self, other: &StageCounters) -> bool {
+        let strip = |s: &StageCounters| StageCounters { wall_micros: 0, ..*s };
+        strip(self) == strip(other)
+    }
 }
 
 /// One scored C&C candidate: a rare domain with automated connections.

@@ -1,0 +1,264 @@
+//! Point-in-time snapshots and the Prometheus text exposition.
+
+use std::fmt::Write as _;
+
+/// A frozen read of one histogram.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Ascending bucket upper bounds (microseconds for latency series).
+    pub bounds: Vec<u64>,
+    /// Per-bucket counts, `bounds.len() + 1` long; the last bucket counts
+    /// observations above every bound (`+Inf`). NOT cumulative — see
+    /// [`HistogramSnapshot::cumulative`].
+    pub buckets: Vec<u64>,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Number of observations.
+    pub count: u64,
+}
+
+impl HistogramSnapshot {
+    /// The Prometheus-style cumulative bucket counts (last == `count`).
+    pub fn cumulative(&self) -> Vec<u64> {
+        let mut running = 0u64;
+        self.buckets
+            .iter()
+            .map(|&b| {
+                running += b;
+                running
+            })
+            .collect()
+    }
+}
+
+/// The value half of a [`Sample`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SampleValue {
+    /// A monotone total.
+    Counter(u64),
+    /// A current level.
+    Gauge(i64),
+    /// A fixed-bucket distribution.
+    Histogram(HistogramSnapshot),
+}
+
+/// One registered metric as read at snapshot time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Sample {
+    /// The metric name.
+    pub name: String,
+    /// Sorted label pairs.
+    pub labels: Vec<(String, String)>,
+    /// The help text from first registration.
+    pub help: &'static str,
+    /// The value read.
+    pub value: SampleValue,
+}
+
+impl Sample {
+    /// Whether every `(key, value)` in `subset` appears in this sample's
+    /// labels. An empty subset matches everything with the name.
+    pub fn matches(&self, name: &str, subset: &[(&str, &str)]) -> bool {
+        self.name == name
+            && subset.iter().all(|(k, v)| self.labels.iter().any(|(lk, lv)| lk == k && lv == v))
+    }
+}
+
+/// A deterministic, sorted read of every metric in a registry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// All samples, sorted by `(name, labels)`.
+    pub samples: Vec<Sample>,
+}
+
+impl MetricsSnapshot {
+    /// Sums every counter named `name` whose labels contain `subset`.
+    /// Non-counter kinds under the name are ignored.
+    pub fn counter_sum(&self, name: &str, subset: &[(&str, &str)]) -> u64 {
+        self.samples
+            .iter()
+            .filter(|s| s.matches(name, subset))
+            .filter_map(|s| match &s.value {
+                SampleValue::Counter(v) => Some(*v),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Sums every gauge named `name` whose labels contain `subset`.
+    pub fn gauge_sum(&self, name: &str, subset: &[(&str, &str)]) -> i64 {
+        self.samples
+            .iter()
+            .filter(|s| s.matches(name, subset))
+            .filter_map(|s| match &s.value {
+                SampleValue::Gauge(v) => Some(*v),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// The first histogram matching `(name, subset)`, if any.
+    pub fn histogram(&self, name: &str, subset: &[(&str, &str)]) -> Option<&HistogramSnapshot> {
+        self.samples.iter().filter(|s| s.matches(name, subset)).find_map(|s| match &s.value {
+            SampleValue::Histogram(h) => Some(h),
+            _ => None,
+        })
+    }
+
+    /// Aggregated `(count, sum)` over every histogram matching `(name,
+    /// subset)` — e.g. total observations across all tenants.
+    pub fn histogram_totals(&self, name: &str, subset: &[(&str, &str)]) -> HistogramTotals {
+        let mut totals = HistogramTotals { count: 0, sum: 0 };
+        for s in self.samples.iter().filter(|s| s.matches(name, subset)) {
+            if let SampleValue::Histogram(h) = &s.value {
+                totals.count += h.count;
+                totals.sum += h.sum;
+            }
+        }
+        totals
+    }
+
+    /// Renders the snapshot in the Prometheus text exposition format
+    /// (version 0.0.4): `# HELP` / `# TYPE` headers once per metric name,
+    /// histograms expanded to cumulative `_bucket{le=...}`, `_sum`, and
+    /// `_count` series, labels escaped, everything in sorted order.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut last_name: Option<&str> = None;
+        for s in &self.samples {
+            if last_name != Some(s.name.as_str()) {
+                if !s.help.is_empty() {
+                    let _ = writeln!(out, "# HELP {} {}", s.name, escape_help(s.help));
+                }
+                let kind = match s.value {
+                    SampleValue::Counter(_) => "counter",
+                    SampleValue::Gauge(_) => "gauge",
+                    SampleValue::Histogram(_) => "histogram",
+                };
+                let _ = writeln!(out, "# TYPE {} {}", s.name, kind);
+                last_name = Some(s.name.as_str());
+            }
+            match &s.value {
+                SampleValue::Counter(v) => {
+                    let _ = writeln!(out, "{}{} {}", s.name, label_block(&s.labels, None), v);
+                }
+                SampleValue::Gauge(v) => {
+                    let _ = writeln!(out, "{}{} {}", s.name, label_block(&s.labels, None), v);
+                }
+                SampleValue::Histogram(h) => {
+                    let cumulative = h.cumulative();
+                    for (i, c) in cumulative.iter().enumerate() {
+                        let le = match h.bounds.get(i) {
+                            Some(b) => b.to_string(),
+                            None => "+Inf".to_string(),
+                        };
+                        let _ = writeln!(
+                            out,
+                            "{}_bucket{} {}",
+                            s.name,
+                            label_block(&s.labels, Some(&le)),
+                            c
+                        );
+                    }
+                    let _ =
+                        writeln!(out, "{}_sum{} {}", s.name, label_block(&s.labels, None), h.sum);
+                    let _ = writeln!(
+                        out,
+                        "{}_count{} {}",
+                        s.name,
+                        label_block(&s.labels, None),
+                        h.count
+                    );
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Aggregated histogram totals returned by
+/// [`MetricsSnapshot::histogram_totals`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HistogramTotals {
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: u64,
+}
+
+/// `{k="v",...}` with escaping, with an optional trailing `le` label for
+/// histogram buckets; empty string when there are no labels at all.
+fn label_block(labels: &[(String, String)], le: Option<&str>) -> String {
+    if labels.is_empty() && le.is_none() {
+        return String::new();
+    }
+    let mut parts: Vec<String> =
+        labels.iter().map(|(k, v)| format!("{k}=\"{}\"", escape_label(v))).collect();
+    if let Some(le) = le {
+        parts.push(format!("le=\"{le}\""));
+    }
+    format!("{{{}}}", parts.join(","))
+}
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+fn escape_help(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::MetricsRegistry;
+
+    #[test]
+    fn exposition_golden() {
+        let reg = MetricsRegistry::new();
+        reg.counter("requests_total", "Total requests", &[("tenant", "acme")]).add(7);
+        reg.counter("requests_total", "Total requests", &[("tenant", "zeta")]).add(2);
+        reg.gauge("inflight", "Open operations", &[]).set(3);
+        reg.histogram("lat_micros", "Latency", &[("tenant", "acme")], &[100, 1000]).observe(150);
+        let text = reg.render_prometheus();
+        let expected = "\
+# HELP inflight Open operations
+# TYPE inflight gauge
+inflight 3
+# HELP lat_micros Latency
+# TYPE lat_micros histogram
+lat_micros_bucket{tenant=\"acme\",le=\"100\"} 0
+lat_micros_bucket{tenant=\"acme\",le=\"1000\"} 1
+lat_micros_bucket{tenant=\"acme\",le=\"+Inf\"} 1
+lat_micros_sum{tenant=\"acme\"} 150
+lat_micros_count{tenant=\"acme\"} 1
+# HELP requests_total Total requests
+# TYPE requests_total counter
+requests_total{tenant=\"acme\"} 7
+requests_total{tenant=\"zeta\"} 2
+";
+        assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let reg = MetricsRegistry::new();
+        reg.counter("c", "", &[("path", "a\"b\\c")]).inc();
+        let text = reg.render_prometheus();
+        assert!(text.contains("c{path=\"a\\\"b\\\\c\"} 1"), "got: {text}");
+        assert!(!text.contains("# HELP"), "empty help emits no HELP line");
+    }
+
+    #[test]
+    fn subset_matching_aggregates_across_labels() {
+        let reg = MetricsRegistry::new();
+        reg.counter("n", "", &[("tenant", "a"), ("kind", "x")]).add(1);
+        reg.counter("n", "", &[("tenant", "b"), ("kind", "x")]).add(2);
+        reg.counter("n", "", &[("tenant", "a"), ("kind", "y")]).add(4);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter_sum("n", &[]), 7);
+        assert_eq!(snap.counter_sum("n", &[("kind", "x")]), 3);
+        assert_eq!(snap.counter_sum("n", &[("tenant", "a")]), 5);
+        assert_eq!(snap.counter_sum("n", &[("tenant", "a"), ("kind", "y")]), 4);
+        assert_eq!(snap.counter_sum("missing", &[]), 0);
+    }
+}

@@ -1,0 +1,156 @@
+//! Wall-time spans over latency histograms, plus the slow-op ring buffer.
+
+use crate::registry::Histogram;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Instant;
+
+/// Default slow-op threshold: one second.
+const DEFAULT_SLOW_THRESHOLD_MICROS: u64 = 1_000_000;
+
+/// A structured record of one operation that ran past the slow-op
+/// threshold.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SlowOp {
+    /// Which operation: the metric name plus its labels, e.g.
+    /// `stage_micros{stage=reduce,tenant=acme}`.
+    pub op: String,
+    /// How long it took, in microseconds.
+    pub micros: u64,
+    /// The threshold that was in force when the event was recorded.
+    pub threshold_micros: u64,
+}
+
+/// The bounded slow-op event buffer shared by every span of a registry.
+#[derive(Debug)]
+pub(crate) struct SlowOps {
+    threshold_micros: AtomicU64,
+    cap: usize,
+    events: Mutex<VecDeque<SlowOp>>,
+}
+
+impl SlowOps {
+    pub(crate) fn new(cap: usize) -> Self {
+        SlowOps {
+            threshold_micros: AtomicU64::new(DEFAULT_SLOW_THRESHOLD_MICROS),
+            cap,
+            events: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    pub(crate) fn set_threshold(&self, micros: u64) {
+        self.threshold_micros.store(micros, Ordering::Relaxed);
+    }
+
+    pub(crate) fn threshold(&self) -> u64 {
+        self.threshold_micros.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn record(&self, op: &Arc<str>, micros: u64, threshold_micros: u64) {
+        let mut events = self.events.lock().unwrap_or_else(PoisonError::into_inner);
+        if events.len() == self.cap {
+            events.pop_front();
+        }
+        events.push_back(SlowOp { op: op.to_string(), micros, threshold_micros });
+    }
+
+    pub(crate) fn take(&self) -> Vec<SlowOp> {
+        self.events.lock().unwrap_or_else(PoisonError::into_inner).drain(..).collect()
+    }
+}
+
+/// A reusable timer over one latency histogram. Cache it next to the hot
+/// path; each [`StageTimer::start`] yields a [`Span`] that observes its
+/// elapsed wall time on drop.
+#[derive(Clone, Debug)]
+pub struct StageTimer {
+    enabled: bool,
+    hist: Histogram,
+    op: Arc<str>,
+    slow: Arc<SlowOps>,
+}
+
+impl StageTimer {
+    pub(crate) fn new(enabled: bool, hist: Histogram, op: Arc<str>, slow: Arc<SlowOps>) -> Self {
+        StageTimer { enabled, hist, op, slow }
+    }
+
+    /// Starts timing one operation. On a disabled registry the span skips
+    /// the clock read entirely.
+    pub fn start(&self) -> Span {
+        Span { timer: self.clone(), start: self.enabled.then(Instant::now) }
+    }
+
+    /// Records an externally measured duration (same histogram + slow-op
+    /// path as a [`Span`], without the clock).
+    pub fn observe_micros(&self, micros: u64) {
+        self.hist.observe(micros);
+        let threshold = self.slow.threshold();
+        if micros >= threshold {
+            self.slow.record(&self.op, micros, threshold);
+        }
+    }
+}
+
+/// An in-flight timed operation; records its wall time when dropped.
+/// Create via [`StageTimer::start`] or `MetricsRegistry::span`.
+#[derive(Debug)]
+pub struct Span {
+    timer: StageTimer,
+    start: Option<Instant>,
+}
+
+impl Span {
+    /// Ends the span now (equivalent to dropping it, but reads better at
+    /// call sites that want an explicit end).
+    pub fn finish(self) {}
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(start) = self.start.take() {
+            let micros = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+            self.timer.observe_micros(micros);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MetricsRegistry;
+
+    #[test]
+    fn slow_ops_ring_is_bounded_and_ordered() {
+        let ops = SlowOps::new(3);
+        let tag: Arc<str> = Arc::from("t");
+        for i in 0..5u64 {
+            ops.record(&tag, i, 0);
+        }
+        let got = ops.take();
+        assert_eq!(got.iter().map(|s| s.micros).collect::<Vec<_>>(), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn observe_micros_below_threshold_is_not_slow() {
+        let reg = MetricsRegistry::new();
+        reg.set_slow_op_threshold_micros(100);
+        let timer = reg.stage_timer("s", &[]);
+        timer.observe_micros(99);
+        timer.observe_micros(100);
+        let slow = reg.take_slow_ops();
+        assert_eq!(slow.len(), 1);
+        assert_eq!(slow[0].micros, 100);
+        assert_eq!(slow[0].threshold_micros, 100);
+    }
+
+    #[test]
+    fn finish_records_exactly_once() {
+        let reg = MetricsRegistry::new();
+        let timer = reg.stage_timer("once", &[]);
+        timer.start().finish();
+        let snap = reg.snapshot();
+        assert_eq!(snap.histogram_totals("stage_micros", &[("stage", "once")]).count, 1);
+    }
+}

@@ -152,6 +152,21 @@ impl ServeClient {
         self.request("GET", "/v1/tenants", b"")
     }
 
+    /// The daemon's `GET /metrics` Prometheus text exposition, raw.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, or [`ClientError::Protocol`] for a non-200
+    /// (the scrape endpoint never answers with a JSON envelope).
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        let (status, text) = self.exchange("GET", "/metrics", b"")?;
+        if status == 200 {
+            Ok(text)
+        } else {
+            Err(ClientError::Protocol(format!("status {status} from /metrics")))
+        }
+    }
+
     /// Requests a graceful drain-and-checkpoint shutdown.
     ///
     /// # Errors

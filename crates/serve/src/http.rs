@@ -155,6 +155,17 @@ impl Response {
         }
     }
 
+    /// A plain-text response in the Prometheus exposition content type
+    /// (`GET /metrics`).
+    pub fn text(status: u16, body: impl Into<Vec<u8>>) -> Self {
+        Response {
+            status,
+            content_type: "text/plain; version=0.0.4",
+            extra_headers: Vec::new(),
+            body: body.into(),
+        }
+    }
+
     /// Adds a header.
     pub fn with_header(mut self, name: &str, value: impl Into<String>) -> Self {
         self.extra_headers.push((name.to_string(), value.into()));

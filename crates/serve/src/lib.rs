@@ -23,6 +23,14 @@
 //! * [`client`] — a small blocking client for tests, examples, and
 //!   benchmarks.
 //!
+//! Observability: every tenant's engine and store report into the
+//! daemon's shared [`earlybird_engine::MetricsRegistry`]
+//! ([`server::ServerConfig::metrics`]), joined by per-tenant service
+//! series (`serve_ingest_*`, `serve_finish_commit_micros`, admission
+//! rejections, in-flight gauges) and daemon-wide connection gauges. The
+//! whole registry is served as Prometheus text at `GET /metrics`, and
+//! `GET /v1/tenants` carries the per-tenant health counters inline.
+//!
 //! Durability contract: a `200` from `POST .../finish` is written only
 //! after [`earlybird_engine::Engine::checkpoint_day_to`] committed the
 //! day to the tenant's store scope — a `kill -9` after the ack loses

@@ -20,6 +20,7 @@ use crate::http::{read_request, write_response, ReadError, Request, Response};
 use crate::tenant::{Tenant, TenantLimits};
 use crate::wire::{parse_day, ShutdownAck, TenantSpec, TenantsPage};
 use earlybird_engine::LifecycleConfig;
+use earlybird_obs::{Gauge, MetricsRegistry};
 use earlybird_store::{validate_scope_name, ObjectStore};
 use std::collections::BTreeMap;
 use std::io::BufReader;
@@ -41,6 +42,11 @@ pub struct ServerConfig {
     pub limits: TenantLimits,
     /// Store lifecycle (compaction trigger, retention) for every tenant.
     pub lifecycle: LifecycleConfig,
+    /// The metrics registry every tenant's engine and store report into,
+    /// served as Prometheus text at `GET /metrics`. Defaults to a fresh
+    /// enabled registry; pass [`MetricsRegistry::disabled`] to skip span
+    /// clock reads.
+    pub metrics: Arc<MetricsRegistry>,
 }
 
 impl Default for ServerConfig {
@@ -51,6 +57,7 @@ impl Default for ServerConfig {
             max_body_bytes: 64 << 20,
             limits: TenantLimits::default(),
             lifecycle: LifecycleConfig::default(),
+            metrics: Arc::new(MetricsRegistry::new()),
         }
     }
 }
@@ -107,6 +114,8 @@ struct Shared {
     stop_accepting: AtomicBool,
     active_requests: AtomicUsize,
     connections: Semaphore,
+    connections_active: Gauge,
+    requests_inflight: Gauge,
 }
 
 /// The running daemon. [`Server::bind`] restores tenants and starts
@@ -139,13 +148,25 @@ impl Server {
             // A `None` is crash residue from an unacked creation; the
             // scope is skipped, not an error, and a later PUT may claim
             // the name again.
-            if let Some(tenant) = Tenant::restore(&name, scope, cfg.lifecycle, cfg.limits)? {
+            if let Some(tenant) =
+                Tenant::restore(&name, scope, cfg.lifecycle, cfg.limits, &cfg.metrics)?
+            {
                 tenants.insert(name, Arc::new(tenant));
             }
         }
 
         let shared = Arc::new(Shared {
             connections: Semaphore::new(cfg.max_connections.max(1)),
+            connections_active: cfg.metrics.gauge(
+                "serve_connections_active",
+                "Connections currently holding a pool permit",
+                &[],
+            ),
+            requests_inflight: cfg.metrics.gauge(
+                "serve_requests_inflight",
+                "Requests currently being dispatched",
+                &[],
+            ),
             cfg,
             registry: Registry { root: Mutex::new(root), tenants: RwLock::new(tenants) },
             draining: AtomicBool::new(false),
@@ -178,7 +199,9 @@ impl Server {
             let shared = Arc::clone(&self.shared);
             let addr = self.addr;
             workers.push(std::thread::spawn(move || {
+                shared.connections_active.inc();
                 serve_connection(stream, &shared, addr);
+                shared.connections_active.dec();
                 shared.connections.release();
             }));
             workers.retain(|w| !w.is_finished());
@@ -234,7 +257,9 @@ fn serve_connection(stream: TcpStream, shared: &Shared, self_addr: SocketAddr) {
         };
         let keep_alive = !request.wants_close();
         shared.active_requests.fetch_add(1, Ordering::SeqCst);
+        shared.requests_inflight.inc();
         let response = dispatch(&request, shared, self_addr);
+        shared.requests_inflight.dec();
         shared.active_requests.fetch_sub(1, Ordering::SeqCst);
         if write_response(&mut write_half, &response, keep_alive).is_err() || !keep_alive {
             return;
@@ -258,6 +283,11 @@ fn route(req: &Request, shared: &Shared, self_addr: SocketAddr) -> Result<Respon
     let method = req.method.as_str();
 
     match segments.as_slice() {
+        // The scrape endpoint lives outside /v1: it follows the
+        // Prometheus convention, not the service API's versioning.
+        ["metrics"] if method == "GET" => {
+            Ok(Response::text(200, shared.cfg.metrics.render_prometheus()))
+        }
         ["v1", "healthz"] if method == "GET" => {
             let draining = shared.draining.load(Ordering::SeqCst);
             Ok(Response::json(200, format!("{{\"status\":\"ok\",\"draining\":{draining}}}")))
@@ -314,7 +344,8 @@ fn route(req: &Request, shared: &Shared, self_addr: SocketAddr) -> Result<Respon
             Ok(json_ok(200, &tenant.investigate(&request)?))
         }
         // Known route shapes with the wrong verb get a 405, not a 404.
-        ["v1", "tenants"]
+        ["metrics"]
+        | ["v1", "tenants"]
         | ["v1", "admin", "shutdown"]
         | ["v1", _]
         | ["v1", _, "days", _, "spans" | "finish" | "report"]
@@ -351,7 +382,14 @@ fn create_tenant(shared: &Shared, name: &str, body: &[u8]) -> Result<Response, S
         let root = shared.registry.root.lock().unwrap_or_else(PoisonError::into_inner);
         root.scope(name).map_err(|e| ServeError::from_store(&e))?
     };
-    let tenant = Tenant::create(name, &spec, scope, shared.cfg.lifecycle, shared.cfg.limits)?;
+    let tenant = Tenant::create(
+        name,
+        &spec,
+        scope,
+        shared.cfg.lifecycle,
+        shared.cfg.limits,
+        &shared.cfg.metrics,
+    )?;
 
     let mut tenants = shared.registry.tenants.write().unwrap_or_else(PoisonError::into_inner);
     if tenants.contains_key(name) {

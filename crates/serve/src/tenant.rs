@@ -30,10 +30,11 @@ use earlybird_engine::{
     LifecycleConfig, StoreDir,
 };
 use earlybird_logmodel::Day;
+use earlybird_obs::{Counter, Gauge, MetricsRegistry, StageTimer};
 use earlybird_store::ObjectStore;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Mutex, PoisonError, RwLock};
+use std::sync::{Arc, Mutex, PoisonError, RwLock};
 
 /// Per-tenant admission-control ceilings; exceeding either rejects the
 /// span with `429` + `Retry-After`.
@@ -48,6 +49,73 @@ pub struct TenantLimits {
 impl Default for TenantLimits {
     fn default() -> Self {
         TenantLimits { max_inflight_spans: 64, max_open_bytes: 512 << 20 }
+    }
+}
+
+/// Cached per-tenant metric handles, all labeled `{tenant=...}`. Every
+/// handle is an `Arc`-backed clone of a registry cell, so reads (the
+/// summary row) and increments never take a tenant lock.
+#[derive(Debug)]
+struct TenantMetrics {
+    ingest_records: Counter,
+    ingest_bytes: Counter,
+    span_parse_errors: Counter,
+    admission_rejections: Counter,
+    finish_commit: StageTimer,
+    inflight_spans: Gauge,
+    open_bytes: Gauge,
+    /// The *store's* GC-failure counter — the same cell the tenant's
+    /// [`StoreDir`] increments (metric identity is name + sorted labels).
+    /// Holding a clone lets [`Tenant::summary`] report it without
+    /// touching the store mutex, which a finish may hold for a while.
+    store_gc_failures: Counter,
+}
+
+impl TenantMetrics {
+    fn new(registry: &MetricsRegistry, name: &str, backend: &'static str) -> Self {
+        let tenant: &[(&str, &str)] = &[("tenant", name)];
+        TenantMetrics {
+            ingest_records: registry.counter(
+                "serve_ingest_records_total",
+                "Records absorbed from span pushes",
+                tenant,
+            ),
+            ingest_bytes: registry.counter(
+                "serve_ingest_bytes_total",
+                "Span payload bytes charged against open days",
+                tenant,
+            ),
+            span_parse_errors: registry.counter(
+                "serve_span_parse_errors_total",
+                "Log lines rejected by the span parser",
+                tenant,
+            ),
+            admission_rejections: registry.counter(
+                "serve_admission_rejections_total",
+                "Spans refused by admission control (HTTP 429)",
+                tenant,
+            ),
+            finish_commit: registry.timer(
+                "serve_finish_commit_micros",
+                "Finish-to-durable latency: detection tail plus store commit",
+                tenant,
+            ),
+            inflight_spans: registry.gauge(
+                "serve_inflight_spans",
+                "Span pushes currently being absorbed",
+                tenant,
+            ),
+            open_bytes: registry.gauge(
+                "serve_open_bytes",
+                "Bytes buffered across open (unfinished) days",
+                tenant,
+            ),
+            store_gc_failures: registry.counter(
+                "store_gc_failures_total",
+                "Best-effort GC deletions that failed (objects leak until quarantined)",
+                &[("backend", backend), ("tenant", name)],
+            ),
+        }
     }
 }
 
@@ -78,14 +146,17 @@ pub struct Tenant {
     /// Reports already covered by a store commit — the shutdown
     /// checkpoint is skipped when nothing new was ingested.
     persisted_reports: AtomicUsize,
+    metrics: TenantMetrics,
 }
 
-/// Releases an in-flight-span reservation on every exit path.
-struct InflightGuard<'t>(&'t AtomicUsize);
+/// Releases an in-flight-span reservation (and its gauge) on every exit
+/// path.
+struct InflightGuard<'t>(&'t Tenant);
 
 impl Drop for InflightGuard<'_> {
     fn drop(&mut self) {
-        self.0.fetch_sub(1, Ordering::SeqCst);
+        self.0.inflight_spans.fetch_sub(1, Ordering::SeqCst);
+        self.0.metrics.inflight_spans.dec();
     }
 }
 
@@ -103,6 +174,7 @@ impl Tenant {
         scope: Box<dyn ObjectStore>,
         lifecycle: LifecycleConfig,
         limits: TenantLimits,
+        registry: &Arc<MetricsRegistry>,
     ) -> Result<Tenant, ServeError> {
         let meta = spec.dataset_meta()?;
         let sink = AlertLogSink::new();
@@ -110,7 +182,9 @@ impl Tenant {
         let engine = spec
             .builder()
             .sink(sink)
-            .build(std::sync::Arc::new(earlybird_logmodel::DomainInterner::new()), meta)
+            .metrics(Arc::clone(registry))
+            .metric_label("tenant", name)
+            .build(Arc::new(earlybird_logmodel::DomainInterner::new()), meta)
             .map_err(|e| ServeError::from_engine(&e))?;
         // `open_or_create`: the scope may hold the residue of a crashed,
         // never-acked creation (a manifest over an empty chain), which a
@@ -119,11 +193,12 @@ impl Tenant {
         // registry, and the registry rejected this name already.
         let mut dir = StoreDir::open_or_create_boxed(scope, lifecycle)
             .map_err(|e| ServeError::from_store(&e))?;
+        dir.attach_metrics(registry, &[("tenant", name)]);
         // Registration durability: an empty chain cannot be restored, so
         // a tenant that existed before a crash must already own a full
         // snapshot.
         engine.checkpoint_day_to(&mut dir).map_err(|e| ServeError::from_store(&e))?;
-        Ok(Tenant::assemble(name, engine, dir, alerts, limits))
+        Ok(Tenant::assemble(name, engine, dir, alerts, limits, registry))
     }
 
     /// Restores a tenant from its store scope after a cold start. All
@@ -144,18 +219,25 @@ impl Tenant {
         scope: Box<dyn ObjectStore>,
         lifecycle: LifecycleConfig,
         limits: TenantLimits,
+        registry: &Arc<MetricsRegistry>,
     ) -> Result<Option<Tenant>, ServeError> {
-        let dir = StoreDir::open_boxed(scope, lifecycle).map_err(|e| ServeError::from_store(&e))?;
+        let mut dir =
+            StoreDir::open_boxed(scope, lifecycle).map_err(|e| ServeError::from_store(&e))?;
         if dir.is_empty() {
             return Ok(None);
         }
+        // Attach before the restore reads so the cold start's chain gets
+        // fetched under the store's `get` span.
+        dir.attach_metrics(registry, &[("tenant", name)]);
         let sink = AlertLogSink::new();
         let alerts = sink.log();
         let engine = EngineBuilder::lanl()
             .sink(sink)
+            .metrics(Arc::clone(registry))
+            .metric_label("tenant", name)
             .restore_dir(&dir)
             .map_err(|e| ServeError::from_store(&e))?;
-        Ok(Some(Tenant::assemble(name, engine, dir, alerts, limits)))
+        Ok(Some(Tenant::assemble(name, engine, dir, alerts, limits, registry)))
     }
 
     fn assemble(
@@ -164,8 +246,10 @@ impl Tenant {
         dir: StoreDir,
         alerts: AlertLog,
         limits: TenantLimits,
+        registry: &MetricsRegistry,
     ) -> Tenant {
         let persisted = engine.reports().count();
+        let metrics = TenantMetrics::new(registry, name, dir.backend().kind());
         Tenant {
             name: name.to_string(),
             core: RwLock::new(TenantCore { engine, open_days: BTreeMap::new() }),
@@ -175,6 +259,7 @@ impl Tenant {
             inflight_spans: AtomicUsize::new(0),
             open_bytes: AtomicUsize::new(0),
             persisted_reports: AtomicUsize::new(persisted),
+            metrics,
         }
     }
 
@@ -219,14 +304,17 @@ impl Tenant {
         // Admission first, before any lock: a tenant at capacity must not
         // queue work behind its own backlog.
         let inflight = self.inflight_spans.fetch_add(1, Ordering::SeqCst) + 1;
-        let guard = InflightGuard(&self.inflight_spans);
+        self.metrics.inflight_spans.inc();
+        let guard = InflightGuard(self);
         if inflight > self.limits.max_inflight_spans {
+            self.metrics.admission_rejections.inc();
             return Err(ServeError::over_capacity(format!(
                 "{inflight} spans in flight exceeds the tenant ceiling of {}",
                 self.limits.max_inflight_spans
             )));
         }
         if self.open_bytes.load(Ordering::SeqCst) + text.len() > self.limits.max_open_bytes {
+            self.metrics.admission_rejections.inc();
             return Err(ServeError::over_capacity(format!(
                 "open days hold {} buffered bytes; a {}-byte span would exceed the ceiling of {}",
                 self.open_bytes.load(Ordering::SeqCst),
@@ -243,6 +331,7 @@ impl Tenant {
             None => (core.engine.begin_day(day, IngestSource::Dns), 0),
         };
         let mut ingest = resumed;
+        let before = ingest.records_pushed();
         let span_errors = ingest.push_lines(text).len();
         let ack = SpanAck {
             day: day.index(),
@@ -250,10 +339,14 @@ impl Tenant {
             span_parse_errors: span_errors as u64,
             duplicate: ingest.is_duplicate(),
         };
+        self.metrics.ingest_records.add((ingest.records_pushed() - before) as u64);
+        self.metrics.span_parse_errors.add(span_errors as u64);
         let state = ingest.suspend();
         let charged = if ack.duplicate { 0 } else { text.len() };
         core.open_days.insert(day, OpenDay { state, bytes: prior_bytes + charged });
         self.open_bytes.fetch_add(charged, Ordering::SeqCst);
+        self.metrics.ingest_bytes.add(charged as u64);
+        self.metrics.open_bytes.add(charged as i64);
         drop(guard);
         Ok(ack)
     }
@@ -270,6 +363,11 @@ impl Tenant {
     /// (the response is written only after a successful commit, so a
     /// `500` here means the day is NOT durable).
     pub fn finish_day(&self, day: Day) -> Result<FinishAck, ServeError> {
+        // One span for the whole seal: detection tail + store commit —
+        // the latency a client sees between POSTing finish and holding a
+        // durable ack. Recorded on every exit path (drop), errors
+        // included, because a slow failure is still a slow finish.
+        let _finish_span = self.metrics.finish_commit.start();
         let report = {
             let mut core = self.write_core();
             Self::check_not_stale(&core, day)?;
@@ -284,6 +382,7 @@ impl Tenant {
             };
             let report = ingest.try_finish().map_err(|e| ServeError::from_engine(&e))?;
             self.open_bytes.fetch_sub(bytes, Ordering::SeqCst);
+            self.metrics.open_bytes.add(-(bytes as i64));
             report
         };
         // The write lock is released before the commit: the checkpoint
@@ -350,6 +449,11 @@ impl Tenant {
             // so cursors held across a restart never see a sequence
             // handed out twice.
             next_alert_sequence: core.engine.next_alert_sequence(),
+            span_parse_errors: self.metrics.span_parse_errors.get(),
+            // Read from the shared metric cell, never the store itself:
+            // taking the store mutex here would stall the listing behind
+            // an in-flight commit.
+            gc_failures: self.metrics.store_gc_failures.get(),
         }
     }
 
@@ -367,6 +471,7 @@ impl Tenant {
             let bytes: usize = core.open_days.values().map(|o| o.bytes).sum();
             core.open_days.clear();
             self.open_bytes.fetch_sub(bytes, Ordering::SeqCst);
+            self.metrics.open_bytes.add(-(bytes as i64));
             dropped
         };
         let mut dir = self.lock_store();

@@ -224,6 +224,14 @@ pub struct TenantSummary {
     /// The tenant's current alert cursor (next sequence to be assigned
     /// a position in the log).
     pub next_alert_sequence: u64,
+    /// Log lines this daemon rejected while parsing the tenant's spans
+    /// (the process-lifetime `serve_span_parse_errors_total` counter; it
+    /// resets on restart, unlike `days_ingested`).
+    pub span_parse_errors: u64,
+    /// Store GC deletions that failed for this tenant
+    /// (`store_gc_failures_total`) — the objects leak until the next
+    /// open quarantines them; a growing count wants an operator.
+    pub gc_failures: u64,
 }
 
 /// `GET /v1/tenants` response.

@@ -54,6 +54,7 @@ use crate::backend::{
 use crate::codec::{crc32, Decoder, Encoder};
 use crate::error::{StoreError, StoreResult};
 use crate::frame::{BlockKind, CheckpointMeta};
+use earlybird_obs::{Counter, MetricsRegistry, StageTimer};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::io::{self, BufWriter, Read, Write};
@@ -273,6 +274,67 @@ impl PendingBlock {
     }
 }
 
+// -- metrics ----------------------------------------------------------------
+
+/// Cached metric handles for one store, labeled by backend kind (plus any
+/// caller labels, e.g. the owning tenant). `None` until
+/// [`StoreDir::attach_metrics`] — every instrumentation point is a plain
+/// `if let`, so an unattached store pays nothing.
+#[derive(Clone, Debug)]
+struct StoreMetrics {
+    commit: StageTimer,
+    put: StageTimer,
+    swap: StageTimer,
+    get: StageTimer,
+    commit_bytes: Counter,
+    gc_failures: Counter,
+    quarantined: Counter,
+}
+
+impl StoreMetrics {
+    fn new(registry: &MetricsRegistry, backend: &'static str, extra: &[(&str, &str)]) -> Self {
+        let mut labels: Vec<(&str, &str)> = vec![("backend", backend)];
+        labels.extend(extra.iter().copied());
+        StoreMetrics {
+            commit: registry.timer(
+                "store_commit_micros",
+                "Wall time of one chain commit: seal, finalize, manifest swap, GC",
+                &labels,
+            ),
+            put: registry.timer(
+                "store_put_micros",
+                "Wall time finalizing one staged object upload",
+                &labels,
+            ),
+            swap: registry.timer(
+                "store_swap_micros",
+                "Wall time of one atomic manifest swap",
+                &labels,
+            ),
+            get: registry.timer(
+                "store_get_micros",
+                "Wall time opening one chain object for read",
+                &labels,
+            ),
+            commit_bytes: registry.counter(
+                "store_commit_bytes_total",
+                "Bytes committed into the chain",
+                &labels,
+            ),
+            gc_failures: registry.counter(
+                "store_gc_failures_total",
+                "Best-effort GC deletions that failed (objects leak until quarantined)",
+                &labels,
+            ),
+            quarantined: registry.counter(
+                "store_quarantined_total",
+                "Orphaned objects moved into quarantine at open",
+                &labels,
+            ),
+        }
+    }
+}
+
 // -- the store directory ----------------------------------------------------
 
 /// A snapshot store owned through its manifest: every visible chain
@@ -292,6 +354,7 @@ pub struct StoreDir {
     manifest: Manifest,
     quarantined: Vec<String>,
     gc_failures: u64,
+    metrics: Option<StoreMetrics>,
 }
 
 impl StoreDir {
@@ -338,7 +401,14 @@ impl StoreDir {
         }
         let manifest = Manifest::default();
         backend.swap_manifest(None, manifest.generation, &manifest.encode())?;
-        Ok(StoreDir { backend, cfg, manifest, quarantined: Vec::new(), gc_failures: 0 })
+        Ok(StoreDir {
+            backend,
+            cfg,
+            manifest,
+            quarantined: Vec::new(),
+            gc_failures: 0,
+            metrics: None,
+        })
     }
 
     /// Opens an existing store on a local directory — shorthand for
@@ -391,7 +461,14 @@ impl StoreDir {
             )));
         };
         let manifest = Manifest::decode(&manifest_bytes)?;
-        let mut dir = StoreDir { backend, cfg, manifest, quarantined: Vec::new(), gc_failures: 0 };
+        let mut dir = StoreDir {
+            backend,
+            cfg,
+            manifest,
+            quarantined: Vec::new(),
+            gc_failures: 0,
+            metrics: None,
+        };
         dir.validate_chain()?;
         dir.sweep_orphans()?;
         Ok(dir)
@@ -501,6 +578,19 @@ impl StoreDir {
         self.gc_failures
     }
 
+    /// Attaches this store to a [`MetricsRegistry`]: commit / put / swap /
+    /// get latencies, committed bytes, GC failures, and quarantine counts
+    /// flow into `store_*` series labeled by backend kind plus
+    /// `extra_labels` (e.g. the owning tenant). Counts accrued before the
+    /// attach — a quarantine sweep at open happens first by construction —
+    /// are folded in so the registry never under-reports this handle.
+    pub fn attach_metrics(&mut self, registry: &MetricsRegistry, extra_labels: &[(&str, &str)]) {
+        let metrics = StoreMetrics::new(registry, self.backend.kind(), extra_labels);
+        metrics.gc_failures.add(self.gc_failures);
+        metrics.quarantined.add(self.quarantined.len() as u64);
+        self.metrics = Some(metrics);
+    }
+
     /// Installs a [`FaultInjector`] for durability tests by wrapping the
     /// backend in a [`FaultedStore`]; every subsequent backend mutation is
     /// accounted against it.
@@ -520,7 +610,12 @@ impl StoreDir {
     /// lazily per object while reading).
     pub fn reader(&self) -> StoreResult<ChainReader<'_>> {
         let names: Vec<String> = self.manifest.entries.iter().map(|e| e.name.clone()).collect();
-        Ok(ChainReader { backend: self.backend.as_ref(), names: names.into_iter(), current: None })
+        Ok(ChainReader {
+            backend: self.backend.as_ref(),
+            names: names.into_iter(),
+            current: None,
+            get_timer: self.metrics.as_ref().map(|m| m.get.clone()),
+        })
     }
 
     // -- writing ------------------------------------------------------------
@@ -591,6 +686,7 @@ impl StoreDir {
         meta: &CheckpointMeta,
         expect: BlockKind,
     ) -> StoreResult<()> {
+        let _commit_span = self.metrics.as_ref().map(|m| m.commit.start());
         if pending.kind != expect || meta.kind != expect {
             return Err(StoreError::corrupt(format!(
                 "commit of a {expect:?} block was handed a {:?} pending / {:?} meta",
@@ -622,7 +718,10 @@ impl StoreDir {
                 meta.bytes
             )));
         }
-        upload.finalize()?;
+        {
+            let _put_span = self.metrics.as_ref().map(|m| m.put.start());
+            upload.finalize()?;
+        }
 
         let mut next = self.manifest.clone();
         next.generation = generation;
@@ -635,12 +734,18 @@ impl StoreDir {
             next.entries.push(entry);
             Vec::new()
         };
-        self.backend.swap_manifest(
-            Some(self.manifest.generation),
-            next.generation,
-            &next.encode(),
-        )?;
+        {
+            let _swap_span = self.metrics.as_ref().map(|m| m.swap.start());
+            self.backend.swap_manifest(
+                Some(self.manifest.generation),
+                next.generation,
+                &next.encode(),
+            )?;
+        }
         self.manifest = next;
+        if let Some(m) = &self.metrics {
+            m.commit_bytes.add(meta.bytes);
+        }
 
         // The old chain is unreferenced now; deletion is garbage
         // collection, not correctness. A failure (or a crash) leaves
@@ -649,6 +754,9 @@ impl StoreDir {
         for name in replaced {
             if self.backend.delete(&name).is_err() {
                 self.gc_failures += 1;
+                if let Some(m) = &self.metrics {
+                    m.gc_failures.inc();
+                }
             }
         }
         Ok(())
@@ -717,6 +825,7 @@ pub struct ChainReader<'a> {
     backend: &'a dyn ObjectStore,
     names: std::vec::IntoIter<String>,
     current: Option<Box<dyn Read + Send>>,
+    get_timer: Option<StageTimer>,
 }
 
 impl fmt::Debug for ChainReader<'_> {
@@ -734,6 +843,7 @@ impl Read for ChainReader<'_> {
             if self.current.is_none() {
                 match self.names.next() {
                     Some(name) => {
+                        let _get_span = self.get_timer.as_ref().map(|t| t.start());
                         let reader = self.backend.get(&name).map_err(|e| match e {
                             StoreError::Io(e) => e,
                             other => io::Error::other(other.to_string()),

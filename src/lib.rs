@@ -25,6 +25,7 @@
 //! | [`engine`] | `earlybird-engine` | **the unified ingest → detect → alert API** |
 //! | [`serve`] | `earlybird-serve` | multi-tenant ingest + query service daemon (HTTP/1.1 + JSON over `std::net`) |
 //! | [`store`] | `earlybird-store` | durable checkpoint/restore: versioned, self-checking binary snapshots |
+//! | [`obs`] | `earlybird-obs` | metrics + tracing substrate: atomic counters/gauges/histograms, stage spans, Prometheus exposition |
 //! | [`logmodel`] | `earlybird-logmodel` | timestamps, hosts, interned domains/UAs, DNS & proxy records |
 //! | [`timing`] | `earlybird-timing` | dynamic histograms, Jeffrey divergence, automation detectors |
 //! | [`features`] | `earlybird-features` | feature vectors, OLS regression, additive LANL score |
@@ -85,6 +86,7 @@ pub use earlybird_eval as eval;
 pub use earlybird_features as features;
 pub use earlybird_intel as intel;
 pub use earlybird_logmodel as logmodel;
+pub use earlybird_obs as obs;
 pub use earlybird_pipeline as pipeline;
 pub use earlybird_serve as serve;
 pub use earlybird_store as store;

@@ -6,8 +6,7 @@
 //! the incremental per-day segment paths.
 
 use earlybird::engine::{
-    Alert, CheckpointMeta, CollectedAlerts, DayBatch, DayReport, Engine, EngineBuilder,
-    StageCounters, StoreError,
+    Alert, CheckpointMeta, CollectedAlerts, DayBatch, DayReport, Engine, EngineBuilder, StoreError,
 };
 use earlybird::logmodel::Day;
 use earlybird::synthgen::ac::{AcConfig, AcGenerator, AcWorld};
@@ -17,19 +16,11 @@ use earlybird_engine::CollectingSink;
 use earlybird_features::{FeatureScaler, LinearRegression, RegressionModel, CC_FEATURE_NAMES};
 use std::sync::Arc;
 
-fn strip_wall(s: &StageCounters) -> StageCounters {
-    StageCounters { wall_micros: 0, ..*s }
-}
-
 fn assert_reports_equal(restored: &DayReport, reference: &DayReport, context: &str) {
     assert_eq!(restored.day, reference.day, "{context}: day");
     assert_eq!(restored.bootstrap, reference.bootstrap, "{context}: bootstrap flag");
     assert_eq!(restored.duplicate, reference.duplicate, "{context}: duplicate flag");
-    assert_eq!(
-        strip_wall(&restored.stages),
-        strip_wall(&reference.stages),
-        "{context}: stage counters"
-    );
+    assert!(restored.stages.deterministic_eq(&reference.stages), "{context}: stage counters");
     assert_eq!(restored.dns_counts, reference.dns_counts, "{context}: dns counts");
     assert_eq!(restored.proxy_counts, reference.proxy_counts, "{context}: proxy counts");
     assert_eq!(restored.norm_counts, reference.norm_counts, "{context}: norm counts");
@@ -55,7 +46,7 @@ fn assert_engines_agree(restored: &Engine, reference: &Engine, context: &str) {
     assert_eq!(restored.ua_history().len(), reference.ua_history().len(), "{context}: UA history");
     for (a, b) in restored.reports().zip(reference.reports()) {
         assert_eq!(a.day, b.day, "{context}: report order");
-        assert_eq!(strip_wall(&a.stages), strip_wall(&b.stages), "{context}: stored {:?}", a.day);
+        assert!(a.stages.deterministic_eq(&b.stages), "{context}: stored {:?}", a.day);
     }
     for day in reference.days() {
         assert_eq!(

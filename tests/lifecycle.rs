@@ -19,7 +19,7 @@ mod support;
 
 use earlybird::engine::{
     compact_store, Alert, CompactionTrigger, DayBatch, DayReport, Engine, EngineBuilder,
-    LifecycleConfig, RetentionPolicy, StageCounters, StoreDir, StoreError,
+    LifecycleConfig, RetentionPolicy, StoreDir, StoreError,
 };
 use earlybird::logmodel::{
     DatasetMeta, Day, DnsDayLog, DnsQuery, DnsRecordType, DomainInterner, HostId, HostKind, Ipv4,
@@ -40,17 +40,9 @@ fn temp_store(tag: &str) -> PathBuf {
     root
 }
 
-fn strip_wall(s: &StageCounters) -> StageCounters {
-    StageCounters { wall_micros: 0, ..*s }
-}
-
 fn assert_reports_equal(restored: &DayReport, reference: &DayReport, context: &str) {
     assert_eq!(restored.day, reference.day, "{context}: day");
-    assert_eq!(
-        strip_wall(&restored.stages),
-        strip_wall(&reference.stages),
-        "{context}: stage counters"
-    );
+    assert!(restored.stages.deterministic_eq(&reference.stages), "{context}: stage counters");
     assert_eq!(restored.cc_candidates, reference.cc_candidates, "{context}: candidates");
     assert_eq!(restored.alerts, reference.alerts, "{context}: alerts");
     assert_eq!(restored.outcome, reference.outcome, "{context}: BP outcome");
@@ -316,12 +308,7 @@ fn daily_cycle_compacts_on_trigger_and_stays_equivalent() {
         );
         for (a, b) in restored.reports().zip(reference.reports()) {
             assert_eq!(a.day, b.day, "{ctx}");
-            assert_eq!(
-                strip_wall(&a.stages),
-                strip_wall(&b.stages),
-                "{ctx}: stored counters for {:?}",
-                a.day
-            );
+            assert!(a.stages.deterministic_eq(&b.stages), "{ctx}: stored counters for {:?}", a.day);
         }
         backend.cleanup();
     }
@@ -371,12 +358,7 @@ fn retention_gc_prunes_indexes_but_keeps_counters() {
         assert_eq!(restored.reports().count(), split, "{ctx}: every acked day's counters survive");
         for report in restored.reports() {
             let reference = &ref_reports[report.day.index() as usize];
-            assert_eq!(
-                strip_wall(&report.stages),
-                strip_wall(&reference.stages),
-                "{ctx}: {:?}",
-                report.day
-            );
+            assert!(report.stages.deterministic_eq(&reference.stages), "{ctx}: {:?}", report.day);
         }
         let pruned = Day::new(boot as u32);
         assert!(restored.day_index(pruned).is_none(), "{ctx}: pruned day not investigable");

@@ -29,10 +29,6 @@ use std::collections::BTreeSet;
 use std::sync::Arc;
 use support::Backend;
 
-fn strip_wall(s: &StageCounters) -> StageCounters {
-    StageCounters { wall_micros: 0, ..*s }
-}
-
 fn challenge() -> LanlChallenge {
     LanlGenerator::new(LanlConfig::tiny()).generate()
 }
@@ -50,12 +46,7 @@ fn engine_for(challenge: &LanlChallenge) -> Engine {
 /// never persists at all.
 fn reference_counters(challenge: &LanlChallenge) -> Vec<StageCounters> {
     let mut engine = engine_for(challenge);
-    challenge
-        .dataset
-        .days
-        .iter()
-        .map(|day| strip_wall(&engine.ingest_day(DayBatch::Dns(day)).stages))
-        .collect()
+    challenge.dataset.days.iter().map(|day| engine.ingest_day(DayBatch::Dns(day)).stages).collect()
 }
 
 /// After a simulated crash, reopening the store must yield a chain that
@@ -85,9 +76,8 @@ fn assert_no_acked_loss(
         assert!(days.contains(day), "{context}: acknowledged {day:?} lost; chain holds {days:?}");
     }
     for report in restored.reports() {
-        assert_eq!(
-            strip_wall(&report.stages),
-            reference[report.day.index() as usize],
+        assert!(
+            report.stages.deterministic_eq(&reference[report.day.index() as usize]),
             "{context}: counters for {:?}",
             report.day
         );

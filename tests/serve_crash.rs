@@ -21,7 +21,7 @@
 #[allow(dead_code)]
 mod support;
 
-use earlybird::engine::{FaultInjector, FaultedStore, IngestSource, StageCounters};
+use earlybird::engine::{FaultInjector, FaultedStore, IngestSource};
 use earlybird::logmodel::{
     format_dns_line, Day, DnsQuery, DnsRecordType, DomainInterner, HostId, Ipv4, Timestamp,
 };
@@ -71,10 +71,6 @@ fn day_text(day: u32, domains: &Arc<DomainInterner>) -> String {
         text.push('\n');
     }
     text
-}
-
-fn strip_wall(s: &StageCounters) -> StageCounters {
-    StageCounters { wall_micros: 0, ..*s }
 }
 
 /// Kill the store at every mutation point of the service schedule; after
@@ -172,9 +168,8 @@ fn every_crash_point_preserves_acked_days_over_http() {
                     for report in &restored {
                         let reference = &ref_reports[report.day.index() as usize];
                         assert_eq!(report.bootstrap, reference.bootstrap);
-                        assert_eq!(
-                            strip_wall(&report.stages),
-                            strip_wall(&reference.stages),
+                        assert!(
+                            report.stages.deterministic_eq(&reference.stages),
                             "{context}/{crash_at}: restored counters for {:?}",
                             report.day
                         );

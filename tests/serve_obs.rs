@@ -1,0 +1,212 @@
+//! Service-level observability: a full ingest → finish → query cycle
+//! against a live daemon must move every advertised counter family —
+//! per-tenant ingest totals, parse errors, admission rejections, the
+//! finish-commit histogram, engine stage timings, and store commit
+//! series — and `GET /metrics` must expose them in Prometheus text with
+//! values that match the work actually performed. Runs as the
+//! `{localfs, mem, s3lite}` backend matrix, and cross-checks that the
+//! instrumented service produces reports bit-identical to an
+//! uninstrumented library engine.
+
+// Each integration-test crate uses a subset of the harness; the unused
+// remainder is not a defect.
+#[path = "support/backends.rs"]
+#[allow(dead_code)]
+mod support;
+
+use earlybird::engine::{IngestSource, MetricsRegistry};
+use earlybird::logmodel::{
+    format_dns_line, Day, DnsQuery, DnsRecordType, DomainInterner, HostId, Ipv4, Timestamp,
+};
+use earlybird::serve::{ServeClient, Server, ServerConfig, TenantLimits, TenantSpec};
+use std::sync::Arc;
+use support::Backend;
+
+const N_HOSTS: u32 = 6;
+const N_DAYS: u32 = 3;
+
+fn spec() -> TenantSpec {
+    let mut spec = TenantSpec::lanl(N_HOSTS, 1, N_DAYS);
+    spec.auto_investigate = true;
+    spec
+}
+
+/// A small deterministic day: background chatter plus a beaconing host.
+fn day_text(day: u32, domains: &Arc<DomainInterner>) -> String {
+    let mut queries = Vec::new();
+    for i in 0..90u32 {
+        queries.push(DnsQuery {
+            ts: Timestamp::from_secs(u64::from(i) * 613 % 86_400),
+            src: HostId::new(i % N_HOSTS),
+            src_ip: Ipv4::new(10, 0, 0, (i % N_HOSTS) as u8),
+            qname: domains.intern(&format!("d{}.example.c3", (i * 7 + day) % 17)),
+            qtype: DnsRecordType::A,
+            answer: Some(Ipv4::new(50, (i % 17) as u8, 1, 1)),
+        });
+    }
+    for beat in 0..16u64 {
+        queries.push(DnsQuery {
+            ts: Timestamp::from_secs(1_000 + beat * 600),
+            src: HostId::new(1),
+            src_ip: Ipv4::new(10, 0, 0, 1),
+            qname: domains.intern("cc.alpha.c3"),
+            qtype: DnsRecordType::A,
+            answer: Some(Ipv4::new(198, 51, 100, 9)),
+        });
+    }
+    queries.sort_by_key(|q| q.ts);
+    let mut text = String::new();
+    for q in &queries {
+        text.push_str(&format_dns_line(q, domains));
+        text.push('\n');
+    }
+    text
+}
+
+/// The value of one fully-labeled series in a Prometheus text exposition.
+fn series(text: &str, name_and_labels: &str) -> Option<f64> {
+    text.lines()
+        .find(|l| l.strip_prefix(name_and_labels).is_some_and(|rest| rest.starts_with(' ')))
+        .and_then(|l| l.rsplit(' ').next())
+        .and_then(|v| v.parse().ok())
+}
+
+#[test]
+fn service_cycle_moves_every_counter_family() {
+    let domains = Arc::new(DomainInterner::new());
+    // One corrupt line per day moves the parse-error counters on both
+    // the serve and engine layers — in the reference run too, so the
+    // reports stay comparable.
+    let days: Vec<(u32, String)> = (0..N_DAYS)
+        .map(|d| (d, format!("{}this line is corrupt\n", day_text(d, &domains))))
+        .collect();
+
+    // Uninstrumented library reference: a disabled registry records no
+    // wall time at all, so agreement here proves instrumentation is pure
+    // side-band.
+    let mut reference = spec()
+        .builder()
+        .metrics(Arc::new(MetricsRegistry::disabled()))
+        .build(Arc::new(DomainInterner::new()), spec().dataset_meta().unwrap())
+        .expect("valid spec");
+    let mut ref_reports = Vec::new();
+    for (day, text) in &days {
+        let mut ingest = reference.begin_day(Day::new(*day), IngestSource::Dns);
+        ingest.push_lines(text);
+        ref_reports.push(ingest.finish());
+    }
+
+    for backend in Backend::matrix("serve-obs") {
+        let context = backend.name();
+        let cfg = ServerConfig {
+            // A ceiling small enough to refuse one deliberately oversized
+            // span, large enough for the real days.
+            limits: TenantLimits { max_inflight_spans: 8, max_open_bytes: 256 << 10 },
+            ..ServerConfig::default()
+        };
+        let registry = Arc::clone(&cfg.metrics);
+        let server =
+            Server::bind(backend.boxed_store(), cfg).unwrap_or_else(|e| panic!("{context}: {e}"));
+        let addr = server.addr();
+        let handle = server.spawn();
+        let mut client = ServeClient::new(addr);
+        client.create_tenant("acme", &spec()).expect("create tenant");
+
+        let mut records_pushed = 0u64;
+        let mut commits_before = 0.0;
+        for (day, text) in &days {
+            let scrape = client.metrics().expect("scrape");
+            let commits = series(
+                &scrape,
+                &format!("store_commit_micros_count{{backend=\"{context}\",tenant=\"acme\"}}"),
+            )
+            .unwrap_or_else(|| panic!("{context}: store commit series missing:\n{scrape}"));
+            assert!(commits >= commits_before, "{context}: commit count is monotone");
+            commits_before = commits;
+
+            let ack = client.push_span("acme", *day, text).expect("push span");
+            assert_eq!(ack.span_parse_errors, 1, "{context}: the corrupt line fails");
+            records_pushed += ack.records_pushed;
+            let report = client.finish_day("acme", *day).expect("finish day").report;
+            assert!(
+                report.stages.deterministic_eq(&ref_reports[*day as usize].stages),
+                "{context}: day {day} differs from the uninstrumented library run"
+            );
+        }
+
+        // An oversized span is refused by admission control (429) and
+        // counted, not absorbed.
+        let oversized = "x".repeat((256 << 10) + 1);
+        let err = client.push_span("acme", N_DAYS - 1, &oversized).unwrap_err();
+        assert_eq!(err.as_api().map(|e| e.code.as_str()), Some("over_capacity"), "{context}");
+
+        let text = client.metrics().expect("scrape after cycle");
+        let get = |s: &str| {
+            series(&text, s).unwrap_or_else(|| panic!("{context}: series {s} missing:\n{text}"))
+        };
+        assert_eq!(get("serve_ingest_records_total{tenant=\"acme\"}"), records_pushed as f64);
+        assert!(get("serve_ingest_bytes_total{tenant=\"acme\"}") > 0.0, "{context}");
+        assert_eq!(get("serve_span_parse_errors_total{tenant=\"acme\"}"), f64::from(N_DAYS));
+        assert_eq!(get("serve_admission_rejections_total{tenant=\"acme\"}"), 1.0);
+        assert_eq!(get("serve_finish_commit_micros_count{tenant=\"acme\"}"), f64::from(N_DAYS));
+        assert_eq!(get("serve_inflight_spans{tenant=\"acme\"}"), 0.0);
+        assert_eq!(get("serve_open_bytes{tenant=\"acme\"}"), 0.0);
+        // The scrape request itself is the one in flight.
+        assert_eq!(get("serve_requests_inflight"), 1.0);
+        assert_eq!(get("serve_connections_active"), 1.0);
+        // Engine stages ran under the tenant's label...
+        for stage in ["parse", "reduce", "profile", "checkpoint"] {
+            let count =
+                get(&format!("engine_stage_micros_count{{stage=\"{stage}\",tenant=\"acme\"}}"));
+            assert!(count >= f64::from(N_DAYS), "{context}: stage {stage} ran each day: {count}");
+        }
+        assert_eq!(get("engine_records_total{tenant=\"acme\"}"), records_pushed as f64);
+        assert_eq!(get("engine_parse_errors_total{tenant=\"acme\"}"), f64::from(N_DAYS));
+        // ...and the store series carry the backend label. Tenant
+        // creation commits the registration snapshot, then one commit
+        // per finished day.
+        let commits =
+            get(&format!("store_commit_micros_count{{backend=\"{context}\",tenant=\"acme\"}}"));
+        assert!(
+            commits >= f64::from(N_DAYS) + 1.0,
+            "{context}: at least the registration snapshot plus one commit per day: {commits}"
+        );
+        assert!(
+            get(&format!("store_commit_bytes_total{{backend=\"{context}\",tenant=\"acme\"}}"))
+                > 0.0,
+            "{context}"
+        );
+        assert_eq!(
+            get(&format!("store_gc_failures_total{{backend=\"{context}\",tenant=\"acme\"}}")),
+            0.0
+        );
+
+        // The exposition is well-formed: one TYPE line per metric name.
+        let mut type_names: Vec<&str> =
+            text.lines().filter_map(|l| l.strip_prefix("# TYPE ")).collect();
+        let before = type_names.len();
+        type_names.dedup_by(|a, b| a.split(' ').next() == b.split(' ').next());
+        assert_eq!(type_names.len(), before, "{context}: duplicate TYPE lines");
+
+        // The enriched tenant listing carries the same health counters
+        // without a scrape.
+        let tenants = client.tenants().expect("list tenants").tenants;
+        assert_eq!(tenants.len(), 1, "{context}");
+        assert_eq!(tenants[0].span_parse_errors, u64::from(N_DAYS), "{context}");
+        assert_eq!(tenants[0].gc_failures, 0, "{context}");
+
+        // The registry handle sees the same cells the daemon writes.
+        let snap = registry.snapshot();
+        let records = snap
+            .samples
+            .iter()
+            .find(|s| s.name == "serve_ingest_records_total")
+            .expect("sample present");
+        assert_eq!(records.labels, vec![("tenant".to_string(), "acme".to_string())]);
+
+        client.shutdown().expect("graceful shutdown");
+        drop(client);
+        handle.join();
+        backend.cleanup();
+    }
+}

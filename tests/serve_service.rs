@@ -21,7 +21,7 @@
 #[allow(dead_code)]
 mod support;
 
-use earlybird::engine::{DayReport, IngestSource, MemBackend, ObjectStore, StageCounters};
+use earlybird::engine::{DayReport, IngestSource, MemBackend, ObjectStore};
 use earlybird::logmodel::{format_dns_line, Day, DomainInterner, HostKind};
 use earlybird::serve::{
     InvestigateRequest, ServeClient, Server, ServerConfig, TenantLimits, TenantSpec,
@@ -61,10 +61,6 @@ fn report_json(report: &DayReport) -> String {
     let mut r = report.clone();
     r.stages.wall_micros = 0;
     serde_json::to_string(&r).expect("report serializes")
-}
-
-fn strip_wall(s: &StageCounters) -> StageCounters {
-    StageCounters { wall_micros: 0, ..*s }
 }
 
 /// One HTTP exchange on a throwaway connection, returning status,
@@ -264,9 +260,8 @@ fn service_matches_library_and_survives_restart() {
         for (a, b) in restored.iter().zip(&reports_before) {
             assert_eq!(a.day, b.day, "{context}: restored day order");
             assert_eq!(a.bootstrap, b.bootstrap, "{context}: restored bootstrap flag");
-            assert_eq!(
-                strip_wall(&a.stages),
-                strip_wall(&b.stages),
+            assert!(
+                a.stages.deterministic_eq(&b.stages),
                 "{context}: restored counters for {:?}",
                 a.day
             );
@@ -292,9 +287,8 @@ fn service_matches_library_and_survives_restart() {
         // counters without a new commit.
         let dup = client.finish_day("globex", last_day).unwrap();
         assert!(dup.report.duplicate && dup.durable, "{context}: replay is a durable no-op");
-        assert_eq!(
-            strip_wall(&dup.report.stages),
-            strip_wall(&ref_reports.last().unwrap().stages),
+        assert!(
+            dup.report.stages.deterministic_eq(&ref_reports.last().unwrap().stages),
             "{context}: replayed counters match the original day"
         );
 

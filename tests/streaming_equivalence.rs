@@ -4,9 +4,7 @@
 //! streams, and retained engine state must be identical to `ingest_day`
 //! over the whole batch.
 
-use earlybird::engine::{
-    DayBatch, DayReport, Engine, EngineBuilder, IngestSource, Investigation, StageCounters,
-};
+use earlybird::engine::{DayBatch, DayReport, Engine, EngineBuilder, IngestSource, Investigation};
 use earlybird::logmodel::{
     format_dns_line, DatasetMeta, Day, DnsDayLog, DnsQuery, DnsRecordType, HostId, HostKind, Ipv4,
     Timestamp,
@@ -17,16 +15,17 @@ use earlybird_engine::CollectingSink;
 use proptest::prelude::*;
 use std::sync::Arc;
 
-fn strip_wall(s: &StageCounters) -> StageCounters {
-    StageCounters { wall_micros: 0, ..*s }
-}
-
 /// Full-report equality modulo wall-clock time.
 fn assert_reports_equal(streamed: &DayReport, batch: &DayReport, context: &str) {
     assert_eq!(streamed.day, batch.day, "{context}: day");
     assert_eq!(streamed.bootstrap, batch.bootstrap, "{context}: bootstrap flag");
     assert_eq!(streamed.duplicate, batch.duplicate, "{context}: duplicate flag");
-    assert_eq!(strip_wall(&streamed.stages), strip_wall(&batch.stages), "{context}: counters");
+    assert!(
+        streamed.stages.deterministic_eq(&batch.stages),
+        "{context}: counters\n  streamed: {:?}\n  batch:    {:?}",
+        streamed.stages,
+        batch.stages
+    );
     assert_eq!(streamed.dns_counts, batch.dns_counts, "{context}: dns counts");
     assert_eq!(streamed.proxy_counts, batch.proxy_counts, "{context}: proxy counts");
     assert_eq!(streamed.norm_counts, batch.norm_counts, "{context}: norm counts");
@@ -267,7 +266,7 @@ fn line_pushes_match_record_pushes() {
     assert_eq!(line_report.stages.parse_errors, 1);
     let mut expected = rec_report.stages;
     expected.parse_errors = 1; // the only permitted difference
-    assert_eq!(strip_wall(&line_report.stages), strip_wall(&expected));
+    assert!(line_report.stages.deterministic_eq(&expected), "{:?}", line_report.stages);
     assert_eq!(line_report.cc_candidates, rec_report.cc_candidates);
     assert_eq!(line_report.alerts, rec_report.alerts);
     assert_eq!(line_alerts.snapshot(), rec_alerts.snapshot());
