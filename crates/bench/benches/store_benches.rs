@@ -6,10 +6,19 @@
 //! writer.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
-use earlybird_engine::{compact_store, DayBatch, Engine, EngineBuilder, LifecycleConfig, StoreDir};
+use earlybird_engine::{
+    compact_store, compact_store_tiered, DayBatch, Engine, EngineBuilder, LifecycleConfig, StoreDir,
+};
 use earlybird_synthgen::lanl::LanlChallenge;
 use std::path::PathBuf;
 use std::sync::Arc;
+
+// Raw-stream restore flows through the one-release deprecated shim; the
+// bench keeps measuring bare deserialization, without store-dir plumbing.
+#[allow(deprecated)]
+fn restore_raw(bytes: &[u8]) -> Engine {
+    EngineBuilder::lanl().restore(&mut &bytes[..]).expect("snapshot restores")
+}
 
 /// Engine with the benchmark-scale LANL history ingested (bootstrap plus
 /// several operation days — profiles, UA history, and retained indexes all
@@ -31,7 +40,7 @@ fn bench_checkpoint(c: &mut Criterion) {
     let challenge = earlybird_bench::lanl_world();
     let (engine, records) = loaded_engine(&challenge);
     let mut buf = Vec::new();
-    engine.checkpoint(&mut buf).expect("checkpoint succeeds");
+    engine.freeze().write_to(&mut buf).expect("checkpoint succeeds");
     let bytes = buf.len() as u64;
 
     let mut group = c.benchmark_group("store_checkpoint/lanl_small");
@@ -39,7 +48,7 @@ fn bench_checkpoint(c: &mut Criterion) {
     group.bench_function("full_snapshot_mbps", |b| {
         b.iter(|| {
             let mut out = Vec::with_capacity(bytes as usize);
-            engine.checkpoint(&mut out).expect("checkpoint succeeds");
+            engine.freeze().write_to(&mut out).expect("checkpoint succeeds");
             out.len()
         })
     });
@@ -50,7 +59,7 @@ fn bench_checkpoint(c: &mut Criterion) {
     group.bench_function("full_snapshot_records", |b| {
         b.iter(|| {
             let mut out = Vec::with_capacity(bytes as usize);
-            engine.checkpoint(&mut out).expect("checkpoint succeeds");
+            engine.freeze().write_to(&mut out).expect("checkpoint succeeds");
             out.len()
         })
     });
@@ -68,18 +77,17 @@ fn bench_checkpoint_day(c: &mut Criterion) {
     let mut baseline = Vec::new();
     {
         let (engine, _) = loaded_engine(&challenge);
-        engine.checkpoint(&mut baseline).expect("checkpoint succeeds");
+        engine.freeze().write_to(&mut baseline).expect("checkpoint succeeds");
     }
 
     let mut group = c.benchmark_group("store_checkpoint/lanl_small");
     group.throughput(Throughput::Elements(day.queries.len() as u64));
     group.bench_function("day_segment_records", |b| {
         b.iter(|| {
-            let mut engine =
-                EngineBuilder::lanl().restore(&mut baseline.as_slice()).expect("baseline restores");
+            let mut engine = restore_raw(&baseline);
             engine.ingest_day(DayBatch::Dns(day));
             let mut seg = Vec::new();
-            engine.checkpoint_day(&mut seg).expect("segment succeeds");
+            engine.freeze_day().expect("segment freezes").write_to(&mut seg).expect("segment");
             seg.len()
         })
     });
@@ -90,24 +98,16 @@ fn bench_restore(c: &mut Criterion) {
     let challenge = earlybird_bench::lanl_world();
     let (engine, records) = loaded_engine(&challenge);
     let mut snapshot = Vec::new();
-    engine.checkpoint(&mut snapshot).expect("checkpoint succeeds");
+    engine.freeze().write_to(&mut snapshot).expect("checkpoint succeeds");
 
     let mut group = c.benchmark_group("store_restore/lanl_small");
     group.throughput(Throughput::Bytes(snapshot.len() as u64));
-    group.bench_function("full_snapshot_mbps", |b| {
-        b.iter(|| {
-            EngineBuilder::lanl().restore(&mut snapshot.as_slice()).expect("snapshot restores")
-        })
-    });
+    group.bench_function("full_snapshot_mbps", |b| b.iter(|| restore_raw(&snapshot)));
     group.finish();
 
     let mut group = c.benchmark_group("store_restore/lanl_small");
     group.throughput(Throughput::Elements(records));
-    group.bench_function("full_snapshot_records", |b| {
-        b.iter(|| {
-            EngineBuilder::lanl().restore(&mut snapshot.as_slice()).expect("snapshot restores")
-        })
-    });
+    group.bench_function("full_snapshot_records", |b| b.iter(|| restore_raw(&snapshot)));
     group.finish();
 }
 
@@ -130,6 +130,22 @@ fn bench_compaction(c: &mut Criterion) {
                 StoreDir::open(&scratch, LifecycleConfig::default()).expect("open copy")
             },
             |mut dir| compact_store(&mut dir).expect("compaction succeeds"),
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+
+    // The tiered pass folds only the two oldest segments — replay (and so
+    // latency) is bounded by the tier, not the chain length.
+    let mut group = c.benchmark_group("store_compaction/lanl_small");
+    group.throughput(Throughput::Bytes(chain_bytes));
+    group.bench_function("fold_tier2_mbps", |b| {
+        b.iter_batched(
+            || {
+                earlybird_bench::copy_store_dir(&master, &scratch);
+                StoreDir::open(&scratch, LifecycleConfig::default()).expect("open copy")
+            },
+            |mut dir| compact_store_tiered(&mut dir, 2).expect("tiered pass succeeds"),
             BatchSize::LargeInput,
         )
     });

@@ -4,7 +4,8 @@
 #![warn(missing_docs)]
 
 use earlybird_engine::{
-    CompactionTrigger, DayBatch, EngineBuilder, LifecycleConfig, RetentionPolicy, StoreDir,
+    CompactionTrigger, DayBatch, EngineBuilder, LifecycleConfig, Persistence, RetentionPolicy,
+    SnapshotPolicy, StoreDir,
 };
 use earlybird_synthgen::ac::{AcConfig, AcGenerator, AcWorld};
 use earlybird_synthgen::lanl::{LanlChallenge, LanlConfig, LanlGenerator};
@@ -45,16 +46,18 @@ pub fn build_lanl_chain(challenge: &LanlChallenge, root: &Path) -> u64 {
         compaction: CompactionTrigger::disabled(),
         retention: RetentionPolicy::default(),
     };
-    let mut dir = StoreDir::create(root, cfg).expect("create store dir");
+    let dir = StoreDir::create(root, cfg).expect("create store dir");
+    let store = Persistence::new(dir, SnapshotPolicy::default());
     let mut engine = EngineBuilder::lanl()
         .build(Arc::clone(&challenge.dataset.domains), challenge.dataset.meta.clone())
         .expect("valid config");
     let boot = challenge.dataset.meta.bootstrap_days as usize;
     for day in &challenge.dataset.days[..boot + 6] {
         engine.ingest_day(DayBatch::Dns(day));
-        engine.checkpoint_day_to(&mut dir).expect("daily persist");
+        store.commit(&engine).expect("freeze").wait().expect("daily persist");
     }
-    dir.chain_bytes()
+    let bytes = store.store().chain_bytes();
+    bytes
 }
 
 /// Replaces `dst` with a flat-file copy of `src` (subdirectories are not

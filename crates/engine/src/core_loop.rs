@@ -101,7 +101,10 @@ pub struct Engine {
     pub(crate) cfg: EngineConfig,
     pub(crate) meta: DatasetMeta,
     pub(crate) pipeline: DailyPipeline,
-    pub(crate) products: BTreeMap<Day, DayProduct>,
+    /// Retained operation-day products. `Arc`-shared so a frozen
+    /// `EngineSnapshot` can carry the same immutable products a background
+    /// checkpoint serializes while ingestion keeps inserting new days.
+    pub(crate) products: BTreeMap<Day, Arc<DayProduct>>,
     pub(crate) reports: BTreeMap<Day, DayReport>,
     /// Attached sinks, each tagged with its stable attachment-order id so
     /// failures are attributed correctly even after earlier detachments.
@@ -128,8 +131,11 @@ pub struct Engine {
     /// product is immutable once inserted, so its bytes are computed on
     /// first checkpoint and spliced verbatim into every later block;
     /// entries are dropped when a day's product is replaced or evicted.
-    /// Behind a lock because checkpoints run on `&self`.
-    pub(crate) product_encodings: Mutex<std::collections::BTreeMap<Day, std::sync::Arc<Vec<u8>>>>,
+    /// Behind a lock because checkpoints run on `&self`, and `Arc`-shared
+    /// so frozen snapshots populate the same cache from their background
+    /// write (insert-only for immutable products, so the race is benign).
+    pub(crate) product_encodings:
+        Arc<Mutex<std::collections::BTreeMap<Day, std::sync::Arc<Vec<u8>>>>>,
     /// Cached handles into the attached metrics registry (see
     /// [`crate::EngineBuilder::metrics`]); pure side-band observability,
     /// never persisted, never consulted by detection.
@@ -174,7 +180,7 @@ impl Engine {
             paths: paths.unwrap_or_default(),
             line_hosts: HostMapper::new(),
             scratch: crate::ingest::ScratchPool::default(),
-            product_encodings: Mutex::new(std::collections::BTreeMap::new()),
+            product_encodings: Arc::new(Mutex::new(std::collections::BTreeMap::new())),
             metrics,
         }
     }
@@ -211,7 +217,7 @@ impl Engine {
             paths,
             line_hosts,
             scratch: crate::ingest::ScratchPool::default(),
-            product_encodings: Mutex::new(std::collections::BTreeMap::new()),
+            product_encodings: Arc::new(Mutex::new(std::collections::BTreeMap::new())),
             metrics,
         }
     }
@@ -354,7 +360,7 @@ impl Engine {
         self.cfg.sim = sim;
     }
 
-    pub(crate) fn operation_products(&self) -> &BTreeMap<Day, DayProduct> {
+    pub(crate) fn operation_products(&self) -> &BTreeMap<Day, Arc<DayProduct>> {
         &self.products
     }
 
@@ -362,7 +368,7 @@ impl Engine {
     /// whenever a day's product is (re)inserted so a later checkpoint never
     /// splices stale bytes.
     pub(crate) fn invalidate_product_encoding(&mut self, day: Day) {
-        self.product_encodings.get_mut().expect("product encoding cache poisoned").remove(&day);
+        self.product_encodings.lock().expect("product encoding cache poisoned").remove(&day);
     }
 
     /// Evicts the oldest retained contact indexes until at most `keep`
@@ -464,7 +470,7 @@ impl Engine {
                 // once the fault is addressed. No alerts were emitted.
                 report.stages.wall_micros = started.elapsed().as_micros() as u64;
                 self.reports.insert(day, Self::counters_only(&report));
-                self.products.insert(day, product);
+                self.products.insert(day, Arc::new(product));
                 self.invalidate_product_encoding(day);
                 if let Some(limit) = self.cfg.retain_days {
                     while self.products.len() > limit {
@@ -556,7 +562,7 @@ impl Engine {
         report.stages.wall_micros = started.elapsed().as_micros() as u64;
 
         self.reports.insert(day, Self::counters_only(&report));
-        self.products.insert(day, product);
+        self.products.insert(day, Arc::new(product));
         self.invalidate_product_encoding(day);
         // Retention window: evict the oldest contact indexes (the dominant
         // memory cost) once past the configured bound; their counters-only

@@ -25,20 +25,27 @@
 //!   (SOC hint hosts, seed domains, today's C&C detections) on any retained
 //!   day, and [`Engine::train_enterprise`] fits the §IV-C/§IV-D regression
 //!   models from ingested history, upgrading the engine in place.
-//! * [`Engine::checkpoint`] / [`Engine::checkpoint_day`] persist the full
-//!   mutable state (profiles, histories, retained indexes, trained models,
-//!   alert sequencing) to a versioned, self-checking store stream, and
-//!   [`EngineBuilder::restore`] cold-restarts from it with bit-identical
-//!   continuation — see the `earlybird-store` crate.
-//! * For a long-running service, [`Engine::checkpoint_day_to`] drives a
-//!   manifest-managed [`StoreDir`]: atomic commits, automatic chain
-//!   [`compact_store`] on a [`CompactionTrigger`], retention GC past
+//! * [`Engine::freeze`] / [`Engine::freeze_day`] capture the full mutable
+//!   state (profiles, histories, retained indexes, trained models, alert
+//!   sequencing) into an owned [`EngineSnapshot`] under a short critical
+//!   section; [`EngineSnapshot::write_to`] serializes it — on any thread,
+//!   while ingestion continues — to a versioned, self-checking store
+//!   stream that cold-restarts with bit-identical continuation — see the
+//!   `earlybird-store` crate.
+//! * For a long-running service, the [`Persistence`] facade drives a
+//!   manifest-managed [`StoreDir`] behind one [`SnapshotPolicy`]:
+//!   full-vs-segment selection, sync or background commits awaited
+//!   through a [`CommitHandle`], automatic chain folding on a
+//!   [`CompactionTrigger`] (whole-chain [`compact_store`] or bounded
+//!   [`compact_store_tiered`]), retention GC past
 //!   [`RetentionPolicy::retain_days`], and O(current state) restore via
-//!   [`EngineBuilder::restore_dir`] no matter how long the service ran.
+//!   [`Persistence::restore`] no matter how long the service ran.
 //!   Storage is pluggable through the [`ObjectStore`] trait —
 //!   [`LocalFsBackend`] (byte-compatible with pre-trait directories),
 //!   [`MemBackend`], or the S3-style [`S3LiteBackend`] with multipart
-//!   staging and a conditional manifest swap.
+//!   staging and a conditional manifest swap. (The pre-facade
+//!   `checkpoint*`/`restore*` entry points remain as deprecated shims
+//!   for one release.)
 //! * Observability rides along the whole cycle: per-stage wall-time
 //!   histograms (`engine_stage_micros{stage=parse|reduce|profile|cc|bp|
 //!   checkpoint|restore|compact}`), ingest counters, and checkpoint
@@ -74,6 +81,7 @@ mod core_loop;
 mod ingest;
 mod metrics;
 mod persist;
+mod persistence;
 mod report;
 mod train;
 
@@ -86,10 +94,13 @@ pub use builder::{EngineBuilder, EngineConfig, EngineError};
 pub use core_loop::{Engine, Investigation, SeedSpec};
 pub use earlybird_obs::{MetricsRegistry, MetricsSnapshot};
 pub use earlybird_store::{
-    validate_scope_name, CheckpointMeta, CompactionReport, CompactionTrigger, FaultInjector,
-    FaultedStore, LifecycleConfig, LocalFsBackend, MemBackend, ObjectStore, RetentionPolicy,
-    S3LiteBackend, StoreDir, StoreError, StoreResult,
+    validate_scope_name, BlockKind, CheckpointMeta, CompactionReport, CompactionTrigger,
+    FaultInjector, FaultedStore, LifecycleConfig, LocalFsBackend, MemBackend, ObjectStore,
+    RetentionPolicy, S3LiteBackend, StoreDir, StoreError, StoreResult,
 };
 pub use ingest::{DayIngest, DayState, IngestSource};
-pub use persist::{compact_store, DayPersist};
+pub use persist::{compact_store, compact_store_tiered, DayPersist, EngineSnapshot};
+pub use persistence::{
+    CommitHandle, CommitMode, CommitOutcome, Persistence, SnapshotMode, SnapshotPolicy,
+};
 pub use report::{CcCandidate, DayReport, InvestigationReport, StageCounters, TrainingReport};

@@ -7,7 +7,7 @@
 //! hands every tenant the same one, labeled per tenant) and is
 //! snapshot-readable while the engine runs.
 
-use earlybird_obs::{Counter, MetricsRegistry, StageTimer};
+use earlybird_obs::{Counter, Gauge, MetricsRegistry, StageTimer};
 use std::sync::Arc;
 
 /// One engine's handles into its [`MetricsRegistry`]: per-stage wall-time
@@ -33,6 +33,15 @@ pub(crate) struct EngineMetrics {
     pub(crate) restore: StageTimer,
     /// One store compaction pass.
     pub(crate) compact: StageTimer,
+    /// The short critical section of one `Engine::freeze` — the only part
+    /// of a checkpoint that excludes ingestion. Its own series
+    /// (`checkpoint_stall_micros`), since this is exactly the pause an
+    /// always-on deployment watches.
+    pub(crate) checkpoint_stall: StageTimer,
+    /// Chain blocks replayed by the most recent compaction pass
+    /// (`compaction_replay_segments`) — bounded by `1 + K` under a tiered
+    /// trigger.
+    pub(crate) compaction_replay: Gauge,
     /// Raw records accepted into open days (replays excluded).
     pub(crate) records: Counter,
     /// Unparseable raw log lines.
@@ -66,6 +75,16 @@ impl EngineMetrics {
             checkpoint: stage("checkpoint"),
             restore: stage("restore"),
             compact: stage("compact"),
+            checkpoint_stall: registry.timer(
+                "checkpoint_stall_micros",
+                "Wall time ingestion is excluded while a snapshot freezes",
+                &extra,
+            ),
+            compaction_replay: registry.gauge(
+                "compaction_replay_segments",
+                "Chain blocks replayed by the most recent compaction pass",
+                &extra,
+            ),
             records: registry.counter(
                 "engine_records_total",
                 "Raw records accepted into open days (duplicate-day replays excluded)",

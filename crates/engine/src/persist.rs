@@ -4,30 +4,58 @@
 //! — new-domain profiles, rare-UA host counts, per-day contact indexes,
 //! trained regression weights (§III-E, §IV). This module makes that state
 //! survive a process restart with **bit-identical continuation**: ingest
-//! days `1..N`, [`Engine::checkpoint`], restore into a fresh engine with
-//! [`EngineBuilder::restore`], ingest days `N+1..M` — every report, alert,
-//! and sink sequence number matches an uninterrupted run exactly.
+//! days `1..N`, freeze and commit a snapshot, restore into a fresh engine,
+//! ingest days `N+1..M` — every report, alert, and sink sequence number
+//! matches an uninterrupted run exactly.
+//!
+//! # Freeze, then write
+//!
+//! Persistence is split into two halves so the engine never pauses for the
+//! duration of a store commit:
+//!
+//! * [`Engine::freeze`] / [`Engine::freeze_day`] capture the persistable
+//!   state into an owned [`EngineSnapshot`] under a **short critical
+//!   section** (interner/history tails are `Arc`-shared pointer copies;
+//!   retained day indexes ride as `Arc<DayProduct>` clones). Its wall time
+//!   is the `checkpoint_stall_micros` series — the only pause an always-on
+//!   deployment sees.
+//! * [`EngineSnapshot::write_to`] serializes the frozen view as one
+//!   self-checking block — on the calling thread or a background worker —
+//!   while ingestion continues. The bytes are identical to what a
+//!   synchronous checkpoint of the quiesced engine would have written.
+//!
+//! Most callers drive both halves through the [`crate::Persistence`]
+//! facade, which owns the [`StoreDir`], a [`crate::SnapshotPolicy`], and
+//! (optionally) the background commit worker. The pre-facade entry points
+//! (`checkpoint*`, `restore*` on raw streams and directories) remain as
+//! thin deprecated shims for one release.
 //!
 //! # Stream layout
 //!
 //! A store stream is one **full** block followed by any number of
 //! **day-segment** blocks (see `earlybird_store::frame`):
 //!
-//! * [`Engine::checkpoint`] writes a full block: configuration (including
-//!   trained models and the WHOIS registry), dataset metadata, all four
-//!   interners, the raw-line host map, both cross-day histories, every
-//!   stored day report, every retained contact index, and the alert
-//!   sequence counter.
-//! * [`Engine::checkpoint_day`] appends a segment with only the state added
-//!   since the last `checkpoint`/`checkpoint_day` call — interner tails,
-//!   history-log tails, the new days' reports and indexes — so a daily
-//!   cycle persists O(day), not O(history). Append segments to the same
-//!   file the full snapshot was written to.
-//! * [`EngineBuilder::restore`] reads the full block, replays every
-//!   trailing segment, and rebuilds the engine. Restored symbol numbering
-//!   is identical to the original interners', so records produced against
-//!   the original dataset (or a deterministic regeneration of it) remain
-//!   valid.
+//! * A full block carries configuration (including trained models and the
+//!   WHOIS registry), dataset metadata, all four interners, the raw-line
+//!   host map, both cross-day histories, every stored day report, every
+//!   retained contact index, and the alert sequence counter.
+//! * A day segment carries only the state added since the previous block —
+//!   interner tails, history-log tails, the new days' reports and indexes —
+//!   so a daily cycle persists O(day), not O(history).
+//! * [`EngineBuilder::restore`] (and [`Persistence::restore`] over a
+//!   managed chain) reads the full block, replays every trailing segment,
+//!   and rebuilds the engine. Restored symbol numbering is identical to
+//!   the original interners', so records produced against the original
+//!   dataset (or a deterministic regeneration of it) remain valid.
+//!
+//! [`Persistence::restore`]: crate::Persistence::restore
+//!
+//! # Compaction
+//!
+//! [`compact_store`] folds a whole `full + N segments` chain back into a
+//! single full block; [`compact_store_tiered`] folds only the oldest `K`
+//! segments, bounding the pass's replay work by `K` instead of the chain
+//! length (the `compaction_replay_segments` gauge records the bound).
 //!
 //! # Crash recovery
 //!
@@ -45,9 +73,12 @@
 
 use crate::builder::{validate_config, EngineBuilder, EngineConfig};
 use crate::core_loop::Engine;
+use crate::metrics::EngineMetrics;
 use crate::report::{DayReport, StageCounters};
 use earlybird_core::{BpConfig, CcModel, DailyPipeline, DayProduct, PipelineConfig, SimScorer};
-use earlybird_logmodel::{Day, DomainInterner, HostMapper, PathInterner, UaInterner};
+use earlybird_logmodel::{
+    Day, DomainInterner, DomainSym, HostId, HostMapper, Ipv4, PathInterner, UaInterner, UaSym,
+};
 use earlybird_pipeline::{DomainHistory, UaHistory};
 use earlybird_store::{
     sections, BlockKind, BlockReader, BlockWriter, CheckpointMeta, CompactionReport, Decoder,
@@ -94,49 +125,185 @@ impl Engine {
         }
     }
 
-    /// Writes a full snapshot of the engine — configuration (including any
-    /// trained models), dataset metadata, interners, host map, histories,
-    /// day reports, retained contact indexes, and the alert sequence
-    /// counter — as one self-checking block, and resets the incremental
-    /// cursor so subsequent [`Engine::checkpoint_day`] calls append
-    /// segments relative to this snapshot.
+    /// Freezes the engine's complete persistable state — configuration
+    /// (including any trained models), dataset metadata, interners, host
+    /// map, histories, day reports, retained contact indexes, and the
+    /// alert sequence counter — into an owned [`EngineSnapshot`] under a
+    /// short critical section, and advances the incremental persist cursor
+    /// past everything captured.
     ///
-    /// Takes `&self`: a checkpoint in flight never blocks the engine's
-    /// read paths ([`Engine::report`], [`Engine::investigate`], ...) on a
-    /// shared engine — only ingestion (which needs `&mut self`) waits.
+    /// The snapshot borrows nothing from the engine: serialization
+    /// ([`EngineSnapshot::write_to`]) and the store commit can run on a
+    /// background thread while ingestion continues. The cursor advance is
+    /// *eager* — the engine assumes the frozen bytes will reach their
+    /// stream. A snapshot that is dropped unwritten (or whose commit
+    /// fails) therefore breaks the segment stream: the next delta would
+    /// assume state the chain never received. The [`crate::Persistence`]
+    /// facade enforces this by refusing further commits after a failure
+    /// ([`StoreError::PersistencePoisoned`]); recover by restoring from
+    /// the store.
+    ///
+    /// Takes `&self`: a freeze never blocks the engine's read paths
+    /// ([`Engine::report`], [`Engine::investigate`], ...) on a shared
+    /// engine — only ingestion (which needs `&mut self`) waits, and only
+    /// for the critical section, whose wall time is recorded on the
+    /// `checkpoint_stall_micros` series.
+    pub fn freeze(&self) -> EngineSnapshot {
+        let mut cursor = self.lock_cursor();
+        let (snap, next) = self.freeze_locked(BlockKind::Full, &PersistCursor::default());
+        *cursor = next;
+        snap
+    }
+
+    /// [`Engine::freeze`] for the daily cycle: captures only the state
+    /// added since the last freeze — interner tails, history-log tails,
+    /// the new days' reports and indexes; O(day), not O(history) — as a
+    /// day-segment snapshot, advancing the cursor past it. Freezing with
+    /// no new days ingested yields a (tiny) empty segment, which restores
+    /// as a no-op.
+    ///
+    /// # Errors
+    ///
+    /// A day ingested *behind* the newest already-persisted day is refused
+    /// as [`StoreError::StaleSegment`] — appending its segment would
+    /// produce a chain the restore path rejects; freeze a fresh full
+    /// snapshot ([`Engine::freeze`]) to persist back-filled days. On error
+    /// the cursor is untouched.
+    pub fn freeze_day(&self) -> StoreResult<EngineSnapshot> {
+        let mut cursor = self.lock_cursor();
+        Self::check_segment_freshness(&cursor, &self.reports)?;
+        let delta = cursor.clone();
+        let (snap, next) = self.freeze_locked(BlockKind::DaySegment, &delta);
+        *cursor = next;
+        Ok(snap)
+    }
+
+    /// Captures everything beyond `cursor` into an owned snapshot, plus
+    /// the cursor value describing the captured watermarks. Does *not*
+    /// advance the engine's cursor — callers holding the cursor lock
+    /// decide whether the advance is eager ([`Engine::freeze`]) or
+    /// deferred until the write succeeds (the deprecated synchronous
+    /// entry points).
+    fn freeze_locked(
+        &self,
+        kind: BlockKind,
+        cursor: &PersistCursor,
+    ) -> (EngineSnapshot, PersistCursor) {
+        let _stall_span = self.metrics.checkpoint_stall.start();
+        let (config_bytes, meta_bytes) = if kind == BlockKind::Full {
+            let mut c = Encoder::new();
+            write_config(&mut c, &self.cfg);
+            let mut m = Encoder::new();
+            sections::write_dataset_meta(&mut m, &self.meta);
+            (Some(c.into_bytes()), Some(m.into_bytes()))
+        } else {
+            (None, None)
+        };
+        let raw = (cursor.raw, self.pipeline.raw_interner().snapshot_tail(cursor.raw));
+        let folded = (cursor.folded, self.pipeline.folded_interner().snapshot_tail(cursor.folded));
+        let uas = (cursor.uas, self.uas.snapshot_tail(cursor.uas));
+        let paths = (cursor.paths, self.paths.snapshot_tail(cursor.paths));
+        let mut ips = self.line_hosts.snapshot_ips();
+        let hosts = (cursor.hosts, ips.split_off(cursor.hosts.min(ips.len())));
+        let order = self.pipeline.history().ordered();
+        let history = (
+            cursor.history,
+            order.get(cursor.history..).unwrap_or(&[]).to_vec(),
+            self.pipeline.history().days_ingested(),
+        );
+        let log = self.pipeline.ua_history().pair_log();
+        let ua_history = (
+            self.pipeline.ua_history().rare_threshold(),
+            cursor.ua_pairs,
+            log.get(cursor.ua_pairs..).unwrap_or(&[]).to_vec(),
+        );
+        let reports: Vec<DayReport> = self
+            .reports
+            .iter()
+            .filter(|(d, _)| !cursor.days.contains(d))
+            .map(|(_, r)| r.clone())
+            .collect();
+        let products: Vec<(Day, Arc<DayProduct>)> = self
+            .products
+            .iter()
+            .filter(|(d, _)| !cursor.days.contains(d))
+            .map(|(d, p)| (*d, Arc::clone(p)))
+            .collect();
+        {
+            // Prune memoized encodings of evicted days while the engine is
+            // quiesced; snapshot writers only ever insert.
+            let mut cache = self.product_encodings.lock().expect("product encoding cache poisoned");
+            cache.retain(|d, _| self.products.contains_key(d));
+        }
+        let next = PersistCursor {
+            raw: raw.0 + raw.1.len(),
+            folded: folded.0 + folded.1.len(),
+            uas: uas.0 + uas.1.len(),
+            paths: paths.0 + paths.1.len(),
+            hosts: hosts.0 + hosts.1.len(),
+            history: history.0 + history.1.len(),
+            ua_pairs: ua_history.1 + ua_history.2.len(),
+            days: self.reports.keys().copied().collect(),
+        };
+        let snap = EngineSnapshot {
+            kind,
+            config_bytes,
+            meta_bytes,
+            raw,
+            folded,
+            uas,
+            paths,
+            hosts,
+            history,
+            ua_history,
+            reports,
+            products,
+            encodings: Arc::clone(&self.product_encodings),
+            sequence: self.sequence.load(Ordering::SeqCst),
+            metrics: self.metrics.clone(),
+        };
+        (snap, next)
+    }
+
+    /// Writes a full snapshot as one self-checking block and resets the
+    /// incremental cursor.
     ///
     /// # Errors
     ///
     /// Propagates writer failures as [`StoreError::Io`].
+    #[deprecated(
+        since = "0.9.0",
+        note = "use `Engine::freeze().write_to(out)`, or the `Persistence` facade for managed \
+                stores"
+    )]
     pub fn checkpoint<W: Write>(&self, out: &mut W) -> StoreResult<CheckpointMeta> {
         let mut cursor = self.lock_cursor();
-        let meta = self.write_block(out, BlockKind::Full, &PersistCursor::default())?;
-        *cursor = self.current_cursor();
+        let (snap, next) = self.freeze_locked(BlockKind::Full, &PersistCursor::default());
+        let meta = snap.write_to(out)?;
+        *cursor = next;
         Ok(meta)
     }
 
     /// Appends an incremental segment holding only the state added since
-    /// the last [`Engine::checkpoint`] / [`Engine::checkpoint_day`] call —
-    /// O(day), not O(history). Append to the same stream the full snapshot
-    /// was written to; [`EngineBuilder::restore`] replays segments in
-    /// order.
-    ///
-    /// Calling this with no new days ingested writes a (tiny) empty
-    /// segment, which restores as a no-op.
+    /// the last full/day checkpoint, advancing the cursor only if the
+    /// write succeeds.
     ///
     /// # Errors
     ///
-    /// Propagates writer failures as [`StoreError::Io`]. A day ingested
-    /// *behind* the newest already-persisted day is refused as
-    /// [`StoreError::StaleSegment`] — appending it would produce a chain
-    /// the restore path rejects; write a fresh full snapshot
-    /// ([`Engine::checkpoint`]) to persist back-filled days.
+    /// Propagates writer failures as [`StoreError::Io`]; back-filled days
+    /// are refused as [`StoreError::StaleSegment`].
+    #[deprecated(
+        since = "0.9.0",
+        note = "use `Engine::freeze_day()?.write_to(out)`, or the `Persistence` facade for \
+                managed stores"
+    )]
     pub fn checkpoint_day<W: Write>(&self, out: &mut W) -> StoreResult<CheckpointMeta> {
         let mut cursor = self.lock_cursor();
         Self::check_segment_freshness(&cursor, &self.reports)?;
         let delta = cursor.clone();
-        let meta = self.write_block(out, BlockKind::DaySegment, &delta)?;
-        *cursor = self.current_cursor();
+        let (snap, next) = self.freeze_locked(BlockKind::DaySegment, &delta);
+        let meta = snap.write_to(out)?;
+        *cursor = next;
         Ok(meta)
     }
 
@@ -160,39 +327,34 @@ impl Engine {
         Ok(())
     }
 
-    /// [`Engine::checkpoint`] against a managed [`StoreDir`]: the full
-    /// block is staged through the store's backend (a temp file, a
-    /// multipart upload) and committed atomically, replacing the store's
-    /// whole chain (the incremental cursor resets only after the commit
-    /// is durable, so a failed commit never strands unpersisted state).
+    /// A full snapshot against a managed [`StoreDir`]: the block is staged
+    /// through the store's backend and committed atomically, replacing the
+    /// store's whole chain (the incremental cursor resets only after the
+    /// commit is durable, so a failed commit never strands unpersisted
+    /// state).
     ///
     /// # Errors
     ///
     /// Typed [`StoreError`]s from the write or the directory commit.
+    #[deprecated(since = "0.9.0", note = "use `Persistence::commit` with `SnapshotPolicy::full()`")]
     pub fn checkpoint_to(&self, dir: &mut StoreDir) -> StoreResult<CheckpointMeta> {
         let mut cursor = self.lock_cursor();
-        self.checkpoint_to_locked(dir, &mut cursor)
-    }
-
-    fn checkpoint_to_locked(
-        &self,
-        dir: &mut StoreDir,
-        cursor: &mut PersistCursor,
-    ) -> StoreResult<CheckpointMeta> {
+        let (snap, next) = self.freeze_locked(BlockKind::Full, &PersistCursor::default());
         let mut pending = dir.begin(BlockKind::Full)?;
-        let meta = self.write_block(&mut pending, BlockKind::Full, &PersistCursor::default())?;
+        let meta = snap.write_to(&mut pending)?;
         dir.commit_full(pending, &meta)?;
-        *cursor = self.current_cursor();
+        *cursor = next;
         Ok(meta)
     }
 
-    /// The daily-cycle persistence step against a managed [`StoreDir`]:
-    /// writes a full snapshot when the directory is empty (first run),
-    /// otherwise appends an O(day) segment — then, if the directory's
-    /// [`earlybird_store::CompactionTrigger`] has fired, folds the chain
-    /// back into a single full block via [`compact_store`]. Each commit is
-    /// atomic; a crash at any point leaves either the old chain or the new
-    /// one.
+    /// The synchronous daily-cycle persistence step against a managed
+    /// [`StoreDir`]: writes a full snapshot when the directory is empty
+    /// (first run), otherwise appends an O(day) segment — then, if the
+    /// directory's [`earlybird_store::CompactionTrigger`] has fired, folds
+    /// the chain via [`compact_store`] / [`compact_store_tiered`]
+    /// (whole-chain or oldest-`K`, per the trigger's `fold_segments`).
+    /// Each commit is atomic; a crash at any point leaves either the old
+    /// chain or the new one.
     ///
     /// # Errors
     ///
@@ -204,115 +366,43 @@ impl Engine {
     /// either way. Treat any error as fatal for this process and recover
     /// by restoring the directory (at-least-once semantics absorb the
     /// re-pushed day).
+    #[deprecated(
+        since = "0.9.0",
+        note = "use `Persistence::commit` (the default `SnapshotPolicy` keeps these semantics)"
+    )]
     pub fn checkpoint_day_to(&self, dir: &mut StoreDir) -> StoreResult<DayPersist> {
-        let mut guard = self.lock_cursor();
-        let block = if dir.is_empty() {
-            self.checkpoint_to_locked(dir, &mut guard)?
-        } else {
-            Self::check_segment_freshness(&guard, &self.reports)?;
-            let cursor = guard.clone();
-            let mut pending = dir.begin(BlockKind::DaySegment)?;
-            let meta = self.write_block(&mut pending, BlockKind::DaySegment, &cursor)?;
-            dir.commit_segment(pending, &meta)?;
-            *guard = self.current_cursor();
-            meta
+        let block = {
+            let mut guard = self.lock_cursor();
+            if dir.is_empty() {
+                let (snap, next) = self.freeze_locked(BlockKind::Full, &PersistCursor::default());
+                let mut pending = dir.begin(BlockKind::Full)?;
+                let meta = snap.write_to(&mut pending)?;
+                dir.commit_full(pending, &meta)?;
+                *guard = next;
+                meta
+            } else {
+                Self::check_segment_freshness(&guard, &self.reports)?;
+                let delta = guard.clone();
+                let (snap, next) = self.freeze_locked(BlockKind::DaySegment, &delta);
+                let mut pending = dir.begin(BlockKind::DaySegment)?;
+                let meta = snap.write_to(&mut pending)?;
+                dir.commit_segment(pending, &meta)?;
+                *guard = next;
+                meta
+            }
         };
-        drop(guard);
         let compaction = if dir.compaction_due() {
             let _compact_span = self.metrics.compact.start();
-            Some(compact_store(dir)?)
+            let report = match dir.config().compaction.fold_segments {
+                Some(k) => compact_store_tiered(dir, k)?,
+                None => compact_store(dir)?,
+            };
+            self.metrics.compaction_replay.set(report.segments_replayed as i64);
+            Some(report)
         } else {
             None
         };
         Ok(DayPersist { block, compaction })
-    }
-
-    fn write_block<W: Write>(
-        &self,
-        out: &mut W,
-        kind: BlockKind,
-        cursor: &PersistCursor,
-    ) -> StoreResult<CheckpointMeta> {
-        let _checkpoint_span = self.metrics.checkpoint.start();
-        let mut block = BlockWriter::begin(out, kind)?;
-
-        if kind == BlockKind::Full {
-            let mut e = Encoder::new();
-            write_config(&mut e, &self.cfg);
-            block.section(SectionTag::Config, e)?;
-            let mut e = Encoder::new();
-            sections::write_dataset_meta(&mut e, &self.meta);
-            block.section(SectionTag::Meta, e)?;
-        }
-
-        let mut e = Encoder::new();
-        sections::write_interner_slice(&mut e, self.pipeline.raw_interner(), cursor.raw);
-        sections::write_interner_slice(&mut e, self.pipeline.folded_interner(), cursor.folded);
-        sections::write_interner_slice(&mut e, &self.uas, cursor.uas);
-        sections::write_interner_slice(&mut e, &self.paths, cursor.paths);
-        block.section(SectionTag::Interners, e)?;
-
-        let mut e = Encoder::new();
-        sections::write_host_mapper(&mut e, &self.line_hosts, cursor.hosts);
-        block.section(SectionTag::Hosts, e)?;
-
-        let mut e = Encoder::new();
-        sections::write_domain_history(&mut e, self.pipeline.history(), cursor.history);
-        sections::write_ua_history(&mut e, self.pipeline.ua_history(), cursor.ua_pairs);
-        block.section(SectionTag::History, e)?;
-
-        let new_reports: Vec<&DayReport> =
-            self.reports.iter().filter(|(d, _)| !cursor.days.contains(d)).map(|(_, r)| r).collect();
-        let mut e = Encoder::new();
-        e.usizev(new_reports.len());
-        for report in &new_reports {
-            write_day_report(&mut e, report);
-        }
-        block.section(SectionTag::Reports, e)?;
-
-        let new_products: Vec<(Day, &DayProduct)> = self
-            .products
-            .iter()
-            .filter(|(d, _)| !cursor.days.contains(d))
-            .map(|(d, p)| (*d, p))
-            .collect();
-        let mut e = Encoder::new();
-        e.usizev(new_products.len());
-        {
-            // Day products are immutable once retained, so their encoding is
-            // computed on the first checkpoint that ships them and spliced
-            // verbatim into every later full block. Entries for evicted days
-            // are pruned here; replaced days are invalidated at insertion.
-            let mut cache = self.product_encodings.lock().expect("product encoding cache poisoned");
-            cache.retain(|d, _| self.products.contains_key(d));
-            for (day, product) in &new_products {
-                let bytes = cache.entry(*day).or_insert_with(|| {
-                    let mut pe = Encoder::new();
-                    sections::write_opt_dns_counts(&mut pe, product.dns_counts.as_ref());
-                    sections::write_opt_proxy_counts(&mut pe, product.proxy_counts.as_ref());
-                    sections::write_opt_norm_counts(&mut pe, product.norm_counts.as_ref());
-                    sections::write_day_index(&mut pe, &product.index);
-                    Arc::new(pe.into_bytes())
-                });
-                e.raw(bytes);
-            }
-        }
-        block.section(SectionTag::Products, e)?;
-
-        let mut e = Encoder::new();
-        e.varint(self.sequence.load(Ordering::SeqCst));
-        block.section(SectionTag::Sequence, e)?;
-
-        let (bytes, checksum) = block.finish()?;
-        self.metrics.checkpoint_bytes.add(bytes);
-        Ok(CheckpointMeta {
-            kind,
-            format_version: FORMAT_VERSION,
-            bytes,
-            checksum,
-            days: new_reports.len(),
-            retained_days: new_products.len(),
-        })
     }
 
     /// Applies one block's state sections (everything after Config/Meta)
@@ -402,7 +492,7 @@ impl Engine {
                 norm_counts,
             };
             self.invalidate_product_encoding(day);
-            if self.products.insert(day, product).is_some() {
+            if self.products.insert(day, Arc::new(product)).is_some() {
                 return Err(StoreError::corrupt(format!("duplicate retained index for {day}")));
             }
         }
@@ -427,8 +517,171 @@ impl Engine {
     }
 }
 
-/// Outcome of one [`Engine::checkpoint_day_to`] cycle.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+/// An engine's persistable state, frozen at one instant by
+/// [`Engine::freeze`] / [`Engine::freeze_day`] into an owned value.
+///
+/// The snapshot borrows nothing from the engine, so it can move to a
+/// background thread (`EngineSnapshot: Send`) and serialize while
+/// ingestion continues. Freezing is cheap: interner and history tails are
+/// `Arc`-shared pointer copies, retained day indexes ride as
+/// `Arc<DayProduct>` clones of the engine's own immutable products, and
+/// the memoized product-encoding cache is *shared* with the live engine,
+/// so a day's index is encoded at most once across every snapshot that
+/// ships it.
+///
+/// [`EngineSnapshot::write_to`] produces bytes identical to what a
+/// synchronous checkpoint of the quiesced engine would have written —
+/// background and sync commits restore bit-identically by construction.
+pub struct EngineSnapshot {
+    kind: BlockKind,
+    /// Pre-encoded Config/Meta section payloads (full snapshots only) —
+    /// encoded at freeze so the snapshot need not clone `EngineConfig`.
+    config_bytes: Option<Vec<u8>>,
+    meta_bytes: Option<Vec<u8>>,
+    /// Interner tails as `(start, strings)` watermark deltas.
+    raw: (usize, Vec<Arc<str>>),
+    folded: (usize, Vec<Arc<str>>),
+    uas: (usize, Vec<Arc<str>>),
+    paths: (usize, Vec<Arc<str>>),
+    hosts: (usize, Vec<Ipv4>),
+    /// `(start, tail, days_ingested)` of the destination history log.
+    history: (usize, Vec<DomainSym>, u32),
+    /// `(rare_threshold, start, tail)` of the user-agent pair log.
+    ua_history: (usize, usize, Vec<(UaSym, HostId)>),
+    reports: Vec<DayReport>,
+    products: Vec<(Day, Arc<DayProduct>)>,
+    /// The live engine's memoized product encodings (insert-only from
+    /// writers; pruned under the freeze critical section).
+    encodings: Arc<std::sync::Mutex<std::collections::BTreeMap<Day, Arc<Vec<u8>>>>>,
+    sequence: u64,
+    metrics: EngineMetrics,
+}
+
+impl std::fmt::Debug for EngineSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EngineSnapshot")
+            .field("kind", &self.kind)
+            .field("days", &self.reports.len())
+            .field("sequence", &self.sequence)
+            .finish_non_exhaustive()
+    }
+}
+
+impl EngineSnapshot {
+    /// Whether this snapshot serializes as a full block or a day segment.
+    pub fn kind(&self) -> BlockKind {
+        self.kind
+    }
+
+    /// Number of day reports the snapshot carries (all stored days for a
+    /// full snapshot, the delta for a day segment).
+    pub fn days(&self) -> usize {
+        self.reports.len()
+    }
+
+    pub(crate) fn metrics(&self) -> &EngineMetrics {
+        &self.metrics
+    }
+
+    /// Serializes the frozen state as one self-checking block. This is
+    /// the single write path for every snapshot — sync shims, the
+    /// [`crate::Persistence`] worker, and compaction all funnel through
+    /// it, which is what makes their outputs interchangeable.
+    ///
+    /// Writing the same snapshot twice produces the same bytes; writing to
+    /// two sinks (say, a store commit and a side backup) is legitimate.
+    ///
+    /// # Errors
+    ///
+    /// Propagates writer failures as [`StoreError::Io`].
+    pub fn write_to<W: Write>(&self, out: &mut W) -> StoreResult<CheckpointMeta> {
+        let _checkpoint_span = self.metrics.checkpoint.start();
+        let mut block = BlockWriter::begin(out, self.kind)?;
+
+        if let (Some(config), Some(meta)) = (&self.config_bytes, &self.meta_bytes) {
+            let mut e = Encoder::new();
+            e.raw(config);
+            block.section(SectionTag::Config, e)?;
+            let mut e = Encoder::new();
+            e.raw(meta);
+            block.section(SectionTag::Meta, e)?;
+        }
+
+        let mut e = Encoder::new();
+        sections::write_interner_tail(&mut e, self.raw.0, &self.raw.1);
+        sections::write_interner_tail(&mut e, self.folded.0, &self.folded.1);
+        sections::write_interner_tail(&mut e, self.uas.0, &self.uas.1);
+        sections::write_interner_tail(&mut e, self.paths.0, &self.paths.1);
+        block.section(SectionTag::Interners, e)?;
+
+        let mut e = Encoder::new();
+        sections::write_host_mapper_tail(&mut e, self.hosts.0, &self.hosts.1);
+        block.section(SectionTag::Hosts, e)?;
+
+        let mut e = Encoder::new();
+        sections::write_domain_history_tail(
+            &mut e,
+            self.history.0,
+            &self.history.1,
+            self.history.2,
+        );
+        sections::write_ua_history_tail(
+            &mut e,
+            self.ua_history.0,
+            self.ua_history.1,
+            &self.ua_history.2,
+        );
+        block.section(SectionTag::History, e)?;
+
+        let mut e = Encoder::new();
+        e.usizev(self.reports.len());
+        for report in &self.reports {
+            write_day_report(&mut e, report);
+        }
+        block.section(SectionTag::Reports, e)?;
+
+        let mut e = Encoder::new();
+        e.usizev(self.products.len());
+        {
+            // Day products are immutable once retained, so their encoding
+            // is computed by the first snapshot that ships them and spliced
+            // verbatim into every later block that does. Eviction pruning
+            // happens at freeze time; here the cache only grows.
+            let mut cache = self.encodings.lock().expect("product encoding cache poisoned");
+            for (day, product) in &self.products {
+                let bytes = cache.entry(*day).or_insert_with(|| {
+                    let mut pe = Encoder::new();
+                    sections::write_opt_dns_counts(&mut pe, product.dns_counts.as_ref());
+                    sections::write_opt_proxy_counts(&mut pe, product.proxy_counts.as_ref());
+                    sections::write_opt_norm_counts(&mut pe, product.norm_counts.as_ref());
+                    sections::write_day_index(&mut pe, &product.index);
+                    Arc::new(pe.into_bytes())
+                });
+                e.raw(bytes);
+            }
+        }
+        block.section(SectionTag::Products, e)?;
+
+        let mut e = Encoder::new();
+        e.varint(self.sequence);
+        block.section(SectionTag::Sequence, e)?;
+
+        let (bytes, checksum) = block.finish()?;
+        self.metrics.checkpoint_bytes.add(bytes);
+        Ok(CheckpointMeta {
+            kind: self.kind,
+            format_version: FORMAT_VERSION,
+            bytes,
+            checksum,
+            days: self.reports.len(),
+            retained_days: self.products.len(),
+        })
+    }
+}
+
+/// Outcome of one daily-cycle persistence step ([`Engine::checkpoint_day_to`]
+/// or a [`crate::Persistence`] commit).
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct DayPersist {
     /// The block committed this cycle: a full snapshot when the directory
     /// was empty (`kind == BlockKind::Full`), else an O(day) segment.
@@ -461,26 +714,64 @@ pub struct DayPersist {
 /// Typed [`StoreError`]s from the chain replay or the commit; compacting
 /// an empty directory is [`StoreError::Corrupt`].
 pub fn compact_store(dir: &mut StoreDir) -> StoreResult<CompactionReport> {
+    compact_prefix(dir, None)
+}
+
+/// Tiered variant of [`compact_store`]: folds only the oldest
+/// `fold_segments` segments (clamped to the chain) into the full block,
+/// leaving newer segments in place. The pass replays at most
+/// `1 + fold_segments` blocks regardless of chain length — bounded,
+/// predictable work for an always-on daily cycle — at the cost of needing
+/// more passes to fully flatten a long chain. The partial fold commits
+/// through [`StoreDir::commit_fold`]'s atomic manifest swap, so a crash at
+/// any point still leaves either the old chain or the new one.
+///
+/// Retention pruning only sees days carried by the replayed prefix; days
+/// newer than the fold boundary are pruned by later passes once the
+/// boundary moves past them (restore applies the engine-side retention
+/// window regardless).
+///
+/// # Errors
+///
+/// As for [`compact_store`].
+pub fn compact_store_tiered(
+    dir: &mut StoreDir,
+    fold_segments: usize,
+) -> StoreResult<CompactionReport> {
+    compact_prefix(dir, Some(fold_segments))
+}
+
+fn compact_prefix(dir: &mut StoreDir, fold: Option<usize>) -> StoreResult<CompactionReport> {
     if dir.is_empty() {
         return Err(StoreError::corrupt("cannot compact an empty store: no full snapshot yet"));
     }
+    let total = dir.segment_count();
+    let fold = fold.map_or(total, |k| k.max(1).min(total));
+    let replayed = 1 + fold;
     let bytes_before = dir.chain_bytes();
-    let segments_folded = dir.segment_count();
-    let gc_before = dir.gc_failures();
-    let mut scratch = EngineBuilder::lanl().restore(&mut dir.reader()?)?;
+    let gc_count_before = dir.gc_failures();
+    let gc_names_before = dir.gc_failed_objects().len();
+    let mut scratch =
+        EngineBuilder::lanl().restore_impl(None, &mut dir.reader_prefix(replayed)?)?;
     let days_pruned = match dir.config().retention.retain_days {
         Some(keep) => scratch.prune_retained(keep),
         None => 0,
     };
     let mut pending = dir.begin(BlockKind::Full)?;
-    let meta = scratch.write_block(&mut pending, BlockKind::Full, &PersistCursor::default())?;
-    dir.commit_full(pending, &meta)?;
+    let meta = scratch.freeze().write_to(&mut pending)?;
+    if fold == total {
+        dir.commit_full(pending, &meta)?;
+    } else {
+        dir.commit_fold(pending, &meta, fold)?;
+    }
     Ok(CompactionReport {
-        segments_folded,
+        segments_folded: fold,
+        segments_replayed: replayed,
         bytes_before,
         bytes_after: meta.bytes,
         days_pruned,
-        gc_failures: dir.gc_failures() - gc_before,
+        gc_failures: dir.gc_failures() - gc_count_before,
+        gc_failed_objects: dir.gc_failed_objects()[gc_names_before..].to_vec(),
         full: meta,
     })
 }
@@ -493,8 +784,9 @@ impl EngineBuilder {
     ///
     /// As for [`EngineBuilder::restore`], plus [`StoreError::Io`] if a
     /// chain file cannot be opened.
+    #[deprecated(since = "0.9.0", note = "use `Persistence::restore`")]
     pub fn restore_dir(self, dir: &StoreDir) -> Result<Engine, StoreError> {
-        self.restore(&mut dir.reader()?)
+        self.restore_impl(None, &mut dir.reader()?)
     }
 
     /// [`EngineBuilder::restore_with_domains`] over a managed
@@ -503,12 +795,13 @@ impl EngineBuilder {
     /// # Errors
     ///
     /// As for [`EngineBuilder::restore_with_domains`].
+    #[deprecated(since = "0.9.0", note = "use `Persistence::restore_with_domains`")]
     pub fn restore_dir_with_domains(
         self,
         raw: Arc<DomainInterner>,
         dir: &StoreDir,
     ) -> Result<Engine, StoreError> {
-        self.restore_with_domains(raw, &mut dir.reader()?)
+        self.restore_impl(Some(raw), &mut dir.reader()?)
     }
 
     /// Rebuilds an engine from a store stream written by
@@ -544,6 +837,11 @@ impl EngineBuilder {
     /// [`StoreError::Corrupt`] for anything that decodes but violates an
     /// engine invariant — including a supplied shared interner whose
     /// contents disagree with the snapshot. No input panics.
+    #[deprecated(
+        since = "0.9.0",
+        note = "use `Persistence::restore` for managed stores (raw streams remain readable \
+                through this shim for one release)"
+    )]
     pub fn restore<R: Read>(self, input: &mut R) -> Result<Engine, StoreError> {
         self.restore_impl(None, input)
     }
@@ -558,6 +856,11 @@ impl EngineBuilder {
     /// # Errors
     ///
     /// As for [`EngineBuilder::restore`].
+    #[deprecated(
+        since = "0.9.0",
+        note = "use `Persistence::restore_with_domains` for managed stores (raw streams remain \
+                readable through this shim for one release)"
+    )]
     pub fn restore_with_domains<R: Read>(
         self,
         raw: Arc<DomainInterner>,
@@ -566,7 +869,7 @@ impl EngineBuilder {
         self.restore_impl(Some(raw), input)
     }
 
-    fn restore_impl<R: Read>(
+    pub(crate) fn restore_impl<R: Read>(
         self,
         raw: Option<Arc<DomainInterner>>,
         input: &mut R,

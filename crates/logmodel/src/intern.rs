@@ -276,6 +276,16 @@ impl<T> TypedInterner<T> {
         self.inner.read().expect("interner poisoned").strings.clone()
     }
 
+    /// Snapshot of only the strings interned at or after raw symbol
+    /// `start` (empty when `start` is past the end). An incremental
+    /// freeze captures its delta through this without cloning — and
+    /// refcount-churning — the whole table, which keeps the checkpoint
+    /// stall O(day) instead of O(history).
+    pub fn snapshot_tail(&self, start: usize) -> Vec<Arc<str>> {
+        let inner = self.inner.read().expect("interner poisoned");
+        inner.strings.get(start..).map(<[Arc<str>]>::to_vec).unwrap_or_default()
+    }
+
     /// Applies a restored snapshot slice beginning at symbol index
     /// `start`, verifying that every string holds the symbol number it had
     /// when the snapshot was written (append-only numbering is what keeps

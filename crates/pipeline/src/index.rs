@@ -61,6 +61,15 @@ pub struct DayIndex {
     domain_ips: FastMap<DomainSym, BTreeSet<Ipv4>>,
     /// HTTP statistics per rare-domain edge.
     edge_http: FastMap<EdgeKey, EdgeHttp>,
+    /// The sorted plain-data form, computed once when the day seals. An
+    /// always-on engine serializes every sealed day exactly once while
+    /// ingest is running, so the ordering work is paid here — at the day
+    /// boundary, where the pipeline already does O(day) finalization —
+    /// instead of inside the checkpoint path. `None` for indexes rebuilt
+    /// from a restored snapshot: those days already live in the store and
+    /// are re-encoded rarely, so keeping a second owned copy would only
+    /// slow restore down.
+    sealed: Option<DayIndexSnapshot>,
 }
 
 impl DayIndex {
@@ -109,7 +118,7 @@ impl DayIndex {
         }
         let http_available = edge_http.values().any(|s| s.saw_http);
 
-        DayIndex {
+        let mut index = DayIndex {
             day,
             http_available,
             rare: rare_set,
@@ -120,7 +129,10 @@ impl DayIndex {
             first_contact,
             domain_ips,
             edge_http,
-        }
+            sealed: None,
+        };
+        index.sealed = Some(index.snapshot_uncached());
+        index
     }
 
     /// The indexed day.
@@ -225,8 +237,25 @@ impl DayIndex {
 
     /// Decomposes the index into a sorted, plain-data snapshot — the
     /// persistence hook used by `earlybird-store`. Every collection is
-    /// emitted in key order so encoded bytes are deterministic.
+    /// emitted in key order so encoded bytes are deterministic. Sealed
+    /// indexes return a clone of the precomputed form; encoders should
+    /// prefer borrowing it through [`DayIndex::sealed`].
     pub fn to_snapshot(&self) -> DayIndexSnapshot {
+        match &self.sealed {
+            Some(snap) => snap.clone(),
+            None => self.snapshot_uncached(),
+        }
+    }
+
+    /// The snapshot computed at seal time, if this index was built by the
+    /// live pipeline (`None` after [`DayIndex::from_snapshot`]). Encoders
+    /// borrow this so checkpoint serialization under an always-on engine
+    /// does no sorting or cloning.
+    pub fn sealed(&self) -> Option<&DayIndexSnapshot> {
+        self.sealed.as_ref()
+    }
+
+    fn snapshot_uncached(&self) -> DayIndexSnapshot {
         let mut rare: Vec<DomainSym> = self.rare.iter().copied().collect();
         rare.sort_unstable();
         let mut domain_hosts: Vec<(DomainSym, Vec<HostId>)> = self
@@ -322,6 +351,10 @@ impl DayIndex {
             first_contact,
             domain_ips,
             edge_http,
+            // Restored days stay lazy: they are already persisted and
+            // re-encode only on a rare full rewrite, so an owned second
+            // copy here would just tax the restore path.
+            sealed: None,
         }
     }
 }
@@ -485,7 +518,7 @@ impl DayIndexBuilder {
         }
         let http_available = edge_http.values().any(|s| s.saw_http);
 
-        DayIndex {
+        let mut index = DayIndex {
             day,
             http_available,
             rare,
@@ -496,7 +529,10 @@ impl DayIndexBuilder {
             first_contact,
             domain_ips,
             edge_http,
-        }
+            sealed: None,
+        };
+        index.sealed = Some(index.snapshot_uncached());
+        index
     }
 }
 

@@ -7,8 +7,8 @@
 
 use crate::error::ServeError;
 use crate::wire::{
-    AlertsPage, FinishAck, InvestigateRequest, ReportsPage, ShutdownAck, SpanAck, TenantSpec,
-    TenantsPage,
+    AlertsPage, FinishAck, InvestigateRequest, ReportsPage, ShutdownAck, SlowOpsPage, SpanAck,
+    TenantSpec, TenantsPage,
 };
 use earlybird_engine::DayReport;
 use std::io::{BufRead, BufReader, Read, Write};
@@ -165,6 +165,16 @@ impl ServeClient {
         } else {
             Err(ClientError::Protocol(format!("status {status} from /metrics")))
         }
+    }
+
+    /// Drains the daemon's slow-operation ring. Each record is delivered
+    /// to exactly one caller, so poll from a single place.
+    ///
+    /// # Errors
+    ///
+    /// As for [`ServeClient::create_tenant`].
+    pub fn slow_ops(&mut self) -> Result<SlowOpsPage, ClientError> {
+        self.request("GET", "/v1/admin/slow-ops", b"")
     }
 
     /// Requests a graceful drain-and-checkpoint shutdown.

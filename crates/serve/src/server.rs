@@ -298,6 +298,20 @@ fn route(req: &Request, shared: &Shared, self_addr: SocketAddr) -> Result<Respon
             Ok(json_ok(200, &page))
         }
         ["v1", "admin", "shutdown"] if method == "POST" => shutdown(shared, self_addr),
+        // Drains the registry's slow-op ring: each record is returned at
+        // most once, so a polling operator sees every stall exactly once.
+        ["v1", "admin", "slow-ops"] if method == "GET" => {
+            let page = crate::wire::SlowOpsPage {
+                slow_ops: shared
+                    .cfg
+                    .metrics
+                    .take_slow_ops()
+                    .into_iter()
+                    .map(crate::wire::SlowOpWire::from)
+                    .collect(),
+            };
+            Ok(json_ok(200, &page))
+        }
         ["v1", tenant] if method == "PUT" => {
             refuse_if_draining(shared)?;
             create_tenant(shared, tenant, &req.body)
@@ -346,7 +360,7 @@ fn route(req: &Request, shared: &Shared, self_addr: SocketAddr) -> Result<Respon
         // Known route shapes with the wrong verb get a 405, not a 404.
         ["metrics"]
         | ["v1", "tenants"]
-        | ["v1", "admin", "shutdown"]
+        | ["v1", "admin", "shutdown" | "slow-ops"]
         | ["v1", _]
         | ["v1", _, "days", _, "spans" | "finish" | "report"]
         | ["v1", _, "reports" | "alerts" | "investigate"] => {

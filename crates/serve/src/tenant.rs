@@ -7,34 +7,37 @@
 //!   map. Span pushes and day finishes take the write lock (ingest needs
 //!   `&mut Engine`); every query — reports, investigations — takes the
 //!   read lock only.
-//! * `store` ([`std::sync::Mutex`]) serializes commits against the
-//!   tenant's [`StoreDir`]. Checkpoints run on `&Engine` (the persist
-//!   cursor sits behind its own lock), so a finish holds the *read* lock
-//!   while committing — queries proceed concurrently with the store
-//!   write, which is the slow part of sealing a day.
+//! * The [`Persistence`] facade owns the tenant's store and runs commits
+//!   on its background worker. A finish takes the *read* lock only long
+//!   enough to freeze the day's delta (a short critical section), then
+//!   releases every tenant lock and awaits the commit handle — both
+//!   queries *and further ingest* proceed while the day's bytes hit
+//!   storage, which is the slow part of sealing a day.
 //! * Alert reads go through the lock-free-shared [`AlertLog`] handle and
 //!   never touch the engine locks at all.
 //!
 //! ## Durability contract
 //!
-//! A `200` from `finish` means [`Engine::checkpoint_day_to`] committed
-//! the day to the tenant's store *before* the response was written: a
-//! `kill -9` after the ack cannot lose the day. Spans that were pushed
+//! A `200` from `finish` means the frozen day's commit was awaited to
+//! durability ([`CommitHandle::wait`]) *before* the response was written:
+//! a `kill -9` after the ack cannot lose the day. Spans that were pushed
 //! but never finished are not durable and vanish on crash — the span ack
 //! says "absorbed", not "persisted".
+//!
+//! [`CommitHandle::wait`]: earlybird_engine::CommitHandle::wait
 
 use crate::error::ServeError;
 use crate::wire::{AlertsPage, FinishAck, InvestigateRequest, SpanAck, TenantSpec, TenantSummary};
 use earlybird_engine::{
     AlertLog, AlertLogSink, DayState, Engine, EngineBuilder, IngestSource, InvestigationReport,
-    LifecycleConfig, StoreDir,
+    LifecycleConfig, Persistence, SnapshotPolicy, StoreDir,
 };
 use earlybird_logmodel::Day;
 use earlybird_obs::{Counter, Gauge, MetricsRegistry, StageTimer};
 use earlybird_store::ObjectStore;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, PoisonError, RwLock};
+use std::sync::{Arc, PoisonError, RwLock};
 
 /// Per-tenant admission-control ceilings; exceeding either rejects the
 /// span with `429` + `Retry-After`.
@@ -138,7 +141,7 @@ struct TenantCore {
 pub struct Tenant {
     name: String,
     core: RwLock<TenantCore>,
-    store: Mutex<StoreDir>,
+    persistence: Persistence,
     alerts: AlertLog,
     limits: TenantLimits,
     inflight_spans: AtomicUsize,
@@ -194,11 +197,15 @@ impl Tenant {
         let mut dir = StoreDir::open_or_create_boxed(scope, lifecycle)
             .map_err(|e| ServeError::from_store(&e))?;
         dir.attach_metrics(registry, &[("tenant", name)]);
+        let persistence = Persistence::new(dir, Self::policy());
         // Registration durability: an empty chain cannot be restored, so
         // a tenant that existed before a crash must already own a full
-        // snapshot.
-        engine.checkpoint_day_to(&mut dir).map_err(|e| ServeError::from_store(&e))?;
-        Ok(Tenant::assemble(name, engine, dir, alerts, limits, registry))
+        // snapshot — awaited here, before the creation is acked.
+        persistence
+            .commit(&engine)
+            .and_then(|handle| handle.wait())
+            .map_err(|e| ServeError::from_store(&e))?;
+        Ok(Tenant::assemble(name, engine, persistence, alerts, limits, registry))
     }
 
     /// Restores a tenant from its store scope after a cold start. All
@@ -231,29 +238,36 @@ impl Tenant {
         dir.attach_metrics(registry, &[("tenant", name)]);
         let sink = AlertLogSink::new();
         let alerts = sink.log();
-        let engine = EngineBuilder::lanl()
+        let persistence = Persistence::new(dir, Self::policy());
+        let builder = EngineBuilder::lanl()
             .sink(sink)
             .metrics(Arc::clone(registry))
-            .metric_label("tenant", name)
-            .restore_dir(&dir)
-            .map_err(|e| ServeError::from_store(&e))?;
-        Ok(Some(Tenant::assemble(name, engine, dir, alerts, limits, registry)))
+            .metric_label("tenant", name);
+        let engine = persistence.restore(builder).map_err(|e| ServeError::from_store(&e))?;
+        Ok(Some(Tenant::assemble(name, engine, persistence, alerts, limits, registry)))
+    }
+
+    /// Every tenant runs the always-on policy: auto full/segment, commits
+    /// on the facade's background worker (the finish path still awaits
+    /// durability before acking), compaction tier per the store trigger.
+    fn policy() -> SnapshotPolicy {
+        SnapshotPolicy::default().background()
     }
 
     fn assemble(
         name: &str,
         engine: Engine,
-        dir: StoreDir,
+        persistence: Persistence,
         alerts: AlertLog,
         limits: TenantLimits,
         registry: &MetricsRegistry,
     ) -> Tenant {
         let persisted = engine.reports().count();
-        let metrics = TenantMetrics::new(registry, name, dir.backend().kind());
+        let metrics = TenantMetrics::new(registry, name, persistence.store().backend().kind());
         Tenant {
             name: name.to_string(),
             core: RwLock::new(TenantCore { engine, open_days: BTreeMap::new() }),
-            store: Mutex::new(dir),
+            persistence,
             alerts,
             limits,
             inflight_spans: AtomicUsize::new(0),
@@ -274,10 +288,6 @@ impl Tenant {
 
     fn write_core(&self) -> std::sync::RwLockWriteGuard<'_, TenantCore> {
         self.core.write().unwrap_or_else(PoisonError::into_inner)
-    }
-
-    fn lock_store(&self) -> std::sync::MutexGuard<'_, StoreDir> {
-        self.store.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Rejects a day that would regress behind the newest ingested day
@@ -385,19 +395,24 @@ impl Tenant {
             self.metrics.open_bytes.add(-(bytes as i64));
             report
         };
-        // The write lock is released before the commit: the checkpoint
-        // runs on `&Engine` under the read lock, so queries keep flowing
-        // while the day's bytes hit storage.
         if report.duplicate {
-            let generation = self.lock_store().generation();
+            let generation = self.persistence.generation();
             return Ok(FinishAck { report, generation, durable: true });
         }
-        let mut dir = self.lock_store();
-        let core = self.read_core();
-        core.engine.checkpoint_day_to(&mut dir).map_err(|e| ServeError::from_store(&e))?;
-        self.persisted_reports.store(core.engine.reports().count(), Ordering::SeqCst);
-        let generation = dir.generation();
-        Ok(FinishAck { report, generation, durable: true })
+        // The freeze runs on `&Engine` under the read lock — a short
+        // critical section — then every tenant lock is released before
+        // the commit is awaited: queries AND further span pushes flow
+        // while the day's bytes hit storage. The ack still waits for
+        // durability.
+        let (handle, reports) = {
+            let core = self.read_core();
+            let handle =
+                self.persistence.commit(&core.engine).map_err(|e| ServeError::from_store(&e))?;
+            (handle, core.engine.reports().count())
+        };
+        let outcome = handle.wait().map_err(|e| ServeError::from_store(&e))?;
+        self.persisted_reports.store(reports, Ordering::SeqCst);
+        Ok(FinishAck { report, generation: outcome.generation, durable: true })
     }
 
     /// All stored (counters-only) reports, ascending by day.
@@ -474,13 +489,21 @@ impl Tenant {
             self.metrics.open_bytes.add(-(bytes as i64));
             dropped
         };
-        let mut dir = self.lock_store();
-        let core = self.read_core();
-        let reports = core.engine.reports().count();
-        if reports == self.persisted_reports.load(Ordering::SeqCst) {
-            return Ok((false, dropped));
-        }
-        core.engine.checkpoint_day_to(&mut dir).map_err(|e| ServeError::from_store(&e))?;
+        let (handle, reports) = {
+            let core = self.read_core();
+            let reports = core.engine.reports().count();
+            if reports == self.persisted_reports.load(Ordering::SeqCst) {
+                drop(core);
+                // Nothing new to snapshot, but in-flight background
+                // commits must still land before the shutdown ack.
+                self.persistence.drain().map_err(|e| ServeError::from_store(&e))?;
+                return Ok((false, dropped));
+            }
+            let handle =
+                self.persistence.commit(&core.engine).map_err(|e| ServeError::from_store(&e))?;
+            (handle, reports)
+        };
+        handle.wait().map_err(|e| ServeError::from_store(&e))?;
         self.persisted_reports.store(reports, Ordering::SeqCst);
         Ok((true, dropped))
     }

@@ -241,6 +241,31 @@ pub struct TenantsPage {
     pub tenants: Vec<TenantSummary>,
 }
 
+/// One drained slow-operation record (`GET /v1/admin/slow-ops`).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SlowOpWire {
+    /// The stage that stalled (`engine_stage_micros` label, e.g. `parse`).
+    pub op: String,
+    /// How long the operation took.
+    pub micros: u64,
+    /// The threshold it exceeded to land in the ring.
+    pub threshold_micros: u64,
+}
+
+impl From<earlybird_obs::SlowOp> for SlowOpWire {
+    fn from(op: earlybird_obs::SlowOp) -> Self {
+        SlowOpWire { op: op.op, micros: op.micros, threshold_micros: op.threshold_micros }
+    }
+}
+
+/// `GET /v1/admin/slow-ops` response. Reading drains the daemon's
+/// slow-op ring: each record is delivered to exactly one poller.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SlowOpsPage {
+    /// Records drained by this request, oldest first.
+    pub slow_ops: Vec<SlowOpWire>,
+}
+
 /// `POST /v1/admin/shutdown` response.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct ShutdownAck {

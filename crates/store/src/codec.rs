@@ -110,39 +110,41 @@ impl Encoder {
     }
 
     /// Writes one raw byte.
+    #[inline]
     pub fn u8(&mut self, v: u8) {
         self.buf.push(v);
     }
 
     /// Writes a bool as one byte (0/1).
+    #[inline]
     pub fn bool(&mut self, v: bool) {
         self.buf.push(v as u8);
     }
 
     /// Writes an unsigned LEB128 varint.
+    #[inline]
     pub fn varint(&mut self, mut v: u64) {
-        loop {
-            let byte = (v & 0x7F) as u8;
+        while v >= 0x80 {
+            self.buf.push((v as u8 & 0x7F) | 0x80);
             v >>= 7;
-            if v == 0 {
-                self.buf.push(byte);
-                return;
-            }
-            self.buf.push(byte | 0x80);
         }
+        self.buf.push(v as u8);
     }
 
     /// Writes a `u32` as a varint.
+    #[inline]
     pub fn u32v(&mut self, v: u32) {
         self.varint(v as u64);
     }
 
     /// Writes a `usize` as a varint.
+    #[inline]
     pub fn usizev(&mut self, v: usize) {
         self.varint(v as u64);
     }
 
     /// Writes an `f64` bit-exactly (IEEE-754 bits, little-endian).
+    #[inline]
     pub fn f64(&mut self, v: f64) {
         self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
     }

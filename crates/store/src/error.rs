@@ -90,6 +90,15 @@ pub enum StoreError {
         /// exists yet).
         found: Option<u64>,
     },
+    /// A `Persistence` handle refuses further commits because an earlier
+    /// frozen snapshot failed to reach the store: the engine's persist
+    /// cursor has advanced past bytes the chain never received, so any
+    /// later segment would leave a gap. The store itself is intact (the
+    /// failed commit never became visible) — restore from it and resume.
+    PersistencePoisoned {
+        /// The failure that poisoned the handle, as displayed.
+        context: String,
+    },
 }
 
 impl StoreError {
@@ -150,6 +159,14 @@ impl fmt::Display for StoreError {
                      another writer committed first; reopen the store and retry",
                     fmt_gen(expected),
                     fmt_gen(found)
+                )
+            }
+            StoreError::PersistencePoisoned { context } => {
+                write!(
+                    f,
+                    "persistence handle is poisoned by an earlier failed commit ({context}): \
+                     the chain is missing acknowledged snapshot bytes — restore from the store \
+                     and resume from the restored engine"
                 )
             }
         }
@@ -223,6 +240,7 @@ mod tests {
             StoreError::Truncated { context: "x" },
             StoreError::corrupt("y"),
             StoreError::ManifestConflict { expected: Some(1), found: Some(2) },
+            StoreError::PersistencePoisoned { context: "z".into() },
         ] {
             assert!(err.source().is_none(), "{err}");
         }

@@ -37,10 +37,12 @@
 //!   (backwards) day segments, read-only stores, and lost manifest races
 //!   are all distinct, and none of them panic.
 //!
-//! The user-facing API lives on the engine: `Engine::checkpoint` /
-//! `Engine::checkpoint_day` write blocks, `EngineBuilder::restore` reads a
-//! stream back into a cold engine whose continued operation is
-//! bit-identical to one that never restarted.
+//! The user-facing API lives on the engine: a `Persistence` handle
+//! (driven by a `SnapshotPolicy`) freezes the engine's state into an
+//! `EngineSnapshot`, commits it — synchronously or on a background worker
+//! — through a [`StoreDir`], and restores a chain back into a cold engine
+//! whose continued operation is bit-identical to one that never
+//! restarted.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

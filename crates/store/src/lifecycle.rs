@@ -40,12 +40,15 @@
 //!
 //! Compaction and retention *policy* lives here ([`LifecycleConfig`]); the
 //! pass itself needs an engine to replay the chain, so it lives in
-//! `earlybird-engine` (`compact_store`): restore the chain into a scratch
+//! `earlybird-engine` (`compact_store` / `compact_store_tiered`): restore
+//! the chain — or, tiered, only the old full block plus the
+//! [`CompactionTrigger::fold_segments`] oldest segments — into a scratch
 //! engine, optionally prune contact indexes past
 //! [`RetentionPolicy::retain_days`] (their counters stay in the full block
 //! — the full block is the source of truth for evicted days), write one
 //! new full block, and atomically swap the manifest via
-//! [`StoreDir::commit_full`].
+//! [`StoreDir::commit_full`] (whole chain) or [`StoreDir::commit_fold`]
+//! (prefix only, tail segments kept in place).
 
 use crate::backend::{
     FaultInjector, FaultedStore, LocalFsBackend, MemBackend, ObjectStore, ObjectUpload,
@@ -79,19 +82,25 @@ pub struct CompactionTrigger {
     pub max_segments: Option<usize>,
     /// Compact once the segments' total size exceeds this many bytes.
     pub max_segment_bytes: Option<u64>,
+    /// Fold at most this many of the *oldest* segments per pass (tiered
+    /// compaction): each pass replays `1 + K` blocks into the scratch
+    /// engine instead of the whole chain, bounding pause-adjacent work by
+    /// K rather than by uptime. `None` folds the entire chain in one pass.
+    pub fold_segments: Option<usize>,
 }
 
 impl Default for CompactionTrigger {
-    /// Compact past 32 segments — roughly a month of daily cycles.
+    /// Compact past 32 segments — roughly a month of daily cycles — and
+    /// fold the whole chain when it fires.
     fn default() -> Self {
-        CompactionTrigger { max_segments: Some(32), max_segment_bytes: None }
+        CompactionTrigger { max_segments: Some(32), max_segment_bytes: None, fold_segments: None }
     }
 }
 
 impl CompactionTrigger {
     /// A trigger that never fires (explicit-compaction-only stores).
     pub fn disabled() -> Self {
-        CompactionTrigger { max_segments: None, max_segment_bytes: None }
+        CompactionTrigger { max_segments: None, max_segment_bytes: None, fold_segments: None }
     }
 }
 
@@ -121,14 +130,18 @@ pub struct LifecycleConfig {
 }
 
 /// Outcome of one compaction pass (produced by the engine crate's
-/// `compact_store`).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+/// `compact_store` / `compact_store_tiered`).
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CompactionReport {
     /// Segments folded into the new full block.
     pub segments_folded: usize,
+    /// Chain blocks replayed into the scratch engine during the pass
+    /// (the old full block plus the folded segments) — bounded by
+    /// `1 + K` under [`CompactionTrigger::fold_segments`].
+    pub segments_replayed: usize,
     /// Chain bytes before the pass (full + segments).
     pub bytes_before: u64,
-    /// Bytes of the single full block after the pass.
+    /// Bytes of the full block after the pass (tail segments excluded).
     pub bytes_after: u64,
     /// Retained contact indexes pruned by the retention policy.
     pub days_pruned: usize,
@@ -136,6 +149,10 @@ pub struct CompactionReport {
     /// during the pass (they leak until the next open quarantines them) —
     /// non-fatal, but operators should watch it.
     pub gc_failures: u64,
+    /// Names of the objects behind [`CompactionReport::gc_failures`], so
+    /// operators can reconcile leaked objects against
+    /// [`StoreDir::quarantined`] after the next open.
+    pub gc_failed_objects: Vec<String>,
     /// The new full block's summary.
     pub full: CheckpointMeta,
 }
@@ -274,6 +291,16 @@ impl PendingBlock {
     }
 }
 
+/// How a commit splices its block into the manifest: replace the whole
+/// chain (full checkpoint / whole-chain compaction), replace only the old
+/// full plus the `K` oldest segments (tiered fold), or append (segment).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum CommitShape {
+    Full,
+    Segment,
+    Fold(usize),
+}
+
 // -- metrics ----------------------------------------------------------------
 
 /// Cached metric handles for one store, labeled by backend kind (plus any
@@ -354,6 +381,7 @@ pub struct StoreDir {
     manifest: Manifest,
     quarantined: Vec<String>,
     gc_failures: u64,
+    gc_failed: Vec<String>,
     metrics: Option<StoreMetrics>,
 }
 
@@ -407,6 +435,7 @@ impl StoreDir {
             manifest,
             quarantined: Vec::new(),
             gc_failures: 0,
+            gc_failed: Vec::new(),
             metrics: None,
         })
     }
@@ -467,6 +496,7 @@ impl StoreDir {
             manifest,
             quarantined: Vec::new(),
             gc_failures: 0,
+            gc_failed: Vec::new(),
             metrics: None,
         };
         dir.validate_chain()?;
@@ -578,6 +608,13 @@ impl StoreDir {
         self.gc_failures
     }
 
+    /// Names of the objects behind [`StoreDir::gc_failures`], in the order
+    /// the deletions failed — reconcile against [`StoreDir::quarantined`]
+    /// after the next open to confirm the leaks were collected.
+    pub fn gc_failed_objects(&self) -> &[String] {
+        &self.gc_failed
+    }
+
     /// Attaches this store to a [`MetricsRegistry`]: commit / put / swap /
     /// get latencies, committed bytes, GC failures, and quarantine counts
     /// flow into `store_*` series labeled by backend kind plus
@@ -609,7 +646,20 @@ impl StoreDir {
     /// [`StoreError::Io`] if a chain object cannot be opened (surfaced
     /// lazily per object while reading).
     pub fn reader(&self) -> StoreResult<ChainReader<'_>> {
-        let names: Vec<String> = self.manifest.entries.iter().map(|e| e.name.clone()).collect();
+        self.reader_prefix(self.manifest.entries.len())
+    }
+
+    /// A reader over only the first `blocks` chain objects in manifest
+    /// order — the replay input of a tiered compaction pass, which folds
+    /// the old full block plus the oldest K segments and leaves the tail
+    /// untouched.
+    ///
+    /// # Errors
+    ///
+    /// As for [`StoreDir::reader`].
+    pub fn reader_prefix(&self, blocks: usize) -> StoreResult<ChainReader<'_>> {
+        let names: Vec<String> =
+            self.manifest.entries.iter().take(blocks).map(|e| e.name.clone()).collect();
         Ok(ChainReader {
             backend: self.backend.as_ref(),
             names: names.into_iter(),
@@ -660,7 +710,33 @@ impl StoreDir {
     /// [`StoreError::ManifestConflict`] on a lost multi-writer race)
     /// otherwise.
     pub fn commit_full(&mut self, pending: PendingBlock, meta: &CheckpointMeta) -> StoreResult<()> {
-        self.commit(pending, meta, BlockKind::Full)
+        self.commit(pending, meta, CommitShape::Full)
+    }
+
+    /// Commits a tiered-compaction fold: the pending **full** block —
+    /// written from a scratch engine that replayed the old full block plus
+    /// the oldest `folded` segments — atomically replaces exactly that
+    /// prefix of the chain, keeping the newer tail segments in place. The
+    /// replaced prefix is then deleted best-effort, like any commit.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Corrupt`] when `pending` is not a full block, `meta`
+    /// disagrees with it, or the chain holds fewer than `folded` segments;
+    /// backend errors otherwise.
+    pub fn commit_fold(
+        &mut self,
+        pending: PendingBlock,
+        meta: &CheckpointMeta,
+        folded: usize,
+    ) -> StoreResult<()> {
+        if self.is_empty() || folded > self.segment_count() {
+            return Err(StoreError::corrupt(format!(
+                "fold commit claims {folded} segments but the chain holds {}",
+                self.segment_count()
+            )));
+        }
+        self.commit(pending, meta, CommitShape::Fold(folded))
     }
 
     /// Commits a day segment: the pending object is finalized as
@@ -677,15 +753,19 @@ impl StoreDir {
         pending: PendingBlock,
         meta: &CheckpointMeta,
     ) -> StoreResult<()> {
-        self.commit(pending, meta, BlockKind::DaySegment)
+        self.commit(pending, meta, CommitShape::Segment)
     }
 
     fn commit(
         &mut self,
         pending: PendingBlock,
         meta: &CheckpointMeta,
-        expect: BlockKind,
+        shape: CommitShape,
     ) -> StoreResult<()> {
+        let expect = match shape {
+            CommitShape::Full | CommitShape::Fold(_) => BlockKind::Full,
+            CommitShape::Segment => BlockKind::DaySegment,
+        };
         let _commit_span = self.metrics.as_ref().map(|m| m.commit.start());
         if pending.kind != expect || meta.kind != expect {
             return Err(StoreError::corrupt(format!(
@@ -726,13 +806,23 @@ impl StoreDir {
         let mut next = self.manifest.clone();
         next.generation = generation;
         let entry = ManifestEntry { kind, name, bytes: meta.bytes, crc: meta.checksum };
-        let replaced: Vec<String> = if kind == BlockKind::Full {
-            let old = next.entries.drain(..).map(|e| e.name).collect();
-            next.entries.push(entry);
-            old
-        } else {
-            next.entries.push(entry);
-            Vec::new()
+        let replaced: Vec<String> = match shape {
+            CommitShape::Full => {
+                let old = next.entries.drain(..).map(|e| e.name).collect();
+                next.entries.push(entry);
+                old
+            }
+            CommitShape::Fold(folded) => {
+                // Replace the old full block plus the `folded` oldest
+                // segments; the tail keeps its order behind the new full.
+                let old = next.entries.drain(..folded + 1).map(|e| e.name).collect();
+                next.entries.insert(0, entry);
+                old
+            }
+            CommitShape::Segment => {
+                next.entries.push(entry);
+                Vec::new()
+            }
         };
         {
             let _swap_span = self.metrics.as_ref().map(|m| m.swap.start());
@@ -754,6 +844,7 @@ impl StoreDir {
         for name in replaced {
             if self.backend.delete(&name).is_err() {
                 self.gc_failures += 1;
+                self.gc_failed.push(name);
                 if let Some(m) = &self.metrics {
                     m.gc_failures.inc();
                 }
@@ -1015,6 +1106,7 @@ mod tests {
                 compaction: CompactionTrigger {
                     max_segments: Some(2),
                     max_segment_bytes: Some(1_000_000),
+                    fold_segments: None,
                 },
                 retention: RetentionPolicy::default(),
             },

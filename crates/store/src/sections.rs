@@ -28,6 +28,12 @@ use earlybird_timing::{AutomationDetector, DistanceMetric};
 pub fn write_interner_slice<T>(e: &mut Encoder, interner: &TypedInterner<T>, start: usize) {
     let strings = interner.snapshot();
     let tail = strings.get(start..).unwrap_or(&[]);
+    write_interner_tail(e, start, tail);
+}
+
+/// Writes an interner tail captured earlier by a frozen snapshot —
+/// byte-identical to [`write_interner_slice`] over the same state.
+pub fn write_interner_tail(e: &mut Encoder, start: usize, tail: &[std::sync::Arc<str>]) {
     e.usizev(start);
     e.usizev(tail.len());
     for s in tail {
@@ -69,6 +75,12 @@ pub fn read_interner_into<T>(
 pub fn write_host_mapper(e: &mut Encoder, hosts: &HostMapper, start: usize) {
     let ips = hosts.snapshot_ips();
     let tail = ips.get(start..).unwrap_or(&[]);
+    write_host_mapper_tail(e, start, tail);
+}
+
+/// Writes a host-mapper tail captured earlier by a frozen snapshot —
+/// byte-identical to [`write_host_mapper`] over the same state.
+pub fn write_host_mapper_tail(e: &mut Encoder, start: usize, tail: &[Ipv4]) {
     e.usizev(start);
     e.usizev(tail.len());
     for ip in tail {
@@ -103,12 +115,23 @@ pub fn read_host_mapper_into(d: &mut Decoder<'_>, hosts: &mut HostMapper) -> Sto
 pub fn write_domain_history(e: &mut Encoder, history: &DomainHistory, start: usize) {
     let order = history.ordered();
     let tail = order.get(start..).unwrap_or(&[]);
+    write_domain_history_tail(e, start, tail, history.days_ingested());
+}
+
+/// Writes a destination-history tail captured earlier by a frozen snapshot
+/// — byte-identical to [`write_domain_history`] over the same state.
+pub fn write_domain_history_tail(
+    e: &mut Encoder,
+    start: usize,
+    tail: &[DomainSym],
+    days_ingested: u32,
+) {
     e.usizev(start);
     e.usizev(tail.len());
     for sym in tail {
         e.u32v(sym.raw());
     }
-    e.u32v(history.days_ingested());
+    e.u32v(days_ingested);
 }
 
 /// Reads a destination-history slice: `(start, new domains, days_ingested)`.
@@ -125,9 +148,20 @@ pub fn read_domain_history(d: &mut Decoder<'_>) -> StoreResult<(usize, Vec<Domai
 
 /// Writes the user-agent history pair log from `start` onward.
 pub fn write_ua_history(e: &mut Encoder, history: &UaHistory, start: usize) {
-    e.usizev(history.rare_threshold());
     let log = history.pair_log();
     let tail = log.get(start..).unwrap_or(&[]);
+    write_ua_history_tail(e, history.rare_threshold(), start, tail);
+}
+
+/// Writes a user-agent history tail captured earlier by a frozen snapshot
+/// — byte-identical to [`write_ua_history`] over the same state.
+pub fn write_ua_history_tail(
+    e: &mut Encoder,
+    rare_threshold: usize,
+    start: usize,
+    tail: &[(earlybird_logmodel::UaSym, HostId)],
+) {
+    e.usizev(rare_threshold);
     e.usizev(start);
     e.usizev(tail.len());
     for (ua, host) in tail {
@@ -160,7 +194,18 @@ pub fn read_ua_history(
 
 /// Writes one retained day's contact index.
 pub fn write_day_index(e: &mut Encoder, index: &DayIndex) {
-    let snap = index.to_snapshot();
+    // Live indexes carry their sorted form from seal time, so encoding
+    // under a frozen always-on engine is pure emission — no sorting or
+    // cloning here. Restored indexes (rare full rewrites) fall back to
+    // decomposing on the fly.
+    let fallback;
+    let snap = match index.sealed() {
+        Some(snap) => snap,
+        None => {
+            fallback = index.to_snapshot();
+            &fallback
+        }
+    };
     e.u32v(snap.day.index());
     e.usizev(snap.new_count);
     e.usizev(snap.rare.len());

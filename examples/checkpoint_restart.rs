@@ -1,14 +1,18 @@
-//! Durability & crash recovery: run the daily cycle with a store file on
-//! disk, kill the process, and restart without losing the months of
-//! accumulated baseline the detector depends on.
+//! Durability & crash recovery through the [`Persistence`] facade: run
+//! the daily cycle with commits on the background worker, kill the
+//! process, and restart without losing the months of accumulated baseline
+//! the detector depends on.
 //!
 //! The shape of a production deployment:
 //!
-//! 1. `Engine::checkpoint` writes one full snapshot when the service first
-//!    reaches steady state;
-//! 2. after each day's `ingest_day`, `Engine::checkpoint_day` appends an
-//!    O(day) segment to the same file;
-//! 3. on restart, `EngineBuilder::restore` replays the stream and the
+//! 1. `Persistence::new(dir, SnapshotPolicy::default().background())`
+//!    owns the store and a background commit worker;
+//! 2. after each day's `ingest_day`, `Persistence::commit` freezes the
+//!    engine's persistable state under a short critical section and
+//!    returns a `CommitHandle` immediately — serialization and the store
+//!    commit run behind it while the next day's ingest proceeds, and
+//!    `CommitHandle::wait` is the durability ack;
+//! 3. on restart, `Persistence::restore` replays the chain and the
 //!    service resumes **bit-identically** — same reports, same alerts,
 //!    same sink sequence numbers — as if it had never died. Re-feeding an
 //!    already-covered day is absorbed by the duplicate-day replay guard
@@ -16,7 +20,9 @@
 //!
 //! Run with: `cargo run --release --example checkpoint_restart`
 
-use earlybird::engine::{CollectingSink, DayBatch, EngineBuilder};
+use earlybird::engine::{
+    CollectingSink, DayBatch, EngineBuilder, LifecycleConfig, Persistence, SnapshotPolicy, StoreDir,
+};
 use earlybird::logmodel::Day;
 use earlybird::synthgen::lanl::{LanlConfig, LanlGenerator};
 use std::sync::Arc;
@@ -26,7 +32,8 @@ fn main() {
     let dataset = &challenge.dataset;
     let boot = dataset.meta.bootstrap_days as usize;
     let split = boot + 3; // the process "dies" after this many days
-    let store_path = std::env::temp_dir().join("earlybird-example.ebstore");
+    let root = std::env::temp_dir().join("earlybird-example-restart");
+    let _ = std::fs::remove_dir_all(&root);
 
     // ---- Reference: one engine that never restarts. --------------------
     let sink = CollectingSink::new();
@@ -40,9 +47,10 @@ fn main() {
         reference.ingest_day(DayBatch::Dns(day));
     }
 
-    // ---- Incarnation #1: bootstrap, snapshot, then daily segments. -----
+    // ---- Incarnation #1: bootstrap, then background daily commits. -----
     {
-        let mut store = std::fs::File::create(&store_path).expect("create store file");
+        let dir = StoreDir::open_or_create(&root, LifecycleConfig::default()).expect("store dir");
+        let store = Persistence::new(dir, SnapshotPolicy::default().background());
         let mut engine = EngineBuilder::lanl()
             .auto_investigate(true)
             .sink(CollectingSink::new())
@@ -51,28 +59,45 @@ fn main() {
         for day in &dataset.days[..boot] {
             engine.ingest_day(DayBatch::Dns(day));
         }
-        let full = engine.checkpoint(&mut store).expect("full checkpoint");
+        let full = store.commit(&engine).expect("freeze").wait().expect("full checkpoint commits");
         println!(
             "full snapshot: {} days, {} retained indexes, {} bytes (crc {:#010x})",
-            full.days, full.retained_days, full.bytes, full.checksum
+            full.block.days, full.block.retained_days, full.block.bytes, full.block.checksum
         );
+
+        // Daily cycle: `commit` returns as soon as the day's state is
+        // frozen, so the previous handle is awaited only after the *next*
+        // day has been ingested — serialization always overlaps ingest.
+        let mut inflight: Option<(Day, earlybird::engine::CommitHandle)> = None;
         for day in &dataset.days[boot..split] {
             engine.ingest_day(DayBatch::Dns(day));
-            let seg = engine.checkpoint_day(&mut store).expect("segment");
-            println!("  day segment {:?}: {} bytes", day.day, seg.bytes);
+            if let Some((d, handle)) = inflight.take() {
+                let outcome = handle.wait().expect("segment durable");
+                println!(
+                    "  day segment {d:?}: {} bytes, durable at generation {}",
+                    outcome.block.bytes, outcome.generation
+                );
+            }
+            inflight = Some((day.day, store.commit(&engine).expect("freeze")));
         }
-        // Engine dropped here: the "crash". Only the store file survives.
+        if let Some((d, handle)) = inflight {
+            let outcome = handle.wait().expect("segment durable");
+            println!(
+                "  day segment {d:?}: {} bytes, durable at generation {}",
+                outcome.block.bytes, outcome.generation
+            );
+        }
+        // Engine dropped here: the "crash". Only the directory survives.
     }
 
-    // ---- Incarnation #2: cold restart from the store file. -------------
+    // ---- Incarnation #2: cold restart from the store directory. --------
     let sink = CollectingSink::new();
     let restarted_alerts = sink.handle();
-    let mut bytes = std::fs::File::open(&store_path).expect("open store file");
-    let mut engine = EngineBuilder::lanl()
-        .auto_investigate(true)
-        .sink(sink)
-        .restore(&mut bytes)
-        .expect("snapshot restores");
+    let dir = StoreDir::open(&root, LifecycleConfig::default()).expect("reopen store dir");
+    let store = Persistence::new(dir, SnapshotPolicy::default());
+    let mut engine = store
+        .restore(EngineBuilder::lanl().auto_investigate(true).sink(sink))
+        .expect("chain restores");
     println!(
         "restored: {} operation days retained, {} profiled domains",
         engine.days().count(),
@@ -106,6 +131,7 @@ fn main() {
         actual.last().map(|a| a.sequence),
     );
 
-    let _ = std::fs::remove_file(&store_path);
+    drop(store);
+    let _ = std::fs::remove_dir_all(&root);
     println!("cold restart OK: durability layer verified");
 }

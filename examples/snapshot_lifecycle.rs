@@ -1,17 +1,20 @@
 //! The snapshot lifecycle manager: a daily cycle against a manifest-driven
-//! [`StoreDir`] with automatic segment compaction and retention GC.
+//! [`StoreDir`] with automatic tiered compaction and retention GC, driven
+//! through the [`Persistence`] facade.
 //!
 //! The shape of a long-running deployment:
 //!
 //! 1. `StoreDir::open_or_create` owns a snapshot directory (a small
-//!    CRC-protected `MANIFEST` records the `full + N segments` chain);
-//! 2. after each day's `ingest_day`, `Engine::checkpoint_day_to` commits a
-//!    full block (first run) or an O(day) segment — and when the
-//!    configured `CompactionTrigger` fires, folds the chain back into one
-//!    full block, pruning contact indexes past `retain_days` (their
+//!    CRC-protected `MANIFEST` records the `full + N segments` chain) and
+//!    `Persistence::new` wraps it with a `SnapshotPolicy`;
+//! 2. after each day's `ingest_day`, `Persistence::commit` writes a full
+//!    block (first run) or an O(day) segment — and when the configured
+//!    `CompactionTrigger` fires, folds the `fold_segments` **oldest**
+//!    segments into the full block (replay bounded by the tier, not the
+//!    chain length), pruning contact indexes past `retain_days` (their
 //!    counters stay: the full block is the source of truth);
 //! 3. on restart, `StoreDir::open` validates the manifest, quarantines any
-//!    crash residue, and `EngineBuilder::restore_dir` replays the chain in
+//!    crash residue, and `Persistence::restore` replays the chain in
 //!    O(current state) — however long the service has been running — with
 //!    bit-identical continuation.
 //!
@@ -24,8 +27,8 @@
 //! Run with: `cargo run --release --example snapshot_lifecycle`
 
 use earlybird::engine::{
-    CollectingSink, CompactionTrigger, DayBatch, EngineBuilder, LifecycleConfig, RetentionPolicy,
-    S3LiteBackend, StoreDir,
+    CollectingSink, CompactionTrigger, DayBatch, EngineBuilder, LifecycleConfig, Persistence,
+    RetentionPolicy, S3LiteBackend, SnapshotPolicy, StoreDir,
 };
 use earlybird::logmodel::Day;
 use earlybird::store::BlockKind;
@@ -39,11 +42,17 @@ fn main() {
     let root = std::env::temp_dir().join("earlybird-example-store");
     let _ = std::fs::remove_dir_all(&root);
 
-    // Fold the chain whenever it exceeds 4 segments; keep the newest 2
-    // days investigable through a compaction (older days keep their
-    // counters in the full block, only their contact indexes drop).
+    // Fold the two oldest segments whenever the chain exceeds 4 segments
+    // (tiered: each pass replays at most full + 2, however long the chain
+    // grew); keep the newest 2 days investigable through a compaction
+    // (older days keep their counters in the full block, only their
+    // contact indexes drop).
     let lifecycle = LifecycleConfig {
-        compaction: CompactionTrigger { max_segments: Some(4), max_segment_bytes: None },
+        compaction: CompactionTrigger {
+            max_segments: Some(4),
+            max_segment_bytes: None,
+            fold_segments: Some(2),
+        },
         retention: RetentionPolicy { retain_days: Some(2) },
     };
 
@@ -59,9 +68,10 @@ fn main() {
         reference.ingest_day(DayBatch::Dns(day));
     }
 
-    // ---- Incarnation #1: the daily cycle against the store dir. --------
+    // ---- Incarnation #1: the daily cycle through the facade. -----------
     {
-        let mut dir = StoreDir::open_or_create(&root, lifecycle).expect("store dir");
+        let dir = StoreDir::open_or_create(&root, lifecycle).expect("store dir");
+        let store = Persistence::new(dir, SnapshotPolicy::default());
         let mut engine = EngineBuilder::lanl()
             .auto_investigate(true)
             .sink(CollectingSink::new())
@@ -69,25 +79,36 @@ fn main() {
             .expect("valid config");
         for day in &dataset.days[..split] {
             engine.ingest_day(DayBatch::Dns(day));
-            let persist = engine.checkpoint_day_to(&mut dir).expect("daily persist");
-            match persist.block.kind {
+            let outcome = store.commit(&engine).expect("freeze").wait().expect("daily persist");
+            match outcome.block.kind {
                 BlockKind::Full => println!(
                     "day {:>2}: full snapshot, {} bytes",
                     day.day.index(),
-                    persist.block.bytes
+                    outcome.block.bytes
                 ),
-                BlockKind::DaySegment => println!(
-                    "day {:>2}: segment, {} bytes ({} segments, {} chain bytes)",
-                    day.day.index(),
-                    persist.block.bytes,
-                    dir.segment_count(),
-                    dir.chain_bytes()
-                ),
+                BlockKind::DaySegment => {
+                    // One guard for both reads: `store()` locks the
+                    // StoreDir, and a second lock while the first guard's
+                    // temporary is still alive would self-deadlock.
+                    let dir = store.store();
+                    println!(
+                        "day {:>2}: segment, {} bytes ({} segments, {} chain bytes)",
+                        day.day.index(),
+                        outcome.block.bytes,
+                        dir.segment_count(),
+                        dir.chain_bytes()
+                    );
+                }
             }
-            if let Some(c) = persist.compaction {
+            if let Some(c) = outcome.compaction {
                 println!(
-                    "        compaction: {} segments folded, {} -> {} bytes, {} indexes pruned",
-                    c.segments_folded, c.bytes_before, c.bytes_after, c.days_pruned
+                    "        tiered compaction: {} segments folded ({} blocks replayed), \
+                     {} -> {} bytes, {} indexes pruned",
+                    c.segments_folded,
+                    c.segments_replayed,
+                    c.bytes_before,
+                    c.bytes_after,
+                    c.days_pruned
                 );
             }
         }
@@ -102,13 +123,12 @@ fn main() {
         dir.entries().len(),
         dir.quarantined().len()
     );
-    assert!(dir.entries().len() <= 5, "compaction keeps the chain bounded regardless of uptime");
+    assert!(dir.entries().len() <= 6, "compaction keeps the chain bounded regardless of uptime");
     let sink = CollectingSink::new();
     let restarted_alerts = sink.handle();
-    let mut engine = EngineBuilder::lanl()
-        .auto_investigate(true)
-        .sink(sink)
-        .restore_dir(&dir)
+    let store = Persistence::new(dir, SnapshotPolicy::default());
+    let mut engine = store
+        .restore(EngineBuilder::lanl().auto_investigate(true).sink(sink))
         .expect("chain restores");
     println!(
         "restored: {} days of counters, {} investigable indexes, {} profiled domains",
@@ -137,8 +157,9 @@ fn main() {
         actual.last().map(|a| a.sequence),
     );
 
+    drop(store);
     let _ = std::fs::remove_dir_all(&root);
-    println!("snapshot lifecycle OK: compaction + retention GC verified");
+    println!("snapshot lifecycle OK: tiered compaction + retention GC verified");
 
     // ---- Backends: the identical cycle over an S3-style object store. ---
     // `S3LiteBackend` keeps the protocol shape of a real bucket: blocks
@@ -148,8 +169,8 @@ fn main() {
     // clobbering the chain. A real S3/GCS client drops into this adapter.
     let service = S3LiteBackend::new();
     {
-        let mut dir =
-            StoreDir::create_with(service.clone(), lifecycle).expect("create object store");
+        let dir = StoreDir::create_with(service.clone(), lifecycle).expect("create object store");
+        let store = Persistence::new(dir, SnapshotPolicy::default());
         let mut engine = EngineBuilder::lanl()
             .auto_investigate(true)
             .sink(CollectingSink::new())
@@ -157,20 +178,23 @@ fn main() {
             .expect("valid config");
         for day in &dataset.days[..split] {
             engine.ingest_day(DayBatch::Dns(day));
-            engine.checkpoint_day_to(&mut dir).expect("daily persist to the object store");
+            store
+                .commit(&engine)
+                .expect("freeze")
+                .wait()
+                .expect("daily persist to the object store");
         }
         // The "process" dies here; only the service handle survives.
     }
     let dir = StoreDir::open_with(service.clone(), lifecycle).expect("reopen object store");
-    let engine = EngineBuilder::lanl()
-        .auto_investigate(true)
-        .sink(CollectingSink::new())
-        .restore_dir(&dir)
+    let store = Persistence::new(dir, SnapshotPolicy::default());
+    let engine = store
+        .restore(EngineBuilder::lanl().auto_investigate(true).sink(CollectingSink::new()))
         .expect("object-store chain restores");
     println!(
         "s3lite: generation {}, {} chain objects, {} staged uploads, {} days restored",
-        dir.generation(),
-        dir.entries().len(),
+        store.generation(),
+        store.store().entries().len(),
         service.staged_uploads(),
         engine.reports().count(),
     );

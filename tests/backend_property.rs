@@ -4,8 +4,8 @@
 //! concurrent-writer interleavings.
 
 use earlybird::engine::{
-    DayBatch, EngineBuilder, LifecycleConfig, MemBackend, ObjectStore, S3LiteBackend, StoreDir,
-    StoreError,
+    DayBatch, EngineBuilder, LifecycleConfig, MemBackend, ObjectStore, Persistence, S3LiteBackend,
+    SnapshotPolicy, StoreDir, StoreError,
 };
 use earlybird::logmodel::{
     DatasetMeta, Day, DnsDayLog, DnsQuery, DnsRecordType, DomainInterner, HostId, HostKind, Ipv4,
@@ -138,23 +138,28 @@ fn concurrent_store_dirs_surface_a_typed_manifest_conflict() {
     let cfg = LifecycleConfig::default();
 
     // Writer A creates the store and persists day 0.
-    let mut dir_a = StoreDir::create_with(service.clone(), cfg).expect("create");
+    let dir_a = StoreDir::create_with(service.clone(), cfg).expect("create");
+    let store_a = Persistence::new(dir_a, SnapshotPolicy::default());
     let mut engine_a = engine_for(&domains);
     engine_a.ingest_day(DayBatch::Dns(&synthetic_day(&domains, 0)));
-    engine_a.checkpoint_day_to(&mut dir_a).expect("A persists day 0");
+    store_a.commit(&engine_a).expect("freeze").wait().expect("A persists day 0");
 
     // Writer B opens the same store at the same generation.
-    let mut dir_b = StoreDir::open_with(service.clone(), cfg).expect("B opens");
-    let mut engine_b = EngineBuilder::lanl().restore_dir(&dir_b).expect("B restores");
-    assert_eq!(dir_a.generation(), dir_b.generation());
+    let dir_b = StoreDir::open_with(service.clone(), cfg).expect("B opens");
+    let store_b = Persistence::new(dir_b, SnapshotPolicy::default());
+    let mut engine_b = store_b.restore(EngineBuilder::lanl()).expect("B restores");
+    assert_eq!(store_a.generation(), store_b.generation());
 
     // A commits day 1 first and wins; B races the same generation with a
     // *different* day (different bytes — a clobber would corrupt A's
     // committed object, not just its manifest entry).
     engine_a.ingest_day(DayBatch::Dns(&synthetic_day(&domains, 1)));
-    engine_a.checkpoint_day_to(&mut dir_a).expect("A persists day 1");
+    store_a.commit(&engine_a).expect("freeze").wait().expect("A persists day 1");
     engine_b.ingest_day(DayBatch::Dns(&synthetic_day(&domains, 2)));
-    let err = engine_b.checkpoint_day_to(&mut dir_b).expect_err("B must lose the race");
+    let err = store_b
+        .commit(&engine_b)
+        .and_then(|handle| handle.wait())
+        .expect_err("B must lose the race");
     assert!(
         matches!(err, StoreError::ManifestConflict { .. } | StoreError::ObjectConflict { .. }),
         "typed conflict, got {err}"
@@ -163,8 +168,10 @@ fn concurrent_store_dirs_surface_a_typed_manifest_conflict() {
     // The chain is exactly A's — bytes included; B reopens, restores, and
     // sees A's days.
     let fresh = StoreDir::open_with(service.clone(), cfg).expect("reopen");
-    assert_eq!(fresh.generation(), dir_a.generation());
-    let restored = EngineBuilder::lanl().restore_dir(&fresh).expect("winner's chain restores");
+    assert_eq!(fresh.generation(), store_a.generation());
+    let restored = Persistence::new(fresh, SnapshotPolicy::default())
+        .restore(EngineBuilder::lanl())
+        .expect("winner's chain restores");
     assert_eq!(
         restored.reports().map(|r| r.day).collect::<Vec<_>>(),
         vec![Day::new(0), Day::new(1)],

@@ -4,6 +4,13 @@
 //! must be **bit-identical** to an uninterrupted run, on both the LANL DNS
 //! suite and the enterprise proxy suite, through both the full-snapshot and
 //! the incremental per-day segment paths.
+//!
+//! This suite deliberately stays on the deprecated `checkpoint*` /
+//! `restore*` shims: it is the compatibility proof that the one-release
+//! shims keep producing and reading the exact bytes of the
+//! `freeze()`/`Persistence` path until they are removed.
+
+#![allow(deprecated)]
 
 use earlybird::engine::{
     Alert, CheckpointMeta, CollectedAlerts, DayBatch, DayReport, Engine, EngineBuilder, StoreError,

@@ -19,8 +19,9 @@
 mod support;
 
 use earlybird::engine::{
-    compact_store, CompactionTrigger, DayBatch, Engine, EngineBuilder, FaultInjector,
-    LifecycleConfig, RetentionPolicy, S3LiteBackend, StageCounters, StoreDir, StoreError,
+    compact_store, compact_store_tiered, CompactionTrigger, DayBatch, Engine, EngineBuilder,
+    FaultInjector, LifecycleConfig, Persistence, RetentionPolicy, S3LiteBackend, SnapshotPolicy,
+    StageCounters, StoreDir, StoreError,
 };
 use earlybird::logmodel::Day;
 use earlybird::synthgen::lanl::{LanlChallenge, LanlConfig, LanlGenerator};
@@ -68,8 +69,9 @@ fn assert_no_acked_loss(
         assert!(acked.is_empty(), "{context}: acked days {acked:?} but the chain is empty");
         return None;
     }
-    let restored = EngineBuilder::lanl()
-        .restore_dir(&dir)
+    let store = Persistence::new(dir, SnapshotPolicy::default());
+    let restored = store
+        .restore(EngineBuilder::lanl())
         .unwrap_or_else(|e| panic!("{context}: recovered chain must restore: {e}"));
     let days: BTreeSet<Day> = restored.reports().map(|r| r.day).collect();
     for day in acked {
@@ -98,7 +100,11 @@ fn crash_at_every_op_of_the_daily_cycle_loses_no_acked_day() {
     let boot = challenge.dataset.meta.bootstrap_days as usize;
     let days = &challenge.dataset.days[..boot + 6];
     let cfg = LifecycleConfig {
-        compaction: CompactionTrigger { max_segments: Some(2), max_segment_bytes: None },
+        compaction: CompactionTrigger {
+            max_segments: Some(2),
+            max_segment_bytes: None,
+            fold_segments: None,
+        },
         retention: RetentionPolicy { retain_days: Some(3) },
     };
 
@@ -110,13 +116,14 @@ fn crash_at_every_op_of_the_daily_cycle_loses_no_acked_day() {
             let injector = FaultInjector::new();
             dir.set_fault_injector(injector.clone());
             injector.arm(fault_at);
+            let store = Persistence::new(dir, SnapshotPolicy::default());
 
             let mut engine = engine_for(&challenge);
             let mut acked: BTreeSet<Day> = BTreeSet::new();
             let mut crashed = false;
             for day in days {
                 engine.ingest_day(DayBatch::Dns(day));
-                match engine.checkpoint_day_to(&mut dir) {
+                match store.commit(&engine).and_then(|handle| handle.wait()) {
                     Ok(_) => {
                         acked.insert(day.day);
                     }
@@ -132,9 +139,9 @@ fn crash_at_every_op_of_the_daily_cycle_loses_no_acked_day() {
                     }
                 }
             }
-            let gc_failures = dir.gc_failures();
+            let gc_failures = store.store().gc_failures();
             // The dead process goes away; recovery sees only the store.
-            drop(dir);
+            drop(store);
             drop(engine);
 
             let context = format!("{} fault at op {fault_at}", backend.name());
@@ -167,6 +174,103 @@ fn crash_at_every_op_of_the_daily_cycle_loses_no_acked_day() {
     }
 }
 
+/// The same kill-sweep with commits on the background worker: a day is
+/// acknowledged only after its [`CommitHandle`] resolves, so whatever op
+/// the fault lands on — including ops of a commit queued behind others —
+/// no acknowledged day may be lost. After the first failure the handle
+/// poisons itself, so later commits fail typed instead of building on a
+/// chain that never got the frozen bytes.
+///
+/// [`CommitHandle`]: earlybird::engine::CommitHandle
+#[test]
+fn crash_at_every_op_of_background_commits_loses_no_acked_day() {
+    let challenge = challenge();
+    let reference = reference_counters(&challenge);
+    let boot = challenge.dataset.meta.bootstrap_days as usize;
+    let days = &challenge.dataset.days[..boot + 5];
+    let cfg = LifecycleConfig {
+        compaction: CompactionTrigger {
+            max_segments: Some(2),
+            max_segment_bytes: None,
+            fold_segments: None,
+        },
+        retention: RetentionPolicy { retain_days: Some(3) },
+    };
+
+    for template in Backend::matrix("crash-background") {
+        let mut crash_points = 0u64;
+        for fault_at in 0u64.. {
+            let backend = template.fresh();
+            let mut dir = backend.create(cfg).expect("create store");
+            let injector = FaultInjector::new();
+            dir.set_fault_injector(injector.clone());
+            injector.arm(fault_at);
+            let store = Persistence::new(dir, SnapshotPolicy::default().background());
+
+            let mut engine = engine_for(&challenge);
+            let mut acked: BTreeSet<Day> = BTreeSet::new();
+            let mut crashed = false;
+            for day in days {
+                engine.ingest_day(DayBatch::Dns(day));
+                match store.commit(&engine).and_then(|handle| handle.wait()) {
+                    Ok(_) => {
+                        acked.insert(day.day);
+                    }
+                    Err(e) => {
+                        assert!(
+                            matches!(e, StoreError::Io(_)),
+                            "{}: fault {fault_at}: only the injected fault may fail the \
+                             cycle: {e}",
+                            backend.name()
+                        );
+                        // A block-side failure poisons the handle: later
+                        // commits are refused typed instead of landing a
+                        // delta on a chain that never got these bytes.
+                        // (A compaction-side failure leaves it usable.)
+                        if store.poisoned().is_some() {
+                            assert!(
+                                matches!(
+                                    store.commit(&engine),
+                                    Err(StoreError::PersistencePoisoned { .. })
+                                ),
+                                "{}: fault {fault_at}: poisoned handle must refuse commits",
+                                backend.name()
+                            );
+                        }
+                        crashed = true;
+                        break;
+                    }
+                }
+            }
+            let gc_failures = store.store().gc_failures();
+            // The dead process goes away; recovery sees only the store.
+            drop(store);
+            drop(engine);
+
+            let context = format!("{} background fault at op {fault_at}", backend.name());
+            let restored = assert_no_acked_loss(&backend, cfg, &acked, &reference, &context);
+            drop(restored);
+            backend.cleanup();
+
+            if !crashed {
+                if !injector.crashed() {
+                    crash_points = fault_at;
+                    break;
+                }
+                assert!(
+                    gc_failures > 0,
+                    "{context}: fault fired without an error or a GC-failure count"
+                );
+            }
+        }
+        assert!(
+            crash_points >= 20,
+            "{}: expected a deep background op schedule, covered {crash_points} points",
+            template.name()
+        );
+    }
+}
+
 /// Compaction in isolation, on every backend: build a stable chain once,
 /// then crash an explicit `compact_store` at every op. Afterwards the
 /// store must hold either the old chain or the new block — never a torn
@@ -187,13 +291,17 @@ fn crash_at_every_op_of_compaction_leaves_old_or_new_chain() {
         // The chain every iteration starts from: full + segments.
         let master = template.fresh();
         {
-            let mut dir = master.create(cfg).expect("create store");
+            let dir = master.create(cfg).expect("create store");
+            let store = Persistence::new(dir, SnapshotPolicy::default());
             let mut engine = engine_for(&challenge);
             for day in &challenge.dataset.days[..split] {
                 engine.ingest_day(DayBatch::Dns(day));
-                engine.checkpoint_day_to(&mut dir).expect("daily persist");
+                store.commit(&engine).expect("freeze").wait().expect("daily persist");
             }
-            assert!(dir.segment_count() >= 3, "chain long enough to make compaction interesting");
+            assert!(
+                store.store().segment_count() >= 3,
+                "chain long enough to make compaction interesting"
+            );
         }
         let acked: BTreeSet<Day> = (0..split as u32).map(Day::new).collect();
 
@@ -252,6 +360,98 @@ fn crash_at_every_op_of_compaction_leaves_old_or_new_chain() {
     }
 }
 
+/// The tiered variant: crash a bounded `compact_store_tiered(_, 2)` pass
+/// at every op. The store must afterwards hold either the old chain or
+/// the partially-folded one (`entries_before - 2`: the full plus the two
+/// oldest segments replaced by one new full) — never a torn store — the
+/// pass must replay at most `1 + fold` blocks, and every acked day must
+/// survive on all three backends.
+#[test]
+fn crash_at_every_op_of_tiered_compaction_leaves_old_or_folded_chain() {
+    const FOLD: usize = 2;
+    let challenge = challenge();
+    let reference = reference_counters(&challenge);
+    let boot = challenge.dataset.meta.bootstrap_days as usize;
+    let split = boot + 4;
+    let cfg = LifecycleConfig {
+        compaction: CompactionTrigger::disabled(),
+        retention: RetentionPolicy { retain_days: Some(2) },
+    };
+
+    for template in Backend::matrix("crash-tiered-master") {
+        let master = template.fresh();
+        {
+            let dir = master.create(cfg).expect("create store");
+            let store = Persistence::new(dir, SnapshotPolicy::default());
+            let mut engine = engine_for(&challenge);
+            for day in &challenge.dataset.days[..split] {
+                engine.ingest_day(DayBatch::Dns(day));
+                store.commit(&engine).expect("freeze").wait().expect("daily persist");
+            }
+            assert!(store.store().segment_count() > FOLD, "a tail must survive the fold");
+        }
+        let acked: BTreeSet<Day> = (0..split as u32).map(Day::new).collect();
+
+        for fault_at in 0u64.. {
+            let backend = master.fork_copy("crash-tiered");
+            let mut dir = backend.open(cfg).expect("open the copied chain");
+            let entries_before = dir.entries().len();
+            let injector = FaultInjector::new();
+            dir.set_fault_injector(injector.clone());
+            injector.arm(fault_at);
+            let outcome = compact_store_tiered(&mut dir, FOLD);
+            let crashed = outcome.is_err();
+            match &outcome {
+                Err(e) => assert!(
+                    matches!(e, StoreError::Io(_)),
+                    "fault {fault_at}: unexpected error {e}"
+                ),
+                Ok(report) => {
+                    assert!(
+                        report.segments_replayed <= 1 + FOLD,
+                        "fault {fault_at}: tiered pass replayed {} blocks, bound is {}",
+                        report.segments_replayed,
+                        1 + FOLD
+                    );
+                    assert_eq!(report.segments_folded, FOLD, "fault {fault_at}");
+                    if injector.crashed() {
+                        assert!(
+                            report.gc_failures > 0,
+                            "fault {fault_at}: fault fired without an error or a GC count"
+                        );
+                    }
+                }
+            }
+            drop(dir);
+
+            let context = format!("{} tiered fault at op {fault_at}", backend.name());
+            let restored = assert_no_acked_loss(&backend, cfg, &acked, &reference, &context);
+            drop(restored);
+
+            // Old chain or partially-folded chain, never something torn —
+            // and the recovered store still accepts a clean tiered pass.
+            let mut dir = backend.open(cfg).expect("reopen");
+            let entries = dir.entries().len();
+            assert!(
+                entries == entries_before || entries == entries_before - FOLD,
+                "{context}: chain must be the old one ({entries_before} entries) or the \
+                 folded one ({} entries), found {entries}",
+                entries_before - FOLD
+            );
+            let report = compact_store_tiered(&mut dir, FOLD).expect("clean fold after recovery");
+            assert!(report.segments_replayed <= 1 + FOLD, "{context}: bounded replay");
+            assert_eq!(dir.entries().len(), entries - FOLD, "{context}: fold shortens the chain");
+            backend.cleanup();
+
+            if !crashed && !injector.crashed() {
+                assert!(fault_at >= 5, "tiered compaction has several ops, covered {fault_at}");
+                break;
+            }
+        }
+        master.cleanup();
+    }
+}
+
 /// An abandoned pending block (crash between `begin` and commit) never
 /// becomes part of the chain on any backend. What residue it leaves is the
 /// backend's business: a torn `.tmp` file quarantined at the next open
@@ -265,19 +465,25 @@ fn abandoned_pending_blocks_are_quarantined() {
 
     for template in Backend::matrix("crash-abandoned") {
         let backend = template.fresh();
-        let mut dir = backend.create(cfg).expect("create store");
+        let store = {
+            let dir = backend.create(cfg).expect("create store");
+            Persistence::new(dir, SnapshotPolicy::default())
+        };
         let mut engine = engine_for(&challenge);
         for day in &challenge.dataset.days[..split] {
             engine.ingest_day(DayBatch::Dns(day));
-            engine.checkpoint_day_to(&mut dir).expect("daily persist");
+            store.commit(&engine).expect("freeze").wait().expect("daily persist");
         }
         // Begin a block and walk away mid-write — the staged upload is
         // abandoned.
-        let mut pending = dir.begin(earlybird::store::BlockKind::DaySegment).expect("begin");
-        use std::io::Write as _;
-        pending.write_all(b"EBSTORE1 torn half-written segment").unwrap();
-        drop(pending);
-        drop(dir);
+        {
+            let dir = store.store();
+            let mut pending = dir.begin(earlybird::store::BlockKind::DaySegment).expect("begin");
+            use std::io::Write as _;
+            pending.write_all(b"EBSTORE1 torn half-written segment").unwrap();
+            drop(pending);
+        }
+        drop(store);
 
         let dir = backend.open(cfg).expect("reopen");
         let expected_quarantined = match &backend {
@@ -291,7 +497,8 @@ fn abandoned_pending_blocks_are_quarantined() {
             backend.name(),
             dir.quarantined()
         );
-        let restored = EngineBuilder::lanl().restore_dir(&dir).expect("chain unaffected");
+        let reopened = Persistence::new(dir, SnapshotPolicy::default());
+        let restored = reopened.restore(EngineBuilder::lanl()).expect("chain unaffected");
         assert_eq!(restored.reports().count(), split);
         backend.cleanup();
     }
@@ -311,27 +518,29 @@ fn s3lite_aborted_multipart_upload_stays_invisible_and_is_reaped() {
     };
     // A small part size so even tiny test blocks span several parts.
     let service = S3LiteBackend::with_part_size(512);
-    let mut dir = StoreDir::create_with(service.clone(), cfg).expect("create store");
+    let dir = StoreDir::create_with(service.clone(), cfg).expect("create store");
+    let store = Persistence::new(dir, SnapshotPolicy::default());
 
     let mut engine = engine_for(&challenge);
     for day in &challenge.dataset.days[..boot + 2] {
         engine.ingest_day(DayBatch::Dns(day));
-        engine.checkpoint_day_to(&mut dir).expect("daily persist");
+        store.commit(&engine).expect("freeze").wait().expect("daily persist");
     }
-    let committed = dir.entries().len();
+    let committed = store.store().entries().len();
     assert_eq!(service.staged_uploads(), 0, "clean cycles leave no staged uploads");
 
     // Kill the next day's persist at the finalize: by then the upload's
     // parts are staged with the service, but completion never happens.
     let injector = FaultInjector::new();
-    dir.set_fault_injector(injector.clone());
+    store.store().set_fault_injector(injector.clone());
     injector.arm(2); // begin = 0, buffered write = 1, finalize = 2
     let day = &challenge.dataset.days[boot + 2];
     engine.ingest_day(DayBatch::Dns(day));
-    let err = engine.checkpoint_day_to(&mut dir).expect_err("finalize must crash");
+    let err =
+        store.commit(&engine).and_then(|handle| handle.wait()).expect_err("finalize must crash");
     assert!(matches!(err, StoreError::Io(_)), "{err}");
     assert!(injector.crashed());
-    drop(dir);
+    drop(store);
     drop(engine);
 
     // The aborted upload lingers in staging, invisible to the store.
@@ -339,18 +548,21 @@ fn s3lite_aborted_multipart_upload_stays_invisible_and_is_reaped() {
     let dir = StoreDir::open_with(service.clone(), cfg).expect("reopen");
     assert_eq!(dir.entries().len(), committed, "chain is exactly the old one");
     assert!(dir.quarantined().is_empty(), "staging residue is not in the live namespace");
-    let restored = EngineBuilder::lanl().restore_dir(&dir).expect("chain restores");
+    let reopened = Persistence::new(dir, SnapshotPolicy::default());
+    let restored = reopened.restore(EngineBuilder::lanl()).expect("chain restores");
     assert_eq!(restored.reports().count(), boot + 2, "every acked day survives");
+    drop(reopened);
 
     // The lifecycle-rule reaper clears the staging area; the daily cycle
     // then continues cleanly (at-least-once: re-push the in-flight day).
     assert_eq!(service.abort_stale_uploads(), 1);
     assert_eq!(service.staged_uploads(), 0);
-    let mut dir = StoreDir::open_with(service.clone(), cfg).expect("reopen after reaping");
-    let mut engine = EngineBuilder::lanl().restore_dir(&dir).expect("restores");
+    let dir = StoreDir::open_with(service.clone(), cfg).expect("reopen after reaping");
+    let store = Persistence::new(dir, SnapshotPolicy::default());
+    let mut engine = store.restore(EngineBuilder::lanl()).expect("restores");
     engine.ingest_day(DayBatch::Dns(day));
-    engine.checkpoint_day_to(&mut dir).expect("cycle continues after recovery");
-    assert_eq!(dir.entries().len(), committed + 1);
+    store.commit(&engine).expect("freeze").wait().expect("cycle continues after recovery");
+    assert_eq!(store.store().entries().len(), committed + 1);
 }
 
 /// The GC-failure satellite, deterministically: walk the fault point
@@ -370,11 +582,12 @@ fn gc_delete_failures_are_counted_not_fatal() {
     for template in Backend::matrix("gc-count") {
         let master = template.fresh();
         {
-            let mut dir = master.create(cfg).expect("create store");
+            let dir = master.create(cfg).expect("create store");
+            let store = Persistence::new(dir, SnapshotPolicy::default());
             let mut engine = engine_for(&challenge);
             for day in &challenge.dataset.days[..boot + 3] {
                 engine.ingest_day(DayBatch::Dns(day));
-                engine.checkpoint_day_to(&mut dir).expect("daily persist");
+                store.commit(&engine).expect("freeze").wait().expect("daily persist");
             }
         }
 
@@ -394,7 +607,8 @@ fn gc_delete_failures_are_counted_not_fatal() {
                 Ok(report) if injector.crashed() => {
                     // The fault landed on the GC deletes: all superseded
                     // objects failed to delete (the store is dead), each
-                    // one counted.
+                    // one counted — and named, so an operator can reconcile
+                    // the leak against the next open's quarantine sweep.
                     assert_eq!(
                         report.gc_failures,
                         superseded as u64,
@@ -402,18 +616,30 @@ fn gc_delete_failures_are_counted_not_fatal() {
                         backend.name()
                     );
                     assert_eq!(dir.gc_failures(), superseded as u64);
+                    assert_eq!(
+                        report.gc_failed_objects.len(),
+                        superseded,
+                        "{}: every leaked object is named: {:?}",
+                        backend.name(),
+                        report.gc_failed_objects
+                    );
                     drop(dir);
                     // The leaked objects are exactly what the next open
-                    // quarantines; the compacted chain restores fine.
+                    // quarantines (quarantine keys embed the original
+                    // object name); the compacted chain restores fine.
                     let reopened = backend.open(cfg).expect("reopen");
-                    assert_eq!(
-                        reopened.quarantined().len(),
-                        superseded,
-                        "{}: leaked objects quarantined: {:?}",
-                        backend.name(),
-                        reopened.quarantined()
-                    );
-                    let restored = EngineBuilder::lanl().restore_dir(&reopened).expect("restores");
+                    assert_eq!(reopened.quarantined().len(), superseded, "{}", backend.name());
+                    for leaked in &report.gc_failed_objects {
+                        assert!(
+                            reopened.quarantined().iter().any(|q| q.contains(leaked.as_str())),
+                            "{}: leaked {leaked:?} missing from quarantine {:?}",
+                            backend.name(),
+                            reopened.quarantined()
+                        );
+                    }
+                    let restored = Persistence::new(reopened, SnapshotPolicy::default())
+                        .restore(EngineBuilder::lanl())
+                        .expect("restores");
                     assert_eq!(restored.reports().count(), boot + 3);
                     witnessed = true;
                     backend.cleanup();

@@ -14,7 +14,7 @@
 #[allow(dead_code)]
 mod support;
 
-use earlybird::engine::{IngestSource, MetricsRegistry};
+use earlybird::engine::{IngestSource, MemBackend, MetricsRegistry};
 use earlybird::logmodel::{
     format_dns_line, Day, DnsQuery, DnsRecordType, DomainInterner, HostId, Ipv4, Timestamp,
 };
@@ -209,4 +209,43 @@ fn service_cycle_moves_every_counter_family() {
         handle.join();
         backend.cleanup();
     }
+}
+
+/// `GET /v1/admin/slow-ops` drains the slow-operation ring with
+/// exactly-once delivery: flooring the threshold makes every instrumented
+/// span a slow op, one poll returns them all (well-formed: named op,
+/// recorded threshold), and the next poll returns an empty page. The ring
+/// lives on the registry, not a backend, so one in-memory store suffices.
+#[test]
+fn slow_ops_endpoint_drains_exactly_once() {
+    let domains = Arc::new(DomainInterner::new());
+    let cfg = ServerConfig::default();
+    cfg.metrics.set_slow_op_threshold_micros(0);
+    let server = Server::bind(Box::new(MemBackend::new()), cfg).expect("bind");
+    let addr = server.addr();
+    let handle = server.spawn();
+    let mut client = ServeClient::new(addr);
+    client.create_tenant("acme", &spec()).expect("create tenant");
+    let text = day_text(0, &domains);
+    client.push_span("acme", 0, &text).expect("push span");
+    client.finish_day("acme", 0).expect("finish day");
+
+    let page = client.slow_ops().expect("slow-ops page");
+    assert!(!page.slow_ops.is_empty(), "a zero threshold makes every span a slow op");
+    for op in &page.slow_ops {
+        assert!(!op.op.is_empty(), "op is named: {op:?}");
+        assert_eq!(op.threshold_micros, 0, "the floored threshold travels with the record");
+    }
+    assert!(
+        page.slow_ops.iter().any(|op| op.op.contains("tenant=acme")),
+        "tenant-labeled engine/store spans appear in the ring: {:?}",
+        page.slow_ops
+    );
+
+    let drained = client.slow_ops().expect("second poll");
+    assert!(drained.slow_ops.is_empty(), "each record is delivered exactly once");
+
+    client.shutdown().expect("graceful shutdown");
+    drop(client);
+    handle.join();
 }
