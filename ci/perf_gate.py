@@ -3,8 +3,9 @@
 
 Usage: python3 ci/perf_gate.py <fresh.json> [baseline.json]
 
-The baseline defaults to ci/BENCH_9.json (the most recent checked-in
-reading). The gate fails (exit 1) when any *gated* throughput metric in
+The baseline defaults to BASELINE below (overridable with the
+PERF_BASELINE environment variable), which points at the most recent
+checked-in reading — bumping it after a perf PR is a one-line change. The gate fails (exit 1) when any *gated* throughput metric in
 the fresh reading falls more than TOLERANCE below the baseline, when
 the fresh obs_overhead_pct (the ingest cost of an enabled metrics
 registry vs a disabled one) exceeds OBS_OVERHEAD_MAX_PCT, or when the
@@ -56,14 +57,31 @@ checkpoint_stall_ms bounds the freeze critical section itself; measured
 stalls sit near 1ms, and the 25ms ceiling only trips if freezing stops
 being O(day) (e.g. someone reintroduces a full-table clone).
 
-Schema changes: a metric missing from either file is reported and skipped,
-so adding a metric to perf_smoke does not require updating the baseline
-and the gate in lockstep (the new metric simply goes ungated until the
-baseline is refreshed).
+The sharded ingest arm has its own within-file contract: on a smoke run
+with at least SHARDED_MIN_CORES cores, sharded_ingest_rec_s (a 4-shard
+ShardedEngine over the same world) must reach SHARDED_SPEEDUP_MIN times
+ingest_records_per_sec from the same report — partitioned parallel
+reduction is the point of the sharding tier, and both numbers come from
+one run on one machine so the ratio is noise-resistant. On a runner with
+fewer cores the parallel shards cannot beat one engine by construction,
+so the ratio is printed as informational (the report's cpu_cores field
+says which regime the reading came from). shard_merge_ms is always
+informational: it is lower-is-better and small compared to reduction.
+
+Schema changes: a gated metric missing from the *fresh* reading is a hard
+failure — it means perf_smoke silently stopped measuring something the
+gate promises to watch. A metric missing only from the *baseline* is
+reported and skipped, so adding a metric to perf_smoke does not require
+updating the baseline and the gate in lockstep (the new metric simply
+goes ungated until the baseline is refreshed).
 """
 
 import json
+import os
 import sys
+
+# Most recent checked-in perf_smoke reading; the default comparison base.
+BASELINE = os.environ.get("PERF_BASELINE", "ci/BENCH_10.json")
 
 TOLERANCE = 0.30
 
@@ -75,6 +93,11 @@ OBS_OVERHEAD_MAX_PCT = 3.0
 CHECKPOINT_INGEST_RATIO_MIN = 0.70
 CHECKPOINT_STALL_MAX_MS = 25.0
 
+# Within-file floor on the sharded-vs-single ingest speedup, applied only
+# when the smoke ran with at least SHARDED_MIN_CORES cores (see docstring).
+SHARDED_SPEEDUP_MIN = 1.5
+SHARDED_MIN_CORES = 4
+
 # Higher-is-better metrics stable enough to gate (see module docstring).
 GATED = [
     "ingest_records_per_sec",
@@ -84,12 +107,14 @@ GATED = [
     "checkpoint_mb_per_sec",
     "restore_mb_per_sec",
     "ingest_while_checkpoint_rec_s",
+    "sharded_ingest_rec_s",
     "compaction_mb_per_sec",
     "backend_put_mb_s",
 ]
 
 # Reported for the trajectory, never gated (noise-dominated; see docstring).
 INFORMATIONAL = [
+    "shard_merge_ms",
     "serve_ingest_rec_s",
     "serve_query_p50_ms",
 ]
@@ -100,7 +125,7 @@ def main(argv):
         print(__doc__)
         return 2
     fresh_path = argv[1]
-    base_path = argv[2] if len(argv) == 3 else "ci/BENCH_9.json"
+    base_path = argv[2] if len(argv) == 3 else BASELINE
     with open(fresh_path) as f:
         fresh = json.load(f)
     with open(base_path) as f:
@@ -110,9 +135,14 @@ def main(argv):
           f"(fail below {1 - TOLERANCE:.2f}x)")
     failures = []
     for key in GATED:
-        if key not in base or key not in fresh:
-            missing = "baseline" if key not in base else "fresh reading"
-            print(f"  SKIP {key:28s} absent from {missing}")
+        if key not in fresh:
+            print(f"  FAIL {key:28s} MISSING from fresh reading "
+                  f"{fresh_path} — perf_smoke stopped measuring it")
+            failures.append(key)
+            continue
+        if key not in base:
+            print(f"  SKIP {key:28s} absent from baseline "
+                  f"(ungated until {base_path} is refreshed)")
             continue
         ratio = fresh[key] / base[key]
         verdict = "ok" if ratio >= 1 - TOLERANCE else "FAIL"
@@ -155,6 +185,21 @@ def main(argv):
             failures.append("checkpoint_stall_ms")
     else:
         print(f"  SKIP {'checkpoint_stall_ms':28s} absent from fresh reading")
+
+    # Sharded speedup contract: within-file ratio, enforced only on a
+    # multi-core smoke (see docstring).
+    if "sharded_ingest_rec_s" in fresh and "ingest_records_per_sec" in fresh:
+        speedup = fresh["sharded_ingest_rec_s"] / fresh["ingest_records_per_sec"]
+        cores = fresh.get("cpu_cores", 0)
+        if cores >= SHARDED_MIN_CORES:
+            verdict = "ok" if speedup >= SHARDED_SPEEDUP_MIN else "FAIL"
+            print(f"  {verdict:4s} {'sharded_speedup':28s} {speedup:>14,.2f}x "
+                  f"(floor {SHARDED_SPEEDUP_MIN:.1f}x on {cores} cores)")
+            if verdict == "FAIL":
+                failures.append("sharded_speedup")
+        else:
+            print(f"  info {'sharded_speedup':28s} {speedup:>14,.2f}x "
+                  f"(not gated: {cores} core(s) < {SHARDED_MIN_CORES})")
 
     if failures:
         print(f"perf gate FAILED: {', '.join(failures)} fell outside "

@@ -15,9 +15,8 @@ use std::sync::Arc;
 
 // Raw-stream restore flows through the one-release deprecated shim; the
 // bench keeps measuring bare deserialization, without store-dir plumbing.
-#[allow(deprecated)]
 fn restore_raw(bytes: &[u8]) -> Engine {
-    EngineBuilder::lanl().restore(&mut &bytes[..]).expect("snapshot restores")
+    EngineBuilder::lanl().restore_stream(&mut &bytes[..]).expect("snapshot restores")
 }
 
 /// Engine with the benchmark-scale LANL history ingested (bootstrap plus

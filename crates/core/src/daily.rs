@@ -376,6 +376,31 @@ impl DailyPipeline {
         }
     }
 
+    /// Merges one shard's day-long accumulation into the canonical
+    /// [`DayAccum`] — the deterministic-merge hook behind
+    /// `earlybird-engine`'s `ShardedEngine`. The caller must already have
+    /// remapped every domain symbol in the partial onto the canonical
+    /// folded interner (see [`DayReducer::remap_domains`] /
+    /// [`DayIndexBuilder::remap_domains`]); this method only unions.
+    ///
+    /// Merging is commutative over host-partitioned shards, but callers
+    /// merge in shard order anyway so any future order-sensitive state
+    /// stays deterministic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the partial disagrees with the accumulator on bootstrap
+    /// mode (one carries an index builder, the other does not).
+    pub fn absorb_shard_partial(&self, accum: &mut DayAccum, partial: ShardDayPartial) {
+        accum.reducer.merge(partial.reducer);
+        accum.ua_pairs.extend(partial.ua_pairs);
+        match (&mut accum.builder, partial.builder) {
+            (Some(canonical), Some(local)) => canonical.merge(local),
+            (None, None) => accum.day_domains.extend(partial.day_domains),
+            _ => panic!("shard partial disagrees with the day's bootstrap mode"),
+        }
+    }
+
     /// Sequential convenience: reduce + absorb one chunk of DNS queries.
     pub fn push_dns_chunk(&self, accum: &mut DayAccum, queries: &[DnsQuery], meta: &DatasetMeta) {
         accum.raw_records += queries.len();
@@ -526,6 +551,28 @@ impl DayAccum {
     pub fn merge_norm(&mut self, counts: &NormalizationCounts) {
         self.norm.merge(counts);
     }
+}
+
+/// One shard's contribution to a streamed day, accumulated against a
+/// shard-local folded interner and handed to
+/// [`DailyPipeline::absorb_shard_partial`] after its domain symbols are
+/// remapped onto the canonical table.
+///
+/// Mirrors the per-shard slice of [`DayAccum`]: reduction counters, the
+/// index builder (operation days) or deferred history domains (bootstrap
+/// days), and the deferred `(UA, host)` observations. Normalization
+/// counters are absent — the sharded proxy path merges those at span level
+/// via [`DayAccum::merge_norm`], in arrival order.
+#[derive(Debug)]
+pub struct ShardDayPartial {
+    /// The shard's reduction counters.
+    pub reducer: DayReducer,
+    /// The shard's index builder (`None` on bootstrap days).
+    pub builder: Option<DayIndexBuilder>,
+    /// Deferred history domains (bootstrap days only).
+    pub day_domains: HashSet<DomainSym>,
+    /// Deferred `(UA, host)` observations.
+    pub ua_pairs: HashSet<(UaSym, HostId)>,
 }
 
 /// What [`DailyPipeline::finish_day`] produced: profile-only counters for a

@@ -186,7 +186,7 @@ impl Engine {
     }
 
     /// Rebuilds an engine from restored state — the snapshot-restore
-    /// constructor used by `EngineBuilder::restore`.
+    /// constructor used by `EngineBuilder::restore_stream`.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn from_restored(
         cfg: EngineConfig,

@@ -66,19 +66,19 @@ impl ScratchPool {
         }
     }
 
-    fn take_dns(&self, n: usize) -> Vec<ParsedChunk<DnsQuery>> {
+    pub(crate) fn take_dns(&self, n: usize) -> Vec<ParsedChunk<DnsQuery>> {
         Self::take(&self.dns, n)
     }
 
-    fn give_dns(&self, bufs: Vec<ParsedChunk<DnsQuery>>) {
+    pub(crate) fn give_dns(&self, bufs: Vec<ParsedChunk<DnsQuery>>) {
         Self::give(&self.dns, bufs)
     }
 
-    fn take_proxy(&self, n: usize) -> Vec<ParsedChunk<ProxyRecord>> {
+    pub(crate) fn take_proxy(&self, n: usize) -> Vec<ParsedChunk<ProxyRecord>> {
         Self::take(&self.proxy, n)
     }
 
-    fn give_proxy(&self, bufs: Vec<ParsedChunk<ProxyRecord>>) {
+    pub(crate) fn give_proxy(&self, bufs: Vec<ParsedChunk<ProxyRecord>>) {
         Self::give(&self.proxy, bufs)
     }
 }
@@ -97,7 +97,7 @@ pub enum IngestSource<'a> {
 }
 
 impl IngestSource<'_> {
-    fn is_dns(&self) -> bool {
+    pub(crate) fn is_dns(&self) -> bool {
         matches!(self, IngestSource::Dns)
     }
 }
@@ -400,6 +400,22 @@ impl DayIngest<'_, '_> {
             replay.duplicate = true;
             return Ok(replay);
         };
+        engine.seal_streamed_day(day, accum, parse_errors, started)
+    }
+}
+
+impl Engine {
+    /// Seals a fully accumulated streamed day: `finish_day` under the
+    /// profile timer, then either the bootstrap bookkeeping or the
+    /// detection tail. The shared back half of [`DayIngest::try_finish`]
+    /// and the sharded merge path in [`crate::shard`].
+    pub(crate) fn seal_streamed_day(
+        &mut self,
+        day: Day,
+        accum: DayAccum,
+        parse_errors: usize,
+        started: Instant,
+    ) -> Result<DayReport, EngineError> {
         let mut report = DayReport {
             day,
             bootstrap: accum.bootstrap(),
@@ -411,20 +427,20 @@ impl DayIngest<'_, '_> {
             ..DayReport::default()
         };
         let outcome = {
-            let _profile_span = engine.metrics.profile.start();
-            engine.pipeline.finish_day(accum)
+            let _profile_span = self.metrics.profile.start();
+            self.pipeline.finish_day(accum)
         };
         match outcome {
             DayOutcome::Bootstrap { dns_counts, proxy_counts, norm_counts } => {
                 report.dns_counts = dns_counts;
                 report.proxy_counts = proxy_counts;
                 report.norm_counts = norm_counts;
-                engine.fill_reduction_counters(&mut report);
+                self.fill_reduction_counters(&mut report);
                 report.stages.wall_micros = started.elapsed().as_micros() as u64;
-                engine.reports.insert(day, Engine::counters_only(&report));
+                self.reports.insert(day, Engine::counters_only(&report));
                 Ok(report)
             }
-            DayOutcome::Operation(product) => engine.run_detection_tail(report, *product, started),
+            DayOutcome::Operation(product) => self.run_detection_tail(report, *product, started),
         }
     }
 }
@@ -491,7 +507,7 @@ fn reduce_proxy_spans(
 /// Splits a span into at most `workers` contiguous shards of at least
 /// `chunk_records` items each (short spans stay whole — thread spawn would
 /// dominate).
-fn shard_spans<T>(items: &[T], workers: usize, chunk_records: usize) -> Vec<&[T]> {
+pub(crate) fn shard_spans<T>(items: &[T], workers: usize, chunk_records: usize) -> Vec<&[T]> {
     if items.is_empty() {
         return Vec::new();
     }
@@ -501,7 +517,10 @@ fn shard_spans<T>(items: &[T], workers: usize, chunk_records: usize) -> Vec<&[T]
 
 /// Maps `f` over the shards on scoped threads, preserving shard order; a
 /// single shard runs inline.
-fn map_shards<T: Sync, R: Send>(shards: &[&[T]], f: impl Fn(&[T]) -> R + Sync) -> Vec<R> {
+pub(crate) fn map_shards<T: Sync, R: Send>(
+    shards: &[&[T]],
+    f: impl Fn(&[T]) -> R + Sync,
+) -> Vec<R> {
     if shards.len() <= 1 {
         return shards.iter().map(|shard| f(shard)).collect();
     }
@@ -514,7 +533,7 @@ fn map_shards<T: Sync, R: Send>(shards: &[&[T]], f: impl Fn(&[T]) -> R + Sync) -
 
 /// Runs `f` over `(shard, scratch-buffer)` pairs on scoped threads (one
 /// buffer per shard, mutated in place); a single pair runs inline.
-fn parse_shards<T: Sync, B: Send>(
+pub(crate) fn parse_shards<T: Sync, B: Send>(
     shards: &[&[T]],
     bufs: &mut [B],
     f: impl Fn(&[T], &mut B) + Sync,

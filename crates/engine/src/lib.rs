@@ -43,9 +43,13 @@
 //!   Storage is pluggable through the [`ObjectStore`] trait —
 //!   [`LocalFsBackend`] (byte-compatible with pre-trait directories),
 //!   [`MemBackend`], or the S3-style [`S3LiteBackend`] with multipart
-//!   staging and a conditional manifest swap. (The pre-facade
-//!   `checkpoint*`/`restore*` entry points remain as deprecated shims
-//!   for one release.)
+//!   staging and a conditional manifest swap. Raw byte streams without a
+//!   managed directory read back through
+//!   [`EngineBuilder::restore_stream`].
+//! * [`ShardedEngine`] partitions a day's traffic by internal host across
+//!   N parallel inner shards and merges them deterministically: any shard
+//!   count — including one — produces byte-identical reports, alerts, and
+//!   checkpoints.
 //! * Observability rides along the whole cycle: per-stage wall-time
 //!   histograms (`engine_stage_micros{stage=parse|reduce|profile|cc|bp|
 //!   checkpoint|restore|compact}`), ingest counters, and checkpoint
@@ -83,6 +87,7 @@ mod metrics;
 mod persist;
 mod persistence;
 mod report;
+mod shard;
 mod train;
 
 pub use alert::{
@@ -99,8 +104,9 @@ pub use earlybird_store::{
     RetentionPolicy, S3LiteBackend, StoreDir, StoreError, StoreResult,
 };
 pub use ingest::{DayIngest, DayState, IngestSource};
-pub use persist::{compact_store, compact_store_tiered, DayPersist, EngineSnapshot};
+pub use persist::{compact_store, compact_store_tiered, EngineSnapshot};
 pub use persistence::{
     CommitHandle, CommitMode, CommitOutcome, Persistence, SnapshotMode, SnapshotPolicy,
 };
 pub use report::{CcCandidate, DayReport, InvestigationReport, StageCounters, TrainingReport};
+pub use shard::{shard_of, ShardedDayIngest, ShardedEngine};

@@ -26,9 +26,11 @@
 //!
 //! Most callers drive both halves through the [`crate::Persistence`]
 //! facade, which owns the [`StoreDir`], a [`crate::SnapshotPolicy`], and
-//! (optionally) the background commit worker. The pre-facade entry points
-//! (`checkpoint*`, `restore*` on raw streams and directories) remain as
-//! thin deprecated shims for one release.
+//! (optionally) the background commit worker. Raw byte streams without a
+//! managed directory — fixtures, pipes, in-memory buffers — write through
+//! [`Engine::freeze`] + [`EngineSnapshot::write_to`] and read back through
+//! [`EngineBuilder::restore_stream`] /
+//! [`EngineBuilder::restore_stream_with_domains`].
 //!
 //! # Stream layout
 //!
@@ -42,7 +44,7 @@
 //! * A day segment carries only the state added since the previous block —
 //!   interner tails, history-log tails, the new days' reports and indexes —
 //!   so a daily cycle persists O(day), not O(history).
-//! * [`EngineBuilder::restore`] (and [`Persistence::restore`] over a
+//! * [`EngineBuilder::restore_stream`] (and [`Persistence::restore`] over a
 //!   managed chain) reads the full block, replays every trailing segment,
 //!   and rebuilds the engine. Restored symbol numbering is identical to
 //!   the original interners', so records produced against the original
@@ -181,9 +183,8 @@ impl Engine {
     /// Captures everything beyond `cursor` into an owned snapshot, plus
     /// the cursor value describing the captured watermarks. Does *not*
     /// advance the engine's cursor — callers holding the cursor lock
-    /// decide whether the advance is eager ([`Engine::freeze`]) or
-    /// deferred until the write succeeds (the deprecated synchronous
-    /// entry points).
+    /// decide when the advance happens (eager for [`Engine::freeze`] /
+    /// [`Engine::freeze_day`]).
     fn freeze_locked(
         &self,
         kind: BlockKind,
@@ -265,48 +266,6 @@ impl Engine {
         (snap, next)
     }
 
-    /// Writes a full snapshot as one self-checking block and resets the
-    /// incremental cursor.
-    ///
-    /// # Errors
-    ///
-    /// Propagates writer failures as [`StoreError::Io`].
-    #[deprecated(
-        since = "0.9.0",
-        note = "use `Engine::freeze().write_to(out)`, or the `Persistence` facade for managed \
-                stores"
-    )]
-    pub fn checkpoint<W: Write>(&self, out: &mut W) -> StoreResult<CheckpointMeta> {
-        let mut cursor = self.lock_cursor();
-        let (snap, next) = self.freeze_locked(BlockKind::Full, &PersistCursor::default());
-        let meta = snap.write_to(out)?;
-        *cursor = next;
-        Ok(meta)
-    }
-
-    /// Appends an incremental segment holding only the state added since
-    /// the last full/day checkpoint, advancing the cursor only if the
-    /// write succeeds.
-    ///
-    /// # Errors
-    ///
-    /// Propagates writer failures as [`StoreError::Io`]; back-filled days
-    /// are refused as [`StoreError::StaleSegment`].
-    #[deprecated(
-        since = "0.9.0",
-        note = "use `Engine::freeze_day()?.write_to(out)`, or the `Persistence` facade for \
-                managed stores"
-    )]
-    pub fn checkpoint_day<W: Write>(&self, out: &mut W) -> StoreResult<CheckpointMeta> {
-        let mut cursor = self.lock_cursor();
-        Self::check_segment_freshness(&cursor, &self.reports)?;
-        let delta = cursor.clone();
-        let (snap, next) = self.freeze_locked(BlockKind::DaySegment, &delta);
-        let meta = snap.write_to(out)?;
-        *cursor = next;
-        Ok(meta)
-    }
-
     /// Rejects a segment that would persist a day older than the newest
     /// day already on the stream (see [`StoreError::StaleSegment`]).
     fn check_segment_freshness(
@@ -325,84 +284,6 @@ impl Engine {
             }
         }
         Ok(())
-    }
-
-    /// A full snapshot against a managed [`StoreDir`]: the block is staged
-    /// through the store's backend and committed atomically, replacing the
-    /// store's whole chain (the incremental cursor resets only after the
-    /// commit is durable, so a failed commit never strands unpersisted
-    /// state).
-    ///
-    /// # Errors
-    ///
-    /// Typed [`StoreError`]s from the write or the directory commit.
-    #[deprecated(since = "0.9.0", note = "use `Persistence::commit` with `SnapshotPolicy::full()`")]
-    pub fn checkpoint_to(&self, dir: &mut StoreDir) -> StoreResult<CheckpointMeta> {
-        let mut cursor = self.lock_cursor();
-        let (snap, next) = self.freeze_locked(BlockKind::Full, &PersistCursor::default());
-        let mut pending = dir.begin(BlockKind::Full)?;
-        let meta = snap.write_to(&mut pending)?;
-        dir.commit_full(pending, &meta)?;
-        *cursor = next;
-        Ok(meta)
-    }
-
-    /// The synchronous daily-cycle persistence step against a managed
-    /// [`StoreDir`]: writes a full snapshot when the directory is empty
-    /// (first run), otherwise appends an O(day) segment — then, if the
-    /// directory's [`earlybird_store::CompactionTrigger`] has fired, folds
-    /// the chain via [`compact_store`] / [`compact_store_tiered`]
-    /// (whole-chain or oldest-`K`, per the trigger's `fold_segments`).
-    /// Each commit is atomic; a crash at any point leaves either the old
-    /// chain or the new one.
-    ///
-    /// # Errors
-    ///
-    /// Typed [`StoreError`]s, including [`StoreError::StaleSegment`] for a
-    /// day behind the chain's newest persisted day. If the *block commit*
-    /// fails, the engine's incremental cursor is unchanged; if the commit
-    /// succeeded and the *compaction pass* then fails, the day is already
-    /// durable and the cursor reflects it — the old chain stays valid
-    /// either way. Treat any error as fatal for this process and recover
-    /// by restoring the directory (at-least-once semantics absorb the
-    /// re-pushed day).
-    #[deprecated(
-        since = "0.9.0",
-        note = "use `Persistence::commit` (the default `SnapshotPolicy` keeps these semantics)"
-    )]
-    pub fn checkpoint_day_to(&self, dir: &mut StoreDir) -> StoreResult<DayPersist> {
-        let block = {
-            let mut guard = self.lock_cursor();
-            if dir.is_empty() {
-                let (snap, next) = self.freeze_locked(BlockKind::Full, &PersistCursor::default());
-                let mut pending = dir.begin(BlockKind::Full)?;
-                let meta = snap.write_to(&mut pending)?;
-                dir.commit_full(pending, &meta)?;
-                *guard = next;
-                meta
-            } else {
-                Self::check_segment_freshness(&guard, &self.reports)?;
-                let delta = guard.clone();
-                let (snap, next) = self.freeze_locked(BlockKind::DaySegment, &delta);
-                let mut pending = dir.begin(BlockKind::DaySegment)?;
-                let meta = snap.write_to(&mut pending)?;
-                dir.commit_segment(pending, &meta)?;
-                *guard = next;
-                meta
-            }
-        };
-        let compaction = if dir.compaction_due() {
-            let _compact_span = self.metrics.compact.start();
-            let report = match dir.config().compaction.fold_segments {
-                Some(k) => compact_store_tiered(dir, k)?,
-                None => compact_store(dir)?,
-            };
-            self.metrics.compaction_replay.set(report.segments_replayed as i64);
-            Some(report)
-        } else {
-            None
-        };
-        Ok(DayPersist { block, compaction })
     }
 
     /// Applies one block's state sections (everything after Config/Meta)
@@ -679,17 +560,6 @@ impl EngineSnapshot {
     }
 }
 
-/// Outcome of one daily-cycle persistence step ([`Engine::checkpoint_day_to`]
-/// or a [`crate::Persistence`] commit).
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct DayPersist {
-    /// The block committed this cycle: a full snapshot when the directory
-    /// was empty (`kind == BlockKind::Full`), else an O(day) segment.
-    pub block: CheckpointMeta,
-    /// The compaction pass this append triggered, if any.
-    pub compaction: Option<CompactionReport>,
-}
-
 /// Folds a [`StoreDir`]'s `full + N segments` chain back into a single
 /// full block, applying the directory's retention policy.
 ///
@@ -777,36 +647,9 @@ fn compact_prefix(dir: &mut StoreDir, fold: Option<usize>) -> StoreResult<Compac
 }
 
 impl EngineBuilder {
-    /// [`EngineBuilder::restore`] over a managed [`StoreDir`]'s chain, in
-    /// manifest order.
-    ///
-    /// # Errors
-    ///
-    /// As for [`EngineBuilder::restore`], plus [`StoreError::Io`] if a
-    /// chain file cannot be opened.
-    #[deprecated(since = "0.9.0", note = "use `Persistence::restore`")]
-    pub fn restore_dir(self, dir: &StoreDir) -> Result<Engine, StoreError> {
-        self.restore_impl(None, &mut dir.reader()?)
-    }
-
-    /// [`EngineBuilder::restore_with_domains`] over a managed
-    /// [`StoreDir`]'s chain.
-    ///
-    /// # Errors
-    ///
-    /// As for [`EngineBuilder::restore_with_domains`].
-    #[deprecated(since = "0.9.0", note = "use `Persistence::restore_with_domains`")]
-    pub fn restore_dir_with_domains(
-        self,
-        raw: Arc<DomainInterner>,
-        dir: &StoreDir,
-    ) -> Result<Engine, StoreError> {
-        self.restore_impl(Some(raw), &mut dir.reader()?)
-    }
-
-    /// Rebuilds an engine from a store stream written by
-    /// [`Engine::checkpoint`] (optionally followed by
-    /// [`Engine::checkpoint_day`] segments).
+    /// Rebuilds an engine from a raw store stream — one full snapshot
+    /// block written by [`Engine::freeze`] + [`EngineSnapshot::write_to`],
+    /// optionally followed by day-segment blocks ([`Engine::freeze_day`]).
     ///
     /// All *semantic* configuration — pipeline thresholds, beacon detector,
     /// C&C and similarity models (trained or heuristic), belief-propagation
@@ -821,7 +664,7 @@ impl EngineBuilder {
     /// [`EngineBuilder::proxy_interners`] installed before `restore` are
     /// honored (the snapshot contents are verified against them, so
     /// symbols a dataset minted after the checkpoint stay valid), and
-    /// [`EngineBuilder::restore_with_domains`] does the same for the raw
+    /// [`EngineBuilder::restore_stream_with_domains`] does the same for the raw
     /// domain interner of dataset-driven record pushes.
     ///
     /// The restored engine's continued operation is bit-identical to an
@@ -837,16 +680,11 @@ impl EngineBuilder {
     /// [`StoreError::Corrupt`] for anything that decodes but violates an
     /// engine invariant — including a supplied shared interner whose
     /// contents disagree with the snapshot. No input panics.
-    #[deprecated(
-        since = "0.9.0",
-        note = "use `Persistence::restore` for managed stores (raw streams remain readable \
-                through this shim for one release)"
-    )]
-    pub fn restore<R: Read>(self, input: &mut R) -> Result<Engine, StoreError> {
+    pub fn restore_stream<R: Read>(self, input: &mut R) -> Result<Engine, StoreError> {
         self.restore_impl(None, input)
     }
 
-    /// [`EngineBuilder::restore`] sharing the caller's raw domain interner
+    /// [`EngineBuilder::restore_stream`] sharing the caller's raw domain interner
     /// (typically a dataset's), so records parsed or generated against it
     /// — including symbols minted *after* the checkpoint — remain valid in
     /// the restored engine. The snapshot's raw-interner contents are
@@ -855,13 +693,8 @@ impl EngineBuilder {
     ///
     /// # Errors
     ///
-    /// As for [`EngineBuilder::restore`].
-    #[deprecated(
-        since = "0.9.0",
-        note = "use `Persistence::restore_with_domains` for managed stores (raw streams remain \
-                readable through this shim for one release)"
-    )]
-    pub fn restore_with_domains<R: Read>(
+    /// As for [`EngineBuilder::restore_stream`].
+    pub fn restore_stream_with_domains<R: Read>(
         self,
         raw: Arc<DomainInterner>,
         input: &mut R,
@@ -1141,7 +974,7 @@ fn read_day_report(d: &mut Decoder<'_>) -> StoreResult<DayReport> {
 
 impl Engine {
     /// Re-interns the configured SOC seed names into the (restored) folded
-    /// namespace; see [`EngineBuilder::restore`].
+    /// namespace; see [`EngineBuilder::restore_stream`].
     pub(crate) fn reintern_soc_seeds(&mut self) {
         self.soc_seed_syms =
             self.cfg.soc_seed_domains.iter().map(|n| self.pipeline.intern_seed(n)).collect();

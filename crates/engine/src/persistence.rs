@@ -368,11 +368,11 @@ impl Persistence {
     }
 
     /// Rebuilds an engine from the owned chain (manifest order), exactly
-    /// like the pre-facade `EngineBuilder::restore_dir`.
+    /// like `EngineBuilder::restore_stream` over the directory's chain.
     ///
     /// # Errors
     ///
-    /// Typed [`StoreError`]s; see `EngineBuilder::restore`.
+    /// Typed [`StoreError`]s; see `EngineBuilder::restore_stream`.
     pub fn restore(&self, builder: EngineBuilder) -> Result<Engine, StoreError> {
         let dir = self.shared.lock_store();
         builder.restore_impl(None, &mut dir.reader()?)
@@ -380,7 +380,7 @@ impl Persistence {
 
     /// [`Persistence::restore`] sharing the caller's raw domain interner
     /// (typically a dataset's), exactly like the pre-facade
-    /// `EngineBuilder::restore_dir_with_domains`.
+    /// `EngineBuilder::restore_stream_with_domains` over the directory's chain.
     ///
     /// # Errors
     ///

@@ -301,25 +301,62 @@ impl<T> TypedInterner<T> {
     /// existing string disagrees with the snapshot, or a string is a
     /// duplicate of one interned at a different index (either of which
     /// would silently renumber symbols).
-    pub fn extend_from_snapshot(
+    ///
+    /// The whole batch runs under a single write-lock acquisition with
+    /// capacity reserved up front — restore feeds entire table sections
+    /// through here, so per-string lock round-trips would dominate the
+    /// decode cost.
+    pub fn extend_from_snapshot<S: AsRef<str>>(
         &self,
         start: usize,
-        strings: impl IntoIterator<Item = String>,
+        strings: impl IntoIterator<Item = S>,
     ) -> bool {
-        if start > self.len() {
+        let mut inner = self.inner.write().expect("interner poisoned");
+        if start > inner.strings.len() {
             return false;
         }
-        for (k, s) in strings.into_iter().enumerate() {
-            let idx = start + k;
-            if idx < self.len() {
-                if &*self.resolve(Symbol::new(idx as u32)) != s.as_str() {
-                    return false;
+        let iter = strings.into_iter();
+        let additional = (start + iter.size_hint().0).saturating_sub(inner.strings.len());
+        inner.strings.reserve(additional);
+        inner.map.reserve(additional);
+        let mut ok = true;
+        for (k, s) in iter.enumerate() {
+            let (idx, s) = (start + k, s.as_ref());
+            if idx < inner.strings.len() {
+                if &*inner.strings[idx] != s {
+                    ok = false;
+                    break;
                 }
-            } else if self.intern(&s).raw as usize != idx {
-                return false;
+            } else if inner.intern_locked(s) as usize != idx {
+                ok = false;
+                break;
             }
         }
-        true
+        self.maybe_republish(&mut inner);
+        ok
+    }
+
+    /// A private copy of this interner: same strings, same numbering, new
+    /// identity. Shard-local interning uses this — each shard forks the
+    /// canonical table at day start, interns against its copy with zero
+    /// cross-shard contention, and the merge remaps any locally minted
+    /// tail symbols back by name.
+    ///
+    /// The fork starts with an empty published read snapshot (it
+    /// republishes once enough new strings land); [`TypedInterner::intern`]
+    /// and [`TypedInterner::get`] see the full table immediately.
+    pub fn fork(&self) -> Self {
+        let inner = self.inner.read().expect("interner poisoned");
+        let forked = Inner {
+            map: inner.map.clone(),
+            strings: inner.strings.clone(),
+            published_len: inner.strings.len(),
+        };
+        TypedInterner {
+            inner: RwLock::new(forked),
+            snap: Published::new(Snap { map: FastMap::default() }),
+            _tag: PhantomData,
+        }
     }
 }
 
@@ -428,6 +465,35 @@ mod tests {
         assert_eq!(batch, seq);
         assert_eq!(a.len(), 3);
         assert!(a.intern_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn extend_from_snapshot_verifies_and_appends() {
+        let i = DomainInterner::new();
+        i.intern("a");
+        i.intern("b");
+        assert!(i.extend_from_snapshot(1, ["b", "c"]), "overlap verifies, tail appends");
+        assert_eq!(i.len(), 3);
+        assert_eq!(&*i.resolve(DomainSym::from_raw(2)), "c");
+        assert!(!i.extend_from_snapshot(0, ["x"]), "existing string disagrees");
+        assert!(!i.extend_from_snapshot(5, ["y"]), "start past the end is a gap");
+        assert!(!i.extend_from_snapshot(3, ["a"]), "duplicate would renumber");
+        assert_eq!(i.len(), 3, "failed extends leave verified content only");
+    }
+
+    #[test]
+    fn fork_preserves_numbering_and_diverges_privately() {
+        let i = DomainInterner::new();
+        let a = i.intern("a.com");
+        let f = i.fork();
+        assert_eq!(f.len(), 1);
+        assert_eq!(f.get("a.com"), Some(a));
+        assert_eq!(&*f.resolve(a), "a.com");
+        let local = f.intern("new.com");
+        assert_eq!(local.raw(), 1, "fork continues the shared numbering");
+        assert!(i.get("new.com").is_none(), "fork growth is private");
+        let canon = i.intern("other.com");
+        assert_eq!(canon.raw(), 1, "original numbering unaffected by the fork");
     }
 
     #[test]

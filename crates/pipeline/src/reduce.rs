@@ -323,6 +323,28 @@ impl DayReducer {
         self.records
     }
 
+    /// Rewrites every distinct-domain set through `map` — the shard-merge
+    /// hook that moves counters keyed by a shard-local folded interner onto
+    /// the canonical table. `map` must be injective over the symbols present
+    /// (a name-based interner remap always is), so cardinalities and hence
+    /// the reported counts are preserved.
+    pub fn remap_domains(&mut self, map: impl Fn(DomainSym) -> DomainSym) {
+        self.domains_all = self.domains_all.drain().map(&map).collect();
+        self.domains_after_internal = self.domains_after_internal.drain().map(&map).collect();
+        self.domains_after_server = self.domains_after_server.drain().map(&map).collect();
+    }
+
+    /// Folds another reducer's totals into this one: record tallies add,
+    /// distinct-domain sets union. Used by the shard merge, where each
+    /// partition reduced a disjoint slice of the day.
+    pub fn merge(&mut self, other: DayReducer) {
+        self.records += other.records;
+        self.records_a_only += other.records_a_only;
+        self.domains_all.extend(other.domains_all);
+        self.domains_after_internal.extend(other.domains_after_internal);
+        self.domains_after_server.extend(other.domains_after_server);
+    }
+
     /// The day's DNS counters (valid when DNS chunks were pushed).
     pub fn dns_counts(&self) -> DnsReductionCounts {
         DnsReductionCounts {

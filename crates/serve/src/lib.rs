@@ -32,7 +32,7 @@
 //! `GET /v1/tenants` carries the per-tenant health counters inline.
 //!
 //! Durability contract: a `200` from `POST .../finish` is written only
-//! after [`earlybird_engine::Engine::checkpoint_day_to`] committed the
+//! after [`earlybird_engine::Persistence`] committed the
 //! day to the tenant's store scope — a `kill -9` after the ack loses
 //! nothing, and a restarted daemon restores every acked day for every
 //! tenant before serving its first request. Span pushes are buffered,

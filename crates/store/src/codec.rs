@@ -300,9 +300,17 @@ impl<'a> Decoder<'a> {
 
     /// Reads a length-prefixed UTF-8 string.
     pub fn str(&mut self) -> StoreResult<String> {
+        self.str_ref().map(str::to_owned)
+    }
+
+    /// Reads a length-prefixed UTF-8 string as a borrow of the payload —
+    /// the allocation-free variant of [`Decoder::str`] that bulk decoders
+    /// (interner sections hold millions of strings) feed straight into
+    /// their sink.
+    pub fn str_ref(&mut self) -> StoreResult<&'a str> {
         let len = self.usizev()?;
         let bytes = self.take(len, "string")?;
-        String::from_utf8(bytes.to_vec()).map_err(|_| {
+        std::str::from_utf8(bytes).map_err(|_| {
             StoreError::corrupt(format!("section `{}`: string is not UTF-8", self.section))
         })
     }

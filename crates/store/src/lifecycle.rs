@@ -639,7 +639,7 @@ impl StoreDir {
     // -- reading ------------------------------------------------------------
 
     /// A reader over the chain in manifest order — exactly the
-    /// `full + N segments` stream `EngineBuilder::restore` replays.
+    /// `full + N segments` stream `EngineBuilder::restore_stream` replays.
     ///
     /// # Errors
     ///
@@ -911,7 +911,7 @@ impl StoreDir {
 // -- chain reader -----------------------------------------------------------
 
 /// Sequential [`Read`] over the manifest's chain objects, in order — feed
-/// to `EngineBuilder::restore` (or use `EngineBuilder::restore_dir`).
+/// to `EngineBuilder::restore_stream` (or use `Persistence::restore`).
 pub struct ChainReader<'a> {
     backend: &'a dyn ObjectStore,
     names: std::vec::IntoIter<String>,

@@ -56,9 +56,12 @@ pub fn read_interner_into<T>(
         )));
     }
     let count = d.seq_len(1)?;
-    let mut strings = Vec::with_capacity(count.min(64 * 1024));
+    // Borrow every string straight out of the payload: the interner copies
+    // each one exactly once (into its `Arc<str>` table), and the whole batch
+    // lands under a single write-lock acquisition.
+    let mut strings: Vec<&str> = Vec::with_capacity(count.min(64 * 1024));
     for _ in 0..count {
-        strings.push(d.str()?);
+        strings.push(d.str_ref()?);
     }
     if !interner.extend_from_snapshot(start, strings) {
         return Err(StoreError::corrupt(format!(

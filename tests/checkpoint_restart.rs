@@ -1,5 +1,5 @@
 //! Cold-restart equivalence of `Engine::checkpoint` / `checkpoint_day` /
-//! `EngineBuilder::restore`: ingest days `1..N`, checkpoint, restore into a
+//! `EngineBuilder::restore_stream`: ingest days `1..N`, checkpoint, restore into a
 //! fresh engine, ingest days `N+1..M` — reports, alerts, and sink sequences
 //! must be **bit-identical** to an uninterrupted run, on both the LANL DNS
 //! suite and the enterprise proxy suite, through both the full-snapshot and
@@ -9,8 +9,6 @@
 //! `restore*` shims: it is the compatibility proof that the one-release
 //! shims keep producing and reading the exact bytes of the
 //! `freeze()`/`Persistence` path until they are removed.
-
-#![allow(deprecated)]
 
 use earlybird::engine::{
     Alert, CheckpointMeta, CollectedAlerts, DayBatch, DayReport, Engine, EngineBuilder, StoreError,
@@ -97,7 +95,7 @@ fn lanl_cold_restart_is_bit_identical() {
         for day in &challenge.dataset.days[..split] {
             engine.ingest_day(DayBatch::Dns(day));
         }
-        meta = engine.checkpoint(&mut snapshot).expect("checkpoint succeeds");
+        meta = engine.freeze().write_to(&mut snapshot).expect("checkpoint succeeds");
     }
     assert_eq!(meta.days, split, "every ingested day persisted");
     assert!(meta.bytes > 0 && meta.bytes == snapshot.len() as u64);
@@ -110,7 +108,7 @@ fn lanl_cold_restart_is_bit_identical() {
         .parallelism(3)
         .parallel_threshold(1)
         .sink(sink)
-        .restore(&mut snapshot.as_slice())
+        .restore_stream(&mut snapshot.as_slice())
         .expect("snapshot restores");
 
     // Continue ingesting; every report must match the uninterrupted run.
@@ -164,10 +162,11 @@ fn lanl_incremental_segments_restore_equivalently() {
         for day in &challenge.dataset.days[..boot] {
             engine.ingest_day(DayBatch::Dns(day));
         }
-        full_size = engine.checkpoint(&mut stream).expect("full checkpoint").bytes as usize;
+        full_size = engine.freeze().write_to(&mut stream).expect("full checkpoint").bytes as usize;
         for day in &challenge.dataset.days[boot..split] {
             engine.ingest_day(DayBatch::Dns(day));
-            let meta = engine.checkpoint_day(&mut stream).expect("segment");
+            let meta =
+                engine.freeze_day().expect("fresh day").write_to(&mut stream).expect("segment");
             assert_eq!(meta.days, 1, "exactly one new day per segment");
             segment_sizes.push(meta.bytes as usize);
         }
@@ -185,7 +184,7 @@ fn lanl_incremental_segments_restore_equivalently() {
     let restored_alerts = sink.handle();
     let mut restored = EngineBuilder::lanl()
         .sink(sink)
-        .restore(&mut stream.as_slice())
+        .restore_stream(&mut stream.as_slice())
         .expect("full + segments restore");
 
     for (i, day) in challenge.dataset.days[split..].iter().enumerate() {
@@ -236,7 +235,7 @@ fn enterprise_proxy_cold_restart_is_bit_identical() {
         for day in &world.dataset.days[..split] {
             engine.ingest_day(DayBatch::Proxy { day, dhcp: &world.dataset.dhcp });
         }
-        engine.checkpoint(&mut snapshot).expect("checkpoint succeeds");
+        engine.freeze().write_to(&mut snapshot).expect("checkpoint succeeds");
     }
 
     // Restart sharing the dataset's interners: the snapshot contents are
@@ -247,7 +246,7 @@ fn enterprise_proxy_cold_restart_is_bit_identical() {
     let mut restored = EngineBuilder::enterprise()
         .proxy_interners(Arc::clone(&world.dataset.uas), Arc::clone(&world.dataset.paths))
         .sink(sink)
-        .restore_with_domains(Arc::clone(&world.dataset.domains), &mut snapshot.as_slice())
+        .restore_stream_with_domains(Arc::clone(&world.dataset.domains), &mut snapshot.as_slice())
         .expect("snapshot restores");
     assert!(restored.config().whois.is_some(), "WHOIS registry restored");
 
@@ -292,9 +291,9 @@ fn trained_models_survive_checkpoint() {
     }
 
     let mut snapshot = Vec::new();
-    engine.checkpoint(&mut snapshot).unwrap();
+    engine.freeze().write_to(&mut snapshot).unwrap();
     let restored =
-        EngineBuilder::lanl().restore(&mut snapshot.as_slice()).expect("snapshot restores");
+        EngineBuilder::lanl().restore_stream(&mut snapshot.as_slice()).expect("snapshot restores");
 
     let (
         CcModel::Regression { model: a, scaler: sa },
@@ -338,12 +337,13 @@ fn crash_recovery_replay_raises_no_double_alerts() {
         for day in &challenge.dataset.days[..split] {
             engine.ingest_day(DayBatch::Dns(day));
         }
-        engine.checkpoint(&mut snapshot).unwrap();
+        engine.freeze().write_to(&mut snapshot).unwrap();
     }
 
     let sink = CollectingSink::new();
     let restored_alerts = sink.handle();
-    let mut restored = EngineBuilder::lanl().sink(sink).restore(&mut snapshot.as_slice()).unwrap();
+    let mut restored =
+        EngineBuilder::lanl().sink(sink).restore_stream(&mut snapshot.as_slice()).unwrap();
 
     // At-least-once delivery: the log replayer re-feeds the last day the
     // snapshot already covers.
@@ -374,9 +374,9 @@ fn checkpoint_bytes_are_deterministic() {
     }
 
     let mut a = Vec::new();
-    engine.checkpoint(&mut a).unwrap();
+    engine.freeze().write_to(&mut a).unwrap();
     let mut b = Vec::new();
-    engine.checkpoint(&mut b).unwrap();
+    engine.freeze().write_to(&mut b).unwrap();
     assert_eq!(a, b, "same state, same bytes");
 
     // checkpoint → restore → checkpoint reproduces the stream bit-for-bit
@@ -386,10 +386,10 @@ fn checkpoint_bytes_are_deterministic() {
         .parallelism(engine.config().parallelism)
         .parallel_threshold(engine.config().parallel_threshold)
         .ingest_chunk_records(engine.config().ingest_chunk_records)
-        .restore(&mut a.as_slice())
+        .restore_stream(&mut a.as_slice())
         .unwrap();
     let mut c = Vec::new();
-    restored.checkpoint(&mut c).unwrap();
+    restored.freeze().write_to(&mut c).unwrap();
     assert_eq!(a, c, "restored engine re-checkpoints identically");
 }
 
@@ -403,28 +403,29 @@ fn malformed_streams_are_typed_errors() {
 
     // Segment-first stream.
     let mut seg_only = Vec::new();
-    engine.checkpoint_day(&mut seg_only).unwrap();
-    let err = EngineBuilder::lanl().restore(&mut seg_only.as_slice()).unwrap_err();
+    engine.freeze_day().unwrap().write_to(&mut seg_only).unwrap();
+    let err = EngineBuilder::lanl().restore_stream(&mut seg_only.as_slice()).unwrap_err();
     assert!(matches!(err, StoreError::Corrupt { .. }), "{err}");
 
     // Double-full stream.
     let mut doubled = Vec::new();
-    engine.checkpoint(&mut doubled).unwrap();
-    engine.checkpoint(&mut doubled).unwrap();
-    let err = EngineBuilder::lanl().restore(&mut doubled.as_slice()).unwrap_err();
+    engine.freeze().write_to(&mut doubled).unwrap();
+    engine.freeze().write_to(&mut doubled).unwrap();
+    let err = EngineBuilder::lanl().restore_stream(&mut doubled.as_slice()).unwrap_err();
     assert!(matches!(err, StoreError::Corrupt { .. }), "{err}");
 
     // Empty stream.
-    let err = EngineBuilder::lanl().restore(&mut [].as_slice()).unwrap_err();
+    let err = EngineBuilder::lanl().restore_stream(&mut [].as_slice()).unwrap_err();
     assert!(matches!(err, StoreError::Truncated { .. }), "{err}");
 
     // A caller-shared interner whose contents disagree with the snapshot
     // must be rejected, not silently renumbered.
     let mut snap = Vec::new();
-    engine.checkpoint(&mut snap).unwrap();
+    engine.freeze().write_to(&mut snap).unwrap();
     let foreign = Arc::new(earlybird::logmodel::DomainInterner::new());
     foreign.intern("unrelated.example");
-    let err =
-        EngineBuilder::lanl().restore_with_domains(foreign, &mut snap.as_slice()).unwrap_err();
+    let err = EngineBuilder::lanl()
+        .restore_stream_with_domains(foreign, &mut snap.as_slice())
+        .unwrap_err();
     assert!(matches!(err, StoreError::Corrupt { .. }), "{err}");
 }

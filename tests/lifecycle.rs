@@ -489,7 +489,6 @@ fn synthetic_engine(domains: &Arc<DomainInterner>, total_days: u32) -> Engine {
 /// writing a chain the restore path rejects — on every backend.
 // Raw-stream restore has no facade equivalent (streams are not
 // manifest-managed); it stays on the deprecated shim for one release.
-#[allow(deprecated)]
 #[test]
 fn stale_day_segment_is_a_typed_error() {
     let domains = Arc::new(DomainInterner::new());
@@ -509,13 +508,13 @@ fn stale_day_segment_is_a_typed_error() {
     );
     // The refusal happens at freeze time: the stream was never touched
     // and still restores to the checkpointed state.
-    let restored = EngineBuilder::lanl().restore(&mut stream.as_slice()).expect("restores");
+    let restored = EngineBuilder::lanl().restore_stream(&mut stream.as_slice()).expect("restores");
     assert_eq!(restored.reports().count(), 2);
 
     // A fresh full snapshot is the sanctioned way to persist back-fill.
     let mut full = Vec::new();
     engine.freeze().write_to(&mut full).expect("full checkpoint covers the back-filled day");
-    let restored = EngineBuilder::lanl().restore(&mut full.as_slice()).expect("restores");
+    let restored = EngineBuilder::lanl().restore_stream(&mut full.as_slice()).expect("restores");
     assert_eq!(restored.reports().count(), 3, "back-filled day persisted by the full path");
 
     // The managed-store path refuses the same way, whatever the backend.
@@ -582,7 +581,6 @@ fn stale_pending_block_from_an_earlier_generation_is_refused() {
 /// The restore path independently rejects a hand-built chain whose segment
 /// moves backwards (defense in depth for streams written by other tools).
 // Raw-stream restore stays on the deprecated shim for one release.
-#[allow(deprecated)]
 #[test]
 fn restore_rejects_backwards_segment_chains() {
     let domains = Arc::new(DomainInterner::new());
@@ -606,7 +604,8 @@ fn restore_rejects_backwards_segment_chains() {
     b.freeze_day().expect("fresh day freezes").write_to(&mut b_stream).expect("segment for day 1");
     spliced.extend_from_slice(&b_stream[baseline..]);
 
-    let err = EngineBuilder::lanl().restore(&mut spliced.as_slice()).expect_err("must reject");
+    let err =
+        EngineBuilder::lanl().restore_stream(&mut spliced.as_slice()).expect_err("must reject");
     assert!(matches!(err, StoreError::Corrupt { .. }), "typed corrupt error, got {err}");
 }
 

@@ -1,0 +1,423 @@
+//! The sharded engine's bit-identity contract (ISSUE 10): for *any*
+//! shard count N ≥ 1 — including N = 1 and N far larger than the number
+//! of distinct hosts — and any chunking of the pushed spans, a
+//! [`ShardedEngine`] must be indistinguishable from a plain [`Engine`]
+//! fed the same records: identical [`DayReport`]s, identical alert
+//! streams, and byte-identical checkpoint snapshots. A sharded engine
+//! must also cold-restart through the [`Persistence`] facade and keep
+//! producing the same bytes.
+
+// Each integration-test crate uses a subset of the harness; the unused
+// remainder is not a defect.
+#[path = "support/backends.rs"]
+#[allow(dead_code)]
+mod support;
+
+use earlybird::engine::{
+    CompactionTrigger, DayBatch, DayReport, Engine, EngineBuilder, IngestSource, LifecycleConfig,
+    Persistence, RetentionPolicy, ShardedEngine, SnapshotPolicy,
+};
+use earlybird::logmodel::{
+    format_dns_line, DatasetMeta, Day, DnsDayLog, DnsQuery, DnsRecordType, HostId, HostKind, Ipv4,
+    Timestamp,
+};
+use earlybird::synthgen::ac::{AcConfig, AcGenerator};
+use earlybird::synthgen::lanl::{LanlConfig, LanlGenerator};
+use earlybird_engine::CollectingSink;
+use proptest::prelude::*;
+use std::sync::Arc;
+use support::Backend;
+
+/// Full-report equality modulo wall-clock time.
+fn assert_reports_equal(sharded: &DayReport, batch: &DayReport, context: &str) {
+    assert_eq!(sharded.day, batch.day, "{context}: day");
+    assert_eq!(sharded.bootstrap, batch.bootstrap, "{context}: bootstrap flag");
+    assert_eq!(sharded.duplicate, batch.duplicate, "{context}: duplicate flag");
+    assert!(
+        sharded.stages.deterministic_eq(&batch.stages),
+        "{context}: counters\n  sharded: {:?}\n  batch:   {:?}",
+        sharded.stages,
+        batch.stages
+    );
+    assert_eq!(sharded.dns_counts, batch.dns_counts, "{context}: dns counts");
+    assert_eq!(sharded.proxy_counts, batch.proxy_counts, "{context}: proxy counts");
+    assert_eq!(sharded.norm_counts, batch.norm_counts, "{context}: norm counts");
+    assert_eq!(sharded.cc_candidates, batch.cc_candidates, "{context}: candidates");
+    assert_eq!(sharded.alerts, batch.alerts, "{context}: alerts");
+    assert_eq!(sharded.outcome, batch.outcome, "{context}: BP outcome");
+}
+
+/// The strongest state-equality probe available: every interner, profile,
+/// retained index, report and cursor lands in the full-snapshot bytes.
+fn checkpoint_bytes(engine: &Engine) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    engine.freeze().write_to(&mut bytes).expect("frozen view serializes");
+    bytes
+}
+
+/// A random traffic day with a guaranteed beaconing campaign blended in, so
+/// the C&C / alert / BP stages always have real work to compare.
+fn build_queries(
+    raw: &[(u64, u32, u8)],
+    domains: &Arc<earlybird::logmodel::DomainInterner>,
+) -> Vec<DnsQuery> {
+    let mut queries: Vec<DnsQuery> = raw
+        .iter()
+        .map(|&(ts, host, dom)| DnsQuery {
+            ts: Timestamp::from_secs(ts),
+            src: HostId::new(host),
+            src_ip: Ipv4::new(10, 0, 0, host as u8),
+            qname: domains.intern(&format!("d{dom}.example.c3")),
+            qtype: DnsRecordType::A,
+            answer: Some(Ipv4::new(50, dom, dom, 1)),
+        })
+        .collect();
+    for host in [1u32, 2] {
+        for beat in 0..20 {
+            queries.push(DnsQuery {
+                ts: Timestamp::from_secs(30_000 + host as u64 * 7 + beat * 600),
+                src: HostId::new(host),
+                src_ip: Ipv4::new(10, 0, 0, host as u8),
+                qname: domains.intern("cc.alpha.c3"),
+                qtype: DnsRecordType::A,
+                answer: Some(Ipv4::new(198, 51, 100, 99)),
+            });
+        }
+    }
+    queries.sort_by_key(|q| q.ts);
+    queries
+}
+
+fn meta_for(n_hosts: u32) -> DatasetMeta {
+    DatasetMeta {
+        n_hosts,
+        host_kinds: vec![HostKind::Workstation; n_hosts as usize],
+        internal_suffixes: vec![],
+        bootstrap_days: 0,
+        total_days: 1,
+    }
+}
+
+fn engine_for(
+    domains: &Arc<earlybird::logmodel::DomainInterner>,
+    meta: &DatasetMeta,
+    parallelism: usize,
+    chunk_records: usize,
+) -> (Engine, earlybird::engine::CollectedAlerts) {
+    let sink = CollectingSink::new();
+    let handle = sink.handle();
+    let engine = EngineBuilder::lanl()
+        .parallelism(parallelism)
+        .parallel_threshold(1)
+        .ingest_chunk_records(chunk_records)
+        .auto_investigate(true)
+        .sink(sink)
+        .build(Arc::clone(domains), meta.clone())
+        .expect("valid config");
+    (engine, handle)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// For arbitrary chunk splits and shard counts — one shard, a few, a
+    /// prime, and far more shards than the 12 distinct hosts (so some
+    /// shards are guaranteed empty) — the sharded path reproduces batch
+    /// ingestion exactly: counters, candidates, alerts, BP outcome, and
+    /// the full checkpoint byte stream.
+    #[test]
+    fn any_shard_count_is_bit_identical(
+        raw in proptest::collection::vec((0u64..86_400, 0u32..12, 0u8..16), 1..200),
+        splits in proptest::collection::vec(1usize..40, 0..8),
+        shards_ix in 0usize..5,
+        parallelism in 1usize..5,
+        chunk_records in 1usize..64,
+    ) {
+        let shards = [1usize, 2, 3, 7, 33][shards_ix];
+        let domains = Arc::new(earlybird::logmodel::DomainInterner::new());
+        let queries = build_queries(&raw, &domains);
+        let meta = meta_for(12);
+
+        // Identical configs on both sides: the engine configuration is
+        // itself serialized, so differing knobs would trivially (and
+        // uninterestingly) perturb the checkpoint bytes.
+        let (mut batch_engine, batch_alerts) = engine_for(&domains, &meta, parallelism, chunk_records);
+        let day_log = DnsDayLog { day: Day::new(0), queries: queries.clone() };
+        let batch_report = batch_engine.ingest_day(DayBatch::Dns(&day_log));
+
+        let (engine, shard_alerts) = engine_for(&domains, &meta, parallelism, chunk_records);
+        let mut sharded = ShardedEngine::new(engine, shards);
+        let mut ingest = sharded.begin_day(Day::new(0), IngestSource::Dns);
+        // Carve the day along the random split points; the tail goes last.
+        let mut rest: &[DnsQuery] = &queries;
+        for &len in &splits {
+            let take = len.min(rest.len());
+            let (span, remaining) = rest.split_at(take);
+            ingest.push_dns_records(span);
+            rest = remaining;
+        }
+        ingest.push_dns_records(rest);
+        prop_assert_eq!(ingest.records_pushed(), queries.len());
+        let shard_report = ingest.finish();
+
+        assert_reports_equal(&shard_report, &batch_report, "proptest day");
+        prop_assert_eq!(shard_alerts.snapshot(), batch_alerts.snapshot());
+        prop_assert_eq!(
+            checkpoint_bytes(sharded.engine()),
+            checkpoint_bytes(&batch_engine),
+            "checkpoint bytes must not depend on the shard count"
+        );
+    }
+}
+
+/// Degenerate skew: every record comes from one host, so all but one
+/// shard stays empty the whole day — and a shard count far above the
+/// host count leaves most lanes idle. Both must still be bit-identical.
+#[test]
+fn skewed_and_empty_shards_are_bit_identical() {
+    let domains = Arc::new(earlybird::logmodel::DomainInterner::new());
+    // One busy host only (plus the blended-in campaign hosts 1 and 2).
+    let raw: Vec<(u64, u32, u8)> =
+        (0..150u64).map(|i| (i * 37 % 86_400, 5, (i % 11) as u8)).collect();
+    let queries = build_queries(&raw, &domains);
+    let meta = meta_for(12);
+
+    let (mut batch_engine, batch_alerts) = engine_for(&domains, &meta, 2, 16);
+    let day_log = DnsDayLog { day: Day::new(0), queries: queries.clone() };
+    let batch_report = batch_engine.ingest_day(DayBatch::Dns(&day_log));
+
+    for shards in [5usize, 64] {
+        let (engine, shard_alerts) = engine_for(&domains, &meta, 2, 16);
+        let mut sharded = ShardedEngine::new(engine, shards);
+        let report = sharded.ingest_day(DayBatch::Dns(&day_log));
+        assert_reports_equal(&report, &batch_report, &format!("{shards} shards, 3 hosts"));
+        assert_eq!(shard_alerts.snapshot(), batch_alerts.snapshot());
+        assert_eq!(checkpoint_bytes(sharded.engine()), checkpoint_bytes(&batch_engine));
+    }
+}
+
+/// The whole LANL challenge through a sharded engine: every day report,
+/// the full alert sequence, the retained-day set, and the final
+/// checkpoint bytes all match batch ingestion.
+#[test]
+fn lanl_challenge_shards_identically() {
+    let challenge = LanlGenerator::new(LanlConfig::tiny()).generate();
+    let meta = &challenge.dataset.meta;
+
+    let (mut batch_engine, batch_alerts) = engine_for(&challenge.dataset.domains, meta, 4, 64);
+    let (engine, shard_alerts) = engine_for(&challenge.dataset.domains, meta, 4, 64);
+    let mut sharded = ShardedEngine::new(engine, 3);
+
+    for day in &challenge.dataset.days {
+        let batch_report = batch_engine.ingest_day(DayBatch::Dns(day));
+        let mut ingest = sharded.begin_day(day.day, IngestSource::Dns);
+        for span in day.queries.chunks(777) {
+            ingest.push_dns_records(span);
+        }
+        let shard_report = ingest.finish();
+        assert_reports_equal(&shard_report, &batch_report, &format!("day {:?}", day.day));
+    }
+    assert_eq!(shard_alerts.snapshot(), batch_alerts.snapshot());
+    assert!(!shard_alerts.snapshot().is_empty(), "campaigns must alert");
+    assert_eq!(
+        sharded.engine().days().collect::<Vec<_>>(),
+        batch_engine.days().collect::<Vec<_>>()
+    );
+    assert_eq!(checkpoint_bytes(sharded.engine()), checkpoint_bytes(&batch_engine));
+}
+
+/// Interleaved proxy and DNS days on one sharded enterprise engine —
+/// normalization, DHCP lease resolution, HTTP context, UA history and the
+/// shared fold/filter state must all survive partitioning.
+#[test]
+fn interleaved_proxy_and_dns_days_shard_identically() {
+    let world = AcGenerator::new(AcConfig::tiny()).generate();
+    let meta = &world.dataset.meta;
+    let domains = &world.dataset.domains;
+
+    let build = |parallelism: usize, chunk: usize| {
+        let sink = CollectingSink::new();
+        let handle = sink.handle();
+        let engine = EngineBuilder::enterprise()
+            .parallelism(parallelism)
+            .parallel_threshold(1)
+            .ingest_chunk_records(chunk)
+            .auto_investigate(true)
+            .sink(sink)
+            .build(Arc::clone(domains), meta.clone())
+            .expect("valid config");
+        (engine, handle)
+    };
+    let (mut batch_engine, batch_alerts) = build(4, 50);
+    let (engine, shard_alerts) = build(4, 50);
+    let mut sharded = ShardedEngine::new(engine, 5);
+
+    // Cover the bootstrap/operation boundary plus several operation days.
+    let last = (meta.bootstrap_days + 5).min(meta.total_days) as usize;
+    for (i, day) in world.dataset.days[..last].iter().enumerate() {
+        if i % 2 == 0 {
+            let batch_report =
+                batch_engine.ingest_day(DayBatch::Proxy { day, dhcp: &world.dataset.dhcp });
+            let mut ingest =
+                sharded.begin_day(day.day, IngestSource::Proxy { dhcp: &world.dataset.dhcp });
+            for span in day.records.chunks(311) {
+                ingest.push_proxy_records(span);
+            }
+            let shard_report = ingest.finish();
+            assert_reports_equal(&shard_report, &batch_report, &format!("proxy day {i}"));
+        } else {
+            // A synthetic DNS day over the same interner and host space.
+            let mut queries: Vec<DnsQuery> = (0..200u64)
+                .map(|j| {
+                    let host = (j % u64::from(meta.n_hosts.min(8))) as u32;
+                    DnsQuery {
+                        ts: Timestamp::from_day_secs(day.day, (j * 431) % 86_400),
+                        src: HostId::new(host),
+                        src_ip: Ipv4::new(10, 1, 0, host as u8),
+                        qname: domains.intern(&format!("d{}.interleaved.example", j % 23)),
+                        qtype: DnsRecordType::A,
+                        answer: Some(Ipv4::new(60, (j % 23) as u8, 1, 1)),
+                    }
+                })
+                .collect();
+            queries.sort_by_key(|q| q.ts);
+            let dns_day = DnsDayLog { day: day.day, queries };
+            let batch_report = batch_engine.ingest_day(DayBatch::Dns(&dns_day));
+            let shard_report = sharded.ingest_day(DayBatch::Dns(&dns_day));
+            assert_reports_equal(&shard_report, &batch_report, &format!("dns day {i}"));
+        }
+    }
+    assert_eq!(shard_alerts.snapshot(), batch_alerts.snapshot());
+    assert_eq!(
+        sharded.engine().ua_history().len(),
+        batch_engine.ua_history().len(),
+        "UA history must merge identically"
+    );
+    assert_eq!(checkpoint_bytes(sharded.engine()), checkpoint_bytes(&batch_engine));
+}
+
+/// Raw-line ingestion through the sharded handle: parsing, sequential
+/// host-id assignment and error tallying all match the record path.
+#[test]
+fn sharded_line_pushes_match_record_pushes() {
+    let domains = Arc::new(earlybird::logmodel::DomainInterner::new());
+    let raw: Vec<(u64, u32, u8)> =
+        (0..150u64).map(|i| (i * 37 % 86_400, (i % 9) as u32, (i % 11) as u8)).collect();
+    let queries = build_queries(&raw, &domains);
+    let meta = meta_for(12);
+
+    // Reference: records pushed straight into a sharded day.
+    let (engine, rec_alerts) = engine_for(&domains, &meta, 2, 16);
+    let mut rec_sharded = ShardedEngine::new(engine, 3);
+    let mut ingest = rec_sharded.begin_day(Day::new(0), IngestSource::Dns);
+    ingest.push_dns_records(&queries);
+    let rec_report = ingest.finish();
+
+    // Lines: serialize with the interchange codec, then stream the text in
+    // three blocks with a corrupt line and comments sprinkled in.
+    let lines: Vec<String> = queries.iter().map(|q| format_dns_line(q, &domains)).collect();
+    let (engine, line_alerts) = engine_for(&domains, &meta, 3, 16);
+    let mut line_sharded = ShardedEngine::new(engine, 3);
+    let mut ingest = line_sharded.begin_day(Day::new(0), IngestSource::Dns);
+    let third = lines.len() / 3;
+    let block1 = format!("# header comment\n{}\n", lines[..third].join("\n"));
+    let block2 = format!("{}\nthis line is corrupt\n", lines[third..2 * third].join("\n"));
+    let block3 = format!("{}\n\n", lines[2 * third..].join("\n"));
+    assert!(ingest.push_lines(&block1).is_empty());
+    let errors = ingest.push_lines(&block2);
+    assert_eq!(errors.len(), 1, "exactly the corrupt line fails");
+    assert!(ingest.push_lines(&block3).is_empty());
+    assert_eq!(ingest.records_pushed(), queries.len());
+    assert_eq!(ingest.parse_errors(), 1);
+    let line_report = ingest.finish();
+
+    assert_eq!(line_report.stages.parse_errors, 1);
+    let mut expected = rec_report.stages;
+    expected.parse_errors = 1; // the only permitted difference
+    assert!(line_report.stages.deterministic_eq(&expected), "{:?}", line_report.stages);
+    assert_eq!(line_report.cc_candidates, rec_report.cc_candidates);
+    assert_eq!(line_report.alerts, rec_report.alerts);
+    assert_eq!(line_alerts.snapshot(), rec_alerts.snapshot());
+}
+
+/// Replays through the sharded handle are no-ops flagged as duplicates,
+/// exactly like the plain engine's replay guard.
+#[test]
+fn sharded_replay_is_a_flagged_noop() {
+    let domains = Arc::new(earlybird::logmodel::DomainInterner::new());
+    let queries = build_queries(&[(100, 3, 1), (200, 4, 2)], &domains);
+    let meta = meta_for(12);
+    let (engine, _alerts) = engine_for(&domains, &meta, 2, 8);
+    let mut sharded = ShardedEngine::new(engine, 4);
+
+    let mut first = sharded.begin_day(Day::new(0), IngestSource::Dns);
+    first.push_dns_records(&queries);
+    let first_report = first.finish();
+    assert!(!first_report.duplicate);
+    let history_len = sharded.engine().history().len();
+
+    let mut replay = sharded.begin_day(Day::new(0), IngestSource::Dns);
+    assert!(replay.is_duplicate());
+    replay.push_dns_records(&queries); // must be a no-op
+    let replay_report = replay.finish();
+    assert!(replay_report.duplicate);
+    assert_eq!(sharded.engine().history().len(), history_len, "profiles not double-counted");
+    assert_eq!(replay_report.stages.rare_destinations, first_report.stages.rare_destinations);
+}
+
+/// Cold restart through the [`Persistence`] facade: commit a sharded
+/// engine day by day, reopen the store, restore, wrap the restored engine
+/// in a new [`ShardedEngine`] (with a *different* shard count), ingest
+/// the remaining days — and end bit-identical to an uninterrupted
+/// single-engine run.
+#[test]
+fn sharded_engine_cold_restarts_through_persistence() {
+    let challenge = LanlGenerator::new(LanlConfig::tiny()).generate();
+    let meta = &challenge.dataset.meta;
+    let days = &challenge.dataset.days;
+    let cut = (meta.bootstrap_days as usize + 1).min(days.len() - 1);
+    let cfg = LifecycleConfig {
+        compaction: CompactionTrigger::disabled(),
+        retention: RetentionPolicy::default(),
+    };
+
+    // Reference: one plain engine, never restarted.
+    let mut reference = EngineBuilder::lanl()
+        .build(Arc::clone(&challenge.dataset.domains), meta.clone())
+        .expect("valid config");
+    for day in days {
+        reference.ingest_day(DayBatch::Dns(day));
+    }
+    let reference_bytes = checkpoint_bytes(&reference);
+
+    let backend = &Backend::matrix("shard-restart")[0];
+    {
+        let store =
+            Persistence::new(backend.create(cfg).expect("create store"), SnapshotPolicy::default());
+        let engine = EngineBuilder::lanl()
+            .build(Arc::clone(&challenge.dataset.domains), meta.clone())
+            .expect("valid config");
+        let mut sharded = ShardedEngine::new(engine, 3);
+        for day in &days[..=cut] {
+            sharded.ingest_day(DayBatch::Dns(day));
+            store.commit(sharded.engine()).expect("freeze").wait().expect("sync commit");
+        }
+    } // store drops: worker joins, chain is on the backend
+
+    let store =
+        Persistence::new(backend.open(cfg).expect("reopen store"), SnapshotPolicy::default());
+    let restored = store
+        .restore_with_domains(Arc::clone(&challenge.dataset.domains), EngineBuilder::lanl())
+        .expect("chain restores");
+    let mut sharded = ShardedEngine::new(restored, 7); // different lane count on purpose
+    for day in &days[cut + 1..] {
+        let report = sharded.ingest_day(DayBatch::Dns(day));
+        assert!(!report.duplicate, "restored replay guard must only cover committed days");
+    }
+    assert_eq!(
+        checkpoint_bytes(sharded.engine()),
+        reference_bytes,
+        "cold restart + resharding must not change a single checkpoint byte"
+    );
+    backend.cleanup();
+}

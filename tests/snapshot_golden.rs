@@ -77,9 +77,10 @@ fn golden_stream() -> Vec<u8> {
 // The golden fixture is a raw byte stream, so it reads through the
 // one-release deprecated shim — the same decode path `Persistence::restore`
 // drives through a chain reader.
-#[allow(deprecated)]
 fn restore_raw(bytes: &[u8], context: &str) -> Engine {
-    EngineBuilder::lanl().restore(&mut &bytes[..]).unwrap_or_else(|e| panic!("{context}: {e}"))
+    EngineBuilder::lanl()
+        .restore_stream(&mut &bytes[..])
+        .unwrap_or_else(|e| panic!("{context}: {e}"))
 }
 
 fn assert_restores_like_fixture(mut engine: Engine) {

@@ -140,9 +140,8 @@ fn fixture_snapshot() -> &'static [u8] {
 // Raw single-byte-stream restore is exactly what these properties probe, so
 // they read through the one-release deprecated shim on purpose (the facade
 // path reads the same bytes via `Persistence::restore`).
-#[allow(deprecated)]
 fn try_restore(bytes: &[u8]) -> Result<Engine, StoreError> {
-    EngineBuilder::lanl().restore(&mut &bytes[..])
+    EngineBuilder::lanl().restore_stream(&mut &bytes[..])
 }
 
 #[test]
